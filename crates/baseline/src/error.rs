@@ -1,0 +1,62 @@
+//! Baseline-specific errors.
+
+use cuts_core::EngineError;
+
+/// Failures of a baseline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Shared engine failure (device OOM etc.).
+    Engine(EngineError),
+    /// Gunrock's encoding cannot represent the instance:
+    /// `|V_D|^{|V_Q|} ≥ 2^64` (§3: a million-vertex data graph caps the
+    /// query at four vertices).
+    EncodingOverflow {
+        /// Data graph vertices.
+        data_vertices: usize,
+        /// Query graph vertices.
+        query_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Engine(e) => write!(f, "{e}"),
+            BaselineError::EncodingOverflow {
+                data_vertices,
+                query_vertices,
+            } => write!(
+                f,
+                "encoding overflow: {data_vertices}^{query_vertices} exceeds 2^64"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<EngineError> for BaselineError {
+    fn from(e: EngineError) -> Self {
+        BaselineError::Engine(e)
+    }
+}
+
+impl From<cuts_gpu_sim::DeviceError> for BaselineError {
+    fn from(e: cuts_gpu_sim::DeviceError) -> Self {
+        BaselineError::Engine(EngineError::Device(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = BaselineError::EncodingOverflow {
+            data_vertices: 1_000_000,
+            query_vertices: 5,
+        };
+        assert!(e.to_string().contains("1000000^5"));
+    }
+}

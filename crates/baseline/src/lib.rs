@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Baselines the paper evaluates against, rebuilt on the same simulated
+//! substrate so that comparisons isolate *algorithmic* differences:
+//!
+//! * [`GsiEngine`] — a GSI-style engine (Zeng et al., ICDE'20): full-warp
+//!   per candidate, two-pass count-then-write level expansion, flat
+//!   full-path intermediate storage, id-order BFS query ordering, no
+//!   chunking fallback. Each of these is a mechanism §3/§6 of the cuTS
+//!   paper names when explaining its speedup and GSI's memory overflows.
+//! * [`GunrockEngine`] — the Gunrock subgraph-matching storage scheme: a
+//!   partial path is one 64-bit integer (base-`|V_D|` encoding), viable
+//!   only while `|V_D|^{|V_Q|} < 2^64`; pass-by-pass with global-memory
+//!   round trips.
+//! * [`vf2`] — a CPU DFS matcher with VF2-style pruning, the classical
+//!   sequential baseline (and an independent correctness oracle).
+
+pub mod error;
+pub mod gsi;
+pub mod gunrock;
+pub mod vf2;
+
+pub use error::BaselineError;
+pub use gsi::{GsiConfig, GsiEngine};
+pub use gunrock::GunrockEngine;

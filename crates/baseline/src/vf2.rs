@@ -1,0 +1,218 @@
+//! VF2-style sequential CPU matcher (Cordella et al. 2004) — the classical
+//! DFS baseline of §3, with the feasibility rules that distinguish it from
+//! plain Ullmann backtracking: besides edge-consistency, a 1-lookahead
+//! prunes states where the candidate's unmatched-neighbour budget cannot
+//! cover the query vertex's remaining adjacency.
+
+use cuts_graph::{Graph, VertexId};
+
+/// Counts embeddings (injective, edge-preserving mappings) of `query` in
+/// `data` using VF2-style DFS.
+pub fn count(data: &Graph, query: &Graph) -> u64 {
+    let mut n = 0u64;
+    enumerate(data, query, &mut |_| n += 1);
+    n
+}
+
+/// Enumerates embeddings; `sink` receives a slice indexed by query vertex.
+pub fn enumerate(data: &Graph, query: &Graph, sink: &mut dyn FnMut(&[u32])) {
+    let nq = query.num_vertices();
+    if nq == 0 {
+        return;
+    }
+    // Connected-first order, max degree greedy.
+    let mut order = Vec::with_capacity(nq);
+    let mut placed = vec![false; nq];
+    while order.len() < nq {
+        let v = (0..nq as VertexId)
+            .filter(|&v| !placed[v as usize])
+            .max_by_key(|&v| {
+                let touching = query
+                    .out_neighbors(v)
+                    .iter()
+                    .chain(query.in_neighbors(v))
+                    .filter(|&&w| placed[w as usize])
+                    .count();
+                (touching, query.out_degree(v), std::cmp::Reverse(v))
+            })
+            .expect("vertices remain");
+        placed[v as usize] = true;
+        order.push(v);
+    }
+
+    let mut assign = vec![u32::MAX; nq];
+    let mut used = vec![false; data.num_vertices()];
+    let mut state = State {
+        data,
+        query,
+        order: &order,
+        assign: &mut assign,
+        used: &mut used,
+        sink,
+    };
+    state.rec(0);
+}
+
+struct State<'a> {
+    data: &'a Graph,
+    query: &'a Graph,
+    order: &'a [VertexId],
+    assign: &'a mut Vec<u32>,
+    used: &'a mut Vec<bool>,
+    sink: &'a mut dyn FnMut(&[u32]),
+}
+
+impl State<'_> {
+    fn feasible(&self, q: VertexId, c: VertexId) -> bool {
+        if self.used[c as usize] {
+            return false;
+        }
+        // Degree rule.
+        if self.data.out_degree(c) < self.query.out_degree(q)
+            || self.data.in_degree(c) < self.query.in_degree(q)
+        {
+            return false;
+        }
+        // Label rule (extension; wildcard when either side is unlabelled).
+        if !self.data.label_compatible(c, self.query, q) {
+            return false;
+        }
+        // Edge consistency with matched neighbours.
+        for &w in self.query.out_neighbors(q) {
+            let m = self.assign[w as usize];
+            if m != u32::MAX && !self.data.has_edge(c, m) {
+                return false;
+            }
+        }
+        for &w in self.query.in_neighbors(q) {
+            let m = self.assign[w as usize];
+            if m != u32::MAX && !self.data.has_edge(m, c) {
+                return false;
+            }
+        }
+        // 1-lookahead: the candidate needs at least as many *unused*
+        // out-neighbours as the query vertex has unmatched out-neighbours
+        // (and likewise for in-neighbours).
+        let q_un_out = self
+            .query
+            .out_neighbors(q)
+            .iter()
+            .filter(|&&w| self.assign[w as usize] == u32::MAX)
+            .count();
+        if q_un_out > 0 {
+            let c_un_out = self
+                .data
+                .out_neighbors(c)
+                .iter()
+                .filter(|&&d| !self.used[d as usize])
+                .count();
+            if c_un_out < q_un_out {
+                return false;
+            }
+        }
+        let q_un_in = self
+            .query
+            .in_neighbors(q)
+            .iter()
+            .filter(|&&w| self.assign[w as usize] == u32::MAX)
+            .count();
+        if q_un_in > 0 {
+            let c_un_in = self
+                .data
+                .in_neighbors(c)
+                .iter()
+                .filter(|&&d| !self.used[d as usize])
+                .count();
+            if c_un_in < q_un_in {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn rec(&mut self, pos: usize) {
+        if pos == self.order.len() {
+            (self.sink)(self.assign);
+            return;
+        }
+        let q = self.order[pos];
+        // Candidate pool: tightest matched-neighbour adjacency, else all.
+        let mut pool: Option<Vec<VertexId>> = None;
+        for &w in self.query.out_neighbors(q) {
+            let m = self.assign[w as usize];
+            if m != u32::MAX {
+                let l = self.data.in_neighbors(m);
+                if pool.as_ref().is_none_or(|p| l.len() < p.len()) {
+                    pool = Some(l.to_vec());
+                }
+            }
+        }
+        for &w in self.query.in_neighbors(q) {
+            let m = self.assign[w as usize];
+            if m != u32::MAX {
+                let l = self.data.out_neighbors(m);
+                if pool.as_ref().is_none_or(|p| l.len() < p.len()) {
+                    pool = Some(l.to_vec());
+                }
+            }
+        }
+        let pool =
+            pool.unwrap_or_else(|| (0..self.data.num_vertices() as VertexId).collect());
+        for c in pool {
+            if !self.feasible(q, c) {
+                continue;
+            }
+            self.assign[q as usize] = c;
+            self.used[c as usize] = true;
+            self.rec(pos + 1);
+            self.used[c as usize] = false;
+            self.assign[q as usize] = u32::MAX;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_core::reference;
+    use cuts_graph::generators::{chain, clique, cycle, erdos_renyi, mesh2d, star};
+
+    #[test]
+    fn agrees_with_reference() {
+        let mesh = mesh2d(4, 4);
+        let er = erdos_renyi(35, 100, 8);
+        for q in [chain(3), chain(4), clique(3), clique(4), cycle(4), star(4)] {
+            assert_eq!(
+                count(&mesh, &q),
+                reference::count_embeddings(&mesh, &q),
+                "mesh {q:?}"
+            );
+            assert_eq!(
+                count(&er, &q),
+                reference::count_embeddings(&er, &q),
+                "er {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn directed_cases() {
+        let d = Graph::directed(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = Graph::directed(3, &[(0, 1), (1, 2)]);
+        assert_eq!(count(&d, &p), reference::count_embeddings(&d, &p));
+        assert_eq!(count(&d, &p), 4);
+    }
+
+    #[test]
+    fn lookahead_prunes_but_preserves_count() {
+        // Star query: hub lookahead needs unused leaves.
+        let data = star(6);
+        let q = star(5);
+        assert_eq!(count(&data, &q), reference::count_embeddings(&data, &q));
+    }
+
+    #[test]
+    fn empty_query() {
+        assert_eq!(count(&clique(3), &Graph::undirected(0, &[])), 0);
+    }
+}

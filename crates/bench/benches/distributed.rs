@@ -1,0 +1,37 @@
+//! Benchmark: the distributed runner at 1/2/4 ranks (Figure 4's workload
+//! as a wall-clock criterion group).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cuts_dist::{run_distributed, DistConfig};
+use cuts_gpu_sim::DeviceConfig;
+use cuts_graph::generators::clique;
+use cuts_graph::{Dataset, Scale};
+
+fn bench_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed");
+    group.sample_size(10);
+    let data = Dataset::Enron.generate(Scale::Tiny);
+    let query = clique(4);
+    for ranks in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &ranks| {
+            let config = DistConfig {
+                device: DeviceConfig::test_small(),
+                dist_chunk: 32,
+                ..Default::default()
+            };
+            b.iter(|| {
+                black_box(
+                    run_distributed(&data, &query, ranks, &config)
+                        .unwrap()
+                        .total_matches,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranks);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmark: the three intersection kernels of Algorithm 2 across
+//! list-size regimes (the data behind the adaptive selection rule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cuts_core::intersect::{c_intersection, p_intersection, ScatterScratch};
+use cuts_gpu_sim::BlockCounters;
+
+fn lists(first: usize, rest: usize, n: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![(0..first as u32 * 3).step_by(3).collect::<Vec<u32>>()];
+    for k in 0..n {
+        out.push((k as u32..rest as u32 * 2 + k as u32).step_by(2).collect());
+    }
+    out
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection");
+    for (label, first, rest) in [
+        ("balanced-64", 64, 64),
+        ("balanced-1k", 1024, 1024),
+        ("small-vs-large", 16, 4096),
+        ("large-vs-small", 4096, 16),
+    ] {
+        let ls = lists(first, rest, 2);
+        let refs: Vec<&[u32]> = ls.iter().map(|v| v.as_slice()).collect();
+        group.bench_with_input(BenchmarkId::new("c", label), &refs, |b, refs| {
+            let mut ctr = BlockCounters::default();
+            let mut out = Vec::new();
+            b.iter(|| {
+                c_intersection(black_box(refs), 8, &mut ctr, &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("p", label), &refs, |b, refs| {
+            let mut ctr = BlockCounters::default();
+            let mut out = Vec::new();
+            b.iter(|| {
+                p_intersection(black_box(refs), 8, &mut ctr, &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sv", label), &refs, |b, refs| {
+            let mut ctr = BlockCounters::default();
+            let mut out = Vec::new();
+            let mut scratch = ScatterScratch::new(16_384);
+            b.iter(|| {
+                scratch.scatter_vector(black_box(refs), &mut ctr, &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmark: one search-kernel level expansion (Algorithm 1's inner
+//! loop) on skewed and regular graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cuts_core::kernels::{expand_range, init_candidates, ExpandParams};
+use cuts_core::{IntersectStrategy, MatchOrder};
+use cuts_gpu_sim::{Device, DeviceConfig};
+use cuts_graph::generators::clique;
+use cuts_graph::{Dataset, Scale};
+use cuts_trie::Trie;
+
+fn bench_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_kernel");
+    group.sample_size(20);
+    for ds in [Dataset::Enron, Dataset::RoadNetPA] {
+        let data = ds.generate(Scale::Tiny);
+        let query = clique(4);
+        let plan = MatchOrder::compute(&query).unwrap();
+        let device = Device::new(DeviceConfig::v100_like());
+        group.bench_with_input(
+            BenchmarkId::new("expand-level1", ds.name()),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut trie = Trie::on_device(&device, 1 << 20).unwrap();
+                    init_candidates(&device, data, &plan, &trie, 256).unwrap();
+                    let lvl0 = trie.seal_level();
+                    let params = ExpandParams {
+                        data,
+                        plan: &plan,
+                        pos: 1,
+                        vwarp: 8,
+                        strategy: IntersectStrategy::Adaptive,
+                        placement: None,
+                        max_blocks: 256,
+                    };
+                    expand_range(&device, &trie, lvl0, &params).unwrap();
+                    black_box(trie.seal_level().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expand);
+criterion_main!(benches);

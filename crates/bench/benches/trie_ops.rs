@@ -1,0 +1,84 @@
+//! Benchmark: trie primitives — concurrent reserve/write throughput (the
+//! one-atomic-per-burst claim), path extraction, donation round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cuts_trie::serial::{decode_trie, encode_trie};
+use cuts_trie::{HostTrie, PairTable, Trie, NO_PARENT};
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_table");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("reserve_write_100k", |b| {
+        b.iter(|| {
+            let t = PairTable::on_host(100_000);
+            for i in 0..1000u32 {
+                let r = t.reserve(100).unwrap();
+                for k in 0..100u32 {
+                    r.write(k as usize, i, k);
+                }
+            }
+            black_box(t.len())
+        });
+    });
+    group.finish();
+}
+
+fn deep_trie(depth: usize, fanout: usize) -> Trie {
+    let mut t = Trie::on_host(4_000_000);
+    {
+        let r = t.table().reserve(1).unwrap();
+        r.write(0, NO_PARENT, 0);
+    }
+    t.seal_level();
+    for _ in 1..depth {
+        let prev = t.level(t.num_levels() - 1);
+        let r = t.table().reserve(prev.len() * fanout).unwrap();
+        let mut k = 0;
+        for p in prev {
+            for f in 0..fanout {
+                r.write(k, p as u32, f as u32);
+                k += 1;
+            }
+        }
+        t.seal_level();
+    }
+    t
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_paths");
+    let t = deep_trie(7, 6);
+    let last = t.level(t.num_levels() - 1);
+    group.throughput(Throughput::Elements(last.len() as u64));
+    group.bench_function("extract_all_depth7", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in last.clone() {
+                total += t.extract_path(i).len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_wire");
+    let paths: Vec<Vec<u32>> = (0..4096u32).map(|i| vec![i / 64, i / 8, i]).collect();
+    let host = HostTrie::from_flat_paths(&paths);
+    group.bench_function("encode_decode_4k_paths", |b| {
+        b.iter(|| {
+            let enc = encode_trie(black_box(&host));
+            black_box(decode_trie(enc).unwrap().len())
+        });
+    });
+    group.bench_function("from_flat_paths_4k", |b| {
+        b.iter(|| black_box(HostTrie::from_flat_paths(black_box(&paths)).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table, bench_paths, bench_wire);
+criterion_main!(benches);

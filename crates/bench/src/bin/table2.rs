@@ -1,0 +1,37 @@
+//! Table 2: properties of the data graphs — paper values next to the
+//! generated stand-ins at the selected scale.
+//!
+//! ```sh
+//! cargo run -p cuts-bench --release --bin table2
+//! ```
+
+use cuts_bench::scale_from_env;
+use cuts_graph::stats::stats;
+use cuts_graph::Dataset;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table 2 — data graph properties (stand-ins generated @ {scale:?})\n");
+    println!(
+        "{:<12} {:>12} {:>12} | {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "network", "V (paper)", "E (paper)", "V (gen)", "E (gen)", "max-deg", "avg-deg", "p99-deg"
+    );
+    for ds in Dataset::ALL {
+        let g = ds.generate(scale);
+        let s = stats(&g);
+        println!(
+            "{:<12} {:>12} {:>12} | {:>10} {:>10} {:>8} {:>8.2} {:>8}",
+            ds.name(),
+            ds.paper_vertices(),
+            ds.paper_edges(),
+            s.vertices,
+            s.arcs,
+            s.max_out_degree,
+            s.avg_out_degree,
+            s.p99_out_degree
+        );
+    }
+    println!("\nSkewed (social/communication) stand-ins keep the heavy tail; road");
+    println!("networks stay near-regular and low-degree — the property split that");
+    println!("drives Table 3's behaviour.");
+}

@@ -1,0 +1,274 @@
+//! Hand-rolled argument parsing (no CLI dependency).
+
+/// Usage text.
+pub const USAGE: &str = "\
+cuts — trie-based subgraph isomorphism on a simulated multi-GPU system
+
+USAGE:
+  cuts stats   (<edgelist> | --dataset <name> [--scale <s>]) [--directed]
+  cuts match   (<edgelist> | --dataset <name> [--scale <s>]) --query <spec>
+               [--directed] [--device v100|a100|test] [--engine cuts|gsi|gunrock|vf2]
+               [--ranks <n>] [--enumerate <n>] [--chunk <n>]
+  cuts queries [--n <vertices>] [--top <k>]
+  cuts help
+
+QUERY SPECS:   clique:K  chain:K  cycle:K  star:K  or a path to an edge list
+DATASETS:      enron gowalla roadnet-pa roadnet-tx roadnet-ca wikitalk
+SCALES:        tiny small medium paper (default tiny)
+LABELS:        --labels random:K | zipf:K | bands  (attach vertex labels to
+               both graphs; labelled matching requires label equality)
+OUTPUT:        --output text | json (match subcommand)";
+
+/// Where the data graph comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataSource {
+    /// Load from a SNAP edge-list file.
+    File(String),
+    /// Generate a named stand-in at a scale.
+    Dataset { name: String, scale: String },
+}
+
+/// Parsed `match` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOpts {
+    pub data: DataSource,
+    pub query: String,
+    pub directed: bool,
+    pub device: String,
+    pub engine: String,
+    pub ranks: usize,
+    pub enumerate: usize,
+    pub chunk: usize,
+    pub labels: Option<String>,
+    pub output: String,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Stats { data: DataSource, directed: bool },
+    Match(Box<MatchOpts>),
+    Queries { n: usize, top: usize },
+    Help,
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, String> {
+    it.next()
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Parses argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some((sub, rest)) = argv.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "queries" => {
+            let mut n = 5usize;
+            let mut top = 11usize;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--n" => n = take_value("--n", &mut it)?.parse().map_err(|_| "--n: bad number")?,
+                    "--top" => {
+                        top = take_value("--top", &mut it)?.parse().map_err(|_| "--top: bad number")?
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if !(2..=7).contains(&n) {
+                return Err("--n must be in 2..=7".into());
+            }
+            Ok(Command::Queries { n, top })
+        }
+        "stats" => {
+            let (data, extra) = parse_source(rest)?;
+            let mut directed = false;
+            let mut it = extra.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--directed" => directed = true,
+                    "--scale" => {
+                        let _ = take_value("--scale", &mut it)?; // consumed by parse_source normally
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Stats { data, directed })
+        }
+        "match" => {
+            let (data, extra) = parse_source(rest)?;
+            let mut opts = MatchOpts {
+                data,
+                query: String::new(),
+                directed: false,
+                device: "v100".into(),
+                engine: "cuts".into(),
+                ranks: 1,
+                enumerate: 0,
+                chunk: 512,
+                labels: None,
+                output: "text".into(),
+            };
+            let mut it = extra.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--query" => opts.query = take_value("--query", &mut it)?.to_string(),
+                    "--directed" => opts.directed = true,
+                    "--device" => opts.device = take_value("--device", &mut it)?.to_string(),
+                    "--engine" => opts.engine = take_value("--engine", &mut it)?.to_string(),
+                    "--ranks" => {
+                        opts.ranks = take_value("--ranks", &mut it)?
+                            .parse()
+                            .map_err(|_| "--ranks: bad number")?
+                    }
+                    "--enumerate" => {
+                        opts.enumerate = take_value("--enumerate", &mut it)?
+                            .parse()
+                            .map_err(|_| "--enumerate: bad number")?
+                    }
+                    "--chunk" => {
+                        opts.chunk = take_value("--chunk", &mut it)?
+                            .parse()
+                            .map_err(|_| "--chunk: bad number")?
+                    }
+                    "--labels" => opts.labels = Some(take_value("--labels", &mut it)?.to_string()),
+                    "--output" => opts.output = take_value("--output", &mut it)?.to_string(),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if opts.query.is_empty() {
+                return Err("match requires --query".into());
+            }
+            if opts.ranks == 0 {
+                return Err("--ranks must be at least 1".into());
+            }
+            Ok(Command::Match(Box::new(opts)))
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+/// Extracts the data source (positional path or --dataset/--scale pair);
+/// returns the remaining args.
+fn parse_source(rest: &[String]) -> Result<(DataSource, Vec<String>), String> {
+    let mut path: Option<String> = None;
+    let mut dataset: Option<String> = None;
+    let mut scale = "tiny".to_string();
+    let mut extra = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dataset" => dataset = Some(take_value("--dataset", &mut it)?.to_string()),
+            "--scale" => scale = take_value("--scale", &mut it)?.to_string(),
+            s if !s.starts_with("--") && path.is_none() && dataset.is_none() => {
+                path = Some(s.to_string())
+            }
+            other => extra.push(other.to_string()),
+        }
+    }
+    match (path, dataset) {
+        (Some(p), None) => Ok((DataSource::File(p), extra)),
+        (None, Some(name)) => Ok((DataSource::Dataset { name, scale }, extra)),
+        (Some(_), Some(_)) => Err("give either a file path or --dataset, not both".into()),
+        (None, None) => Err("missing data graph (file path or --dataset)".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_match_with_file() {
+        let c = parse(&argv("match graph.txt --query clique:4 --ranks 2")).unwrap();
+        match c {
+            Command::Match(o) => {
+                assert_eq!(o.data, DataSource::File("graph.txt".into()));
+                assert_eq!(o.query, "clique:4");
+                assert_eq!(o.ranks, 2);
+                assert_eq!(o.device, "v100");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_match_with_dataset() {
+        let c = parse(&argv(
+            "match --dataset enron --scale small --query chain:5 --engine gsi --device a100",
+        ))
+        .unwrap();
+        match c {
+            Command::Match(o) => {
+                assert_eq!(
+                    o.data,
+                    DataSource::Dataset {
+                        name: "enron".into(),
+                        scale: "small".into()
+                    }
+                );
+                assert_eq!(o.engine, "gsi");
+                assert_eq!(o.device, "a100");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_labels_and_output() {
+        let c = parse(&argv(
+            "match g.txt --query clique:3 --labels zipf:4 --output json",
+        ))
+        .unwrap();
+        match c {
+            Command::Match(o) => {
+                assert_eq!(o.labels.as_deref(), Some("zipf:4"));
+                assert_eq!(o.output, "json");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_query() {
+        assert!(parse(&argv("match graph.txt")).is_err());
+    }
+
+    #[test]
+    fn rejects_both_sources() {
+        assert!(parse(&argv("stats graph.txt --dataset enron")).is_err());
+    }
+
+    #[test]
+    fn parses_queries_bounds() {
+        assert_eq!(
+            parse(&argv("queries --n 6 --top 4")).unwrap(),
+            Command::Queries { n: 6, top: 4 }
+        );
+        assert!(parse(&argv("queries --n 9")).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&argv(h)).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&argv("match g.txt --query clique:3 --frobnicate")).is_err());
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

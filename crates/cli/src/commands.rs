@@ -1,0 +1,331 @@
+//! Command implementations.
+
+use cuts_baseline::{vf2, GsiEngine, GunrockEngine};
+use cuts_core::{CutsEngine, EngineConfig};
+use cuts_dist::{run_distributed, DistConfig};
+use cuts_gpu_sim::{Device, DeviceConfig};
+use cuts_graph::generators::{chain, clique, cycle, star};
+use cuts_graph::labels::{degree_band_labels, random_labels, zipf_labels};
+use cuts_graph::stats::{degree_histogram, stats};
+use cuts_graph::{edgelist, query_set, Dataset, Graph, Scale};
+
+use crate::args::{Command, DataSource, MatchOpts, USAGE};
+
+/// Top-level command error.
+pub type CmdError = Box<dyn std::error::Error>;
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), CmdError> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Queries { n, top } => {
+            for q in query_set(n, top) {
+                let edges: Vec<_> = q.graph.edges().filter(|(u, v)| u < v).collect();
+                println!("{}: {} edges {:?}", q.name, q.num_edges, edges);
+            }
+            Ok(())
+        }
+        Command::Stats { data, directed } => {
+            let g = load(&data, directed)?;
+            let s = stats(&g);
+            println!("vertices:        {}", s.vertices);
+            println!("arcs:            {}", s.arcs);
+            println!("input edges:     {}", s.input_edges);
+            println!("max out-degree:  {}", s.max_out_degree);
+            println!("max in-degree:   {}", s.max_in_degree);
+            println!("avg out-degree:  {:.3}", s.avg_out_degree);
+            println!("p99 out-degree:  {}", s.p99_out_degree);
+            let hist = degree_histogram(&g);
+            println!("degree histogram (pow-2 buckets): {hist:?}");
+            Ok(())
+        }
+        Command::Match(opts) => run_match(&opts),
+    }
+}
+
+/// Resolves a data source into a graph.
+fn load(src: &DataSource, directed: bool) -> Result<Graph, CmdError> {
+    match src {
+        DataSource::File(path) => Ok(if directed {
+            edgelist::load_directed(path)?
+        } else {
+            edgelist::load_undirected(path)?
+        }),
+        DataSource::Dataset { name, scale } => {
+            let ds = match name.to_lowercase().as_str() {
+                "enron" => Dataset::Enron,
+                "gowalla" => Dataset::Gowalla,
+                "roadnet-pa" => Dataset::RoadNetPA,
+                "roadnet-tx" => Dataset::RoadNetTX,
+                "roadnet-ca" => Dataset::RoadNetCA,
+                "wikitalk" => Dataset::WikiTalk,
+                other => return Err(format!("unknown dataset {other}").into()),
+            };
+            let sc = match scale.as_str() {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                "medium" => Scale::Medium,
+                "paper" => Scale::Paper,
+                other => return Err(format!("unknown scale {other}").into()),
+            };
+            Ok(ds.generate(sc))
+        }
+    }
+}
+
+/// Parses a query spec (`clique:K` etc. or a file path).
+fn load_query(spec: &str, directed: bool) -> Result<Graph, CmdError> {
+    if let Some((kind, k)) = spec.split_once(':') {
+        let k: usize = k.parse().map_err(|_| format!("bad query size in {spec}"))?;
+        if k < 1 || k > 12 {
+            return Err("query size must be in 1..=12".into());
+        }
+        return Ok(match kind {
+            "clique" => clique(k),
+            "chain" => chain(k),
+            "cycle" => cycle(k),
+            "star" => star(k),
+            other => return Err(format!("unknown query kind {other}").into()),
+        });
+    }
+    load(&DataSource::File(spec.to_string()), directed)
+}
+
+fn device_config(name: &str) -> Result<DeviceConfig, CmdError> {
+    Ok(match name {
+        "v100" => DeviceConfig::v100_like(),
+        "a100" => DeviceConfig::a100_like(),
+        "test" => DeviceConfig::test_small(),
+        other => return Err(format!("unknown device {other}").into()),
+    })
+}
+
+/// Attaches labels per the `--labels` spec to both graphs (same label
+/// alphabet, deterministic seeds).
+fn apply_labels(spec: &str, data: Graph, query: Graph) -> Result<(Graph, Graph), CmdError> {
+    let nd = data.num_vertices();
+    let nq = query.num_vertices();
+    let (dl, ql) = if let Some((kind, k)) = spec.split_once(':') {
+        let k: u32 = k.parse().map_err(|_| format!("bad label count in {spec}"))?;
+        if k == 0 {
+            return Err("label count must be positive".into());
+        }
+        match kind {
+            "random" => (random_labels(nd, k, 11), random_labels(nq, k, 13)),
+            "zipf" => (zipf_labels(nd, k, 11), zipf_labels(nq, k, 13)),
+            other => return Err(format!("unknown label scheme {other}").into()),
+        }
+    } else if spec == "bands" {
+        (
+            degree_band_labels(&data, 8),
+            degree_band_labels(&query, 8),
+        )
+    } else {
+        return Err(format!("unknown label spec {spec}").into());
+    };
+    Ok((data.with_labels(dl), query.with_labels(ql)))
+}
+
+fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
+    let mut data = load(&opts.data, opts.directed)?;
+    let mut query = load_query(&opts.query, opts.directed)?;
+    if let Some(spec) = &opts.labels {
+        (data, query) = apply_labels(spec, data, query)?;
+    }
+    println!(
+        "data: {} vertices / {} arcs; query: {} vertices / {} arcs",
+        data.num_vertices(),
+        data.num_edges(),
+        query.num_vertices(),
+        query.num_edges()
+    );
+    let dev_cfg = device_config(&opts.device)?;
+
+    if opts.ranks > 1 {
+        if opts.engine != "cuts" {
+            return Err("--ranks > 1 is only supported with --engine cuts".into());
+        }
+        let config = DistConfig {
+            device: dev_cfg,
+            dist_chunk: opts.chunk,
+            ..Default::default()
+        };
+        let r = run_distributed(&data, &query, opts.ranks, &config)?;
+        println!("matches: {}", r.total_matches);
+        println!(
+            "makespan: {:.3} sim-ms over {} ranks (balance {:.2})",
+            r.makespan_sim_millis(),
+            opts.ranks,
+            r.balance_ratio()
+        );
+        for m in &r.per_rank {
+            println!(
+                "  rank {}: {:>10} matches, {:>8.3} sim-ms, {} jobs, {}/{} donations out/in",
+                m.rank,
+                m.matches,
+                m.busy_sim_millis,
+                m.jobs_processed,
+                m.donations_sent,
+                m.donations_received
+            );
+        }
+        return Ok(());
+    }
+
+    match opts.engine.as_str() {
+        "vf2" => {
+            let start = std::time::Instant::now();
+            let count = vf2::count(&data, &query);
+            println!("matches: {count}");
+            println!("cpu wall: {:.3} ms", start.elapsed().as_secs_f64() * 1e3);
+        }
+        "cuts" => {
+            let device = Device::new(dev_cfg);
+            let engine = CutsEngine::with_config(
+                &device,
+                EngineConfig::default().with_chunk_size(opts.chunk),
+            );
+            if opts.enumerate > 0 {
+                let mut shown = 0usize;
+                let r = engine.run_enumerate(&data, &query, &mut |m| {
+                    if shown < opts.enumerate {
+                        println!("  {m:?}");
+                        shown += 1;
+                    }
+                })?;
+                report(&r, &opts.output)?;
+            } else {
+                report(&engine.run(&data, &query)?, &opts.output)?;
+            }
+        }
+        "gsi" => {
+            let device = Device::new(dev_cfg);
+            report(&GsiEngine::new(&device).run(&data, &query)?, &opts.output)?;
+        }
+        "gunrock" => {
+            let device = Device::new(dev_cfg);
+            report(&GunrockEngine::new(&device).run(&data, &query)?, &opts.output)?;
+        }
+        other => return Err(format!("unknown engine {other}").into()),
+    }
+    Ok(())
+}
+
+/// Renders a match result as a single JSON object (hand-rolled; every
+/// field is numeric or boolean, so no escaping is needed).
+fn to_json(r: &cuts_core::MatchResult) -> String {
+    let levels: Vec<String> = r.level_counts.iter().map(u64::to_string).collect();
+    format!(
+        concat!(
+            "{{\"matches\":{},\"level_counts\":[{}],\"cuts_words\":{},",
+            "\"naive_words\":{},\"sim_millis\":{},\"wall_millis\":{},",
+            "\"used_chunking\":{},\"counters\":{{\"dram_reads\":{},",
+            "\"dram_writes\":{},\"shmem_reads\":{},\"shmem_writes\":{},",
+            "\"atomics\":{},\"instructions\":{}}}}}"
+        ),
+        r.num_matches,
+        levels.join(","),
+        r.cuts_words(),
+        r.naive_words(),
+        r.sim_millis,
+        r.wall_millis,
+        r.used_chunking,
+        r.counters.dram_reads,
+        r.counters.dram_writes,
+        r.counters.shmem_reads,
+        r.counters.shmem_writes,
+        r.counters.atomics,
+        r.counters.instructions,
+    )
+}
+
+fn report(r: &cuts_core::MatchResult, output: &str) -> Result<(), CmdError> {
+    match output {
+        "json" => {
+            println!("{}", to_json(r));
+            return Ok(());
+        }
+        "text" => {}
+        other => return Err(format!("unknown output format {other}").into()),
+    }
+    report_text(r);
+    Ok(())
+}
+
+fn report_text(r: &cuts_core::MatchResult) {
+    println!("matches: {}", r.num_matches);
+    println!("paths/depth: {:?}", r.level_counts);
+    println!(
+        "storage: {} trie words (naive would be {})",
+        r.cuts_words(),
+        r.naive_words()
+    );
+    println!(
+        "counters: {} dram reads / {} writes, {} atomics, {} instructions",
+        r.counters.dram_reads, r.counters.dram_writes, r.counters.atomics, r.counters.instructions
+    );
+    println!(
+        "simulated: {:.3} ms   (host wall {:.3} ms; chunked: {})",
+        r.sim_millis, r.wall_millis, r.used_chunking
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_specs_parse() {
+        assert_eq!(load_query("clique:4", false).unwrap().num_vertices(), 4);
+        assert_eq!(load_query("chain:6", false).unwrap().num_input_edges(), 5);
+        assert!(load_query("hexagon:4", false).is_err());
+        assert!(load_query("clique:99", false).is_err());
+    }
+
+    #[test]
+    fn dataset_names_resolve() {
+        let src = DataSource::Dataset {
+            name: "roadnet-ca".into(),
+            scale: "tiny".into(),
+        };
+        let g = load(&src, false).unwrap();
+        assert!(g.num_vertices() > 100);
+        let bad = DataSource::Dataset {
+            name: "nope".into(),
+            scale: "tiny".into(),
+        };
+        assert!(load(&bad, false).is_err());
+    }
+
+    #[test]
+    fn device_names_resolve() {
+        assert_eq!(device_config("a100").unwrap().num_sms, 108);
+        assert!(device_config("h100").is_err());
+    }
+
+    #[test]
+    fn end_to_end_match_command() {
+        let opts = MatchOpts {
+            data: DataSource::Dataset {
+                name: "enron".into(),
+                scale: "tiny".into(),
+            },
+            query: "clique:3".into(),
+            directed: false,
+            device: "test".into(),
+            engine: "cuts".into(),
+            ranks: 1,
+            enumerate: 0,
+            chunk: 512,
+            labels: None,
+            output: "text".into(),
+        };
+        run_match(&opts).unwrap();
+        // Distributed path too.
+        let opts = MatchOpts { ranks: 2, ..opts };
+        run_match(&opts).unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+//! `cuts` — command-line front end.
+//!
+//! ```text
+//! cuts stats   <edgelist>                         graph statistics (Table 2 style)
+//! cuts match   <edgelist> --query <spec> [opts]   count/enumerate embeddings
+//! cuts queries --n 5 --top 11                     print the paper's query suite
+//! cuts help
+//! ```
+//!
+//! Query specs: `clique:K`, `chain:K`, `cycle:K`, `star:K`, or a path to a
+//! second edge-list file. Options for `match`:
+//! `--device v100|a100|test`, `--directed`, `--ranks N`, `--engine
+//! cuts|gsi|gunrock|vf2`, `--enumerate N` (print the first N embeddings),
+//! `--dataset enron|gowalla|...` with `--scale tiny|small|medium|paper`
+//! instead of an edge-list path.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("usage error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! The cuTS engine: orchestrates kernels over the trie, with the hybrid
+//! BFS-DFS fallback and the §4 composition rules.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use cuts_gpu_sim::{CostModel, Device, DeviceError};
+use cuts_graph::components::{extract_component, weakly_connected_components};
+use cuts_graph::Graph;
+use cuts_trie::Trie;
+
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::kernels::{expand_range, init_candidates, ExpandParams};
+use crate::order::MatchOrder;
+use crate::result::MatchResult;
+
+/// Subgraph-isomorphism engine bound to a simulated device.
+///
+/// ```
+/// use cuts_core::CutsEngine;
+/// use cuts_gpu_sim::{Device, DeviceConfig};
+/// use cuts_graph::generators::{clique, mesh2d};
+///
+/// let device = Device::new(DeviceConfig::test_small());
+/// let engine = CutsEngine::new(&device);
+/// // Triangles in K4: 4 x 3 x 2 ordered embeddings.
+/// let r = engine.run(&clique(4), &clique(3)).unwrap();
+/// assert_eq!(r.num_matches, 24);
+/// assert_eq!(r.level_counts, vec![4, 12, 24]);
+/// ```
+pub struct CutsEngine<'d> {
+    device: &'d Device,
+    config: EngineConfig,
+}
+
+/// Sink receiving one complete embedding at a time; the slice is indexed
+/// by *query vertex id* (`m[q]` = matched data vertex).
+pub type MatchSink<'s> = &'s mut dyn FnMut(&[u32]);
+
+impl<'d> CutsEngine<'d> {
+    /// Engine with default configuration.
+    pub fn new(device: &'d Device) -> Self {
+        CutsEngine {
+            device,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(device: &'d Device, config: EngineConfig) -> Self {
+        CutsEngine { device, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The device this engine runs on.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// Counts all embeddings of `query` in `data`. The query must be
+    /// (weakly) connected — see [`CutsEngine::run_disconnected`] otherwise.
+    pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, EngineError> {
+        self.run_inner(data, query, None, None)
+    }
+
+    /// Like [`CutsEngine::run`], additionally streaming every embedding to
+    /// `sink` (no materialisation of the full result set).
+    pub fn run_enumerate(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        sink: MatchSink<'_>,
+    ) -> Result<MatchResult, EngineError> {
+        self.run_inner(data, query, Some(sink), None)
+    }
+
+    /// Resumes matching from already-built partial paths: the receiving
+    /// side of a §4.2 work donation. `seed.levels.len()` query vertices
+    /// (in this engine's order for `query`) are treated as matched; the
+    /// run continues from there and counts only completions of the seeded
+    /// paths.
+    pub fn run_from_trie(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        seed: &cuts_trie::HostTrie,
+    ) -> Result<MatchResult, EngineError> {
+        self.run_inner(data, query, None, Some(seed))
+    }
+
+    /// §4 composition for disconnected query graphs: match each weakly
+    /// connected component independently and multiply the counts (the
+    /// paper's "cross product of individual solutions"). Note the paper's
+    /// semantics here: components may map to overlapping data vertices.
+    pub fn run_disconnected(&self, data: &Graph, query: &Graph) -> Result<u64, EngineError> {
+        let comps = weakly_connected_components(query);
+        let mut product: u64 = 1;
+        for c in 0..comps.num_components() as u32 {
+            let (sub, _) = extract_component(query, &comps, c);
+            let r = self.run(data, &sub)?;
+            product = product.saturating_mul(r.num_matches);
+            if product == 0 {
+                return Ok(0);
+            }
+        }
+        Ok(product)
+    }
+
+    /// Expands seeded partial paths by exactly one level and returns the
+    /// extended paths as a host trie (depth `seed.depth() + 1`). Used by
+    /// the distributed worker's progressive deepening: a single heavy
+    /// subtree becomes many donatable frontier slices. The seed must be
+    /// shallower than the query.
+    pub fn expand_seed_once(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        seed: &cuts_trie::HostTrie,
+    ) -> Result<cuts_trie::HostTrie, EngineError> {
+        let plan = MatchOrder::compute_with_policy(query, self.config.order_policy)?;
+        let depth = seed.levels.len();
+        assert!(
+            depth >= 1 && depth < plan.len(),
+            "seed depth must be in 1..|V_Q|"
+        );
+        let mut trie = Trie::sized_from_free(self.device, self.config.trie_fraction)?;
+        trie.load(seed)?;
+        let frontier = trie.level(depth - 1);
+        let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
+        let params = ExpandParams {
+            data,
+            plan: &plan,
+            pos: depth,
+            vwarp,
+            strategy: self.config.intersect,
+            placement: None,
+            max_blocks: self.config.max_blocks,
+        };
+        expand_range(self.device, &trie, frontier, &params)?;
+        trie.seal_level();
+        Ok(trie.to_host())
+    }
+
+    fn run_inner(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        mut sink: Option<MatchSink<'_>>,
+        seed: Option<&cuts_trie::HostTrie>,
+    ) -> Result<MatchResult, EngineError> {
+        let wall_start = Instant::now();
+        self.device.reset_counters();
+        let plan = MatchOrder::compute_with_policy(query, self.config.order_policy)?;
+        let n = plan.len();
+        let mut trie = Trie::sized_from_free(self.device, self.config.trie_fraction)?;
+        let mut level_counts = vec![0u64; n];
+        let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+
+        let (frontier0, start_pos) = match seed {
+            None => {
+                init_candidates(self.device, data, &plan, &trie, self.config.max_blocks)?;
+                let lvl0 = trie.seal_level();
+                level_counts[0] = lvl0.len() as u64;
+                (lvl0, 1)
+            }
+            Some(host) => {
+                let depth = host.levels.len();
+                assert!(depth >= 1 && depth <= n, "seed depth out of range");
+                trie.load(host)?;
+                for (l, r) in host.levels.iter().enumerate() {
+                    level_counts[l] = r.len() as u64;
+                }
+                (trie.level(depth - 1), depth)
+            }
+        };
+
+        let mut used_chunking = false;
+        let mut frontier = frontier0;
+        let mut pos = start_pos;
+        let mut chunked_total: Option<u64> = None;
+
+        while pos < n && !frontier.is_empty() {
+            let pre_len = trie.table().len();
+            let placement = self.placement(&mut rng, &frontier);
+            let params = ExpandParams {
+                data,
+                plan: &plan,
+                pos,
+                vwarp,
+                strategy: self.config.intersect,
+                placement: placement.as_deref(),
+                max_blocks: self.config.max_blocks,
+            };
+            match expand_range(self.device, &trie, frontier.clone(), &params) {
+                Ok(()) => {
+                    let lvl = trie.seal_level();
+                    level_counts[pos] += lvl.len() as u64;
+                    frontier = lvl;
+                    pos += 1;
+                }
+                Err(DeviceError::BufferOverflow { .. }) => {
+                    // Hybrid BFS-DFS (§4.1.2): roll back the partial level
+                    // and walk the remaining depths chunk by chunk.
+                    trie.table().truncate(pre_len);
+                    used_chunking = true;
+                    let total = self.process_chunks(
+                        data,
+                        &plan,
+                        &mut trie,
+                        pos,
+                        frontier.clone(),
+                        self.config.chunk_size,
+                        vwarp,
+                        &mut level_counts,
+                        &mut sink,
+                    )?;
+                    chunked_total = Some(total);
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let num_matches = match chunked_total {
+            Some(t) => t,
+            None if pos == n => {
+                if let Some(sink) = sink.as_mut() {
+                    self.emit_level(&trie, &plan, frontier.clone(), sink);
+                }
+                level_counts[n - 1]
+            }
+            None => 0, // frontier drained before reaching full depth
+        };
+
+        let counters = self.device.counters();
+        let sim_millis = CostModel::default().millis(&counters, self.device.config());
+        Ok(MatchResult {
+            num_matches,
+            level_counts,
+            counters,
+            sim_millis,
+            wall_millis: wall_start.elapsed().as_secs_f64() * 1e3,
+            used_chunking,
+            order: plan.order.clone(),
+        })
+    }
+
+    /// Shuffled frontier placement when configured (§4.1.2: randomising
+    /// partial-path placement fixes id-order load imbalance).
+    fn placement(&self, rng: &mut SmallRng, frontier: &Range<usize>) -> Option<Vec<u32>> {
+        if !self.config.randomize_placement || frontier.len() < 2 {
+            return None;
+        }
+        let mut p: Vec<u32> = frontier.clone().map(|i| i as u32).collect();
+        p.shuffle(rng);
+        Some(p)
+    }
+
+    /// Depth-first walk over frontier chunks: expand a chunk, recurse one
+    /// level deeper, reclaim the chunk's scratch level, move on. Chunk
+    /// sizes halve locally when even one chunk cannot fit.
+    #[allow(clippy::too_many_arguments)]
+    fn process_chunks(
+        &self,
+        data: &Graph,
+        plan: &MatchOrder,
+        trie: &mut Trie,
+        pos: usize,
+        frontier: Range<usize>,
+        chunk_size: usize,
+        vwarp: usize,
+        level_counts: &mut [u64],
+        sink: &mut Option<MatchSink<'_>>,
+    ) -> Result<u64, EngineError> {
+        let n = plan.len();
+        if pos == n {
+            if let Some(sink) = sink.as_mut() {
+                self.emit_level(trie, plan, frontier.clone(), sink);
+            }
+            return Ok(frontier.len() as u64);
+        }
+        let mut total = 0u64;
+        for chunk in cuts_trie::Chunks::new(frontier, chunk_size) {
+            let pre_len = trie.table().len();
+            let params = ExpandParams {
+                data,
+                plan,
+                pos,
+                vwarp,
+                strategy: self.config.intersect,
+                placement: None,
+                max_blocks: self.config.max_blocks,
+            };
+            match expand_range(self.device, trie, chunk.clone(), &params) {
+                Ok(()) => {
+                    let lvl = trie.seal_level();
+                    level_counts[pos] += lvl.len() as u64;
+                    total += self.process_chunks(
+                        data,
+                        plan,
+                        trie,
+                        pos + 1,
+                        lvl,
+                        chunk_size,
+                        vwarp,
+                        level_counts,
+                        sink,
+                    )?;
+                    trie.pop_levels(1);
+                }
+                Err(DeviceError::BufferOverflow { .. }) => {
+                    trie.table().truncate(pre_len);
+                    if chunk.len() == 1 {
+                        return Err(EngineError::CapacityExhausted { depth: pos });
+                    }
+                    // Halve locally and retry this chunk.
+                    total += self.process_chunks(
+                        data,
+                        plan,
+                        trie,
+                        pos,
+                        chunk.clone(),
+                        (chunk.len() / 2).max(1),
+                        vwarp,
+                        level_counts,
+                        sink,
+                    )?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Streams the full embeddings ending at `level`'s entries, remapped
+    /// from order space to query-vertex space.
+    fn emit_level(
+        &self,
+        trie: &Trie,
+        plan: &MatchOrder,
+        level: Range<usize>,
+        sink: MatchSink<'_>,
+    ) {
+        let n = plan.len();
+        let mut m = vec![0u32; n];
+        for leaf in level {
+            let path = trie.extract_path(leaf);
+            debug_assert_eq!(path.len(), n);
+            for (l, &v) in path.iter().enumerate() {
+                m[plan.order[l] as usize] = v;
+            }
+            sink(&m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IntersectStrategy;
+    use crate::reference;
+    use cuts_gpu_sim::DeviceConfig;
+    use cuts_graph::generators::{chain, clique, cycle, erdos_renyi, mesh2d, star};
+
+    fn check_against_reference(data: &Graph, query: &Graph) {
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let got = engine.run(data, query).unwrap();
+        let want = reference::count_embeddings(data, query);
+        assert_eq!(got.num_matches, want, "engine vs reference");
+    }
+
+    #[test]
+    fn triangles_in_k4() {
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let r = engine.run(&clique(4), &clique(3)).unwrap();
+        assert_eq!(r.num_matches, 24);
+        assert!(!r.used_chunking);
+        assert_eq!(r.level_counts, vec![4, 12, 24]);
+    }
+
+    #[test]
+    fn matches_reference_on_varied_pairs() {
+        let mesh = mesh2d(4, 4);
+        let er = erdos_renyi(40, 120, 3);
+        for query in [chain(3), chain(4), clique(3), clique(4), cycle(4), star(4)] {
+            check_against_reference(&mesh, &query);
+            check_against_reference(&er, &query);
+        }
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let data = erdos_renyi(60, 240, 9);
+        let query = cycle(4);
+        let device = Device::new(DeviceConfig::test_small());
+        let mut counts = Vec::new();
+        for s in [
+            IntersectStrategy::Adaptive,
+            IntersectStrategy::CIntersection,
+            IntersectStrategy::PIntersection,
+        ] {
+            let engine =
+                CutsEngine::with_config(&device, EngineConfig::default().with_intersect(s));
+            counts.push(engine.run(&data, &query).unwrap().num_matches);
+        }
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[1], counts[2]);
+    }
+
+    #[test]
+    fn chunking_triggered_and_correct() {
+        // Tiny trie forces the hybrid path; count must be unchanged.
+        let data = erdos_renyi(50, 250, 5);
+        let query = chain(4);
+        let big = Device::new(DeviceConfig::test_small());
+        let expect = CutsEngine::new(&big).run(&data, &query).unwrap();
+        assert!(!expect.used_chunking);
+
+        let small = Device::new(DeviceConfig::test_small().with_global_mem_words(2048));
+        let engine = CutsEngine::with_config(
+            &small,
+            EngineConfig::default().with_chunk_size(8).with_trie_fraction(0.9),
+        );
+        let got = engine.run(&data, &query).unwrap();
+        assert!(got.used_chunking, "expected hybrid fallback");
+        assert_eq!(got.num_matches, expect.num_matches);
+        assert_eq!(got.level_counts, expect.level_counts);
+    }
+
+    #[test]
+    fn enumeration_yields_valid_embeddings() {
+        let data = mesh2d(3, 3);
+        let query = cycle(4);
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let mut seen = Vec::new();
+        let r = engine
+            .run_enumerate(&data, &query, &mut |m| seen.push(m.to_vec()))
+            .unwrap();
+        assert_eq!(seen.len() as u64, r.num_matches);
+        for m in &seen {
+            // Injective.
+            let mut s = m.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), m.len());
+            // Edge-preserving.
+            for (u, v) in query.edges() {
+                assert!(data.has_edge(m[u as usize], m[v as usize]));
+            }
+        }
+        // 4-cycles in a 3x3 mesh: 4 squares × 8 automorphic orderings.
+        assert_eq!(r.num_matches, 32);
+    }
+
+    #[test]
+    fn enumeration_consistent_under_chunking() {
+        let data = erdos_renyi(40, 160, 11);
+        let query = chain(4);
+        let big = Device::new(DeviceConfig::test_small());
+        let mut a = Vec::new();
+        CutsEngine::new(&big)
+            .run_enumerate(&data, &query, &mut |m| a.push(m.to_vec()))
+            .unwrap();
+        let small = Device::new(DeviceConfig::test_small().with_global_mem_words(2048));
+        let mut b = Vec::new();
+        CutsEngine::with_config(&small, EngineConfig::default().with_chunk_size(4))
+            .run_enumerate(&data, &query, &mut |m| b.push(m.to_vec()))
+            .unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_match_is_zero() {
+        // K5 cannot embed in a mesh (max degree 4 < 4 required... actually
+        // K5 needs degree 4; mesh interior has 4). Use K6: needs degree 5.
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let r = engine.run(&mesh2d(4, 4), &clique(6)).unwrap();
+        assert_eq!(r.num_matches, 0);
+    }
+
+    #[test]
+    fn single_vertex_query() {
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let g = Graph::undirected(5, &[(0, 1), (1, 2)]);
+        let q = Graph::undirected(1, &[]);
+        // Every vertex matches a degree-0 query vertex.
+        let r = engine.run(&g, &q).unwrap();
+        assert_eq!(r.num_matches, 5);
+    }
+
+    #[test]
+    fn disconnected_query_composition() {
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let data = clique(4);
+        // Two disjoint edges as query: each edge has 12 embeddings in K4;
+        // paper semantics: cross product = 144.
+        let q = Graph::undirected(4, &[(0, 1), (2, 3)]);
+        assert_eq!(engine.run_disconnected(&data, &q).unwrap(), 144);
+        // Connected query passes straight through.
+        assert_eq!(engine.run_disconnected(&data, &clique(3)).unwrap(), 24);
+    }
+
+    #[test]
+    fn randomization_does_not_change_counts() {
+        let data = erdos_renyi(50, 200, 21);
+        let query = clique(3);
+        let device = Device::new(DeviceConfig::test_small());
+        let on = CutsEngine::with_config(
+            &device,
+            EngineConfig::default().with_randomize_placement(true),
+        )
+        .run(&data, &query)
+        .unwrap();
+        let off = CutsEngine::with_config(
+            &device,
+            EngineConfig::default().with_randomize_placement(false),
+        )
+        .run(&data, &query)
+        .unwrap();
+        assert_eq!(on.num_matches, off.num_matches);
+    }
+
+    #[test]
+    fn capacity_exhausted_when_hopeless() {
+        // Device so small even chunk size 1 cannot expand.
+        let device = Device::new(DeviceConfig::test_small().with_global_mem_words(40));
+        let engine = CutsEngine::new(&device);
+        let data = clique(8);
+        let err = engine.run(&data, &clique(4));
+        match err {
+            Err(EngineError::CapacityExhausted { .. }) | Err(EngineError::Device(_)) => {}
+            other => panic!("expected capacity failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_runs_partition_the_count() {
+        // Splitting the root-candidate set across seeded runs must
+        // partition the total count (the §4.2 distribution invariant).
+        let data = erdos_renyi(40, 160, 2);
+        let query = clique(3);
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let full = engine.run(&data, &query).unwrap();
+
+        let plan = crate::order::MatchOrder::compute(&query).unwrap();
+        let roots: Vec<Vec<u32>> = (0..data.num_vertices() as u32)
+            .filter(|&v| data.degree_dominates(v, plan.q_out[0], plan.q_in[0]))
+            .map(|v| vec![v])
+            .collect();
+        assert_eq!(roots.len() as u64, full.level_counts[0]);
+        let mid = roots.len() / 2;
+        let a = cuts_trie::HostTrie::from_flat_paths(&roots[..mid]);
+        let b = cuts_trie::HostTrie::from_flat_paths(&roots[mid..]);
+        let ca = engine.run_from_trie(&data, &query, &a).unwrap();
+        let cb = engine.run_from_trie(&data, &query, &b).unwrap();
+        assert_eq!(ca.num_matches + cb.num_matches, full.num_matches);
+    }
+
+    #[test]
+    fn seeded_run_with_deeper_paths() {
+        // Seed with depth-2 partial paths extracted from a real run and
+        // re-rooted; completion count must match.
+        let data = mesh2d(3, 3);
+        let query = chain(4);
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let full = engine.run(&data, &query).unwrap();
+        // Rebuild depth-2 frontier on the host via a fresh partial "run":
+        // simplest faithful source is the reference of all depth-2 paths,
+        // i.e. (root candidate, extension) pairs the engine itself found.
+        // Use a 2-vertex prefix query matching the first two order slots.
+        let plan = crate::order::MatchOrder::compute(&query).unwrap();
+        let mut prefix_paths = Vec::new();
+        for v in 0..data.num_vertices() as u32 {
+            if !data.degree_dominates(v, plan.q_out[0], plan.q_in[0]) {
+                continue;
+            }
+            for &w in data.out_neighbors(v) {
+                if data.degree_dominates(w, plan.q_out[1], plan.q_in[1]) && w != v {
+                    prefix_paths.push(vec![v, w]);
+                }
+            }
+        }
+        let seed = cuts_trie::HostTrie::from_flat_paths(&prefix_paths);
+        let seeded = engine.run_from_trie(&data, &query, &seed).unwrap();
+        assert_eq!(seeded.num_matches, full.num_matches);
+        assert_eq!(seeded.level_counts, full.level_counts);
+    }
+
+    #[test]
+    fn expand_seed_once_matches_full_run_levels() {
+        let data = erdos_renyi(40, 160, 2);
+        let query = clique(3);
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let full = engine.run(&data, &query).unwrap();
+        // Seed with all roots, expand once: level-2 count must match.
+        let plan = crate::order::MatchOrder::compute(&query).unwrap();
+        let roots: Vec<Vec<u32>> = (0..data.num_vertices() as u32)
+            .filter(|&v| data.degree_dominates(v, plan.q_out[0], plan.q_in[0]))
+            .map(|v| vec![v])
+            .collect();
+        let seed = cuts_trie::HostTrie::from_flat_paths(&roots);
+        let expanded = engine.expand_seed_once(&data, &query, &seed).unwrap();
+        assert_eq!(expanded.levels.len(), 2);
+        assert_eq!(
+            expanded.levels[1].len() as u64,
+            full.level_counts[1],
+            "one-level expansion disagrees with the full run"
+        );
+        // Completing the expanded seed reproduces the full count.
+        let done = engine.run_from_trie(&data, &query, &expanded).unwrap();
+        assert_eq!(done.num_matches, full.num_matches);
+    }
+
+    #[test]
+    fn directed_semantics() {
+        // Directed triangle query in a directed 6-cycle: none.
+        let data = Graph::directed(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let tri = Graph::directed(3, &[(0, 1), (1, 2), (2, 0)]);
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        assert_eq!(engine.run(&data, &tri).unwrap().num_matches, 0);
+        // Directed 3-cycle data: 3 rotations match.
+        let d3 = Graph::directed(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(engine.run(&d3, &tri).unwrap().num_matches, 3);
+    }
+}

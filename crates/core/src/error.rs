@@ -1,0 +1,63 @@
+//! Engine errors.
+
+use cuts_gpu_sim::DeviceError;
+
+/// Failures of a matching run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Device allocation or capacity failure — the paper's "-" entries.
+    Device(DeviceError),
+    /// The query has no vertices.
+    EmptyQuery,
+    /// The query is not (weakly) connected; split into components first
+    /// (§4 gives the composition rule, implemented by
+    /// [`crate::engine::CutsEngine::run_disconnected`]).
+    DisconnectedQuery,
+    /// Even a single partial path's expansion cannot fit in the remaining
+    /// trie space: the instance is genuinely too large for this device.
+    CapacityExhausted {
+        /// Query depth reached before giving up.
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Device(e) => write!(f, "device error: {e}"),
+            EngineError::EmptyQuery => write!(f, "query graph has no vertices"),
+            EngineError::DisconnectedQuery => {
+                write!(f, "query graph is disconnected; split components first")
+            }
+            EngineError::CapacityExhausted { depth } => {
+                write!(f, "trie capacity exhausted at depth {depth} even with chunk size 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DeviceError> for EngineError {
+    fn from(e: DeviceError) -> Self {
+        EngineError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: EngineError = DeviceError::OutOfMemory {
+            requested: 1,
+            available: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("device error"));
+        assert!(EngineError::CapacityExhausted { depth: 3 }
+            .to_string()
+            .contains("depth 3"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Intersection micro-kernels (§4.1.3, Algorithm 2).
+//!
+//! Three strategies intersect the adjacency lists of the already-matched
+//! neighbours of the query vertex being extended:
+//!
+//! * [`ScatterScratch::scatter_vector`] — the SpGEMM-style scatter-vector:
+//!   O(χ·δ) time but O(|V|) scratch *per worker*, which the paper rules
+//!   out on device; kept as the CPU reference and ablation baseline.
+//! * [`c_intersection`] — stream each subsequent list against a shared-
+//!   memory buffer holding the running intersection.
+//! * [`p_intersection`] — keep only the first list and verify each of its
+//!   candidates against the remaining constraints by probing their sorted
+//!   adjacency. (Probing `v ∈ children(a_k)` is exactly the paper's
+//!   "parent set of `v` includes `a_k`" check, expressed on the same CSR.)
+//!
+//! [`choose`] implements the adaptive selection the paper alludes to: pick
+//! whichever of c/p moves fewer words for the lists at hand.
+//!
+//! All kernels are instrumented: they charge DRAM/shared traffic and the
+//! masked-lane idle slots implied by the virtual-warp width, which is how
+//! the thread-idling claims of §4.1.2 become measurable.
+
+use cuts_gpu_sim::BlockCounters;
+use cuts_graph::{Graph, VertexId};
+
+use crate::order::Dir;
+
+/// Adjacency list that constrains the next candidate: neighbours of the
+/// already-matched data vertex in the direction the query edge demands.
+#[inline]
+pub fn constraint_list(g: &Graph, matched: VertexId, dir: Dir) -> &[VertexId] {
+    match dir {
+        Dir::In => g.in_neighbors(matched),
+        Dir::Out => g.out_neighbors(matched),
+    }
+}
+
+/// Ceil-log2 with a floor of 1 (binary-search probe cost in words).
+#[inline]
+fn probe_cost(len: usize) -> usize {
+    usize::BITS as usize - len.max(2).leading_zeros() as usize
+}
+
+/// Charges the masked-lane idle slots of processing `len` elements with a
+/// virtual warp of `width` lanes: lanes in the final, partially-filled
+/// group execute predicated no-ops.
+#[inline]
+fn charge_idle(ctr: &mut BlockCounters, len: usize, width: usize) {
+    let slots = len.div_ceil(width.max(1)) * width;
+    let idle = slots - len;
+    if idle > 0 {
+        ctr.alu(idle);
+        ctr.diverge();
+    }
+}
+
+/// c-intersection (Algorithm 2, lines 19-31). `lists` must be sorted;
+/// the result in `out` is sorted. Empty `lists` yields an empty result.
+pub fn c_intersection(
+    lists: &[&[VertexId]],
+    vwarp: usize,
+    ctr: &mut BlockCounters,
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    let Some((first, rest)) = lists.split_first() else {
+        return;
+    };
+    // Warp loads children of a1 into the shared buffer, coalesced.
+    ctr.dram_read_coalesced(first.len());
+    ctr.shmem_write(first.len());
+    charge_idle(ctr, first.len(), vwarp);
+    out.extend_from_slice(first);
+    let mut tmp: Vec<VertexId> = Vec::with_capacity(out.len());
+    for list in rest {
+        if out.is_empty() {
+            return;
+        }
+        // Lanes load this constraint's children to registers, coalesced,
+        // then probe the shared buffer.
+        ctr.dram_read_coalesced(list.len());
+        charge_idle(ctr, list.len(), vwarp);
+        tmp.clear();
+        for &v in *list {
+            ctr.shmem_read(probe_cost(out.len()));
+            if out.binary_search(&v).is_ok() {
+                tmp.push(v);
+            }
+        }
+        // interset2 replaces interset1 in shared memory.
+        ctr.shmem_write(tmp.len());
+        std::mem::swap(out, &mut tmp);
+    }
+}
+
+/// p-intersection (Algorithm 2, lines 33-42). `lists` must be sorted; the
+/// result is sorted (subsequence of the first list).
+pub fn p_intersection(
+    lists: &[&[VertexId]],
+    vwarp: usize,
+    ctr: &mut BlockCounters,
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    let Some((first, rest)) = lists.split_first() else {
+        return;
+    };
+    ctr.dram_read_coalesced(first.len());
+    charge_idle(ctr, first.len(), vwarp);
+    'cand: for &v in *first {
+        for list in rest {
+            // Binary probe into the constraint's adjacency in global
+            // memory: uncoalesced, log(len) words touched.
+            ctr.dram_read_random(probe_cost(list.len()));
+            if list.binary_search(&v).is_err() {
+                continue 'cand;
+            }
+        }
+        out.push(v);
+    }
+    ctr.shmem_write(out.len());
+}
+
+/// Micro-kernel choice for one partial path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Stream-and-probe against the shared buffer.
+    C,
+    /// Probe-first-list against the other adjacencies.
+    P,
+}
+
+/// Adaptive selection: estimated words moved by each method; the paper's
+/// "we adaptively choose the intersection method, which enables higher
+/// performance".
+pub fn choose(lists: &[&[VertexId]]) -> Method {
+    if lists.len() <= 1 {
+        return Method::C;
+    }
+    // Subgraph isomorphism is memory-bound (§6), so compare DRAM words
+    // only: both methods stream the first list; beyond that, c streams
+    // every other list once (its membership probes hit shared memory,
+    // which the roofline prices far cheaper), while p issues log-cost
+    // random probes into global memory per buffered candidate.
+    let first = lists[0].len();
+    let cost_c: usize = lists[1..].iter().map(|l| l.len()).sum();
+    let cost_p = first
+        * lists[1..]
+            .iter()
+            .map(|l| probe_cost(l.len()))
+            .sum::<usize>();
+    if cost_p < cost_c {
+        Method::P
+    } else {
+        Method::C
+    }
+}
+
+/// O(|V|)-scratch scatter-vector intersection (Algorithm 2, lines 7-17).
+/// The scratch is reusable across calls via epoch tagging, so repeated use
+/// costs O(χ·δ), not O(|V|).
+pub struct ScatterScratch {
+    mark: Vec<u32>,
+    count: Vec<u32>,
+    epoch: u32,
+}
+
+impl ScatterScratch {
+    /// Scratch for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ScatterScratch {
+            mark: vec![0; n],
+            count: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Intersects sorted `lists`; result sorted. Charges counters like a
+    /// single-thread device worker (the paper's point is that parallel
+    /// workers would each need their own O(|V|) scratch).
+    pub fn scatter_vector(
+        &mut self,
+        lists: &[&[VertexId]],
+        ctr: &mut BlockCounters,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.clear();
+        let Some((first, _)) = lists.split_first() else {
+            return;
+        };
+        self.epoch += 1;
+        let chi = lists.len() as u32;
+        for list in lists {
+            ctr.dram_read_coalesced(list.len());
+            for &v in *list {
+                if self.mark[v as usize] != self.epoch {
+                    self.mark[v as usize] = self.epoch;
+                    self.count[v as usize] = 0;
+                }
+                self.count[v as usize] += 1;
+                ctr.alu(2);
+            }
+        }
+        // Collect from the first list (a superset of the intersection).
+        for &v in *first {
+            ctr.alu(1);
+            if self.mark[v as usize] == self.epoch && self.count[v as usize] == chi {
+                out.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_intersection(lists: &[&[u32]]) -> Vec<u32> {
+        let Some((first, rest)) = lists.split_first() else {
+            return Vec::new();
+        };
+        first
+            .iter()
+            .copied()
+            .filter(|v| rest.iter().all(|l| l.contains(v)))
+            .collect()
+    }
+
+    fn all_methods(lists: &[&[u32]]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let mut ctr = BlockCounters::default();
+        let (mut c, mut p, mut s) = (Vec::new(), Vec::new(), Vec::new());
+        c_intersection(lists, 4, &mut ctr, &mut c);
+        p_intersection(lists, 4, &mut ctr, &mut p);
+        ScatterScratch::new(1000).scatter_vector(lists, &mut ctr, &mut s);
+        (c, p, s)
+    }
+
+    #[test]
+    fn methods_agree_on_examples() {
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1, 3, 5, 7], vec![2, 3, 5, 8], vec![3, 5, 9]],
+            vec![vec![1, 2, 3]],
+            vec![vec![], vec![1, 2]],
+            vec![vec![1, 2], vec![]],
+            vec![vec![1, 2, 3], vec![4, 5, 6]],
+            vec![vec![0, 999], vec![0, 999], vec![0, 999]],
+        ];
+        for case in cases {
+            let lists: Vec<&[u32]> = case.iter().map(|v| v.as_slice()).collect();
+            let want = naive_intersection(&lists);
+            let (c, p, s) = all_methods(&lists);
+            assert_eq!(c, want, "c-intersection {case:?}");
+            assert_eq!(p, want, "p-intersection {case:?}");
+            assert_eq!(s, want, "scatter-vector {case:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (c, p, s) = all_methods(&[]);
+        assert!(c.is_empty() && p.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn results_stay_sorted() {
+        let a: Vec<u32> = (0..100).step_by(3).collect();
+        let b: Vec<u32> = (0..100).step_by(2).collect();
+        let (c, p, s) = all_methods(&[&a, &b]);
+        for r in [&c, &p, &s] {
+            assert!(r.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(c, (0..100).step_by(6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn adaptive_prefers_p_for_tiny_buffer() {
+        let small: Vec<u32> = vec![5];
+        let huge: Vec<u32> = (0..10_000).collect();
+        assert_eq!(choose(&[&small, &huge]), Method::P);
+        // Similar sizes: streaming wins.
+        let a: Vec<u32> = (0..32).collect();
+        let b: Vec<u32> = (0..32).collect();
+        assert_eq!(choose(&[&a, &b]), Method::C);
+        assert_eq!(choose(&[&a]), Method::C);
+    }
+
+    #[test]
+    fn wide_warps_charge_more_idle() {
+        let a: Vec<u32> = (0..3).collect(); // list shorter than a warp
+        let b: Vec<u32> = (0..3).collect();
+        let mut narrow = BlockCounters::default();
+        let mut wide = BlockCounters::default();
+        let mut out = Vec::new();
+        c_intersection(&[&a, &b], 2, &mut narrow, &mut out);
+        c_intersection(&[&a, &b], 32, &mut wide, &mut out);
+        assert!(
+            wide.c.instructions > narrow.c.instructions,
+            "32-wide {} vs 2-wide {}",
+            wide.c.instructions,
+            narrow.c.instructions
+        );
+    }
+
+    #[test]
+    fn scatter_scratch_reusable_across_epochs() {
+        let mut s = ScatterScratch::new(10);
+        let mut ctr = BlockCounters::default();
+        let mut out = Vec::new();
+        s.scatter_vector(&[&[1, 2, 3], &[2, 3]], &mut ctr, &mut out);
+        assert_eq!(out, vec![2, 3]);
+        // Second call must not see stale counts.
+        s.scatter_vector(&[&[2, 4], &[4]], &mut ctr, &mut out);
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn constraint_list_direction() {
+        let g = Graph::directed(3, &[(0, 1), (2, 1)]);
+        assert_eq!(constraint_list(&g, 0, Dir::Out), &[1]);
+        assert_eq!(constraint_list(&g, 1, Dir::In), &[0, 2]);
+        assert_eq!(constraint_list(&g, 1, Dir::Out), &[] as &[u32]);
+    }
+
+    use cuts_graph::Graph;
+}

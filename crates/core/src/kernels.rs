@@ -1,0 +1,311 @@
+//! The two device kernels: level-0 candidate filtering and the search
+//! kernel of Algorithm 1.
+
+use std::ops::Range;
+
+use cuts_gpu_sim::{Device, DeviceError};
+use cuts_graph::{Graph, VertexId};
+use cuts_trie::{Trie, NO_PARENT};
+
+use crate::config::IntersectStrategy;
+use crate::intersect::{c_intersection, choose, constraint_list, p_intersection, Method};
+use crate::order::{label_ok, MatchOrder};
+
+/// Level-0 kernel: scan all data vertices and keep those passing the
+/// Definition 5 degree filter for the root query vertex (Algorithm 1,
+/// lines 8-11). Appends `(NO_PARENT, v)` entries to the trie.
+pub fn init_candidates(
+    device: &Device,
+    data: &Graph,
+    plan: &MatchOrder,
+    trie: &Trie,
+    max_blocks: usize,
+) -> Result<(), DeviceError> {
+    let n = data.num_vertices();
+    let q_out = plan.q_out[0];
+    let q_in = plan.q_in[0];
+    let q_label = plan.q_label[0];
+    let blocks = max_blocks.min(n).max(1);
+    device.launch(blocks, |ctx| {
+        let mut local: Vec<VertexId> = Vec::new();
+        let mut v = ctx.block_id;
+        while v < n {
+            // Degree test reads two CSR offset words per side.
+            ctx.counters.dram_read_coalesced(2);
+            ctx.counters.alu(2);
+            if data.degree_dominates(v as VertexId, q_out, q_in)
+                && label_ok(data, v as VertexId, q_label)
+            {
+                local.push(v as VertexId);
+            }
+            v += ctx.num_blocks;
+        }
+        if !local.is_empty() {
+            // One atomic claims the block's whole output range.
+            ctx.counters.atomic();
+            let r = trie.table().reserve(local.len())?;
+            for (i, &c) in local.iter().enumerate() {
+                r.write(i, NO_PARENT, c);
+            }
+            ctx.counters.dram_write(2 * local.len());
+        }
+        Ok(())
+    })
+}
+
+/// Parameters of one search-kernel launch.
+pub struct ExpandParams<'a> {
+    /// Data graph.
+    pub data: &'a Graph,
+    /// Matching plan.
+    pub plan: &'a MatchOrder,
+    /// Query position being matched (`1 ..= |V_Q| - 1`).
+    pub pos: usize,
+    /// Virtual warp width.
+    pub vwarp: usize,
+    /// Intersection strategy.
+    pub strategy: IntersectStrategy,
+    /// Optional randomised placement: a permutation of the frontier's
+    /// absolute entry indices (§4.1.2 load-balance randomisation).
+    pub placement: Option<&'a [u32]>,
+    /// Grid-size cap.
+    pub max_blocks: usize,
+}
+
+/// The search kernel (Algorithm 1, lines 15-35): extends every partial
+/// path in `frontier` by one query vertex, appending surviving children to
+/// the trie. Fails with [`DeviceError::BufferOverflow`] when the trie
+/// fills; the caller rolls back and switches to chunked processing.
+pub fn expand_range(
+    device: &Device,
+    trie: &Trie,
+    frontier: Range<usize>,
+    p: &ExpandParams<'_>,
+) -> Result<(), DeviceError> {
+    debug_assert!(p.pos >= 1 && p.pos < p.plan.len());
+    let back = &p.plan.back_edges[p.pos];
+    debug_assert!(!back.is_empty(), "connected order guarantees a constraint");
+    let q_out = p.plan.q_out[p.pos];
+    let q_in = p.plan.q_in[p.pos];
+    let q_label = p.plan.q_label[p.pos];
+    let total = frontier.len();
+    let blocks = p.max_blocks.min(total).max(1);
+
+    device.launch(blocks, |ctx| {
+        // Workhorse scratch, reused across this block's paths.
+        let mut path: Vec<VertexId> = Vec::with_capacity(p.pos);
+        let mut lists: Vec<&[VertexId]> = Vec::with_capacity(back.len());
+        let mut cands: Vec<VertexId> = Vec::new();
+        let mut keep: Vec<VertexId> = Vec::new();
+
+        let mut i = ctx.block_id;
+        while i < total {
+            let entry = match p.placement {
+                Some(perm) => perm[i] as usize,
+                None => frontier.start + i,
+            };
+
+            // Walk the parent chain once, caching the path in shared
+            // memory (two random words per ancestor: PA + CA).
+            path.clear();
+            let mut e = entry as u32;
+            for _ in 0..p.pos {
+                ctx.counters.dram_read_random(2);
+                path.push(trie.candidate(e as usize));
+                e = trie.parent(e as usize);
+            }
+            path.reverse(); // path[l] = data vertex matched at depth l
+            debug_assert_eq!(e, NO_PARENT);
+            ctx.counters.shmem_write(p.pos);
+
+            // Resolve constraint adjacency lists; smallest first keeps the
+            // running buffer minimal for either micro-kernel.
+            lists.clear();
+            for be in back {
+                lists.push(constraint_list(p.data, path[be.pos], be.dir));
+            }
+            lists.sort_unstable_by_key(|l| l.len());
+            ctx.counters.alu(back.len());
+
+            let method = match p.strategy {
+                IntersectStrategy::Adaptive => choose(&lists),
+                IntersectStrategy::CIntersection => Method::C,
+                IntersectStrategy::PIntersection => Method::P,
+            };
+            match method {
+                Method::C => c_intersection(&lists, p.vwarp, &mut ctx.counters, &mut cands),
+                Method::P => p_intersection(&lists, p.vwarp, &mut ctx.counters, &mut cands),
+            }
+
+            // Degree filter + injectivity against the cached path.
+            keep.clear();
+            for &c in &cands {
+                ctx.counters.dram_read_coalesced(2);
+                ctx.counters.alu(2);
+                if !p.data.degree_dominates(c, q_out, q_in) {
+                    continue;
+                }
+                if q_label.is_some() {
+                    ctx.counters.dram_read_random(1);
+                    if !label_ok(p.data, c, q_label) {
+                        continue;
+                    }
+                }
+                ctx.counters.shmem_read(p.pos);
+                if path.contains(&c) {
+                    continue;
+                }
+                keep.push(c);
+            }
+
+            if !keep.is_empty() {
+                // One atomic finds the write location for this path's
+                // children (§4.1.1).
+                ctx.counters.atomic();
+                let r = trie.table().reserve(keep.len())?;
+                for (k, &c) in keep.iter().enumerate() {
+                    r.write(k, entry as u32, c);
+                }
+                ctx.counters.dram_write(2 * keep.len());
+            }
+
+            i += ctx.num_blocks;
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VirtualWarpPolicy;
+    use cuts_gpu_sim::DeviceConfig;
+    use cuts_graph::generators::{chain, clique, mesh2d};
+
+    fn setup(_data: &Graph, query: &Graph) -> (Device, MatchOrder) {
+        let device = Device::new(DeviceConfig::test_small());
+        let plan = MatchOrder::compute(query).unwrap();
+        (device, plan)
+    }
+
+    #[test]
+    fn init_candidates_mesh_chain() {
+        // Figure 2: chain query on 4x4 mesh — every mesh vertex has degree
+        // >= 1 (chain root is an interior vertex with degree 2); mesh has
+        // 4 corner vertices of degree 2 and others >= 2, so all 16 pass.
+        let data = mesh2d(4, 4);
+        let query = chain(4);
+        let (device, plan) = setup(&data, &query);
+        let mut trie = Trie::on_device(&device, 4096).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 8).unwrap();
+        let lvl = trie.seal_level();
+        assert_eq!(lvl.len(), 16);
+        let c = device.counters();
+        assert!(c.dram_reads >= 32); // 2 words per vertex
+        assert!(c.atomics >= 1);
+    }
+
+    #[test]
+    fn expand_counts_figure2() {
+        // Figure 2(C): 16 candidates at depth 1, 48 at depth 2 (one per
+        // arc), 96 at depth 3, 192 at depth 4 — for the chain query with
+        // injectivity *not* pruning on a mesh of this size? The paper's
+        // counts allow revisits only forbidden for repeated vertices; our
+        // injective counts at depth 3 exclude going back, giving 96 - 16
+        // ... measured against the reference matcher in engine tests. Here
+        // we check depth 2 = 48 exactly (no pruning possible yet).
+        let data = mesh2d(4, 4);
+        let query = chain(4);
+        let (device, plan) = setup(&data, &query);
+        let mut trie = Trie::on_device(&device, 8192).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 8).unwrap();
+        let lvl0 = trie.seal_level();
+        let params = ExpandParams {
+            data: &data,
+            plan: &plan,
+            pos: 1,
+            vwarp: VirtualWarpPolicy::AvgDegree.width(data.avg_out_degree()),
+            strategy: IntersectStrategy::Adaptive,
+            placement: None,
+            max_blocks: 8,
+        };
+        expand_range(&device, &trie, lvl0, &params).unwrap();
+        let lvl1 = trie.seal_level();
+        assert_eq!(lvl1.len(), 48);
+    }
+
+    #[test]
+    fn expand_triangle_on_clique() {
+        // Triangles in K4: 4·3·2 = 24 ordered embeddings.
+        let data = clique(4);
+        let query = clique(3);
+        let (device, plan) = setup(&data, &query);
+        let mut trie = Trie::on_device(&device, 8192).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 4).unwrap();
+        let mut frontier = trie.seal_level();
+        for pos in 1..3 {
+            let params = ExpandParams {
+                data: &data,
+                plan: &plan,
+                pos,
+                vwarp: 4,
+                strategy: IntersectStrategy::CIntersection,
+                placement: None,
+                max_blocks: 4,
+            };
+            expand_range(&device, &trie, frontier, &params).unwrap();
+            frontier = trie.seal_level();
+        }
+        assert_eq!(frontier.len(), 24);
+    }
+
+    #[test]
+    fn overflow_surfaces() {
+        let data = clique(8);
+        let query = clique(3);
+        let (device, plan) = setup(&data, &query);
+        let mut trie = Trie::on_device(&device, 16).unwrap(); // tiny
+        init_candidates(&device, &data, &plan, &trie, 4).unwrap();
+        let lvl0 = trie.seal_level();
+        assert_eq!(lvl0.len(), 8);
+        let params = ExpandParams {
+            data: &data,
+            plan: &plan,
+            pos: 1,
+            vwarp: 8,
+            strategy: IntersectStrategy::Adaptive,
+            placement: None,
+            max_blocks: 2,
+        };
+        let err = expand_range(&device, &trie, lvl0, &params);
+        assert!(matches!(err, Err(DeviceError::BufferOverflow { .. })));
+    }
+
+    #[test]
+    fn placement_permutation_equivalent() {
+        let data = mesh2d(3, 3);
+        let query = chain(3);
+        let (device, plan) = setup(&data, &query);
+        let run = |placement: Option<Vec<u32>>| -> usize {
+            let mut trie = Trie::on_device(&device, 4096).unwrap();
+            init_candidates(&device, &data, &plan, &trie, 4).unwrap();
+            let lvl0 = trie.seal_level();
+            let perm = placement;
+            let params = ExpandParams {
+                data: &data,
+                plan: &plan,
+                pos: 1,
+                vwarp: 4,
+                strategy: IntersectStrategy::Adaptive,
+                placement: perm.as_deref(),
+                max_blocks: 4,
+            };
+            expand_range(&device, &trie, lvl0, &params).unwrap();
+            trie.seal_level().len()
+        };
+        let straight = run(None);
+        let shuffled: Vec<u32> = (0..9u32).rev().collect();
+        let permuted = run(Some(shuffled));
+        assert_eq!(straight, permuted);
+    }
+}

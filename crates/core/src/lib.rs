@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! The cuTS matching engine (§4 of the paper).
+//!
+//! Pipeline: compute a degree-greedy matching [`order`], filter the
+//! level-0 candidate set (Definition 5), then repeatedly extend every
+//! partial path by one query vertex — intersecting the adjacency lists of
+//! its already-matched neighbours with one of the [`intersect`]
+//! micro-kernels — writing results into the PA/CA trie with a single atomic
+//! per path. When the trie cannot hold a full BFS level, the engine falls
+//! back to the hybrid BFS-DFS strategy: the frontier is chunked (default
+//! 512) and each chunk's subtree is explored to completion before its
+//! scratch levels are reclaimed.
+//!
+//! Entry point: [`CutsEngine`]. Semantics: all injective mappings
+//! `f : V_Q → V_D` with every query edge mapped to a data edge (subgraph
+//! isomorphism *search*, Definition 4; non-induced). A sequential CPU
+//! [`reference`] matcher provides ground truth for tests.
+
+pub mod complexity;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod intersect;
+pub mod kernels;
+pub mod order;
+pub mod reference;
+pub mod result;
+
+pub use config::{EngineConfig, IntersectStrategy, VirtualWarpPolicy};
+pub use engine::CutsEngine;
+pub use error::EngineError;
+pub use order::{BackEdge, Dir, MatchOrder, OrderPolicy};
+pub use result::MatchResult;

@@ -1,0 +1,217 @@
+//! Sequential CPU reference matcher (Ullmann-style backtracking).
+//!
+//! Ground truth for the engine: same semantics — injective mappings, every
+//! query edge mapped to a data edge — implemented with none of the machinery
+//! under test. Unlike the engine it also handles disconnected queries with
+//! *global* injectivity (the paper instead composes components by cross
+//! product, which permits overlaps; tests compare like with like).
+
+use cuts_graph::{Graph, VertexId};
+
+/// Counts all embeddings of `query` in `data`.
+pub fn count_embeddings(data: &Graph, query: &Graph) -> u64 {
+    let mut count = 0u64;
+    enumerate_embeddings(data, query, &mut |_| count += 1);
+    count
+}
+
+/// Enumerates all embeddings; `sink` receives a slice indexed by query
+/// vertex id.
+pub fn enumerate_embeddings(data: &Graph, query: &Graph, sink: &mut dyn FnMut(&[u32])) {
+    let nq = query.num_vertices();
+    if nq == 0 {
+        return;
+    }
+    let order = matching_order(query);
+    let mut assign = vec![u32::MAX; nq];
+    let mut used = vec![false; data.num_vertices()];
+    rec(data, query, &order, 0, &mut assign, &mut used, sink);
+}
+
+/// Connected-first, max-degree-greedy order (tolerates disconnection).
+fn matching_order(query: &Graph) -> Vec<VertexId> {
+    let n = query.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        // Prefer unplaced vertices adjacent to the prefix; fall back to the
+        // global max degree (starts each component).
+        let candidate = (0..n as VertexId)
+            .filter(|&v| !placed[v as usize])
+            .max_by_key(|&v| {
+                let connected = query
+                    .out_neighbors(v)
+                    .iter()
+                    .chain(query.in_neighbors(v))
+                    .any(|&w| placed[w as usize]);
+                (connected, query.out_degree(v), std::cmp::Reverse(v))
+            })
+            .expect("vertices remain");
+        placed[candidate as usize] = true;
+        order.push(candidate);
+    }
+    order
+}
+
+fn rec(
+    data: &Graph,
+    query: &Graph,
+    order: &[VertexId],
+    pos: usize,
+    assign: &mut Vec<u32>,
+    used: &mut Vec<bool>,
+    sink: &mut dyn FnMut(&[u32]),
+) {
+    if pos == order.len() {
+        sink(assign);
+        return;
+    }
+    let q = order[pos];
+    let q_out = query.out_degree(q);
+    let q_in = query.in_degree(q);
+
+    // Pick the tightest adjacency constraint among already-matched
+    // neighbours; fall back to scanning every data vertex.
+    let mut best: Option<&[VertexId]> = None;
+    for &w in query.out_neighbors(q) {
+        let m = assign[w as usize];
+        if m != u32::MAX {
+            // Edge (q, w): candidate must point at m, i.e. be an
+            // in-neighbour of m.
+            let list = data.in_neighbors(m);
+            if best.is_none_or(|b| list.len() < b.len()) {
+                best = Some(list);
+            }
+        }
+    }
+    for &w in query.in_neighbors(q) {
+        let m = assign[w as usize];
+        if m != u32::MAX {
+            let list = data.out_neighbors(m);
+            if best.is_none_or(|b| list.len() < b.len()) {
+                best = Some(list);
+            }
+        }
+    }
+
+    let try_candidate = |c: VertexId,
+                         assign: &mut Vec<u32>,
+                         used: &mut Vec<bool>,
+                         sink: &mut dyn FnMut(&[u32])| {
+        if used[c as usize] {
+            return;
+        }
+        if data.out_degree(c) < q_out || data.in_degree(c) < q_in {
+            return;
+        }
+        if !data.label_compatible(c, query, q) {
+            return;
+        }
+        // Every query edge to an already-matched vertex must be present.
+        for &w in query.out_neighbors(q) {
+            let m = assign[w as usize];
+            if m != u32::MAX && !data.has_edge(c, m) {
+                return;
+            }
+        }
+        for &w in query.in_neighbors(q) {
+            let m = assign[w as usize];
+            if m != u32::MAX && !data.has_edge(m, c) {
+                return;
+            }
+        }
+        assign[q as usize] = c;
+        used[c as usize] = true;
+        rec(data, query, order, pos + 1, assign, used, sink);
+        used[c as usize] = false;
+        assign[q as usize] = u32::MAX;
+    };
+
+    match best {
+        Some(list) => {
+            for &c in list {
+                try_candidate(c, assign, used, sink);
+            }
+        }
+        None => {
+            for c in 0..data.num_vertices() as VertexId {
+                try_candidate(c, assign, used, sink);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_graph::canonical::automorphism_count;
+    use cuts_graph::generators::{chain, clique, cycle, mesh2d, star};
+
+    #[test]
+    fn triangles_in_cliques() {
+        // Ordered triangles in K_n: n(n-1)(n-2).
+        assert_eq!(count_embeddings(&clique(4), &clique(3)), 24);
+        assert_eq!(count_embeddings(&clique(5), &clique(3)), 60);
+        // K4 in K5: 5·4·3·2.
+        assert_eq!(count_embeddings(&clique(5), &clique(4)), 120);
+    }
+
+    #[test]
+    fn chains_in_mesh() {
+        // Length-1 chains: every arc = 48 in the 4x4 mesh; automorphism
+        // factor 2 already included (embeddings are ordered).
+        assert_eq!(count_embeddings(&mesh2d(4, 4), &chain(2)), 48);
+    }
+
+    #[test]
+    fn squares_in_mesh() {
+        // 3x3 mesh has 4 unit squares; C4 has 8 automorphisms.
+        assert_eq!(automorphism_count(&cycle(4)), 8);
+        assert_eq!(count_embeddings(&mesh2d(3, 3), &cycle(4)), 32);
+    }
+
+    #[test]
+    fn stars_counted() {
+        // Star K_{1,3} in star K_{1,4}: hub must map to hub: 4·3·2 = 24
+        // leaf arrangements.
+        assert_eq!(count_embeddings(&star(5), &star(4)), 24);
+    }
+
+    #[test]
+    fn disconnected_query_global_injectivity() {
+        // Two disjoint edges in K4, injective: 12 choices for the first
+        // edge × ordered pairs from remaining 2 vertices (2) = 24.
+        let q = Graph::undirected(4, &[(0, 1), (2, 3)]);
+        assert_eq!(count_embeddings(&clique(4), &q), 24);
+    }
+
+    #[test]
+    fn directed_edges_respected() {
+        let data = Graph::directed(3, &[(0, 1), (1, 2)]);
+        let q = Graph::directed(2, &[(0, 1)]);
+        assert_eq!(count_embeddings(&data, &q), 2);
+        let q_rev = Graph::directed(2, &[(1, 0)]);
+        assert_eq!(count_embeddings(&data, &q_rev), 2);
+    }
+
+    #[test]
+    fn enumeration_valid() {
+        let data = mesh2d(3, 3);
+        let q = chain(3);
+        let mut n = 0u64;
+        enumerate_embeddings(&data, &q, &mut |m| {
+            n += 1;
+            for (u, v) in q.edges() {
+                assert!(data.has_edge(m[u as usize], m[v as usize]));
+            }
+        });
+        assert_eq!(n, count_embeddings(&data, &q));
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let data = clique(3);
+        let q = Graph::undirected(0, &[]);
+        assert_eq!(count_embeddings(&data, &q), 0);
+    }
+}

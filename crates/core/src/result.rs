@@ -1,0 +1,64 @@
+//! Run results and statistics.
+
+use cuts_gpu_sim::Counters;
+use cuts_trie::space::LevelCounts;
+
+/// Outcome of a successful matching run.
+#[derive(Debug, Clone)]
+pub struct MatchResult {
+    /// Number of embeddings (injective, edge-preserving mappings) found.
+    pub num_matches: u64,
+    /// Total partial paths per depth (`|P_1| … |P_{|V_Q|}|`), accumulated
+    /// across chunks in hybrid mode — the inputs to the Table 1 space
+    /// accounting.
+    pub level_counts: Vec<u64>,
+    /// Device hardware counters for the run.
+    pub counters: Counters,
+    /// Roofline-model simulated kernel time in milliseconds.
+    pub sim_millis: f64,
+    /// Host wall time of the simulation (measures the simulator, not the
+    /// modelled device; reported for completeness only).
+    pub wall_millis: f64,
+    /// Whether the run had to fall back to hybrid BFS-DFS chunking.
+    pub used_chunking: bool,
+    /// The matching order used (query vertex per depth).
+    pub order: Vec<u32>,
+}
+
+impl MatchResult {
+    /// Space accounting view of the per-depth path counts.
+    pub fn space(&self) -> LevelCounts {
+        LevelCounts(self.level_counts.clone())
+    }
+
+    /// Peak naive-storage words the same run would have needed (Table 1's
+    /// first column for this workload).
+    pub fn naive_words(&self) -> u64 {
+        self.space().naive_words(self.level_counts.len())
+    }
+
+    /// Trie words this run needed.
+    pub fn cuts_words(&self) -> u64 {
+        self.space().cuts_words(self.level_counts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_views() {
+        let r = MatchResult {
+            num_matches: 3,
+            level_counts: vec![4, 3],
+            counters: Counters::default(),
+            sim_millis: 0.0,
+            wall_millis: 0.0,
+            used_chunking: false,
+            order: vec![0, 1],
+        };
+        assert_eq!(r.naive_words(), 4 + 2 * 3);
+        assert_eq!(r.cuts_words(), 2 * (4 + 3));
+    }
+}

@@ -1,0 +1,57 @@
+//! Distributed-run configuration.
+
+use cuts_core::EngineConfig;
+use cuts_gpu_sim::DeviceConfig;
+
+use crate::worker::Partition;
+
+/// Configuration for a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Per-rank device (each node of the paper's cluster has one V100).
+    pub device: DeviceConfig,
+    /// Per-rank engine configuration.
+    pub engine: EngineConfig,
+    /// Paths per job batch — the §4.2 outer chunk granularity.
+    pub dist_chunk: usize,
+    /// Root-candidate partitioning.
+    pub partition: Partition,
+    /// When a peer is idle and the local queue holds a single heavy job,
+    /// expand it one level and re-chunk so part of its subtree can be
+    /// donated (the finer-granularity mid-trie donation of §4.2).
+    pub progressive_deepening: bool,
+    /// Wall-clock pacing factor: after each job, sleep
+    /// `sim_millis × pacing` milliseconds so the host timeline tracks the
+    /// simulated device timeline. 0 disables. Without pacing, host wall
+    /// time (which drives when FREE broadcasts happen) is dominated by
+    /// per-job overhead rather than modelled cost, so the donation
+    /// protocol cannot react to *simulated* stragglers.
+    pub pacing: f64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            device: DeviceConfig::v100_like(),
+            engine: EngineConfig::default(),
+            dist_chunk: 512,
+            partition: Partition::RoundRobin,
+            progressive_deepening: true,
+            pacing: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DistConfig::default();
+        assert_eq!(c.dist_chunk, 512);
+        assert_eq!(c.partition, Partition::RoundRobin);
+        assert!(c.progressive_deepening);
+        assert_eq!(c.pacing, 0.0);
+    }
+}

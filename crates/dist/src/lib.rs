@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Distributed cuTS (§4.2): the first distributed subgraph-isomorphism
+//! runtime for (simulated) GPUs.
+//!
+//! The paper's cluster is N single-V100 nodes over OpenMPI; here each
+//! "node" is an OS thread owning its own simulated [`cuts_gpu_sim::Device`]
+//! (its own memory budget and counters), and [`mpi`] provides the
+//! message-passing substrate: ranked endpoints with tagged, non-blocking
+//! sends over crossbeam channels, per-sender FIFO like MPI point-to-point.
+//!
+//! Work distribution follows Algorithm 3's chunked, fully asynchronous
+//! design: no barrier between levels. Each rank processes its share of
+//! root candidates as a queue of path-batch jobs; between jobs it polls
+//! for `FREE` broadcasts and donates part of its queue to exactly one free
+//! node through the claim/ack [`protocol`] ("only one busy node sends data
+//! to a given free node, and a given busy node only sends data to one free
+//! node"). Donated work travels as a serialised trie
+//! ([`cuts_trie::serial`]), which the receiver integrates and resumes via
+//! [`cuts_core::CutsEngine::run_from_trie`].
+
+pub mod config;
+pub mod metrics;
+pub mod mpi;
+pub mod protocol;
+pub mod runner;
+pub mod sync_runner;
+pub mod worker;
+
+pub use metrics::{DistResult, RankMetrics};
+pub use mpi::{Comm, Message};
+pub use config::DistConfig;
+pub use runner::run_distributed;
+pub use sync_runner::{run_synchronous, SyncResult};
+pub use worker::Partition;

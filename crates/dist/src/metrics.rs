@@ -1,0 +1,100 @@
+//! Per-rank and aggregate metrics for the distributed runs (Figures 4-5).
+
+use cuts_gpu_sim::Counters;
+
+/// Metrics for one rank.
+#[derive(Debug, Clone, Default)]
+pub struct RankMetrics {
+    /// Rank id.
+    pub rank: usize,
+    /// Matches this rank completed (its own partition plus donations).
+    pub matches: u64,
+    /// Simulated device-busy time (roofline ms, summed over jobs) — the
+    /// per-node "T1…T4" bars of Figure 5.
+    pub busy_sim_millis: f64,
+    /// Host wall time spent inside kernels/jobs.
+    pub busy_wall_millis: f64,
+    /// Jobs processed (initial partition chunks + received donations).
+    pub jobs_processed: usize,
+    /// Donations this rank sent (as the busy side of the protocol).
+    pub donations_sent: usize,
+    /// Donations this rank received (as the free side).
+    pub donations_received: usize,
+    /// Messages this rank sent (all tags).
+    pub messages_sent: u64,
+    /// Payload bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Aggregated device counters across all jobs.
+    pub counters: Counters,
+}
+
+/// Outcome of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Total matches across all ranks.
+    pub total_matches: u64,
+    /// Per-rank metrics, indexed by rank.
+    pub per_rank: Vec<RankMetrics>,
+    /// End-to-end wall time of the whole run.
+    pub wall_millis: f64,
+}
+
+impl DistResult {
+    /// Slowest rank's simulated busy time — the distributed makespan that
+    /// Figure 4 speedups are computed from.
+    pub fn makespan_sim_millis(&self) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.busy_sim_millis)
+            .fold(0.0, f64::max)
+    }
+
+    /// Load-balance ratio: min/max busy time over ranks (1.0 = perfect,
+    /// the Figure 5 claim is that this stays high).
+    pub fn balance_ratio(&self) -> f64 {
+        let max = self.makespan_sim_millis();
+        if max == 0.0 {
+            return 1.0;
+        }
+        let min = self
+            .per_rank
+            .iter()
+            .map(|r| r.busy_sim_millis)
+            .fold(f64::INFINITY, f64::min);
+        min / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rk(rank: usize, busy: f64) -> RankMetrics {
+        RankMetrics {
+            rank,
+            busy_sim_millis: busy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn makespan_and_balance() {
+        let r = DistResult {
+            total_matches: 0,
+            per_rank: vec![rk(0, 10.0), rk(1, 8.0), rk(2, 9.0)],
+            wall_millis: 0.0,
+        };
+        assert!((r.makespan_sim_millis() - 10.0).abs() < 1e-12);
+        assert!((r.balance_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_zero_load() {
+        let r = DistResult {
+            total_matches: 0,
+            per_rank: vec![rk(0, 0.0)],
+            wall_millis: 0.0,
+        };
+        assert_eq!(r.balance_ratio(), 1.0);
+    }
+}

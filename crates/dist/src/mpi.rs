@@ -1,0 +1,187 @@
+//! Simulated MPI: ranked endpoints, tagged non-blocking point-to-point
+//! messages, broadcast, probe — the subset §4.2's "mini asynchronous
+//! protocol built on top of the MPI framework" needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Rank identifier.
+pub type Rank = usize;
+
+/// A tagged message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub from: Rank,
+    /// Application tag.
+    pub tag: u32,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+/// Per-rank traffic statistics.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+impl CommStats {
+    /// Messages sent by this rank.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent by this rank.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// One rank's communicator endpoint.
+pub struct Comm {
+    rank: Rank,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    stats: Arc<CommStats>,
+}
+
+impl Comm {
+    /// Creates a fully-connected universe of `n` ranks.
+    pub fn universe(n: usize) -> Vec<Comm> {
+        assert!(n >= 1);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Comm {
+                rank,
+                senders: senders.clone(),
+                receiver,
+                stats: Arc::new(CommStats::default()),
+            })
+            .collect()
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Universe size.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Traffic statistics handle.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Non-blocking tagged send (`MPI_Isend` with guaranteed buffering).
+    pub fn send(&self, to: Rank, tag: u32, payload: Bytes) {
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        // A send to a finished (dropped) rank is discarded, like an MPI
+        // process that has left the communicator after consensus.
+        let _ = self.senders[to].send(Message {
+            from: self.rank,
+            tag,
+            payload,
+        });
+    }
+
+    /// Sends to every other rank (the §4.2 "broadcasts a message to all
+    /// other nodes").
+    pub fn broadcast_others(&self, tag: u32, payload: Bytes) {
+        for to in 0..self.size() {
+            if to != self.rank {
+                self.send(to, tag, payload.clone());
+            }
+        }
+    }
+
+    /// Non-blocking probe+receive (`MPI_Iprobe` + `MPI_Recv`).
+    pub fn try_recv(&self) -> Option<Message> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive with timeout (idle-node wait loop).
+    pub fn recv_timeout(&self, d: Duration) -> Option<Message> {
+        self.receiver.recv_timeout(d).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_fifo_per_sender() {
+        let mut u = Comm::universe(2);
+        let b = u.pop().unwrap();
+        let a = u.pop().unwrap();
+        for i in 0..10u32 {
+            a.send(1, i, Bytes::new());
+        }
+        for i in 0..10u32 {
+            let m = b.try_recv().unwrap();
+            assert_eq!(m.tag, i);
+            assert_eq!(m.from, 0);
+        }
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_but_self() {
+        let u = Comm::universe(3);
+        u[0].broadcast_others(7, Bytes::from_static(b"x"));
+        assert!(u[0].try_recv().is_none());
+        assert_eq!(u[1].try_recv().unwrap().tag, 7);
+        assert_eq!(u[2].try_recv().unwrap().tag, 7);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let u = Comm::universe(2);
+        u[0].send(1, 1, Bytes::from_static(b"abcd"));
+        u[0].send(1, 2, Bytes::from_static(b"ef"));
+        assert_eq!(u[0].stats().messages_sent(), 2);
+        assert_eq!(u[0].stats().bytes_sent(), 6);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut u = Comm::universe(2);
+        let b = u.pop().unwrap();
+        let a = u.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                a.send(1, 42, Bytes::from_static(b"hello"));
+            });
+            let m = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.tag, 42);
+            assert_eq!(&m.payload[..], b"hello");
+        });
+    }
+
+    #[test]
+    fn send_to_dropped_rank_is_discarded() {
+        let mut u = Comm::universe(2);
+        let _b = u.pop(); // rank 1 endpoint dropped
+        let a = u.pop().unwrap();
+        a.send(1, 1, Bytes::new()); // must not panic
+    }
+}

@@ -1,0 +1,194 @@
+//! The asynchronous work-donation protocol of §4.2.
+//!
+//! States and messages: a rank that drains its job queue broadcasts
+//! [`tag::FREE`] and enters the idle loop. A busy rank holding spare jobs
+//! that learns of a free peer sends [`tag::CLAIM`]; the free peer grants
+//! the *first* claim with [`tag::ACK`] (broadcasting [`tag::BUSY`] so no
+//! one else targets it) and refuses the rest with [`tag::NACK`]. The
+//! granted claimant ships a [`tag::WORK`] payload — serialised tries —
+//! and both continue. The pairing rules of the paper fall out: a free node
+//! grants one claimant, and a claimant blocks on its single outstanding
+//! claim. Termination: a free rank exits once every peer is marked free —
+//! a claim can only be in flight from a rank that has not broadcast FREE,
+//! so no work is ever dropped.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cuts_trie::serial::{decode_trie, encode_trie, WireError};
+use cuts_trie::HostTrie;
+
+/// Message tags.
+pub mod tag {
+    /// "I have finished all my work."
+    pub const FREE: u32 = 1;
+    /// "I have work again" (sent when a free rank accepts a claim).
+    pub const BUSY: u32 = 2;
+    /// "May I send you part of my queue?"
+    pub const CLAIM: u32 = 3;
+    /// Claim granted.
+    pub const ACK: u32 = 4;
+    /// Claim refused (already granted to someone else / no longer free).
+    pub const NACK: u32 = 5;
+    /// Donated work: a [`super::WorkPayload`].
+    pub const WORK: u32 = 6;
+}
+
+/// Peer status as tracked from FREE/BUSY broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Processing or holding work.
+    Busy,
+    /// Announced an empty queue.
+    Free,
+}
+
+/// Status vector over all ranks.
+#[derive(Debug, Clone)]
+pub struct StatusBoard {
+    status: Vec<Status>,
+    me: usize,
+}
+
+impl StatusBoard {
+    /// All ranks start busy (everyone owns an initial partition).
+    pub fn new(size: usize, me: usize) -> Self {
+        StatusBoard {
+            status: vec![Status::Busy; size],
+            me,
+        }
+    }
+
+    /// Records a FREE broadcast.
+    pub fn mark_free(&mut self, rank: usize) {
+        self.status[rank] = Status::Free;
+    }
+
+    /// Records a BUSY broadcast (or a granted/forwarded claim).
+    pub fn mark_busy(&mut self, rank: usize) {
+        self.status[rank] = Status::Busy;
+    }
+
+    /// Some free peer, if any (lowest rank first for determinism).
+    pub fn first_free_peer(&self) -> Option<usize> {
+        self.status
+            .iter()
+            .enumerate()
+            .find(|&(r, &s)| r != self.me && s == Status::Free)
+            .map(|(r, _)| r)
+    }
+
+    /// True when every peer (not counting ourselves) is free.
+    pub fn all_peers_free(&self) -> bool {
+        self.status
+            .iter()
+            .enumerate()
+            .all(|(r, &s)| r == self.me || s == Status::Free)
+    }
+}
+
+/// A donated batch of jobs, each a partial-path trie (possibly at
+/// different depths, since the donor's queue mixes depths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkPayload {
+    /// Donated tries.
+    pub jobs: Vec<HostTrie>,
+}
+
+impl WorkPayload {
+    /// Encodes: `[count, (len, trie-bytes)…]`.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32_le(self.jobs.len() as u32);
+        for job in &self.jobs {
+            let enc = encode_trie(job);
+            b.put_u32_le(enc.len() as u32);
+            b.put_slice(&enc);
+        }
+        b.freeze()
+    }
+
+    /// Decodes [`WorkPayload::encode`] output.
+    pub fn decode(mut buf: Bytes) -> Result<WorkPayload, WireError> {
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut jobs = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(WireError::Truncated);
+            }
+            let trie = decode_trie(buf.split_to(len))?;
+            trie.validate()
+                .map_err(|_| WireError::Corrupt("donated trie fails validation"))?;
+            jobs.push(trie);
+        }
+        Ok(WorkPayload { jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_board_lifecycle() {
+        let mut b = StatusBoard::new(3, 1);
+        assert!(b.first_free_peer().is_none());
+        assert!(!b.all_peers_free());
+        b.mark_free(2);
+        assert_eq!(b.first_free_peer(), Some(2));
+        b.mark_free(0);
+        assert!(b.all_peers_free());
+        assert_eq!(b.first_free_peer(), Some(0));
+        b.mark_busy(0);
+        assert!(!b.all_peers_free());
+    }
+
+    #[test]
+    fn own_status_ignored_for_termination() {
+        let mut b = StatusBoard::new(2, 0);
+        b.mark_free(1);
+        // Rank 0 itself is still "busy" in the vector but that must not
+        // block its own exit decision.
+        assert!(b.all_peers_free());
+    }
+
+    #[test]
+    fn work_payload_roundtrip() {
+        let jobs = vec![
+            HostTrie::from_flat_paths(&[vec![1, 2], vec![1, 3]]),
+            HostTrie::from_flat_paths(&[vec![9]]),
+            HostTrie::new(),
+        ];
+        let p = WorkPayload { jobs: jobs.clone() };
+        let decoded = WorkPayload::decode(p.encode()).unwrap();
+        assert_eq!(decoded.jobs, jobs);
+    }
+
+    #[test]
+    fn structurally_corrupt_trie_rejected() {
+        // Valid wire encoding of an *invalid* trie (root with a parent).
+        let mut t = HostTrie::from_flat_paths(&[vec![1, 2]]);
+        t.pa[0] = 5;
+        let p = WorkPayload { jobs: vec![t] };
+        assert_eq!(
+            WorkPayload::decode(p.encode()),
+            Err(WireError::Corrupt("donated trie fails validation"))
+        );
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let p = WorkPayload {
+            jobs: vec![HostTrie::from_flat_paths(&[vec![1, 2]])],
+        };
+        let enc = p.encode();
+        for cut in [2, 6, enc.len() - 3] {
+            assert!(WorkPayload::decode(enc.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+}

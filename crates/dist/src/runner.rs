@@ -1,0 +1,176 @@
+//! Top-level distributed driver: spins up one worker thread per rank over
+//! a shared [`Comm`] universe and aggregates results.
+
+use std::time::Instant;
+
+use cuts_graph::Graph;
+
+pub use crate::config::DistConfig;
+use crate::metrics::{DistResult, RankMetrics};
+use crate::mpi::Comm;
+use crate::worker::{Worker, WorkerError};
+
+/// Runs `query` against `data` on `ranks` simulated nodes. The returned
+/// total equals the single-node count; per-rank metrics feed Figures 4-5.
+///
+/// ```
+/// use cuts_dist::{run_distributed, DistConfig};
+/// use cuts_gpu_sim::DeviceConfig;
+/// use cuts_graph::generators::{clique, erdos_renyi};
+///
+/// let data = erdos_renyi(40, 160, 1);
+/// let config = DistConfig {
+///     device: DeviceConfig::test_small(),
+///     dist_chunk: 8,
+///     ..Default::default()
+/// };
+/// let two = run_distributed(&data, &clique(3), 2, &config).unwrap();
+/// let four = run_distributed(&data, &clique(3), 4, &config).unwrap();
+/// assert_eq!(two.total_matches, four.total_matches);
+/// ```
+pub fn run_distributed(
+    data: &Graph,
+    query: &Graph,
+    ranks: usize,
+    config: &DistConfig,
+) -> Result<DistResult, WorkerError> {
+    assert!(ranks >= 1);
+    let comms = Comm::universe(ranks);
+    let start = Instant::now();
+    let results: Vec<Result<(u64, RankMetrics), WorkerError>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let cfg = config.clone();
+                    s.spawn(move || Worker::new(comm, cfg, data, query).run())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+    let mut per_rank = Vec::with_capacity(ranks);
+    let mut total = 0u64;
+    for r in results {
+        let (count, metrics) = r?;
+        total += count;
+        per_rank.push(metrics);
+    }
+    per_rank.sort_by_key(|m| m.rank);
+    Ok(DistResult {
+        total_matches: total,
+        per_rank,
+        wall_millis: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::Partition;
+    use cuts_core::CutsEngine;
+    use cuts_gpu_sim::{Device, DeviceConfig};
+    use cuts_graph::generators::{barabasi_albert, clique, erdos_renyi};
+
+    fn single_node_count(data: &Graph, query: &Graph) -> u64 {
+        let device = Device::new(DeviceConfig::test_small());
+        CutsEngine::new(&device).run(data, query).unwrap().num_matches
+    }
+
+    fn cfg() -> DistConfig {
+        DistConfig {
+            device: DeviceConfig::test_small(),
+            dist_chunk: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn matches_single_node_across_rank_counts() {
+        let data = erdos_renyi(60, 240, 17);
+        let query = clique(3);
+        let want = single_node_count(&data, &query);
+        for ranks in [1, 2, 4] {
+            let r = run_distributed(&data, &query, ranks, &cfg()).unwrap();
+            assert_eq!(r.total_matches, want, "ranks = {ranks}");
+            assert_eq!(r.per_rank.len(), ranks);
+        }
+    }
+
+    #[test]
+    fn donation_rebalances_all_to_rank_zero() {
+        let data = barabasi_albert(80, 3, 7);
+        let query = clique(3);
+        let want = single_node_count(&data, &query);
+        let mut c = cfg();
+        c.partition = Partition::AllToRankZero;
+        c.dist_chunk = 4;
+        let r = run_distributed(&data, &query, 3, &c).unwrap();
+        assert_eq!(r.total_matches, want);
+        // Rank 0 must have donated; someone must have received.
+        assert!(r.per_rank[0].donations_sent > 0, "{:?}", r.per_rank);
+        let received: usize = r.per_rank.iter().map(|m| m.donations_received).sum();
+        assert!(received > 0);
+        // And ranks 1/2 actually did work.
+        assert!(r.per_rank[1].matches + r.per_rank[2].matches > 0);
+    }
+
+    #[test]
+    fn progressive_deepening_splits_single_heavy_job() {
+        // One root candidate only (a star hub): without deepening, rank 0
+        // holds one indivisible job and peers idle; with deepening the
+        // hub's subtree is split and donated.
+        let data = cuts_graph::generators::star(40);
+        let query = cuts_graph::generators::star(4);
+        let want = single_node_count(&data, &query);
+        assert!(want > 0);
+        let mut c = cfg();
+        c.dist_chunk = 4;
+        c.progressive_deepening = true;
+        let r = run_distributed(&data, &query, 2, &c).unwrap();
+        assert_eq!(r.total_matches, want);
+        // The hub job was split: both ranks processed something.
+        assert!(
+            r.per_rank.iter().all(|m| m.jobs_processed > 0),
+            "{:?}",
+            r.per_rank
+        );
+        assert!(r.per_rank.iter().map(|m| m.donations_sent).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn deepening_off_still_correct() {
+        let data = barabasi_albert(60, 3, 3);
+        let query = clique(3);
+        let want = single_node_count(&data, &query);
+        let mut c = cfg();
+        c.progressive_deepening = false;
+        let r = run_distributed(&data, &query, 3, &c).unwrap();
+        assert_eq!(r.total_matches, want);
+    }
+
+    #[test]
+    fn zero_match_case_terminates() {
+        let data = erdos_renyi(30, 60, 1);
+        let query = clique(6); // no degree-5 vertices in this sparse graph
+        let r = run_distributed(&data, &query, 2, &cfg()).unwrap();
+        assert_eq!(r.total_matches, 0);
+    }
+
+    #[test]
+    fn metrics_populated() {
+        let data = erdos_renyi(50, 200, 23);
+        let query = clique(3);
+        let r = run_distributed(&data, &query, 2, &cfg()).unwrap();
+        for m in &r.per_rank {
+            assert!(m.jobs_processed > 0);
+            assert!(m.busy_sim_millis > 0.0);
+            assert!(m.messages_sent > 0);
+        }
+        assert!(r.balance_ratio() > 0.0 && r.balance_ratio() <= 1.0);
+        assert!(r.makespan_sim_millis() > 0.0);
+    }
+}

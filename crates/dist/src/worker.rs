@@ -1,0 +1,416 @@
+//! Per-rank worker: Algorithm 3's chunked outer loop with asynchronous
+//! donation at chunk boundaries.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use cuts_core::{CutsEngine, EngineError, MatchOrder};
+use cuts_gpu_sim::Device;
+use cuts_graph::Graph;
+use cuts_trie::serial::WireError;
+use cuts_trie::HostTrie;
+
+use crate::config::DistConfig;
+use crate::metrics::RankMetrics;
+use crate::mpi::{Comm, Rank};
+use crate::protocol::{tag, StatusBoard, WorkPayload};
+
+/// How root candidates are split across ranks at start-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Interleaved assignment (the default; statistically balanced).
+    RoundRobin,
+    /// Contiguous blocks (id-order locality; imbalanced on skewed graphs —
+    /// the ablation case that makes the donation protocol visibly work).
+    Block,
+    /// Everything to rank 0 (worst case; a pure donation stress test).
+    AllToRankZero,
+}
+
+/// Worker failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerError {
+    /// Local engine failure.
+    Engine(EngineError),
+    /// Malformed donation payload.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Engine(e) => write!(f, "{e}"),
+            WorkerError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<EngineError> for WorkerError {
+    fn from(e: EngineError) -> Self {
+        WorkerError::Engine(e)
+    }
+}
+
+impl From<WireError> for WorkerError {
+    fn from(e: WireError) -> Self {
+        WorkerError::Wire(e)
+    }
+}
+
+enum Idle {
+    Work(Vec<HostTrie>),
+    Done,
+}
+
+/// One rank's execution state.
+pub struct Worker<'a> {
+    comm: Comm,
+    device: Device,
+    config: DistConfig,
+    data: &'a Graph,
+    query: &'a Graph,
+    board: StatusBoard,
+    metrics: RankMetrics,
+}
+
+impl<'a> Worker<'a> {
+    /// Builds a worker owning its own simulated device.
+    pub fn new(comm: Comm, config: DistConfig, data: &'a Graph, query: &'a Graph) -> Self {
+        let rank = comm.rank();
+        let size = comm.size();
+        Worker {
+            comm,
+            device: Device::new(config.device.clone()),
+            config,
+            data,
+            query,
+            board: StatusBoard::new(size, rank),
+            metrics: RankMetrics {
+                rank,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Initial jobs: this rank's share of the root candidate set, split
+    /// into `dist_chunk`-path batches (§4.2 `init_match(Q, D, rank)`).
+    fn initial_jobs(&self) -> Result<VecDeque<HostTrie>, WorkerError> {
+        let plan = MatchOrder::compute(self.query)?;
+        let rank = self.comm.rank();
+        let size = self.comm.size();
+        let all: Vec<Vec<u32>> = (0..self.data.num_vertices() as u32)
+            .filter(|&v| {
+                self.data.degree_dominates(v, plan.q_out[0], plan.q_in[0])
+                    && cuts_core::order::label_ok(self.data, v, plan.q_label[0])
+            })
+            .map(|v| vec![v])
+            .collect();
+        let mine: Vec<Vec<u32>> = match self.config.partition {
+            Partition::RoundRobin => all
+                .into_iter()
+                .enumerate()
+                .filter(|&(i, _)| i % size == rank)
+                .map(|(_, p)| p)
+                .collect(),
+            Partition::Block => {
+                let per = all.len().div_ceil(size).max(1);
+                all.chunks(per)
+                    .nth(rank)
+                    .map(|c| c.to_vec())
+                    .unwrap_or_default()
+            }
+            Partition::AllToRankZero => {
+                if rank == 0 {
+                    all
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        Ok(mine
+            .chunks(self.config.dist_chunk)
+            .filter(|c| !c.is_empty())
+            .map(HostTrie::from_flat_paths)
+            .collect())
+    }
+
+    /// Runs the rank to completion, returning its match count and metrics.
+    pub fn run(mut self) -> Result<(u64, RankMetrics), WorkerError> {
+        let mut queue = self.initial_jobs()?;
+        let mut total = 0u64;
+        loop {
+            while let Some(job) = queue.pop_front() {
+                self.poll_messages(&mut queue);
+                self.maybe_donate(&mut queue);
+                // Progressive deepening: when a peer is idle but the queue
+                // has nothing spare to donate, split this job's subtree by
+                // expanding one level and re-chunking the new frontier —
+                // the finer-granularity donation §4.2 gets from shipping
+                // partial tries mid-computation.
+                // (Not gated on observing a free peer: FREE broadcasts
+                // race with start-up, and the split is cheap relative to
+                // the subtree it unlocks for donation.)
+                if self.config.progressive_deepening
+                    && self.comm.size() > 1
+                    && queue.is_empty()
+                    && job.depth() < self.query.num_vertices().saturating_sub(1)
+                {
+                    match self.deepen_job(&job) {
+                        Some(jobs) if jobs.len() > 1 => {
+                            queue.extend(jobs);
+                            continue;
+                        }
+                        Some(jobs) => {
+                            // One (or zero) sub-jobs: nothing gained,
+                            // process directly.
+                            for j in jobs {
+                                total += self.process_job(&j)?;
+                            }
+                            continue;
+                        }
+                        None => {} // deepening failed; fall through
+                    }
+                }
+                total += self.process_job(&job)?;
+            }
+            // Queue drained: save results, discard trie, announce free.
+            self.comm.broadcast_others(tag::FREE, Bytes::new());
+            match self.idle_loop()? {
+                Idle::Work(jobs) => queue.extend(jobs),
+                Idle::Done => break,
+            }
+        }
+        self.metrics.matches = total;
+        self.metrics.messages_sent = self.comm.stats().messages_sent();
+        self.metrics.bytes_sent = self.comm.stats().bytes_sent();
+        Ok((total, self.metrics))
+    }
+
+    /// Runs one job (a batch of partial paths) to completion.
+    fn process_job(&mut self, job: &HostTrie) -> Result<u64, WorkerError> {
+        if job.is_empty() {
+            return Ok(0);
+        }
+        let engine = CutsEngine::with_config(&self.device, self.config.engine.clone());
+        let r = engine.run_from_trie(self.data, self.query, job)?;
+        self.metrics.busy_sim_millis += r.sim_millis;
+        self.metrics.busy_wall_millis += r.wall_millis;
+        self.metrics.counters += r.counters;
+        self.metrics.jobs_processed += 1;
+        if self.config.pacing > 0.0 {
+            // Align the host timeline with the simulated device timeline
+            // so FREE/donation timing reflects modelled cost.
+            std::thread::sleep(Duration::from_secs_f64(
+                r.sim_millis * self.config.pacing / 1000.0,
+            ));
+        }
+        Ok(r.num_matches)
+    }
+
+    /// Expands a job one level and re-chunks the new frontier into jobs.
+    /// Returns `None` when the expansion itself cannot fit on the device
+    /// (the caller then processes the job whole, which may still succeed
+    /// through the engine's own chunking).
+    fn deepen_job(&self, job: &HostTrie) -> Option<Vec<HostTrie>> {
+        let engine = CutsEngine::with_config(&self.device, self.config.engine.clone());
+        let expanded = engine
+            .expand_seed_once(self.data, self.query, job)
+            .ok()?;
+        let frontier_len = expanded
+            .levels
+            .last()
+            .map(|l| l.len())
+            .unwrap_or(0);
+        if frontier_len == 0 {
+            return Some(Vec::new());
+        }
+        let parts = frontier_len.div_ceil(self.config.dist_chunk).max(2);
+        Some(expanded.split_frontier(parts))
+    }
+
+    /// Drains the mailbox while busy: track statuses, refuse claims, and
+    /// defensively accept stray work.
+    fn poll_messages(&mut self, queue: &mut VecDeque<HostTrie>) {
+        while let Some(m) = self.comm.try_recv() {
+            match m.tag {
+                tag::FREE => self.board.mark_free(m.from),
+                tag::BUSY => self.board.mark_busy(m.from),
+                tag::CLAIM => self.comm.send(m.from, tag::NACK, Bytes::new()),
+                tag::WORK => {
+                    if let Ok(w) = WorkPayload::decode(m.payload) {
+                        self.metrics.donations_received += 1;
+                        queue.extend(w.jobs);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// If a peer is free and we hold spare jobs, pair with it (claim →
+    /// ack → work) and donate the back half of the queue.
+    fn maybe_donate(&mut self, queue: &mut VecDeque<HostTrie>) {
+        if queue.len() < 2 {
+            return;
+        }
+        let Some(target) = self.board.first_free_peer() else {
+            return;
+        };
+        self.comm.send(target, tag::CLAIM, Bytes::new());
+        // Block on the claim's resolution; the target always answers.
+        loop {
+            let Some(m) = self.comm.recv_timeout(Duration::from_millis(10)) else {
+                continue;
+            };
+            match m.tag {
+                tag::ACK if m.from == target => {
+                    let donate = queue.len() / 2;
+                    let jobs: Vec<HostTrie> = (0..donate)
+                        .filter_map(|_| queue.pop_back())
+                        .collect();
+                    let payload = WorkPayload { jobs }.encode();
+                    self.comm.send(target, tag::WORK, payload);
+                    self.board.mark_busy(target);
+                    self.metrics.donations_sent += 1;
+                    return;
+                }
+                tag::NACK if m.from == target => {
+                    self.board.mark_busy(target);
+                    return;
+                }
+                tag::FREE => self.board.mark_free(m.from),
+                tag::BUSY => self.board.mark_busy(m.from),
+                tag::CLAIM => self.comm.send(m.from, tag::NACK, Bytes::new()),
+                tag::WORK => {
+                    if let Ok(w) = WorkPayload::decode(m.payload) {
+                        self.metrics.donations_received += 1;
+                        queue.extend(w.jobs);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Idle loop of a free rank: grant the first claim, wait for its work,
+    /// or exit when every peer is free.
+    fn idle_loop(&mut self) -> Result<Idle, WorkerError> {
+        let mut reserved: Option<Rank> = None;
+        loop {
+            if reserved.is_none() && self.board.all_peers_free() {
+                return Ok(Idle::Done);
+            }
+            let Some(m) = self.comm.recv_timeout(Duration::from_millis(5)) else {
+                continue;
+            };
+            match m.tag {
+                tag::FREE => self.board.mark_free(m.from),
+                tag::BUSY => self.board.mark_busy(m.from),
+                tag::CLAIM => {
+                    if reserved.is_none() {
+                        reserved = Some(m.from);
+                        self.comm.send(m.from, tag::ACK, Bytes::new());
+                        // Everyone else must stop targeting us.
+                        self.comm.broadcast_others(tag::BUSY, Bytes::new());
+                    } else {
+                        self.comm.send(m.from, tag::NACK, Bytes::new());
+                    }
+                }
+                tag::WORK => {
+                    debug_assert_eq!(Some(m.from), reserved, "work without ack");
+                    let w = WorkPayload::decode(m.payload)?;
+                    self.metrics.donations_received += 1;
+                    self.board.mark_busy(self.comm.rank());
+                    return Ok(Idle::Work(w.jobs));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn initial_jobs_round_robin_partition() {
+        let data = cuts_graph::generators::clique(6);
+        let query = cuts_graph::generators::clique(3);
+        let comms = Comm::universe(2);
+        let mut sizes = Vec::new();
+        for comm in comms {
+            let w = Worker::new(
+                comm,
+                DistConfig {
+                    device: DeviceConfig::test_small(),
+                    dist_chunk: 2,
+                    ..Default::default()
+                },
+                &data,
+                &query,
+            );
+            let jobs = w.initial_jobs().unwrap();
+            let paths: usize = jobs.iter().map(|j| j.levels[0].len()).sum();
+            sizes.push(paths);
+        }
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn initial_jobs_all_to_rank_zero() {
+        let data = cuts_graph::generators::clique(5);
+        let query = cuts_graph::generators::clique(3);
+        let comms = Comm::universe(2);
+        let mut all = Vec::new();
+        for comm in comms {
+            let w = Worker::new(
+                comm,
+                DistConfig {
+                    device: DeviceConfig::test_small(),
+                    dist_chunk: 1,
+                    partition: Partition::AllToRankZero,
+                    ..Default::default()
+                },
+                &data,
+                &query,
+            );
+            all.push(w.initial_jobs().unwrap().len());
+        }
+        assert_eq!(all, vec![5, 0]);
+    }
+
+    #[test]
+    fn block_partition_contiguous() {
+        let data = cuts_graph::generators::clique(7);
+        let query = cuts_graph::generators::clique(3);
+        let comms = Comm::universe(2);
+        let mut firsts = Vec::new();
+        for comm in comms {
+            let w = Worker::new(
+                comm,
+                DistConfig {
+                    device: DeviceConfig::test_small(),
+                    dist_chunk: 64,
+                    partition: Partition::Block,
+                    ..Default::default()
+                },
+                &data,
+                &query,
+            );
+            let jobs = w.initial_jobs().unwrap();
+            let first = jobs
+                .front()
+                .map(|j| j.ca[j.levels[0].start])
+                .unwrap_or(u32::MAX);
+            firsts.push(first);
+        }
+        // Rank 0 starts at vertex 0, rank 1 at the split point 4.
+        assert_eq!(firsts, vec![0, 4]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Roofline cost model: counters → simulated kernel time.
+//!
+//! Wall-clock of the host simulation measures the *simulator*, not the
+//! modelled device; comparisons between engines must instead be grounded in
+//! what the counters say the device would have done. The model is a simple
+//! roofline: a kernel is bound by whichever of compute, DRAM bandwidth, or
+//! shared-memory bandwidth it saturates, plus a serialisation charge for
+//! global atomics. This is deliberately coarse — the paper's claims are
+//! order-of-magnitude (e.g. "200× lower DRAM read traffic"), which a
+//! roofline preserves faithfully.
+
+use crate::config::DeviceConfig;
+use crate::counters::Counters;
+
+/// Simulated elapsed time for a set of counters on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime {
+    /// Device cycles.
+    pub cycles: f64,
+}
+
+impl SimTime {
+    /// Milliseconds at the given core clock.
+    pub fn millis(&self, clock_ghz: f64) -> f64 {
+        self.cycles / (clock_ghz * 1e6)
+    }
+}
+
+/// Tunable throughput assumptions of the roofline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Instructions retired per SM per cycle (warp-wide).
+    pub ipc_per_sm: f64,
+    /// Shared-memory words per SM per cycle.
+    pub shmem_words_per_sm_cycle: f64,
+    /// Cycles a global atomic serialises for, divided across SMs.
+    pub atomic_cycles: f64,
+    /// Fixed cycles per kernel launch.
+    pub launch_cycles: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ipc_per_sm: 64.0,
+            shmem_words_per_sm_cycle: 32.0,
+            atomic_cycles: 4.0,
+            launch_cycles: 5_000.0,
+        }
+    }
+}
+
+/// Which roofline term dominates a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Instruction-issue limited.
+    Compute,
+    /// DRAM-bandwidth limited (the paper's expectation: "subgraph
+    /// isomorphism is a memory-bound problem").
+    Dram,
+    /// Shared-memory-bandwidth limited.
+    Shmem,
+}
+
+/// Per-term cycle breakdown of the roofline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Instruction-issue cycles.
+    pub compute_cycles: f64,
+    /// DRAM transfer cycles.
+    pub dram_cycles: f64,
+    /// Shared-memory transfer cycles.
+    pub shmem_cycles: f64,
+    /// Atomic serialisation cycles (additive).
+    pub atomic_cycles: f64,
+    /// Launch overhead cycles (additive).
+    pub launch_cycles: f64,
+    /// The dominating term.
+    pub bound: Bound,
+}
+
+impl CostBreakdown {
+    /// Total modelled cycles (max of the overlapping terms plus the
+    /// additive ones).
+    pub fn total_cycles(&self) -> f64 {
+        self.compute_cycles.max(self.dram_cycles).max(self.shmem_cycles)
+            + self.atomic_cycles
+            + self.launch_cycles
+    }
+}
+
+impl CostModel {
+    /// Full roofline breakdown for a counter snapshot on a device.
+    pub fn breakdown(&self, c: &Counters, cfg: &DeviceConfig) -> CostBreakdown {
+        let sms = cfg.num_sms as f64;
+        let compute_cycles = c.instructions as f64 / (sms * self.ipc_per_sm);
+        let dram_cycles = c.dram_total() as f64 / cfg.dram_words_per_cycle;
+        let shmem_cycles =
+            (c.shmem_reads + c.shmem_writes) as f64 / (sms * self.shmem_words_per_sm_cycle);
+        let bound = if dram_cycles >= compute_cycles && dram_cycles >= shmem_cycles {
+            Bound::Dram
+        } else if compute_cycles >= shmem_cycles {
+            Bound::Compute
+        } else {
+            Bound::Shmem
+        };
+        CostBreakdown {
+            compute_cycles,
+            dram_cycles,
+            shmem_cycles,
+            atomic_cycles: c.atomics as f64 * self.atomic_cycles / sms,
+            launch_cycles: c.kernel_launches as f64 * self.launch_cycles,
+            bound,
+        }
+    }
+
+    /// Evaluates the roofline for a counter snapshot on a device.
+    pub fn time(&self, c: &Counters, cfg: &DeviceConfig) -> SimTime {
+        SimTime {
+            cycles: self.breakdown(c, cfg).total_cycles(),
+        }
+    }
+
+    /// Convenience: milliseconds directly.
+    pub fn millis(&self, c: &Counters, cfg: &DeviceConfig) -> f64 {
+        self.time(c, cfg).millis(cfg.clock_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(instructions: u64, dram: u64) -> Counters {
+        Counters {
+            instructions,
+            dram_reads: dram,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let cfg = DeviceConfig::test_small(); // 16 words/cycle, 4 SMs, ipc 64
+        let m = CostModel::default();
+        // 16k DRAM words at 16 w/c = 1000 cycles; 256 instrs trivial.
+        let t = m.time(&counters(256, 16_000), &cfg);
+        assert!((t.cycles - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let cfg = DeviceConfig::test_small();
+        let m = CostModel::default();
+        // 256k instrs / (4*64) = 1000 cycles dominates 160 dram words (10c).
+        let t = m.time(&counters(256_000, 160), &cfg);
+        assert!((t.cycles - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn atomics_add_serialisation() {
+        let cfg = DeviceConfig::test_small();
+        let m = CostModel::default();
+        let mut c = counters(0, 0);
+        c.atomics = 400;
+        let t = m.time(&c, &cfg);
+        assert!((t.cycles - 400.0).abs() < 1.0); // 400 * 4 / 4 SMs
+    }
+
+    #[test]
+    fn millis_scaling() {
+        let t = SimTime { cycles: 2e6 };
+        assert!((t.millis(2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_identifies_bound() {
+        let cfg = DeviceConfig::test_small();
+        let m = CostModel::default();
+        let b = m.breakdown(&counters(256, 16_000), &cfg);
+        assert_eq!(b.bound, Bound::Dram);
+        let b = m.breakdown(&counters(10_000_000, 16), &cfg);
+        assert_eq!(b.bound, Bound::Compute);
+        let mut c = counters(0, 0);
+        c.shmem_reads = 10_000_000;
+        assert_eq!(m.breakdown(&c, &cfg).bound, Bound::Shmem);
+        assert!((m.breakdown(&c, &cfg).total_cycles() - m.time(&c, &cfg).cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_sms_is_faster_for_compute() {
+        let m = CostModel::default();
+        let c = counters(10_000_000, 0);
+        let v = m.time(&c, &DeviceConfig::v100_like());
+        let a = m.time(&c, &DeviceConfig::a100_like());
+        assert!(a.cycles < v.cycles);
+    }
+}

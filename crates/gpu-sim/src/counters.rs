@@ -1,0 +1,247 @@
+//! Hardware metric counters (the simulated Nsight Compute).
+
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of hardware metrics. All units are events (reads/writes are in
+/// words, instructions in dynamic instruction count).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// Words read from global memory (DRAM).
+    pub dram_reads: u64,
+    /// Words written to global memory.
+    pub dram_writes: u64,
+    /// Words read from shared memory.
+    pub shmem_reads: u64,
+    /// Words written to shared memory.
+    pub shmem_writes: u64,
+    /// Atomic operations on global memory.
+    pub atomics: u64,
+    /// Dynamic instructions executed (SASS-level proxy).
+    pub instructions: u64,
+    /// Warp-divergent branch events.
+    pub divergent_branches: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+}
+
+impl Counters {
+    /// Total DRAM traffic in words.
+    pub fn dram_total(&self) -> u64 {
+        self.dram_reads + self.dram_writes
+    }
+
+    /// Ratio helper: `self.field / other.field` with zero-guard, used by the
+    /// Table 3 `--metrics` report.
+    pub fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            if num == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            num as f64 / den as f64
+        }
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.dram_reads += rhs.dram_reads;
+        self.dram_writes += rhs.dram_writes;
+        self.shmem_reads += rhs.shmem_reads;
+        self.shmem_writes += rhs.shmem_writes;
+        self.atomics += rhs.atomics;
+        self.instructions += rhs.instructions;
+        self.divergent_branches += rhs.divergent_branches;
+        self.kernel_launches += rhs.kernel_launches;
+    }
+}
+
+/// Per-block counter cell: plain `u64` fields bumped inside one thread
+/// block's execution, merged into the device aggregate once at block end.
+/// Keeping the hot-path increments non-atomic is exactly the pattern the
+/// perf-book recommends (merge-on-drop instead of contended atomics).
+#[derive(Debug, Default)]
+pub struct BlockCounters {
+    /// Accumulated metrics for this block.
+    pub c: Counters,
+}
+
+impl BlockCounters {
+    /// Coalesced global-memory read of `len` contiguous words by a warp of
+    /// width `warp`: `ceil(len / warp)` transactions, `len` words of
+    /// traffic, one load instruction per word.
+    #[inline]
+    pub fn dram_read_coalesced(&mut self, len: usize) {
+        self.c.dram_reads += len as u64;
+        self.c.instructions += len as u64;
+    }
+
+    /// Strided/random global read of `len` words (uncoalesced: every word
+    /// its own transaction — cost model treats reads as word traffic, so
+    /// this also bumps the divergence proxy).
+    #[inline]
+    pub fn dram_read_random(&mut self, len: usize) {
+        self.c.dram_reads += len as u64;
+        self.c.instructions += len as u64;
+        self.c.divergent_branches += 1;
+    }
+
+    /// Coalesced global write of `len` words.
+    #[inline]
+    pub fn dram_write(&mut self, len: usize) {
+        self.c.dram_writes += len as u64;
+        self.c.instructions += len as u64;
+    }
+
+    /// Shared-memory read of `len` words.
+    #[inline]
+    pub fn shmem_read(&mut self, len: usize) {
+        self.c.shmem_reads += len as u64;
+        self.c.instructions += len as u64;
+    }
+
+    /// Shared-memory write of `len` words.
+    #[inline]
+    pub fn shmem_write(&mut self, len: usize) {
+        self.c.shmem_writes += len as u64;
+        self.c.instructions += len as u64;
+    }
+
+    /// One global atomic (e.g. cursor fetch-add).
+    #[inline]
+    pub fn atomic(&mut self) {
+        self.c.atomics += 1;
+        self.c.instructions += 1;
+    }
+
+    /// `n` ALU instructions (comparisons, address math).
+    #[inline]
+    pub fn alu(&mut self, n: usize) {
+        self.c.instructions += n as u64;
+    }
+
+    /// A divergent branch event.
+    #[inline]
+    pub fn diverge(&mut self) {
+        self.c.divergent_branches += 1;
+        self.c.instructions += 1;
+    }
+}
+
+/// Device-wide atomic counter aggregate (relaxed ordering: these are
+/// statistics, not synchronisation — the kernel-completion join provides
+/// the happens-before edge for reading them).
+#[derive(Debug, Default)]
+pub struct AtomicCounters {
+    dram_reads: AtomicU64,
+    dram_writes: AtomicU64,
+    shmem_reads: AtomicU64,
+    shmem_writes: AtomicU64,
+    atomics: AtomicU64,
+    instructions: AtomicU64,
+    divergent_branches: AtomicU64,
+    kernel_launches: AtomicU64,
+}
+
+impl AtomicCounters {
+    /// Merges a block's counters.
+    pub fn merge(&self, b: &Counters) {
+        self.dram_reads.fetch_add(b.dram_reads, Ordering::Relaxed);
+        self.dram_writes.fetch_add(b.dram_writes, Ordering::Relaxed);
+        self.shmem_reads.fetch_add(b.shmem_reads, Ordering::Relaxed);
+        self.shmem_writes.fetch_add(b.shmem_writes, Ordering::Relaxed);
+        self.atomics.fetch_add(b.atomics, Ordering::Relaxed);
+        self.instructions.fetch_add(b.instructions, Ordering::Relaxed);
+        self.divergent_branches
+            .fetch_add(b.divergent_branches, Ordering::Relaxed);
+        self.kernel_launches
+            .fetch_add(b.kernel_launches, Ordering::Relaxed);
+    }
+
+    /// Reads a snapshot.
+    pub fn snapshot(&self) -> Counters {
+        Counters {
+            dram_reads: self.dram_reads.load(Ordering::Relaxed),
+            dram_writes: self.dram_writes.load(Ordering::Relaxed),
+            shmem_reads: self.shmem_reads.load(Ordering::Relaxed),
+            shmem_writes: self.shmem_writes.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            instructions: self.instructions.load(Ordering::Relaxed),
+            divergent_branches: self.divergent_branches.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&self) {
+        self.dram_reads.store(0, Ordering::Relaxed);
+        self.dram_writes.store(0, Ordering::Relaxed);
+        self.shmem_reads.store(0, Ordering::Relaxed);
+        self.shmem_writes.store(0, Ordering::Relaxed);
+        self.atomics.store(0, Ordering::Relaxed);
+        self.instructions.store(0, Ordering::Relaxed);
+        self.divergent_branches.store(0, Ordering::Relaxed);
+        self.kernel_launches.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counter_accounting() {
+        let mut b = BlockCounters::default();
+        b.dram_read_coalesced(10);
+        b.dram_write(4);
+        b.shmem_write(2);
+        b.atomic();
+        b.alu(3);
+        assert_eq!(b.c.dram_reads, 10);
+        assert_eq!(b.c.dram_writes, 4);
+        assert_eq!(b.c.shmem_writes, 2);
+        assert_eq!(b.c.atomics, 1);
+        assert_eq!(b.c.instructions, 10 + 4 + 2 + 1 + 3);
+    }
+
+    #[test]
+    fn merge_and_snapshot() {
+        let agg = AtomicCounters::default();
+        let mut b = BlockCounters::default();
+        b.dram_read_coalesced(5);
+        agg.merge(&b.c);
+        agg.merge(&b.c);
+        let s = agg.snapshot();
+        assert_eq!(s.dram_reads, 10);
+        agg.reset();
+        assert_eq!(agg.snapshot(), Counters::default());
+    }
+
+    #[test]
+    fn add_assign_sums_all_fields() {
+        let mut a = Counters {
+            dram_reads: 1,
+            dram_writes: 2,
+            shmem_reads: 3,
+            shmem_writes: 4,
+            atomics: 5,
+            instructions: 6,
+            divergent_branches: 7,
+            kernel_launches: 8,
+        };
+        a += a;
+        assert_eq!(a.dram_reads, 2);
+        assert_eq!(a.kernel_launches, 16);
+        assert_eq!(a.dram_total(), 2 + 4);
+    }
+
+    #[test]
+    fn ratio_zero_guard() {
+        assert_eq!(Counters::ratio(10, 2), 5.0);
+        assert_eq!(Counters::ratio(0, 0), 1.0);
+        assert!(Counters::ratio(3, 0).is_infinite());
+    }
+}

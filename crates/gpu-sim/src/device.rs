@@ -1,0 +1,243 @@
+//! The simulated device: allocation ledger, kernel launch, counters.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use crate::buffer::GlobalBuffer;
+use crate::config::DeviceConfig;
+use crate::counters::{AtomicCounters, BlockCounters, Counters};
+use crate::error::DeviceError;
+
+/// A simulated GPU. Cheap to share by reference; all state is internally
+/// synchronised.
+pub struct Device {
+    config: DeviceConfig,
+    /// Words currently allocated (the `cudaMemGetInfo` the paper consults
+    /// when sizing the trie arrays).
+    allocated: Arc<AtomicUsize>,
+    counters: AtomicCounters,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Device {
+            config,
+            allocated: Arc::new(AtomicUsize::new(0)),
+            counters: AtomicCounters::default(),
+        }
+    }
+
+    /// Device configuration.
+    #[inline]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Free global-memory words (`cudaMemGetInfo` analogue).
+    pub fn free_words(&self) -> usize {
+        self.config
+            .global_mem_words
+            .saturating_sub(self.allocated.load(Ordering::Acquire))
+    }
+
+    /// Words currently allocated.
+    pub fn allocated_words(&self) -> usize {
+        self.allocated.load(Ordering::Acquire)
+    }
+
+    /// Allocates a capacity-accounted buffer; fails like `cudaMalloc` when
+    /// the budget is exhausted. Freed automatically when the buffer drops.
+    pub fn alloc_buffer(&self, words: usize) -> Result<GlobalBuffer, DeviceError> {
+        let prev = self.allocated.fetch_add(words, Ordering::AcqRel);
+        if prev + words > self.config.global_mem_words {
+            self.allocated.fetch_sub(words, Ordering::AcqRel);
+            return Err(DeviceError::OutOfMemory {
+                requested: words,
+                available: self.config.global_mem_words.saturating_sub(prev),
+            });
+        }
+        Ok(GlobalBuffer::with_ledger(words, self.allocated.clone()))
+    }
+
+    /// Launches a kernel: `num_blocks` thread blocks, each running `f` once
+    /// with its own [`BlockCtx`]. Blocks execute in parallel on the host
+    /// thread pool; per-block counters merge into the device aggregate when
+    /// each block retires. A block may fail (e.g. a buffer overflow); the
+    /// first failure is returned after all blocks finish, matching the
+    /// "kernel completes, error checked after" CUDA model.
+    pub fn launch<F>(&self, num_blocks: usize, f: F) -> Result<(), DeviceError>
+    where
+        F: Fn(&mut BlockCtx) -> Result<(), DeviceError> + Sync,
+    {
+        let mut launch = BlockCounters::default();
+        launch.c.kernel_launches = 1;
+        self.counters.merge(&launch.c);
+        (0..num_blocks)
+            .into_par_iter()
+            .map(|block_id| {
+                let mut ctx = BlockCtx {
+                    block_id,
+                    num_blocks,
+                    counters: BlockCounters::default(),
+                    shared_capacity: self.config.shared_mem_words_per_block,
+                    shared_used: 0,
+                };
+                let r = f(&mut ctx);
+                self.counters.merge(&ctx.counters.c);
+                r
+            })
+            .reduce(|| Ok(()), |a, b| a.and(b))
+    }
+
+    /// Runs a single implicit block on the calling thread (for tiny kernels
+    /// like the initial candidate filter where launch overhead dominates).
+    pub fn run_single_block<F, T>(&self, f: F) -> T
+    where
+        F: FnOnce(&mut BlockCtx) -> T,
+    {
+        let mut ctx = BlockCtx {
+            block_id: 0,
+            num_blocks: 1,
+            counters: BlockCounters::default(),
+            shared_capacity: self.config.shared_mem_words_per_block,
+            shared_used: 0,
+        };
+        let mut launch = BlockCounters::default();
+        launch.c.kernel_launches = 1;
+        self.counters.merge(&launch.c);
+        let out = f(&mut ctx);
+        self.counters.merge(&ctx.counters.c);
+        out
+    }
+
+    /// Aggregate hardware counters since the last reset.
+    pub fn counters(&self) -> Counters {
+        self.counters.snapshot()
+    }
+
+    /// Zeroes the hardware counters.
+    pub fn reset_counters(&self) {
+        self.counters.reset();
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("name", &self.config.name)
+            .field("allocated_words", &self.allocated_words())
+            .finish()
+    }
+}
+
+/// Per-thread-block execution context handed to kernels.
+pub struct BlockCtx {
+    /// This block's index in the grid.
+    pub block_id: usize,
+    /// Grid size.
+    pub num_blocks: usize,
+    /// Metric counters (merged into the device when the block retires).
+    pub counters: BlockCounters,
+    shared_capacity: usize,
+    shared_used: usize,
+}
+
+impl BlockCtx {
+    /// Claims `words` of shared memory for the block's lifetime, returning
+    /// a zeroed scratch vector (host-side stand-in for `__shared__`).
+    /// Exceeding the per-block capacity is a launch-configuration bug, so
+    /// it fails loudly.
+    pub fn alloc_shared(&mut self, words: usize) -> Result<Vec<u32>, DeviceError> {
+        if self.shared_used + words > self.shared_capacity {
+            return Err(DeviceError::OutOfMemory {
+                requested: words,
+                available: self.shared_capacity - self.shared_used,
+            });
+        }
+        self.shared_used += words;
+        Ok(vec![0u32; words])
+    }
+
+    /// Shared-memory words still free in this block.
+    pub fn shared_remaining(&self) -> usize {
+        self.shared_capacity - self.shared_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_accounting_and_oom() {
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(100));
+        let b1 = d.alloc_buffer(60).unwrap();
+        assert_eq!(d.free_words(), 40);
+        match d.alloc_buffer(50) {
+            Err(DeviceError::OutOfMemory {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 50);
+                assert_eq!(available, 40);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        drop(b1);
+        assert_eq!(d.free_words(), 100);
+        d.alloc_buffer(100).unwrap();
+    }
+
+    #[test]
+    fn launch_merges_counters() {
+        let d = Device::new(DeviceConfig::test_small());
+        d.launch(8, |ctx| {
+            ctx.counters.dram_read_coalesced(10);
+            Ok(())
+        })
+        .unwrap();
+        let c = d.counters();
+        assert_eq!(c.dram_reads, 80);
+        assert_eq!(c.kernel_launches, 1);
+        d.reset_counters();
+        assert_eq!(d.counters().dram_reads, 0);
+    }
+
+    #[test]
+    fn launch_propagates_block_errors() {
+        let d = Device::new(DeviceConfig::test_small());
+        let buf = d.alloc_buffer(4).unwrap();
+        let err = d.launch(4, |_| {
+            buf.reserve(2)?;
+            Ok(())
+        });
+        assert!(matches!(err, Err(DeviceError::BufferOverflow { .. })));
+        // Two blocks succeeded before the buffer filled.
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn shared_memory_capacity_enforced() {
+        let d = Device::new(DeviceConfig::test_small());
+        d.run_single_block(|ctx| {
+            let a = ctx.alloc_shared(4000).unwrap();
+            assert_eq!(a.len(), 4000);
+            assert!(ctx.alloc_shared(200).is_err());
+        });
+    }
+
+    #[test]
+    fn single_block_counts_launch() {
+        let d = Device::new(DeviceConfig::test_small());
+        let out = d.run_single_block(|ctx| {
+            ctx.counters.alu(5);
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(d.counters().instructions, 5);
+        assert_eq!(d.counters().kernel_launches, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Device errors.
+
+/// Errors surfaced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation exceeded global-memory capacity: the paper's "-" table
+    /// entries. Carries requested and available word counts.
+    OutOfMemory {
+        /// Words requested by the failed allocation.
+        requested: usize,
+        /// Words still available at the time of the request.
+        available: usize,
+    },
+    /// A buffer reservation overflowed its backing allocation mid-kernel
+    /// (the trie arrays filled up and chunking could not shrink further).
+    BufferOverflow {
+        /// Buffer capacity in words.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} words, {available} available"
+            ),
+            DeviceError::BufferOverflow { capacity } => {
+                write!(f, "device buffer overflow: capacity {capacity} words")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        let e = DeviceError::OutOfMemory {
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("requested 10"));
+        let b = DeviceError::BufferOverflow { capacity: 7 };
+        assert!(b.to_string().contains("capacity 7"));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Software-simulated GPU execution substrate for the cuTS reproduction.
+//!
+//! The paper's engine is a set of CUDA kernels; this crate provides the
+//! execution model those kernels assume, in plain Rust:
+//!
+//! * [`DeviceConfig`] — SM count, warp width, shared-memory size, global
+//!   memory capacity. Presets mirror the paper's two test machines
+//!   ([`DeviceConfig::v100_like`], [`DeviceConfig::a100_like`]) with memory
+//!   budgets scaled down proportionally (32 GB : 40 GB ratio preserved), so
+//!   out-of-memory behaviour reproduces in shape.
+//! * [`Device`] — owns capacity accounting and aggregated counters; its
+//!   [`Device::launch`] runs a grid of thread blocks in parallel on host
+//!   threads (rayon), one closure activation per block.
+//! * [`Counters`] — Nsight-Compute-style hardware metrics: DRAM reads and
+//!   writes, shared-memory traffic, atomics, executed instructions, warp
+//!   divergence. §6 of the paper argues its speedup *through* these
+//!   counters (200× DRAM reads, 34× shared-memory writes, 2× atomics, 7×
+//!   instructions vs GSI), so the simulation keeps them first-class.
+//! * [`GlobalBuffer`] — a device-resident word array supporting the
+//!   paper's write pattern: reserve a range with one atomic, then fill it
+//!   without synchronisation ("our strategy only requires an atomic
+//!   operation to find the write location").
+//! * [`CostModel`] — a roofline translation of counters into simulated
+//!   kernel time, so "runtime" comparisons are architecture-scaled rather
+//!   than host-scheduler noise.
+
+pub mod buffer;
+pub mod config;
+pub mod cost;
+pub mod counters;
+pub mod device;
+pub mod error;
+pub mod occupancy;
+pub mod primitives;
+
+pub use buffer::GlobalBuffer;
+pub use config::DeviceConfig;
+pub use cost::{Bound, CostBreakdown, CostModel, SimTime};
+pub use counters::{BlockCounters, Counters};
+pub use device::{BlockCtx, Device};
+pub use error::DeviceError;
+pub use occupancy::occupancy;

@@ -1,0 +1,49 @@
+//! Occupancy estimation (§2.2.3: "the ratio of the active threads to the
+//! maximum number of threads that an SMP can support").
+
+use crate::config::DeviceConfig;
+
+/// Estimates occupancy for a launch of `threads_per_block` threads using
+/// `shared_words` of shared memory per block. Returns a value in `(0, 1]`.
+///
+/// Blocks resident per SM are limited by the thread budget and by shared
+/// memory (we model per-SM shared capacity as equal to the per-block
+/// maximum, as on real parts where one maximal block exhausts the SM).
+pub fn occupancy(cfg: &DeviceConfig, threads_per_block: usize, shared_words: usize) -> f64 {
+    assert!(threads_per_block > 0);
+    let by_threads = cfg.max_threads_per_sm / threads_per_block;
+    let by_shared = cfg
+        .shared_mem_words_per_block
+        .checked_div(shared_words)
+        .unwrap_or(usize::MAX);
+    let blocks = by_threads.min(by_shared).clamp(1, 32);
+    let active = (blocks * threads_per_block).min(cfg.max_threads_per_sm);
+    active as f64 / cfg.max_threads_per_sm as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_occupancy_small_blocks() {
+        let cfg = DeviceConfig::v100_like();
+        let o = occupancy(&cfg, 256, 0);
+        assert!((o - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let cfg = DeviceConfig::v100_like();
+        // One block's worth of shared memory => one resident block.
+        let o = occupancy(&cfg, 256, cfg.shared_mem_words_per_block);
+        assert!(o < 0.2, "occupancy {o}");
+    }
+
+    #[test]
+    fn block_bigger_than_sm_clamps() {
+        let cfg = DeviceConfig::test_small(); // max 256 threads/SM
+        let o = occupancy(&cfg, 512, 0);
+        assert!(o <= 1.0 && o > 0.0);
+    }
+}

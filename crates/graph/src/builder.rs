@@ -1,0 +1,106 @@
+//! Incremental edge-list builder with vertex relabelling.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, VertexId};
+
+/// Accumulates edges (possibly with sparse, non-contiguous external ids —
+/// SNAP files routinely skip ids) and produces a [`Graph`] over a dense
+/// `0..n` id space.
+#[derive(Default, Debug, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    relabel: HashMap<u64, VertexId>,
+    /// External id for each dense id, for mapping results back.
+    external: Vec<u64>,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, ext: u64) -> VertexId {
+        if let Some(&v) = self.relabel.get(&ext) {
+            return v;
+        }
+        let v = self.external.len() as VertexId;
+        self.relabel.insert(ext, v);
+        self.external.push(ext);
+        v
+    }
+
+    /// Adds an edge between external ids.
+    pub fn add_edge(&mut self, u: u64, v: u64) -> &mut Self {
+        let (u, v) = (self.intern(u), self.intern(v));
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Ensures a vertex exists even if isolated.
+    pub fn add_vertex(&mut self, u: u64) -> &mut Self {
+        self.intern(u);
+        self
+    }
+
+    /// Number of distinct vertices seen so far.
+    pub fn num_vertices(&self) -> usize {
+        self.external.len()
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// External id corresponding to a dense id.
+    pub fn external_id(&self, v: VertexId) -> u64 {
+        self.external[v as usize]
+    }
+
+    /// Finishes into a directed graph.
+    pub fn build_directed(&self) -> Graph {
+        Graph::directed(self.external.len(), &self.edges)
+    }
+
+    /// Finishes into an undirected (symmetrised) graph.
+    pub fn build_undirected(&self) -> Graph {
+        Graph::undirected(self.external.len(), &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabels_sparse_ids() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1000, 7).add_edge(7, 999_999);
+        assert_eq!(b.num_vertices(), 3);
+        let g = b.build_directed();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(b.external_id(0), 1000);
+        assert_eq!(b.external_id(1), 7);
+        assert_eq!(b.external_id(2), 999_999);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(5).add_edge(1, 2);
+        let g = b.build_undirected();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.out_degree(0), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 2).add_edge(1, 2).add_edge(2, 1);
+        let g = b.build_undirected();
+        assert_eq!(g.num_edges(), 2); // one undirected edge, two arcs
+    }
+}

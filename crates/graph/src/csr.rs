@@ -1,0 +1,217 @@
+//! Compressed sparse row adjacency storage.
+
+use crate::graph::VertexId;
+
+/// Compressed-sparse-row adjacency: `offsets` has `n + 1` entries and the
+/// neighbours of vertex `v` are `targets[offsets[v] .. offsets[v + 1]]`,
+/// sorted ascending (which makes membership queries `O(log deg)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from a per-vertex adjacency list. Each list is sorted
+    /// and deduplicated.
+    pub fn from_adjacency(mut adj: Vec<Vec<VertexId>>) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u64);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u64);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds a CSR for `n` vertices from an edge list, in `O(|E| log |E|)`.
+    /// Parallel edges are collapsed.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut degree = vec![0u64; n];
+        for &(u, _) in edges {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        // Sort and dedup each row in place.
+        let mut out_targets = Vec::with_capacity(targets.len());
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        out_offsets.push(0u64);
+        for v in 0..n {
+            let row = &mut targets[offsets[v] as usize..offsets[v + 1] as usize];
+            row.sort_unstable();
+            let mut prev: Option<VertexId> = None;
+            for &t in row.iter() {
+                if prev != Some(t) {
+                    out_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            out_offsets.push(out_targets.len() as u64);
+        }
+        Csr {
+            offsets: out_offsets,
+            targets: out_targets,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Whether the directed edge `(u, v)` exists (`O(log deg(u))`).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Raw offset array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Raw target array.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Iterates `(source, target)` over all stored edges.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u as VertexId)
+                .iter()
+                .map(move |&v| (u as VertexId, v))
+        })
+    }
+
+    /// The transpose CSR (reverses every edge).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut degree = vec![0u64; n];
+        for &t in &self.targets {
+            degree[t as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        let mut cursor = offsets.clone();
+        for u in 0..n {
+            for &v in self.neighbors(u as VertexId) {
+                let c = &mut cursor[v as usize];
+                targets[*c as usize] = u as VertexId;
+                *c += 1;
+            }
+        }
+        // Rows are already sorted: we visit sources in ascending order.
+        Csr { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_sorts_and_dedups() {
+        let csr = Csr::from_edges(4, &[(0, 2), (0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(csr.neighbors(2), &[3]);
+        assert_eq!(csr.neighbors(3), &[0]);
+        assert_eq!(csr.num_edges(), 4);
+    }
+
+    #[test]
+    fn from_adjacency_matches_from_edges() {
+        let a = Csr::from_adjacency(vec![vec![2, 1, 2], vec![], vec![3], vec![0]]);
+        let b = Csr::from_edges(4, &[(0, 2), (0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn has_edge_and_degree() {
+        let csr = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert!(csr.has_edge(0, 1));
+        assert!(csr.has_edge(1, 2));
+        assert!(!csr.has_edge(2, 1));
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(2), 0);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let csr = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let t = csr.transpose();
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(2, 0));
+        assert!(t.has_edge(2, 1));
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.transpose(), csr);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let input = vec![(0, 1), (1, 2), (2, 0), (2, 1)];
+        let csr = Csr::from_edges(3, &input);
+        let mut collected: Vec<_> = csr.edges().collect();
+        collected.sort_unstable();
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(collected, expect);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let csr = Csr::from_edges(5, &[(4, 0)]);
+        for v in 0..4 {
+            assert_eq!(csr.degree(v), 0);
+        }
+        assert_eq!(csr.degree(4), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! The six evaluation datasets of Table 2 and their synthetic stand-ins.
+//!
+//! The paper evaluates on SNAP graphs we cannot redistribute here, so each
+//! dataset maps to a generator that reproduces the property that drives the
+//! experiment: degree skew for the social/communication graphs (candidate
+//! explosion), near-regular low-degree lattices for the road networks
+//! (deep tries, high compression). If a real SNAP edge-list file is
+//! available, load it with [`crate::edgelist::load_undirected`] instead —
+//! the engines are agnostic to provenance.
+//!
+//! Every generator is deterministic, and the [`Scale`] knob shrinks vertex
+//! and edge counts proportionally so tests, examples, and benchmarks can
+//! pick their own compute budget.
+
+use crate::generators::{chung_lu, road_network};
+use crate::graph::Graph;
+
+/// One of the paper's six data graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// enron — email connection graph. 36,692 vertices / 367,662 arcs.
+    Enron,
+    /// gowalla — location-based social network. 196,591 / 1,900,655.
+    Gowalla,
+    /// roadNet-PA — Pennsylvania road network. 1,088,092 / 1,541,898.
+    RoadNetPA,
+    /// roadNet-TX — Texas road network. 1,379,917 / 1,921,660.
+    RoadNetTX,
+    /// roadNet-CA — California road network. 1,965,206 / 2,766,607.
+    RoadNetCA,
+    /// wikiTalk — Wikipedia communication network. 2,394,385 / 5,021,410.
+    WikiTalk,
+}
+
+/// Proportional down-scaling of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// ~1/256 of paper size (fast unit tests).
+    Tiny,
+    /// ~1/64 of paper size (integration tests, quick benches).
+    Small,
+    /// ~1/16 of paper size (benchmark default).
+    Medium,
+    /// Full Table 2 size.
+    Paper,
+    /// Custom multiplier in (0, 1].
+    Custom(f64),
+}
+
+impl Scale {
+    /// Scaling factor applied to vertex and edge counts.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 1.0 / 256.0,
+            Scale::Small => 1.0 / 64.0,
+            Scale::Medium => 1.0 / 16.0,
+            Scale::Paper => 1.0,
+            Scale::Custom(f) => {
+                assert!(f > 0.0 && f <= 1.0, "custom scale must be in (0, 1]");
+                f
+            }
+        }
+    }
+}
+
+impl Dataset {
+    /// All six datasets in Table 2 order.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Enron,
+        Dataset::Gowalla,
+        Dataset::RoadNetPA,
+        Dataset::RoadNetTX,
+        Dataset::RoadNetCA,
+        Dataset::WikiTalk,
+    ];
+
+    /// The three "big" graphs used in the distributed evaluation (§6.3):
+    /// enron, gowalla, wikiTalk.
+    pub const BIG: [Dataset; 3] = [Dataset::Enron, Dataset::Gowalla, Dataset::WikiTalk];
+
+    /// SNAP name as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Enron => "enron",
+            Dataset::Gowalla => "gowalla",
+            Dataset::RoadNetPA => "roadNet-PA",
+            Dataset::RoadNetTX => "roadNet-TX",
+            Dataset::RoadNetCA => "roadNet-CA",
+            Dataset::WikiTalk => "wikiTalk",
+        }
+    }
+
+    /// Vertex count from Table 2.
+    pub fn paper_vertices(self) -> usize {
+        match self {
+            Dataset::Enron => 36_692,
+            Dataset::Gowalla => 196_591,
+            Dataset::RoadNetPA => 1_088_092,
+            Dataset::RoadNetTX => 1_379_917,
+            Dataset::RoadNetCA => 1_965_206,
+            Dataset::WikiTalk => 2_394_385,
+        }
+    }
+
+    /// Edge count from Table 2 (stored arcs after symmetrisation).
+    pub fn paper_edges(self) -> usize {
+        match self {
+            Dataset::Enron => 367_662,
+            Dataset::Gowalla => 1_900_655,
+            Dataset::RoadNetPA => 1_541_898,
+            Dataset::RoadNetTX => 1_921_660,
+            Dataset::RoadNetCA => 2_766_607,
+            Dataset::WikiTalk => 5_021_410,
+        }
+    }
+
+    /// Whether this graph is heavy-tailed (social/communication) rather
+    /// than near-regular (road).
+    pub fn is_skewed(self) -> bool {
+        matches!(self, Dataset::Enron | Dataset::Gowalla | Dataset::WikiTalk)
+    }
+
+    /// Power-law exponent used by the Chung-Lu stand-in (fit to the SNAP
+    /// degree distributions: enron/wikiTalk are the most skewed).
+    fn beta(self) -> f64 {
+        match self {
+            Dataset::Enron => 2.0,
+            Dataset::Gowalla => 2.65,
+            Dataset::WikiTalk => 1.9,
+            _ => unreachable!("road networks use the lattice generator"),
+        }
+    }
+
+    /// Generates the synthetic stand-in at the given scale. Deterministic.
+    pub fn generate(self, scale: Scale) -> Graph {
+        let f = scale.factor();
+        let n = ((self.paper_vertices() as f64 * f) as usize).max(256);
+        let m_und = ((self.paper_edges() as f64 * f / 2.0) as usize).max(256);
+        let seed = 0xC075 ^ (self as u64);
+        if self.is_skewed() {
+            chung_lu(n, m_und, self.beta(), seed)
+        } else {
+            // Tune drop so that kept-grid-edges/vertex ≈ target. A full grid
+            // has ~2 edges per vertex.
+            let target_per_vertex = m_und as f64 / n as f64;
+            let keep = (target_per_vertex / 2.0).min(1.0);
+            road_network(n, 1.0 - keep, 0.02, seed)
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::stats;
+
+    #[test]
+    fn tiny_standins_have_sane_sizes() {
+        for ds in Dataset::ALL {
+            let g = ds.generate(Scale::Tiny);
+            assert!(g.num_vertices() >= 128, "{ds}: {}", g.num_vertices());
+            assert!(g.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn skewed_vs_regular_shape() {
+        let enron = Dataset::Enron.generate(Scale::Tiny);
+        let road = Dataset::RoadNetPA.generate(Scale::Tiny);
+        let se = stats(&enron);
+        let sr = stats(&road);
+        assert!(
+            se.max_out_degree as f64 > 5.0 * se.avg_out_degree,
+            "enron stand-in should be skewed: {se:?}"
+        );
+        assert!(sr.max_out_degree <= 5, "road stand-in near-regular: {sr:?}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Dataset::Gowalla.generate(Scale::Tiny);
+        let b = Dataset::Gowalla.generate(Scale::Tiny);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn scale_orders_sizes() {
+        let t = Dataset::Enron.generate(Scale::Tiny);
+        let s = Dataset::Enron.generate(Scale::Small);
+        assert!(s.num_vertices() > t.num_vertices());
+        assert!(s.num_edges() > t.num_edges());
+    }
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(Dataset::WikiTalk.paper_vertices(), 2_394_385);
+        assert_eq!(Dataset::Enron.paper_edges(), 367_662);
+        assert_eq!(Dataset::ALL.len(), 6);
+    }
+}

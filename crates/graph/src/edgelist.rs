@@ -1,0 +1,149 @@
+//! SNAP edge-list text format: `#`-prefixed comment lines, then one
+//! whitespace-separated `src dst` pair per line. This is the format the
+//! paper's six datasets ship in; real SNAP downloads can be loaded directly.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data line that is not two integers.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line_no: usize,
+        /// The line's (trimmed) text.
+        line: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line_no, line } => {
+                write!(f, "malformed edge at line {line_no}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses a SNAP edge list from any reader into a builder.
+pub fn parse<R: Read>(reader: R) -> Result<GraphBuilder, ParseError> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut buf = buf;
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line_no,
+                    line: t.to_string(),
+                })
+            }
+        };
+        let (u, v) = match (a.parse::<u64>(), b.parse::<u64>()) {
+            (Ok(u), Ok(v)) => (u, v),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line_no,
+                    line: t.to_string(),
+                })
+            }
+        };
+        builder.add_edge(u, v);
+    }
+    Ok(builder)
+}
+
+/// Loads a directed graph from a SNAP file path.
+pub fn load_directed<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    Ok(parse(std::fs::File::open(path)?)?.build_directed())
+}
+
+/// Loads an undirected (symmetrised) graph from a SNAP file path.
+pub fn load_undirected<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    Ok(parse(std::fs::File::open(path)?)?.build_undirected())
+}
+
+/// Writes a graph as a SNAP edge list (one arc per line).
+pub fn write<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# cuts-rs edge list")?;
+    writeln!(
+        w,
+        "# Nodes: {} Edges: {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_snap_format() {
+        let text = "# Directed graph\n# Nodes: 4 Edges: 3\n0\t1\n1 2\n\n3\t0\n";
+        let g = parse(text.as_bytes()).unwrap().build_directed();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let text = "0 1\nnot an edge\n";
+        match parse(text.as_bytes()) {
+            Err(ParseError::Malformed { line_no, .. }) => assert_eq!(line_no, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let g = Graph::directed(4, &[(0, 1), (1, 2), (3, 0)]);
+        let mut out = Vec::new();
+        write(&g, &mut out).unwrap();
+        let g2 = parse(out.as_slice()).unwrap().build_directed();
+        assert_eq!(g2.num_vertices(), 4);
+        assert_eq!(g2.num_edges(), 3);
+        assert!(g2.has_edge(0, 1) && g2.has_edge(1, 2) && g2.has_edge(3, 0));
+    }
+
+    #[test]
+    fn percent_comments_skipped() {
+        let text = "% konect style\n1 2\n";
+        let g = parse(text.as_bytes()).unwrap().build_undirected();
+        assert_eq!(g.num_input_edges(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Small deterministic graph families (mostly used as query graphs).
+
+use crate::graph::{Graph, VertexId};
+
+/// Complete graph `K_n` (undirected, symmetrised).
+pub fn clique(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    Graph::undirected(n, &edges)
+}
+
+/// Path graph `P_n` (the paper's Figure 2(B) query for n = 4).
+pub fn chain(n: usize) -> Graph {
+    let edges: Vec<_> = (0..n.saturating_sub(1))
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
+    Graph::undirected(n, &edges)
+}
+
+/// Cycle graph `C_n`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<_> = (0..n - 1)
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
+    edges.push(((n - 1) as VertexId, 0));
+    Graph::undirected(n, &edges)
+}
+
+/// Star `K_{1,n-1}` with the hub at vertex 0.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<_> = (1..n).map(|i| (0, i as VertexId)).collect();
+    Graph::undirected(n, &edges)
+}
+
+/// Complete bipartite `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u as VertexId, (a + v) as VertexId));
+        }
+    }
+    Graph::undirected(a + b, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_counts() {
+        let g = clique(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_input_edges(), 10);
+        for v in 0..5 {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn chain_is_figure_2b() {
+        let g = chain(4);
+        assert_eq!(g.num_input_edges(), 3);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(1), 2);
+    }
+
+    #[test]
+    fn cycle_degrees_all_two() {
+        let g = cycle(6);
+        assert!((0..6).all(|v| g.out_degree(v) == 2));
+        assert!(g.has_edge(5, 0));
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(7);
+        assert_eq!(g.out_degree(0), 6);
+        assert!((1..7).all(|v| g.out_degree(v) == 1));
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_input_edges(), 6);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 2));
+    }
+}

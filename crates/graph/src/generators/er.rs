@@ -1,0 +1,54 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, VertexId};
+
+/// Uniform random undirected graph with `n` vertices and (approximately,
+/// after dedup) `m` edges. Deterministic for a given seed.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0, "cannot place edges on fewer than 2 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.random_range(0..n) as VertexId;
+        let mut v = rng.random_range(0..n) as VertexId;
+        while v == u {
+            v = rng.random_range(0..n) as VertexId;
+        }
+        edges.push((u, v));
+    }
+    Graph::undirected(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(100, 300, 7);
+        let b = erdos_renyi(100, 300, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(100, 300, 1);
+        let b = erdos_renyi(100, 300, 2);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn edge_count_close_to_target() {
+        let g = erdos_renyi(1000, 2000, 3);
+        // Dedup can only lose a few collisions at this density.
+        assert!(g.num_input_edges() > 1900 && g.num_input_edges() <= 2000);
+    }
+}

@@ -1,0 +1,49 @@
+//! 2-D mesh, the data graph of the paper's Figure 2(A).
+
+use crate::graph::{Graph, VertexId};
+
+/// `rows × cols` grid with 4-neighbour connectivity; vertex `(r, c)` has id
+/// `r * cols + c`. `mesh2d(4, 4)` is exactly Figure 2(A).
+pub fn mesh2d(rows: usize, cols: usize) -> Graph {
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as VertexId;
+            if c + 1 < cols {
+                edges.push((id, id + 1));
+            }
+            if r + 1 < rows {
+                edges.push((id, id + cols as VertexId));
+            }
+        }
+    }
+    Graph::undirected(rows * cols, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2a_counts() {
+        // 4x4 mesh: 16 vertices, 24 undirected edges = 48 arcs.
+        let g = mesh2d(4, 4);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_input_edges(), 24);
+        assert_eq!(g.num_edges(), 48);
+    }
+
+    #[test]
+    fn corner_edge_interior_degrees() {
+        let g = mesh2d(4, 4);
+        assert_eq!(g.out_degree(0), 2); // corner
+        assert_eq!(g.out_degree(1), 3); // edge
+        assert_eq!(g.out_degree(5), 4); // interior
+    }
+
+    #[test]
+    fn degenerate_meshes() {
+        assert_eq!(mesh2d(1, 5).num_input_edges(), 4); // a chain
+        assert_eq!(mesh2d(1, 1).num_edges(), 0);
+    }
+}

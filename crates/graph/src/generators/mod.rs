@@ -1,0 +1,19 @@
+//! Synthetic graph generators.
+//!
+//! These provide the workloads for tests, examples, and — through
+//! [`crate::datasets`] — the stand-ins for the paper's six SNAP datasets.
+//! All generators are deterministic given a seed.
+
+mod classic;
+mod er;
+mod mesh;
+mod powerlaw;
+mod rmat;
+mod road;
+
+pub use classic::{chain, clique, complete_bipartite, cycle, star};
+pub use er::erdos_renyi;
+pub use mesh::mesh2d;
+pub use powerlaw::{barabasi_albert, chung_lu, power_law_weights};
+pub use rmat::{rmat, RmatParams};
+pub use road::road_network;

@@ -1,0 +1,145 @@
+//! Degree-skewed random graphs: Chung-Lu and Barabási–Albert.
+//!
+//! The paper's hard datasets (enron, gowalla, wikiTalk) are heavy-tailed;
+//! the candidate explosion the trie exists to absorb (§4.1.1, Eq. 1-5) is a
+//! function of that skew, so the stand-ins must reproduce it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, VertexId};
+
+/// Power-law weight sequence `w_i ∝ (i + 1)^(-1/(β-1))` scaled so the sum is
+/// `2m` — the expected-degree input to Chung-Lu for target edge count `m`
+/// and exponent `β` (typical social graphs: β ∈ [2, 3)).
+pub fn power_law_weights(n: usize, m: usize, beta: f64) -> Vec<f64> {
+    assert!(beta > 1.0, "power-law exponent must exceed 1");
+    let alpha = 1.0 / (beta - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = (2 * m) as f64 / sum;
+    for x in &mut w {
+        *x *= scale;
+    }
+    w
+}
+
+/// Chung-Lu sampling: emits ~`m` undirected edges with P(u,v) ∝ w_u · w_v,
+/// using weighted endpoint sampling. Preserves the prescribed degree skew in
+/// expectation. Deterministic for a seed.
+pub fn chung_lu(n: usize, m: usize, beta: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let w = power_law_weights(n, m, beta);
+    // Cumulative distribution over vertices for weighted sampling.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &x in &w {
+        acc += x;
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sample = |rng: &mut SmallRng| -> VertexId {
+        let t = rng.random_range(0.0..total);
+        match cdf.binary_search_by(|p| p.partial_cmp(&t).unwrap()) {
+            Ok(i) | Err(i) => (i.min(n - 1)) as VertexId,
+        }
+    };
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < 20 * m {
+        attempts += 1;
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::undirected(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `k`
+/// existing vertices chosen proportionally to degree. Produces a connected
+/// heavy-tailed graph. Deterministic for a seed.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1 && n > k, "need n > k >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // `targets` holds one entry per edge endpoint: sampling uniformly from it
+    // is sampling proportionally to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k);
+    // Seed with a (k+1)-clique so early attachment targets exist.
+    for u in 0..=(k as VertexId) {
+        for v in (u + 1)..=(k as VertexId) {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in (k + 1)..n {
+        let new = new as VertexId;
+        let mut chosen = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != new && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            edges.push((new, t));
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    Graph::undirected(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two_m() {
+        let w = power_law_weights(1000, 5000, 2.5);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 10_000.0).abs() < 1e-6);
+        // Monotone decreasing.
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn chung_lu_is_skewed() {
+        let g = chung_lu(2000, 10_000, 2.2, 42);
+        let max = g.max_out_degree() as f64;
+        let avg = g.avg_out_degree();
+        // Heavy tail: max degree far above average.
+        assert!(
+            max > 8.0 * avg,
+            "expected skew, got max {max} avg {avg}"
+        );
+    }
+
+    #[test]
+    fn chung_lu_deterministic() {
+        let a = chung_lu(500, 2000, 2.5, 9);
+        let b = chung_lu(500, 2000, 2.5, 9);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ba_connected_and_sized() {
+        let g = barabasi_albert(300, 3, 5);
+        assert_eq!(g.num_vertices(), 300);
+        // clique seed edges + k per newcomer
+        let expected = 3 * 2 + (300 - 4) * 3;
+        assert_eq!(g.num_input_edges(), expected);
+        let comps = crate::components::weakly_connected_components(&g);
+        assert_eq!(comps.num_components(), 1);
+    }
+
+    #[test]
+    fn ba_hub_emerges() {
+        let g = barabasi_albert(1000, 2, 11);
+        assert!(g.max_out_degree() > 20);
+    }
+}

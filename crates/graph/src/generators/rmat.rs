@@ -1,0 +1,112 @@
+//! R-MAT recursive-matrix random graphs (Chakrabarti, Zhan, Faloutsos,
+//! SDM'04) — the standard scale-free generator of the Graph500 benchmark,
+//! provided as an alternative heavy-tailed stand-in family.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, VertexId};
+
+/// R-MAT edge probabilities for the four quadrants. Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (the "home" corner; large `a` gives
+    /// strong skew).
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05).
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// Samples an undirected R-MAT graph with `2^scale` vertices and ~`m`
+/// edges. Deterministic for a seed.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Graph {
+    assert!(scale >= 1 && scale <= 26, "scale out of supported range");
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut lo_u, mut lo_v) = (0usize, 0usize);
+        let mut half = n / 2;
+        while half >= 1 {
+            let t = rng.random_range(0.0..1.0);
+            let (du, dv) = if t < params.a {
+                (0, 0)
+            } else if t < params.a + params.b {
+                (0, 1)
+            } else if t < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            lo_u += du * half;
+            lo_v += dv * half;
+            half /= 2;
+        }
+        if lo_u != lo_v {
+            edges.push((lo_u as VertexId, lo_v as VertexId));
+        }
+    }
+    Graph::undirected(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_determinism() {
+        let g = rmat(10, 4000, RmatParams::default(), 7);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_input_edges() > 3000); // some dedup/self-loop loss
+        let h = rmat(10, 4000, RmatParams::default(), 7);
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn graph500_params_are_skewed() {
+        let g = rmat(11, 8000, RmatParams::default(), 3);
+        let avg = g.avg_out_degree();
+        assert!(
+            g.max_out_degree() as f64 > 6.0 * avg,
+            "max {} avg {avg}",
+            g.max_out_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_params_are_flat() {
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
+        let g = rmat(10, 8000, p, 3);
+        // Uniform quadrants degenerate to Erdős–Rényi-like degrees.
+        assert!((g.max_out_degree() as f64) < 5.0 * g.avg_out_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_rejected() {
+        rmat(8, 10, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! The directed graph type used throughout cuTS.
+
+use crate::csr::Csr;
+
+/// Vertex identifier. 32 bits suffices for every dataset in the paper
+/// (largest is wikiTalk at 2.4M vertices) and halves the trie footprint
+/// relative to `usize`, which matters because intermediate storage is the
+/// whole point of the paper.
+pub type VertexId = u32;
+
+/// A directed graph with both out- and in-adjacency in CSR form.
+///
+/// Undirected inputs are symmetrised per Definition 1 of the paper: every
+/// undirected edge `{u, v}` is stored as both `(u, v)` and `(v, u)`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    out: Csr,
+    inn: Csr,
+    /// True if the graph was built from an undirected edge list (so `out`
+    /// and `inn` are identical by construction).
+    symmetric: bool,
+    /// Optional vertex labels (the "meta information" §4.1.1 sets aside;
+    /// provided as an extension because the labelled setting is where
+    /// comparators like GSI live). `None` = unlabelled.
+    labels: Option<Box<[u32]>>,
+}
+
+impl Graph {
+    /// Builds a directed graph from an edge list. Self-loops are removed,
+    /// parallel edges collapsed.
+    pub fn directed(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let filtered: Vec<_> = edges.iter().copied().filter(|&(u, v)| u != v).collect();
+        let out = Csr::from_edges(n, &filtered);
+        let inn = out.transpose();
+        Graph {
+            out,
+            inn,
+            symmetric: false,
+            labels: None,
+        }
+    }
+
+    /// Builds an undirected graph (symmetrised per Definition 1).
+    pub fn undirected(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut sym = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            if u != v {
+                sym.push((u, v));
+                sym.push((v, u));
+            }
+        }
+        let out = Csr::from_edges(n, &sym);
+        let inn = out.clone();
+        Graph {
+            out,
+            inn,
+            symmetric: true,
+            labels: None,
+        }
+    }
+
+    /// Attaches vertex labels (one per vertex).
+    pub fn with_labels(mut self, labels: Vec<u32>) -> Self {
+        assert_eq!(
+            labels.len(),
+            self.num_vertices(),
+            "one label per vertex required"
+        );
+        self.labels = Some(labels.into_boxed_slice());
+        self
+    }
+
+    /// Vertex label, if the graph is labelled.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Option<u32> {
+        self.labels.as_ref().map(|l| l[v as usize])
+    }
+
+    /// True when the graph carries vertex labels.
+    #[inline]
+    pub fn is_labeled(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Label-compatibility test for matching `q` (a vertex of `query`)
+    /// onto `d` (a vertex of `self`): labels constrain the match only
+    /// when both graphs are labelled; an unlabelled side is a wildcard.
+    #[inline]
+    pub fn label_compatible(&self, d: VertexId, query: &Graph, q: VertexId) -> bool {
+        match (self.label(d), query.label(q)) {
+            (Some(ld), Some(lq)) => ld == lq,
+            _ => true,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of stored directed edges (an undirected edge counts twice).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Number of undirected edges if symmetric, otherwise directed count.
+    #[inline]
+    pub fn num_input_edges(&self) -> usize {
+        if self.symmetric {
+            self.out.num_edges() / 2
+        } else {
+            self.out.num_edges()
+        }
+    }
+
+    /// Whether this graph was symmetrised from an undirected input.
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Sorted out-neighbours of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// Sorted in-neighbours of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.inn.neighbors(v)
+    }
+
+    /// Out-degree.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out.degree(v)
+    }
+
+    /// In-degree.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        self.inn.degree(v)
+    }
+
+    /// Directed edge test `(u, v) ∈ E`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out.has_edge(u, v)
+    }
+
+    /// The degree filter of Definition 5 extended to directed graphs: `d`
+    /// can host `q` only if it dominates both in- and out-degree.
+    #[inline]
+    pub fn degree_dominates(&self, d: VertexId, q_out: u32, q_in: u32) -> bool {
+        self.out_degree(d) >= q_out && self.in_degree(d) >= q_in
+    }
+
+    /// Maximum out-degree over all vertices (the paper's δ).
+    pub fn max_out_degree(&self) -> u32 {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum in-degree over all vertices.
+    pub fn max_in_degree(&self) -> u32 {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.in_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree, used to size virtual warps (§4.1.2).
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Underlying out-CSR.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// Underlying in-CSR.
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.inn
+    }
+
+    /// Iterates all stored directed edges.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.out.edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_symmetrises() {
+        let g = Graph::undirected(3, &[(0, 1), (1, 2)]);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_input_edges(), 2);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn directed_keeps_direction() {
+        let g = Graph::directed(3, &[(0, 1), (1, 2)]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.in_degree(2), 1);
+        assert_eq!(g.out_degree(2), 0);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn self_loops_removed() {
+        let g = Graph::undirected(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn degree_dominates_checks_both_sides() {
+        let g = Graph::directed(3, &[(0, 1), (0, 2), (1, 0)]);
+        // vertex 0: out 2, in 1.
+        assert!(g.degree_dominates(0, 2, 1));
+        assert!(!g.degree_dominates(0, 3, 0));
+        assert!(!g.degree_dominates(0, 0, 2));
+    }
+
+    #[test]
+    fn labels_attach_and_filter() {
+        let g = Graph::undirected(3, &[(0, 1), (1, 2)]).with_labels(vec![7, 8, 7]);
+        assert!(g.is_labeled());
+        assert_eq!(g.label(1), Some(8));
+        let q = Graph::undirected(2, &[(0, 1)]).with_labels(vec![7, 8]);
+        assert!(g.label_compatible(0, &q, 0)); // 7 == 7
+        assert!(!g.label_compatible(1, &q, 0)); // 8 != 7
+        // Unlabelled side is a wildcard.
+        let unlabeled = Graph::undirected(2, &[(0, 1)]);
+        assert!(g.label_compatible(1, &unlabeled, 0));
+        assert!(unlabeled.label_compatible(0, &q, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per vertex")]
+    fn wrong_label_count_panics() {
+        let _ = Graph::undirected(3, &[(0, 1)]).with_labels(vec![1]);
+    }
+
+    #[test]
+    fn degree_extremes() {
+        let g = Graph::undirected(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.max_out_degree(), 3);
+        assert_eq!(g.max_in_degree(), 3);
+        assert!((g.avg_out_degree() - 1.5).abs() < 1e-12);
+    }
+}

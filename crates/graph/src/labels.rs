@@ -1,0 +1,87 @@
+//! Vertex-label assignment helpers (the labelled-matching extension).
+//!
+//! The paper evaluates unlabelled graphs, but the systems it compares
+//! against (GSI in particular) are designed for labelled RDF-style data.
+//! These helpers make labelled workloads easy to synthesise: uniform
+//! random labels, Zipf-skewed labels (the realistic case — label
+//! frequencies in knowledge graphs are heavy-tailed), and degree-band
+//! labels (deterministic, good for tests).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, VertexId};
+
+/// Uniform random labels from `0..num_labels`.
+pub fn random_labels(n: usize, num_labels: u32, seed: u64) -> Vec<u32> {
+    assert!(num_labels >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..num_labels)).collect()
+}
+
+/// Zipf-skewed labels: label `k` has weight `1/(k+1)`, so label 0 is the
+/// most frequent — the selectivity structure GSI's frequency-based
+/// ordering exploits.
+pub fn zipf_labels(n: usize, num_labels: u32, seed: u64) -> Vec<u32> {
+    assert!(num_labels >= 1);
+    let weights: Vec<f64> = (0..num_labels).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut t = rng.random_range(0.0..total);
+            for (k, &w) in weights.iter().enumerate() {
+                if t < w {
+                    return k as u32;
+                }
+                t -= w;
+            }
+            num_labels - 1
+        })
+        .collect()
+}
+
+/// Deterministic degree-band labels: vertices bucketed by
+/// `floor(log2(out_degree + 1))`, capped at `max_label`.
+pub fn degree_band_labels(g: &Graph, max_label: u32) -> Vec<u32> {
+    (0..g.num_vertices() as VertexId)
+        .map(|v| {
+            let d = g.out_degree(v);
+            (32 - (d + 1).leading_zeros() - 1).min(max_label)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::star;
+
+    #[test]
+    fn random_labels_in_range() {
+        let l = random_labels(500, 4, 3);
+        assert_eq!(l.len(), 500);
+        assert!(l.iter().all(|&x| x < 4));
+        // All labels appear at this size.
+        for k in 0..4 {
+            assert!(l.contains(&k));
+        }
+        assert_eq!(l, random_labels(500, 4, 3)); // deterministic
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let l = zipf_labels(4000, 8, 5);
+        let count0 = l.iter().filter(|&&x| x == 0).count();
+        let count7 = l.iter().filter(|&&x| x == 7).count();
+        assert!(count0 > 4 * count7, "zipf skew: {count0} vs {count7}");
+    }
+
+    #[test]
+    fn degree_bands() {
+        let g = star(9); // hub degree 8, leaves degree 1
+        let l = degree_band_labels(&g, 10);
+        assert_eq!(l[0], 3); // log2(9) floor = 3
+        assert!(l[1..].iter().all(|&x| x == 1)); // log2(2) = 1
+    }
+}

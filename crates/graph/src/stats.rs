@@ -1,0 +1,90 @@
+//! Graph statistics (Table 2 regeneration and diagnostics).
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Stored arc count (undirected edges count twice).
+    pub arcs: usize,
+    /// Undirected edge count if symmetric, else arc count.
+    pub input_edges: usize,
+    /// Maximum out-degree (the paper's δ).
+    pub max_out_degree: u32,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Out-degree at the 99th percentile.
+    pub p99_out_degree: u32,
+}
+
+/// Computes [`GraphStats`].
+pub fn stats(g: &Graph) -> GraphStats {
+    let n = g.num_vertices();
+    let mut degs: Vec<u32> = (0..n as u32).map(|v| g.out_degree(v)).collect();
+    degs.sort_unstable();
+    let p99 = if n == 0 {
+        0
+    } else {
+        degs[((n - 1) as f64 * 0.99) as usize]
+    };
+    GraphStats {
+        vertices: n,
+        arcs: g.num_edges(),
+        input_edges: g.num_input_edges(),
+        max_out_degree: degs.last().copied().unwrap_or(0),
+        max_in_degree: g.max_in_degree(),
+        avg_out_degree: g.avg_out_degree(),
+        p99_out_degree: p99,
+    }
+}
+
+/// Out-degree histogram with power-of-two buckets: `hist[i]` counts vertices
+/// with degree in `[2^i, 2^(i+1))`; `hist[0]` counts degree 0 and 1.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; 33];
+    for v in 0..g.num_vertices() as u32 {
+        let d = g.out_degree(v);
+        let bucket = if d <= 1 { 0 } else { (31 - d.leading_zeros()) as usize };
+        hist[bucket] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{clique, star};
+
+    #[test]
+    fn clique_stats() {
+        let s = stats(&clique(5));
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.input_edges, 10);
+        assert_eq!(s.arcs, 20);
+        assert_eq!(s.max_out_degree, 4);
+        assert!((s.avg_out_degree - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = degree_histogram(&star(10));
+        // 9 leaves at degree 1 (bucket 0), hub at degree 9 (bucket 3).
+        assert_eq!(h[0], 9);
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::directed(0, &[]);
+        let s = stats(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.max_out_degree, 0);
+    }
+}

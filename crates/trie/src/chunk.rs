@@ -1,0 +1,87 @@
+//! Chunk iteration for the hybrid BFS-DFS strategy (§4.1.2) and the
+//! distributed outer loop (§4.2): "these partial paths are then chunked,
+//! and the GPU will process one chunk at a time".
+
+use std::ops::Range;
+
+/// The chunk size the paper found empirically best.
+pub const DEFAULT_CHUNK_SIZE: usize = 512;
+
+/// Iterator over fixed-size sub-ranges of an entry range; the last chunk
+/// may be short.
+#[derive(Debug, Clone)]
+pub struct Chunks {
+    range: Range<usize>,
+    chunk_size: usize,
+}
+
+impl Chunks {
+    /// Splits `range` into chunks of at most `chunk_size`.
+    pub fn new(range: Range<usize>, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks { range, chunk_size }
+    }
+
+    /// Number of chunks that will be produced.
+    pub fn count(&self) -> usize {
+        self.range.len().div_ceil(self.chunk_size)
+    }
+}
+
+impl Iterator for Chunks {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.range.is_empty() {
+            return None;
+        }
+        let start = self.range.start;
+        let end = (start + self.chunk_size).min(self.range.end);
+        self.range.start = end;
+        Some(start..end)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.range.len().div_ceil(self.chunk_size);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Chunks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let c: Vec<_> = Chunks::new(0..1024, 512).collect();
+        assert_eq!(c, [0..512, 512..1024]);
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let c: Vec<_> = Chunks::new(10..23, 5).collect();
+        assert_eq!(c, [10..15, 15..20, 20..23]);
+        assert_eq!(Chunks::new(10..23, 5).count(), 3);
+        assert_eq!(Chunks::new(10..23, 5).len(), 3);
+    }
+
+    #[test]
+    fn empty_range() {
+        assert_eq!(Chunks::new(5..5, 512).count(), 0);
+        assert!(Chunks::new(5..5, 512).next().is_none());
+    }
+
+    #[test]
+    fn covers_everything_once() {
+        let mut seen = [false; 100];
+        for r in Chunks::new(0..100, 7) {
+            for i in r {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,183 @@
+//! Compressed Sparse Fibre (CSF) representation — Figure 3(B).
+//!
+//! CSF stores each level as a node-id array plus an index array giving each
+//! entry the contiguous range of its children in the next level. It is more
+//! compact than the PA/CA trie by roughly one word per entry, but — as
+//! §4.1.1 explains — children of one parent must be contiguous, so building
+//! it in parallel needs a two-pass count-then-write algorithm. We implement
+//! it (a) to validate the trie against an independent representation and
+//! (b) to account its exact word cost for the Table 1 comparison.
+
+use crate::trie::{HostTrie, NO_PARENT};
+
+/// A CSF-encoded path set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csf {
+    /// `node_ids[l]` — candidate vertex of every entry at level `l`,
+    /// children of one parent contiguous.
+    pub node_ids: Vec<Vec<u32>>,
+    /// `child_index[l][i] .. child_index[l][i+1]` — children of entry `i`
+    /// of level `l` within `node_ids[l + 1]`. Present for every level that
+    /// has a successor.
+    pub child_index: Vec<Vec<u32>>,
+}
+
+impl Csf {
+    /// Builds a CSF from a host trie using the two-pass strategy the paper
+    /// describes for prior work: pass 1 counts children per parent, pass 2
+    /// scatters after a prefix sum.
+    pub fn from_host_trie(t: &HostTrie) -> Csf {
+        let nl = t.levels.len();
+        let mut node_ids: Vec<Vec<u32>> = Vec::with_capacity(nl);
+        let mut child_index: Vec<Vec<u32>> = Vec::new();
+        if nl == 0 {
+            return Csf {
+                node_ids,
+                child_index,
+            };
+        }
+        // Level 0 keeps its order; `perm` maps trie entry index -> position
+        // within its CSF level.
+        let mut perm: Vec<u32> = vec![0; t.len()];
+        let l0 = t.levels[0].clone();
+        node_ids.push(l0.clone().map(|i| t.ca[i]).collect());
+        for (pos, i) in l0.enumerate() {
+            perm[i] = pos as u32;
+        }
+        for l in 1..nl {
+            let prev = t.levels[l - 1].clone();
+            let cur = t.levels[l].clone();
+            let prev_len = prev.len();
+            // Pass 1: count children per parent position.
+            let mut counts = vec![0u32; prev_len];
+            for i in cur.clone() {
+                let p = t.pa[i];
+                debug_assert_ne!(p, NO_PARENT);
+                counts[perm[p as usize] as usize] += 1;
+            }
+            // Prefix sum -> index array.
+            let mut index = vec![0u32; prev_len + 1];
+            for i in 0..prev_len {
+                index[i + 1] = index[i] + counts[i];
+            }
+            // Pass 2: scatter children into contiguous per-parent slots.
+            let mut cursor = index.clone();
+            let mut ids = vec![0u32; cur.len()];
+            for i in cur.clone() {
+                let slot = &mut cursor[perm[t.pa[i] as usize] as usize];
+                ids[*slot as usize] = t.ca[i];
+                perm[i] = *slot;
+                *slot += 1;
+            }
+            child_index.push(index);
+            node_ids.push(ids);
+        }
+        Csf {
+            node_ids,
+            child_index,
+        }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Exact storage in words: node ids plus every index array.
+    pub fn words_used(&self) -> usize {
+        self.node_ids.iter().map(Vec::len).sum::<usize>()
+            + self.child_index.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Expands every root-to-deepest-level path (for equivalence tests).
+    pub fn full_paths(&self) -> Vec<Vec<u32>> {
+        let nl = self.num_levels();
+        if nl == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, usize, Vec<u32>)> = (0..self.node_ids[0].len())
+            .map(|i| (0usize, i, vec![self.node_ids[0][i]]))
+            .collect();
+        while let Some((l, i, path)) = stack.pop() {
+            if l + 1 == nl {
+                out.push(path);
+                continue;
+            }
+            let lo = self.child_index[l][i] as usize;
+            let hi = self.child_index[l][i + 1] as usize;
+            for c in lo..hi {
+                let mut p = path.clone();
+                p.push(self.node_ids[l + 1][c]);
+                stack.push((l + 1, c, p));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trie() -> HostTrie {
+        // Interleaved children (the write order CSF cannot produce in one
+        // pass): roots 0, 1; children written as (0->3), (1->2), (0->4).
+        HostTrie {
+            pa: vec![NO_PARENT, NO_PARENT, 0, 1, 0],
+            ca: vec![10, 11, 3, 2, 4],
+            levels: vec![0..2, 2..5],
+        }
+    }
+
+    #[test]
+    fn children_become_contiguous() {
+        let csf = Csf::from_host_trie(&sample_trie());
+        assert_eq!(csf.node_ids[0], vec![10, 11]);
+        // Children of root 0 first (3, 4), then root 1's (2).
+        assert_eq!(csf.node_ids[1], vec![3, 4, 2]);
+        assert_eq!(csf.child_index[0], vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn paths_equivalent_to_trie() {
+        let t = sample_trie();
+        let csf = Csf::from_host_trie(&t);
+        let mut a = csf.full_paths();
+        let mut b = t.paths_at_level(1);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn word_accounting() {
+        let csf = Csf::from_host_trie(&sample_trie());
+        // node ids: 2 + 3; index: 3.
+        assert_eq!(csf.words_used(), 8);
+    }
+
+    #[test]
+    fn three_levels() {
+        let t = HostTrie {
+            pa: vec![NO_PARENT, 0, 0, 1, 2],
+            ca: vec![5, 6, 7, 8, 9],
+            levels: vec![0..1, 1..3, 3..5],
+        };
+        let csf = Csf::from_host_trie(&t);
+        let mut a = csf.full_paths();
+        let mut b = t.paths_at_level(2);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(csf.num_levels(), 3);
+    }
+
+    #[test]
+    fn empty() {
+        let csf = Csf::from_host_trie(&HostTrie::new());
+        assert_eq!(csf.num_levels(), 0);
+        assert!(csf.full_paths().is_empty());
+        assert_eq!(csf.words_used(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The naive flat path table: every partial path stores all of its
+//! vertices (Figure 2(C), the "traditional representations" of §4.1.1, and
+//! the intermediate storage the GSI-style baseline uses).
+
+/// Flat path storage: level `l` is a matrix of `count × depth` words.
+#[derive(Debug, Clone, Default)]
+pub struct NaivePathTable {
+    /// One entry per level: (depth, flattened row-major paths).
+    levels: Vec<(usize, Vec<u32>)>,
+}
+
+impl NaivePathTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a level of `depth`-long paths from an iterator of rows.
+    pub fn push_level<I>(&mut self, depth: usize, rows: I)
+    where
+        I: IntoIterator<Item = Vec<u32>>,
+    {
+        let mut flat = Vec::new();
+        for row in rows {
+            assert_eq!(row.len(), depth, "row depth mismatch");
+            flat.extend_from_slice(&row);
+        }
+        self.levels.push((depth, flat));
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of paths at level `l`.
+    pub fn level_count(&self, l: usize) -> usize {
+        let (depth, flat) = &self.levels[l];
+        if *depth == 0 {
+            0
+        } else {
+            flat.len() / depth
+        }
+    }
+
+    /// Path `i` of level `l`.
+    pub fn path(&self, l: usize, i: usize) -> &[u32] {
+        let (depth, flat) = &self.levels[l];
+        &flat[i * depth..(i + 1) * depth]
+    }
+
+    /// All paths of level `l`.
+    pub fn paths(&self, l: usize) -> Vec<Vec<u32>> {
+        (0..self.level_count(l))
+            .map(|i| self.path(l, i).to_vec())
+            .collect()
+    }
+
+    /// Words used by level `l` alone (the frontier cost `|P_l| × l` of
+    /// Equation 3).
+    pub fn words_at_level(&self, l: usize) -> usize {
+        self.levels[l].1.len()
+    }
+
+    /// Cumulative words through level `l` inclusive — the quantity the
+    /// paper's Table 1 reports in its "naive storage" column.
+    pub fn words_cumulative(&self, l: usize) -> usize {
+        (0..=l).map(|i| self.words_at_level(i)).sum()
+    }
+
+    /// Static cost of storing `count` paths of length `depth`.
+    pub fn words_for(depth: usize, count: usize) -> usize {
+        depth * count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut t = NaivePathTable::new();
+        t.push_level(1, vec![vec![4], vec![7]]);
+        t.push_level(2, vec![vec![4, 1], vec![4, 2], vec![7, 0]]);
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.level_count(1), 3);
+        assert_eq!(t.path(1, 2), &[7, 0]);
+        assert_eq!(t.paths(0), vec![vec![4], vec![7]]);
+    }
+
+    #[test]
+    fn word_accounting_matches_formula() {
+        let mut t = NaivePathTable::new();
+        t.push_level(1, (0..16).map(|i| vec![i]).collect::<Vec<_>>());
+        t.push_level(2, (0..48).map(|i| vec![i, i]).collect::<Vec<_>>());
+        // Figure 2(C): depth 1 = 16 words, depth 2 = 96 words.
+        assert_eq!(t.words_at_level(0), 16);
+        assert_eq!(t.words_at_level(1), 96);
+        assert_eq!(t.words_cumulative(1), 112);
+        assert_eq!(NaivePathTable::words_for(2, 48), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "row depth mismatch")]
+    fn depth_mismatch_panics() {
+        let mut t = NaivePathTable::new();
+        t.push_level(2, vec![vec![1]]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Wire format for work donation (§4.2).
+//!
+//! A busy node donating work ships either a whole trie or a batch of
+//! extracted flat paths; the receiver re-roots them into its own local
+//! trie. Encoding is little-endian `u32` words over [`bytes`] buffers.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::trie::HostTrie;
+
+/// Errors from decoding a donation payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload shorter than its header claims.
+    Truncated,
+    /// Header fields are internally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::Corrupt(what) => write!(f, "payload corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a full host trie: `[num_levels, level_ends…, len, pa…, ca…]`.
+pub fn encode_trie(t: &HostTrie) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 * (2 + t.levels.len() + 2 * t.len()));
+    b.put_u32_le(t.levels.len() as u32);
+    for l in &t.levels {
+        b.put_u32_le(l.end as u32);
+    }
+    b.put_u32_le(t.len() as u32);
+    for &p in &t.pa {
+        b.put_u32_le(p);
+    }
+    for &c in &t.ca {
+        b.put_u32_le(c);
+    }
+    b.freeze()
+}
+
+/// Decodes [`encode_trie`] output.
+pub fn decode_trie(mut buf: Bytes) -> Result<HostTrie, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let num_levels = buf.get_u32_le() as usize;
+    if buf.remaining() < 4 * (num_levels + 1) {
+        return Err(WireError::Truncated);
+    }
+    let mut levels = Vec::with_capacity(num_levels);
+    let mut start = 0usize;
+    for _ in 0..num_levels {
+        let end = buf.get_u32_le() as usize;
+        if end < start {
+            return Err(WireError::Corrupt("level ends not monotone"));
+        }
+        levels.push(start..end);
+        start = end;
+    }
+    let len = buf.get_u32_le() as usize;
+    if levels.last().map_or(0, |l| l.end) != len {
+        return Err(WireError::Corrupt("length disagrees with level ends"));
+    }
+    if buf.remaining() < 8 * len {
+        return Err(WireError::Truncated);
+    }
+    let pa = (0..len).map(|_| buf.get_u32_le()).collect();
+    let ca = (0..len).map(|_| buf.get_u32_le()).collect();
+    Ok(HostTrie { pa, ca, levels })
+}
+
+/// Encodes a batch of uniform-depth flat paths: `[depth, count, words…]`.
+pub fn encode_paths(paths: &[Vec<u32>]) -> Bytes {
+    let depth = paths.first().map_or(0, Vec::len);
+    assert!(paths.iter().all(|p| p.len() == depth), "ragged path batch");
+    let mut b = BytesMut::with_capacity(4 * (2 + depth * paths.len()));
+    b.put_u32_le(depth as u32);
+    b.put_u32_le(paths.len() as u32);
+    for p in paths {
+        for &v in p {
+            b.put_u32_le(v);
+        }
+    }
+    b.freeze()
+}
+
+/// Decodes [`encode_paths`] output.
+pub fn decode_paths(mut buf: Bytes) -> Result<Vec<Vec<u32>>, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let depth = buf.get_u32_le() as usize;
+    let count = buf.get_u32_le() as usize;
+    if buf.remaining() < 4 * depth * count {
+        return Err(WireError::Truncated);
+    }
+    Ok((0..count)
+        .map(|_| (0..depth).map(|_| buf.get_u32_le()).collect())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::NO_PARENT;
+
+    fn sample() -> HostTrie {
+        HostTrie {
+            pa: vec![NO_PARENT, NO_PARENT, 0, 1, 0],
+            ca: vec![10, 11, 3, 2, 4],
+            levels: vec![0..2, 2..5],
+        }
+    }
+
+    #[test]
+    fn trie_roundtrip() {
+        let t = sample();
+        let decoded = decode_trie(encode_trie(&t)).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn empty_trie_roundtrip() {
+        let t = HostTrie::new();
+        assert_eq!(decode_trie(encode_trie(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_trie_rejected() {
+        let enc = encode_trie(&sample());
+        let cut = enc.slice(0..enc.len() - 4);
+        assert_eq!(decode_trie(cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let t = sample();
+        let mut raw = BytesMut::from(&encode_trie(&t)[..]);
+        // Overwrite the len field (after num_levels + level ends).
+        let len_off = 4 * (1 + t.levels.len());
+        raw[len_off..len_off + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_trie(raw.freeze()),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn paths_roundtrip() {
+        let paths = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        assert_eq!(decode_paths(encode_paths(&paths)).unwrap(), paths);
+        let empty: Vec<Vec<u32>> = vec![];
+        assert_eq!(decode_paths(encode_paths(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_paths_rejected() {
+        let enc = encode_paths(&[vec![1, 2, 3]]);
+        assert_eq!(
+            decode_paths(enc.slice(0..enc.len() - 2)),
+            Err(WireError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The PA/CA pair table: two device arrays, one shared atomic cursor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cuts_gpu_sim::{Device, DeviceError, GlobalBuffer};
+
+/// Two parallel device arrays (parent indices and candidate ids) appended
+/// through a single shared cursor, so entry `i` of one always pairs with
+/// entry `i` of the other even under concurrent appends.
+pub struct PairTable {
+    pa: GlobalBuffer,
+    ca: GlobalBuffer,
+    cursor: AtomicUsize,
+}
+
+impl PairTable {
+    /// Allocates a table of `capacity` entries from device memory (costs
+    /// `2 × capacity` words against the device budget).
+    pub fn on_device(device: &Device, capacity: usize) -> Result<Self, DeviceError> {
+        let pa = device.alloc_buffer(capacity)?;
+        let ca = match device.alloc_buffer(capacity) {
+            Ok(b) => b,
+            Err(e) => {
+                drop(pa);
+                return Err(e);
+            }
+        };
+        Ok(PairTable {
+            pa,
+            ca,
+            cursor: AtomicUsize::new(0),
+        })
+    }
+
+    /// Unaccounted host-side table (tests).
+    pub fn on_host(capacity: usize) -> Self {
+        PairTable {
+            pa: GlobalBuffer::new(capacity),
+            ca: GlobalBuffer::new(capacity),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Entry capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.pa.capacity()
+    }
+
+    /// Committed entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cursor.load(Ordering::Acquire).min(self.capacity())
+    }
+
+    /// True if no entries are committed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Claims `n` entries with one atomic fetch-add; rolls back on
+    /// overflow so `len()` stays exact.
+    pub fn reserve(&self, n: usize) -> Result<PairRange<'_>, DeviceError> {
+        let start = self.cursor.fetch_add(n, Ordering::AcqRel);
+        if start + n > self.capacity() {
+            self.cursor.fetch_sub(n, Ordering::AcqRel);
+            return Err(DeviceError::BufferOverflow {
+                capacity: self.capacity(),
+            });
+        }
+        Ok(PairRange {
+            table: self,
+            start,
+            len: n,
+        })
+    }
+
+    /// Parent index of entry `i`.
+    #[inline]
+    pub fn parent(&self, i: usize) -> u32 {
+        self.pa.get(i)
+    }
+
+    /// Candidate id of entry `i`.
+    #[inline]
+    pub fn candidate(&self, i: usize) -> u32 {
+        self.ca.get(i)
+    }
+
+    /// Shrinks the committed length (hybrid BFS-DFS reclaims chunk
+    /// scratch levels this way).
+    pub fn truncate(&self, len: usize) {
+        let cur = self.cursor.load(Ordering::Acquire);
+        assert!(len <= cur, "truncate can only shrink");
+        self.cursor.store(len, Ordering::Release);
+    }
+
+    /// Drops all entries.
+    pub fn clear(&self) {
+        self.cursor.store(0, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for PairTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairTable")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// An exclusively-owned range of a [`PairTable`].
+pub struct PairRange<'a> {
+    table: &'a PairTable,
+    start: usize,
+    len: usize,
+}
+
+impl PairRange<'_> {
+    /// Absolute index of the first claimed entry.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of claimed entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the claimed range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes the pair at `offset` within the claimed range.
+    #[inline]
+    pub fn write(&self, offset: usize, parent: u32, candidate: u32) {
+        assert!(offset < self.len, "write past pair reservation");
+        let idx = self.start + offset;
+        // SAFETY: `idx` lies in a range claimed by a unique fetch-add;
+        // no other thread touches it until the kernel joins.
+        unsafe {
+            self.table.pa.write_raw(idx, parent);
+            self.table.ca.write_raw(idx, candidate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn paired_appends() {
+        let t = PairTable::on_host(8);
+        let r = t.reserve(2).unwrap();
+        r.write(0, 10, 100);
+        r.write(1, 11, 101);
+        assert_eq!(t.len(), 2);
+        assert_eq!((t.parent(0), t.candidate(0)), (10, 100));
+        assert_eq!((t.parent(1), t.candidate(1)), (11, 101));
+    }
+
+    #[test]
+    fn overflow_rolls_back() {
+        let t = PairTable::on_host(3);
+        t.reserve(2).unwrap();
+        assert!(t.reserve(2).is_err());
+        assert_eq!(t.len(), 2);
+        t.reserve(1).unwrap();
+    }
+
+    #[test]
+    fn device_accounting_two_arrays() {
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(100));
+        let t = PairTable::on_device(&d, 30).unwrap();
+        assert_eq!(d.allocated_words(), 60);
+        drop(t);
+        assert_eq!(d.allocated_words(), 0);
+        // Second array failing must release the first.
+        assert!(PairTable::on_device(&d, 60).is_err());
+        assert_eq!(d.allocated_words(), 0);
+    }
+
+    #[test]
+    fn concurrent_pairs_stay_paired() {
+        let t = PairTable::on_host(4000);
+        std::thread::scope(|s| {
+            for tid in 0..8u32 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        let r = t.reserve(5).unwrap();
+                        for k in 0..5u32 {
+                            // parent and candidate carry the same tag so a
+                            // torn pair is detectable.
+                            let tag = tid * 1_000_000 + i * 100 + k;
+                            r.write(k as usize, tag, tag.wrapping_add(7));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 4000);
+        for i in 0..t.len() {
+            assert_eq!(t.candidate(i), t.parent(i).wrapping_add(7), "torn pair at {i}");
+        }
+    }
+
+    #[test]
+    fn truncate_then_reuse() {
+        let t = PairTable::on_host(10);
+        t.reserve(6).unwrap();
+        t.truncate(2);
+        assert_eq!(t.len(), 2);
+        let r = t.reserve(3).unwrap();
+        assert_eq!(r.start(), 2);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

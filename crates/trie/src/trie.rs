@@ -1,0 +1,522 @@
+//! Levelled trie over a [`PairTable`].
+
+use std::ops::Range;
+
+use cuts_gpu_sim::{Device, DeviceError};
+
+use crate::table::PairTable;
+
+/// Parent marker for root-level entries.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// The cuTS partial-path trie: a [`PairTable`] plus sealed level
+/// boundaries. Level `l` holds every partial path of depth `l + 1`; an
+/// entry's full path is recovered by chasing parent indices to the root.
+///
+/// ```
+/// use cuts_trie::{Trie, NO_PARENT};
+///
+/// let mut t = Trie::on_host(16);
+/// let r = t.table().reserve(1).unwrap();
+/// r.write(0, NO_PARENT, 7); // root candidate: data vertex 7
+/// t.seal_level();
+/// let r = t.table().reserve(2).unwrap();
+/// r.write(0, 0, 3); // two children of entry 0, written with
+/// r.write(1, 0, 5); // one atomic reservation
+/// t.seal_level();
+/// assert_eq!(t.paths_at_level(1), vec![vec![7, 3], vec![7, 5]]);
+/// assert_eq!(t.words_used(), 6); // 2 words per entry (PA + CA)
+/// ```
+pub struct Trie {
+    table: PairTable,
+    levels: Vec<Range<usize>>,
+}
+
+impl Trie {
+    /// Allocates a trie with room for `entries` partial-path nodes on a
+    /// device (`2 × entries` words of device memory).
+    pub fn on_device(device: &Device, entries: usize) -> Result<Self, DeviceError> {
+        Ok(Trie {
+            table: PairTable::on_device(device, entries)?,
+            levels: Vec::new(),
+        })
+    }
+
+    /// Host-side trie (tests, donations).
+    pub fn on_host(entries: usize) -> Self {
+        Trie {
+            table: PairTable::on_host(entries),
+            levels: Vec::new(),
+        }
+    }
+
+    /// Sizes the trie the way the paper does: "we first allocate two big
+    /// arrays whose size equals half of the free space available in the
+    /// GPU". `fraction` of the device's free words go to the table
+    /// (half to PA, half to CA).
+    pub fn sized_from_free(device: &Device, fraction: f64) -> Result<Self, DeviceError> {
+        assert!(fraction > 0.0 && fraction <= 1.0);
+        let entries = ((device.free_words() as f64 * fraction) / 2.0) as usize;
+        Trie::on_device(device, entries.max(1))
+    }
+
+    /// The underlying pair table (kernels append through this).
+    #[inline]
+    pub fn table(&self) -> &PairTable {
+        &self.table
+    }
+
+    /// Number of sealed levels.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Entry range of sealed level `l`.
+    #[inline]
+    pub fn level(&self, l: usize) -> Range<usize> {
+        self.levels[l].clone()
+    }
+
+    /// Number of entries in sealed level `l` (the paper's `|P_{l+1}|`).
+    #[inline]
+    pub fn level_len(&self, l: usize) -> usize {
+        self.levels[l].len()
+    }
+
+    /// Sizes of all sealed levels.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|r| r.len()).collect()
+    }
+
+    /// Seals everything appended since the previous seal as a new level and
+    /// returns its range.
+    pub fn seal_level(&mut self) -> Range<usize> {
+        let start = self.levels.last().map_or(0, |r| r.end);
+        let end = self.table.len();
+        debug_assert!(end >= start);
+        let range = start..end;
+        self.levels.push(range.clone());
+        range
+    }
+
+    /// Discards the last `n` sealed levels and their entries (hybrid
+    /// BFS-DFS reclaims a finished chunk's subtree this way).
+    pub fn pop_levels(&mut self, n: usize) {
+        assert!(n <= self.levels.len());
+        for _ in 0..n {
+            self.levels.pop();
+        }
+        let keep = self.levels.last().map_or(0, |r| r.end);
+        self.table.truncate(keep);
+    }
+
+    /// Parent index of entry `i` (`NO_PARENT` at the root level).
+    #[inline]
+    pub fn parent(&self, i: usize) -> u32 {
+        self.table.parent(i)
+    }
+
+    /// Matched data-graph vertex of entry `i`.
+    #[inline]
+    pub fn candidate(&self, i: usize) -> u32 {
+        self.table.candidate(i)
+    }
+
+    /// Words of device memory committed so far (PA + CA entries) — the
+    /// quantity Table 1 reports for "our storage".
+    pub fn words_used(&self) -> usize {
+        2 * self.table.len()
+    }
+
+    /// Extracts the full path ending at entry `leaf`, root candidate first.
+    pub fn extract_path(&self, leaf: usize) -> Vec<u32> {
+        let mut rev = Vec::new();
+        let mut i = leaf as u32;
+        loop {
+            rev.push(self.candidate(i as usize));
+            let p = self.parent(i as usize);
+            if p == NO_PARENT {
+                break;
+            }
+            i = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// All full paths of sealed level `l`, in entry order.
+    pub fn paths_at_level(&self, l: usize) -> Vec<Vec<u32>> {
+        self.level(l).map(|i| self.extract_path(i)).collect()
+    }
+
+    /// Seeds an empty device trie from a host trie (the receiving side of
+    /// a §4.2 donation: "integrate it to its own local trie").
+    pub fn load(&mut self, host: &HostTrie) -> Result<(), DeviceError> {
+        assert!(
+            self.levels.is_empty() && self.table.is_empty(),
+            "load requires an empty trie"
+        );
+        for level in &host.levels {
+            let r = self.table.reserve(level.len())?;
+            for (k, i) in level.clone().enumerate() {
+                r.write(k, host.pa[i], host.ca[i]);
+            }
+            self.seal_level();
+        }
+        Ok(())
+    }
+
+    /// Copies the committed trie to the host.
+    pub fn to_host(&self) -> HostTrie {
+        let len = self.table.len();
+        HostTrie {
+            pa: (0..len).map(|i| self.parent(i)).collect(),
+            ca: (0..len).map(|i| self.candidate(i)).collect(),
+            levels: self.levels.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Trie {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trie")
+            .field("levels", &self.level_sizes())
+            .field("entries", &self.table.len())
+            .field("capacity", &self.table.capacity())
+            .finish()
+    }
+}
+
+/// Heap-resident trie copy: what travels in a donation message and what
+/// verification code inspects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostTrie {
+    /// Parent indices.
+    pub pa: Vec<u32>,
+    /// Candidate vertex ids.
+    pub ca: Vec<u32>,
+    /// Sealed level ranges.
+    pub levels: Vec<Range<usize>>,
+}
+
+impl HostTrie {
+    /// Empty host trie.
+    pub fn new() -> Self {
+        HostTrie {
+            pa: Vec::new(),
+            ca: Vec::new(),
+            levels: Vec::new(),
+        }
+    }
+
+    /// Extracts the path ending at `leaf`, root first.
+    pub fn extract_path(&self, leaf: usize) -> Vec<u32> {
+        let mut rev = Vec::new();
+        let mut i = leaf as u32;
+        loop {
+            rev.push(self.ca[i as usize]);
+            let p = self.pa[i as usize];
+            if p == NO_PARENT {
+                break;
+            }
+            i = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// All paths of level `l`.
+    pub fn paths_at_level(&self, l: usize) -> Vec<Vec<u32>> {
+        self.levels[l]
+            .clone()
+            .map(|i| self.extract_path(i))
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ca.len()
+    }
+
+    /// True if the trie holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ca.is_empty()
+    }
+
+    /// Depth (number of levels) of this trie.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Structural integrity check: levels must tile `0..len` contiguously,
+    /// level-0 entries must be roots, and every deeper entry's parent must
+    /// lie in the previous level. Used by tests and by the donation
+    /// receive path to reject corrupt payloads early.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pa.len() != self.ca.len() {
+            return Err("PA and CA lengths differ".into());
+        }
+        let mut expect_start = 0usize;
+        for (l, range) in self.levels.iter().enumerate() {
+            if range.start != expect_start {
+                return Err(format!(
+                    "level {l} starts at {} but previous ended at {expect_start}",
+                    range.start
+                ));
+            }
+            if range.end < range.start || range.end > self.ca.len() {
+                return Err(format!("level {l} range {range:?} out of bounds"));
+            }
+            for i in range.clone() {
+                let p = self.pa[i];
+                if l == 0 {
+                    if p != NO_PARENT {
+                        return Err(format!("root entry {i} has parent {p}"));
+                    }
+                } else {
+                    let prev = &self.levels[l - 1];
+                    if p == NO_PARENT
+                        || (p as usize) < prev.start
+                        || (p as usize) >= prev.end
+                    {
+                        return Err(format!(
+                            "entry {i} at level {l} has parent {p} outside {prev:?}"
+                        ));
+                    }
+                }
+            }
+            expect_start = range.end;
+        }
+        if expect_start != self.ca.len() {
+            return Err(format!(
+                "levels cover 0..{expect_start} but trie holds {} entries",
+                self.ca.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Splits the deepest level's paths into up to `parts` contiguous
+    /// groups, each re-rooted as an independent trie — the donation-
+    /// granularity refinement: a single heavy subtree becomes several
+    /// shippable jobs.
+    pub fn split_frontier(&self, parts: usize) -> Vec<HostTrie> {
+        assert!(parts >= 1);
+        if self.levels.is_empty() {
+            return vec![];
+        }
+        let last = self.levels.len() - 1;
+        let paths = self.paths_at_level(last);
+        if paths.is_empty() {
+            return vec![];
+        }
+        let per = paths.len().div_ceil(parts);
+        paths
+            .chunks(per.max(1))
+            .map(HostTrie::from_flat_paths)
+            .collect()
+    }
+
+    /// Builds a single-level host trie from flat paths of uniform depth,
+    /// re-rooting each path as a chain (used by the receiving side of a
+    /// donation: §4.2 "integrate it to its own local trie").
+    pub fn from_flat_paths(paths: &[Vec<u32>]) -> Self {
+        let mut t = HostTrie::new();
+        if paths.is_empty() {
+            return t;
+        }
+        let depth = paths[0].len();
+        assert!(paths.iter().all(|p| p.len() == depth));
+        // Chain layout: every path contributes `depth` entries. Shared
+        // prefixes are re-merged level by level.
+        let mut level_starts = Vec::new();
+        // Maps (level, path index) -> entry index, built level by level with
+        // prefix sharing via a per-level map from (parent entry, vertex).
+        let mut parent_of_path: Vec<u32> = vec![NO_PARENT; paths.len()];
+        for l in 0..depth {
+            let start = t.ca.len();
+            level_starts.push(start);
+            let mut seen: std::collections::HashMap<(u32, u32), u32> =
+                std::collections::HashMap::new();
+            for (pi, path) in paths.iter().enumerate() {
+                let key = (parent_of_path[pi], path[l]);
+                let entry = *seen.entry(key).or_insert_with(|| {
+                    t.pa.push(key.0);
+                    t.ca.push(key.1);
+                    (t.ca.len() - 1) as u32
+                });
+                parent_of_path[pi] = entry;
+            }
+            t.levels.push(start..t.ca.len());
+        }
+        t
+    }
+}
+
+impl Default for HostTrie {
+    fn default() -> Self {
+        HostTrie::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure 3 example: root u0 with children u1(u3, u4),
+    /// u2(...) etc. Here a small 2-level trie.
+    fn sample() -> Trie {
+        let mut t = Trie::on_host(64);
+        {
+            let r = t.table().reserve(2).unwrap();
+            r.write(0, NO_PARENT, 0); // u0
+            r.write(1, NO_PARENT, 1); // u1
+        }
+        t.seal_level();
+        {
+            let r = t.table().reserve(3).unwrap();
+            r.write(0, 0, 3); // u0 -> u3
+            r.write(1, 0, 4); // u0 -> u4
+            r.write(2, 1, 2); // u1 -> u2
+        }
+        t.seal_level();
+        t
+    }
+
+    #[test]
+    fn seal_and_level_sizes() {
+        let t = sample();
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.level_sizes(), vec![2, 3]);
+        assert_eq!(t.level(1), 2..5);
+        assert_eq!(t.words_used(), 10);
+    }
+
+    #[test]
+    fn extract_paths() {
+        let t = sample();
+        assert_eq!(t.extract_path(2), vec![0, 3]);
+        assert_eq!(t.extract_path(4), vec![1, 2]);
+        assert_eq!(
+            t.paths_at_level(1),
+            vec![vec![0, 3], vec![0, 4], vec![1, 2]]
+        );
+    }
+
+    #[test]
+    fn pop_levels_reclaims() {
+        let mut t = sample();
+        t.pop_levels(1);
+        assert_eq!(t.num_levels(), 1);
+        assert_eq!(t.table().len(), 2);
+        // Space is reusable.
+        let r = t.table().reserve(1).unwrap();
+        r.write(0, 1, 9);
+        t.seal_level();
+        assert_eq!(t.extract_path(2), vec![1, 9]);
+    }
+
+    #[test]
+    fn to_host_matches() {
+        let t = sample();
+        let h = t.to_host();
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.levels, vec![0..2, 2..5]);
+        assert_eq!(h.extract_path(3), vec![0, 4]);
+        assert_eq!(h.paths_at_level(1), t.paths_at_level(1));
+    }
+
+    #[test]
+    fn from_flat_paths_shares_prefixes() {
+        let paths = vec![vec![0, 3], vec![0, 4], vec![1, 2]];
+        let h = HostTrie::from_flat_paths(&paths);
+        // Level 0 has two distinct roots (0 and 1), not three.
+        assert_eq!(h.levels[0].len(), 2);
+        assert_eq!(h.levels[1].len(), 3);
+        let mut got = h.paths_at_level(1);
+        got.sort();
+        let mut want = paths.clone();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn from_flat_paths_empty() {
+        let h = HostTrie::from_flat_paths(&[]);
+        assert!(h.is_empty());
+        assert!(h.levels.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_and_rejects_corrupt() {
+        let host = sample().to_host();
+        host.validate().unwrap();
+        assert!(HostTrie::new().validate().is_ok());
+
+        // Root with a parent.
+        let mut bad = host.clone();
+        bad.pa[0] = 1;
+        assert!(bad.validate().unwrap_err().contains("root entry"));
+
+        // Parent outside the previous level.
+        let mut bad = host.clone();
+        bad.pa[3] = 4;
+        assert!(bad.validate().unwrap_err().contains("outside"));
+
+        // Levels not tiling the entries.
+        let mut bad = host.clone();
+        bad.levels[1] = 2..4;
+        assert!(bad.validate().is_err());
+
+        // Mismatched array lengths.
+        let mut bad = host.clone();
+        bad.pa.pop();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn split_frontier_partitions_paths() {
+        let host = sample().to_host();
+        let parts = host.split_frontier(2);
+        assert_eq!(parts.len(), 2);
+        let mut all: Vec<Vec<u32>> = parts
+            .iter()
+            .flat_map(|t| t.paths_at_level(t.depth() - 1))
+            .collect();
+        all.sort();
+        let mut want = host.paths_at_level(1);
+        want.sort();
+        assert_eq!(all, want);
+        // More parts than paths: one trie per path.
+        assert_eq!(host.split_frontier(100).len(), 3);
+        assert!(HostTrie::new().split_frontier(4).is_empty());
+    }
+
+    #[test]
+    fn load_roundtrips_host_trie() {
+        let host = sample().to_host();
+        let mut fresh = Trie::on_host(64);
+        fresh.load(&host).unwrap();
+        assert_eq!(fresh.to_host(), host);
+        assert_eq!(fresh.paths_at_level(1), sample().paths_at_level(1));
+    }
+
+    #[test]
+    fn load_respects_capacity() {
+        let host = sample().to_host();
+        let mut tiny = Trie::on_host(3);
+        assert!(tiny.load(&host).is_err());
+    }
+
+    #[test]
+    fn sized_from_free_respects_budget() {
+        use cuts_gpu_sim::DeviceConfig;
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(1000));
+        let _g = d.alloc_buffer(200).unwrap();
+        let t = Trie::sized_from_free(&d, 0.5).unwrap();
+        // free = 800, fraction 0.5 => 400 words => 200 entries.
+        assert_eq!(t.table().capacity(), 200);
+        assert_eq!(d.allocated_words(), 600);
+    }
+}

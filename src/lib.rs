@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # cuts — trie-based subgraph isomorphism, distributed, on a simulated GPU
+//!
+//! Facade crate re-exporting the whole cuTS reproduction workspace:
+//!
+//! * [`graph`] — CSR graphs, dataset generators, query-set enumeration.
+//! * [`gpu`] — the simulated GPU substrate (devices, counters, memory).
+//! * [`trie`] — the PA/CA trie, CSF and naive representations.
+//! * [`engine`] — the cuTS matching engine.
+//! * [`baseline`] — GSI-style / Gunrock-style / CPU baselines.
+//! * [`dist`] — the distributed runtime and Algorithm-3 scheduler.
+//!
+//! ```
+//! use cuts::prelude::*;
+//!
+//! let data = cuts::graph::generators::mesh2d(4, 4);
+//! let query = cuts::graph::generators::chain(3);
+//! let device = Device::new(DeviceConfig::test_small());
+//! let result = CutsEngine::new(&device).run(&data, &query).unwrap();
+//! assert!(result.num_matches > 0);
+//! ```
+
+pub use cuts_baseline as baseline;
+pub use cuts_core as engine;
+pub use cuts_dist as dist;
+pub use cuts_gpu_sim as gpu;
+pub use cuts_graph as graph;
+pub use cuts_trie as trie;
+
+/// Most-used types in one import.
+pub mod prelude {
+    pub use cuts_core::{CutsEngine, EngineConfig, MatchResult};
+    pub use cuts_gpu_sim::{Device, DeviceConfig};
+    pub use cuts_graph::{Dataset, Graph, GraphBuilder, Scale};
+}

@@ -1,0 +1,129 @@
+//! Property-based invariants across the whole stack (proptest).
+
+use proptest::prelude::*;
+
+use cuts::baseline::{vf2, GsiEngine};
+use cuts::engine::intersect::{c_intersection, p_intersection, ScatterScratch};
+use cuts::engine::reference;
+use cuts::gpu::BlockCounters;
+use cuts::prelude::*;
+use cuts::trie::serial::{decode_trie, encode_trie};
+use cuts::trie::HostTrie;
+
+/// Random undirected graph as an edge list over `n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| Graph::undirected(n, &edges))
+    })
+}
+
+/// Small connected query graph (from the exact enumeration).
+fn arb_query() -> impl Strategy<Value = Graph> {
+    (3usize..=5, 0usize..11).prop_map(|(n, i)| {
+        let qs = cuts::graph::query_set(n, 11);
+        qs[i % qs.len()].graph.clone()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_reference(data in arb_graph(24, 80), query in arb_query()) {
+        let device = Device::new(DeviceConfig::test_small());
+        let got = CutsEngine::new(&device).run(&data, &query).unwrap().num_matches;
+        let want = reference::count_embeddings(&data, &query);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn gsi_and_vf2_match_reference(data in arb_graph(20, 60), query in arb_query()) {
+        let device = Device::new(DeviceConfig::test_small());
+        let want = reference::count_embeddings(&data, &query);
+        let gsi = GsiEngine::new(&device).run(&data, &query).unwrap().num_matches;
+        prop_assert_eq!(gsi, want);
+        prop_assert_eq!(vf2::count(&data, &query), want);
+    }
+
+    #[test]
+    fn chunking_never_changes_counts(data in arb_graph(20, 60), query in arb_query(), chunk in 1usize..16) {
+        let roomy = Device::new(DeviceConfig::test_small());
+        let want = CutsEngine::new(&roomy).run(&data, &query).unwrap().num_matches;
+        let tight = Device::new(DeviceConfig::test_small().with_global_mem_words(4096));
+        let cfg = cuts::engine::EngineConfig::default().with_chunk_size(chunk);
+        // Tight runs may legitimately fail on capacity; when they
+        // complete, the count must be identical.
+        if let Ok(r) = CutsEngine::with_config(&tight, cfg).run(&data, &query) {
+            prop_assert_eq!(r.num_matches, want);
+        }
+    }
+
+    #[test]
+    fn intersection_kernels_agree(
+        a in proptest::collection::btree_set(0u32..200, 0..60),
+        b in proptest::collection::btree_set(0u32..200, 0..60),
+        c in proptest::collection::btree_set(0u32..200, 0..60),
+        vwarp in prop::sample::select(vec![1usize, 2, 4, 8, 16, 32]),
+    ) {
+        let a: Vec<u32> = a.into_iter().collect();
+        let b: Vec<u32> = b.into_iter().collect();
+        let c: Vec<u32> = c.into_iter().collect();
+        let lists: Vec<&[u32]> = vec![&a, &b, &c];
+        let mut ctr = BlockCounters::default();
+        let (mut rc, mut rp, mut rs) = (Vec::new(), Vec::new(), Vec::new());
+        c_intersection(&lists, vwarp, &mut ctr, &mut rc);
+        p_intersection(&lists, vwarp, &mut ctr, &mut rp);
+        ScatterScratch::new(200).scatter_vector(&lists, &mut ctr, &mut rs);
+        prop_assert_eq!(&rc, &rp);
+        prop_assert_eq!(&rc, &rs);
+        prop_assert!(rc.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn trie_wire_roundtrip(paths in proptest::collection::vec(
+        proptest::collection::vec(0u32..1000, 3), 0..50)) {
+        let host = HostTrie::from_flat_paths(&paths);
+        let back = decode_trie(encode_trie(&host)).unwrap();
+        prop_assert_eq!(&back, &host);
+        if !paths.is_empty() {
+            let mut got = back.paths_at_level(2);
+            got.sort();
+            let mut want: Vec<_> = paths.clone();
+            want.sort();
+            want.dedup();
+            got.dedup();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn distributed_equals_local(data in arb_graph(18, 50), ranks in 2usize..4) {
+        let query = cuts::graph::generators::clique(3);
+        let device = Device::new(DeviceConfig::test_small());
+        let want = CutsEngine::new(&device).run(&data, &query).unwrap().num_matches;
+        let config = cuts::dist::DistConfig {
+            device: DeviceConfig::test_small(),
+            dist_chunk: 4,
+            ..Default::default()
+        };
+        let got = cuts::dist::run_distributed(&data, &query, ranks, &config)
+            .unwrap()
+            .total_matches;
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn csf_equivalent_to_trie(paths in proptest::collection::vec(
+        proptest::collection::vec(0u32..50, 4), 1..40)) {
+        let host = HostTrie::from_flat_paths(&paths);
+        let csf = cuts::trie::csf::Csf::from_host_trie(&host);
+        let mut a = csf.full_paths();
+        let mut b = host.paths_at_level(3);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // CSF never larger than PA/CA for the same path set.
+        prop_assert!(csf.words_used() <= 2 * host.len() + host.levels.len());
+    }
+}
