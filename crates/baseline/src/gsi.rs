@@ -20,12 +20,12 @@
 use std::time::Instant;
 
 use cuts_core::intersect::{c_intersection, constraint_list};
-use cuts_core::{MatchOrder, MatchResult};
-use cuts_gpu_sim::{CostModel, Device, GlobalBuffer};
 #[cfg(test)]
 use cuts_core::EngineError;
+use cuts_core::{MatchOrder, MatchResult};
 #[cfg(test)]
 use cuts_gpu_sim::DeviceError;
+use cuts_gpu_sim::{CostModel, Device, GlobalBuffer};
 use cuts_graph::{Graph, VertexId};
 
 use crate::error::BaselineError;
@@ -163,12 +163,9 @@ impl<'d> GsiEngine<'d> {
 
             // ---- Prefix sum over counts (device scan primitive). ----
             let counts_host: Vec<u32> = (0..cur_count).map(|i| counts_buf.get(i)).collect();
-            let offsets = self
-                .device
-                .run_single_block(|ctx| cuts_gpu_sim::primitives::exclusive_scan(
-                    &mut ctx.counters,
-                    &counts_host,
-                ));
+            let offsets = self.device.run_single_block(|ctx| {
+                cuts_gpu_sim::primitives::exclusive_scan(&mut ctx.counters, &counts_host)
+            });
             let next_count = offsets[cur_count] as usize;
             level_counts[pos] = next_count as u64;
 

@@ -74,7 +74,10 @@ impl<'d> GunrockEngine<'d> {
             ctx.counters.alu(2 * nd);
             ctx.counters.dram_write(2 * roots.len());
         });
-        let mut cur = encode_level(self.device, &roots.iter().map(|&v| v as u64).collect::<Vec<_>>())?;
+        let mut cur = encode_level(
+            self.device,
+            &roots.iter().map(|&v| v as u64).collect::<Vec<_>>(),
+        )?;
         let mut cur_count = roots.len();
         level_counts[0] = cur_count as u64;
 

@@ -156,8 +156,7 @@ impl State<'_> {
                 }
             }
         }
-        let pool =
-            pool.unwrap_or_else(|| (0..self.data.num_vertices() as VertexId).collect());
+        let pool = pool.unwrap_or_else(|| (0..self.data.num_vertices() as VertexId).collect());
         for c in pool {
             if !self.feasible(q, c) {
                 continue;

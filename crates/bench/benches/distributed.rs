@@ -1,10 +1,12 @@
 //! Benchmark: the distributed runner at 1/2/4 ranks (Figure 4's workload
-//! as a wall-clock criterion group).
+//! as a wall-clock criterion group), plus the same workload under an
+//! injected rank crash to price the recovery path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
-use cuts_dist::{run_distributed, DistConfig};
+use cuts_dist::{run_distributed, DistConfig, FaultPlan};
 use cuts_gpu_sim::DeviceConfig;
 use cuts_graph::generators::clique;
 use cuts_graph::{Dataset, Scale};
@@ -33,5 +35,34 @@ fn bench_ranks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ranks);
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed-recovery");
+    group.sample_size(10);
+    let data = Dataset::Enron.generate(Scale::Tiny);
+    let query = clique(4);
+    for ranks in [2usize, 4] {
+        // One rank dies after its first committed chunk; the survivors
+        // absorb its work. Compare against the clean `distributed/ranks`
+        // group above for the fault-tolerance overhead.
+        group.bench_with_input(BenchmarkId::new("one-crash", ranks), &ranks, |b, &ranks| {
+            let config = DistConfig {
+                device: DeviceConfig::test_small(),
+                dist_chunk: 32,
+                rank_timeout: Duration::from_millis(20),
+                fault_plan: FaultPlan::parse("crash:1@1").unwrap(),
+                ..Default::default()
+            };
+            b.iter(|| {
+                black_box(
+                    run_distributed(&data, &query, ranks, &config)
+                        .unwrap()
+                        .total_matches,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranks, bench_recovery);
 criterion_main!(benches);

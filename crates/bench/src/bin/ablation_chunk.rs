@@ -20,27 +20,19 @@ fn main() {
     let constrained = base
         .clone()
         .with_global_mem_words(base.global_mem_words / 1024);
-    println!(
-        "Ablation: chunk size on gowalla-like @ {scale:?}, K5, memory/1024 => chunked mode\n"
-    );
+    println!("Ablation: chunk size on gowalla-like @ {scale:?}, K5, memory/1024 => chunked mode\n");
     println!(
         "{:>8} {:>12} {:>10} {:>16} {:>12}",
         "chunk", "matches", "chunked", "kernel launches", "sim ms"
     );
     for chunk in [64usize, 128, 256, 512, 1024, 4096] {
         let device = Device::new(constrained.clone());
-        let engine = CutsEngine::with_config(
-            &device,
-            EngineConfig::default().with_chunk_size(chunk),
-        );
+        let engine =
+            CutsEngine::with_config(&device, EngineConfig::default().with_chunk_size(chunk));
         match engine.run(&data, &clique(5)) {
             Ok(r) => println!(
                 "{:>8} {:>12} {:>10} {:>16} {:>12.3}",
-                chunk,
-                r.num_matches,
-                r.used_chunking,
-                r.counters.kernel_launches,
-                r.sim_millis
+                chunk, r.num_matches, r.used_chunking, r.counters.kernel_launches, r.sim_millis
             ),
             Err(e) => println!("{:>8} failed: {e}", chunk),
         }

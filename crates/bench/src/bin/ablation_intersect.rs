@@ -16,7 +16,14 @@ fn main() {
     println!("Ablation: intersection strategy (scale {scale:?})\n");
     println!(
         "{:<12} {:<6} {:>14} {:>14} {:>14} | {:>10} {:>10} {:>10}",
-        "dataset", "query", "c-only dram", "p-only dram", "adaptive dram", "c ms", "p ms", "adpt ms"
+        "dataset",
+        "query",
+        "c-only dram",
+        "p-only dram",
+        "adaptive dram",
+        "c ms",
+        "p ms",
+        "adpt ms"
     );
 
     for ds in [Dataset::Enron, Dataset::Gowalla, Dataset::RoadNetPA] {

@@ -35,10 +35,7 @@ fn main() {
     // a "lollipop" (K4 with a pendant vertex carrying id 0).
     use cuts_graph::generators::chain;
     use cuts_graph::Graph;
-    let lollipop = Graph::undirected(
-        5,
-        &[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (0, 4)],
-    );
+    let lollipop = Graph::undirected(5, &[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (0, 4)]);
     let mut queries = vec![
         ("K5".to_string(), clique(5)),
         ("chain5".to_string(), chain(5)),
@@ -52,10 +49,8 @@ fn main() {
         let mut row = Vec::new();
         for policy in [OrderPolicy::DegreeGreedy, OrderPolicy::IdBfs] {
             let device = Device::new(Machine::V100.device_config(scale));
-            let engine = CutsEngine::with_config(
-                &device,
-                EngineConfig::default().with_order_policy(policy),
-            );
+            let engine =
+                CutsEngine::with_config(&device, EngineConfig::default().with_order_policy(policy));
             match engine.run(&data, q) {
                 Ok(r) => row.push(Some((r.level_counts[0], r.counters.instructions))),
                 Err(_) => row.push(None),

@@ -17,9 +17,7 @@ fn main() {
     let scale = scale_from_env();
     let data = Dataset::Enron.generate(scale);
     let query = clique(4);
-    println!(
-        "Ablation: partitioning + donation, enron-like @ {scale:?}, K4, 4 nodes\n"
-    );
+    println!("Ablation: partitioning + donation, enron-like @ {scale:?}, K4, 4 nodes\n");
     println!(
         "{:<16} {:>12} {:>12} {:>9} {:>12} {:>12}",
         "partition", "matches", "makespan", "balance", "donations", "msgs"

@@ -17,7 +17,14 @@ fn main() {
     println!("Ablation: async donation vs synchronous rebalancing (4 nodes, scale {scale:?})\n");
     println!(
         "{:<10} {:<6} {:>12} | {:>12} {:>12} {:>11} | {:>12} {:>14}",
-        "dataset", "query", "matches", "async mkspn", "sync mkspn", "sync idle", "async bytes", "sync moved (w)"
+        "dataset",
+        "query",
+        "matches",
+        "async mkspn",
+        "sync mkspn",
+        "sync idle",
+        "async bytes",
+        "sync moved (w)"
     );
     for ds in [Dataset::Enron, Dataset::Gowalla] {
         let data = ds.generate(scale);

@@ -41,5 +41,9 @@ fn main() {
         );
     }
     println!("\ntotal matches: {}", r.num_matches);
-    println!("trie words: {}   naive cumulative words: {}", r.cuts_words(), r.naive_words());
+    println!(
+        "trie words: {}   naive cumulative words: {}",
+        r.cuts_words(),
+        r.naive_words()
+    );
 }

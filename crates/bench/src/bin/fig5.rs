@@ -41,7 +41,13 @@ fn main() {
         let donations: usize = r.per_rank.iter().map(|m| m.donations_sent).sum();
         println!(
             "{:<6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9.2} {:>12}",
-            q.name, t[0], t[1], t[2], t[3], r.balance_ratio(), donations
+            q.name,
+            t[0],
+            t[1],
+            t[2],
+            t[3],
+            r.balance_ratio(),
+            donations
         );
     }
     println!("\npaper's claim: \"our node to node runtime variation is very low\" —");

@@ -96,7 +96,10 @@ fn main() {
         let total = queries.len() * graphs.len();
         println!("\ncases completed: cuTS {cuts_ok}/{total}, GSI {gsi_ok}/{total}");
         if let Some(g) = geomean(&speedups) {
-            println!("geomean speedup (both-completed cases): {g:.1}x over {} cases", speedups.len());
+            println!(
+                "geomean speedup (both-completed cases): {g:.1}x over {} cases",
+                speedups.len()
+            );
         }
         if let Some(g) = geomean(&road_speedups) {
             println!("geomean speedup on road networks:       {g:.1}x");
@@ -113,7 +116,9 @@ fn main() {
         );
 
         if metrics {
-            println!("\n§6 hardware-metric ratios (GSI / cuTS), aggregated over both-completed cases:");
+            println!(
+                "\n§6 hardware-metric ratios (GSI / cuTS), aggregated over both-completed cases:"
+            );
             println!(
                 "  DRAM reads {:.1}x | DRAM writes {:.1}x | shmem writes {:.1}x | shmem reads {:.1}x | atomics {:.1}x | instructions {:.1}x",
                 Counters::ratio(agg_gsi.dram_reads, agg_cuts.dram_reads),

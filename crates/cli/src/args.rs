@@ -9,6 +9,7 @@ USAGE:
   cuts match   (<edgelist> | --dataset <name> [--scale <s>]) --query <spec>
                [--directed] [--device v100|a100|test] [--engine cuts|gsi|gunrock|vf2]
                [--ranks <n>] [--enumerate <n>] [--chunk <n>]
+               [--fault-plan <plan>] [--rank-timeout <ms>]
   cuts queries [--n <vertices>] [--top <k>]
   cuts help
 
@@ -17,7 +18,10 @@ DATASETS:      enron gowalla roadnet-pa roadnet-tx roadnet-ca wikitalk
 SCALES:        tiny small medium paper (default tiny)
 LABELS:        --labels random:K | zipf:K | bands  (attach vertex labels to
                both graphs; labelled matching requires label equality)
-OUTPUT:        --output text | json (match subcommand)";
+OUTPUT:        --output text | json (match subcommand)
+FAULT PLANS:   comma-separated clauses injected into the distributed run:
+               crash:R@C panic:R@C drop:A->B@N delay:A->B@N+MS seed:S
+               (requires --ranks > 1; --rank-timeout tunes failure detection)";
 
 /// Where the data graph comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +45,11 @@ pub struct MatchOpts {
     pub chunk: usize,
     pub labels: Option<String>,
     pub output: String,
+    /// Fault schedule for the distributed runtime (text schema of
+    /// `cuts_dist::FaultPlan::parse`).
+    pub fault_plan: Option<String>,
+    /// Failure-detection timeout in milliseconds.
+    pub rank_timeout_ms: Option<u64>,
 }
 
 /// A parsed command.
@@ -52,10 +61,7 @@ pub enum Command {
     Help,
 }
 
-fn take_value<'a>(
-    flag: &str,
-    it: &mut std::slice::Iter<'a, String>,
-) -> Result<&'a str, String> {
+fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a str, String> {
     it.next()
         .map(|s| s.as_str())
         .ok_or_else(|| format!("{flag} requires a value"))
@@ -74,9 +80,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--n" => n = take_value("--n", &mut it)?.parse().map_err(|_| "--n: bad number")?,
+                    "--n" => {
+                        n = take_value("--n", &mut it)?
+                            .parse()
+                            .map_err(|_| "--n: bad number")?
+                    }
                     "--top" => {
-                        top = take_value("--top", &mut it)?.parse().map_err(|_| "--top: bad number")?
+                        top = take_value("--top", &mut it)?
+                            .parse()
+                            .map_err(|_| "--top: bad number")?
                     }
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -114,6 +126,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 chunk: 512,
                 labels: None,
                 output: "text".into(),
+                fault_plan: None,
+                rank_timeout_ms: None,
             };
             let mut it = extra.iter();
             while let Some(a) = it.next() {
@@ -139,6 +153,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--labels" => opts.labels = Some(take_value("--labels", &mut it)?.to_string()),
                     "--output" => opts.output = take_value("--output", &mut it)?.to_string(),
+                    "--fault-plan" => {
+                        opts.fault_plan = Some(take_value("--fault-plan", &mut it)?.to_string())
+                    }
+                    "--rank-timeout" => {
+                        opts.rank_timeout_ms = Some(
+                            take_value("--rank-timeout", &mut it)?
+                                .parse()
+                                .map_err(|_| "--rank-timeout: bad number of milliseconds")?,
+                        )
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -147,6 +171,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             if opts.ranks == 0 {
                 return Err("--ranks must be at least 1".into());
+            }
+            if opts.fault_plan.is_some() && opts.ranks < 2 {
+                return Err("--fault-plan requires --ranks > 1".into());
             }
             Ok(Command::Match(Box::new(opts)))
         }
@@ -242,6 +269,27 @@ mod tests {
     #[test]
     fn rejects_missing_query() {
         assert!(parse(&argv("match graph.txt")).is_err());
+    }
+
+    #[test]
+    fn parses_fault_plan_and_rank_timeout() {
+        let c = parse(&argv(
+            "match g.txt --query clique:3 --ranks 4 --fault-plan crash:1@2,drop:0->2@3 --rank-timeout 80",
+        ))
+        .unwrap();
+        match c {
+            Command::Match(o) => {
+                assert_eq!(o.fault_plan.as_deref(), Some("crash:1@2,drop:0->2@3"));
+                assert_eq!(o.rank_timeout_ms, Some(80));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_requires_multiple_ranks() {
+        assert!(parse(&argv("match g.txt --query clique:3 --fault-plan crash:0@0")).is_err());
+        assert!(parse(&argv("match g.txt --query clique:3 --rank-timeout")).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use cuts_baseline::{vf2, GsiEngine, GunrockEngine};
 use cuts_core::{CutsEngine, EngineConfig};
-use cuts_dist::{run_distributed, DistConfig};
+use cuts_dist::{run_distributed, DistConfig, FaultPlan};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{chain, clique, cycle, star};
 use cuts_graph::labels::{degree_band_labels, random_labels, zipf_labels};
@@ -80,7 +80,7 @@ fn load(src: &DataSource, directed: bool) -> Result<Graph, CmdError> {
 fn load_query(spec: &str, directed: bool) -> Result<Graph, CmdError> {
     if let Some((kind, k)) = spec.split_once(':') {
         let k: usize = k.parse().map_err(|_| format!("bad query size in {spec}"))?;
-        if k < 1 || k > 12 {
+        if !(1..=12).contains(&k) {
             return Err("query size must be in 1..=12".into());
         }
         return Ok(match kind {
@@ -109,7 +109,9 @@ fn apply_labels(spec: &str, data: Graph, query: Graph) -> Result<(Graph, Graph),
     let nd = data.num_vertices();
     let nq = query.num_vertices();
     let (dl, ql) = if let Some((kind, k)) = spec.split_once(':') {
-        let k: u32 = k.parse().map_err(|_| format!("bad label count in {spec}"))?;
+        let k: u32 = k
+            .parse()
+            .map_err(|_| format!("bad label count in {spec}"))?;
         if k == 0 {
             return Err("label count must be positive".into());
         }
@@ -119,10 +121,7 @@ fn apply_labels(spec: &str, data: Graph, query: Graph) -> Result<(Graph, Graph),
             other => return Err(format!("unknown label scheme {other}").into()),
         }
     } else if spec == "bands" {
-        (
-            degree_band_labels(&data, 8),
-            degree_band_labels(&query, 8),
-        )
+        (degree_band_labels(&data, 8), degree_band_labels(&query, 8))
     } else {
         return Err(format!("unknown label spec {spec}").into());
     };
@@ -148,11 +147,18 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
         if opts.engine != "cuts" {
             return Err("--ranks > 1 is only supported with --engine cuts".into());
         }
-        let config = DistConfig {
+        let mut config = DistConfig {
             device: dev_cfg,
             dist_chunk: opts.chunk,
             ..Default::default()
         };
+        if let Some(spec) = &opts.fault_plan {
+            config.fault_plan = FaultPlan::parse(spec)?;
+            config.fault_plan.check_ranks(opts.ranks)?;
+        }
+        if let Some(ms) = opts.rank_timeout_ms {
+            config.rank_timeout = std::time::Duration::from_millis(ms);
+        }
         let r = run_distributed(&data, &query, opts.ranks, &config)?;
         println!("matches: {}", r.total_matches);
         println!(
@@ -162,6 +168,13 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
             r.balance_ratio()
         );
         for m in &r.per_rank {
+            if m.lost {
+                println!(
+                    "  rank {}: LOST (work recovered by surviving ranks)",
+                    m.rank
+                );
+                continue;
+            }
             println!(
                 "  rank {}: {:>10} matches, {:>8.3} sim-ms, {} jobs, {}/{} donations out/in",
                 m.rank,
@@ -170,6 +183,21 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
                 m.jobs_processed,
                 m.donations_sent,
                 m.donations_received
+            );
+        }
+        if !r.recovery.is_clean() {
+            println!(
+                "recovery: {} rank(s) lost {:?}, {} chunk(s) reassigned, {} duplicate(s) discarded",
+                r.recovery.ranks_lost,
+                r.recovery.lost_ranks,
+                r.recovery.chunks_reassigned,
+                r.recovery.duplicate_chunks
+            );
+            println!(
+                "          {} message(s) dropped, {} delayed; recovered in {:.1} ms",
+                r.recovery.messages_dropped,
+                r.recovery.messages_delayed,
+                r.recovery.recovery_millis
             );
         }
         return Ok(());
@@ -207,7 +235,10 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
         }
         "gunrock" => {
             let device = Device::new(dev_cfg);
-            report(&GunrockEngine::new(&device).run(&data, &query)?, &opts.output)?;
+            report(
+                &GunrockEngine::new(&device).run(&data, &query)?,
+                &opts.output,
+            )?;
         }
         other => return Err(format!("unknown engine {other}").into()),
     }
@@ -322,10 +353,34 @@ mod tests {
             chunk: 512,
             labels: None,
             output: "text".into(),
+            fault_plan: None,
+            rank_timeout_ms: None,
         };
         run_match(&opts).unwrap();
         // Distributed path too.
         let opts = MatchOpts { ranks: 2, ..opts };
+        run_match(&opts).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_match_with_fault_plan() {
+        let opts = MatchOpts {
+            data: DataSource::Dataset {
+                name: "enron".into(),
+                scale: "tiny".into(),
+            },
+            query: "clique:3".into(),
+            directed: false,
+            device: "test".into(),
+            engine: "cuts".into(),
+            ranks: 2,
+            enumerate: 0,
+            chunk: 64,
+            labels: None,
+            output: "text".into(),
+            fault_plan: Some("crash:1@0, drop:0->1@2".into()),
+            rank_timeout_ms: Some(40),
+        };
         run_match(&opts).unwrap();
     }
 }

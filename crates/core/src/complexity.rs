@@ -134,7 +134,10 @@ mod tests {
         let m = model();
         let full = m.sequential_work();
         let last = m.paths_at_depth(4) * 4.0 * 8.0;
-        assert!(last / full > 0.5, "deepest level dominates: {last} of {full}");
+        assert!(
+            last / full > 0.5,
+            "deepest level dominates: {last} of {full}"
+        );
         // The simplified bound is an over-estimate (σ dropped).
         assert!(m.sequential_work_simplified() >= full);
     }

@@ -344,13 +344,7 @@ impl<'d> CutsEngine<'d> {
 
     /// Streams the full embeddings ending at `level`'s entries, remapped
     /// from order space to query-vertex space.
-    fn emit_level(
-        &self,
-        trie: &Trie,
-        plan: &MatchOrder,
-        level: Range<usize>,
-        sink: MatchSink<'_>,
-    ) {
+    fn emit_level(&self, trie: &Trie, plan: &MatchOrder, level: Range<usize>, sink: MatchSink<'_>) {
         let n = plan.len();
         let mut m = vec![0u32; n];
         for leaf in level {
@@ -431,7 +425,9 @@ mod tests {
         let small = Device::new(DeviceConfig::test_small().with_global_mem_words(2048));
         let engine = CutsEngine::with_config(
             &small,
-            EngineConfig::default().with_chunk_size(8).with_trie_fraction(0.9),
+            EngineConfig::default()
+                .with_chunk_size(8)
+                .with_trie_fraction(0.9),
         );
         let got = engine.run(&data, &query).unwrap();
         assert!(got.used_chunking, "expected hybrid fallback");

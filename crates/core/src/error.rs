@@ -30,7 +30,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "query graph is disconnected; split components first")
             }
             EngineError::CapacityExhausted { depth } => {
-                write!(f, "trie capacity exhausted at depth {depth} even with chunk size 1")
+                write!(
+                    f,
+                    "trie capacity exhausted at depth {depth} even with chunk size 1"
+                )
             }
         }
     }

@@ -85,7 +85,11 @@ impl MatchOrder {
         assert_eq!(order.len(), n, "order must cover every query vertex");
         let mut position = vec![usize::MAX; n];
         for (l, &q) in order.iter().enumerate() {
-            assert_eq!(position[q as usize], usize::MAX, "duplicate vertex in order");
+            assert_eq!(
+                position[q as usize],
+                usize::MAX,
+                "duplicate vertex in order"
+            );
             position[q as usize] = l;
         }
         let back_edges = Self::build_back_edges(query, &order, &position);
@@ -127,7 +131,10 @@ impl MatchOrder {
                     // (q, w) with w earlier: candidate must have an edge
                     // *to* the earlier match => candidate ∈ in_neighbours
                     // of that match.
-                    be.push(BackEdge { pos: p, dir: Dir::In });
+                    be.push(BackEdge {
+                        pos: p,
+                        dir: Dir::In,
+                    });
                 }
             }
             for &w in query.in_neighbors(q) {
@@ -137,7 +144,10 @@ impl MatchOrder {
                     if dup {
                         continue;
                     }
-                    be.push(BackEdge { pos: p, dir: Dir::Out });
+                    be.push(BackEdge {
+                        pos: p,
+                        dir: Dir::Out,
+                    });
                 }
             }
             back_edges.push(be);
@@ -209,9 +219,9 @@ impl MatchOrder {
 
         let mut frontier: Vec<VertexId> = Vec::new();
         let push_neighbors = |v: VertexId,
-                                  frontier: &mut Vec<VertexId>,
-                                  in_prefix: &[bool],
-                                  frontier_mark: &mut [bool]| {
+                              frontier: &mut Vec<VertexId>,
+                              in_prefix: &[bool],
+                              frontier_mark: &mut [bool]| {
             for &w in query.out_neighbors(v).iter().chain(query.in_neighbors(v)) {
                 if !in_prefix[w as usize] && !frontier_mark[w as usize] {
                     frontier_mark[w as usize] = true;

@@ -94,38 +94,36 @@ fn rec(
         }
     }
 
-    let try_candidate = |c: VertexId,
-                         assign: &mut Vec<u32>,
-                         used: &mut Vec<bool>,
-                         sink: &mut dyn FnMut(&[u32])| {
-        if used[c as usize] {
-            return;
-        }
-        if data.out_degree(c) < q_out || data.in_degree(c) < q_in {
-            return;
-        }
-        if !data.label_compatible(c, query, q) {
-            return;
-        }
-        // Every query edge to an already-matched vertex must be present.
-        for &w in query.out_neighbors(q) {
-            let m = assign[w as usize];
-            if m != u32::MAX && !data.has_edge(c, m) {
+    let try_candidate =
+        |c: VertexId, assign: &mut Vec<u32>, used: &mut Vec<bool>, sink: &mut dyn FnMut(&[u32])| {
+            if used[c as usize] {
                 return;
             }
-        }
-        for &w in query.in_neighbors(q) {
-            let m = assign[w as usize];
-            if m != u32::MAX && !data.has_edge(m, c) {
+            if data.out_degree(c) < q_out || data.in_degree(c) < q_in {
                 return;
             }
-        }
-        assign[q as usize] = c;
-        used[c as usize] = true;
-        rec(data, query, order, pos + 1, assign, used, sink);
-        used[c as usize] = false;
-        assign[q as usize] = u32::MAX;
-    };
+            if !data.label_compatible(c, query, q) {
+                return;
+            }
+            // Every query edge to an already-matched vertex must be present.
+            for &w in query.out_neighbors(q) {
+                let m = assign[w as usize];
+                if m != u32::MAX && !data.has_edge(c, m) {
+                    return;
+                }
+            }
+            for &w in query.in_neighbors(q) {
+                let m = assign[w as usize];
+                if m != u32::MAX && !data.has_edge(m, c) {
+                    return;
+                }
+            }
+            assign[q as usize] = c;
+            used[c as usize] = true;
+            rec(data, query, order, pos + 1, assign, used, sink);
+            used[c as usize] = false;
+            assign[q as usize] = u32::MAX;
+        };
 
     match best {
         Some(list) => {

@@ -1,8 +1,11 @@
 //! Distributed-run configuration.
 
+use std::time::Duration;
+
 use cuts_core::EngineConfig;
 use cuts_gpu_sim::DeviceConfig;
 
+use crate::fault::FaultPlan;
 use crate::worker::Partition;
 
 /// Configuration for a distributed run.
@@ -27,6 +30,17 @@ pub struct DistConfig {
     /// per-job overhead rather than modelled cost, so the donation
     /// protocol cannot react to *simulated* stragglers.
     pub pacing: f64,
+    /// Deterministic fault schedule injected at the message/worker layer.
+    /// Empty (the default) means a fault-free run.
+    pub fault_plan: FaultPlan,
+    /// How long a rank may go unheard-from (no message, no heartbeat)
+    /// before idle peers treat it as unresponsive and reclaim its pending
+    /// chunks. Also bounds how long a donor waits on an unresolved claim.
+    pub rank_timeout: Duration,
+    /// Interval between heartbeat broadcasts from each worker's main
+    /// loop, refreshing peers' liveness views even when no protocol
+    /// traffic flows.
+    pub heartbeat_interval: Duration,
 }
 
 impl Default for DistConfig {
@@ -38,6 +52,9 @@ impl Default for DistConfig {
             partition: Partition::RoundRobin,
             progressive_deepening: true,
             pacing: 0.0,
+            fault_plan: FaultPlan::default(),
+            rank_timeout: Duration::from_millis(50),
+            heartbeat_interval: Duration::from_millis(10),
         }
     }
 }
@@ -53,5 +70,8 @@ mod tests {
         assert_eq!(c.partition, Partition::RoundRobin);
         assert!(c.progressive_deepening);
         assert_eq!(c.pacing, 0.0);
+        assert!(c.fault_plan.is_empty());
+        assert_eq!(c.rank_timeout, Duration::from_millis(50));
+        assert_eq!(c.heartbeat_interval, Duration::from_millis(10));
     }
 }

@@ -18,8 +18,16 @@
 //! node"). Donated work travels as a serialised trie
 //! ([`cuts_trie::serial`]), which the receiver integrates and resumes via
 //! [`cuts_core::CutsEngine::run_from_trie`].
+//!
+//! Beyond the paper, the runtime is fault-tolerant: [`fault`] injects
+//! deterministic rank crashes, message drops, and delays; [`ledger`]
+//! tracks chunk ownership so survivors reclaim a dead rank's pending
+//! work; and any schedule that leaves one rank alive completes with the
+//! exact fault-free match count (see `DESIGN.md` §7).
 
 pub mod config;
+pub mod fault;
+pub mod ledger;
 pub mod metrics;
 pub mod mpi;
 pub mod protocol;
@@ -27,9 +35,11 @@ pub mod runner;
 pub mod sync_runner;
 pub mod worker;
 
-pub use metrics::{DistResult, RankMetrics};
-pub use mpi::{Comm, Message};
 pub use config::DistConfig;
+pub use fault::{FaultInjector, FaultPlan};
+pub use ledger::{AliveBoard, ChunkId, ChunkLedger};
+pub use metrics::{DistResult, RankMetrics, RecoveryStats};
+pub use mpi::{Comm, Message};
 pub use runner::run_distributed;
 pub use sync_runner::{run_synchronous, SyncResult};
 pub use worker::Partition;

@@ -24,8 +24,49 @@ pub struct RankMetrics {
     pub messages_sent: u64,
     /// Payload bytes this rank sent.
     pub bytes_sent: u64,
+    /// Chunks this rank reclaimed from crashed or unresponsive peers.
+    pub chunks_reassigned: usize,
+    /// Donated chunks this rank received (or recomputed) that were
+    /// already committed elsewhere — discarded by the at-least-once
+    /// dedup, never double-counted.
+    pub duplicate_chunks: usize,
+    /// Messages from this rank eaten by fault injection.
+    pub messages_dropped: u64,
+    /// Messages from this rank delayed by fault injection.
+    pub messages_delayed: u64,
+    /// True when this rank crashed (injected fault or panic) and its
+    /// remaining work was recovered by the survivors.
+    pub lost: bool,
     /// Aggregated device counters across all jobs.
     pub counters: Counters,
+}
+
+/// Aggregate fault-recovery metrics for a run. All-zero in a fault-free
+/// run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Ranks that crashed during the run.
+    pub ranks_lost: usize,
+    /// Which ranks crashed.
+    pub lost_ranks: Vec<usize>,
+    /// Chunks re-homed from crashed/unresponsive ranks to survivors.
+    pub chunks_reassigned: usize,
+    /// Chunks whose results arrived more than once and were deduplicated.
+    pub duplicate_chunks: usize,
+    /// Messages eaten by fault injection (sum over ranks).
+    pub messages_dropped: u64,
+    /// Messages delayed by fault injection (sum over ranks).
+    pub messages_delayed: u64,
+    /// Wall milliseconds from the first rank loss until every outstanding
+    /// chunk was re-committed; 0 when no rank was lost.
+    pub recovery_millis: f64,
+}
+
+impl RecoveryStats {
+    /// True when the run saw no faults at all.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
 }
 
 /// Outcome of a distributed run.
@@ -37,6 +78,8 @@ pub struct DistResult {
     pub per_rank: Vec<RankMetrics>,
     /// End-to-end wall time of the whole run.
     pub wall_millis: f64,
+    /// Fault-recovery metrics (all-zero when nothing failed).
+    pub recovery: RecoveryStats,
 }
 
 impl DistResult {
@@ -83,6 +126,7 @@ mod tests {
             total_matches: 0,
             per_rank: vec![rk(0, 10.0), rk(1, 8.0), rk(2, 9.0)],
             wall_millis: 0.0,
+            recovery: RecoveryStats::default(),
         };
         assert!((r.makespan_sim_millis() - 10.0).abs() < 1e-12);
         assert!((r.balance_ratio() - 0.8).abs() < 1e-12);
@@ -94,7 +138,18 @@ mod tests {
             total_matches: 0,
             per_rank: vec![rk(0, 0.0)],
             wall_millis: 0.0,
+            recovery: RecoveryStats::default(),
         };
         assert_eq!(r.balance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn recovery_stats_cleanliness() {
+        assert!(RecoveryStats::default().is_clean());
+        let dirty = RecoveryStats {
+            messages_dropped: 1,
+            ..Default::default()
+        };
+        assert!(!dirty.is_clean());
     }
 }

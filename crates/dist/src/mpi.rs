@@ -1,13 +1,24 @@
 //! Simulated MPI: ranked endpoints, tagged non-blocking point-to-point
 //! messages, broadcast, probe — the subset §4.2's "mini asynchronous
 //! protocol built on top of the MPI framework" needs.
+//!
+//! Fault injection hooks in here: a universe built with
+//! [`Comm::universe_with_faults`] consults the shared
+//! [`FaultInjector`](crate::fault::FaultInjector) on every send, which
+//! may silently discard the message (a lossy interconnect / dead NIC) or
+//! stamp it with a future due-time (congestion). Delayed messages are
+//! buffered on the receiving endpoint and surface only once due, so the
+//! *reordering* a real network produces is visible to the protocol.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::fault::{FaultInjector, SendFate};
 
 /// Rank identifier.
 pub type Rank = usize;
@@ -23,6 +34,14 @@ pub struct Message {
     pub payload: Bytes,
 }
 
+/// Wire envelope: a message plus the instant it becomes visible to the
+/// receiver (later than "now" only for injector-delayed messages).
+#[derive(Debug)]
+struct Envelope {
+    msg: Message,
+    due: Instant,
+}
+
 /// Per-rank traffic statistics.
 #[derive(Debug, Default)]
 pub struct CommStats {
@@ -31,7 +50,8 @@ pub struct CommStats {
 }
 
 impl CommStats {
-    /// Messages sent by this rank.
+    /// Messages sent by this rank (counting injector-dropped ones: the
+    /// sender did the work of sending).
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent.load(Ordering::Relaxed)
     }
@@ -45,14 +65,23 @@ impl CommStats {
 /// One rank's communicator endpoint.
 pub struct Comm {
     rank: Rank,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    /// Arrived-but-not-yet-due envelopes (only delayed messages linger).
+    pending: Mutex<VecDeque<Envelope>>,
     stats: Arc<CommStats>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Comm {
-    /// Creates a fully-connected universe of `n` ranks.
+    /// Creates a fully-connected fault-free universe of `n` ranks.
     pub fn universe(n: usize) -> Vec<Comm> {
+        Comm::universe_with_faults(n, None)
+    }
+
+    /// Creates a fully-connected universe whose sends pass through the
+    /// given fault injector (`None` = fault-free).
+    pub fn universe_with_faults(n: usize, injector: Option<Arc<FaultInjector>>) -> Vec<Comm> {
         assert!(n >= 1);
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -68,7 +97,9 @@ impl Comm {
                 rank,
                 senders: senders.clone(),
                 receiver,
+                pending: Mutex::new(VecDeque::new()),
                 stats: Arc::new(CommStats::default()),
+                injector: injector.clone(),
             })
             .collect()
     }
@@ -89,17 +120,27 @@ impl Comm {
     }
 
     /// Non-blocking tagged send (`MPI_Isend` with guaranteed buffering).
+    /// Subject to fault injection: the message may be silently dropped
+    /// or delivered late.
     pub fn send(&self, to: Rank, tag: u32, payload: Bytes) {
         self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let due = match self.injector.as_deref().map(|i| i.on_send(self.rank, to)) {
+            Some(SendFate::Drop) => return,
+            Some(SendFate::Delay(d)) => Instant::now() + d,
+            Some(SendFate::Deliver) | None => Instant::now(),
+        };
         // A send to a finished (dropped) rank is discarded, like an MPI
         // process that has left the communicator after consensus.
-        let _ = self.senders[to].send(Message {
-            from: self.rank,
-            tag,
-            payload,
+        let _ = self.senders[to].send(Envelope {
+            msg: Message {
+                from: self.rank,
+                tag,
+                payload,
+            },
+            due,
         });
     }
 
@@ -113,20 +154,50 @@ impl Comm {
         }
     }
 
-    /// Non-blocking probe+receive (`MPI_Iprobe` + `MPI_Recv`).
+    /// Non-blocking probe+receive (`MPI_Iprobe` + `MPI_Recv`): first
+    /// *due* message, if any.
     pub fn try_recv(&self) -> Option<Message> {
-        self.receiver.try_recv().ok()
+        let mut pending = self.pending.lock().unwrap();
+        while let Ok(env) = self.receiver.try_recv() {
+            pending.push_back(env);
+        }
+        let now = Instant::now();
+        let idx = pending.iter().position(|e| e.due <= now)?;
+        pending.remove(idx).map(|e| e.msg)
     }
 
     /// Blocking receive with timeout (idle-node wait loop).
     pub fn recv_timeout(&self, d: Duration) -> Option<Message> {
-        self.receiver.recv_timeout(d).ok()
+        let deadline = Instant::now() + d;
+        loop {
+            if let Some(m) = self.try_recv() {
+                return Some(m);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // Wait for a fresh arrival, but wake early if a buffered
+            // delayed message comes due first.
+            let mut wait = deadline - now;
+            if let Some(due) = self.pending.lock().unwrap().iter().map(|e| e.due).min() {
+                wait = wait.min(
+                    due.saturating_duration_since(now)
+                        .max(Duration::from_micros(100)),
+                );
+            }
+            match self.receiver.recv_timeout(wait) {
+                Ok(env) => self.pending.lock().unwrap().push_back(env),
+                Err(_) => continue, // timed out (or no senders left): re-check due/deadline
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn point_to_point_fifo_per_sender() {
@@ -183,5 +254,38 @@ mod tests {
         let _b = u.pop(); // rank 1 endpoint dropped
         let a = u.pop().unwrap();
         a.send(1, 1, Bytes::new()); // must not panic
+    }
+
+    #[test]
+    fn injected_drop_eats_exact_message() {
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::parse("drop:0->1@2").unwrap(),
+            2,
+        ));
+        let u = Comm::universe_with_faults(2, Some(inj.clone()));
+        u[0].send(1, 10, Bytes::new());
+        u[0].send(1, 11, Bytes::new()); // dropped
+        u[0].send(1, 12, Bytes::new());
+        assert_eq!(u[1].try_recv().unwrap().tag, 10);
+        assert_eq!(u[1].try_recv().unwrap().tag, 12);
+        assert!(u[1].try_recv().is_none());
+        assert_eq!(inj.messages_dropped(0), 1);
+        // The sender still counts its send attempts.
+        assert_eq!(u[0].stats().messages_sent(), 3);
+    }
+
+    #[test]
+    fn injected_delay_holds_message_until_due() {
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::parse("delay:0->1@1+30").unwrap(),
+            2,
+        ));
+        let u = Comm::universe_with_faults(2, Some(inj));
+        u[0].send(1, 5, Bytes::new()); // delayed 30ms
+        u[0].send(1, 6, Bytes::new()); // prompt — overtakes the delayed one
+        assert_eq!(u[1].try_recv().unwrap().tag, 6);
+        assert!(u[1].try_recv().is_none(), "delayed message not yet due");
+        let m = u[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.tag, 5);
     }
 }

@@ -1,20 +1,32 @@
-//! The asynchronous work-donation protocol of §4.2.
+//! The asynchronous work-donation protocol of §4.2, hardened for the
+//! fault model of the recovery layer.
 //!
 //! States and messages: a rank that drains its job queue broadcasts
 //! [`tag::FREE`] and enters the idle loop. A busy rank holding spare jobs
 //! that learns of a free peer sends [`tag::CLAIM`]; the free peer grants
 //! the *first* claim with [`tag::ACK`] (broadcasting [`tag::BUSY`] so no
 //! one else targets it) and refuses the rest with [`tag::NACK`]. The
-//! granted claimant ships a [`tag::WORK`] payload — serialised tries —
-//! and both continue. The pairing rules of the paper fall out: a free node
-//! grants one claimant, and a claimant blocks on its single outstanding
-//! claim. Termination: a free rank exits once every peer is marked free —
-//! a claim can only be in flight from a rank that has not broadcast FREE,
-//! so no work is ever dropped.
+//! granted claimant ships a [`tag::WORK`] payload — serialised tries,
+//! each tagged with its ledger chunk id — and both continue.
+//!
+//! Fault hardening changes two things relative to the bare paper
+//! protocol. First, every rank periodically broadcasts [`tag::HEARTBEAT`]
+//! carrying its current status byte, and the [`StatusBoard`] remembers
+//! *when* each peer was last heard from — a peer silent past the
+//! configured rank-timeout is treated as unresponsive and its pending
+//! chunks become reclaimable. Second, termination no longer relies on
+//! the all-peers-free consensus (a single lost FREE broadcast would hang
+//! it); workers exit when the shared
+//! [`ChunkLedger`](crate::ledger::ChunkLedger) reports every registered
+//! chunk committed, which is monotone and immune to message loss.
+
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cuts_trie::serial::{decode_trie, encode_trie, WireError};
 use cuts_trie::HostTrie;
+
+use crate::ledger::ChunkId;
 
 /// Message tags.
 pub mod tag {
@@ -30,9 +42,11 @@ pub mod tag {
     pub const NACK: u32 = 5;
     /// Donated work: a [`super::WorkPayload`].
     pub const WORK: u32 = 6;
+    /// Liveness beacon: one status byte (0 = busy, 1 = free).
+    pub const HEARTBEAT: u32 = 7;
 }
 
-/// Peer status as tracked from FREE/BUSY broadcasts.
+/// Peer status as tracked from FREE/BUSY broadcasts and heartbeats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// Processing or holding work.
@@ -41,18 +55,42 @@ pub enum Status {
     Free,
 }
 
-/// Status vector over all ranks.
+impl Status {
+    /// Wire byte for heartbeat payloads.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Status::Busy => 0,
+            Status::Free => 1,
+        }
+    }
+
+    /// Parses a heartbeat status byte (unknown bytes read as busy, the
+    /// conservative choice).
+    pub fn from_byte(b: u8) -> Status {
+        if b == 1 {
+            Status::Free
+        } else {
+            Status::Busy
+        }
+    }
+}
+
+/// Status and liveness vector over all ranks.
 #[derive(Debug, Clone)]
 pub struct StatusBoard {
     status: Vec<Status>,
+    /// When each peer was last heard from (any message).
+    last_heard: Vec<Instant>,
     me: usize,
 }
 
 impl StatusBoard {
-    /// All ranks start busy (everyone owns an initial partition).
+    /// All ranks start busy (everyone owns an initial partition) and
+    /// freshly heard-from.
     pub fn new(size: usize, me: usize) -> Self {
         StatusBoard {
             status: vec![Status::Busy; size],
+            last_heard: vec![Instant::now(); size],
             me,
         }
     }
@@ -60,19 +98,35 @@ impl StatusBoard {
     /// Records a FREE broadcast.
     pub fn mark_free(&mut self, rank: usize) {
         self.status[rank] = Status::Free;
+        self.mark_heard(rank);
     }
 
     /// Records a BUSY broadcast (or a granted/forwarded claim).
     pub fn mark_busy(&mut self, rank: usize) {
         self.status[rank] = Status::Busy;
+        self.mark_heard(rank);
+    }
+
+    /// Refreshes `rank`'s liveness clock (call on *every* received
+    /// message, whatever the tag).
+    pub fn mark_heard(&mut self, rank: usize) {
+        self.last_heard[rank] = Instant::now();
+    }
+
+    /// True when nothing has been heard from `rank` for at least
+    /// `timeout`. Never true for ourselves.
+    pub fn is_stale(&self, rank: usize, timeout: Duration) -> bool {
+        rank != self.me && self.last_heard[rank].elapsed() >= timeout
     }
 
     /// Some free peer, if any (lowest rank first for determinism).
-    pub fn first_free_peer(&self) -> Option<usize> {
+    /// Peers silent past `timeout` are skipped — claiming toward a dead
+    /// rank wastes the donation.
+    pub fn first_free_peer(&self, timeout: Duration) -> Option<usize> {
         self.status
             .iter()
             .enumerate()
-            .find(|&(r, &s)| r != self.me && s == Status::Free)
+            .find(|&(r, &s)| r != self.me && s == Status::Free && !self.is_stale(r, timeout))
             .map(|(r, _)| r)
     }
 
@@ -85,21 +139,34 @@ impl StatusBoard {
     }
 }
 
-/// A donated batch of jobs, each a partial-path trie (possibly at
+/// One donated chunk: its ledger identity plus the partial-path trie.
+/// Carrying the id on the wire is what makes donation at-least-once
+/// safe — a receiver consults the ledger and discards already-committed
+/// duplicates instead of double-counting them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DonatedChunk {
+    /// Ledger chunk id.
+    pub id: ChunkId,
+    /// The work itself.
+    pub trie: HostTrie,
+}
+
+/// A donated batch of chunks, each a partial-path trie (possibly at
 /// different depths, since the donor's queue mixes depths).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkPayload {
-    /// Donated tries.
-    pub jobs: Vec<HostTrie>,
+    /// Donated chunks.
+    pub jobs: Vec<DonatedChunk>,
 }
 
 impl WorkPayload {
-    /// Encodes: `[count, (len, trie-bytes)…]`.
+    /// Encodes: `[count, (id, len, trie-bytes)…]`.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
         b.put_u32_le(self.jobs.len() as u32);
         for job in &self.jobs {
-            let enc = encode_trie(job);
+            b.put_u64_le(job.id);
+            let enc = encode_trie(&job.trie);
             b.put_u32_le(enc.len() as u32);
             b.put_slice(&enc);
         }
@@ -114,9 +181,10 @@ impl WorkPayload {
         let count = buf.get_u32_le() as usize;
         let mut jobs = Vec::with_capacity(count);
         for _ in 0..count {
-            if buf.remaining() < 4 {
+            if buf.remaining() < 12 {
                 return Err(WireError::Truncated);
             }
+            let id = buf.get_u64_le();
             let len = buf.get_u32_le() as usize;
             if buf.remaining() < len {
                 return Err(WireError::Truncated);
@@ -124,7 +192,7 @@ impl WorkPayload {
             let trie = decode_trie(buf.split_to(len))?;
             trie.validate()
                 .map_err(|_| WireError::Corrupt("donated trie fails validation"))?;
-            jobs.push(trie);
+            jobs.push(DonatedChunk { id, trie });
         }
         Ok(WorkPayload { jobs })
     }
@@ -134,16 +202,18 @@ impl WorkPayload {
 mod tests {
     use super::*;
 
+    const T: Duration = Duration::from_secs(3600);
+
     #[test]
     fn status_board_lifecycle() {
         let mut b = StatusBoard::new(3, 1);
-        assert!(b.first_free_peer().is_none());
+        assert!(b.first_free_peer(T).is_none());
         assert!(!b.all_peers_free());
         b.mark_free(2);
-        assert_eq!(b.first_free_peer(), Some(2));
+        assert_eq!(b.first_free_peer(T), Some(2));
         b.mark_free(0);
         assert!(b.all_peers_free());
-        assert_eq!(b.first_free_peer(), Some(0));
+        assert_eq!(b.first_free_peer(T), Some(0));
         b.mark_busy(0);
         assert!(!b.all_peers_free());
     }
@@ -158,11 +228,53 @@ mod tests {
     }
 
     #[test]
+    fn staleness_tracks_silence() {
+        let mut b = StatusBoard::new(2, 0);
+        assert!(!b.is_stale(1, Duration::from_millis(20)));
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.is_stale(1, Duration::from_millis(20)));
+        assert!(
+            !b.is_stale(0, Duration::from_millis(0)),
+            "never stale to self"
+        );
+        b.mark_heard(1);
+        assert!(!b.is_stale(1, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn stale_free_peer_not_targeted() {
+        let mut b = StatusBoard::new(3, 0);
+        b.mark_free(1);
+        b.mark_free(2);
+        std::thread::sleep(Duration::from_millis(5));
+        b.mark_heard(2);
+        // Rank 1 went silent longer than the timeout; rank 2 is fresh.
+        assert_eq!(b.first_free_peer(Duration::from_millis(4)), Some(2));
+    }
+
+    #[test]
+    fn status_byte_roundtrip() {
+        for s in [Status::Busy, Status::Free] {
+            assert_eq!(Status::from_byte(s.to_byte()), s);
+        }
+        assert_eq!(Status::from_byte(77), Status::Busy);
+    }
+
+    #[test]
     fn work_payload_roundtrip() {
         let jobs = vec![
-            HostTrie::from_flat_paths(&[vec![1, 2], vec![1, 3]]),
-            HostTrie::from_flat_paths(&[vec![9]]),
-            HostTrie::new(),
+            DonatedChunk {
+                id: 3,
+                trie: HostTrie::from_flat_paths(&[vec![1, 2], vec![1, 3]]),
+            },
+            DonatedChunk {
+                id: u64::MAX,
+                trie: HostTrie::from_flat_paths(&[vec![9]]),
+            },
+            DonatedChunk {
+                id: 0,
+                trie: HostTrie::new(),
+            },
         ];
         let p = WorkPayload { jobs: jobs.clone() };
         let decoded = WorkPayload::decode(p.encode()).unwrap();
@@ -174,7 +286,9 @@ mod tests {
         // Valid wire encoding of an *invalid* trie (root with a parent).
         let mut t = HostTrie::from_flat_paths(&[vec![1, 2]]);
         t.pa[0] = 5;
-        let p = WorkPayload { jobs: vec![t] };
+        let p = WorkPayload {
+            jobs: vec![DonatedChunk { id: 1, trie: t }],
+        };
         assert_eq!(
             WorkPayload::decode(p.encode()),
             Err(WireError::Corrupt("donated trie fails validation"))
@@ -184,10 +298,13 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         let p = WorkPayload {
-            jobs: vec![HostTrie::from_flat_paths(&[vec![1, 2]])],
+            jobs: vec![DonatedChunk {
+                id: 42,
+                trie: HostTrie::from_flat_paths(&[vec![1, 2]]),
+            }],
         };
         let enc = p.encode();
-        for cut in [2, 6, enc.len() - 3] {
+        for cut in [2, 6, 11, enc.len() - 3] {
             assert!(WorkPayload::decode(enc.slice(0..cut)).is_err(), "cut {cut}");
         }
     }

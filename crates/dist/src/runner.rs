@@ -1,17 +1,50 @@
 //! Top-level distributed driver: spins up one worker thread per rank over
 //! a shared [`Comm`] universe and aggregates results.
+//!
+//! Failure handling: a worker thread that returns an error or panics is
+//! treated as a lost rank, not a lost run. Its death flips the shared
+//! [`AliveBoard`] (via a drop guard that fires even during unwinding),
+//! surviving ranks reclaim its pending chunks from the
+//! [`ChunkLedger`](crate::ledger::ChunkLedger), and the run completes
+//! with the identical match count — the ledger sum — plus populated
+//! [`RecoveryStats`]. Only when *no* rank survives (or registration
+//! itself fails everywhere) does `run_distributed` return the first
+//! rank's error.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cuts_graph::Graph;
 
 pub use crate::config::DistConfig;
-use crate::metrics::{DistResult, RankMetrics};
+use crate::fault::FaultInjector;
+use crate::ledger::{AliveBoard, ChunkLedger};
+use crate::metrics::{DistResult, RankMetrics, RecoveryStats};
 use crate::mpi::Comm;
-use crate::worker::{Worker, WorkerError};
+use crate::worker::{Shared, Worker, WorkerError};
+
+/// Flips the rank's liveness flag on *any* exit from the worker thread —
+/// clean return, error return, or panic unwind — and starts the recovery
+/// clock on the unclean ones.
+struct ExitGuard<'a> {
+    alive: &'a AliveBoard,
+    ledger: &'a ChunkLedger,
+    rank: usize,
+    clean: bool,
+}
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        self.alive.set_dead(self.rank);
+        if !self.clean {
+            self.ledger.note_loss();
+        }
+    }
+}
 
 /// Runs `query` against `data` on `ranks` simulated nodes. The returned
-/// total equals the single-node count; per-rank metrics feed Figures 4-5.
+/// total equals the single-node count — including under any fault plan
+/// that leaves at least one rank alive; per-rank metrics feed Figures 4-5.
 ///
 /// ```
 /// use cuts_dist::{run_distributed, DistConfig};
@@ -35,41 +68,103 @@ pub fn run_distributed(
     config: &DistConfig,
 ) -> Result<DistResult, WorkerError> {
     assert!(ranks >= 1);
-    let comms = Comm::universe(ranks);
+    let injector = if config.fault_plan.is_empty() {
+        None
+    } else {
+        Some(Arc::new(FaultInjector::new(
+            config.fault_plan.clone(),
+            ranks,
+        )))
+    };
+    let shared = Shared::new(ranks, injector.clone());
+    let comms = Comm::universe_with_faults(ranks, injector.clone());
     let start = Instant::now();
-    let results: Vec<Result<(u64, RankMetrics), WorkerError>> =
-        std::thread::scope(|s| {
-            let handles: Vec<_> = comms
-                .into_iter()
-                .map(|comm| {
-                    let cfg = config.clone();
-                    s.spawn(move || Worker::new(comm, cfg, data, query).run())
+    let outcomes: Vec<Result<(u64, RankMetrics), WorkerError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let cfg = config.clone();
+                let shared = shared.clone();
+                s.spawn(move || {
+                    let mut guard = ExitGuard {
+                        alive: &shared.alive,
+                        ledger: &shared.ledger,
+                        rank: comm.rank(),
+                        clean: false,
+                    };
+                    let r = Worker::new(comm, cfg, data, query, shared.clone()).run();
+                    guard.clean = r.is_ok();
+                    r
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(WorkerError::Panicked { rank }),
+            })
+            .collect()
+    });
 
     let mut per_rank = Vec::with_capacity(ranks);
-    let mut total = 0u64;
-    for r in results {
-        let (count, metrics) = r?;
-        total += count;
-        per_rank.push(metrics);
+    let mut lost_ranks = Vec::new();
+    let mut first_error = None;
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok((_, metrics)) => per_rank.push(metrics),
+            Err(e) => {
+                lost_ranks.push(rank);
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+                per_rank.push(RankMetrics {
+                    rank,
+                    lost: true,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    // A rank only exits cleanly once every chunk has committed, so an
+    // incomplete ledger means every rank failed: the run is unrecoverable
+    // and the first failure is the cause. Likewise when no rank survived,
+    // even if they happened to finish the work first.
+    if !shared.ledger.all_completed() || lost_ranks.len() == ranks {
+        return Err(first_error.expect("incomplete run implies a failed rank"));
+    }
+
+    if let Some(inj) = &injector {
+        for m in per_rank.iter_mut() {
+            m.messages_dropped = inj.messages_dropped(m.rank);
+            m.messages_delayed = inj.messages_delayed(m.rank);
+        }
     }
     per_rank.sort_by_key(|m| m.rank);
+    let recovery = RecoveryStats {
+        ranks_lost: lost_ranks.len(),
+        lost_ranks,
+        chunks_reassigned: shared.ledger.chunks_reassigned(),
+        duplicate_chunks: per_rank.iter().map(|m| m.duplicate_chunks).sum(),
+        messages_dropped: per_rank.iter().map(|m| m.messages_dropped).sum(),
+        messages_delayed: per_rank.iter().map(|m| m.messages_delayed).sum(),
+        recovery_millis: shared.ledger.recovery_millis(),
+    };
     Ok(DistResult {
-        total_matches: total,
+        // The ledger sum, not the per-rank sum: immune to duplicated or
+        // re-executed chunks.
+        total_matches: shared.ledger.total_matches(),
         per_rank,
         wall_millis: start.elapsed().as_secs_f64() * 1e3,
+        recovery,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::worker::Partition;
     use cuts_core::CutsEngine;
     use cuts_gpu_sim::{Device, DeviceConfig};
@@ -77,7 +172,10 @@ mod tests {
 
     fn single_node_count(data: &Graph, query: &Graph) -> u64 {
         let device = Device::new(DeviceConfig::test_small());
-        CutsEngine::new(&device).run(data, query).unwrap().num_matches
+        CutsEngine::new(&device)
+            .run(data, query)
+            .unwrap()
+            .num_matches
     }
 
     fn cfg() -> DistConfig {
@@ -97,6 +195,7 @@ mod tests {
             let r = run_distributed(&data, &query, ranks, &cfg()).unwrap();
             assert_eq!(r.total_matches, want, "ranks = {ranks}");
             assert_eq!(r.per_rank.len(), ranks);
+            assert!(r.recovery.is_clean(), "fault-free run: {:?}", r.recovery);
         }
     }
 
@@ -172,5 +271,36 @@ mod tests {
         }
         assert!(r.balance_ratio() > 0.0 && r.balance_ratio() <= 1.0);
         assert!(r.makespan_sim_millis() > 0.0);
+    }
+
+    #[test]
+    fn crashed_rank_recovered_by_survivor() {
+        let data = erdos_renyi(60, 240, 17);
+        let query = clique(3);
+        let want = single_node_count(&data, &query);
+        let mut c = cfg();
+        c.fault_plan = FaultPlan::parse("crash:1@0").unwrap();
+        let r = run_distributed(&data, &query, 2, &c).unwrap();
+        assert_eq!(r.total_matches, want);
+        assert_eq!(r.recovery.lost_ranks, vec![1]);
+        assert!(r.per_rank[1].lost);
+        assert!(r.recovery.chunks_reassigned > 0);
+        assert!(r.recovery.recovery_millis > 0.0);
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_panic() {
+        // All ranks panic immediately: the runner must return Err, never
+        // propagate the unwind (the satellite regression for the old
+        // `join().expect(...)`).
+        let data = erdos_renyi(30, 90, 5);
+        let query = clique(3);
+        let mut c = cfg();
+        c.fault_plan = FaultPlan::parse("panic:0@0").unwrap();
+        let r = run_distributed(&data, &query, 1, &c);
+        match r {
+            Err(WorkerError::Panicked { rank: 0 }) => {}
+            other => panic!("expected Panicked {{ rank: 0 }}, got {other:?}"),
+        }
     }
 }

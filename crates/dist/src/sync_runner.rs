@@ -17,7 +17,7 @@ use cuts_graph::Graph;
 use cuts_trie::HostTrie;
 
 use crate::config::DistConfig;
-use crate::metrics::{DistResult, RankMetrics};
+use crate::metrics::{DistResult, RankMetrics, RecoveryStats};
 use crate::worker::{Partition, WorkerError};
 
 /// Outcome of a synchronous run: the usual per-rank metrics plus the
@@ -50,7 +50,9 @@ pub fn run_synchronous(
     let plan = MatchOrder::compute(query)?;
     let n = plan.len();
 
-    let devices: Vec<Device> = (0..ranks).map(|_| Device::new(config.device.clone())).collect();
+    let devices: Vec<Device> = (0..ranks)
+        .map(|_| Device::new(config.device.clone()))
+        .collect();
     let mut metrics: Vec<RankMetrics> = (0..ranks)
         .map(|rank| RankMetrics {
             rank,
@@ -91,8 +93,7 @@ pub fn run_synchronous(
             devices[r].reset_counters();
             let expanded = engine.expand_seed_once(data, query, &seed)?;
             let counters = devices[r].counters();
-            let t = cuts_gpu_sim::CostModel::default()
-                .millis(&counters, devices[r].config());
+            let t = cuts_gpu_sim::CostModel::default().millis(&counters, devices[r].config());
             level_times[r] = t;
             metrics[r].busy_sim_millis += t;
             metrics[r].counters += counters;
@@ -101,8 +102,7 @@ pub fn run_synchronous(
         }
         let level_max = level_times.iter().cloned().fold(0.0, f64::max);
         barrier_makespan += level_max;
-        barrier_idle +=
-            level_times.iter().map(|&t| level_max - t).sum::<f64>() / ranks as f64;
+        barrier_idle += level_times.iter().map(|&t| level_max - t).sum::<f64>() / ranks as f64;
 
         // Rebalance: gather everything, redistribute evenly. Every path
         // that changes owner is charged as moved words.
@@ -138,6 +138,7 @@ pub fn run_synchronous(
             total_matches: total,
             per_rank: metrics,
             wall_millis: start.elapsed().as_secs_f64() * 1e3,
+            recovery: RecoveryStats::default(),
         },
         barrier_makespan_sim_millis: barrier_makespan,
         barrier_idle_sim_millis: barrier_idle,
@@ -164,7 +165,10 @@ mod tests {
         let data = erdos_renyi(50, 200, 31);
         let query = clique(3);
         let device = Device::new(DeviceConfig::test_small());
-        let want = CutsEngine::new(&device).run(&data, &query).unwrap().num_matches;
+        let want = CutsEngine::new(&device)
+            .run(&data, &query)
+            .unwrap()
+            .num_matches;
         for ranks in [1usize, 2, 4] {
             let r = run_synchronous(&data, &query, ranks, &cfg()).unwrap();
             assert_eq!(r.dist.total_matches, want, "ranks {ranks}");

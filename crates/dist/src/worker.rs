@@ -1,8 +1,31 @@
 //! Per-rank worker: Algorithm 3's chunked outer loop with asynchronous
-//! donation at chunk boundaries.
+//! donation at chunk boundaries, hardened against rank crashes and
+//! message loss.
+//!
+//! Fault tolerance rests on three mechanisms:
+//!
+//! 1. **The chunk ledger** ([`crate::ledger::ChunkLedger`]): every chunk
+//!    of work is registered before any rank starts, every hand-off is a
+//!    ledger transfer, and every result is an idempotent per-chunk
+//!    commit. `total_matches` is the ledger sum, so duplicated or
+//!    re-executed chunks can never change the count.
+//! 2. **Liveness tracking**: thread exit flips the [`AliveBoard`]
+//!    (authoritative, like an MPI launcher seeing a process die), and
+//!    [`tag::HEARTBEAT`] broadcasts keep the [`StatusBoard`]'s
+//!    last-heard clocks fresh so *unresponsive* ranks are detected too.
+//! 3. **Reclaim**: an idle rank that waits out `rank_timeout` claims
+//!    every pending chunk owned by a dead or silent rank (and any chunk
+//!    homed to itself whose `WORK` message was lost) and processes it
+//!    locally. Because commits deduplicate, reclaiming too eagerly
+//!    costs only wasted cycles, never correctness.
+//!
+//! Termination is ledger-driven — a worker exits when every registered
+//! chunk has committed — rather than the all-peers-free consensus of the
+//! bare protocol, which a single lost `FREE` broadcast would hang.
 
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
@@ -13,9 +36,11 @@ use cuts_trie::serial::WireError;
 use cuts_trie::HostTrie;
 
 use crate::config::DistConfig;
+use crate::fault::{CrashKind, FaultInjector};
+use crate::ledger::{AliveBoard, ChunkId, ChunkLedger};
 use crate::metrics::RankMetrics;
 use crate::mpi::{Comm, Rank};
-use crate::protocol::{tag, StatusBoard, WorkPayload};
+use crate::protocol::{tag, DonatedChunk, Status, StatusBoard, WorkPayload};
 
 /// How root candidates are split across ranks at start-up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +61,18 @@ pub enum WorkerError {
     Engine(EngineError),
     /// Malformed donation payload.
     Wire(WireError),
+    /// A scheduled [`crate::fault::CrashFault`] fired on this rank.
+    InjectedCrash {
+        /// The rank that crashed.
+        rank: usize,
+        /// Chunks it had committed when it went down.
+        after_chunks: usize,
+    },
+    /// The rank's worker thread panicked (observed at join).
+    Panicked {
+        /// The rank whose thread panicked.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for WorkerError {
@@ -43,6 +80,10 @@ impl std::fmt::Display for WorkerError {
         match self {
             WorkerError::Engine(e) => write!(f, "{e}"),
             WorkerError::Wire(e) => write!(f, "{e}"),
+            WorkerError::InjectedCrash { rank, after_chunks } => {
+                write!(f, "injected crash: rank {rank} after {after_chunks} chunks")
+            }
+            WorkerError::Panicked { rank } => write!(f, "rank {rank} worker thread panicked"),
         }
     }
 }
@@ -61,8 +102,41 @@ impl From<WireError> for WorkerError {
     }
 }
 
+/// State every worker of a universe shares.
+#[derive(Clone)]
+pub struct Shared {
+    /// Chunk ownership/result ledger.
+    pub ledger: Arc<ChunkLedger>,
+    /// Rank liveness flags.
+    pub alive: Arc<AliveBoard>,
+    /// Fault injector (`None` = fault-free run).
+    pub injector: Option<Arc<FaultInjector>>,
+    /// Start-up barrier: every rank registers its initial chunks before
+    /// any rank may observe `all_completed`, so an early-idle rank can
+    /// never conclude the run is over while peers are still registering.
+    pub barrier: Arc<Barrier>,
+}
+
+impl Shared {
+    /// Fresh shared state for a universe of `ranks` workers.
+    pub fn new(ranks: usize, injector: Option<Arc<FaultInjector>>) -> Self {
+        Shared {
+            ledger: Arc::new(ChunkLedger::new()),
+            alive: Arc::new(AliveBoard::new(ranks)),
+            injector,
+            barrier: Arc::new(Barrier::new(ranks)),
+        }
+    }
+}
+
+/// One queued unit of work: a ledger-registered trie chunk.
+struct Chunk {
+    id: ChunkId,
+    trie: HostTrie,
+}
+
 enum Idle {
-    Work(Vec<HostTrie>),
+    Work(Vec<Chunk>),
     Done,
 }
 
@@ -75,13 +149,24 @@ pub struct Worker<'a> {
     query: &'a Graph,
     board: StatusBoard,
     metrics: RankMetrics,
+    shared: Shared,
+    /// Chunks this rank has committed (the crash-boundary clock).
+    chunks_done: usize,
+    last_heartbeat: Instant,
 }
 
 impl<'a> Worker<'a> {
     /// Builds a worker owning its own simulated device.
-    pub fn new(comm: Comm, config: DistConfig, data: &'a Graph, query: &'a Graph) -> Self {
+    pub fn new(
+        comm: Comm,
+        config: DistConfig,
+        data: &'a Graph,
+        query: &'a Graph,
+        shared: Shared,
+    ) -> Self {
         let rank = comm.rank();
         let size = comm.size();
+        let heartbeat_interval = config.heartbeat_interval;
         Worker {
             comm,
             device: Device::new(config.device.clone()),
@@ -93,6 +178,11 @@ impl<'a> Worker<'a> {
                 rank,
                 ..Default::default()
             },
+            shared,
+            chunks_done: 0,
+            // Back-dated so the first tick fires immediately: every rank
+            // announces itself even on runs shorter than one interval.
+            last_heartbeat: Instant::now() - heartbeat_interval,
         }
     }
 
@@ -140,10 +230,30 @@ impl<'a> Worker<'a> {
 
     /// Runs the rank to completion, returning its match count and metrics.
     pub fn run(mut self) -> Result<(u64, RankMetrics), WorkerError> {
-        let mut queue = self.initial_jobs()?;
+        // Register this rank's chunks, then rendezvous: all chunks of all
+        // ranks must be in the ledger before anyone can observe
+        // `all_completed` (even on error, reach the barrier first so the
+        // others aren't stranded).
+        let jobs = self.initial_jobs();
+        let mut queue: VecDeque<Chunk> = VecDeque::new();
+        if let Ok(jobs) = &jobs {
+            for trie in jobs {
+                let id = self.shared.ledger.new_id();
+                self.shared.ledger.register(id, self.comm.rank(), trie);
+                queue.push_back(Chunk {
+                    id,
+                    trie: trie.clone(),
+                });
+            }
+        }
+        self.shared.barrier.wait();
+        jobs?;
+
         let mut total = 0u64;
         loop {
-            while let Some(job) = queue.pop_front() {
+            while let Some(chunk) = queue.pop_front() {
+                self.check_crash()?;
+                self.heartbeat_tick(Status::Busy);
                 self.poll_messages(&mut queue);
                 self.maybe_donate(&mut queue);
                 // Progressive deepening: when a peer is idle but the queue
@@ -157,30 +267,51 @@ impl<'a> Worker<'a> {
                 if self.config.progressive_deepening
                     && self.comm.size() > 1
                     && queue.is_empty()
-                    && job.depth() < self.query.num_vertices().saturating_sub(1)
+                    && chunk.trie.depth() < self.query.num_vertices().saturating_sub(1)
                 {
-                    match self.deepen_job(&job) {
-                        Some(jobs) if jobs.len() > 1 => {
-                            queue.extend(jobs);
+                    match self.deepen_job(&chunk.trie) {
+                        Some(tries) if tries.len() > 1 => {
+                            let children: Vec<Chunk> = tries
+                                .into_iter()
+                                .map(|trie| Chunk {
+                                    id: self.shared.ledger.new_id(),
+                                    trie,
+                                })
+                                .collect();
+                            let refs: Vec<(ChunkId, &HostTrie)> =
+                                children.iter().map(|c| (c.id, &c.trie)).collect();
+                            if self.shared.ledger.split(chunk.id, self.comm.rank(), &refs) {
+                                queue.extend(children);
+                            } else {
+                                // Parent already committed elsewhere: this
+                                // was an at-least-once duplicate.
+                                self.metrics.duplicate_chunks += 1;
+                            }
                             continue;
                         }
-                        Some(jobs) => {
+                        Some(tries) => {
                             // One (or zero) sub-jobs: nothing gained,
-                            // process directly.
-                            for j in jobs {
-                                total += self.process_job(&j)?;
+                            // process directly under the parent's id.
+                            let mut n = 0;
+                            for t in &tries {
+                                n += self.process_job(t)?;
                             }
+                            self.commit_chunk(chunk.id, n, &mut total);
                             continue;
                         }
                         None => {} // deepening failed; fall through
                     }
                 }
-                total += self.process_job(&job)?;
+                let n = self.process_job(&chunk.trie)?;
+                self.commit_chunk(chunk.id, n, &mut total);
             }
             // Queue drained: save results, discard trie, announce free.
+            if self.shared.ledger.all_completed() {
+                break;
+            }
             self.comm.broadcast_others(tag::FREE, Bytes::new());
             match self.idle_loop()? {
-                Idle::Work(jobs) => queue.extend(jobs),
+                Idle::Work(chunks) => queue.extend(chunks),
                 Idle::Done => break,
             }
         }
@@ -188,6 +319,46 @@ impl<'a> Worker<'a> {
         self.metrics.messages_sent = self.comm.stats().messages_sent();
         self.metrics.bytes_sent = self.comm.stats().bytes_sent();
         Ok((total, self.metrics))
+    }
+
+    /// Fires this rank's scheduled crash, if one is due at the current
+    /// chunk boundary.
+    fn check_crash(&self) -> Result<(), WorkerError> {
+        let Some(inj) = &self.shared.injector else {
+            return Ok(());
+        };
+        match inj.should_crash(self.comm.rank(), self.chunks_done) {
+            Some(CrashKind::Panic) => panic!(
+                "injected fault: rank {} panics after {} chunks",
+                self.comm.rank(),
+                self.chunks_done
+            ),
+            Some(CrashKind::Error) => Err(WorkerError::InjectedCrash {
+                rank: self.comm.rank(),
+                after_chunks: self.chunks_done,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Broadcasts a heartbeat when the configured interval has elapsed.
+    fn heartbeat_tick(&mut self, status: Status) {
+        if self.last_heartbeat.elapsed() >= self.config.heartbeat_interval {
+            self.comm
+                .broadcast_others(tag::HEARTBEAT, Bytes::from(vec![status.to_byte()]));
+            self.last_heartbeat = Instant::now();
+        }
+    }
+
+    /// Commits a processed chunk; duplicates (already committed by a
+    /// peer) are counted but never re-summed.
+    fn commit_chunk(&mut self, id: ChunkId, matches: u64, total: &mut u64) {
+        if self.shared.ledger.commit(id, matches) {
+            *total += matches;
+            self.chunks_done += 1;
+        } else {
+            self.metrics.duplicate_chunks += 1;
+        }
     }
 
     /// Runs one job (a batch of partial paths) to completion.
@@ -217,14 +388,8 @@ impl<'a> Worker<'a> {
     /// through the engine's own chunking).
     fn deepen_job(&self, job: &HostTrie) -> Option<Vec<HostTrie>> {
         let engine = CutsEngine::with_config(&self.device, self.config.engine.clone());
-        let expanded = engine
-            .expand_seed_once(self.data, self.query, job)
-            .ok()?;
-        let frontier_len = expanded
-            .levels
-            .last()
-            .map(|l| l.len())
-            .unwrap_or(0);
+        let expanded = engine.expand_seed_once(self.data, self.query, job).ok()?;
+        let frontier_len = expanded.levels.last().map(|l| l.len()).unwrap_or(0);
         if frontier_len == 0 {
             return Some(Vec::new());
         }
@@ -232,18 +397,35 @@ impl<'a> Worker<'a> {
         Some(expanded.split_frontier(parts))
     }
 
+    /// Integrates a WORK payload, discarding chunks the ledger says are
+    /// already committed (at-least-once duplicates).
+    fn accept_work(&mut self, payload: Bytes) -> Result<Vec<Chunk>, WireError> {
+        let w = WorkPayload::decode(payload)?;
+        self.metrics.donations_received += 1;
+        let mut fresh = Vec::new();
+        for DonatedChunk { id, trie } in w.jobs {
+            if self.shared.ledger.transfer(id, self.comm.rank()) {
+                fresh.push(Chunk { id, trie });
+            } else {
+                self.metrics.duplicate_chunks += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
     /// Drains the mailbox while busy: track statuses, refuse claims, and
     /// defensively accept stray work.
-    fn poll_messages(&mut self, queue: &mut VecDeque<HostTrie>) {
+    fn poll_messages(&mut self, queue: &mut VecDeque<Chunk>) {
         while let Some(m) = self.comm.try_recv() {
+            self.board.mark_heard(m.from);
             match m.tag {
                 tag::FREE => self.board.mark_free(m.from),
                 tag::BUSY => self.board.mark_busy(m.from),
+                tag::HEARTBEAT => self.note_heartbeat(m.from, &m.payload),
                 tag::CLAIM => self.comm.send(m.from, tag::NACK, Bytes::new()),
                 tag::WORK => {
-                    if let Ok(w) = WorkPayload::decode(m.payload) {
-                        self.metrics.donations_received += 1;
-                        queue.extend(w.jobs);
+                    if let Ok(fresh) = self.accept_work(m.payload) {
+                        queue.extend(fresh);
                     }
                 }
                 _ => {}
@@ -251,27 +433,59 @@ impl<'a> Worker<'a> {
         }
     }
 
+    /// Applies a heartbeat's carried status.
+    fn note_heartbeat(&mut self, from: Rank, payload: &Bytes) {
+        match payload.first().map(|&b| Status::from_byte(b)) {
+            Some(Status::Free) => self.board.mark_free(from),
+            _ => self.board.mark_busy(from),
+        }
+    }
+
     /// If a peer is free and we hold spare jobs, pair with it (claim →
-    /// ack → work) and donate the back half of the queue.
-    fn maybe_donate(&mut self, queue: &mut VecDeque<HostTrie>) {
+    /// ack → work) and donate the back half of the queue. The wait for
+    /// the claim's resolution is bounded by `rank_timeout`: a dead or
+    /// partitioned target must not wedge the donor.
+    fn maybe_donate(&mut self, queue: &mut VecDeque<Chunk>) {
         if queue.len() < 2 {
             return;
         }
-        let Some(target) = self.board.first_free_peer() else {
+        let Some(target) = self.board.first_free_peer(self.config.rank_timeout) else {
             return;
         };
+        if !self.shared.alive.is_alive(target) {
+            self.board.mark_busy(target);
+            return;
+        }
         self.comm.send(target, tag::CLAIM, Bytes::new());
-        // Block on the claim's resolution; the target always answers.
+        let deadline = Instant::now() + self.config.rank_timeout;
         loop {
-            let Some(m) = self.comm.recv_timeout(Duration::from_millis(10)) else {
+            if Instant::now() >= deadline {
+                // Claim unresolved (peer died, or the CLAIM/answer was
+                // lost): stop waiting and keep the work ourselves.
+                self.board.mark_busy(target);
+                return;
+            }
+            let Some(m) = self.comm.recv_timeout(Duration::from_millis(5)) else {
                 continue;
             };
+            self.board.mark_heard(m.from);
             match m.tag {
                 tag::ACK if m.from == target => {
                     let donate = queue.len() / 2;
-                    let jobs: Vec<HostTrie> = (0..donate)
+                    let jobs: Vec<DonatedChunk> = (0..donate)
                         .filter_map(|_| queue.pop_back())
+                        .map(|c| DonatedChunk {
+                            id: c.id,
+                            trie: c.trie,
+                        })
                         .collect();
+                    // Re-home in the ledger before the wire send: if the
+                    // WORK message is then lost, the chunks are owned by
+                    // the (idle) target, which reclaims its own orphans
+                    // after the timeout.
+                    for dc in &jobs {
+                        self.shared.ledger.transfer(dc.id, target);
+                    }
                     let payload = WorkPayload { jobs }.encode();
                     self.comm.send(target, tag::WORK, payload);
                     self.board.mark_busy(target);
@@ -284,11 +498,11 @@ impl<'a> Worker<'a> {
                 }
                 tag::FREE => self.board.mark_free(m.from),
                 tag::BUSY => self.board.mark_busy(m.from),
+                tag::HEARTBEAT => self.note_heartbeat(m.from, &m.payload),
                 tag::CLAIM => self.comm.send(m.from, tag::NACK, Bytes::new()),
                 tag::WORK => {
-                    if let Ok(w) = WorkPayload::decode(m.payload) {
-                        self.metrics.donations_received += 1;
-                        queue.extend(w.jobs);
+                    if let Ok(fresh) = self.accept_work(m.payload) {
+                        queue.extend(fresh);
                     }
                 }
                 _ => {}
@@ -296,23 +510,72 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// Idle loop of a free rank: grant the first claim, wait for its work,
-    /// or exit when every peer is free.
+    /// Idle loop of a free rank: grant the first claim, wait for its
+    /// work, reclaim orphaned chunks once peers time out, or exit when
+    /// the ledger is complete.
     fn idle_loop(&mut self) -> Result<Idle, WorkerError> {
-        let mut reserved: Option<Rank> = None;
+        let me = self.comm.rank();
+        let mut reserved: Option<(Rank, Instant)> = None;
+        let mut last_reclaim = Instant::now();
         loop {
-            if reserved.is_none() && self.board.all_peers_free() {
+            if self.shared.ledger.all_completed() {
                 return Ok(Idle::Done);
+            }
+            self.check_crash()?;
+            self.heartbeat_tick(Status::Free);
+            if let Some((_, since)) = reserved {
+                if since.elapsed() >= self.config.rank_timeout {
+                    // The granted donor never delivered (it died, or its
+                    // WORK was lost): reopen for other claimants. Any
+                    // chunks it managed to transfer to us are picked up
+                    // by the reclaim below.
+                    reserved = None;
+                }
+            }
+            // While unreserved and past the timeout, sweep the ledger for
+            // orphans: chunks owned by dead or silent ranks, or homed to
+            // us by a donation whose WORK message vanished. (While
+            // reserved, a transfer to us is *expected* — don't race it.)
+            //
+            // The detector is armed only under an active fault plan: the
+            // simulated transport is otherwise lossless and no rank dies
+            // mid-run, so reclaim could only ever fire spuriously — e.g.
+            // a rank descheduled mid-chunk on an oversubscribed host
+            // looks stale without being lost. Keeping the detector cold
+            // in clean runs makes "fault-free ⇒ zero recovery metrics"
+            // hold under arbitrary scheduler jitter.
+            let detector_armed = self.shared.injector.is_some();
+            if detector_armed
+                && reserved.is_none()
+                && last_reclaim.elapsed() >= self.config.rank_timeout
+            {
+                let claimed = self.shared.ledger.reclaim(me, |owner| {
+                    !self.shared.alive.is_alive(owner)
+                        || self.board.is_stale(owner, self.config.rank_timeout)
+                });
+                last_reclaim = Instant::now();
+                if !claimed.is_empty() {
+                    self.metrics.chunks_reassigned += claimed.len();
+                    self.comm.broadcast_others(tag::BUSY, Bytes::new());
+                    return Ok(Idle::Work(
+                        claimed
+                            .into_iter()
+                            .map(|(id, trie)| Chunk { id, trie })
+                            .collect(),
+                    ));
+                }
             }
             let Some(m) = self.comm.recv_timeout(Duration::from_millis(5)) else {
                 continue;
             };
+            self.board.mark_heard(m.from);
             match m.tag {
                 tag::FREE => self.board.mark_free(m.from),
                 tag::BUSY => self.board.mark_busy(m.from),
+                tag::HEARTBEAT => self.note_heartbeat(m.from, &m.payload),
                 tag::CLAIM => {
                     if reserved.is_none() {
-                        reserved = Some(m.from);
+                        reserved = Some((m.from, Instant::now()));
                         self.comm.send(m.from, tag::ACK, Bytes::new());
                         // Everyone else must stop targeting us.
                         self.comm.broadcast_others(tag::BUSY, Bytes::new());
@@ -321,11 +584,9 @@ impl<'a> Worker<'a> {
                     }
                 }
                 tag::WORK => {
-                    debug_assert_eq!(Some(m.from), reserved, "work without ack");
-                    let w = WorkPayload::decode(m.payload)?;
-                    self.metrics.donations_received += 1;
-                    self.board.mark_busy(self.comm.rank());
-                    return Ok(Idle::Work(w.jobs));
+                    let fresh = self.accept_work(m.payload)?;
+                    self.board.mark_busy(me);
+                    return Ok(Idle::Work(fresh));
                 }
                 _ => {}
             }
@@ -338,6 +599,16 @@ mod tests {
     use super::*;
     use cuts_gpu_sim::DeviceConfig;
 
+    fn worker<'a>(
+        comm: Comm,
+        config: DistConfig,
+        data: &'a Graph,
+        query: &'a Graph,
+        ranks: usize,
+    ) -> Worker<'a> {
+        Worker::new(comm, config, data, query, Shared::new(ranks, None))
+    }
+
     #[test]
     fn initial_jobs_round_robin_partition() {
         let data = cuts_graph::generators::clique(6);
@@ -345,7 +616,7 @@ mod tests {
         let comms = Comm::universe(2);
         let mut sizes = Vec::new();
         for comm in comms {
-            let w = Worker::new(
+            let w = worker(
                 comm,
                 DistConfig {
                     device: DeviceConfig::test_small(),
@@ -354,6 +625,7 @@ mod tests {
                 },
                 &data,
                 &query,
+                2,
             );
             let jobs = w.initial_jobs().unwrap();
             let paths: usize = jobs.iter().map(|j| j.levels[0].len()).sum();
@@ -369,7 +641,7 @@ mod tests {
         let comms = Comm::universe(2);
         let mut all = Vec::new();
         for comm in comms {
-            let w = Worker::new(
+            let w = worker(
                 comm,
                 DistConfig {
                     device: DeviceConfig::test_small(),
@@ -379,6 +651,7 @@ mod tests {
                 },
                 &data,
                 &query,
+                2,
             );
             all.push(w.initial_jobs().unwrap().len());
         }
@@ -392,7 +665,7 @@ mod tests {
         let comms = Comm::universe(2);
         let mut firsts = Vec::new();
         for comm in comms {
-            let w = Worker::new(
+            let w = worker(
                 comm,
                 DistConfig {
                     device: DeviceConfig::test_small(),
@@ -402,6 +675,7 @@ mod tests {
                 },
                 &data,
                 &query,
+                2,
             );
             let jobs = w.initial_jobs().unwrap();
             let first = jobs
@@ -412,5 +686,34 @@ mod tests {
         }
         // Rank 0 starts at vertex 0, rank 1 at the split point 4.
         assert_eq!(firsts, vec![0, 4]);
+    }
+
+    #[test]
+    fn injected_crash_error_surfaces() {
+        use crate::fault::FaultPlan;
+        let data = cuts_graph::generators::clique(4);
+        let query = cuts_graph::generators::clique(3);
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::parse("crash:0@0").unwrap(),
+            1,
+        ));
+        let mut comms = Comm::universe(1);
+        let w = Worker::new(
+            comms.pop().unwrap(),
+            DistConfig {
+                device: DeviceConfig::test_small(),
+                ..Default::default()
+            },
+            &data,
+            &query,
+            Shared::new(1, Some(inj)),
+        );
+        match w.run() {
+            Err(WorkerError::InjectedCrash {
+                rank: 0,
+                after_chunks: 0,
+            }) => {}
+            other => panic!("expected injected crash, got {other:?}"),
+        }
     }
 }

@@ -83,7 +83,9 @@ impl CostBreakdown {
     /// Total modelled cycles (max of the overlapping terms plus the
     /// additive ones).
     pub fn total_cycles(&self) -> f64 {
-        self.compute_cycles.max(self.dram_cycles).max(self.shmem_cycles)
+        self.compute_cycles
+            .max(self.dram_cycles)
+            .max(self.shmem_cycles)
             + self.atomic_cycles
             + self.launch_cycles
     }

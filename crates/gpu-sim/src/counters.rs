@@ -152,9 +152,11 @@ impl AtomicCounters {
         self.dram_reads.fetch_add(b.dram_reads, Ordering::Relaxed);
         self.dram_writes.fetch_add(b.dram_writes, Ordering::Relaxed);
         self.shmem_reads.fetch_add(b.shmem_reads, Ordering::Relaxed);
-        self.shmem_writes.fetch_add(b.shmem_writes, Ordering::Relaxed);
+        self.shmem_writes
+            .fetch_add(b.shmem_writes, Ordering::Relaxed);
         self.atomics.fetch_add(b.atomics, Ordering::Relaxed);
-        self.instructions.fetch_add(b.instructions, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(b.instructions, Ordering::Relaxed);
         self.divergent_branches
             .fetch_add(b.divergent_branches, Ordering::Relaxed);
         self.kernel_launches

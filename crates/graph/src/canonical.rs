@@ -14,7 +14,10 @@ pub const MAX_SMALL: usize = 8;
 /// set iff the arc `(u, v)` exists. Symmetric for undirected graphs.
 pub fn adjacency_bits(g: &Graph) -> u64 {
     let n = g.num_vertices();
-    assert!(n <= MAX_SMALL, "graph too large for small-graph canonicalisation");
+    assert!(
+        n <= MAX_SMALL,
+        "graph too large for small-graph canonicalisation"
+    );
     let mut bits = 0u64;
     for (u, v) in g.edges() {
         bits |= 1u64 << (u as usize * n + v as usize);

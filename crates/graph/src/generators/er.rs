@@ -8,7 +8,10 @@ use crate::graph::{Graph, VertexId};
 /// Uniform random undirected graph with `n` vertices and (approximately,
 /// after dedup) `m` edges. Deterministic for a given seed.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
-    assert!(n >= 2 || m == 0, "cannot place edges on fewer than 2 vertices");
+    assert!(
+        n >= 2 || m == 0,
+        "cannot place edges on fewer than 2 vertices"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {

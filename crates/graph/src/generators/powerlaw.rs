@@ -113,10 +113,7 @@ mod tests {
         let max = g.max_out_degree() as f64;
         let avg = g.avg_out_degree();
         // Heavy tail: max degree far above average.
-        assert!(
-            max > 8.0 * avg,
-            "expected skew, got max {max} avg {avg}"
-        );
+        assert!(max > 8.0 * avg, "expected skew, got max {max} avg {avg}");
     }
 
     #[test]

@@ -36,9 +36,12 @@ impl Default for RmatParams {
 /// Samples an undirected R-MAT graph with `2^scale` vertices and ~`m`
 /// edges. Deterministic for a seed.
 pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Graph {
-    assert!(scale >= 1 && scale <= 26, "scale out of supported range");
+    assert!((1..=26).contains(&scale), "scale out of supported range");
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1"
+    );
     let n = 1usize << scale;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m);
@@ -107,6 +110,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_params_rejected() {
-        rmat(8, 10, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+        rmat(
+            8,
+            10,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            1,
+        );
     }
 }

@@ -15,12 +15,7 @@ use crate::graph::{Graph, VertexId};
 /// Perturbed-grid road network over roughly `n` vertices with edge/vertex
 /// ratio tuned by `density` (roadNet-CA ≈ 1.4, use ~0.7 per grid edge kept).
 /// `drop_fraction` removes grid edges; `shortcut_fraction` adds diagonals.
-pub fn road_network(
-    n: usize,
-    drop_fraction: f64,
-    shortcut_fraction: f64,
-    seed: u64,
-) -> Graph {
+pub fn road_network(n: usize, drop_fraction: f64, shortcut_fraction: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&drop_fraction));
     let side = (n as f64).sqrt().ceil() as usize;
     let rows = side;

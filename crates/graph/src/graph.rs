@@ -249,7 +249,7 @@ mod tests {
         let q = Graph::undirected(2, &[(0, 1)]).with_labels(vec![7, 8]);
         assert!(g.label_compatible(0, &q, 0)); // 7 == 7
         assert!(!g.label_compatible(1, &q, 0)); // 8 != 7
-        // Unlabelled side is a wildcard.
+                                                // Unlabelled side is a wildcard.
         let unlabeled = Graph::undirected(2, &[(0, 1)]);
         assert!(g.label_compatible(1, &unlabeled, 0));
         assert!(unlabeled.label_compatible(0, &q, 1));

@@ -86,7 +86,10 @@ fn for_each_subset(m: usize, r: usize, f: &mut impl FnMut(&[usize])) {
 /// on `n` vertices (the paper uses `n ∈ {5, 6, 7}`, `k = 11`). Results are
 /// sorted by edge count descending, ties by canonical form ascending.
 pub fn query_set(n: usize, k: usize) -> Vec<QueryGraph> {
-    assert!((2..=7).contains(&n), "query enumeration supports 2..=7 vertices");
+    assert!(
+        (2..=7).contains(&n),
+        "query enumeration supports 2..=7 vertices"
+    );
     let pairs = all_pairs(n);
     let full = pairs.len();
     let mut out: Vec<(usize, u64)> = Vec::new(); // (edges, canonical bits)
@@ -109,8 +112,10 @@ pub fn query_set(n: usize, k: usize) -> Vec<QueryGraph> {
                 reps.push((bits, g));
             }
         });
-        let mut canon_this_level: Vec<u64> =
-            reps.iter().map(|&(bits, _)| canonical_form(n, bits)).collect();
+        let mut canon_this_level: Vec<u64> = reps
+            .iter()
+            .map(|&(bits, _)| canonical_form(n, bits))
+            .collect();
         canon_this_level.sort_unstable();
         for canon in canon_this_level {
             out.push((full - removed_count, canon));
@@ -204,7 +209,10 @@ mod tests {
     fn paper_suite_has_33() {
         let suite = paper_query_suite();
         assert_eq!(suite.len(), 33);
-        assert_eq!(suite.iter().filter(|q| q.graph.num_vertices() == 7).count(), 11);
+        assert_eq!(
+            suite.iter().filter(|q| q.graph.num_vertices() == 7).count(),
+            11
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
     let mut hist = vec![0usize; 33];
     for v in 0..g.num_vertices() as u32 {
         let d = g.out_degree(v);
-        let bucket = if d <= 1 { 0 } else { (31 - d.leading_zeros()) as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (31 - d.leading_zeros()) as usize
+        };
         hist[bucket] += 1;
     }
     while hist.len() > 1 && *hist.last().unwrap() == 0 {

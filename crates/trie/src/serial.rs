@@ -28,6 +28,10 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Cap on `count` in a zero-depth path batch, where the payload length
+/// cannot corroborate the header (each path contributes zero words).
+const MAX_EMPTY_PATHS: usize = 1 << 20;
+
 /// Encodes a full host trie: `[num_levels, level_ends…, len, pa…, ca…]`.
 pub fn encode_trie(t: &HostTrie) -> Bytes {
     let mut b = BytesMut::with_capacity(4 * (2 + t.levels.len() + 2 * t.len()));
@@ -51,7 +55,11 @@ pub fn decode_trie(mut buf: Bytes) -> Result<HostTrie, WireError> {
         return Err(WireError::Truncated);
     }
     let num_levels = buf.get_u32_le() as usize;
-    if buf.remaining() < 4 * (num_levels + 1) {
+    let header_words = num_levels
+        .checked_add(1)
+        .and_then(|w| w.checked_mul(4))
+        .ok_or(WireError::Corrupt("level count overflows"))?;
+    if buf.remaining() < header_words {
         return Err(WireError::Truncated);
     }
     let mut levels = Vec::with_capacity(num_levels);
@@ -68,7 +76,10 @@ pub fn decode_trie(mut buf: Bytes) -> Result<HostTrie, WireError> {
     if levels.last().map_or(0, |l| l.end) != len {
         return Err(WireError::Corrupt("length disagrees with level ends"));
     }
-    if buf.remaining() < 8 * len {
+    let body = len
+        .checked_mul(8)
+        .ok_or(WireError::Corrupt("node count overflows"))?;
+    if buf.remaining() < body {
         return Err(WireError::Truncated);
     }
     let pa = (0..len).map(|_| buf.get_u32_le()).collect();
@@ -98,8 +109,18 @@ pub fn decode_paths(mut buf: Bytes) -> Result<Vec<Vec<u32>>, WireError> {
     }
     let depth = buf.get_u32_le() as usize;
     let count = buf.get_u32_le() as usize;
-    if buf.remaining() < 4 * depth * count {
+    // `depth` and `count` come off the wire: size arithmetic must be
+    // checked, and a zero-depth header makes `count` unverifiable
+    // against the payload length, so bound it before allocating.
+    let need = depth
+        .checked_mul(count)
+        .and_then(|w| w.checked_mul(4))
+        .ok_or(WireError::Corrupt("path batch size overflows"))?;
+    if buf.remaining() < need {
         return Err(WireError::Truncated);
+    }
+    if depth == 0 && count > MAX_EMPTY_PATHS {
+        return Err(WireError::Corrupt("implausible zero-depth batch"));
     }
     Ok((0..count)
         .map(|_| (0..depth).map(|_| buf.get_u32_le()).collect())
@@ -158,6 +179,28 @@ mod tests {
         assert_eq!(decode_paths(encode_paths(&paths)).unwrap(), paths);
         let empty: Vec<Vec<u32>> = vec![];
         assert_eq!(decode_paths(encode_paths(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn hostile_headers_rejected_without_panic() {
+        // depth × count chosen so the naive `4 * depth * count` size
+        // computation overflows usize; must be Corrupt, not a panic.
+        let mut b = BytesMut::new();
+        b.put_u32_le(u32::MAX);
+        b.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_paths(b.freeze()),
+            Err(WireError::Corrupt(_) | WireError::Truncated)
+        ));
+        // Zero-depth batch with an absurd count: nothing in the payload
+        // corroborates it, so it must be bounded rather than allocated.
+        let mut b = BytesMut::new();
+        b.put_u32_le(0);
+        b.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_paths(b.freeze()),
+            Err(WireError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -209,7 +209,11 @@ mod tests {
         });
         assert_eq!(t.len(), 4000);
         for i in 0..t.len() {
-            assert_eq!(t.candidate(i), t.parent(i).wrapping_add(7), "torn pair at {i}");
+            assert_eq!(
+                t.candidate(i),
+                t.parent(i).wrapping_add(7),
+                "torn pair at {i}"
+            );
         }
     }
 

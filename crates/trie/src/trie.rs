@@ -276,10 +276,7 @@ impl HostTrie {
                     }
                 } else {
                     let prev = &self.levels[l - 1];
-                    if p == NO_PARENT
-                        || (p as usize) < prev.start
-                        || (p as usize) >= prev.end
-                    {
+                    if p == NO_PARENT || (p as usize) < prev.start || (p as usize) >= prev.end {
                         return Err(format!(
                             "entry {i} at level {l} has parent {p} outside {prev:?}"
                         ));

@@ -29,8 +29,15 @@ fn main() {
     let device = Device::new(DeviceConfig::a100_like());
     let engine = CutsEngine::new(&device);
 
-    println!("motif census: {} vertices, {} edges", ppi.num_vertices(), ppi.num_input_edges());
-    println!("{:<10} {:>6} {:>14} {:>14} {:>8}", "motif", "edges", "count(real)", "count(null)", "ratio");
+    println!(
+        "motif census: {} vertices, {} edges",
+        ppi.num_vertices(),
+        ppi.num_input_edges()
+    );
+    println!(
+        "{:<10} {:>6} {:>14} {:>14} {:>8}",
+        "motif", "edges", "count(real)", "count(null)", "ratio"
+    );
 
     for n in [3usize, 4] {
         // All connected n-vertex graphs, densest first.

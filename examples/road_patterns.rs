@@ -26,7 +26,10 @@ fn main() {
     let device = Device::new(DeviceConfig::v100_like());
     let engine = CutsEngine::new(&device);
 
-    println!("{:<12} {:>14} {:>10} {:>12}", "pattern", "embeddings", "sim ms", "trie words");
+    println!(
+        "{:<12} {:>14} {:>10} {:>12}",
+        "pattern", "embeddings", "sim ms", "trie words"
+    );
     for (name, q) in [
         ("chain-4", chain(4)),
         ("chain-6", chain(6)),
@@ -37,14 +40,20 @@ fn main() {
         match engine.run(&road, &q) {
             Ok(r) => println!(
                 "{:<12} {:>14} {:>10.3} {:>12}",
-                name, r.num_matches, r.sim_millis, r.cuts_words()
+                name,
+                r.num_matches,
+                r.sim_millis,
+                r.cuts_words()
             ),
             Err(e) => println!("{name:<12} failed: {e}"),
         }
     }
 
     // Gunrock's encoding wall: |V|^|Q| must stay below 2^64.
-    println!("\nGunrock-style encoding limit on this graph ({} vertices):", road.num_vertices());
+    println!(
+        "\nGunrock-style encoding limit on this graph ({} vertices):",
+        road.num_vertices()
+    );
     let gunrock = GunrockEngine::new(&device);
     for k in [3usize, 4, 5, 6] {
         let q = chain(k);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chunk-81848c5aabbe154b.d: crates/bench/src/bin/ablation_chunk.rs
+
+/root/repo/target/debug/deps/ablation_chunk-81848c5aabbe154b: crates/bench/src/bin/ablation_chunk.rs
+
+crates/bench/src/bin/ablation_chunk.rs:

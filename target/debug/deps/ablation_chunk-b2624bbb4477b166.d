@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chunk-b2624bbb4477b166.d: crates/bench/src/bin/ablation_chunk.rs
+
+/root/repo/target/debug/deps/ablation_chunk-b2624bbb4477b166: crates/bench/src/bin/ablation_chunk.rs
+
+crates/bench/src/bin/ablation_chunk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_chunk-b6213f4c32dd145b.d: crates/bench/src/bin/ablation_chunk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_chunk-b6213f4c32dd145b.rmeta: crates/bench/src/bin/ablation_chunk.rs Cargo.toml
+
+crates/bench/src/bin/ablation_chunk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

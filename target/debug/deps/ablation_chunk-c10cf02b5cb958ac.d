@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_chunk-c10cf02b5cb958ac.d: crates/bench/src/bin/ablation_chunk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_chunk-c10cf02b5cb958ac.rmeta: crates/bench/src/bin/ablation_chunk.rs Cargo.toml
+
+crates/bench/src/bin/ablation_chunk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_intersect-5d063eb5a68c96db.d: crates/bench/src/bin/ablation_intersect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_intersect-5d063eb5a68c96db.rmeta: crates/bench/src/bin/ablation_intersect.rs Cargo.toml
+
+crates/bench/src/bin/ablation_intersect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_intersect-9ed4acd82b0ee37b.d: crates/bench/src/bin/ablation_intersect.rs
+
+/root/repo/target/debug/deps/ablation_intersect-9ed4acd82b0ee37b: crates/bench/src/bin/ablation_intersect.rs
+
+crates/bench/src/bin/ablation_intersect.rs:

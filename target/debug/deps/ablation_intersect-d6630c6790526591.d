@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_intersect-d6630c6790526591.d: crates/bench/src/bin/ablation_intersect.rs
+
+/root/repo/target/debug/deps/ablation_intersect-d6630c6790526591: crates/bench/src/bin/ablation_intersect.rs
+
+crates/bench/src/bin/ablation_intersect.rs:

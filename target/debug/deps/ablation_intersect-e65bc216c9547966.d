@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_intersect-e65bc216c9547966.d: crates/bench/src/bin/ablation_intersect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_intersect-e65bc216c9547966.rmeta: crates/bench/src/bin/ablation_intersect.rs Cargo.toml
+
+crates/bench/src/bin/ablation_intersect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

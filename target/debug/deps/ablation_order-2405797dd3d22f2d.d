@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_order-2405797dd3d22f2d.d: crates/bench/src/bin/ablation_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_order-2405797dd3d22f2d.rmeta: crates/bench/src/bin/ablation_order.rs Cargo.toml
+
+crates/bench/src/bin/ablation_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_order-97066a288f5fb178.d: crates/bench/src/bin/ablation_order.rs
+
+/root/repo/target/debug/deps/ablation_order-97066a288f5fb178: crates/bench/src/bin/ablation_order.rs
+
+crates/bench/src/bin/ablation_order.rs:

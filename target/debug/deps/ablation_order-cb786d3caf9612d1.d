@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_order-cb786d3caf9612d1.d: crates/bench/src/bin/ablation_order.rs
+
+/root/repo/target/debug/deps/ablation_order-cb786d3caf9612d1: crates/bench/src/bin/ablation_order.rs
+
+crates/bench/src/bin/ablation_order.rs:

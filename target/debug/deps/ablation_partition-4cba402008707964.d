@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_partition-4cba402008707964.d: crates/bench/src/bin/ablation_partition.rs
+
+/root/repo/target/debug/deps/ablation_partition-4cba402008707964: crates/bench/src/bin/ablation_partition.rs
+
+crates/bench/src/bin/ablation_partition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_partition-645e46d5e3527ca5.d: crates/bench/src/bin/ablation_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_partition-645e46d5e3527ca5.rmeta: crates/bench/src/bin/ablation_partition.rs Cargo.toml
+
+crates/bench/src/bin/ablation_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_partition-cbf5efb1352d7884.d: crates/bench/src/bin/ablation_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_partition-cbf5efb1352d7884.rmeta: crates/bench/src/bin/ablation_partition.rs Cargo.toml
+
+crates/bench/src/bin/ablation_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

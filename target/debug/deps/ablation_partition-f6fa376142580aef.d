@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_partition-f6fa376142580aef.d: crates/bench/src/bin/ablation_partition.rs
+
+/root/repo/target/debug/deps/ablation_partition-f6fa376142580aef: crates/bench/src/bin/ablation_partition.rs
+
+crates/bench/src/bin/ablation_partition.rs:

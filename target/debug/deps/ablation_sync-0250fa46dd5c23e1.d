@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sync-0250fa46dd5c23e1.d: crates/bench/src/bin/ablation_sync.rs
+
+/root/repo/target/debug/deps/ablation_sync-0250fa46dd5c23e1: crates/bench/src/bin/ablation_sync.rs
+
+crates/bench/src/bin/ablation_sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sync-1d707b17020505d0.d: crates/bench/src/bin/ablation_sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sync-1d707b17020505d0.rmeta: crates/bench/src/bin/ablation_sync.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sync-4c0778fc4c6a70e6.d: crates/bench/src/bin/ablation_sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sync-4c0778fc4c6a70e6.rmeta: crates/bench/src/bin/ablation_sync.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

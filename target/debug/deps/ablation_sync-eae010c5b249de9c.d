@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sync-eae010c5b249de9c.d: crates/bench/src/bin/ablation_sync.rs
+
+/root/repo/target/debug/deps/ablation_sync-eae010c5b249de9c: crates/bench/src/bin/ablation_sync.rs
+
+crates/bench/src/bin/ablation_sync.rs:

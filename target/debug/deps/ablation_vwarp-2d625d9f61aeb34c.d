@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_vwarp-2d625d9f61aeb34c.d: crates/bench/src/bin/ablation_vwarp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_vwarp-2d625d9f61aeb34c.rmeta: crates/bench/src/bin/ablation_vwarp.rs Cargo.toml
+
+crates/bench/src/bin/ablation_vwarp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

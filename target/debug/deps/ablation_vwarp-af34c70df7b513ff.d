@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_vwarp-af34c70df7b513ff.d: crates/bench/src/bin/ablation_vwarp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_vwarp-af34c70df7b513ff.rmeta: crates/bench/src/bin/ablation_vwarp.rs Cargo.toml
+
+crates/bench/src/bin/ablation_vwarp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_vwarp-b85f797355f46573.d: crates/bench/src/bin/ablation_vwarp.rs
+
+/root/repo/target/debug/deps/ablation_vwarp-b85f797355f46573: crates/bench/src/bin/ablation_vwarp.rs
+
+crates/bench/src/bin/ablation_vwarp.rs:

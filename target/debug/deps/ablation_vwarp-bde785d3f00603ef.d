@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_vwarp-bde785d3f00603ef.d: crates/bench/src/bin/ablation_vwarp.rs
+
+/root/repo/target/debug/deps/ablation_vwarp-bde785d3f00603ef: crates/bench/src/bin/ablation_vwarp.rs
+
+crates/bench/src/bin/ablation_vwarp.rs:

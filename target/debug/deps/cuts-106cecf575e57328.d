@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cuts-106cecf575e57328.d: src/lib.rs
+
+/root/repo/target/debug/deps/cuts-106cecf575e57328: src/lib.rs
+
+src/lib.rs:

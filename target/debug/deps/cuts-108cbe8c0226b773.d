@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cuts-108cbe8c0226b773.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts-108cbe8c0226b773.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cuts-2fb6a28e8379c314.d: src/lib.rs
+
+/root/repo/target/debug/deps/cuts-2fb6a28e8379c314: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cuts-66f4db5c3b4d3508.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcuts-66f4db5c3b4d3508.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcuts-66f4db5c3b4d3508.rmeta: src/lib.rs
+
+src/lib.rs:

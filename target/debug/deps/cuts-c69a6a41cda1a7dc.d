@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cuts-c69a6a41cda1a7dc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts-c69a6a41cda1a7dc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

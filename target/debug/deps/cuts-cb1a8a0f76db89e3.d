@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cuts-cb1a8a0f76db89e3.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/cuts-cb1a8a0f76db89e3: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cuts-de471c06c1b9c0fd.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/cuts-de471c06c1b9c0fd: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cuts-f1049ec5a8a2afcf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcuts-f1049ec5a8a2afcf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcuts-f1049ec5a8a2afcf.rmeta: src/lib.rs
+
+src/lib.rs:

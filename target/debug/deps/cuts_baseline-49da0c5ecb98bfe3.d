@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cuts_baseline-49da0c5ecb98bfe3.d: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+/root/repo/target/debug/deps/cuts_baseline-49da0c5ecb98bfe3: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/error.rs:
+crates/baseline/src/gsi.rs:
+crates/baseline/src/gunrock.rs:
+crates/baseline/src/vf2.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cuts_baseline-7bfffd90dff0da55.d: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+/root/repo/target/debug/deps/libcuts_baseline-7bfffd90dff0da55.rlib: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+/root/repo/target/debug/deps/libcuts_baseline-7bfffd90dff0da55.rmeta: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/error.rs:
+crates/baseline/src/gsi.rs:
+crates/baseline/src/gunrock.rs:
+crates/baseline/src/vf2.rs:

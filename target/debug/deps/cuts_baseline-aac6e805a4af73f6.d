@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cuts_baseline-aac6e805a4af73f6.d: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts_baseline-aac6e805a4af73f6.rmeta: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/error.rs:
+crates/baseline/src/gsi.rs:
+crates/baseline/src/gunrock.rs:
+crates/baseline/src/vf2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

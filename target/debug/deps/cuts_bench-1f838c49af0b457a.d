@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cuts_bench-1f838c49af0b457a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts_bench-1f838c49af0b457a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

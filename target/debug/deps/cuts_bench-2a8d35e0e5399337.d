@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cuts_bench-2a8d35e0e5399337.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcuts_bench-2a8d35e0e5399337.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcuts_bench-2a8d35e0e5399337.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

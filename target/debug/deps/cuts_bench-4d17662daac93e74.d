@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cuts_bench-4d17662daac93e74.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts_bench-4d17662daac93e74.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

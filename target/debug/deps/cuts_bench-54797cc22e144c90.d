@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cuts_bench-54797cc22e144c90.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cuts_bench-54797cc22e144c90: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

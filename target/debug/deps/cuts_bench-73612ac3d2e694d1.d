@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cuts_bench-73612ac3d2e694d1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cuts_bench-73612ac3d2e694d1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cuts_bench-c7c63ce58ec5533e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcuts_bench-c7c63ce58ec5533e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcuts_bench-c7c63ce58ec5533e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cuts_core-21e3d95139f9121a.d: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts_core-21e3d95139f9121a.rmeta: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/complexity.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/intersect.rs:
+crates/core/src/kernels.rs:
+crates/core/src/order.rs:
+crates/core/src/reference.rs:
+crates/core/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cuts_core-40d35481932da4bb.d: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs
+
+/root/repo/target/debug/deps/libcuts_core-40d35481932da4bb.rlib: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs
+
+/root/repo/target/debug/deps/libcuts_core-40d35481932da4bb.rmeta: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs
+
+crates/core/src/lib.rs:
+crates/core/src/complexity.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/intersect.rs:
+crates/core/src/kernels.rs:
+crates/core/src/order.rs:
+crates/core/src/reference.rs:
+crates/core/src/result.rs:

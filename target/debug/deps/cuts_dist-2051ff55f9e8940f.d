@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cuts_dist-2051ff55f9e8940f.d: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/debug/deps/libcuts_dist-2051ff55f9e8940f.rlib: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/debug/deps/libcuts_dist-2051ff55f9e8940f.rmeta: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/config.rs:
+crates/dist/src/metrics.rs:
+crates/dist/src/mpi.rs:
+crates/dist/src/protocol.rs:
+crates/dist/src/runner.rs:
+crates/dist/src/sync_runner.rs:
+crates/dist/src/worker.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cuts_dist-6b7e766d8aece80b.d: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/fault.rs crates/dist/src/ledger.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts_dist-6b7e766d8aece80b.rmeta: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/fault.rs crates/dist/src/ledger.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs Cargo.toml
+
+crates/dist/src/lib.rs:
+crates/dist/src/config.rs:
+crates/dist/src/fault.rs:
+crates/dist/src/ledger.rs:
+crates/dist/src/metrics.rs:
+crates/dist/src/mpi.rs:
+crates/dist/src/protocol.rs:
+crates/dist/src/runner.rs:
+crates/dist/src/sync_runner.rs:
+crates/dist/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

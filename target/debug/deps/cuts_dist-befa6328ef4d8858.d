@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cuts_dist-befa6328ef4d8858.d: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/debug/deps/cuts_dist-befa6328ef4d8858: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/config.rs:
+crates/dist/src/metrics.rs:
+crates/dist/src/mpi.rs:
+crates/dist/src/protocol.rs:
+crates/dist/src/runner.rs:
+crates/dist/src/sync_runner.rs:
+crates/dist/src/worker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cuts_dist-d7d66c0f7cf5717d.d: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/fault.rs crates/dist/src/ledger.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/debug/deps/cuts_dist-d7d66c0f7cf5717d: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/fault.rs crates/dist/src/ledger.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/config.rs:
+crates/dist/src/fault.rs:
+crates/dist/src/ledger.rs:
+crates/dist/src/metrics.rs:
+crates/dist/src/mpi.rs:
+crates/dist/src/protocol.rs:
+crates/dist/src/runner.rs:
+crates/dist/src/sync_runner.rs:
+crates/dist/src/worker.rs:

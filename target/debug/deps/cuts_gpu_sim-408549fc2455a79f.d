@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cuts_gpu_sim-408549fc2455a79f.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+/root/repo/target/debug/deps/cuts_gpu_sim-408549fc2455a79f: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/error.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/primitives.rs:

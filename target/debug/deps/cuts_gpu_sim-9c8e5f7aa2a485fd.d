@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cuts_gpu_sim-9c8e5f7aa2a485fd.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+/root/repo/target/debug/deps/libcuts_gpu_sim-9c8e5f7aa2a485fd.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+/root/repo/target/debug/deps/libcuts_gpu_sim-9c8e5f7aa2a485fd.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/error.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/primitives.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/cuts_graph-7995f9d3a0aea2b6.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/canonical.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/er.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/road.rs crates/graph/src/graph.rs crates/graph/src/labels.rs crates/graph/src/query_gen.rs crates/graph/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts_graph-7995f9d3a0aea2b6.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/canonical.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/er.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/road.rs crates/graph/src/graph.rs crates/graph/src/labels.rs crates/graph/src/query_gen.rs crates/graph/src/stats.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/canonical.rs:
+crates/graph/src/components.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/edgelist.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/classic.rs:
+crates/graph/src/generators/er.rs:
+crates/graph/src/generators/mesh.rs:
+crates/graph/src/generators/powerlaw.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/generators/road.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/labels.rs:
+crates/graph/src/query_gen.rs:
+crates/graph/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cuts_trie-7163f41787c89931.d: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+/root/repo/target/debug/deps/libcuts_trie-7163f41787c89931.rlib: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+/root/repo/target/debug/deps/libcuts_trie-7163f41787c89931.rmeta: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+crates/trie/src/lib.rs:
+crates/trie/src/chunk.rs:
+crates/trie/src/csf.rs:
+crates/trie/src/naive.rs:
+crates/trie/src/serial.rs:
+crates/trie/src/space.rs:
+crates/trie/src/table.rs:
+crates/trie/src/trie.rs:

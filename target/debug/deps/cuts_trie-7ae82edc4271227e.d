@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cuts_trie-7ae82edc4271227e.d: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+/root/repo/target/debug/deps/cuts_trie-7ae82edc4271227e: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+crates/trie/src/lib.rs:
+crates/trie/src/chunk.rs:
+crates/trie/src/csf.rs:
+crates/trie/src/naive.rs:
+crates/trie/src/serial.rs:
+crates/trie/src/space.rs:
+crates/trie/src/table.rs:
+crates/trie/src/trie.rs:

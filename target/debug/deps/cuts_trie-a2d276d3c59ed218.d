@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cuts_trie-a2d276d3c59ed218.d: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcuts_trie-a2d276d3c59ed218.rmeta: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs Cargo.toml
+
+crates/trie/src/lib.rs:
+crates/trie/src/chunk.rs:
+crates/trie/src/csf.rs:
+crates/trie/src/naive.rs:
+crates/trie/src/serial.rs:
+crates/trie/src/space.rs:
+crates/trie/src/table.rs:
+crates/trie/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

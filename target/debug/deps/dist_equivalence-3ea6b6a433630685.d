@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dist_equivalence-3ea6b6a433630685.d: tests/dist_equivalence.rs
+
+/root/repo/target/debug/deps/dist_equivalence-3ea6b6a433630685: tests/dist_equivalence.rs
+
+tests/dist_equivalence.rs:

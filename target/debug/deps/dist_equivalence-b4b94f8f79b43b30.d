@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dist_equivalence-b4b94f8f79b43b30.d: tests/dist_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdist_equivalence-b4b94f8f79b43b30.rmeta: tests/dist_equivalence.rs Cargo.toml
+
+tests/dist_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

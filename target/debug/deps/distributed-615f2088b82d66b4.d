@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed-615f2088b82d66b4.d: crates/bench/benches/distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed-615f2088b82d66b4.rmeta: crates/bench/benches/distributed.rs Cargo.toml
+
+crates/bench/benches/distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

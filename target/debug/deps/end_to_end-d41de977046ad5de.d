@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d41de977046ad5de.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d41de977046ad5de: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d8795cb99f0e2595.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d8795cb99f0e2595: tests/end_to_end.rs
+
+tests/end_to_end.rs:

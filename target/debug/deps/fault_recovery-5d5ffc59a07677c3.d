@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_recovery-5d5ffc59a07677c3.d: tests/fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_recovery-5d5ffc59a07677c3.rmeta: tests/fault_recovery.rs Cargo.toml
+
+tests/fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

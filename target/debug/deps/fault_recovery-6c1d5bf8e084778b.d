@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-6c1d5bf8e084778b.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-6c1d5bf8e084778b: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2c-0ee25bb56f6d6bbf.d: crates/bench/src/bin/fig2c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2c-0ee25bb56f6d6bbf.rmeta: crates/bench/src/bin/fig2c.rs Cargo.toml
+
+crates/bench/src/bin/fig2c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

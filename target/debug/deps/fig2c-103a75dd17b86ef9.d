@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2c-103a75dd17b86ef9.d: crates/bench/src/bin/fig2c.rs
+
+/root/repo/target/debug/deps/fig2c-103a75dd17b86ef9: crates/bench/src/bin/fig2c.rs
+
+crates/bench/src/bin/fig2c.rs:

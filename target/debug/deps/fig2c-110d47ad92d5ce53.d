@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2c-110d47ad92d5ce53.d: crates/bench/src/bin/fig2c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2c-110d47ad92d5ce53.rmeta: crates/bench/src/bin/fig2c.rs Cargo.toml
+
+crates/bench/src/bin/fig2c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

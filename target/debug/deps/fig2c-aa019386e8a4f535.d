@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2c-aa019386e8a4f535.d: crates/bench/src/bin/fig2c.rs
+
+/root/repo/target/debug/deps/fig2c-aa019386e8a4f535: crates/bench/src/bin/fig2c.rs
+
+crates/bench/src/bin/fig2c.rs:

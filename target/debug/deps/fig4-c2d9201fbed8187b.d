@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c2d9201fbed8187b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c2d9201fbed8187b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ffc1bc2760012741.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ffc1bc2760012741: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-17d5ff710bbc87be.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-17d5ff710bbc87be: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-50a1619b1d503e8c.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-50a1619b1d503e8c.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

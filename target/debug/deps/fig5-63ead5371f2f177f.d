@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-63ead5371f2f177f.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-63ead5371f2f177f: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intersection-33caf3be329a82ec.d: crates/bench/benches/intersection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintersection-33caf3be329a82ec.rmeta: crates/bench/benches/intersection.rs Cargo.toml
+
+crates/bench/benches/intersection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/labeled_matching-359b80fc782f28c0.d: tests/labeled_matching.rs
+
+/root/repo/target/debug/deps/labeled_matching-359b80fc782f28c0: tests/labeled_matching.rs
+
+tests/labeled_matching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/labeled_matching-967f94a2a399598c.d: tests/labeled_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblabeled_matching-967f94a2a399598c.rmeta: tests/labeled_matching.rs Cargo.toml
+
+tests/labeled_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

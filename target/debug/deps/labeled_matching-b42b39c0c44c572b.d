@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/labeled_matching-b42b39c0c44c572b.d: tests/labeled_matching.rs
+
+/root/repo/target/debug/deps/labeled_matching-b42b39c0c44c572b: tests/labeled_matching.rs
+
+tests/labeled_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-40f16dd58bd72174.d: crates/bench/src/bin/model_check.rs
+
+/root/repo/target/debug/deps/model_check-40f16dd58bd72174: crates/bench/src/bin/model_check.rs
+
+crates/bench/src/bin/model_check.rs:

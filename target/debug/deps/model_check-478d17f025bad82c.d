@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-478d17f025bad82c.d: crates/bench/src/bin/model_check.rs
+
+/root/repo/target/debug/deps/model_check-478d17f025bad82c: crates/bench/src/bin/model_check.rs
+
+crates/bench/src/bin/model_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_check-57b6d09d8a577f83.d: crates/bench/src/bin/model_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_check-57b6d09d8a577f83.rmeta: crates/bench/src/bin/model_check.rs Cargo.toml
+
+crates/bench/src/bin/model_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

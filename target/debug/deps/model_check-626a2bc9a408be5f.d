@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_check-626a2bc9a408be5f.d: crates/bench/src/bin/model_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_check-626a2bc9a408be5f.rmeta: crates/bench/src/bin/model_check.rs Cargo.toml
+
+crates/bench/src/bin/model_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-32a2c3ea904a03d1.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-32a2c3ea904a03d1: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-c130dbae698e7ecc.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-c130dbae698e7ecc: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_wire-48c7d8f10c1cc842.d: tests/proptest_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_wire-48c7d8f10c1cc842.rmeta: tests/proptest_wire.rs Cargo.toml
+
+tests/proptest_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

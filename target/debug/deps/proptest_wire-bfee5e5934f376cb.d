@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_wire-bfee5e5934f376cb.d: tests/proptest_wire.rs
+
+/root/repo/target/debug/deps/proptest_wire-bfee5e5934f376cb: tests/proptest_wire.rs
+
+tests/proptest_wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_kernel-a38cbf71fc86a3cd.d: crates/bench/benches/search_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_kernel-a38cbf71fc86a3cd.rmeta: crates/bench/benches/search_kernel.rs Cargo.toml
+
+crates/bench/benches/search_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

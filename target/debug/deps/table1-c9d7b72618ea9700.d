@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c9d7b72618ea9700.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c9d7b72618ea9700: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

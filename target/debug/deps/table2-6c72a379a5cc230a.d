@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-6c72a379a5cc230a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-6c72a379a5cc230a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

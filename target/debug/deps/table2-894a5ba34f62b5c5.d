@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-894a5ba34f62b5c5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-894a5ba34f62b5c5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

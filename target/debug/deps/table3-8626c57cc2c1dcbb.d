@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8626c57cc2c1dcbb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8626c57cc2c1dcbb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

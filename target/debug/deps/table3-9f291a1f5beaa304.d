@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9f291a1f5beaa304.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9f291a1f5beaa304: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

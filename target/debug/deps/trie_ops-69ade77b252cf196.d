@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trie_ops-69ade77b252cf196.d: crates/bench/benches/trie_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrie_ops-69ade77b252cf196.rmeta: crates/bench/benches/trie_ops.rs Cargo.toml
+
+crates/bench/benches/trie_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

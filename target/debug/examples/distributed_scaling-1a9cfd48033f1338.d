@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_scaling-1a9cfd48033f1338.d: examples/distributed_scaling.rs
+
+/root/repo/target/debug/examples/distributed_scaling-1a9cfd48033f1338: examples/distributed_scaling.rs
+
+examples/distributed_scaling.rs:

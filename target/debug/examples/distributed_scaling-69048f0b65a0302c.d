@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_scaling-69048f0b65a0302c.d: examples/distributed_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_scaling-69048f0b65a0302c.rmeta: examples/distributed_scaling.rs Cargo.toml
+
+examples/distributed_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_scaling-6d92dca03ef1f26a.d: examples/distributed_scaling.rs
+
+/root/repo/target/debug/examples/distributed_scaling-6d92dca03ef1f26a: examples/distributed_scaling.rs
+
+examples/distributed_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_search-952f17412175e62a.d: examples/motif_search.rs
+
+/root/repo/target/debug/examples/motif_search-952f17412175e62a: examples/motif_search.rs
+
+examples/motif_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/motif_search-b17cd120c3ddf03c.d: examples/motif_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmotif_search-b17cd120c3ddf03c.rmeta: examples/motif_search.rs Cargo.toml
+
+examples/motif_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

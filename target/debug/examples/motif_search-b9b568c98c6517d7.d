@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_search-b9b568c98c6517d7.d: examples/motif_search.rs
+
+/root/repo/target/debug/examples/motif_search-b9b568c98c6517d7: examples/motif_search.rs
+
+examples/motif_search.rs:

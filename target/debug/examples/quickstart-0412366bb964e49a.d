@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0412366bb964e49a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0412366bb964e49a: examples/quickstart.rs
+
+examples/quickstart.rs:

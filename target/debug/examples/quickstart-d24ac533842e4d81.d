@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d24ac533842e4d81.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d24ac533842e4d81: examples/quickstart.rs
+
+examples/quickstart.rs:

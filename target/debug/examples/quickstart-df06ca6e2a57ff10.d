@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-df06ca6e2a57ff10.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-df06ca6e2a57ff10.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

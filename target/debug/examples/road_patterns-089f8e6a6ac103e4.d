@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_patterns-089f8e6a6ac103e4.d: examples/road_patterns.rs
+
+/root/repo/target/debug/examples/road_patterns-089f8e6a6ac103e4: examples/road_patterns.rs
+
+examples/road_patterns.rs:

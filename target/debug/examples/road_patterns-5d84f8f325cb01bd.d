@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_patterns-5d84f8f325cb01bd.d: examples/road_patterns.rs
+
+/root/repo/target/debug/examples/road_patterns-5d84f8f325cb01bd: examples/road_patterns.rs
+
+examples/road_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/road_patterns-a168d8fe7a09b033.d: examples/road_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroad_patterns-a168d8fe7a09b033.rmeta: examples/road_patterns.rs Cargo.toml
+
+examples/road_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_cliques-7f3685130dddec6a.d: examples/social_cliques.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_cliques-7f3685130dddec6a.rmeta: examples/social_cliques.rs Cargo.toml
+
+examples/social_cliques.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_cliques-f8a3dbf80d219dae.d: examples/social_cliques.rs
+
+/root/repo/target/debug/examples/social_cliques-f8a3dbf80d219dae: examples/social_cliques.rs
+
+examples/social_cliques.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_cliques-fc2121e79864cb4d.d: examples/social_cliques.rs
+
+/root/repo/target/debug/examples/social_cliques-fc2121e79864cb4d: examples/social_cliques.rs
+
+examples/social_cliques.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_chunk-5779e3d50312fd9b.d: crates/bench/src/bin/ablation_chunk.rs
+
+/root/repo/target/release/deps/ablation_chunk-5779e3d50312fd9b: crates/bench/src/bin/ablation_chunk.rs
+
+crates/bench/src/bin/ablation_chunk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_intersect-c0d54fbe9c06f7b9.d: crates/bench/src/bin/ablation_intersect.rs
+
+/root/repo/target/release/deps/ablation_intersect-c0d54fbe9c06f7b9: crates/bench/src/bin/ablation_intersect.rs
+
+crates/bench/src/bin/ablation_intersect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_order-54507e5bdeff657b.d: crates/bench/src/bin/ablation_order.rs
+
+/root/repo/target/release/deps/ablation_order-54507e5bdeff657b: crates/bench/src/bin/ablation_order.rs
+
+crates/bench/src/bin/ablation_order.rs:

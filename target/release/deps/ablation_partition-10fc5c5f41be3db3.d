@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_partition-10fc5c5f41be3db3.d: crates/bench/src/bin/ablation_partition.rs
+
+/root/repo/target/release/deps/ablation_partition-10fc5c5f41be3db3: crates/bench/src/bin/ablation_partition.rs
+
+crates/bench/src/bin/ablation_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sync-fd6fa3459d385d2a.d: crates/bench/src/bin/ablation_sync.rs
+
+/root/repo/target/release/deps/ablation_sync-fd6fa3459d385d2a: crates/bench/src/bin/ablation_sync.rs
+
+crates/bench/src/bin/ablation_sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_vwarp-6a56f39dc6766d4c.d: crates/bench/src/bin/ablation_vwarp.rs
+
+/root/repo/target/release/deps/ablation_vwarp-6a56f39dc6766d4c: crates/bench/src/bin/ablation_vwarp.rs
+
+crates/bench/src/bin/ablation_vwarp.rs:

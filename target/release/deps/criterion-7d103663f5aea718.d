@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7d103663f5aea718.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7d103663f5aea718.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7d103663f5aea718.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cuts-354b65e874d3984d.d: src/lib.rs
+
+/root/repo/target/release/deps/libcuts-354b65e874d3984d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcuts-354b65e874d3984d.rmeta: src/lib.rs
+
+src/lib.rs:

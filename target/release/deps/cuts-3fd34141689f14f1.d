@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cuts-3fd34141689f14f1.d: src/lib.rs
+
+/root/repo/target/release/deps/libcuts-3fd34141689f14f1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcuts-3fd34141689f14f1.rmeta: src/lib.rs
+
+src/lib.rs:

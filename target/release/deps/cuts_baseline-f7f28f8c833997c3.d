@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cuts_baseline-f7f28f8c833997c3.d: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+/root/repo/target/release/deps/libcuts_baseline-f7f28f8c833997c3.rlib: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+/root/repo/target/release/deps/libcuts_baseline-f7f28f8c833997c3.rmeta: crates/baseline/src/lib.rs crates/baseline/src/error.rs crates/baseline/src/gsi.rs crates/baseline/src/gunrock.rs crates/baseline/src/vf2.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/error.rs:
+crates/baseline/src/gsi.rs:
+crates/baseline/src/gunrock.rs:
+crates/baseline/src/vf2.rs:

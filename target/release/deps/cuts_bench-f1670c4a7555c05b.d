@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cuts_bench-f1670c4a7555c05b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcuts_bench-f1670c4a7555c05b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcuts_bench-f1670c4a7555c05b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

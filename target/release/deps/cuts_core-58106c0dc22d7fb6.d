@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cuts_core-58106c0dc22d7fb6.d: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs
+
+/root/repo/target/release/deps/libcuts_core-58106c0dc22d7fb6.rlib: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs
+
+/root/repo/target/release/deps/libcuts_core-58106c0dc22d7fb6.rmeta: crates/core/src/lib.rs crates/core/src/complexity.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/intersect.rs crates/core/src/kernels.rs crates/core/src/order.rs crates/core/src/reference.rs crates/core/src/result.rs
+
+crates/core/src/lib.rs:
+crates/core/src/complexity.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/intersect.rs:
+crates/core/src/kernels.rs:
+crates/core/src/order.rs:
+crates/core/src/reference.rs:
+crates/core/src/result.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cuts_dist-acf7003a62c483fa.d: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/fault.rs crates/dist/src/ledger.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/release/deps/libcuts_dist-acf7003a62c483fa.rlib: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/fault.rs crates/dist/src/ledger.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/release/deps/libcuts_dist-acf7003a62c483fa.rmeta: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/fault.rs crates/dist/src/ledger.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/config.rs:
+crates/dist/src/fault.rs:
+crates/dist/src/ledger.rs:
+crates/dist/src/metrics.rs:
+crates/dist/src/mpi.rs:
+crates/dist/src/protocol.rs:
+crates/dist/src/runner.rs:
+crates/dist/src/sync_runner.rs:
+crates/dist/src/worker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cuts_dist-ba2db8b7b161b8f7.d: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/release/deps/libcuts_dist-ba2db8b7b161b8f7.rlib: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+/root/repo/target/release/deps/libcuts_dist-ba2db8b7b161b8f7.rmeta: crates/dist/src/lib.rs crates/dist/src/config.rs crates/dist/src/metrics.rs crates/dist/src/mpi.rs crates/dist/src/protocol.rs crates/dist/src/runner.rs crates/dist/src/sync_runner.rs crates/dist/src/worker.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/config.rs:
+crates/dist/src/metrics.rs:
+crates/dist/src/mpi.rs:
+crates/dist/src/protocol.rs:
+crates/dist/src/runner.rs:
+crates/dist/src/sync_runner.rs:
+crates/dist/src/worker.rs:

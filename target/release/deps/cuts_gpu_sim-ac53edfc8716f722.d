@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cuts_gpu_sim-ac53edfc8716f722.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+/root/repo/target/release/deps/libcuts_gpu_sim-ac53edfc8716f722.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+/root/repo/target/release/deps/libcuts_gpu_sim-ac53edfc8716f722.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cost.rs crates/gpu-sim/src/counters.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/error.rs crates/gpu-sim/src/occupancy.rs crates/gpu-sim/src/primitives.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cost.rs:
+crates/gpu-sim/src/counters.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/error.rs:
+crates/gpu-sim/src/occupancy.rs:
+crates/gpu-sim/src/primitives.rs:

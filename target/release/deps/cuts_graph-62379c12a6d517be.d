@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/cuts_graph-62379c12a6d517be.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/canonical.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/er.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/road.rs crates/graph/src/graph.rs crates/graph/src/labels.rs crates/graph/src/query_gen.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libcuts_graph-62379c12a6d517be.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/canonical.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/er.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/road.rs crates/graph/src/graph.rs crates/graph/src/labels.rs crates/graph/src/query_gen.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libcuts_graph-62379c12a6d517be.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/canonical.rs crates/graph/src/components.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/edgelist.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/er.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/road.rs crates/graph/src/graph.rs crates/graph/src/labels.rs crates/graph/src/query_gen.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/canonical.rs:
+crates/graph/src/components.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/edgelist.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/classic.rs:
+crates/graph/src/generators/er.rs:
+crates/graph/src/generators/mesh.rs:
+crates/graph/src/generators/powerlaw.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/generators/road.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/labels.rs:
+crates/graph/src/query_gen.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cuts_trie-7620e975dc82c5ce.d: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+/root/repo/target/release/deps/libcuts_trie-7620e975dc82c5ce.rlib: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+/root/repo/target/release/deps/libcuts_trie-7620e975dc82c5ce.rmeta: crates/trie/src/lib.rs crates/trie/src/chunk.rs crates/trie/src/csf.rs crates/trie/src/naive.rs crates/trie/src/serial.rs crates/trie/src/space.rs crates/trie/src/table.rs crates/trie/src/trie.rs
+
+crates/trie/src/lib.rs:
+crates/trie/src/chunk.rs:
+crates/trie/src/csf.rs:
+crates/trie/src/naive.rs:
+crates/trie/src/serial.rs:
+crates/trie/src/space.rs:
+crates/trie/src/table.rs:
+crates/trie/src/trie.rs:

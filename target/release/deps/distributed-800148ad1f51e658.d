@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/distributed-800148ad1f51e658.d: crates/bench/benches/distributed.rs
+
+/root/repo/target/release/deps/distributed-800148ad1f51e658: crates/bench/benches/distributed.rs
+
+crates/bench/benches/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2c-8ec67e1eb1bab582.d: crates/bench/src/bin/fig2c.rs
+
+/root/repo/target/release/deps/fig2c-8ec67e1eb1bab582: crates/bench/src/bin/fig2c.rs
+
+crates/bench/src/bin/fig2c.rs:

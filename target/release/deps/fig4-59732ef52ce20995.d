@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-59732ef52ce20995.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-59732ef52ce20995: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

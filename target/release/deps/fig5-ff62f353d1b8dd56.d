@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-ff62f353d1b8dd56.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-ff62f353d1b8dd56: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

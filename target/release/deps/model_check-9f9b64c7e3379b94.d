@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_check-9f9b64c7e3379b94.d: crates/bench/src/bin/model_check.rs
+
+/root/repo/target/release/deps/model_check-9f9b64c7e3379b94: crates/bench/src/bin/model_check.rs
+
+crates/bench/src/bin/model_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-8f09c670d71f922e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-8f09c670d71f922e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-56ef53315e3a8d86.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-56ef53315e3a8d86: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-8b85202813f6a376.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-8b85202813f6a376: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -18,7 +18,11 @@ fn all_engines_agree_on_all_datasets() {
         // Skewed stand-ins get an extra size reduction: their hubs make
         // chain-query embedding counts explode combinatorially, and the
         // sequential reference must enumerate every one.
-        let scale = if ds.is_skewed() { 1.0 / 16384.0 } else { 1.0 / 2048.0 };
+        let scale = if ds.is_skewed() {
+            1.0 / 16384.0
+        } else {
+            1.0 / 2048.0
+        };
         let data = ds.generate(Scale::Custom(scale));
         for q in [clique(3), chain(3), cycle(4)] {
             let device = tiny_device();
@@ -143,6 +147,10 @@ fn star_queries_and_hubs() {
     for k in [3usize, 4] {
         let q = star(k);
         let want = reference::count_embeddings(&data, &q);
-        assert_eq!(engine.run(&data, &q).unwrap().num_matches, want, "star({k})");
+        assert_eq!(
+            engine.run(&data, &q).unwrap().num_matches,
+            want,
+            "star({k})"
+        );
     }
 }

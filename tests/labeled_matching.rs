@@ -79,7 +79,10 @@ fn distributed_labeled_matches_single_node() {
     let data = erdos_renyi(50, 200, 17).with_labels(zipf_labels(50, 4, 3));
     let query = clique(3).with_labels(vec![0, 0, 1]);
     let device = Device::new(DeviceConfig::test_small());
-    let want = CutsEngine::new(&device).run(&data, &query).unwrap().num_matches;
+    let want = CutsEngine::new(&device)
+        .run(&data, &query)
+        .unwrap()
+        .num_matches;
     let config = cuts::dist::DistConfig {
         device: DeviceConfig::test_small(),
         dist_chunk: 4,

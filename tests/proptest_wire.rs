@@ -1,0 +1,93 @@
+//! Property tests for the `cuts_trie::serial` wire format: the codec the
+//! donation protocol trusts with work that crosses rank boundaries.
+//!
+//! Two families of properties:
+//! * **round-trip identity** — encode→decode is the identity on valid
+//!   tries and path sets, byte-stably (re-encoding the decode yields the
+//!   same bytes);
+//! * **hostile input safety** — truncations, corruptions, and random
+//!   garbage must come back as `WireError`, never a panic, because a
+//!   faulty interconnect hands the decoder exactly such bytes.
+
+use bytes::Bytes;
+use cuts::trie::serial::{decode_paths, decode_trie, encode_paths, encode_trie};
+use cuts::trie::HostTrie;
+use proptest::prelude::*;
+
+/// Uniform-depth path sets (the `from_flat_paths` contract).
+fn arb_paths(depth: usize, max: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..500, depth), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trie_roundtrip_identity(paths in arb_paths(3, 40)) {
+        let t = HostTrie::from_flat_paths(&paths);
+        let enc = encode_trie(&t);
+        let back = decode_trie(enc.clone()).expect("valid encoding");
+        prop_assert_eq!(&back, &t);
+        // Byte-stable: decode→encode reproduces the wire image.
+        prop_assert_eq!(encode_trie(&back), enc);
+    }
+
+    #[test]
+    fn deep_trie_roundtrip(paths in arb_paths(5, 20)) {
+        let t = HostTrie::from_flat_paths(&paths);
+        let back = decode_trie(encode_trie(&t)).expect("valid encoding");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn paths_roundtrip_identity(paths in arb_paths(4, 30)) {
+        let back = decode_paths(encode_paths(&paths)).expect("valid encoding");
+        prop_assert_eq!(back, paths);
+    }
+
+    #[test]
+    fn truncation_errors_never_panic(paths in arb_paths(3, 20), cut in 0usize..200) {
+        let enc = encode_trie(&HostTrie::from_flat_paths(&paths));
+        if cut < enc.len() {
+            // Every proper prefix must decode to an error, not a panic
+            // (and on the off chance a prefix parses, it must validate).
+            if let Ok(t) = decode_trie(enc.slice(0..cut)) {
+                prop_assert!(t.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_errors_never_panic(
+        paths in arb_paths(3, 20),
+        pos in 0usize..200,
+        xor in 1u8..=255,
+    ) {
+        let enc = encode_trie(&HostTrie::from_flat_paths(&paths));
+        if !enc.is_empty() {
+            let mut raw = enc.to_vec();
+            let pos = pos % raw.len();
+            raw[pos] ^= xor;
+            // Any outcome but a panic is acceptable; a successful decode
+            // of corrupted bytes must at least be structurally valid.
+            if let Ok(t) = decode_trie(Bytes::from(raw)) {
+                let _ = t.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..120)) {
+        let _ = decode_trie(Bytes::from(bytes.clone()));
+        let _ = decode_paths(Bytes::from(bytes));
+    }
+}
+
+#[test]
+fn truncated_trie_is_wire_error() {
+    let t = HostTrie::from_flat_paths(&[vec![1, 2, 3], vec![1, 2, 4]]);
+    let enc = encode_trie(&t);
+    for cut in [0, 3, 4, enc.len() / 2, enc.len() - 1] {
+        assert!(decode_trie(enc.slice(0..cut)).is_err(), "cut {cut}");
+    }
+}

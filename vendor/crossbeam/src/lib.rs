@@ -1,0 +1,73 @@
+//! Minimal stand-in for `crossbeam`: just the `channel` module, backed by
+//! `std::sync::mpsc`. Same semantics the workspace relies on: unbounded,
+//! multi-producer single-consumer, FIFO per sender, non-blocking and
+//! timed receives.
+
+/// MPSC channels with crossbeam's module layout.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half; cheap to clone.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends; fails only when the receiver is gone.
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            self.0.send(v)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking receive with timeout.
+        pub fn recv_timeout(&self, d: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(d)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_timeout() {
+        let (s, r) = unbounded();
+        s.send(1).unwrap();
+        s.clone().send(2).unwrap();
+        assert_eq!(r.try_recv().unwrap(), 1);
+        assert_eq!(r.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+        assert!(r.try_recv().is_err());
+        assert!(r.recv_timeout(Duration::from_millis(1)).is_err());
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors() {
+        let (s, r) = unbounded();
+        drop(r);
+        assert!(s.send(5).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal stand-in for `rayon`: the `into_par_iter().map().reduce()`
+//! shape the GPU simulator uses, executed **sequentially** on the calling
+//! thread. Parallel speedup is not modelled — the simulator charges cost
+//! through its own counters, so wall-clock parallelism is an
+//! implementation detail; sequential execution additionally makes
+//! block-order deterministic, which the fault-injection tests exploit.
+
+/// Re-exports matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The subset of `rayon::iter::ParallelIterator` the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+
+    /// Drives the iterator, invoking `each` per item.
+    fn drive<F: FnMut(Self::Item)>(self, each: F);
+
+    /// Maps items.
+    fn map<O, F: Fn(Self::Item) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Reduces with an identity constructor, left-to-right.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        let mut acc = identity();
+        self.drive(|item| {
+            let prev = std::mem::replace(&mut acc, identity());
+            acc = op(prev, item);
+        });
+        acc
+    }
+
+    /// Invokes `f` per item.
+    fn for_each<F: FnMut(Self::Item)>(self, f: F) {
+        self.drive(f);
+    }
+}
+
+/// Sequential adapter over any [`Iterator`].
+pub struct SeqIter<I>(I);
+
+impl<I: Iterator> ParallelIterator for SeqIter<I> {
+    type Item = I::Item;
+    fn drive<F: FnMut(Self::Item)>(self, mut each: F) {
+        for item in self.0 {
+            each(item);
+        }
+    }
+}
+
+/// Mapped iterator.
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P: ParallelIterator, O, F: Fn(P::Item) -> O> ParallelIterator for Map<P, F> {
+    type Item = O;
+    fn drive<G: FnMut(Self::Item)>(self, mut each: G) {
+        let f = self.f;
+        self.inner.drive(|item| each(f(item)));
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = SeqIter<std::ops::Range<usize>>;
+    fn into_par_iter(self) -> Self::Iter {
+        SeqIter(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = SeqIter<std::vec::IntoIter<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        SeqIter(self.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let sum = (0..100usize)
+            .into_par_iter()
+            .map(|i| i * 2)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 9900);
+    }
+
+    #[test]
+    fn reduce_result_short_circuit_shape() {
+        // The device launch pattern: Results folded with Result::and.
+        let r: Result<(), u32> = (0..10usize)
+            .into_par_iter()
+            .map(|i| if i == 7 { Err(7) } else { Ok(()) })
+            .reduce(|| Ok(()), |a, b| a.and(b));
+        assert_eq!(r, Err(7));
+    }
+}
