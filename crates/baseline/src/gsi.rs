@@ -109,7 +109,7 @@ impl<'d> GsiEngine<'d> {
     /// Counts all embeddings of a connected `query` in `data`.
     pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, BaselineError> {
         let wall_start = Instant::now();
-        self.device.reset_counters();
+        let scope = self.device.counter_scope();
         let plan = MatchOrder::from_order(query, Self::query_order(query, data))?;
         let n = plan.len();
         let mut level_counts = vec![0u64; n];
@@ -205,7 +205,7 @@ impl<'d> GsiEngine<'d> {
         }
 
         let num_matches = level_counts[n - 1];
-        let counters = self.device.counters();
+        let counters = scope.elapsed(self.device);
         let sim_millis = CostModel::default().millis(&counters, self.device.config());
         Ok(MatchResult {
             num_matches,

@@ -56,7 +56,7 @@ impl<'d> GunrockEngine<'d> {
                 query_vertices: nq,
             });
         }
-        self.device.reset_counters();
+        let scope = self.device.counter_scope();
         let plan = MatchOrder::compute(query)?;
         let n = plan.len();
         let base = nd.max(1) as u64;
@@ -149,7 +149,7 @@ impl<'d> GunrockEngine<'d> {
             cur = next;
         }
 
-        let counters = self.device.counters();
+        let counters = scope.elapsed(self.device);
         let sim_millis = CostModel::default().millis(&counters, self.device.config());
         Ok(MatchResult {
             num_matches: level_counts[n - 1],

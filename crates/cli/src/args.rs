@@ -8,7 +8,7 @@ USAGE:
   cuts stats   (<edgelist> | --dataset <name> [--scale <s>]) [--directed]
   cuts match   (<edgelist> | --dataset <name> [--scale <s>]) --query <spec>
                [--directed] [--device v100|a100|test] [--engine cuts|gsi|gunrock|vf2]
-               [--ranks <n>] [--enumerate <n>] [--chunk <n>]
+               [--ranks <n>] [--enumerate <n>] [--chunk <n>] [--plan-cache <n>]
                [--fault-plan <plan>] [--rank-timeout <ms>]
   cuts queries [--n <vertices>] [--top <k>]
   cuts help
@@ -19,6 +19,8 @@ SCALES:        tiny small medium paper (default tiny)
 LABELS:        --labels random:K | zipf:K | bands  (attach vertex labels to
                both graphs; labelled matching requires label equality)
 OUTPUT:        --output text | json (match subcommand)
+PLAN CACHE:    --plan-cache <n> bounds the session's LRU of built query
+               plans (default 16; 0 disables caching)
 FAULT PLANS:   comma-separated clauses injected into the distributed run:
                crash:R@C panic:R@C drop:A->B@N delay:A->B@N+MS seed:S
                (requires --ranks > 1; --rank-timeout tunes failure detection)";
@@ -45,6 +47,8 @@ pub struct MatchOpts {
     pub chunk: usize,
     pub labels: Option<String>,
     pub output: String,
+    /// Plan-cache capacity of the execution session (0 disables).
+    pub plan_cache: usize,
     /// Fault schedule for the distributed runtime (text schema of
     /// `cuts_dist::FaultPlan::parse`).
     pub fault_plan: Option<String>,
@@ -126,6 +130,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 chunk: 512,
                 labels: None,
                 output: "text".into(),
+                plan_cache: 16,
                 fault_plan: None,
                 rank_timeout_ms: None,
             };
@@ -150,6 +155,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         opts.chunk = take_value("--chunk", &mut it)?
                             .parse()
                             .map_err(|_| "--chunk: bad number")?
+                    }
+                    "--plan-cache" => {
+                        opts.plan_cache = take_value("--plan-cache", &mut it)?
+                            .parse()
+                            .map_err(|_| "--plan-cache: bad number")?
                     }
                     "--labels" => opts.labels = Some(take_value("--labels", &mut it)?.to_string()),
                     "--output" => opts.output = take_value("--output", &mut it)?.to_string(),
@@ -264,6 +274,22 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_plan_cache() {
+        let c = parse(&argv("match g.txt --query clique:3 --plan-cache 0")).unwrap();
+        match c {
+            Command::Match(o) => assert_eq!(o.plan_cache, 0),
+            other => panic!("{other:?}"),
+        }
+        // Default.
+        let c = parse(&argv("match g.txt --query clique:3")).unwrap();
+        match c {
+            Command::Match(o) => assert_eq!(o.plan_cache, 16),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("match g.txt --query clique:3 --plan-cache x")).is_err());
     }
 
     #[test]

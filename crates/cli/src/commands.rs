@@ -1,7 +1,7 @@
 //! Command implementations.
 
 use cuts_baseline::{vf2, GsiEngine, GunrockEngine};
-use cuts_core::{CutsEngine, EngineConfig};
+use cuts_core::{EngineConfig, ExecSession, SessionStats};
 use cuts_dist::{run_distributed, DistConfig, FaultPlan};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{chain, clique, cycle, star};
@@ -176,13 +176,15 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
                 continue;
             }
             println!(
-                "  rank {}: {:>10} matches, {:>8.3} sim-ms, {} jobs, {}/{} donations out/in",
+                "  rank {}: {:>10} matches, {:>8.3} sim-ms, {} jobs, {}/{} donations out/in, {} plan build(s) / {} reuse(s)",
                 m.rank,
                 m.matches,
                 m.busy_sim_millis,
                 m.jobs_processed,
                 m.donations_sent,
-                m.donations_received
+                m.donations_received,
+                m.plan_builds,
+                m.plan_reuses
             );
         }
         if !r.recovery.is_clean() {
@@ -212,31 +214,37 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
         }
         "cuts" => {
             let device = Device::new(dev_cfg);
-            let engine = CutsEngine::with_config(
+            let session = ExecSession::with_cache_capacity(
                 &device,
                 EngineConfig::default().with_chunk_size(opts.chunk),
+                opts.plan_cache,
             );
-            if opts.enumerate > 0 {
+            let r = if opts.enumerate > 0 {
                 let mut shown = 0usize;
-                let r = engine.run_enumerate(&data, &query, &mut |m| {
+                session.run_enumerate(&data, &query, &mut |m| {
                     if shown < opts.enumerate {
                         println!("  {m:?}");
                         shown += 1;
                     }
-                })?;
-                report(&r, &opts.output)?;
+                })?
             } else {
-                report(&engine.run(&data, &query)?, &opts.output)?;
-            }
+                session.run(&data, &query)?
+            };
+            report(&r, Some(&session.stats()), &opts.output)?;
         }
         "gsi" => {
             let device = Device::new(dev_cfg);
-            report(&GsiEngine::new(&device).run(&data, &query)?, &opts.output)?;
+            report(
+                &GsiEngine::new(&device).run(&data, &query)?,
+                None,
+                &opts.output,
+            )?;
         }
         "gunrock" => {
             let device = Device::new(dev_cfg);
             report(
                 &GunrockEngine::new(&device).run(&data, &query)?,
+                None,
                 &opts.output,
             )?;
         }
@@ -246,16 +254,18 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
 }
 
 /// Renders a match result as a single JSON object (hand-rolled; every
-/// field is numeric or boolean, so no escaping is needed).
-fn to_json(r: &cuts_core::MatchResult) -> String {
+/// field is numeric or boolean, so no escaping is needed). Session stats,
+/// when available, are attached as a `"session"` object.
+fn to_json(r: &cuts_core::MatchResult, stats: Option<&SessionStats>) -> String {
     let levels: Vec<String> = r.level_counts.iter().map(u64::to_string).collect();
+    let session = stats.map(session_json).unwrap_or_default();
     format!(
         concat!(
             "{{\"matches\":{},\"level_counts\":[{}],\"cuts_words\":{},",
             "\"naive_words\":{},\"sim_millis\":{},\"wall_millis\":{},",
             "\"used_chunking\":{},\"counters\":{{\"dram_reads\":{},",
             "\"dram_writes\":{},\"shmem_reads\":{},\"shmem_writes\":{},",
-            "\"atomics\":{},\"instructions\":{}}}}}"
+            "\"atomics\":{},\"instructions\":{}}}{}}}"
         ),
         r.num_matches,
         levels.join(","),
@@ -270,23 +280,45 @@ fn to_json(r: &cuts_core::MatchResult) -> String {
         r.counters.shmem_writes,
         r.counters.atomics,
         r.counters.instructions,
+        session,
     )
 }
 
-fn report(r: &cuts_core::MatchResult, output: &str) -> Result<(), CmdError> {
+fn session_json(s: &SessionStats) -> String {
+    format!(
+        concat!(
+            ",\"session\":{{\"runs\":{},\"plan_builds\":{},\"plan_hits\":{},",
+            "\"plan_evictions\":{},\"pool_device_allocs\":{},\"pool_reuses\":{},",
+            "\"trie_entries\":{}}}"
+        ),
+        s.runs,
+        s.plans.misses,
+        s.plans.hits,
+        s.plans.evictions,
+        s.pool.device_allocs,
+        s.pool.reuses,
+        s.trie_entries.unwrap_or(0),
+    )
+}
+
+fn report(
+    r: &cuts_core::MatchResult,
+    stats: Option<&SessionStats>,
+    output: &str,
+) -> Result<(), CmdError> {
     match output {
         "json" => {
-            println!("{}", to_json(r));
+            println!("{}", to_json(r, stats));
             return Ok(());
         }
         "text" => {}
         other => return Err(format!("unknown output format {other}").into()),
     }
-    report_text(r);
+    report_text(r, stats);
     Ok(())
 }
 
-fn report_text(r: &cuts_core::MatchResult) {
+fn report_text(r: &cuts_core::MatchResult, stats: Option<&SessionStats>) {
     println!("matches: {}", r.num_matches);
     println!("paths/depth: {:?}", r.level_counts);
     println!(
@@ -302,6 +334,12 @@ fn report_text(r: &cuts_core::MatchResult) {
         "simulated: {:.3} ms   (host wall {:.3} ms; chunked: {})",
         r.sim_millis, r.wall_millis, r.used_chunking
     );
+    if let Some(s) = stats {
+        println!(
+            "plan: {} built / {} cache hit(s); pool: {} device alloc(s), {} reuse(s)",
+            s.plans.misses, s.plans.hits, s.pool.device_allocs, s.pool.reuses
+        );
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +391,7 @@ mod tests {
             chunk: 512,
             labels: None,
             output: "text".into(),
+            plan_cache: 16,
             fault_plan: None,
             rank_timeout_ms: None,
         };
@@ -378,6 +417,7 @@ mod tests {
             chunk: 64,
             labels: None,
             output: "text".into(),
+            plan_cache: 16,
             fault_plan: Some("crash:1@0, drop:0->1@2".into()),
             rank_timeout_ms: Some(40),
         };

@@ -1,0 +1,205 @@
+//! Keyed LRU cache of built [`QueryPlan`]s.
+//!
+//! Serving workloads repeat queries: the same pattern arrives against many
+//! data graphs (or many chunks of one). Re-deriving the matching order and
+//! schedule each time is pure overhead, so the session keeps recently
+//! built plans keyed by [`PlanKey`] and reuses them on repeat. Plans are
+//! shared via `Arc` — a cached plan can be executing while a newer query
+//! evicts it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cuts_graph::Graph;
+
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::plan::{DeviceClass, PlanKey, QueryPlan};
+
+/// Cumulative cache statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a fresh plan.
+    pub misses: u64,
+    /// Plans evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub len: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// An LRU map from [`PlanKey`] to [`QueryPlan`], bounded by entry count.
+///
+/// Capacity 0 disables caching: every lookup builds (and counts a miss),
+/// nothing is retained — useful for ablating the cache's effect.
+pub struct PlanCache {
+    capacity: usize,
+    // Most-recently-used at the back. Linear scans are fine: the cache
+    // holds tens of plans, and a plan build dwarfs a scan.
+    entries: Mutex<VecDeque<(PlanKey, Arc<QueryPlan>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache retaining at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            entries: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum resident plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<QueryPlan>> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(i) = entries.iter().position(|(k, _)| k == key) {
+            let (k, plan) = entries.remove(i).expect("position just found");
+            entries.push_back((k, Arc::clone(&plan)));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(plan)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts a plan under its own key, evicting the least recently used
+    /// entry if full. No-op at capacity 0.
+    pub fn insert(&self, plan: Arc<QueryPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(i) = entries.iter().position(|(k, _)| *k == plan.key) {
+            entries.remove(i);
+        }
+        while entries.len() >= self.capacity {
+            entries.pop_front();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let key = plan.key;
+        entries.push_back((key, plan));
+    }
+
+    /// Returns the cached plan for (query, config, class), building and
+    /// caching it on a miss.
+    pub fn get_or_build(
+        &self,
+        query: &Graph,
+        config: &EngineConfig,
+        class: &DeviceClass,
+    ) -> Result<Arc<QueryPlan>, EngineError> {
+        let key = PlanKey::new(query, config, class);
+        if let Some(plan) = self.get(&key) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(QueryPlan::build(query, config, class)?);
+        self.insert(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Snapshot of the cache statistics.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.entries.lock().unwrap().len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_gpu_sim::DeviceConfig;
+    use cuts_graph::generators::{chain, clique};
+
+    fn class() -> DeviceClass {
+        DeviceClass::of(&DeviceConfig::test_small())
+    }
+
+    #[test]
+    fn build_once_hit_thereafter() {
+        let cache = PlanCache::new(4);
+        let cfg = EngineConfig::default();
+        let q = clique(3);
+        let a = cache.get_or_build(&q, &cfg, &class()).unwrap();
+        let b = cache.get_or_build(&q, &cfg, &class()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the plan");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cache = PlanCache::new(2);
+        let cfg = EngineConfig::default();
+        let (c3, c4, p4) = (clique(3), clique(4), chain(4));
+        let first = cache.get_or_build(&c3, &cfg, &class()).unwrap();
+        cache.get_or_build(&c4, &cfg, &class()).unwrap();
+        // Touch c3 so c4 becomes least recent, then insert a third.
+        cache.get_or_build(&c3, &cfg, &class()).unwrap();
+        cache.get_or_build(&p4, &cfg, &class()).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // c3 survived (it was refreshed), c4 did not.
+        let again = cache.get_or_build(&c3, &cfg, &class()).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        let s_before = cache.stats().misses;
+        cache.get_or_build(&c4, &cfg, &class()).unwrap();
+        assert_eq!(cache.stats().misses, s_before + 1, "c4 was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        let cfg = EngineConfig::default();
+        let q = clique(3);
+        cache.get_or_build(&q, &cfg, &class()).unwrap();
+        cache.get_or_build(&q, &cfg, &class()).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (0, 2, 0));
+    }
+
+    #[test]
+    fn build_errors_propagate_and_cache_nothing() {
+        let cache = PlanCache::new(4);
+        let cfg = EngineConfig::default();
+        let disconnected = cuts_graph::Graph::undirected(4, &[(0, 1), (2, 3)]);
+        assert!(cache.get_or_build(&disconnected, &cfg, &class()).is_err());
+        assert_eq!(cache.stats().len, 0);
+    }
+}

@@ -1,23 +1,21 @@
-//! The cuTS engine: orchestrates kernels over the trie, with the hybrid
-//! BFS-DFS fallback and the §4 composition rules.
+//! The cuTS engine facade: the original one-shot API, now a thin shim
+//! over the plan/execute split.
+//!
+//! [`CutsEngine`] owns a private [`ExecSession`], so code written against
+//! the old API transparently gains buffer pooling and plan caching across
+//! repeated calls on the same engine value. New code that wants explicit
+//! control over plan reuse, batching, or session statistics should use
+//! [`ExecSession`] directly.
 
-use std::ops::Range;
-use std::time::Instant;
-
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use cuts_gpu_sim::{CostModel, Device, DeviceError};
-use cuts_graph::components::{extract_component, weakly_connected_components};
+use cuts_gpu_sim::Device;
 use cuts_graph::Graph;
-use cuts_trie::Trie;
 
 use crate::config::EngineConfig;
 use crate::error::EngineError;
-use crate::kernels::{expand_range, init_candidates, ExpandParams};
-use crate::order::MatchOrder;
 use crate::result::MatchResult;
+use crate::session::ExecSession;
+
+pub use crate::session::MatchSink;
 
 /// Subgraph-isomorphism engine bound to a simulated device.
 ///
@@ -34,42 +32,46 @@ use crate::result::MatchResult;
 /// assert_eq!(r.level_counts, vec![4, 12, 24]);
 /// ```
 pub struct CutsEngine<'d> {
-    device: &'d Device,
-    config: EngineConfig,
+    session: ExecSession<'d>,
 }
-
-/// Sink receiving one complete embedding at a time; the slice is indexed
-/// by *query vertex id* (`m[q]` = matched data vertex).
-pub type MatchSink<'s> = &'s mut dyn FnMut(&[u32]);
 
 impl<'d> CutsEngine<'d> {
     /// Engine with default configuration.
     pub fn new(device: &'d Device) -> Self {
-        CutsEngine {
-            device,
-            config: EngineConfig::default(),
-        }
+        Self::with_config(device, EngineConfig::default())
     }
 
     /// Engine with explicit configuration.
     pub fn with_config(device: &'d Device, config: EngineConfig) -> Self {
-        CutsEngine { device, config }
+        CutsEngine {
+            session: ExecSession::new(device, config),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.session.config()
     }
 
     /// The device this engine runs on.
     pub fn device(&self) -> &'d Device {
-        self.device
+        self.session.device()
+    }
+
+    /// The execution session backing this engine.
+    pub fn session(&self) -> &ExecSession<'d> {
+        &self.session
+    }
+
+    /// Consumes the engine, yielding its session.
+    pub fn into_session(self) -> ExecSession<'d> {
+        self.session
     }
 
     /// Counts all embeddings of `query` in `data`. The query must be
     /// (weakly) connected — see [`CutsEngine::run_disconnected`] otherwise.
     pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, EngineError> {
-        self.run_inner(data, query, None, None)
+        self.session.run(data, query)
     }
 
     /// Like [`CutsEngine::run`], additionally streaming every embedding to
@@ -80,281 +82,39 @@ impl<'d> CutsEngine<'d> {
         query: &Graph,
         sink: MatchSink<'_>,
     ) -> Result<MatchResult, EngineError> {
-        self.run_inner(data, query, Some(sink), None)
+        self.session.run_enumerate(data, query, sink)
     }
 
     /// Resumes matching from already-built partial paths: the receiving
-    /// side of a §4.2 work donation. `seed.levels.len()` query vertices
-    /// (in this engine's order for `query`) are treated as matched; the
-    /// run continues from there and counts only completions of the seeded
-    /// paths.
+    /// side of a §4.2 work donation. See [`ExecSession::run_from_trie`].
     pub fn run_from_trie(
         &self,
         data: &Graph,
         query: &Graph,
         seed: &cuts_trie::HostTrie,
     ) -> Result<MatchResult, EngineError> {
-        self.run_inner(data, query, None, Some(seed))
+        self.session.run_from_trie(data, query, seed)
     }
 
-    /// §4 composition for disconnected query graphs: match each weakly
-    /// connected component independently and multiply the counts (the
-    /// paper's "cross product of individual solutions"). Note the paper's
-    /// semantics here: components may map to overlapping data vertices.
-    pub fn run_disconnected(&self, data: &Graph, query: &Graph) -> Result<u64, EngineError> {
-        let comps = weakly_connected_components(query);
-        let mut product: u64 = 1;
-        for c in 0..comps.num_components() as u32 {
-            let (sub, _) = extract_component(query, &comps, c);
-            let r = self.run(data, &sub)?;
-            product = product.saturating_mul(r.num_matches);
-            if product == 0 {
-                return Ok(0);
-            }
-        }
-        Ok(product)
+    /// §4 composition for disconnected query graphs. See
+    /// [`ExecSession::run_disconnected`] for the aggregate's shape.
+    pub fn run_disconnected(
+        &self,
+        data: &Graph,
+        query: &Graph,
+    ) -> Result<MatchResult, EngineError> {
+        self.session.run_disconnected(data, query)
     }
 
-    /// Expands seeded partial paths by exactly one level and returns the
-    /// extended paths as a host trie (depth `seed.depth() + 1`). Used by
-    /// the distributed worker's progressive deepening: a single heavy
-    /// subtree becomes many donatable frontier slices. The seed must be
-    /// shallower than the query.
+    /// Expands seeded partial paths by exactly one level. See
+    /// [`ExecSession::expand_seed_once`].
     pub fn expand_seed_once(
         &self,
         data: &Graph,
         query: &Graph,
         seed: &cuts_trie::HostTrie,
     ) -> Result<cuts_trie::HostTrie, EngineError> {
-        let plan = MatchOrder::compute_with_policy(query, self.config.order_policy)?;
-        let depth = seed.levels.len();
-        assert!(
-            depth >= 1 && depth < plan.len(),
-            "seed depth must be in 1..|V_Q|"
-        );
-        let mut trie = Trie::sized_from_free(self.device, self.config.trie_fraction)?;
-        trie.load(seed)?;
-        let frontier = trie.level(depth - 1);
-        let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
-        let params = ExpandParams {
-            data,
-            plan: &plan,
-            pos: depth,
-            vwarp,
-            strategy: self.config.intersect,
-            placement: None,
-            max_blocks: self.config.max_blocks,
-        };
-        expand_range(self.device, &trie, frontier, &params)?;
-        trie.seal_level();
-        Ok(trie.to_host())
-    }
-
-    fn run_inner(
-        &self,
-        data: &Graph,
-        query: &Graph,
-        mut sink: Option<MatchSink<'_>>,
-        seed: Option<&cuts_trie::HostTrie>,
-    ) -> Result<MatchResult, EngineError> {
-        let wall_start = Instant::now();
-        self.device.reset_counters();
-        let plan = MatchOrder::compute_with_policy(query, self.config.order_policy)?;
-        let n = plan.len();
-        let mut trie = Trie::sized_from_free(self.device, self.config.trie_fraction)?;
-        let mut level_counts = vec![0u64; n];
-        let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-
-        let (frontier0, start_pos) = match seed {
-            None => {
-                init_candidates(self.device, data, &plan, &trie, self.config.max_blocks)?;
-                let lvl0 = trie.seal_level();
-                level_counts[0] = lvl0.len() as u64;
-                (lvl0, 1)
-            }
-            Some(host) => {
-                let depth = host.levels.len();
-                assert!(depth >= 1 && depth <= n, "seed depth out of range");
-                trie.load(host)?;
-                for (l, r) in host.levels.iter().enumerate() {
-                    level_counts[l] = r.len() as u64;
-                }
-                (trie.level(depth - 1), depth)
-            }
-        };
-
-        let mut used_chunking = false;
-        let mut frontier = frontier0;
-        let mut pos = start_pos;
-        let mut chunked_total: Option<u64> = None;
-
-        while pos < n && !frontier.is_empty() {
-            let pre_len = trie.table().len();
-            let placement = self.placement(&mut rng, &frontier);
-            let params = ExpandParams {
-                data,
-                plan: &plan,
-                pos,
-                vwarp,
-                strategy: self.config.intersect,
-                placement: placement.as_deref(),
-                max_blocks: self.config.max_blocks,
-            };
-            match expand_range(self.device, &trie, frontier.clone(), &params) {
-                Ok(()) => {
-                    let lvl = trie.seal_level();
-                    level_counts[pos] += lvl.len() as u64;
-                    frontier = lvl;
-                    pos += 1;
-                }
-                Err(DeviceError::BufferOverflow { .. }) => {
-                    // Hybrid BFS-DFS (§4.1.2): roll back the partial level
-                    // and walk the remaining depths chunk by chunk.
-                    trie.table().truncate(pre_len);
-                    used_chunking = true;
-                    let total = self.process_chunks(
-                        data,
-                        &plan,
-                        &mut trie,
-                        pos,
-                        frontier.clone(),
-                        self.config.chunk_size,
-                        vwarp,
-                        &mut level_counts,
-                        &mut sink,
-                    )?;
-                    chunked_total = Some(total);
-                    break;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-
-        let num_matches = match chunked_total {
-            Some(t) => t,
-            None if pos == n => {
-                if let Some(sink) = sink.as_mut() {
-                    self.emit_level(&trie, &plan, frontier.clone(), sink);
-                }
-                level_counts[n - 1]
-            }
-            None => 0, // frontier drained before reaching full depth
-        };
-
-        let counters = self.device.counters();
-        let sim_millis = CostModel::default().millis(&counters, self.device.config());
-        Ok(MatchResult {
-            num_matches,
-            level_counts,
-            counters,
-            sim_millis,
-            wall_millis: wall_start.elapsed().as_secs_f64() * 1e3,
-            used_chunking,
-            order: plan.order.clone(),
-        })
-    }
-
-    /// Shuffled frontier placement when configured (§4.1.2: randomising
-    /// partial-path placement fixes id-order load imbalance).
-    fn placement(&self, rng: &mut SmallRng, frontier: &Range<usize>) -> Option<Vec<u32>> {
-        if !self.config.randomize_placement || frontier.len() < 2 {
-            return None;
-        }
-        let mut p: Vec<u32> = frontier.clone().map(|i| i as u32).collect();
-        p.shuffle(rng);
-        Some(p)
-    }
-
-    /// Depth-first walk over frontier chunks: expand a chunk, recurse one
-    /// level deeper, reclaim the chunk's scratch level, move on. Chunk
-    /// sizes halve locally when even one chunk cannot fit.
-    #[allow(clippy::too_many_arguments)]
-    fn process_chunks(
-        &self,
-        data: &Graph,
-        plan: &MatchOrder,
-        trie: &mut Trie,
-        pos: usize,
-        frontier: Range<usize>,
-        chunk_size: usize,
-        vwarp: usize,
-        level_counts: &mut [u64],
-        sink: &mut Option<MatchSink<'_>>,
-    ) -> Result<u64, EngineError> {
-        let n = plan.len();
-        if pos == n {
-            if let Some(sink) = sink.as_mut() {
-                self.emit_level(trie, plan, frontier.clone(), sink);
-            }
-            return Ok(frontier.len() as u64);
-        }
-        let mut total = 0u64;
-        for chunk in cuts_trie::Chunks::new(frontier, chunk_size) {
-            let pre_len = trie.table().len();
-            let params = ExpandParams {
-                data,
-                plan,
-                pos,
-                vwarp,
-                strategy: self.config.intersect,
-                placement: None,
-                max_blocks: self.config.max_blocks,
-            };
-            match expand_range(self.device, trie, chunk.clone(), &params) {
-                Ok(()) => {
-                    let lvl = trie.seal_level();
-                    level_counts[pos] += lvl.len() as u64;
-                    total += self.process_chunks(
-                        data,
-                        plan,
-                        trie,
-                        pos + 1,
-                        lvl,
-                        chunk_size,
-                        vwarp,
-                        level_counts,
-                        sink,
-                    )?;
-                    trie.pop_levels(1);
-                }
-                Err(DeviceError::BufferOverflow { .. }) => {
-                    trie.table().truncate(pre_len);
-                    if chunk.len() == 1 {
-                        return Err(EngineError::CapacityExhausted { depth: pos });
-                    }
-                    // Halve locally and retry this chunk.
-                    total += self.process_chunks(
-                        data,
-                        plan,
-                        trie,
-                        pos,
-                        chunk.clone(),
-                        (chunk.len() / 2).max(1),
-                        vwarp,
-                        level_counts,
-                        sink,
-                    )?;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-        Ok(total)
-    }
-
-    /// Streams the full embeddings ending at `level`'s entries, remapped
-    /// from order space to query-vertex space.
-    fn emit_level(&self, trie: &Trie, plan: &MatchOrder, level: Range<usize>, sink: MatchSink<'_>) {
-        let n = plan.len();
-        let mut m = vec![0u32; n];
-        for leaf in level {
-            let path = trie.extract_path(leaf);
-            debug_assert_eq!(path.len(), n);
-            for (l, &v) in path.iter().enumerate() {
-                m[plan.order[l] as usize] = v;
-            }
-            sink(&m);
-        }
+        self.session.expand_seed_once(data, query, seed)
     }
 }
 
@@ -509,9 +269,12 @@ mod tests {
         // Two disjoint edges as query: each edge has 12 embeddings in K4;
         // paper semantics: cross product = 144.
         let q = Graph::undirected(4, &[(0, 1), (2, 3)]);
-        assert_eq!(engine.run_disconnected(&data, &q).unwrap(), 144);
+        let r = engine.run_disconnected(&data, &q).unwrap();
+        assert_eq!(r.num_matches, 144);
+        assert_eq!(r.level_counts.len(), 4);
         // Connected query passes straight through.
-        assert_eq!(engine.run_disconnected(&data, &clique(3)).unwrap(), 24);
+        let c = engine.run_disconnected(&data, &clique(3)).unwrap();
+        assert_eq!(c.num_matches, 24);
     }
 
     #[test]
@@ -639,5 +402,18 @@ mod tests {
         // Directed 3-cycle data: 3 rotations match.
         let d3 = Graph::directed(3, &[(0, 1), (1, 2), (2, 0)]);
         assert_eq!(engine.run(&d3, &tri).unwrap().num_matches, 3);
+    }
+
+    #[test]
+    fn shim_shares_one_session() {
+        // Repeated calls through the old API reuse the backing session's
+        // pooled buffers and cached plan.
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        engine.run(&clique(4), &clique(3)).unwrap();
+        let allocs = device.alloc_calls();
+        engine.run(&clique(4), &clique(3)).unwrap();
+        assert_eq!(device.alloc_calls(), allocs);
+        assert_eq!(engine.session().stats().plans.hits, 1);
     }
 }

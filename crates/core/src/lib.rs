@@ -12,11 +12,18 @@
 //! 512) and each chunk's subtree is explored to completion before its
 //! scratch levels are reclaimed.
 //!
-//! Entry point: [`CutsEngine`]. Semantics: all injective mappings
-//! `f : V_Q → V_D` with every query edge mapped to a data edge (subgraph
-//! isomorphism *search*, Definition 4; non-induced). A sequential CPU
-//! [`reference`] matcher provides ground truth for tests.
+//! Execution is split into two phases: a [`QueryPlan`] (immutable,
+//! device-independent — built once per query/config/device-class) and an
+//! [`ExecSession`] (device-bound, reusable — pooled trie buffers, scoped
+//! counters, an LRU [`PlanCache`]). [`CutsEngine`] remains as a thin
+//! facade over a private session for one-shot use.
+//!
+//! Semantics: all injective mappings `f : V_Q → V_D` with every query edge
+//! mapped to a data edge (subgraph isomorphism *search*, Definition 4;
+//! non-induced). A sequential CPU [`mod@reference`] matcher provides ground
+//! truth for tests.
 
+pub mod cache;
 pub mod complexity;
 pub mod config;
 pub mod engine;
@@ -24,11 +31,16 @@ pub mod error;
 pub mod intersect;
 pub mod kernels;
 pub mod order;
+pub mod plan;
 pub mod reference;
 pub mod result;
+pub mod session;
 
+pub use cache::{PlanCache, PlanCacheStats};
 pub use config::{EngineConfig, IntersectStrategy, VirtualWarpPolicy};
 pub use engine::CutsEngine;
 pub use error::EngineError;
 pub use order::{BackEdge, Dir, MatchOrder, OrderPolicy};
+pub use plan::{BudgetCheck, DeviceClass, LevelSchedule, PlanKey, QueryPlan};
 pub use result::MatchResult;
+pub use session::{ExecSession, MatchSink, SessionStats};

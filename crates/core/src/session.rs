@@ -1,0 +1,655 @@
+//! Device-bound execution sessions: the mutable, reusable half of a run.
+//!
+//! An [`ExecSession`] binds an engine configuration to one simulated
+//! device and executes [`QueryPlan`]s over data graphs. It owns the two
+//! pieces of state worth keeping warm between runs:
+//!
+//! * a [`PlanCache`] so repeat queries skip order computation, and
+//! * a [`BufferPool`] holding the trie's PA/CA arrays, so every run after
+//!   the first performs **zero** new device allocations (the paper's
+//!   "allocate two big arrays" happens once per session, not once per
+//!   query — assertable through [`cuts_gpu_sim::Device::alloc_calls`]).
+//!
+//! Counter accounting is scoped ([`cuts_gpu_sim::CounterScope`]) rather
+//! than reset-based, so sessions sharing a device do not destroy each
+//! other's metrics.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use cuts_gpu_sim::{BufferPool, CostModel, Counters, Device, DeviceError, PoolStats};
+use cuts_graph::components::{extract_component, weakly_connected_components};
+use cuts_graph::Graph;
+use cuts_trie::{PairTable, Trie};
+
+use crate::cache::{PlanCache, PlanCacheStats};
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::kernels::{expand_range, init_candidates, ExpandParams};
+use crate::plan::{DeviceClass, QueryPlan};
+use crate::result::MatchResult;
+
+/// Sink receiving one complete embedding at a time; the slice is indexed
+/// by *query vertex id* (`m[q]` = matched data vertex).
+pub type MatchSink<'s> = &'s mut dyn FnMut(&[u32]);
+
+/// Default number of plans a session retains.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 16;
+
+/// Snapshot of a session's reuse behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionStats {
+    /// Completed run calls (any entry point).
+    pub runs: u64,
+    /// Plan-cache statistics.
+    pub plans: PlanCacheStats,
+    /// Buffer-pool statistics.
+    pub pool: PoolStats,
+    /// Trie entry capacity the session settled on (fixed at first run).
+    pub trie_entries: Option<usize>,
+}
+
+/// A reusable executor binding an [`EngineConfig`] to one [`Device`].
+///
+/// ```
+/// use cuts_core::{EngineConfig, ExecSession};
+/// use cuts_gpu_sim::{Device, DeviceConfig};
+/// use cuts_graph::generators::clique;
+///
+/// let device = Device::new(DeviceConfig::test_small());
+/// let session = ExecSession::new(&device, EngineConfig::default());
+/// let warmup = session.run(&clique(4), &clique(3)).unwrap();
+/// let allocs = device.alloc_calls();
+/// let again = session.run(&clique(4), &clique(3)).unwrap();
+/// assert_eq!(again.num_matches, warmup.num_matches);
+/// assert_eq!(device.alloc_calls(), allocs); // warm run: zero new mallocs
+/// ```
+pub struct ExecSession<'d> {
+    device: &'d Device,
+    config: EngineConfig,
+    class: DeviceClass,
+    plans: PlanCache,
+    pool: BufferPool<'d>,
+    // Fixed at the first trie acquisition so every later run requests the
+    // same capacities and the pool can always serve them.
+    trie_entries: Cell<Option<usize>>,
+    runs: AtomicU64,
+}
+
+impl<'d> ExecSession<'d> {
+    /// A session with the default plan-cache capacity.
+    pub fn new(device: &'d Device, config: EngineConfig) -> Self {
+        Self::with_cache_capacity(device, config, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// A session retaining at most `plan_capacity` cached plans (0
+    /// disables plan caching).
+    pub fn with_cache_capacity(
+        device: &'d Device,
+        config: EngineConfig,
+        plan_capacity: usize,
+    ) -> Self {
+        ExecSession {
+            device,
+            config,
+            class: DeviceClass::of(device.config()),
+            plans: PlanCache::new(plan_capacity),
+            pool: BufferPool::new(device),
+            trie_entries: Cell::new(None),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// The device this session executes on.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The device class plans are built for.
+    pub fn class(&self) -> &DeviceClass {
+        &self.class
+    }
+
+    /// Reuse statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            runs: self.runs.load(Ordering::Relaxed),
+            plans: self.plans.stats(),
+            pool: self.pool.stats(),
+            trie_entries: self.trie_entries.get(),
+        }
+    }
+
+    /// The (cached) plan for `query` under this session's configuration
+    /// and device class.
+    pub fn plan_for(&self, query: &Graph) -> Result<Arc<QueryPlan>, EngineError> {
+        self.plans.get_or_build(query, &self.config, &self.class)
+    }
+
+    /// Counts all embeddings of `query` in `data`. The query must be
+    /// (weakly) connected — see [`ExecSession::run_disconnected`]
+    /// otherwise.
+    pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, EngineError> {
+        let plan = self.plan_for(query)?;
+        self.run_inner(&plan, data, None, None)
+    }
+
+    /// Executes an already-built plan over `data` (the batch entry points
+    /// and benchmarks use this to separate plan cost from run cost).
+    pub fn run_with_plan(
+        &self,
+        plan: &QueryPlan,
+        data: &Graph,
+    ) -> Result<MatchResult, EngineError> {
+        self.run_inner(plan, data, None, None)
+    }
+
+    /// Like [`ExecSession::run`], additionally streaming every embedding
+    /// to `sink` (no materialisation of the full result set).
+    pub fn run_enumerate(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        sink: MatchSink<'_>,
+    ) -> Result<MatchResult, EngineError> {
+        let plan = self.plan_for(query)?;
+        self.run_inner(&plan, data, Some(sink), None)
+    }
+
+    /// Resumes matching from already-built partial paths: the receiving
+    /// side of a §4.2 work donation. `seed.levels.len()` query vertices
+    /// (in this session's order for `query`) are treated as matched; the
+    /// run continues from there and counts only completions of the seeded
+    /// paths.
+    pub fn run_from_trie(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        seed: &cuts_trie::HostTrie,
+    ) -> Result<MatchResult, EngineError> {
+        let plan = self.plan_for(query)?;
+        self.run_inner(&plan, data, None, Some(seed))
+    }
+
+    /// Runs one query over many data graphs, planning once. Results are in
+    /// input order; the trie buffers and the plan are shared across the
+    /// whole batch, so only the first element can trigger device
+    /// allocation.
+    pub fn run_batch(
+        &self,
+        datas: &[Graph],
+        query: &Graph,
+    ) -> Result<Vec<MatchResult>, EngineError> {
+        let plan = self.plan_for(query)?;
+        datas
+            .iter()
+            .map(|data| self.run_inner(&plan, data, None, None))
+            .collect()
+    }
+
+    /// §4 composition for disconnected query graphs: match each weakly
+    /// connected component independently and multiply the counts (the
+    /// paper's "cross product of individual solutions" — components may
+    /// map to overlapping data vertices).
+    ///
+    /// The returned [`MatchResult`] aggregates the per-component runs:
+    /// `num_matches` is the saturating product; `level_counts` and `order`
+    /// are the component runs' vectors concatenated in component order
+    /// (so `level_counts.len() == |V_Q|`), with `order` remapped to
+    /// original query-vertex ids; counters and simulated times sum.
+    pub fn run_disconnected(
+        &self,
+        data: &Graph,
+        query: &Graph,
+    ) -> Result<MatchResult, EngineError> {
+        if query.num_vertices() == 0 {
+            return Err(EngineError::EmptyQuery);
+        }
+        let comps = weakly_connected_components(query);
+        let mut num_matches: u64 = 1;
+        let mut level_counts = Vec::with_capacity(query.num_vertices());
+        let mut order = Vec::with_capacity(query.num_vertices());
+        let mut counters = Counters::default();
+        let mut sim_millis = 0.0;
+        let mut wall_millis = 0.0;
+        let mut used_chunking = false;
+        for c in 0..comps.num_components() as u32 {
+            let (sub, members) = extract_component(query, &comps, c);
+            let r = self.run(data, &sub)?;
+            num_matches = num_matches.saturating_mul(r.num_matches);
+            // Remap the component-local order back to original vertex ids.
+            order.extend(r.order.iter().map(|&q| members[q as usize]));
+            level_counts.extend(r.level_counts);
+            counters += r.counters;
+            sim_millis += r.sim_millis;
+            wall_millis += r.wall_millis;
+            used_chunking |= r.used_chunking;
+        }
+        Ok(MatchResult {
+            num_matches,
+            level_counts,
+            counters,
+            sim_millis,
+            wall_millis,
+            used_chunking,
+            order,
+        })
+    }
+
+    /// Expands seeded partial paths by exactly one level and returns the
+    /// extended paths as a host trie (depth `seed.depth() + 1`). Used by
+    /// the distributed worker's progressive deepening: a single heavy
+    /// subtree becomes many donatable frontier slices. The seed must be
+    /// shallower than the query.
+    pub fn expand_seed_once(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        seed: &cuts_trie::HostTrie,
+    ) -> Result<cuts_trie::HostTrie, EngineError> {
+        let plan = self.plan_for(query)?;
+        let depth = seed.levels.len();
+        assert!(
+            depth >= 1 && depth < plan.len(),
+            "seed depth must be in 1..|V_Q|"
+        );
+        let mut trie = self.acquire_trie()?;
+        let out = (|| {
+            trie.load(seed)?;
+            let frontier = trie.level(depth - 1);
+            let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
+            let params = ExpandParams {
+                data,
+                plan: &plan.order,
+                pos: depth,
+                vwarp,
+                strategy: self.config.intersect,
+                placement: None,
+                max_blocks: self.config.max_blocks,
+            };
+            expand_range(self.device, &trie, frontier, &params)?;
+            trie.seal_level();
+            Ok(trie.to_host())
+        })();
+        self.release_trie(trie);
+        out
+    }
+
+    /// Hands out a pooled trie. The entry capacity is fixed the first time
+    /// a session needs one — sized like the paper's up-front allocation
+    /// (`free_words × trie_fraction / 2` entries) — so every subsequent
+    /// acquisition requests the exact capacity the pool already holds.
+    fn acquire_trie(&self) -> Result<Trie, EngineError> {
+        let entries = match self.trie_entries.get() {
+            Some(e) => e,
+            None => {
+                let e =
+                    ((self.device.free_words() as f64 * self.config.trie_fraction) / 2.0) as usize;
+                let e = e.max(1);
+                self.trie_entries.set(Some(e));
+                e
+            }
+        };
+        let pa = self.pool.acquire(entries)?;
+        let ca = match self.pool.acquire(entries) {
+            Ok(ca) => ca,
+            Err(e) => {
+                self.pool.release(pa);
+                return Err(e.into());
+            }
+        };
+        Ok(Trie::from_table(PairTable::from_buffers(pa, ca)))
+    }
+
+    /// Returns a trie's buffers to the pool.
+    fn release_trie(&self, trie: Trie) {
+        let (pa, ca) = trie.into_table().into_buffers();
+        self.pool.release(pa);
+        self.pool.release(ca);
+    }
+
+    fn run_inner(
+        &self,
+        plan: &QueryPlan,
+        data: &Graph,
+        sink: Option<MatchSink<'_>>,
+        seed: Option<&cuts_trie::HostTrie>,
+    ) -> Result<MatchResult, EngineError> {
+        let wall_start = Instant::now();
+        let scope = self.device.counter_scope();
+        let mut trie = self.acquire_trie()?;
+        let out = self.run_core(plan, data, &mut trie, sink, seed, wall_start, &scope);
+        self.release_trie(trie);
+        if out.is_ok() {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_core(
+        &self,
+        plan: &QueryPlan,
+        data: &Graph,
+        trie: &mut Trie,
+        mut sink: Option<MatchSink<'_>>,
+        seed: Option<&cuts_trie::HostTrie>,
+        wall_start: Instant,
+        scope: &cuts_gpu_sim::CounterScope,
+    ) -> Result<MatchResult, EngineError> {
+        let order = &plan.order;
+        let n = order.len();
+        let mut level_counts = vec![0u64; n];
+        let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+
+        let (frontier0, start_pos) = match seed {
+            None => {
+                init_candidates(self.device, data, order, trie, self.config.max_blocks)?;
+                let lvl0 = trie.seal_level();
+                level_counts[0] = lvl0.len() as u64;
+                (lvl0, 1)
+            }
+            Some(host) => {
+                let depth = host.levels.len();
+                assert!(depth >= 1 && depth <= n, "seed depth out of range");
+                trie.load(host)?;
+                for (l, r) in host.levels.iter().enumerate() {
+                    level_counts[l] = r.len() as u64;
+                }
+                (trie.level(depth - 1), depth)
+            }
+        };
+
+        let mut used_chunking = false;
+        let mut frontier = frontier0;
+        let mut pos = start_pos;
+        let mut chunked_total: Option<u64> = None;
+
+        while pos < n && !frontier.is_empty() {
+            let pre_len = trie.table().len();
+            let placement = self.placement(&mut rng, &frontier);
+            let params = ExpandParams {
+                data,
+                plan: order,
+                pos,
+                vwarp,
+                strategy: self.config.intersect,
+                placement: placement.as_deref(),
+                max_blocks: self.config.max_blocks,
+            };
+            match expand_range(self.device, trie, frontier.clone(), &params) {
+                Ok(()) => {
+                    let lvl = trie.seal_level();
+                    level_counts[pos] += lvl.len() as u64;
+                    frontier = lvl;
+                    pos += 1;
+                }
+                Err(DeviceError::BufferOverflow { .. }) => {
+                    // Hybrid BFS-DFS (§4.1.2): roll back the partial level
+                    // and walk the remaining depths chunk by chunk.
+                    trie.table().truncate(pre_len);
+                    used_chunking = true;
+                    let total = self.process_chunks(
+                        data,
+                        plan,
+                        trie,
+                        pos,
+                        frontier.clone(),
+                        self.config.chunk_size,
+                        vwarp,
+                        &mut level_counts,
+                        &mut sink,
+                    )?;
+                    chunked_total = Some(total);
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let num_matches = match chunked_total {
+            Some(t) => t,
+            None if pos == n => {
+                if let Some(sink) = sink.as_mut() {
+                    self.emit_level(trie, order, frontier.clone(), sink);
+                }
+                level_counts[n - 1]
+            }
+            None => 0, // frontier drained before reaching full depth
+        };
+
+        let counters = scope.elapsed(self.device);
+        let sim_millis = CostModel::default().millis(&counters, self.device.config());
+        Ok(MatchResult {
+            num_matches,
+            level_counts,
+            counters,
+            sim_millis,
+            wall_millis: wall_start.elapsed().as_secs_f64() * 1e3,
+            used_chunking,
+            order: order.order.clone(),
+        })
+    }
+
+    /// Shuffled frontier placement when configured (§4.1.2: randomising
+    /// partial-path placement fixes id-order load imbalance).
+    fn placement(&self, rng: &mut SmallRng, frontier: &Range<usize>) -> Option<Vec<u32>> {
+        if !self.config.randomize_placement || frontier.len() < 2 {
+            return None;
+        }
+        let mut p: Vec<u32> = frontier.clone().map(|i| i as u32).collect();
+        p.shuffle(rng);
+        Some(p)
+    }
+
+    /// Depth-first walk over frontier chunks: expand a chunk, recurse one
+    /// level deeper, reclaim the chunk's scratch level, move on. Chunk
+    /// sizes halve locally when even one chunk cannot fit.
+    #[allow(clippy::too_many_arguments)]
+    fn process_chunks(
+        &self,
+        data: &Graph,
+        plan: &QueryPlan,
+        trie: &mut Trie,
+        pos: usize,
+        frontier: Range<usize>,
+        chunk_size: usize,
+        vwarp: usize,
+        level_counts: &mut [u64],
+        sink: &mut Option<MatchSink<'_>>,
+    ) -> Result<u64, EngineError> {
+        let n = plan.len();
+        if pos == n {
+            if let Some(sink) = sink.as_mut() {
+                self.emit_level(trie, &plan.order, frontier.clone(), sink);
+            }
+            return Ok(frontier.len() as u64);
+        }
+        let mut total = 0u64;
+        for chunk in cuts_trie::Chunks::new(frontier, chunk_size) {
+            let pre_len = trie.table().len();
+            let params = ExpandParams {
+                data,
+                plan: &plan.order,
+                pos,
+                vwarp,
+                strategy: self.config.intersect,
+                placement: None,
+                max_blocks: self.config.max_blocks,
+            };
+            match expand_range(self.device, trie, chunk.clone(), &params) {
+                Ok(()) => {
+                    let lvl = trie.seal_level();
+                    level_counts[pos] += lvl.len() as u64;
+                    total += self.process_chunks(
+                        data,
+                        plan,
+                        trie,
+                        pos + 1,
+                        lvl,
+                        chunk_size,
+                        vwarp,
+                        level_counts,
+                        sink,
+                    )?;
+                    trie.pop_levels(1);
+                }
+                Err(DeviceError::BufferOverflow { .. }) => {
+                    trie.table().truncate(pre_len);
+                    if chunk.len() == 1 {
+                        return Err(EngineError::CapacityExhausted { depth: pos });
+                    }
+                    // Halve locally and retry this chunk.
+                    total += self.process_chunks(
+                        data,
+                        plan,
+                        trie,
+                        pos,
+                        chunk.clone(),
+                        (chunk.len() / 2).max(1),
+                        vwarp,
+                        level_counts,
+                        sink,
+                    )?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Streams the full embeddings ending at `level`'s entries, remapped
+    /// from order space to query-vertex space.
+    fn emit_level(
+        &self,
+        trie: &Trie,
+        order: &crate::order::MatchOrder,
+        level: Range<usize>,
+        sink: MatchSink<'_>,
+    ) {
+        let n = order.len();
+        let mut m = vec![0u32; n];
+        for leaf in level {
+            let path = trie.extract_path(leaf);
+            debug_assert_eq!(path.len(), n);
+            for (l, &v) in path.iter().enumerate() {
+                m[order.order[l] as usize] = v;
+            }
+            sink(&m);
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecSession")
+            .field("device", &self.device.config().name)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_gpu_sim::DeviceConfig;
+    use cuts_graph::generators::{clique, erdos_renyi, mesh2d};
+
+    #[test]
+    fn warm_runs_reuse_buffers_and_plans() {
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let first = session.run(&clique(4), &clique(3)).unwrap();
+        let allocs_after_first = device.alloc_calls();
+        for _ in 0..3 {
+            let r = session.run(&clique(4), &clique(3)).unwrap();
+            assert_eq!(r.num_matches, first.num_matches);
+            assert_eq!(r.level_counts, first.level_counts);
+        }
+        assert_eq!(
+            device.alloc_calls(),
+            allocs_after_first,
+            "warm runs must not call the device allocator"
+        );
+        let s = session.stats();
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.plans.hits, 3);
+        assert_eq!(s.plans.misses, 1);
+        assert_eq!(s.pool.device_allocs, 2, "one PA + one CA, ever");
+        assert_eq!(s.pool.reuses, 6);
+    }
+
+    #[test]
+    fn batch_runs_plan_once() {
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let datas = vec![clique(4), mesh2d(3, 3), erdos_renyi(30, 90, 7)];
+        let batch = session.run_batch(&datas, &clique(3)).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (data, r) in datas.iter().zip(&batch) {
+            let fresh = ExecSession::new(&device, EngineConfig::default())
+                .run(data, &clique(3))
+                .unwrap();
+            assert_eq!(r.num_matches, fresh.num_matches);
+        }
+        let s = session.stats();
+        assert_eq!(s.plans.misses, 1, "one plan serves the whole batch");
+        assert_eq!(s.pool.device_allocs, 2);
+    }
+
+    #[test]
+    fn counters_are_per_run_despite_shared_device() {
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let a = session.run(&clique(4), &clique(3)).unwrap();
+        let b = session.run(&clique(4), &clique(3)).unwrap();
+        // Scoped accounting: each run sees only its own traffic, so two
+        // identical runs report identical counters.
+        assert_eq!(a.counters, b.counters);
+        assert!(a.counters.kernel_launches > 0);
+    }
+
+    #[test]
+    fn disconnected_returns_full_result() {
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let data = clique(4);
+        let q = Graph::undirected(4, &[(0, 1), (2, 3)]);
+        let r = session.run_disconnected(&data, &q).unwrap();
+        assert_eq!(r.num_matches, 144);
+        assert_eq!(r.level_counts.len(), 4, "one entry per query vertex");
+        assert_eq!(r.level_counts, vec![4, 12, 4, 12]);
+        // Order covers every original query vertex exactly once.
+        let mut o = r.order.clone();
+        o.sort_unstable();
+        assert_eq!(o, vec![0, 1, 2, 3]);
+        // Connected query passes straight through.
+        let c = session.run_disconnected(&data, &clique(3)).unwrap();
+        assert_eq!(c.num_matches, 24);
+        assert_eq!(c.level_counts, vec![4, 12, 24]);
+    }
+
+    #[test]
+    fn sessions_on_one_device_do_not_clobber_each_other() {
+        let device = Device::new(DeviceConfig::test_small());
+        let a = ExecSession::new(&device, EngineConfig::default());
+        let b = ExecSession::new(&device, EngineConfig::default());
+        let ra = a.run(&mesh2d(3, 3), &clique(3)).unwrap();
+        let rb = b.run(&mesh2d(3, 3), &clique(3)).unwrap();
+        assert_eq!(ra.num_matches, rb.num_matches);
+        assert_eq!(ra.counters, rb.counters, "scoped counters, no resets");
+    }
+}

@@ -30,6 +30,14 @@ pub struct RankMetrics {
     /// already committed elsewhere — discarded by the at-least-once
     /// dedup, never double-counted.
     pub duplicate_chunks: usize,
+    /// Query plans built on this rank (1 in steady state: the session
+    /// plans once and reuses across chunks, donations, and replays).
+    pub plan_builds: u64,
+    /// Jobs that reused the rank's cached plan.
+    pub plan_reuses: u64,
+    /// Trie-buffer acquisitions served from the rank's pool instead of
+    /// the device allocator (warm runs).
+    pub buffer_reuses: u64,
     /// Messages from this rank eaten by fault injection.
     pub messages_dropped: u64,
     /// Messages from this rank delayed by fault injection.

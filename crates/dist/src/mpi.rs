@@ -4,7 +4,7 @@
 //!
 //! Fault injection hooks in here: a universe built with
 //! [`Comm::universe_with_faults`] consults the shared
-//! [`FaultInjector`](crate::fault::FaultInjector) on every send, which
+//! [`FaultInjector`] on every send, which
 //! may silently discard the message (a lossy interconnect / dead NIC) or
 //! stamp it with a future due-time (congestion). Delayed messages are
 //! buffered on the receiving endpoint and surface only once due, so the

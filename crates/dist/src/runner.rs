@@ -5,7 +5,7 @@
 //! treated as a lost rank, not a lost run. Its death flips the shared
 //! [`AliveBoard`] (via a drop guard that fires even during unwinding),
 //! surviving ranks reclaim its pending chunks from the
-//! [`ChunkLedger`](crate::ledger::ChunkLedger), and the run completes
+//! [`ChunkLedger`], and the run completes
 //! with the identical match count — the ledger sum — plus populated
 //! [`RecoveryStats`]. Only when *no* rank survives (or registration
 //! itself fails everywhere) does `run_distributed` return the first

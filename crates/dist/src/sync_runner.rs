@@ -11,7 +11,7 @@
 //! volume. Counts still come out identical, which is the point of an
 //! ablation.
 
-use cuts_core::{CutsEngine, MatchOrder};
+use cuts_core::{ExecSession, MatchOrder};
 use cuts_gpu_sim::Device;
 use cuts_graph::Graph;
 use cuts_trie::HostTrie;
@@ -53,6 +53,12 @@ pub fn run_synchronous(
     let devices: Vec<Device> = (0..ranks)
         .map(|_| Device::new(config.device.clone()))
         .collect();
+    // One session per rank, reused across all levels: the plan is built
+    // once and the trie buffers stay pooled for the whole run.
+    let sessions: Vec<ExecSession<'_>> = devices
+        .iter()
+        .map(|d| ExecSession::new(d, config.engine.clone()))
+        .collect();
     let mut metrics: Vec<RankMetrics> = (0..ranks)
         .map(|rank| RankMetrics {
             rank,
@@ -88,11 +94,10 @@ pub fn run_synchronous(
             if frontiers[r].is_empty() {
                 continue;
             }
-            let engine = CutsEngine::with_config(&devices[r], config.engine.clone());
             let seed = HostTrie::from_flat_paths(&frontiers[r]);
-            devices[r].reset_counters();
-            let expanded = engine.expand_seed_once(data, query, &seed)?;
-            let counters = devices[r].counters();
+            let scope = devices[r].counter_scope();
+            let expanded = sessions[r].expand_seed_once(data, query, &seed)?;
+            let counters = scope.elapsed(&devices[r]);
             let t = cuts_gpu_sim::CostModel::default().millis(&counters, devices[r].config());
             level_times[r] = t;
             metrics[r].busy_sim_millis += t;

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use cuts_core::{CutsEngine, EngineError, MatchOrder};
+use cuts_core::{EngineError, ExecSession, MatchOrder};
 use cuts_gpu_sim::Device;
 use cuts_graph::Graph;
 use cuts_trie::serial::WireError;
@@ -140,10 +140,13 @@ enum Idle {
     Done,
 }
 
-/// One rank's execution state.
+/// One rank's execution state. The simulated device and its
+/// [`ExecSession`] are created inside [`Worker::run`]: the session plans
+/// the query once per rank and keeps the trie buffers pooled, so every
+/// chunk — initial partition, received donation, or fault-recovery replay
+/// — reuses the same plan and device arrays.
 pub struct Worker<'a> {
     comm: Comm,
-    device: Device,
     config: DistConfig,
     data: &'a Graph,
     query: &'a Graph,
@@ -169,7 +172,6 @@ impl<'a> Worker<'a> {
         let heartbeat_interval = config.heartbeat_interval;
         Worker {
             comm,
-            device: Device::new(config.device.clone()),
             config,
             data,
             query,
@@ -186,10 +188,10 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// Initial jobs: this rank's share of the root candidate set, split
-    /// into `dist_chunk`-path batches (§4.2 `init_match(Q, D, rank)`).
-    fn initial_jobs(&self) -> Result<VecDeque<HostTrie>, WorkerError> {
-        let plan = MatchOrder::compute(self.query)?;
+    /// Initial jobs: this rank's share of the root candidate set under
+    /// `plan`'s order, split into `dist_chunk`-path batches (§4.2
+    /// `init_match(Q, D, rank)`).
+    fn initial_jobs(&self, plan: &MatchOrder) -> Result<VecDeque<HostTrie>, WorkerError> {
         let rank = self.comm.rank();
         let size = self.comm.size();
         let all: Vec<Vec<u32>> = (0..self.data.num_vertices() as u32)
@@ -230,11 +232,20 @@ impl<'a> Worker<'a> {
 
     /// Runs the rank to completion, returning its match count and metrics.
     pub fn run(mut self) -> Result<(u64, RankMetrics), WorkerError> {
+        // One device and one session per rank: the session plans the query
+        // once and keeps the trie buffers pooled, so every chunk this rank
+        // processes — including donations and recovery replays — runs
+        // without new device allocations.
+        let device = Device::new(self.config.device.clone());
+        let session = ExecSession::new(&device, self.config.engine.clone());
         // Register this rank's chunks, then rendezvous: all chunks of all
         // ranks must be in the ledger before anyone can observe
         // `all_completed` (even on error, reach the barrier first so the
         // others aren't stranded).
-        let jobs = self.initial_jobs();
+        let jobs = match session.plan_for(self.query) {
+            Ok(plan) => self.initial_jobs(&plan.order),
+            Err(e) => Err(e.into()),
+        };
         let mut queue: VecDeque<Chunk> = VecDeque::new();
         if let Ok(jobs) = &jobs {
             for trie in jobs {
@@ -245,6 +256,14 @@ impl<'a> Worker<'a> {
                     trie: trie.clone(),
                 });
             }
+        }
+        // Ranks that start with nothing announce FREE *before* the
+        // rendezvous: the barrier then guarantees their announcement is
+        // already in every peer's inbox when work begins, so a loaded
+        // rank observes them on its first poll and donation does not
+        // race against how fast the warm session drains the queue.
+        if jobs.is_ok() && queue.is_empty() && self.comm.size() > 1 {
+            self.comm.broadcast_others(tag::FREE, Bytes::new());
         }
         self.shared.barrier.wait();
         jobs?;
@@ -269,7 +288,7 @@ impl<'a> Worker<'a> {
                     && queue.is_empty()
                     && chunk.trie.depth() < self.query.num_vertices().saturating_sub(1)
                 {
-                    match self.deepen_job(&chunk.trie) {
+                    match self.deepen_job(&session, &chunk.trie) {
                         Some(tries) if tries.len() > 1 => {
                             let children: Vec<Chunk> = tries
                                 .into_iter()
@@ -294,7 +313,7 @@ impl<'a> Worker<'a> {
                             // process directly under the parent's id.
                             let mut n = 0;
                             for t in &tries {
-                                n += self.process_job(t)?;
+                                n += self.process_job(&session, t)?;
                             }
                             self.commit_chunk(chunk.id, n, &mut total);
                             continue;
@@ -302,7 +321,7 @@ impl<'a> Worker<'a> {
                         None => {} // deepening failed; fall through
                     }
                 }
-                let n = self.process_job(&chunk.trie)?;
+                let n = self.process_job(&session, &chunk.trie)?;
                 self.commit_chunk(chunk.id, n, &mut total);
             }
             // Queue drained: save results, discard trie, announce free.
@@ -318,6 +337,10 @@ impl<'a> Worker<'a> {
         self.metrics.matches = total;
         self.metrics.messages_sent = self.comm.stats().messages_sent();
         self.metrics.bytes_sent = self.comm.stats().bytes_sent();
+        let s = session.stats();
+        self.metrics.plan_builds = s.plans.misses;
+        self.metrics.plan_reuses = s.plans.hits;
+        self.metrics.buffer_reuses = s.pool.reuses;
         Ok((total, self.metrics))
     }
 
@@ -361,13 +384,17 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// Runs one job (a batch of partial paths) to completion.
-    fn process_job(&mut self, job: &HostTrie) -> Result<u64, WorkerError> {
+    /// Runs one job (a batch of partial paths) to completion through the
+    /// rank's shared session.
+    fn process_job(
+        &mut self,
+        session: &ExecSession<'_>,
+        job: &HostTrie,
+    ) -> Result<u64, WorkerError> {
         if job.is_empty() {
             return Ok(0);
         }
-        let engine = CutsEngine::with_config(&self.device, self.config.engine.clone());
-        let r = engine.run_from_trie(self.data, self.query, job)?;
+        let r = session.run_from_trie(self.data, self.query, job)?;
         self.metrics.busy_sim_millis += r.sim_millis;
         self.metrics.busy_wall_millis += r.wall_millis;
         self.metrics.counters += r.counters;
@@ -386,9 +413,8 @@ impl<'a> Worker<'a> {
     /// Returns `None` when the expansion itself cannot fit on the device
     /// (the caller then processes the job whole, which may still succeed
     /// through the engine's own chunking).
-    fn deepen_job(&self, job: &HostTrie) -> Option<Vec<HostTrie>> {
-        let engine = CutsEngine::with_config(&self.device, self.config.engine.clone());
-        let expanded = engine.expand_seed_once(self.data, self.query, job).ok()?;
+    fn deepen_job(&self, session: &ExecSession<'_>, job: &HostTrie) -> Option<Vec<HostTrie>> {
+        let expanded = session.expand_seed_once(self.data, self.query, job).ok()?;
         let frontier_len = expanded.levels.last().map(|l| l.len()).unwrap_or(0);
         if frontier_len == 0 {
             return Some(Vec::new());
@@ -627,7 +653,9 @@ mod tests {
                 &query,
                 2,
             );
-            let jobs = w.initial_jobs().unwrap();
+            let jobs = w
+                .initial_jobs(&MatchOrder::compute(&query).unwrap())
+                .unwrap();
             let paths: usize = jobs.iter().map(|j| j.levels[0].len()).sum();
             sizes.push(paths);
         }
@@ -653,7 +681,11 @@ mod tests {
                 &query,
                 2,
             );
-            all.push(w.initial_jobs().unwrap().len());
+            all.push(
+                w.initial_jobs(&MatchOrder::compute(&query).unwrap())
+                    .unwrap()
+                    .len(),
+            );
         }
         assert_eq!(all, vec![5, 0]);
     }
@@ -677,7 +709,9 @@ mod tests {
                 &query,
                 2,
             );
-            let jobs = w.initial_jobs().unwrap();
+            let jobs = w
+                .initial_jobs(&MatchOrder::compute(&query).unwrap())
+                .unwrap();
             let first = jobs
                 .front()
                 .map(|j| j.ca[j.levels[0].start])

@@ -1,6 +1,6 @@
 //! Hardware metric counters (the simulated Nsight Compute).
 
-use std::ops::AddAssign;
+use std::ops::{AddAssign, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A snapshot of hardware metrics. All units are events (reads/writes are in
@@ -43,6 +43,49 @@ impl Counters {
         } else {
             num as f64 / den as f64
         }
+    }
+}
+
+impl Sub for Counters {
+    type Output = Counters;
+
+    /// Field-wise saturating difference — the delta between two snapshots
+    /// of a monotonically increasing aggregate (saturation guards against
+    /// a `reset_counters` call racing between the two snapshots).
+    fn sub(self, rhs: Self) -> Counters {
+        Counters {
+            dram_reads: self.dram_reads.saturating_sub(rhs.dram_reads),
+            dram_writes: self.dram_writes.saturating_sub(rhs.dram_writes),
+            shmem_reads: self.shmem_reads.saturating_sub(rhs.shmem_reads),
+            shmem_writes: self.shmem_writes.saturating_sub(rhs.shmem_writes),
+            atomics: self.atomics.saturating_sub(rhs.atomics),
+            instructions: self.instructions.saturating_sub(rhs.instructions),
+            divergent_branches: self
+                .divergent_branches
+                .saturating_sub(rhs.divergent_branches),
+            kernel_launches: self.kernel_launches.saturating_sub(rhs.kernel_launches),
+        }
+    }
+}
+
+/// A window over the device's monotonically increasing counter aggregate:
+/// opened with [`crate::Device::counter_scope`], closed by reading
+/// [`CounterScope::elapsed`]. Scoped accounting replaces the old
+/// reset-then-read pattern, which destroyed any other run's view of the
+/// same device.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterScope {
+    start: Counters,
+}
+
+impl CounterScope {
+    pub(crate) fn new(start: Counters) -> Self {
+        CounterScope { start }
+    }
+
+    /// Counters accumulated on `device` since this scope was opened.
+    pub fn elapsed(&self, device: &crate::device::Device) -> Counters {
+        device.counters() - self.start
     }
 }
 

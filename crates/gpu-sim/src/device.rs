@@ -1,13 +1,13 @@
 //! The simulated device: allocation ledger, kernel launch, counters.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rayon::prelude::*;
 
 use crate::buffer::GlobalBuffer;
 use crate::config::DeviceConfig;
-use crate::counters::{AtomicCounters, BlockCounters, Counters};
+use crate::counters::{AtomicCounters, BlockCounters, CounterScope, Counters};
 use crate::error::DeviceError;
 
 /// A simulated GPU. Cheap to share by reference; all state is internally
@@ -17,6 +17,10 @@ pub struct Device {
     /// Words currently allocated (the `cudaMemGetInfo` the paper consults
     /// when sizing the trie arrays).
     allocated: Arc<AtomicUsize>,
+    /// Lifetime count of [`Device::alloc_buffer`] calls (`cudaMalloc`
+    /// invocations). Never reset: the buffer pool's reuse guarantee is
+    /// asserted as "this number did not move".
+    alloc_calls: AtomicU64,
     counters: AtomicCounters,
 }
 
@@ -26,6 +30,7 @@ impl Device {
         Device {
             config,
             allocated: Arc::new(AtomicUsize::new(0)),
+            alloc_calls: AtomicU64::new(0),
             counters: AtomicCounters::default(),
         }
     }
@@ -48,9 +53,27 @@ impl Device {
         self.allocated.load(Ordering::Acquire)
     }
 
+    /// Number of `alloc_buffer` calls made over this device's lifetime
+    /// (successful or not). Unlike [`Device::counters`], this is never
+    /// reset — allocation is a host-side lifecycle event, not a kernel
+    /// metric — so "the warm path allocates nothing" is checked by taking
+    /// the value before and after.
+    pub fn alloc_calls(&self) -> u64 {
+        self.alloc_calls.load(Ordering::Relaxed)
+    }
+
+    /// Opens a counter scope: a snapshot against which
+    /// [`CounterScope::elapsed`] later reports the delta. Unlike
+    /// [`Device::reset_counters`], scopes do not clobber device-global
+    /// state, so runs sharing one device can each account their own work.
+    pub fn counter_scope(&self) -> CounterScope {
+        CounterScope::new(self.counters.snapshot())
+    }
+
     /// Allocates a capacity-accounted buffer; fails like `cudaMalloc` when
     /// the budget is exhausted. Freed automatically when the buffer drops.
     pub fn alloc_buffer(&self, words: usize) -> Result<GlobalBuffer, DeviceError> {
+        self.alloc_calls.fetch_add(1, Ordering::Relaxed);
         let prev = self.allocated.fetch_add(words, Ordering::AcqRel);
         if prev + words > self.config.global_mem_words {
             self.allocated.fetch_sub(words, Ordering::AcqRel);

@@ -25,6 +25,9 @@
 //! * [`CostModel`] — a roofline translation of counters into simulated
 //!   kernel time, so "runtime" comparisons are architecture-scaled rather
 //!   than host-scheduler noise.
+//! * [`BufferPool`] — a free-list recycler over [`Device::alloc_buffer`]
+//!   with reuse counters, so execution sessions can prove that warm runs
+//!   perform zero new device allocations.
 
 pub mod buffer;
 pub mod config;
@@ -33,12 +36,14 @@ pub mod counters;
 pub mod device;
 pub mod error;
 pub mod occupancy;
+pub mod pool;
 pub mod primitives;
 
 pub use buffer::GlobalBuffer;
 pub use config::DeviceConfig;
 pub use cost::{Bound, CostBreakdown, CostModel, SimTime};
-pub use counters::{BlockCounters, Counters};
+pub use counters::{BlockCounters, CounterScope, Counters};
 pub use device::{BlockCtx, Device};
 pub use error::DeviceError;
 pub use occupancy::occupancy;
+pub use pool::{BufferPool, PoolStats};

@@ -1,0 +1,199 @@
+//! Pooled device buffers: allocate once, reuse across runs.
+//!
+//! `cudaMalloc`/`cudaFree` round trips are the per-query overhead a
+//! serving engine cannot afford — every real framework (and the GSI
+//! "plan-then-execute" design the paper compares against) preallocates
+//! and recycles. [`BufferPool`] is that recycler for the simulated
+//! device: [`BufferPool::acquire`] hands back a previously released
+//! [`GlobalBuffer`] of sufficient capacity when one exists (a *reuse*)
+//! and only falls through to [`Device::alloc_buffer`] when the pool
+//! cannot serve the request (a *device alloc*). Reuse counters make the
+//! steady-state claim — "a warm session performs zero new device
+//! allocations" — directly assertable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::buffer::GlobalBuffer;
+use crate::device::Device;
+use crate::error::DeviceError;
+
+/// Cumulative pool statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total `acquire` calls served.
+    pub acquires: u64,
+    /// Acquires satisfied by recycling a pooled buffer.
+    pub reuses: u64,
+    /// Acquires that fell through to `Device::alloc_buffer`.
+    pub device_allocs: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served without touching the device allocator
+    /// (1.0 once the pool is warm).
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.acquires == 0 {
+            return 0.0;
+        }
+        self.reuses as f64 / self.acquires as f64
+    }
+}
+
+/// A free-list of device buffers bound to one [`Device`].
+///
+/// Pooled buffers keep their device words allocated (that is the point:
+/// the capacity is reserved for the session's lifetime, like the paper's
+/// up-front "two big arrays"); dropping the pool drops the buffers and
+/// returns the words to the device ledger.
+pub struct BufferPool<'d> {
+    device: &'d Device,
+    free: Mutex<Vec<GlobalBuffer>>,
+    acquires: AtomicU64,
+    reuses: AtomicU64,
+    device_allocs: AtomicU64,
+}
+
+impl<'d> BufferPool<'d> {
+    /// An empty pool over `device`.
+    pub fn new(device: &'d Device) -> Self {
+        BufferPool {
+            device,
+            free: Mutex::new(Vec::new()),
+            acquires: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            device_allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// The device this pool allocates from.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// Hands out a cleared buffer of capacity ≥ `words`: the smallest
+    /// sufficient pooled buffer when one exists, a fresh device
+    /// allocation otherwise.
+    pub fn acquire(&self, words: usize) -> Result<GlobalBuffer, DeviceError> {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        let recycled = {
+            let mut free = self.free.lock().unwrap();
+            let best = free
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= words)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            best.map(|i| free.swap_remove(i))
+        };
+        match recycled {
+            Some(buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                Ok(buf)
+            }
+            None => {
+                self.device_allocs.fetch_add(1, Ordering::Relaxed);
+                self.device.alloc_buffer(words)
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list for later reuse. Its contents
+    /// are discarded (cleared on the next acquire); its device words stay
+    /// reserved.
+    pub fn release(&self, buf: GlobalBuffer) {
+        self.free.lock().unwrap().push(buf);
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// Device words held by pooled (idle) buffers.
+    pub fn pooled_words(&self) -> usize {
+        self.free.lock().unwrap().iter().map(|b| b.capacity()).sum()
+    }
+
+    /// Snapshot of the reuse statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            acquires: self.acquires.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            device_allocs: self.device_allocs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for BufferPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("pooled", &self.pooled())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    #[test]
+    fn cold_acquire_allocates_warm_acquire_reuses() {
+        let d = Device::new(DeviceConfig::test_small());
+        let pool = BufferPool::new(&d);
+        let b = pool.acquire(100).unwrap();
+        assert_eq!(d.alloc_calls(), 1);
+        pool.release(b);
+        let before = d.alloc_calls();
+        let b = pool.acquire(80).unwrap(); // smaller fits the pooled 100
+        assert_eq!(d.alloc_calls(), before, "warm acquire must not malloc");
+        assert_eq!(b.capacity(), 100);
+        assert!(b.is_empty(), "recycled buffer arrives cleared");
+        let s = pool.stats();
+        assert_eq!((s.acquires, s.reuses, s.device_allocs), (2, 1, 1));
+        assert!((s.reuse_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_fit_picks_smallest_sufficient() {
+        let d = Device::new(DeviceConfig::test_small());
+        let pool = BufferPool::new(&d);
+        let big = pool.acquire(400).unwrap();
+        let small = pool.acquire(120).unwrap();
+        pool.release(big);
+        pool.release(small);
+        assert_eq!(pool.pooled(), 2);
+        assert_eq!(pool.pooled_words(), 520);
+        let got = pool.acquire(100).unwrap();
+        assert_eq!(got.capacity(), 120);
+    }
+
+    #[test]
+    fn too_large_request_falls_through_to_device() {
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(1000));
+        let pool = BufferPool::new(&d);
+        let b = pool.acquire(200).unwrap();
+        pool.release(b);
+        // 600 doesn't fit the pooled 200: a fresh allocation (800 free).
+        let b2 = pool.acquire(600).unwrap();
+        assert_eq!(b2.capacity(), 600);
+        assert_eq!(pool.stats().device_allocs, 2);
+        // And the pooled words count against the device budget.
+        assert_eq!(d.allocated_words(), 800);
+    }
+
+    #[test]
+    fn dropping_pool_returns_words() {
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(1000));
+        {
+            let pool = BufferPool::new(&d);
+            let b = pool.acquire(300).unwrap();
+            pool.release(b);
+            assert_eq!(d.allocated_words(), 300);
+        }
+        assert_eq!(d.allocated_words(), 0);
+    }
+}

@@ -41,6 +41,30 @@ impl PairTable {
         }
     }
 
+    /// Builds a table over two existing (e.g. pooled) buffers of equal
+    /// capacity. Both are cleared: a recycled buffer's stale contents must
+    /// never masquerade as committed entries.
+    pub fn from_buffers(pa: GlobalBuffer, ca: GlobalBuffer) -> Self {
+        assert_eq!(
+            pa.capacity(),
+            ca.capacity(),
+            "PA and CA buffers must pair exactly"
+        );
+        pa.clear();
+        ca.clear();
+        PairTable {
+            pa,
+            ca,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Decomposes the table back into its `(PA, CA)` buffers so they can
+    /// be returned to a pool.
+    pub fn into_buffers(self) -> (GlobalBuffer, GlobalBuffer) {
+        (self.pa, self.ca)
+    }
+
     /// Entry capacity.
     #[inline]
     pub fn capacity(&self) -> usize {
@@ -215,6 +239,27 @@ mod tests {
                 "torn pair at {i}"
             );
         }
+    }
+
+    #[test]
+    fn from_buffers_clears_and_into_buffers_returns() {
+        let pa = GlobalBuffer::new(8);
+        let ca = GlobalBuffer::new(8);
+        pa.reserve(3).unwrap();
+        let t = PairTable::from_buffers(pa, ca);
+        assert!(t.is_empty(), "stale contents must be discarded");
+        let r = t.reserve(2).unwrap();
+        r.write(0, 1, 2);
+        r.write(1, 3, 4);
+        let (pa, ca) = t.into_buffers();
+        assert_eq!(pa.capacity(), 8);
+        assert_eq!((pa.get(1), ca.get(1)), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "pair exactly")]
+    fn from_buffers_rejects_mismatched_capacities() {
+        let _ = PairTable::from_buffers(GlobalBuffer::new(8), GlobalBuffer::new(4));
     }
 
     #[test]

@@ -50,6 +50,28 @@ impl Trie {
         }
     }
 
+    /// Wraps an existing (e.g. pool-recycled) pair table as an empty trie.
+    pub fn from_table(table: PairTable) -> Self {
+        table.clear();
+        Trie {
+            table,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Decomposes the trie back into its pair table (for return to a
+    /// buffer pool). Sealed level boundaries are discarded.
+    pub fn into_table(self) -> PairTable {
+        self.table
+    }
+
+    /// Drops all levels and entries, leaving the allocated storage in
+    /// place — the between-queries reset of a pooled trie.
+    pub fn reset(&mut self) {
+        self.levels.clear();
+        self.table.clear();
+    }
+
     /// Sizes the trie the way the paper does: "we first allocate two big
     /// arrays whose size equals half of the free space available in the
     /// GPU". `fraction` of the device's free words go to the table
@@ -504,6 +526,27 @@ mod tests {
         let host = sample().to_host();
         let mut tiny = Trie::on_host(3);
         assert!(tiny.load(&host).is_err());
+    }
+
+    #[test]
+    fn reset_and_table_roundtrip() {
+        let mut t = sample();
+        t.reset();
+        assert_eq!(t.num_levels(), 0);
+        assert!(t.table().is_empty());
+        // Storage is intact and reusable after the reset.
+        let r = t.table().reserve(1).unwrap();
+        r.write(0, NO_PARENT, 42);
+        t.seal_level();
+        assert_eq!(t.extract_path(0), vec![42]);
+
+        // from_table wipes any committed entries.
+        let table = t.into_table();
+        assert_eq!(table.len(), 1);
+        let t2 = Trie::from_table(table);
+        assert_eq!(t2.num_levels(), 0);
+        assert!(t2.table().is_empty());
+        assert_eq!(t2.table().capacity(), 64);
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //! let data = cuts::graph::generators::mesh2d(4, 4);
 //! let query = cuts::graph::generators::chain(3);
 //! let device = Device::new(DeviceConfig::test_small());
-//! let result = CutsEngine::new(&device).run(&data, &query).unwrap();
+//! let session = ExecSession::new(&device, EngineConfig::default());
+//! let result = session.run(&data, &query).unwrap();
 //! assert!(result.num_matches > 0);
+//! // Warm runs reuse the cached plan and the pooled trie buffers.
+//! session.run(&data, &query).unwrap();
+//! assert_eq!(session.stats().plans.hits, 1);
 //! ```
 
 pub use cuts_baseline as baseline;
@@ -30,7 +34,9 @@ pub use cuts_trie as trie;
 
 /// Most-used types in one import.
 pub mod prelude {
-    pub use cuts_core::{CutsEngine, EngineConfig, MatchResult};
+    pub use cuts_core::{
+        CutsEngine, EngineConfig, ExecSession, MatchResult, QueryPlan, SessionStats,
+    };
     pub use cuts_gpu_sim::{Device, DeviceConfig};
     pub use cuts_graph::{Dataset, Graph, GraphBuilder, Scale};
 }

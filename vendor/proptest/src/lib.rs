@@ -1,4 +1,5 @@
-//! Minimal stand-in for `proptest`: the `proptest!` macro, a [`Strategy`]
+//! Minimal stand-in for `proptest`: the `proptest!` macro, a
+//! [`Strategy`](strategy::Strategy)
 //! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
 //! `collection::{vec, btree_set}`, and `sample::select`.
 //!
