@@ -4,9 +4,12 @@
 //! paper headlines, plus the §6 hardware-metric ratios (pass `--metrics`).
 //!
 //! ```sh
-//! CUTS_QUICK=1 cargo run -p cuts-bench --release --bin table3
+//! cargo run -p cuts-bench --release --bin table3 -- --quick
 //! cargo run -p cuts-bench --release --bin table3 -- --metrics
 //! ```
+//!
+//! `--quick` (equivalently `CUTS_QUICK=1`) shrinks the sweep so the table
+//! finishes in seconds; CI runs it as a smoke test.
 
 use cuts_baseline::GsiEngine;
 use cuts_bench::{cell, datasets, geomean, query_sizes, scale_from_env, Machine};
@@ -119,14 +122,16 @@ fn main() {
             println!(
                 "\n§6 hardware-metric ratios (GSI / cuTS), aggregated over both-completed cases:"
             );
+            // ratio_str, not ratio + {:.1}: a zero cuTS denominator must
+            // print as "inf", never format f64::INFINITY into the table.
             println!(
-                "  DRAM reads {:.1}x | DRAM writes {:.1}x | shmem writes {:.1}x | shmem reads {:.1}x | atomics {:.1}x | instructions {:.1}x",
-                Counters::ratio(agg_gsi.dram_reads, agg_cuts.dram_reads),
-                Counters::ratio(agg_gsi.dram_writes, agg_cuts.dram_writes),
-                Counters::ratio(agg_gsi.shmem_writes, agg_cuts.shmem_writes),
-                Counters::ratio(agg_gsi.shmem_reads, agg_cuts.shmem_reads),
-                Counters::ratio(agg_gsi.atomics, agg_cuts.atomics),
-                Counters::ratio(agg_gsi.instructions, agg_cuts.instructions),
+                "  DRAM reads {}x | DRAM writes {}x | shmem writes {}x | shmem reads {}x | atomics {}x | instructions {}x",
+                Counters::ratio_str(agg_gsi.dram_reads, agg_cuts.dram_reads),
+                Counters::ratio_str(agg_gsi.dram_writes, agg_cuts.dram_writes),
+                Counters::ratio_str(agg_gsi.shmem_writes, agg_cuts.shmem_writes),
+                Counters::ratio_str(agg_gsi.shmem_reads, agg_cuts.shmem_reads),
+                Counters::ratio_str(agg_gsi.atomics, agg_cuts.atomics),
+                Counters::ratio_str(agg_gsi.instructions, agg_cuts.instructions),
             );
             println!("  paper reports: up to 200x DRAM reads, 34x shmem writes, 7x shmem reads, 2x atomics, 7x instructions");
         }

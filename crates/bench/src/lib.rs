@@ -9,7 +9,8 @@
 //!   budgets scale along with the data so the OOM *shape* of Table 3 is
 //!   preserved at every scale.
 //! * `CUTS_QUICK` — when set to `1`, restricts query suites (drops the
-//!   7-vertex set) so a full table finishes in seconds.
+//!   7-vertex set) so a full table finishes in seconds. Passing `--quick`
+//!   on the command line is equivalent (used by the CI smoke step).
 
 use cuts_gpu_sim::DeviceConfig;
 use cuts_graph::{Dataset, Scale};
@@ -74,9 +75,10 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
-/// Reads `CUTS_QUICK`.
+/// Quick mode: `CUTS_QUICK=1` in the environment or `--quick` on the
+/// command line (the CI smoke step uses the flag form).
 pub fn quick_from_env() -> bool {
-    std::env::var("CUTS_QUICK").as_deref() == Ok("1")
+    std::env::var("CUTS_QUICK").as_deref() == Ok("1") || std::env::args().any(|a| a == "--quick")
 }
 
 /// Query-vertex counts to sweep: `[5, 6, 7]`, or `[5]` in quick mode.
@@ -88,7 +90,7 @@ pub fn query_sizes() -> Vec<usize> {
     }
 }
 
-/// Datasets to sweep (all six; `CUTS_QUICK` keeps the three smallest).
+/// Datasets to sweep (all six; quick mode keeps the three smallest).
 pub fn datasets() -> Vec<Dataset> {
     if quick_from_env() {
         vec![Dataset::Enron, Dataset::RoadNetPA, Dataset::Gowalla]

@@ -9,7 +9,12 @@ USAGE:
   cuts match   (<edgelist> | --dataset <name> [--scale <s>]) --query <spec>
                [--directed] [--device v100|a100|test] [--engine cuts|gsi|gunrock|vf2]
                [--ranks <n>] [--enumerate <n>] [--chunk <n>] [--plan-cache <n>]
+               [--partition round-robin|block|all-to-zero]
                [--fault-plan <plan>] [--rank-timeout <ms>]
+               [--trace-out <path>] [--trace-format chrome|jsonl]
+               [--trace-per-block] [--metrics-out <path>]
+  cuts profile (same options as match; cuts engine only) — runs with
+               tracing on and prints a per-level / per-kernel breakdown
   cuts queries [--n <vertices>] [--top <k>]
   cuts help
 
@@ -21,6 +26,13 @@ LABELS:        --labels random:K | zipf:K | bands  (attach vertex labels to
 OUTPUT:        --output text | json (match subcommand)
 PLAN CACHE:    --plan-cache <n> bounds the session's LRU of built query
                plans (default 16; 0 disables caching)
+PARTITION:     how root candidates split across ranks (default round-robin;
+               all-to-zero stresses the donation protocol)
+TRACING:       --trace-out writes the run's event journal: chrome format
+               loads in chrome://tracing or https://ui.perfetto.dev, jsonl
+               is one event object per line; --trace-per-block adds one
+               kernel span per simulated block on per-SM tracks;
+               --metrics-out writes a Prometheus-style text snapshot
 FAULT PLANS:   comma-separated clauses injected into the distributed run:
                crash:R@C panic:R@C drop:A->B@N delay:A->B@N+MS seed:S
                (requires --ranks > 1; --rank-timeout tunes failure detection)";
@@ -54,14 +66,32 @@ pub struct MatchOpts {
     pub fault_plan: Option<String>,
     /// Failure-detection timeout in milliseconds.
     pub rank_timeout_ms: Option<u64>,
+    /// Root-candidate partition strategy for distributed runs.
+    pub partition: Option<String>,
+    /// Write the run's event journal here.
+    pub trace_out: Option<String>,
+    /// Journal format: `chrome` (trace_event JSON) or `jsonl`.
+    pub trace_format: String,
+    /// Emit one kernel span per simulated block (per-SM tracks).
+    pub trace_per_block: bool,
+    /// Write a Prometheus-style metrics snapshot here.
+    pub metrics_out: Option<String>,
 }
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    Stats { data: DataSource, directed: bool },
+    Stats {
+        data: DataSource,
+        directed: bool,
+    },
     Match(Box<MatchOpts>),
-    Queries { n: usize, top: usize },
+    /// `match` with tracing forced on and a profile report at the end.
+    Profile(Box<MatchOpts>),
+    Queries {
+        n: usize,
+        top: usize,
+    },
     Help,
 }
 
@@ -117,7 +147,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Stats { data, directed })
         }
-        "match" => {
+        "match" | "profile" => {
             let (data, extra) = parse_source(rest)?;
             let mut opts = MatchOpts {
                 data,
@@ -133,6 +163,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 plan_cache: 16,
                 fault_plan: None,
                 rank_timeout_ms: None,
+                partition: None,
+                trace_out: None,
+                trace_format: "chrome".into(),
+                trace_per_block: false,
+                metrics_out: None,
             };
             let mut it = extra.iter();
             while let Some(a) = it.next() {
@@ -173,11 +208,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 .map_err(|_| "--rank-timeout: bad number of milliseconds")?,
                         )
                     }
+                    "--partition" => {
+                        opts.partition = Some(take_value("--partition", &mut it)?.to_string())
+                    }
+                    "--trace-out" => {
+                        opts.trace_out = Some(take_value("--trace-out", &mut it)?.to_string())
+                    }
+                    "--trace-format" => {
+                        opts.trace_format = take_value("--trace-format", &mut it)?.to_string()
+                    }
+                    "--trace-per-block" => opts.trace_per_block = true,
+                    "--metrics-out" => {
+                        opts.metrics_out = Some(take_value("--metrics-out", &mut it)?.to_string())
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if opts.query.is_empty() {
-                return Err("match requires --query".into());
+                return Err(format!("{sub} requires --query"));
             }
             if opts.ranks == 0 {
                 return Err("--ranks must be at least 1".into());
@@ -185,7 +233,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if opts.fault_plan.is_some() && opts.ranks < 2 {
                 return Err("--fault-plan requires --ranks > 1".into());
             }
-            Ok(Command::Match(Box::new(opts)))
+            if !matches!(opts.trace_format.as_str(), "chrome" | "jsonl") {
+                return Err("--trace-format must be chrome or jsonl".into());
+            }
+            if let Some(p) = &opts.partition {
+                if !matches!(p.as_str(), "round-robin" | "block" | "all-to-zero") {
+                    return Err("--partition must be round-robin, block, or all-to-zero".into());
+                }
+            }
+            if sub == "profile" {
+                if opts.engine != "cuts" {
+                    return Err("profile supports only --engine cuts".into());
+                }
+                Ok(Command::Profile(Box::new(opts)))
+            } else {
+                Ok(Command::Match(Box::new(opts)))
+            }
         }
         other => Err(format!("unknown subcommand {other}")),
     }
@@ -316,6 +379,42 @@ mod tests {
     fn fault_plan_requires_multiple_ranks() {
         assert!(parse(&argv("match g.txt --query clique:3 --fault-plan crash:0@0")).is_err());
         assert!(parse(&argv("match g.txt --query clique:3 --rank-timeout")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_and_partition_flags() {
+        let c = parse(&argv(
+            "match g.txt --query clique:3 --trace-out t.json --trace-format jsonl \
+             --trace-per-block --metrics-out m.prom --ranks 4 --partition all-to-zero",
+        ))
+        .unwrap();
+        match c {
+            Command::Match(o) => {
+                assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+                assert_eq!(o.trace_format, "jsonl");
+                assert!(o.trace_per_block);
+                assert_eq!(o.metrics_out.as_deref(), Some("m.prom"));
+                assert_eq!(o.partition.as_deref(), Some("all-to-zero"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("match g.txt --query clique:3 --trace-format xml")).is_err());
+        assert!(parse(&argv("match g.txt --query clique:3 --partition nope")).is_err());
+    }
+
+    #[test]
+    fn parses_profile_subcommand() {
+        let c = parse(&argv("profile g.txt --query clique:3 --ranks 4")).unwrap();
+        match c {
+            Command::Profile(o) => {
+                assert_eq!(o.query, "clique:3");
+                assert_eq!(o.ranks, 4);
+                assert_eq!(o.trace_format, "chrome");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("profile g.txt --query clique:3 --engine vf2")).is_err());
+        assert!(parse(&argv("profile g.txt")).is_err());
     }
 
     #[test]

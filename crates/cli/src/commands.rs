@@ -2,12 +2,15 @@
 
 use cuts_baseline::{vf2, GsiEngine, GunrockEngine};
 use cuts_core::{EngineConfig, ExecSession, SessionStats};
-use cuts_dist::{run_distributed, DistConfig, FaultPlan};
+use cuts_dist::{run_distributed_traced, DistConfig, FaultPlan, Partition};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{chain, clique, cycle, star};
 use cuts_graph::labels::{degree_band_labels, random_labels, zipf_labels};
 use cuts_graph::stats::{degree_histogram, stats};
 use cuts_graph::{edgelist, query_set, Dataset, Graph, Scale};
+use cuts_obs::{
+    chrome_trace, jsonl, Arg, Event, EventKind, MetricsSnapshot, ToJson, Trace, TraceConfig,
+};
 
 use crate::args::{Command, DataSource, MatchOpts, USAGE};
 
@@ -42,7 +45,8 @@ pub fn run(cmd: Command) -> Result<(), CmdError> {
             println!("degree histogram (pow-2 buckets): {hist:?}");
             Ok(())
         }
-        Command::Match(opts) => run_match(&opts),
+        Command::Match(opts) => run_match(&opts, false),
+        Command::Profile(opts) => run_match(&opts, true),
     }
 }
 
@@ -128,7 +132,17 @@ fn apply_labels(spec: &str, data: Graph, query: Graph) -> Result<(Graph, Graph),
     Ok((data.with_labels(dl), query.with_labels(ql)))
 }
 
-fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
+/// Maps the `--partition` flag to the worker enum.
+fn partition_of(spec: &str) -> Result<Partition, CmdError> {
+    Ok(match spec {
+        "round-robin" => Partition::RoundRobin,
+        "block" => Partition::Block,
+        "all-to-zero" => Partition::AllToRankZero,
+        other => return Err(format!("unknown partition {other}").into()),
+    })
+}
+
+fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
     let mut data = load(&opts.data, opts.directed)?;
     let mut query = load_query(&opts.query, opts.directed)?;
     if let Some(spec) = &opts.labels {
@@ -142,6 +156,14 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
         query.num_edges()
     );
     let dev_cfg = device_config(&opts.device)?;
+    // `profile` always records; `match` only when an output asks for it.
+    let trace = if profile || opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        Trace::with_config(TraceConfig {
+            per_block: opts.trace_per_block,
+        })
+    } else {
+        Trace::disabled()
+    };
 
     if opts.ranks > 1 {
         if opts.engine != "cuts" {
@@ -152,6 +174,9 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
             dist_chunk: opts.chunk,
             ..Default::default()
         };
+        if let Some(spec) = &opts.partition {
+            config.partition = partition_of(spec)?;
+        }
         if let Some(spec) = &opts.fault_plan {
             config.fault_plan = FaultPlan::parse(spec)?;
             config.fault_plan.check_ranks(opts.ranks)?;
@@ -159,7 +184,11 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
         if let Some(ms) = opts.rank_timeout_ms {
             config.rank_timeout = std::time::Duration::from_millis(ms);
         }
-        let r = run_distributed(&data, &query, opts.ranks, &config)?;
+        let r = run_distributed_traced(&data, &query, opts.ranks, &config, &trace)?;
+        if opts.output == "json" {
+            println!("{}", r.to_json().render());
+            return finish_trace(&trace, opts, profile, r.total_matches);
+        }
         println!("matches: {}", r.total_matches);
         println!(
             "makespan: {:.3} sim-ms over {} ranks (balance {:.2})",
@@ -202,18 +231,20 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
                 r.recovery.recovery_millis
             );
         }
-        return Ok(());
+        return finish_trace(&trace, opts, profile, r.total_matches);
     }
 
-    match opts.engine.as_str() {
+    let matches: u64 = match opts.engine.as_str() {
         "vf2" => {
             let start = std::time::Instant::now();
             let count = vf2::count(&data, &query);
             println!("matches: {count}");
             println!("cpu wall: {:.3} ms", start.elapsed().as_secs_f64() * 1e3);
+            count
         }
         "cuts" => {
-            let device = Device::new(dev_cfg);
+            let mut device = Device::new(dev_cfg);
+            device.set_trace(trace.clone());
             let session = ExecSession::with_cache_capacity(
                 &device,
                 EngineConfig::default().with_chunk_size(opts.chunk),
@@ -231,74 +262,189 @@ fn run_match(opts: &MatchOpts) -> Result<(), CmdError> {
                 session.run(&data, &query)?
             };
             report(&r, Some(&session.stats()), &opts.output)?;
+            r.num_matches
         }
         "gsi" => {
-            let device = Device::new(dev_cfg);
-            report(
-                &GsiEngine::new(&device).run(&data, &query)?,
-                None,
-                &opts.output,
-            )?;
+            let mut device = Device::new(dev_cfg);
+            device.set_trace(trace.clone());
+            let r = GsiEngine::new(&device).run(&data, &query)?;
+            report(&r, None, &opts.output)?;
+            r.num_matches
         }
         "gunrock" => {
-            let device = Device::new(dev_cfg);
-            report(
-                &GunrockEngine::new(&device).run(&data, &query)?,
-                None,
-                &opts.output,
-            )?;
+            let mut device = Device::new(dev_cfg);
+            device.set_trace(trace.clone());
+            let r = GunrockEngine::new(&device).run(&data, &query)?;
+            report(&r, None, &opts.output)?;
+            r.num_matches
         }
         other => return Err(format!("unknown engine {other}").into()),
+    };
+    finish_trace(&trace, opts, profile, matches)
+}
+
+/// Renders a match result as a single JSON tree; session stats, when
+/// available, are attached as a `"session"` object.
+fn to_json(r: &cuts_core::MatchResult, stats: Option<&SessionStats>) -> String {
+    let mut root = r.to_json();
+    if let Some(s) = stats {
+        root.set("session", s.to_json());
+    }
+    root.render()
+}
+
+/// Drains the journal and writes the requested artifacts: the trace file
+/// (`--trace-out`), the metrics snapshot (`--metrics-out`), and — for the
+/// `profile` subcommand — a per-kernel / per-level breakdown on stdout.
+fn finish_trace(
+    trace: &Trace,
+    opts: &MatchOpts,
+    profile: bool,
+    matches: u64,
+) -> Result<(), CmdError> {
+    let Some(journal) = trace.journal() else {
+        return Ok(());
+    };
+    let events = journal.snapshot_sorted();
+    if let Some(path) = &opts.trace_out {
+        let text = match opts.trace_format.as_str() {
+            "jsonl" => jsonl(&events),
+            _ => chrome_trace(&events),
+        };
+        std::fs::write(path, text)?;
+        println!("trace: {} event(s) written to {path}", events.len());
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, metrics_snapshot(&events, matches).render())?;
+        println!("metrics: written to {path}");
+    }
+    if profile {
+        print_profile(&events);
     }
     Ok(())
 }
 
-/// Renders a match result as a single JSON object (hand-rolled; every
-/// field is numeric or boolean, so no escaping is needed). Session stats,
-/// when available, are attached as a `"session"` object.
-fn to_json(r: &cuts_core::MatchResult, stats: Option<&SessionStats>) -> String {
-    let levels: Vec<String> = r.level_counts.iter().map(u64::to_string).collect();
-    let session = stats.map(session_json).unwrap_or_default();
-    format!(
-        concat!(
-            "{{\"matches\":{},\"level_counts\":[{}],\"cuts_words\":{},",
-            "\"naive_words\":{},\"sim_millis\":{},\"wall_millis\":{},",
-            "\"used_chunking\":{},\"counters\":{{\"dram_reads\":{},",
-            "\"dram_writes\":{},\"shmem_reads\":{},\"shmem_writes\":{},",
-            "\"atomics\":{},\"instructions\":{}}}{}}}"
-        ),
-        r.num_matches,
-        levels.join(","),
-        r.cuts_words(),
-        r.naive_words(),
-        r.sim_millis,
-        r.wall_millis,
-        r.used_chunking,
-        r.counters.dram_reads,
-        r.counters.dram_writes,
-        r.counters.shmem_reads,
-        r.counters.shmem_writes,
-        r.counters.atomics,
-        r.counters.instructions,
-        session,
-    )
+/// Sum of a `u64` argument over events, by key.
+fn arg_u64(e: &Event, key: &str) -> u64 {
+    match e.arg(key) {
+        Some(Arg::U64(v)) => *v,
+        _ => 0,
+    }
 }
 
-fn session_json(s: &SessionStats) -> String {
-    format!(
-        concat!(
-            ",\"session\":{{\"runs\":{},\"plan_builds\":{},\"plan_hits\":{},",
-            "\"plan_evictions\":{},\"pool_device_allocs\":{},\"pool_reuses\":{},",
-            "\"trie_entries\":{}}}"
-        ),
-        s.runs,
-        s.plans.misses,
-        s.plans.hits,
-        s.plans.evictions,
-        s.pool.device_allocs,
-        s.pool.reuses,
-        s.trie_entries.unwrap_or(0),
-    )
+/// Aggregates the journal into a Prometheus-style snapshot.
+fn metrics_snapshot(events: &[Event], matches: u64) -> MetricsSnapshot {
+    use std::collections::BTreeMap;
+    let mut snap = MetricsSnapshot::new();
+    snap.push_help("cuts_matches_total", matches as f64, "embeddings found");
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    // name -> (count, micros, instructions, dram reads)
+    let mut kernels: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
+    let (mut pool_hits, mut pool_misses) = (0u64, 0u64);
+    for e in events {
+        *by_kind.entry(e.kind.as_str()).or_default() += 1;
+        match e.kind {
+            EventKind::Kernel if e.dur_us.is_some() && e.counters.is_some() => {
+                let c = e.counters.unwrap();
+                let k = kernels.entry(e.name.clone()).or_default();
+                k.0 += 1;
+                k.1 += e.dur_us.unwrap_or(0);
+                k.2 += c.instructions;
+                k.3 += c.dram_reads;
+            }
+            EventKind::Pool if e.name == "hit" => pool_hits += 1,
+            EventKind::Pool if e.name == "miss" => pool_misses += 1,
+            _ => {}
+        }
+    }
+    for (kind, n) in &by_kind {
+        snap.push_labeled("cuts_events_total", &[("kind", kind)], *n as f64);
+    }
+    for (name, (count, micros, instructions, dram_reads)) in &kernels {
+        snap.push_labeled("cuts_kernel_launches", &[("kernel", name)], *count as f64);
+        snap.push_labeled("cuts_kernel_micros", &[("kernel", name)], *micros as f64);
+        snap.push_labeled(
+            "cuts_kernel_instructions",
+            &[("kernel", name)],
+            *instructions as f64,
+        );
+        snap.push_labeled(
+            "cuts_kernel_dram_reads",
+            &[("kernel", name)],
+            *dram_reads as f64,
+        );
+    }
+    snap.push_help(
+        "cuts_pool_hits_total",
+        pool_hits as f64,
+        "buffer-pool acquires served by recycling",
+    );
+    snap.push_help(
+        "cuts_pool_misses_total",
+        pool_misses as f64,
+        "buffer-pool acquires that hit the device allocator",
+    );
+    snap
+}
+
+/// The `cuts profile` report: per-kernel and per-level aggregates plus an
+/// event census, from one journal drain.
+fn print_profile(events: &[Event]) {
+    use std::collections::BTreeMap;
+    // kernel name -> (launches, micros, instructions, dram reads)
+    let mut kernels: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
+    // level name -> (steps, micros, paths)
+    let mut levels: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    let mut census: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut ranks = std::collections::BTreeSet::new();
+    for e in events {
+        *census.entry(e.kind.as_str()).or_default() += 1;
+        if let Some(r) = e.rank {
+            ranks.insert(r);
+        }
+        match e.kind {
+            // Per-block spans (SM lanes) carry block counters; skip them
+            // here so launch totals are not double counted.
+            EventKind::Kernel if e.arg("blocks").is_some() => {
+                let c = e.counters.unwrap_or_default();
+                let k = kernels.entry(e.name.clone()).or_default();
+                k.0 += 1;
+                k.1 += e.dur_us.unwrap_or(0);
+                k.2 += c.instructions;
+                k.3 += c.dram_reads;
+            }
+            EventKind::Level => {
+                let l = levels.entry(e.name.clone()).or_default();
+                l.0 += 1;
+                l.1 += e.dur_us.unwrap_or(0);
+                l.2 += arg_u64(e, "paths");
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "profile: {} event(s), {} rank(s)",
+        events.len(),
+        ranks.len()
+    );
+    println!("  per kernel:");
+    for (name, (launches, micros, instructions, dram_reads)) in &kernels {
+        println!(
+            "    {name:<16} {launches:>6} launch(es) {:>9.3} ms  {instructions:>10} instr  {dram_reads:>10} dram reads",
+            *micros as f64 / 1e3
+        );
+    }
+    println!("  per level:");
+    for (name, (steps, micros, paths)) in &levels {
+        println!(
+            "    {name:<16} {steps:>6} step(s)    {:>9.3} ms  {paths:>10} paths",
+            *micros as f64 / 1e3
+        );
+    }
+    println!("  events by kind:");
+    for (kind, n) in &census {
+        println!("    {kind:<16} {n:>6}");
+    }
 }
 
 fn report(
@@ -394,11 +540,16 @@ mod tests {
             plan_cache: 16,
             fault_plan: None,
             rank_timeout_ms: None,
+            partition: None,
+            trace_out: None,
+            trace_format: "chrome".into(),
+            trace_per_block: false,
+            metrics_out: None,
         };
-        run_match(&opts).unwrap();
+        run_match(&opts, false).unwrap();
         // Distributed path too.
         let opts = MatchOpts { ranks: 2, ..opts };
-        run_match(&opts).unwrap();
+        run_match(&opts, false).unwrap();
     }
 
     #[test]
@@ -420,7 +571,12 @@ mod tests {
             plan_cache: 16,
             fault_plan: Some("crash:1@0, drop:0->1@2".into()),
             rank_timeout_ms: Some(40),
+            partition: None,
+            trace_out: None,
+            trace_format: "chrome".into(),
+            trace_per_block: false,
+            metrics_out: None,
         };
-        run_match(&opts).unwrap();
+        run_match(&opts, false).unwrap();
     }
 }

@@ -26,7 +26,7 @@ pub fn init_candidates(
     let q_in = plan.q_in[0];
     let q_label = plan.q_label[0];
     let blocks = max_blocks.min(n).max(1);
-    device.launch(blocks, |ctx| {
+    device.launch_named("init_candidates", blocks, |ctx| {
         let mut local: Vec<VertexId> = Vec::new();
         let mut v = ctx.block_id;
         while v < n {
@@ -91,7 +91,7 @@ pub fn expand_range(
     let total = frontier.len();
     let blocks = p.max_blocks.min(total).max(1);
 
-    device.launch(blocks, |ctx| {
+    device.launch_named("expand", blocks, |ctx| {
         // Workhorse scratch, reused across this block's paths.
         let mut path: Vec<VertexId> = Vec::with_capacity(p.pos);
         let mut lists: Vec<&[VertexId]> = Vec::with_capacity(back.len());

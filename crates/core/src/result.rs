@@ -1,6 +1,7 @@
 //! Run results and statistics.
 
 use cuts_gpu_sim::Counters;
+use cuts_obs::{Json, ToJson};
 use cuts_trie::space::LevelCounts;
 
 /// Outcome of a successful matching run.
@@ -40,6 +41,28 @@ impl MatchResult {
     /// Trie words this run needed.
     pub fn cuts_words(&self) -> u64 {
         self.space().cuts_words(self.level_counts.len())
+    }
+}
+
+impl ToJson for MatchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("num_matches", Json::U64(self.num_matches)),
+            (
+                "level_counts",
+                Json::Arr(self.level_counts.iter().map(|&c| Json::U64(c)).collect()),
+            ),
+            (
+                "order",
+                Json::Arr(self.order.iter().map(|&q| Json::U64(q as u64)).collect()),
+            ),
+            ("used_chunking", Json::Bool(self.used_chunking)),
+            ("sim_millis", Json::F64(self.sim_millis)),
+            ("wall_millis", Json::F64(self.wall_millis)),
+            ("naive_words", Json::U64(self.naive_words())),
+            ("cuts_words", Json::U64(self.cuts_words())),
+            ("counters", self.counters.to_json()),
+        ])
     }
 }
 

@@ -27,6 +27,7 @@ use rand::SeedableRng;
 use cuts_gpu_sim::{BufferPool, CostModel, Counters, Device, DeviceError, PoolStats};
 use cuts_graph::components::{extract_component, weakly_connected_components};
 use cuts_graph::Graph;
+use cuts_obs::{Arg, EventKind, Json, ToJson};
 use cuts_trie::{PairTable, Trie};
 
 use crate::cache::{PlanCache, PlanCacheStats};
@@ -54,6 +55,32 @@ pub struct SessionStats {
     pub pool: PoolStats,
     /// Trie entry capacity the session settled on (fixed at first run).
     pub trie_entries: Option<usize>,
+}
+
+impl ToJson for SessionStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", Json::U64(self.runs)),
+            (
+                "plans",
+                Json::obj([
+                    ("hits", Json::U64(self.plans.hits)),
+                    ("misses", Json::U64(self.plans.misses)),
+                    ("evictions", Json::U64(self.plans.evictions)),
+                    ("len", Json::U64(self.plans.len as u64)),
+                    ("hit_ratio", Json::F64(self.plans.hit_ratio())),
+                ]),
+            ),
+            ("pool", self.pool.to_json()),
+            (
+                "trie_entries",
+                match self.trie_entries {
+                    Some(e) => Json::U64(e as u64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
 }
 
 /// A reusable executor binding an [`EngineConfig`] to one [`Device`].
@@ -135,7 +162,23 @@ impl<'d> ExecSession<'d> {
     /// The (cached) plan for `query` under this session's configuration
     /// and device class.
     pub fn plan_for(&self, query: &Graph) -> Result<Arc<QueryPlan>, EngineError> {
-        self.plans.get_or_build(query, &self.config, &self.class)
+        let trace = self.device.trace();
+        if !trace.is_enabled() {
+            return self.plans.get_or_build(query, &self.config, &self.class);
+        }
+        let hits_before = self.plans.stats().hits;
+        let plan = self.plans.get_or_build(query, &self.config, &self.class);
+        let name = if self.plans.stats().hits > hits_before {
+            "hit"
+        } else {
+            "miss"
+        };
+        trace.instant_with(
+            EventKind::Plan,
+            name,
+            &[("query_n", Arg::U64(query.num_vertices() as u64))],
+        );
+        plan
     }
 
     /// Counts all embeddings of `query` in `data`. The query must be
@@ -299,6 +342,11 @@ impl<'d> ExecSession<'d> {
                     ((self.device.free_words() as f64 * self.config.trie_fraction) / 2.0) as usize;
                 let e = e.max(1);
                 self.trie_entries.set(Some(e));
+                self.device.trace().instant_with(
+                    EventKind::Trie,
+                    "size",
+                    &[("entries", Arg::U64(e as u64))],
+                );
                 e
             }
         };
@@ -327,13 +375,26 @@ impl<'d> ExecSession<'d> {
         sink: Option<MatchSink<'_>>,
         seed: Option<&cuts_trie::HostTrie>,
     ) -> Result<MatchResult, EngineError> {
+        let trace = self.device.trace();
+        let mut rspan = if trace.is_enabled() {
+            let mut s = trace.span(EventKind::Run, "run");
+            s.arg("query_n", Arg::U64(plan.len() as u64));
+            s.arg("data_n", Arg::U64(data.num_vertices() as u64));
+            Some(s)
+        } else {
+            None
+        };
         let wall_start = Instant::now();
         let scope = self.device.counter_scope();
         let mut trie = self.acquire_trie()?;
         let out = self.run_core(plan, data, &mut trie, sink, seed, wall_start, &scope);
         self.release_trie(trie);
-        if out.is_ok() {
+        if let Ok(r) = &out {
             self.runs.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = &mut rspan {
+                s.arg("matches", Arg::U64(r.num_matches));
+                s.counters(r.counters.into());
+            }
         }
         out
     }
@@ -378,7 +439,16 @@ impl<'d> ExecSession<'d> {
         let mut pos = start_pos;
         let mut chunked_total: Option<u64> = None;
 
+        let trace = self.device.trace();
         while pos < n && !frontier.is_empty() {
+            let mut lspan = if trace.is_enabled() {
+                let mut s = trace.span(EventKind::Level, &format!("level {pos}"));
+                s.arg("pos", Arg::U64(pos as u64));
+                s.arg("frontier", Arg::U64(frontier.len() as u64));
+                Some(s)
+            } else {
+                None
+            };
             let pre_len = trie.table().len();
             let placement = self.placement(&mut rng, &frontier);
             let params = ExpandParams {
@@ -394,6 +464,9 @@ impl<'d> ExecSession<'d> {
                 Ok(()) => {
                     let lvl = trie.seal_level();
                     level_counts[pos] += lvl.len() as u64;
+                    if let Some(s) = &mut lspan {
+                        s.arg("paths", Arg::U64(lvl.len() as u64));
+                    }
                     frontier = lvl;
                     pos += 1;
                 }
@@ -402,6 +475,15 @@ impl<'d> ExecSession<'d> {
                     // and walk the remaining depths chunk by chunk.
                     trie.table().truncate(pre_len);
                     used_chunking = true;
+                    drop(lspan.take());
+                    trace.instant_with(
+                        EventKind::Trie,
+                        "spill",
+                        &[
+                            ("depth", Arg::U64(pos as u64)),
+                            ("frontier", Arg::U64(frontier.len() as u64)),
+                        ],
+                    );
                     let total = self.process_chunks(
                         data,
                         plan,
@@ -512,6 +594,14 @@ impl<'d> ExecSession<'d> {
                     if chunk.len() == 1 {
                         return Err(EngineError::CapacityExhausted { depth: pos });
                     }
+                    self.device.trace().instant_with(
+                        EventKind::Trie,
+                        "halve",
+                        &[
+                            ("depth", Arg::U64(pos as u64)),
+                            ("chunk", Arg::U64(chunk.len() as u64)),
+                        ],
+                    );
                     // Halve locally and retry this chunk.
                     total += self.process_chunks(
                         data,

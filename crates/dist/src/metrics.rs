@@ -1,6 +1,7 @@
 //! Per-rank and aggregate metrics for the distributed runs (Figures 4-5).
 
 use cuts_gpu_sim::Counters;
+use cuts_obs::{Json, ToJson};
 
 /// Metrics for one rank.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +50,37 @@ pub struct RankMetrics {
     pub counters: Counters,
 }
 
+impl ToJson for RankMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rank", Json::U64(self.rank as u64)),
+            ("matches", Json::U64(self.matches)),
+            ("busy_sim_millis", Json::F64(self.busy_sim_millis)),
+            ("busy_wall_millis", Json::F64(self.busy_wall_millis)),
+            ("jobs_processed", Json::U64(self.jobs_processed as u64)),
+            ("donations_sent", Json::U64(self.donations_sent as u64)),
+            (
+                "donations_received",
+                Json::U64(self.donations_received as u64),
+            ),
+            ("messages_sent", Json::U64(self.messages_sent)),
+            ("bytes_sent", Json::U64(self.bytes_sent)),
+            (
+                "chunks_reassigned",
+                Json::U64(self.chunks_reassigned as u64),
+            ),
+            ("duplicate_chunks", Json::U64(self.duplicate_chunks as u64)),
+            ("plan_builds", Json::U64(self.plan_builds)),
+            ("plan_reuses", Json::U64(self.plan_reuses)),
+            ("buffer_reuses", Json::U64(self.buffer_reuses)),
+            ("messages_dropped", Json::U64(self.messages_dropped)),
+            ("messages_delayed", Json::U64(self.messages_delayed)),
+            ("lost", Json::Bool(self.lost)),
+            ("counters", self.counters.to_json()),
+        ])
+    }
+}
+
 /// Aggregate fault-recovery metrics for a run. All-zero in a fault-free
 /// run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -74,6 +106,32 @@ impl RecoveryStats {
     /// True when the run saw no faults at all.
     pub fn is_clean(&self) -> bool {
         *self == RecoveryStats::default()
+    }
+}
+
+impl ToJson for RecoveryStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ranks_lost", Json::U64(self.ranks_lost as u64)),
+            (
+                "lost_ranks",
+                Json::Arr(
+                    self.lost_ranks
+                        .iter()
+                        .map(|&r| Json::U64(r as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "chunks_reassigned",
+                Json::U64(self.chunks_reassigned as u64),
+            ),
+            ("duplicate_chunks", Json::U64(self.duplicate_chunks as u64)),
+            ("messages_dropped", Json::U64(self.messages_dropped)),
+            ("messages_delayed", Json::U64(self.messages_delayed)),
+            ("recovery_millis", Json::F64(self.recovery_millis)),
+            ("clean", Json::Bool(self.is_clean())),
+        ])
     }
 }
 
@@ -113,6 +171,22 @@ impl DistResult {
             .map(|r| r.busy_sim_millis)
             .fold(f64::INFINITY, f64::min);
         min / max
+    }
+}
+
+impl ToJson for DistResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_matches", Json::U64(self.total_matches)),
+            ("wall_millis", Json::F64(self.wall_millis)),
+            ("makespan_sim_millis", Json::F64(self.makespan_sim_millis())),
+            ("balance_ratio", Json::F64(self.balance_ratio())),
+            (
+                "per_rank",
+                Json::Arr(self.per_rank.iter().map(ToJson::to_json).collect()),
+            ),
+            ("recovery", self.recovery.to_json()),
+        ])
     }
 }
 

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cuts_graph::Graph;
+use cuts_obs::{Arg, EventKind, Trace};
 
 pub use crate::config::DistConfig;
 use crate::fault::FaultInjector;
@@ -67,7 +68,28 @@ pub fn run_distributed(
     ranks: usize,
     config: &DistConfig,
 ) -> Result<DistResult, WorkerError> {
+    run_distributed_traced(data, query, ranks, config, &Trace::disabled())
+}
+
+/// [`run_distributed`] with a trace: every rank's kernel launches, level
+/// expansions, chunk lifecycle, donations, heartbeats, and injected
+/// faults are journalled into `trace` (rank-tagged), wrapped in one
+/// `distributed` span on the caller's lane.
+pub fn run_distributed_traced(
+    data: &Graph,
+    query: &Graph,
+    ranks: usize,
+    config: &DistConfig,
+    trace: &Trace,
+) -> Result<DistResult, WorkerError> {
     assert!(ranks >= 1);
+    let mut run_span = if trace.is_enabled() {
+        let mut s = trace.span(EventKind::Run, "distributed");
+        s.arg("ranks", Arg::U64(ranks as u64));
+        Some(s)
+    } else {
+        None
+    };
     let injector = if config.fault_plan.is_empty() {
         None
     } else {
@@ -76,7 +98,7 @@ pub fn run_distributed(
             ranks,
         )))
     };
-    let shared = Shared::new(ranks, injector.clone());
+    let shared = Shared::with_trace(ranks, injector.clone(), trace.clone());
     let comms = Comm::universe_with_faults(ranks, injector.clone());
     let start = Instant::now();
     let outcomes: Vec<Result<(u64, RankMetrics), WorkerError>> = std::thread::scope(|s| {
@@ -151,14 +173,18 @@ pub fn run_distributed(
         messages_delayed: per_rank.iter().map(|m| m.messages_delayed).sum(),
         recovery_millis: shared.ledger.recovery_millis(),
     };
-    Ok(DistResult {
+    let result = DistResult {
         // The ledger sum, not the per-rank sum: immune to duplicated or
         // re-executed chunks.
         total_matches: shared.ledger.total_matches(),
         per_rank,
         wall_millis: start.elapsed().as_secs_f64() * 1e3,
         recovery,
-    })
+    };
+    if let Some(s) = &mut run_span {
+        s.arg("matches", Arg::U64(result.total_matches));
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

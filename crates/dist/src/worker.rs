@@ -32,6 +32,7 @@ use bytes::Bytes;
 use cuts_core::{EngineError, ExecSession, MatchOrder};
 use cuts_gpu_sim::Device;
 use cuts_graph::Graph;
+use cuts_obs::{Arg, EventKind, Trace};
 use cuts_trie::serial::WireError;
 use cuts_trie::HostTrie;
 
@@ -115,16 +116,25 @@ pub struct Shared {
     /// any rank may observe `all_completed`, so an early-idle rank can
     /// never conclude the run is over while peers are still registering.
     pub barrier: Arc<Barrier>,
+    /// Trace handle the whole universe emits into; each worker derives a
+    /// rank-tagged view. Disabled unless built via [`Shared::with_trace`].
+    pub trace: Trace,
 }
 
 impl Shared {
     /// Fresh shared state for a universe of `ranks` workers.
     pub fn new(ranks: usize, injector: Option<Arc<FaultInjector>>) -> Self {
+        Self::with_trace(ranks, injector, Trace::disabled())
+    }
+
+    /// Shared state whose workers record into `trace`'s journal.
+    pub fn with_trace(ranks: usize, injector: Option<Arc<FaultInjector>>, trace: Trace) -> Self {
         Shared {
             ledger: Arc::new(ChunkLedger::new()),
             alive: Arc::new(AliveBoard::new(ranks)),
             injector,
             barrier: Arc::new(Barrier::new(ranks)),
+            trace,
         }
     }
 }
@@ -153,6 +163,8 @@ pub struct Worker<'a> {
     board: StatusBoard,
     metrics: RankMetrics,
     shared: Shared,
+    /// Rank-tagged view of the shared trace.
+    trace: Trace,
     /// Chunks this rank has committed (the crash-boundary clock).
     chunks_done: usize,
     last_heartbeat: Instant,
@@ -170,6 +182,7 @@ impl<'a> Worker<'a> {
         let rank = comm.rank();
         let size = comm.size();
         let heartbeat_interval = config.heartbeat_interval;
+        let trace = shared.trace.with_rank(rank);
         Worker {
             comm,
             config,
@@ -181,6 +194,7 @@ impl<'a> Worker<'a> {
                 ..Default::default()
             },
             shared,
+            trace,
             chunks_done: 0,
             // Back-dated so the first tick fires immediately: every rank
             // announces itself even on runs shorter than one interval.
@@ -236,7 +250,8 @@ impl<'a> Worker<'a> {
         // once and keeps the trie buffers pooled, so every chunk this rank
         // processes — including donations and recovery replays — runs
         // without new device allocations.
-        let device = Device::new(self.config.device.clone());
+        let mut device = Device::new(self.config.device.clone());
+        device.set_trace(self.trace.clone());
         let session = ExecSession::new(&device, self.config.engine.clone());
         // Register this rank's chunks, then rendezvous: all chunks of all
         // ranks must be in the ledger before anyone can observe
@@ -251,6 +266,14 @@ impl<'a> Worker<'a> {
             for trie in jobs {
                 let id = self.shared.ledger.new_id();
                 self.shared.ledger.register(id, self.comm.rank(), trie);
+                self.trace.instant_with(
+                    EventKind::Chunk,
+                    "assign",
+                    &[
+                        ("id", Arg::U64(id)),
+                        ("paths", Arg::U64(trie.levels[0].len() as u64)),
+                    ],
+                );
                 queue.push_back(Chunk {
                     id,
                     trie: trie.clone(),
@@ -300,6 +323,14 @@ impl<'a> Worker<'a> {
                             let refs: Vec<(ChunkId, &HostTrie)> =
                                 children.iter().map(|c| (c.id, &c.trie)).collect();
                             if self.shared.ledger.split(chunk.id, self.comm.rank(), &refs) {
+                                self.trace.instant_with(
+                                    EventKind::Chunk,
+                                    "split",
+                                    &[
+                                        ("id", Arg::U64(chunk.id)),
+                                        ("children", Arg::U64(children.len() as u64)),
+                                    ],
+                                );
                                 queue.extend(children);
                             } else {
                                 // Parent already committed elsewhere: this
@@ -351,15 +382,29 @@ impl<'a> Worker<'a> {
             return Ok(());
         };
         match inj.should_crash(self.comm.rank(), self.chunks_done) {
-            Some(CrashKind::Panic) => panic!(
-                "injected fault: rank {} panics after {} chunks",
-                self.comm.rank(),
-                self.chunks_done
-            ),
-            Some(CrashKind::Error) => Err(WorkerError::InjectedCrash {
-                rank: self.comm.rank(),
-                after_chunks: self.chunks_done,
-            }),
+            Some(CrashKind::Panic) => {
+                self.trace.instant_with(
+                    EventKind::Fault,
+                    "panic",
+                    &[("after_chunks", Arg::U64(self.chunks_done as u64))],
+                );
+                panic!(
+                    "injected fault: rank {} panics after {} chunks",
+                    self.comm.rank(),
+                    self.chunks_done
+                )
+            }
+            Some(CrashKind::Error) => {
+                self.trace.instant_with(
+                    EventKind::Fault,
+                    "crash",
+                    &[("after_chunks", Arg::U64(self.chunks_done as u64))],
+                );
+                Err(WorkerError::InjectedCrash {
+                    rank: self.comm.rank(),
+                    after_chunks: self.chunks_done,
+                })
+            }
             None => Ok(()),
         }
     }
@@ -369,6 +414,13 @@ impl<'a> Worker<'a> {
         if self.last_heartbeat.elapsed() >= self.config.heartbeat_interval {
             self.comm
                 .broadcast_others(tag::HEARTBEAT, Bytes::from(vec![status.to_byte()]));
+            self.trace.instant(
+                EventKind::Heartbeat,
+                match status {
+                    Status::Free => "free",
+                    Status::Busy => "busy",
+                },
+            );
             self.last_heartbeat = Instant::now();
         }
     }
@@ -379,8 +431,15 @@ impl<'a> Worker<'a> {
         if self.shared.ledger.commit(id, matches) {
             *total += matches;
             self.chunks_done += 1;
+            self.trace.instant_with(
+                EventKind::Chunk,
+                "commit",
+                &[("id", Arg::U64(id)), ("matches", Arg::U64(matches))],
+            );
         } else {
             self.metrics.duplicate_chunks += 1;
+            self.trace
+                .instant_with(EventKind::Chunk, "duplicate", &[("id", Arg::U64(id))]);
         }
     }
 
@@ -428,6 +487,11 @@ impl<'a> Worker<'a> {
     fn accept_work(&mut self, payload: Bytes) -> Result<Vec<Chunk>, WireError> {
         let w = WorkPayload::decode(payload)?;
         self.metrics.donations_received += 1;
+        self.trace.instant_with(
+            EventKind::Donation,
+            "receive",
+            &[("chunks", Arg::U64(w.jobs.len() as u64))],
+        );
         let mut fresh = Vec::new();
         for DonatedChunk { id, trie } in w.jobs {
             if self.shared.ledger.transfer(id, self.comm.rank()) {
@@ -512,6 +576,14 @@ impl<'a> Worker<'a> {
                     for dc in &jobs {
                         self.shared.ledger.transfer(dc.id, target);
                     }
+                    self.trace.instant_with(
+                        EventKind::Donation,
+                        "send",
+                        &[
+                            ("target", Arg::U64(target as u64)),
+                            ("chunks", Arg::U64(jobs.len() as u64)),
+                        ],
+                    );
                     let payload = WorkPayload { jobs }.encode();
                     self.comm.send(target, tag::WORK, payload);
                     self.board.mark_busy(target);
@@ -582,6 +654,11 @@ impl<'a> Worker<'a> {
                 last_reclaim = Instant::now();
                 if !claimed.is_empty() {
                     self.metrics.chunks_reassigned += claimed.len();
+                    self.trace.instant_with(
+                        EventKind::Chunk,
+                        "reclaim",
+                        &[("chunks", Arg::U64(claimed.len() as u64))],
+                    );
                     self.comm.broadcast_others(tag::BUSY, Bytes::new());
                     return Ok(Idle::Work(
                         claimed

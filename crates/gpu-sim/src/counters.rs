@@ -3,6 +3,8 @@
 use std::ops::{AddAssign, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use cuts_obs::{CounterDelta, Json, ToJson};
+
 /// A snapshot of hardware metrics. All units are events (reads/writes are in
 /// words, instructions in dynamic instruction count).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +45,41 @@ impl Counters {
         } else {
             num as f64 / den as f64
         }
+    }
+
+    /// [`Counters::ratio`] rendered for reports: `"5.0"`, or `"inf"` when
+    /// the denominator is zero. Raw `f64::INFINITY` used to leak into
+    /// JSON output (where it is unrepresentable); report paths must go
+    /// through this (or a [`cuts_obs::Json`] tree, whose writer emits
+    /// non-finite floats as strings).
+    pub fn ratio_str(num: u64, den: u64) -> String {
+        let r = Self::ratio(num, den);
+        if r.is_finite() {
+            format!("{r:.1}")
+        } else {
+            "inf".to_string()
+        }
+    }
+}
+
+impl From<Counters> for CounterDelta {
+    fn from(c: Counters) -> CounterDelta {
+        CounterDelta {
+            dram_reads: c.dram_reads,
+            dram_writes: c.dram_writes,
+            shmem_reads: c.shmem_reads,
+            shmem_writes: c.shmem_writes,
+            atomics: c.atomics,
+            instructions: c.instructions,
+            divergent_branches: c.divergent_branches,
+            kernel_launches: c.kernel_launches,
+        }
+    }
+}
+
+impl ToJson for Counters {
+    fn to_json(&self) -> Json {
+        CounterDelta::from(*self).to_json()
     }
 }
 
@@ -288,5 +325,33 @@ mod tests {
         assert_eq!(Counters::ratio(10, 2), 5.0);
         assert_eq!(Counters::ratio(0, 0), 1.0);
         assert!(Counters::ratio(3, 0).is_infinite());
+    }
+
+    #[test]
+    fn ratio_str_never_leaks_infinity() {
+        assert_eq!(Counters::ratio_str(10, 2), "5.0");
+        assert_eq!(Counters::ratio_str(3, 0), "inf");
+        assert_eq!(Counters::ratio_str(0, 0), "1.0");
+    }
+
+    #[test]
+    fn counters_to_json_roundtrip() {
+        let c = Counters {
+            dram_reads: 1,
+            dram_writes: 2,
+            shmem_reads: 3,
+            shmem_writes: 4,
+            atomics: 5,
+            instructions: 6,
+            divergent_branches: 7,
+            kernel_launches: 8,
+        };
+        let j = c.to_json();
+        assert_eq!(j.get("dram_reads").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("kernel_launches").unwrap().as_u64(), Some(8));
+        Json::parse(&j.render()).unwrap();
+        let d = CounterDelta::from(c);
+        assert_eq!(d.instructions, 6);
+        assert!(!d.is_zero());
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use cuts_obs::{Arg, EventKind, Trace, SM_LANE_BASE};
 use rayon::prelude::*;
 
 use crate::buffer::GlobalBuffer;
@@ -22,17 +23,36 @@ pub struct Device {
     /// asserted as "this number did not move".
     alloc_calls: AtomicU64,
     counters: AtomicCounters,
+    trace: Trace,
 }
 
 impl Device {
-    /// Creates a device with the given configuration.
+    /// Creates a device with the given configuration. Tracing starts
+    /// disabled; see [`Device::set_trace`].
     pub fn new(config: DeviceConfig) -> Self {
         Device {
             config,
             allocated: Arc::new(AtomicUsize::new(0)),
             alloc_calls: AtomicU64::new(0),
             counters: AtomicCounters::default(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a trace handle: every subsequent launch emits a
+    /// [`EventKind::Kernel`] span carrying the launch's counter delta (and,
+    /// when the trace config asks for `per_block`, one span per block on an
+    /// `SM n` lane).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The trace handle launches emit into (disabled by default). Shared
+    /// by collaborators that account work to this device, e.g. the buffer
+    /// pool.
+    #[inline]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Device configuration.
@@ -95,10 +115,30 @@ impl Device {
     where
         F: Fn(&mut BlockCtx) -> Result<(), DeviceError> + Sync,
     {
+        self.launch_named("kernel", num_blocks, f)
+    }
+
+    /// [`Device::launch`] with a kernel name for the trace. When a trace is
+    /// attached the launch is recorded as one [`EventKind::Kernel`] span
+    /// carrying the grid size and the launch's counter delta; with
+    /// `per_block` tracing each block additionally gets its own span on an
+    /// `SM n` lane (blocks scheduled round-robin over the configured SMs).
+    pub fn launch_named<F>(&self, name: &str, num_blocks: usize, f: F) -> Result<(), DeviceError>
+    where
+        F: Fn(&mut BlockCtx) -> Result<(), DeviceError> + Sync,
+    {
+        let mut span = if self.trace.is_enabled() {
+            let mut s = self.trace.span(EventKind::Kernel, name);
+            s.arg("blocks", Arg::U64(num_blocks as u64));
+            Some((s, self.counters.snapshot()))
+        } else {
+            None
+        };
+        let per_block = self.trace.is_enabled() && self.trace.config().per_block;
         let mut launch = BlockCounters::default();
         launch.c.kernel_launches = 1;
         self.counters.merge(&launch.c);
-        (0..num_blocks)
+        let result = (0..num_blocks)
             .into_par_iter()
             .map(|block_id| {
                 let mut ctx = BlockCtx {
@@ -108,11 +148,24 @@ impl Device {
                     shared_capacity: self.config.shared_mem_words_per_block,
                     shared_used: 0,
                 };
-                let r = f(&mut ctx);
+                let r = if per_block {
+                    let mut s = self.trace.span(EventKind::Kernel, name);
+                    s.lane(SM_LANE_BASE + (block_id % self.config.num_sms) as u32);
+                    s.arg("block", Arg::U64(block_id as u64));
+                    let r = f(&mut ctx);
+                    s.counters(ctx.counters.c.into());
+                    r
+                } else {
+                    f(&mut ctx)
+                };
                 self.counters.merge(&ctx.counters.c);
                 r
             })
-            .reduce(|| Ok(()), |a, b| a.and(b))
+            .reduce(|| Ok(()), |a, b| a.and(b));
+        if let Some((s, before)) = &mut span {
+            s.counters((self.counters.snapshot() - *before).into());
+        }
+        result
     }
 
     /// Runs a single implicit block on the calling thread (for tiny kernels
@@ -121,6 +174,21 @@ impl Device {
     where
         F: FnOnce(&mut BlockCtx) -> T,
     {
+        self.run_single_block_named("single_block", f)
+    }
+
+    /// [`Device::run_single_block`] with a kernel name for the trace.
+    pub fn run_single_block_named<F, T>(&self, name: &str, f: F) -> T
+    where
+        F: FnOnce(&mut BlockCtx) -> T,
+    {
+        let mut span = if self.trace.is_enabled() {
+            let mut s = self.trace.span(EventKind::Kernel, name);
+            s.arg("blocks", Arg::U64(1));
+            Some((s, self.counters.snapshot()))
+        } else {
+            None
+        };
         let mut ctx = BlockCtx {
             block_id: 0,
             num_blocks: 1,
@@ -133,6 +201,9 @@ impl Device {
         self.counters.merge(&launch.c);
         let out = f(&mut ctx);
         self.counters.merge(&ctx.counters.c);
+        if let Some((s, before)) = &mut span {
+            s.counters((self.counters.snapshot() - *before).into());
+        }
         out
     }
 
@@ -250,6 +321,45 @@ mod tests {
             assert_eq!(a.len(), 4000);
             assert!(ctx.alloc_shared(200).is_err());
         });
+    }
+
+    #[test]
+    fn traced_launch_emits_kernel_span_with_counter_delta() {
+        let mut d = Device::new(DeviceConfig::test_small());
+        let trace = Trace::enabled();
+        d.set_trace(trace.clone());
+        d.launch_named("expand", 4, |ctx| {
+            ctx.counters.dram_read_coalesced(3);
+            Ok(())
+        })
+        .unwrap();
+        let events = trace.journal().unwrap().drain_sorted();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.kind, EventKind::Kernel);
+        assert_eq!(e.name, "expand");
+        assert!(matches!(e.arg("blocks"), Some(Arg::U64(4))));
+        let c = e.counters.expect("launch span carries a counter delta");
+        assert_eq!(c.dram_reads, 12);
+        assert_eq!(c.kernel_launches, 1);
+    }
+
+    #[test]
+    fn per_block_tracing_adds_sm_lane_spans() {
+        let mut d = Device::new(DeviceConfig::test_small());
+        let trace = Trace::with_config(cuts_obs::TraceConfig { per_block: true });
+        d.set_trace(trace.clone());
+        d.launch_named("expand", 8, |_| Ok(())).unwrap();
+        let events = trace.journal().unwrap().drain_sorted();
+        // 1 launch span + 8 block spans.
+        assert_eq!(events.len(), 9);
+        let sm_lanes: std::collections::BTreeSet<u32> = events
+            .iter()
+            .filter(|e| e.lane >= SM_LANE_BASE)
+            .map(|e| e.lane)
+            .collect();
+        // test_small has 4 SMs; 8 blocks round-robin over all of them.
+        assert_eq!(sm_lanes.len(), 4);
     }
 
     #[test]

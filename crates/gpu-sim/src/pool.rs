@@ -14,6 +14,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use cuts_obs::{Arg, EventKind, Json, ToJson};
+
 use crate::buffer::GlobalBuffer;
 use crate::device::Device;
 use crate::error::DeviceError;
@@ -37,6 +39,17 @@ impl PoolStats {
             return 0.0;
         }
         self.reuses as f64 / self.acquires as f64
+    }
+}
+
+impl ToJson for PoolStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("acquires", Json::U64(self.acquires)),
+            ("reuses", Json::U64(self.reuses)),
+            ("device_allocs", Json::U64(self.device_allocs)),
+            ("reuse_ratio", Json::F64(self.reuse_ratio())),
+        ])
     }
 }
 
@@ -89,11 +102,24 @@ impl<'d> BufferPool<'d> {
         match recycled {
             Some(buf) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
+                self.device.trace().instant_with(
+                    EventKind::Pool,
+                    "hit",
+                    &[
+                        ("words", Arg::U64(words as u64)),
+                        ("capacity", Arg::U64(buf.capacity() as u64)),
+                    ],
+                );
                 buf.clear();
                 Ok(buf)
             }
             None => {
                 self.device_allocs.fetch_add(1, Ordering::Relaxed);
+                self.device.trace().instant_with(
+                    EventKind::Pool,
+                    "miss",
+                    &[("words", Arg::U64(words as u64))],
+                );
                 self.device.alloc_buffer(words)
             }
         }

@@ -1,0 +1,298 @@
+//! Exporters: Chrome `trace_event` JSON and flat JSONL.
+//!
+//! The chrome exporter emits the JSON Object Format
+//! (`{"traceEvents":[...]}`) understood by `chrome://tracing` and
+//! Perfetto: duration spans as balanced `B`/`E` pairs, instants as `i`,
+//! plus `M` metadata naming one process per rank and one thread per lane
+//! (worker lanes, and `SM n` lanes for per-block kernel events).
+//! [`validate_chrome`] is the schema check the golden-file tests (and
+//! anything else) can run against exporter output.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::event::Event;
+use crate::json::{Json, ToJson};
+
+/// Lane ids at or above this value are per-SM kernel tracks
+/// (`SM_LANE_BASE + sm_index`); below are host/worker thread lanes.
+pub const SM_LANE_BASE: u32 = 1000;
+
+fn pid_of(event: &Event) -> u64 {
+    event.rank.map(|r| r as u64 + 1).unwrap_or(0)
+}
+
+fn args_json(event: &Event) -> Option<Json> {
+    if event.args.is_empty() && event.counters.is_none() {
+        return None;
+    }
+    let mut o = Json::Obj(
+        event
+            .args
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::from(v)))
+            .collect(),
+    );
+    if let Some(c) = &event.counters {
+        if let Json::Obj(fields) = c.to_json() {
+            for (k, v) in fields {
+                o.set(&k, v);
+            }
+        }
+    }
+    Some(o)
+}
+
+/// Renders events as Chrome `trace_event` JSON (object format).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out: Vec<Json> = Vec::new();
+
+    // Metadata: name each (pid) process and (pid, tid) thread track.
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
+    let mut tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for e in events {
+        let pid = pid_of(e);
+        pids.insert(pid);
+        tracks.insert((pid, e.lane as u64));
+    }
+    for pid in &pids {
+        let name = if *pid == 0 {
+            "local".to_string()
+        } else {
+            format!("rank {}", pid - 1)
+        };
+        out.push(Json::obj([
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::U64(*pid)),
+            ("tid", Json::U64(0)),
+            ("args", Json::obj([("name", name)])),
+        ]));
+    }
+    for (pid, tid) in &tracks {
+        let name = if *tid >= SM_LANE_BASE as u64 {
+            format!("SM {}", tid - SM_LANE_BASE as u64)
+        } else {
+            format!("lane {tid}")
+        };
+        out.push(Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::U64(*pid)),
+            ("tid", Json::U64(*tid)),
+            ("args", Json::obj([("name", name)])),
+        ]));
+    }
+
+    for e in events {
+        let pid = pid_of(e);
+        let tid = e.lane as u64;
+        let base = |ph: &str, ts: u64| {
+            Json::obj([
+                ("name", Json::Str(e.name.clone())),
+                ("cat", Json::Str(e.kind.as_str().into())),
+                ("ph", Json::Str(ph.into())),
+                ("ts", Json::U64(ts)),
+                ("pid", Json::U64(pid)),
+                ("tid", Json::U64(tid)),
+            ])
+        };
+        match e.dur_us {
+            Some(dur) => {
+                let mut b = base("B", e.ts_us);
+                if let Some(a) = args_json(e) {
+                    b.set("args", a);
+                }
+                out.push(b);
+                out.push(base("E", e.ts_us + dur));
+            }
+            None => {
+                let mut i = base("i", e.ts_us);
+                i.set("s", "t");
+                if let Some(a) = args_json(e) {
+                    i.set("args", a);
+                }
+                out.push(i);
+            }
+        }
+    }
+
+    Json::obj([("traceEvents", Json::Arr(out))]).render()
+}
+
+/// Renders events as one JSON object per line.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Structural summary returned by [`validate_chrome`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total `traceEvents` entries (including metadata).
+    pub events: usize,
+    /// Span (B/E pair) count.
+    pub spans: usize,
+    /// Instant event count.
+    pub instants: usize,
+    /// Distinct `cat` values seen on non-metadata events.
+    pub categories: BTreeSet<String>,
+    /// Spans carrying a hardware-counter delta (a `dram_reads` arg).
+    pub counter_spans: usize,
+    /// Distinct `pid`s (rank tracks).
+    pub pids: BTreeSet<u64>,
+}
+
+/// Validates chrome-trace JSON text: parses it, checks every event for
+/// the required `name`/`ph`/`ts`/`pid`/`tid` fields, allows only the
+/// phases the exporter produces (`B`, `E`, `i`, `M`), and checks that
+/// every `B` is closed by a matching `E` on the same `(pid, tid)` track
+/// with non-decreasing timestamps. Returns a summary for further
+/// assertions.
+pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
+    let root = Json::parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut summary = ChromeSummary {
+        events: events.len(),
+        ..Default::default()
+    };
+    // Per-track stack of open B events: (name, ts).
+    let mut open: BTreeMap<(u64, u64), Vec<(String, u64)>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let field = |k: &str| e.get(k).ok_or_else(|| format!("event {i}: missing {k}"));
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: name not a string"))?
+            .to_string();
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: ph not a string"))?;
+        let pid = field("pid")?
+            .as_u64()
+            .ok_or_else(|| format!("event {i}: pid not an integer"))?;
+        let tid = field("tid")?
+            .as_u64()
+            .ok_or_else(|| format!("event {i}: tid not an integer"))?;
+        if ph == "M" {
+            continue;
+        }
+        summary.pids.insert(pid);
+        let ts = field("ts")?
+            .as_u64()
+            .ok_or_else(|| format!("event {i}: ts not an unsigned integer"))?;
+        if let Some(cat) = e.get("cat").and_then(Json::as_str) {
+            summary.categories.insert(cat.to_string());
+        } else {
+            return Err(format!("event {i}: missing cat"));
+        }
+        let track = open.entry((pid, tid)).or_default();
+        match ph {
+            "B" => {
+                if e.get("args").is_some_and(|a| a.get("dram_reads").is_some()) {
+                    summary.counter_spans += 1;
+                }
+                track.push((name, ts));
+            }
+            "E" => {
+                let (bname, bts) = track
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E without open B on ({pid},{tid})"))?;
+                if bname != name {
+                    return Err(format!(
+                        "event {i}: E '{name}' closes B '{bname}' on ({pid},{tid})"
+                    ));
+                }
+                if ts < bts {
+                    return Err(format!("event {i}: span '{name}' ends before it begins"));
+                }
+                summary.spans += 1;
+            }
+            "i" => summary.instants += 1,
+            other => return Err(format!("event {i}: unexpected ph '{other}'")),
+        }
+    }
+    for ((pid, tid), stack) in open {
+        if !stack.is_empty() {
+            return Err(format!(
+                "unbalanced: {} open B event(s) on ({pid},{tid})",
+                stack.len()
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Arg, CounterDelta, EventKind};
+    use crate::trace::Trace;
+
+    fn sample_events() -> Vec<Event> {
+        let t = Trace::enabled().with_rank(1);
+        {
+            let mut s = t.span(EventKind::Kernel, "expand");
+            s.arg("blocks", Arg::U64(2));
+            s.counters(CounterDelta {
+                dram_reads: 9,
+                ..Default::default()
+            });
+        }
+        t.instant(EventKind::Heartbeat, "beat");
+        {
+            let mut s = t.span(EventKind::Level, "level 1");
+            s.lane(SM_LANE_BASE + 3);
+        }
+        t.journal().unwrap().drain_sorted()
+    }
+
+    #[test]
+    fn chrome_output_validates() {
+        let text = chrome_trace(&sample_events());
+        let s = validate_chrome(&text).unwrap();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.instants, 1);
+        assert_eq!(s.counter_spans, 1);
+        assert!(s.categories.contains("kernel"));
+        assert!(s.categories.contains("heartbeat"));
+        assert!(s.pids.contains(&2), "rank 1 maps to pid 2");
+        // SM lane naming makes it into metadata.
+        assert!(text.contains("\"SM 3\""));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced() {
+        let text = r#"{"traceEvents":[
+            {"name":"x","cat":"kernel","ph":"B","ts":1,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome(text).unwrap_err().contains("unbalanced"));
+        let text = r#"{"traceEvents":[
+            {"name":"x","cat":"kernel","ph":"E","ts":1,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome(text)
+            .unwrap_err()
+            .contains("E without open B"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        let text = r#"{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":0}]}"#;
+        assert!(validate_chrome(text).unwrap_err().contains("missing tid"));
+    }
+
+    #[test]
+    fn jsonl_lines_parse() {
+        let text = jsonl(&sample_events());
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            Json::parse(line).unwrap();
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Prometheus-style text metrics snapshot.
+//!
+//! A [`MetricsSnapshot`] is a flat list of `name{labels} value` samples
+//! rendered in the Prometheus exposition text format. Non-finite values
+//! render as `+Inf` / `-Inf` / `NaN`, which the format permits — the
+//! infinity that used to corrupt JSON output is representable here.
+
+use std::fmt::Write as _;
+
+/// One sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (`cuts_` prefixed by convention).
+    pub name: String,
+    /// Label pairs, rendered `{k="v",...}`.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+    /// Optional `# HELP` line (emitted once per metric name).
+    pub help: Option<&'static str>,
+}
+
+/// An ordered collection of samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an unlabelled sample.
+    pub fn push(&mut self, name: &str, value: f64) -> &mut Self {
+        self.push_full(name, &[], value, None)
+    }
+
+    /// Appends an unlabelled sample with a help string.
+    pub fn push_help(&mut self, name: &str, value: f64, help: &'static str) -> &mut Self {
+        self.push_full(name, &[], value, Some(help))
+    }
+
+    /// Appends a labelled sample.
+    pub fn push_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.push_full(name, labels, value, None)
+    }
+
+    fn push_full(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        help: Option<&'static str>,
+    ) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+            help,
+        });
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no samples were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The samples, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Renders the Prometheus exposition text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_help: Option<&str> = None;
+        for m in &self.metrics {
+            if let Some(h) = m.help {
+                if last_help != Some(m.name.as_str()) {
+                    let _ = writeln!(out, "# HELP {} {}", m.name, h);
+                }
+            }
+            last_help = Some(m.name.as_str());
+            out.push_str(&m.name);
+            if !m.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in m.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+                    let _ = write!(out, "{k}=\"{escaped}\"");
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            out.push_str(&render_value(m.value));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_format() {
+        let mut s = MetricsSnapshot::new();
+        s.push_help("cuts_matches_total", 24.0, "embeddings found");
+        s.push_labeled("cuts_rank_busy_millis", &[("rank", "0")], 1.5);
+        s.push_labeled("cuts_rank_busy_millis", &[("rank", "1")], 2.0);
+        let text = s.render();
+        assert!(text.contains("# HELP cuts_matches_total embeddings found"));
+        assert!(text.contains("cuts_matches_total 24"));
+        assert!(text.contains("cuts_rank_busy_millis{rank=\"0\"} 1.5"));
+        assert!(text.contains("cuts_rank_busy_millis{rank=\"1\"} 2"));
+    }
+
+    #[test]
+    fn nonfinite_values_are_representable() {
+        let mut s = MetricsSnapshot::new();
+        s.push("cuts_ratio", f64::INFINITY);
+        s.push("cuts_nan", f64::NAN);
+        let text = s.render();
+        assert!(text.contains("cuts_ratio +Inf"));
+        assert!(text.contains("cuts_nan NaN"));
+    }
+
+    #[test]
+    fn label_values_escaped() {
+        let mut s = MetricsSnapshot::new();
+        s.push_labeled("m", &[("q", "say \"hi\"")], 1.0);
+        assert!(s.render().contains("q=\"say \\\"hi\\\"\""));
+    }
+}
