@@ -20,15 +20,9 @@
 use std::time::Instant;
 
 use cuts_core::intersect::{c_intersection, constraint_list};
-#[cfg(test)]
-use cuts_core::EngineError;
-use cuts_core::{MatchOrder, MatchResult};
-#[cfg(test)]
-use cuts_gpu_sim::DeviceError;
+use cuts_core::{CutsError, MatchOrder, MatchResult};
 use cuts_gpu_sim::{CostModel, Device, GlobalBuffer};
 use cuts_graph::{Graph, VertexId};
-
-use crate::error::BaselineError;
 
 /// GSI engine tunables.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,7 +101,7 @@ impl<'d> GsiEngine<'d> {
     }
 
     /// Counts all embeddings of a connected `query` in `data`.
-    pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, BaselineError> {
+    pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, CutsError> {
         let wall_start = Instant::now();
         let scope = self.device.counter_scope();
         let plan = MatchOrder::from_order(query, Self::query_order(query, data))?;
@@ -275,7 +269,7 @@ fn expand_one(
 mod tests {
     use super::*;
     use cuts_core::{reference, CutsEngine};
-    use cuts_gpu_sim::DeviceConfig;
+    use cuts_gpu_sim::{DeviceConfig, DeviceError};
     use cuts_graph::generators::{chain, clique, cycle, erdos_renyi, mesh2d};
 
     #[test]
@@ -344,12 +338,7 @@ mod tests {
         let small = Device::new(DeviceConfig::test_small().with_global_mem_words(60_000));
         let gsi = GsiEngine::new(&small).run(&data, &query);
         assert!(
-            matches!(
-                gsi,
-                Err(BaselineError::Engine(EngineError::Device(
-                    DeviceError::OutOfMemory { .. }
-                )))
-            ),
+            matches!(gsi, Err(CutsError::Device(DeviceError::OutOfMemory { .. }))),
             "expected GSI OOM, got {gsi:?}"
         );
         let cuts = CutsEngine::new(&small).run(&data, &query).unwrap();

@@ -6,7 +6,7 @@
 //! flat table — but the scheme requires `|V_D|^{|V_Q|} < 2^64`: "consider a
 //! data graph with a million nodes; Gunrock can only support query graphs
 //! with a maximum of four vertices". [`GunrockEngine::run`] surfaces that
-//! limit as [`BaselineError::EncodingOverflow`], which is how the harness
+//! limit as [`CutsError::Unsupported`], which is how the harness
 //! reproduces Gunrock's unsupported cases.
 
 use std::time::Instant;
@@ -16,7 +16,7 @@ use cuts_core::{MatchOrder, MatchResult};
 use cuts_gpu_sim::{CostModel, Device, GlobalBuffer};
 use cuts_graph::{Graph, VertexId};
 
-use crate::error::BaselineError;
+use cuts_core::CutsError;
 
 /// The Gunrock-style baseline engine.
 pub struct GunrockEngine<'d> {
@@ -46,14 +46,14 @@ impl<'d> GunrockEngine<'d> {
     }
 
     /// Counts all embeddings of a connected `query` in `data`.
-    pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, BaselineError> {
+    pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, CutsError> {
         let wall_start = Instant::now();
         let nd = data.num_vertices();
         let nq = query.num_vertices();
         if !Self::encoding_fits(nd, nq) {
-            return Err(BaselineError::EncodingOverflow {
-                data_vertices: nd,
-                query_vertices: nq,
+            return Err(CutsError::Unsupported {
+                what: "gunrock path encoding",
+                detail: format!("{nd}^{nq} exceeds 2^64"),
             });
         }
         let scope = self.device.counter_scope();
@@ -163,7 +163,7 @@ impl<'d> GunrockEngine<'d> {
     }
 }
 
-fn encode_level(device: &Device, codes: &[u64]) -> Result<GlobalBuffer, BaselineError> {
+fn encode_level(device: &Device, codes: &[u64]) -> Result<GlobalBuffer, CutsError> {
     let buf = device.alloc_buffer((2 * codes.len()).max(2))?;
     let r = buf.reserve(2 * codes.len()).expect("sized exactly");
     for (i, &c) in codes.iter().enumerate() {
@@ -248,8 +248,9 @@ mod tests {
         let big = Graph::undirected(1 << 16, &[]);
         let q = clique(4);
         match eng.run(&big, &q) {
-            Err(BaselineError::EncodingOverflow { query_vertices, .. }) => {
-                assert_eq!(query_vertices, 4)
+            Err(CutsError::Unsupported { what, detail }) => {
+                assert_eq!(what, "gunrock path encoding");
+                assert!(detail.contains("^4"));
             }
             other => panic!("expected overflow, got {other:?}"),
         }

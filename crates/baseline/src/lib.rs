@@ -15,11 +15,10 @@
 //! * [`vf2`] — a CPU DFS matcher with VF2-style pruning, the classical
 //!   sequential baseline (and an independent correctness oracle).
 
-pub mod error;
 pub mod gsi;
 pub mod gunrock;
 pub mod vf2;
 
-pub use error::BaselineError;
+pub use cuts_core::CutsError;
 pub use gsi::{GsiConfig, GsiEngine};
 pub use gunrock::GunrockEngine;

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cuts_baseline::{GsiEngine, GunrockEngine};
-use cuts_core::CutsEngine;
+use cuts_core::prelude::*;
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::clique;
 use cuts_graph::{Dataset, Scale};

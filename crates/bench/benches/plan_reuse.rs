@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cuts_core::{EngineConfig, ExecSession};
+use cuts_core::prelude::*;
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{clique, erdos_renyi};
 use cuts_graph::{Dataset, Graph, Scale};
@@ -66,9 +66,8 @@ fn bench_batched(c: &mut Criterion) {
         b.iter(|| {
             let total: u64 = session
                 .run_batch(&graphs, &q)
-                .unwrap()
                 .iter()
-                .map(|r| r.num_matches)
+                .map(|r| r.as_ref().unwrap().num_matches)
                 .sum();
             black_box(total)
         });

@@ -1,0 +1,120 @@
+//! Multi-query serving throughput: the bundled job manifest replayed
+//! through a serial loop and through [`cuts_core::sched::Scheduler`] at
+//! 1, 2, and 4 lanes on one simulated device, with per-job results
+//! verified byte-identical across all runs. Emits `BENCH_throughput.json`
+//! (the 4-lane speedup is the headline number; the PR gate is ≥ 2.5×).
+//!
+//! ```sh
+//! cargo run -p cuts-bench --release --bin throughput -- --quick
+//! ```
+//!
+//! `--quick` (equivalently `CUTS_QUICK=1`) halves the job stream so the
+//! CI smoke step finishes in under a second.
+
+use cuts_core::prelude::*;
+use cuts_core::sched::parse_manifest;
+use cuts_obs::{Json, ToJson};
+
+/// Host-seconds of simulated work per simulated millisecond; high enough
+/// that overlapping waits (not single-core host compute) dominate, as on
+/// a real accelerator.
+const PACING: f64 = 40.0;
+
+fn manifest_jobs(quick: bool) -> Vec<Job> {
+    let text = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../manifests/serve_demo.jobs"
+    ));
+    let mut jobs = parse_manifest(text).expect("bundled manifest parses");
+    if quick {
+        jobs.truncate(jobs.len() / 2);
+    }
+    jobs
+}
+
+fn scheduler_for(lanes: usize) -> Scheduler {
+    Scheduler::builder()
+        .lanes(lanes)
+        .pacing(PACING)
+        .build()
+        .expect("valid scheduler config")
+}
+
+fn verify_identical(serial: &SchedReport, sched: &SchedReport, lanes: usize) {
+    assert_eq!(serial.outcomes.len(), sched.outcomes.len());
+    for (a, b) in serial.outcomes.iter().zip(&sched.outcomes) {
+        let same = match (&a.result, &b.result) {
+            (Ok(x), Ok(y)) => x.canonical_bytes() == y.canonical_bytes(),
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        assert!(
+            same,
+            "job {:?} diverged from serial at {lanes} lane(s)",
+            a.id
+        );
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("CUTS_QUICK").is_ok_and(|v| v == "1");
+    let jobs = manifest_jobs(quick);
+    println!(
+        "throughput: {} job(s) from the bundled manifest (quick={quick}, pacing={PACING})",
+        jobs.len()
+    );
+
+    let serial = scheduler_for(1)
+        .run_serial(&jobs)
+        .expect("serial run succeeds");
+    println!(
+        "  serial     {:>8.2} jobs/s  ({:.1} ms wall)",
+        serial.jobs_per_sec(),
+        serial.wall_millis
+    );
+
+    let mut runs: Vec<Json> = Vec::new();
+    let mut speedup_4 = 0.0;
+    for lanes in [1usize, 2, 4] {
+        let scheduler = scheduler_for(lanes);
+        let report = scheduler
+            .run(|h| {
+                for job in jobs.iter().cloned() {
+                    h.submit_wait(job);
+                }
+                Ok(())
+            })
+            .expect("scheduled run succeeds");
+        verify_identical(&serial, &report, lanes);
+        let speedup = report.jobs_per_sec() / serial.jobs_per_sec();
+        if lanes == 4 {
+            speedup_4 = speedup;
+        }
+        println!(
+            "  {lanes} lane(s)  {:>8.2} jobs/s  ({:.1} ms wall)  speedup {speedup:.2}x  p50 {:.1} ms  p99 {:.1} ms",
+            report.jobs_per_sec(),
+            report.wall_millis,
+            report.latency_percentile(50.0).unwrap_or(0.0),
+            report.latency_percentile(99.0).unwrap_or(0.0),
+        );
+        let mut entry = report.to_json();
+        entry.set("lanes", Json::U64(lanes as u64));
+        entry.set("speedup_vs_serial", Json::F64(speedup));
+        runs.push(entry);
+    }
+
+    let out = Json::obj([
+        ("bench", Json::Str("throughput".into())),
+        ("quick", Json::U64(quick as u64)),
+        ("jobs", Json::U64(jobs.len() as u64)),
+        ("pacing", Json::F64(PACING)),
+        ("devices", Json::U64(1)),
+        ("serial", serial.to_json()),
+        ("runs", Json::arr(runs)),
+        ("speedup_4_lanes", Json::F64(speedup_4)),
+        ("identical_to_serial", Json::U64(1)),
+    ]);
+    std::fs::write("BENCH_throughput.json", out.render()).expect("write BENCH_throughput.json");
+    println!("  wrote BENCH_throughput.json (4-lane speedup {speedup_4:.2}x)");
+}

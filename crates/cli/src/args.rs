@@ -15,6 +15,9 @@ USAGE:
                [--trace-per-block] [--metrics-out <path>]
   cuts profile (same options as match; cuts engine only) — runs with
                tracing on and prints a per-level / per-kernel breakdown
+  cuts serve   --jobs <manifest> [--devices <n>] [--lanes <k>]
+               [--queue <n>] [--aging <ms>] [--pacing <f>]
+               [--device v100|a100|test] [--output text|json]
   cuts queries [--n <vertices>] [--top <k>]
   cuts help
 
@@ -35,7 +38,15 @@ TRACING:       --trace-out writes the run's event journal: chrome format
                --metrics-out writes a Prometheus-style text snapshot
 FAULT PLANS:   comma-separated clauses injected into the distributed run:
                crash:R@C panic:R@C drop:A->B@N delay:A->B@N+MS seed:S
-               (requires --ranks > 1; --rank-timeout tunes failure detection)";
+               (requires --ranks > 1; --rank-timeout tunes failure detection)
+SERVING:       --jobs is a manifest: one `<data> <query> [key=val...]` job
+               per line (specs clique:K chain:K cycle:K star:K mesh:WxH
+               er:N:M:SEED; options priority= deadline_ms= name= repeat=;
+               `#` comments). serve drains it through the multi-query
+               scheduler and a serial baseline, reporting throughput and
+               p50/p99 latency; --queue bounds admission, --aging tunes
+               anti-starvation, --pacing stretches simulated time onto
+               the host clock";
 
 /// Where the data graph comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +89,27 @@ pub struct MatchOpts {
     pub metrics_out: Option<String>,
 }
 
+/// Parsed `serve` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// Path to the job manifest.
+    pub jobs: String,
+    /// Simulated devices to schedule across.
+    pub devices: usize,
+    /// Worker lanes per device.
+    pub lanes: usize,
+    /// Bounded submission-queue capacity.
+    pub queue: usize,
+    /// Aging constant in milliseconds (anti-starvation).
+    pub aging_ms: u64,
+    /// Host pacing factor (sleep `sim_millis × pacing` per job).
+    pub pacing: f64,
+    /// Device model name (v100|a100|test).
+    pub device: String,
+    /// Report format: text | json.
+    pub output: String,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -88,6 +120,8 @@ pub enum Command {
     Match(Box<MatchOpts>),
     /// `match` with tracing forced on and a profile report at the end.
     Profile(Box<MatchOpts>),
+    /// Drain a job manifest through the multi-query scheduler.
+    Serve(ServeOpts),
     Queries {
         n: usize,
         top: usize,
@@ -146,6 +180,62 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(Command::Stats { data, directed })
+        }
+        "serve" => {
+            let mut opts = ServeOpts {
+                jobs: String::new(),
+                devices: 1,
+                lanes: 4,
+                queue: 64,
+                aging_ms: 5,
+                pacing: 0.0,
+                device: "v100".into(),
+                output: "text".into(),
+            };
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--jobs" => opts.jobs = take_value("--jobs", &mut it)?.to_string(),
+                    "--devices" => {
+                        opts.devices = take_value("--devices", &mut it)?
+                            .parse()
+                            .map_err(|_| "--devices: bad number")?
+                    }
+                    "--lanes" => {
+                        opts.lanes = take_value("--lanes", &mut it)?
+                            .parse()
+                            .map_err(|_| "--lanes: bad number")?
+                    }
+                    "--queue" => {
+                        opts.queue = take_value("--queue", &mut it)?
+                            .parse()
+                            .map_err(|_| "--queue: bad number")?
+                    }
+                    "--aging" => {
+                        opts.aging_ms = take_value("--aging", &mut it)?
+                            .parse()
+                            .map_err(|_| "--aging: bad number of milliseconds")?
+                    }
+                    "--pacing" => {
+                        opts.pacing = take_value("--pacing", &mut it)?
+                            .parse()
+                            .map_err(|_| "--pacing: bad number")?
+                    }
+                    "--device" => opts.device = take_value("--device", &mut it)?.to_string(),
+                    "--output" => opts.output = take_value("--output", &mut it)?.to_string(),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if opts.jobs.is_empty() {
+                return Err("serve requires --jobs".into());
+            }
+            if opts.devices == 0 || opts.lanes == 0 || opts.queue == 0 {
+                return Err("--devices, --lanes, and --queue must be at least 1".into());
+            }
+            if !matches!(opts.output.as_str(), "text" | "json") {
+                return Err("--output must be text or json".into());
+            }
+            Ok(Command::Serve(opts))
         }
         "match" | "profile" => {
             let (data, extra) = parse_source(rest)?;
@@ -415,6 +505,29 @@ mod tests {
         }
         assert!(parse(&argv("profile g.txt --query clique:3 --engine vf2")).is_err());
         assert!(parse(&argv("profile g.txt")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_subcommand() {
+        let c = parse(&argv(
+            "serve --jobs demo.jobs --devices 2 --lanes 4 --queue 32 --aging 10 --pacing 1.5",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve(o) => {
+                assert_eq!(o.jobs, "demo.jobs");
+                assert_eq!(o.devices, 2);
+                assert_eq!(o.lanes, 4);
+                assert_eq!(o.queue, 32);
+                assert_eq!(o.aging_ms, 10);
+                assert!((o.pacing - 1.5).abs() < 1e-12);
+                assert_eq!(o.device, "v100");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve")).is_err(), "requires --jobs");
+        assert!(parse(&argv("serve --jobs j --lanes 0")).is_err());
+        assert!(parse(&argv("serve --jobs j --output xml")).is_err());
     }
 
     #[test]

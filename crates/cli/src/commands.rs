@@ -1,7 +1,8 @@
 //! Command implementations.
 
 use cuts_baseline::{vf2, GsiEngine, GunrockEngine};
-use cuts_core::{EngineConfig, ExecSession, SessionStats};
+use cuts_core::prelude::*;
+use cuts_core::{sched, SessionStats};
 use cuts_dist::{run_distributed_traced, DistConfig, FaultPlan, Partition};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{chain, clique, cycle, star};
@@ -9,13 +10,21 @@ use cuts_graph::labels::{degree_band_labels, random_labels, zipf_labels};
 use cuts_graph::stats::{degree_histogram, stats};
 use cuts_graph::{edgelist, query_set, Dataset, Graph, Scale};
 use cuts_obs::{
-    chrome_trace, jsonl, Arg, Event, EventKind, MetricsSnapshot, ToJson, Trace, TraceConfig,
+    chrome_trace, jsonl, Arg, Event, EventKind, Json, MetricsSnapshot, ToJson, Trace, TraceConfig,
 };
 
-use crate::args::{Command, DataSource, MatchOpts, USAGE};
+use crate::args::{Command, DataSource, MatchOpts, ServeOpts, USAGE};
 
-/// Top-level command error.
-pub type CmdError = Box<dyn std::error::Error>;
+/// Top-level command error: the workspace's unified [`CutsError`].
+pub type CmdError = CutsError;
+
+/// Shorthand for flag/spec rejections.
+fn invalid(what: &'static str, given: impl Into<String>) -> CmdError {
+    CutsError::Invalid {
+        what,
+        given: given.into(),
+    }
+}
 
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), CmdError> {
@@ -47,6 +56,7 @@ pub fn run(cmd: Command) -> Result<(), CmdError> {
         }
         Command::Match(opts) => run_match(&opts, false),
         Command::Profile(opts) => run_match(&opts, true),
+        Command::Serve(opts) => run_serve(&opts),
     }
 }
 
@@ -66,14 +76,14 @@ fn load(src: &DataSource, directed: bool) -> Result<Graph, CmdError> {
                 "roadnet-tx" => Dataset::RoadNetTX,
                 "roadnet-ca" => Dataset::RoadNetCA,
                 "wikitalk" => Dataset::WikiTalk,
-                other => return Err(format!("unknown dataset {other}").into()),
+                other => return Err(invalid("dataset", other)),
             };
             let sc = match scale.as_str() {
                 "tiny" => Scale::Tiny,
                 "small" => Scale::Small,
                 "medium" => Scale::Medium,
                 "paper" => Scale::Paper,
-                other => return Err(format!("unknown scale {other}").into()),
+                other => return Err(invalid("scale", other)),
             };
             Ok(ds.generate(sc))
         }
@@ -83,16 +93,16 @@ fn load(src: &DataSource, directed: bool) -> Result<Graph, CmdError> {
 /// Parses a query spec (`clique:K` etc. or a file path).
 fn load_query(spec: &str, directed: bool) -> Result<Graph, CmdError> {
     if let Some((kind, k)) = spec.split_once(':') {
-        let k: usize = k.parse().map_err(|_| format!("bad query size in {spec}"))?;
+        let k: usize = k.parse().map_err(|_| invalid("query size", spec))?;
         if !(1..=12).contains(&k) {
-            return Err("query size must be in 1..=12".into());
+            return Err(invalid("query size (must be 1..=12)", spec));
         }
         return Ok(match kind {
             "clique" => clique(k),
             "chain" => chain(k),
             "cycle" => cycle(k),
             "star" => star(k),
-            other => return Err(format!("unknown query kind {other}").into()),
+            other => return Err(invalid("query kind", other)),
         });
     }
     load(&DataSource::File(spec.to_string()), directed)
@@ -103,7 +113,7 @@ fn device_config(name: &str) -> Result<DeviceConfig, CmdError> {
         "v100" => DeviceConfig::v100_like(),
         "a100" => DeviceConfig::a100_like(),
         "test" => DeviceConfig::test_small(),
-        other => return Err(format!("unknown device {other}").into()),
+        other => return Err(invalid("device", other)),
     })
 }
 
@@ -113,21 +123,19 @@ fn apply_labels(spec: &str, data: Graph, query: Graph) -> Result<(Graph, Graph),
     let nd = data.num_vertices();
     let nq = query.num_vertices();
     let (dl, ql) = if let Some((kind, k)) = spec.split_once(':') {
-        let k: u32 = k
-            .parse()
-            .map_err(|_| format!("bad label count in {spec}"))?;
+        let k: u32 = k.parse().map_err(|_| invalid("label count", spec))?;
         if k == 0 {
-            return Err("label count must be positive".into());
+            return Err(invalid("label count (must be positive)", spec));
         }
         match kind {
             "random" => (random_labels(nd, k, 11), random_labels(nq, k, 13)),
             "zipf" => (zipf_labels(nd, k, 11), zipf_labels(nq, k, 13)),
-            other => return Err(format!("unknown label scheme {other}").into()),
+            other => return Err(invalid("label scheme", other)),
         }
     } else if spec == "bands" {
         (degree_band_labels(&data, 8), degree_band_labels(&query, 8))
     } else {
-        return Err(format!("unknown label spec {spec}").into());
+        return Err(invalid("label spec", spec));
     };
     Ok((data.with_labels(dl), query.with_labels(ql)))
 }
@@ -138,7 +146,7 @@ fn partition_of(spec: &str) -> Result<Partition, CmdError> {
         "round-robin" => Partition::RoundRobin,
         "block" => Partition::Block,
         "all-to-zero" => Partition::AllToRankZero,
-        other => return Err(format!("unknown partition {other}").into()),
+        other => return Err(invalid("partition", other)),
     })
 }
 
@@ -167,7 +175,7 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
 
     if opts.ranks > 1 {
         if opts.engine != "cuts" {
-            return Err("--ranks > 1 is only supported with --engine cuts".into());
+            return Err(invalid("engine for --ranks > 1 (cuts only)", &opts.engine));
         }
         let mut config = DistConfig {
             device: dev_cfg,
@@ -278,9 +286,139 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
             report(&r, None, &opts.output)?;
             r.num_matches
         }
-        other => return Err(format!("unknown engine {other}").into()),
+        other => return Err(invalid("engine", other)),
     };
     finish_trace(&trace, opts, profile, matches)
+}
+
+/// `cuts serve`: drain a job manifest through the multi-query scheduler
+/// and a serial baseline, report throughput and tail latency, and verify
+/// the two executions are semantically identical.
+fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
+    let text = std::fs::read_to_string(&opts.jobs).map_err(|e| CutsError::io(&opts.jobs, e))?;
+    let jobs = sched::parse_manifest(&text)?;
+    if jobs.is_empty() {
+        return Err(invalid("job manifest (no jobs)", &opts.jobs));
+    }
+    // Job lifecycle events (submit/admit/defer/steal/complete) feed the
+    // queue-vs-execution breakdown at the end of the run.
+    let trace = Trace::enabled();
+    let scheduler = Scheduler::builder()
+        .device_config(device_config(&opts.device)?)
+        .devices(opts.devices)
+        .lanes(opts.lanes)
+        .queue_capacity(opts.queue)
+        .aging(std::time::Duration::from_millis(opts.aging_ms))
+        .pacing(opts.pacing)
+        .trace(trace.clone())
+        .build()?;
+    println!(
+        "serve: {} job(s) from {} on {} device(s) x {} lane(s)",
+        jobs.len(),
+        opts.jobs,
+        opts.devices,
+        opts.lanes
+    );
+
+    let serial = scheduler.run_serial(&jobs)?;
+    let report = scheduler.run(|h| {
+        for job in jobs.iter().cloned() {
+            h.submit_wait(job);
+        }
+        Ok(())
+    })?;
+
+    // The scheduler must be a pure throughput optimisation: per-job
+    // results byte-identical to the serial loop.
+    let mismatched = serial
+        .outcomes
+        .iter()
+        .zip(&report.outcomes)
+        .filter(|(a, b)| match (&a.result, &b.result) {
+            (Ok(x), Ok(y)) => x.canonical_bytes() != y.canonical_bytes(),
+            (Err(_), Err(_)) => false,
+            _ => true,
+        })
+        .count();
+    let speedup = if serial.wall_millis > 0.0 {
+        report.jobs_per_sec() / serial.jobs_per_sec().max(f64::MIN_POSITIVE)
+    } else {
+        1.0
+    };
+
+    if opts.output == "json" {
+        let root = Json::obj([
+            ("jobs", Json::U64(jobs.len() as u64)),
+            ("devices", Json::U64(opts.devices as u64)),
+            ("lanes", Json::U64(opts.lanes as u64)),
+            ("serial", serial.to_json()),
+            ("scheduler", report.to_json()),
+            ("speedup", Json::F64(speedup)),
+            ("mismatched_jobs", Json::U64(mismatched as u64)),
+        ]);
+        println!("{}", root.render());
+    } else {
+        let fmt_pct = |r: &SchedReport, p: f64| {
+            r.latency_percentile(p)
+                .map_or("-".to_string(), |v| format!("{v:.3}"))
+        };
+        println!(
+            "serial:    {:>8.2} jobs/s  ({:.3} ms wall)",
+            serial.jobs_per_sec(),
+            serial.wall_millis
+        );
+        println!(
+            "scheduler: {:>8.2} jobs/s  ({:.3} ms wall)  speedup {:.2}x",
+            report.jobs_per_sec(),
+            report.wall_millis,
+            speedup
+        );
+        println!(
+            "latency:   p50 {} ms   p99 {} ms (queue + execution)",
+            fmt_pct(&report, 50.0),
+            fmt_pct(&report, 99.0)
+        );
+        let s = &report.stats;
+        println!(
+            "stats:     {} completed / {} failed; {} stolen, {} deferral(s), {} busy rejection(s)",
+            s.completed, s.failed, s.stolen, s.deferred, s.busy_rejections
+        );
+        for (d, (&peak, &budget)) in s
+            .peak_reserved_words
+            .iter()
+            .zip(&s.budget_words)
+            .enumerate()
+        {
+            println!(
+                "device {d}:  peak {} of {} budget words reserved ({:.1}%)",
+                peak,
+                budget,
+                100.0 * peak as f64 / budget.max(1) as f64
+            );
+        }
+        println!(
+            "plans:     {} built, {} cache hit(s)",
+            s.plan_misses, s.plan_hits
+        );
+        if mismatched > 0 {
+            println!("WARNING: {mismatched} job(s) differ from the serial baseline");
+        } else {
+            println!(
+                "verify:    all {} job result(s) match the serial baseline",
+                jobs.len()
+            );
+        }
+        if let Some(journal) = trace.journal() {
+            print_profile(&journal.snapshot_sorted());
+        }
+    }
+    if mismatched > 0 {
+        return Err(invalid(
+            "scheduler/serial divergence (jobs differing)",
+            mismatched.to_string(),
+        ));
+    }
+    Ok(())
 }
 
 /// Renders a match result as a single JSON tree; session stats, when
@@ -311,11 +449,12 @@ fn finish_trace(
             "jsonl" => jsonl(&events),
             _ => chrome_trace(&events),
         };
-        std::fs::write(path, text)?;
+        std::fs::write(path, text).map_err(|e| CutsError::io(path, e))?;
         println!("trace: {} event(s) written to {path}", events.len());
     }
     if let Some(path) = &opts.metrics_out {
-        std::fs::write(path, metrics_snapshot(&events, matches).render())?;
+        std::fs::write(path, metrics_snapshot(&events, matches).render())
+            .map_err(|e| CutsError::io(path, e))?;
         println!("metrics: written to {path}");
     }
     if profile {
@@ -329,6 +468,14 @@ fn arg_u64(e: &Event, key: &str) -> u64 {
     match e.arg(key) {
         Some(Arg::U64(v)) => *v,
         _ => 0,
+    }
+}
+
+/// An `f64` argument of an event, by key.
+fn arg_f64(e: &Event, key: &str) -> f64 {
+    match e.arg(key) {
+        Some(Arg::F64(v)) => *v,
+        _ => 0.0,
     }
 }
 
@@ -397,6 +544,9 @@ fn print_profile(events: &[Event]) {
     let mut levels: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
     let mut census: BTreeMap<&str, u64> = BTreeMap::new();
     let mut ranks = std::collections::BTreeSet::new();
+    // scheduler lifecycle: event name -> count, plus queue/exec time sums
+    let mut job_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let (mut queue_ms, mut exec_ms) = (0.0f64, 0.0f64);
     for e in events {
         *census.entry(e.kind.as_str()).or_default() += 1;
         if let Some(r) = e.rank {
@@ -418,6 +568,13 @@ fn print_profile(events: &[Event]) {
                 l.0 += 1;
                 l.1 += e.dur_us.unwrap_or(0);
                 l.2 += arg_u64(e, "paths");
+            }
+            EventKind::Job => {
+                *job_counts.entry(e.name.clone()).or_default() += 1;
+                if e.name == "complete" {
+                    queue_ms += arg_f64(e, "queue_ms");
+                    exec_ms += arg_f64(e, "exec_ms");
+                }
             }
             _ => {}
         }
@@ -441,6 +598,22 @@ fn print_profile(events: &[Event]) {
             *micros as f64 / 1e3
         );
     }
+    if !job_counts.is_empty() {
+        println!("  scheduler jobs:");
+        for (name, n) in &job_counts {
+            println!("    {name:<16} {n:>6}");
+        }
+        let completed = *job_counts.get("complete").unwrap_or(&0);
+        if completed > 0 {
+            println!(
+                "    queue vs exec:   {:.3} ms queued, {:.3} ms executing (mean {:.3} / {:.3} ms per job)",
+                queue_ms,
+                exec_ms,
+                queue_ms / completed as f64,
+                exec_ms / completed as f64
+            );
+        }
+    }
     println!("  events by kind:");
     for (kind, n) in &census {
         println!("    {kind:<16} {n:>6}");
@@ -458,7 +631,7 @@ fn report(
             return Ok(());
         }
         "text" => {}
-        other => return Err(format!("unknown output format {other}").into()),
+        other => return Err(invalid("output format", other)),
     }
     report_text(r, stats);
     Ok(())
@@ -550,6 +723,32 @@ mod tests {
         // Distributed path too.
         let opts = MatchOpts { ranks: 2, ..opts };
         run_match(&opts, false).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_serve_command() {
+        let dir = std::env::temp_dir().join("cuts_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("jobs.txt");
+        std::fs::write(
+            &manifest,
+            "mesh:4x4 clique:3 repeat=3\nmesh:4x4 chain:3 priority=2\ner:24:60:7 cycle:4 name=ring\n",
+        )
+        .unwrap();
+        let opts = ServeOpts {
+            jobs: manifest.to_string_lossy().into_owned(),
+            devices: 1,
+            lanes: 2,
+            queue: 16,
+            aging_ms: 5,
+            pacing: 0.0,
+            device: "test".into(),
+            output: "json".into(),
+        };
+        run_serve(&opts).unwrap();
+        // A manifest with no jobs is a typed error, not a panic.
+        std::fs::write(&manifest, "# comments only\n").unwrap();
+        assert!(matches!(run_serve(&opts), Err(CutsError::Invalid { .. })));
     }
 
     #[test]

@@ -86,14 +86,25 @@ impl<'d> CutsEngine<'d> {
     }
 
     /// Resumes matching from already-built partial paths: the receiving
-    /// side of a §4.2 work donation. See [`ExecSession::run_from_trie`].
+    /// side of a §4.2 work donation. See [`ExecSession::run_seeded`].
+    pub fn run_seeded(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        seed: &cuts_trie::HostTrie,
+    ) -> Result<MatchResult, EngineError> {
+        self.session.run_seeded(data, query, seed)
+    }
+
+    /// Former name of [`CutsEngine::run_seeded`].
+    #[deprecated(since = "0.5.0", note = "renamed to `run_seeded`")]
     pub fn run_from_trie(
         &self,
         data: &Graph,
         query: &Graph,
         seed: &cuts_trie::HostTrie,
     ) -> Result<MatchResult, EngineError> {
-        self.session.run_from_trie(data, query, seed)
+        self.session.run_seeded(data, query, seed)
     }
 
     /// §4 composition for disconnected query graphs. See
@@ -120,6 +131,26 @@ impl<'d> CutsEngine<'d> {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    #[allow(deprecated)]
+    fn run_from_trie_shim_still_works() {
+        let data = clique(4);
+        let query = clique(3);
+        let device = Device::new(DeviceConfig::test_small());
+        let engine = CutsEngine::new(&device);
+        let full = engine.run(&data, &query).unwrap();
+        let plan = crate::order::MatchOrder::compute(&query).unwrap();
+        let roots: Vec<Vec<u32>> = (0..data.num_vertices() as u32)
+            .filter(|&v| data.degree_dominates(v, plan.q_out[0], plan.q_in[0]))
+            .map(|v| vec![v])
+            .collect();
+        let seed = cuts_trie::HostTrie::from_flat_paths(&roots);
+        let old = engine.run_from_trie(&data, &query, &seed).unwrap();
+        let new = engine.run_seeded(&data, &query, &seed).unwrap();
+        assert_eq!(old.num_matches, new.num_matches);
+        assert_eq!(old.num_matches, full.num_matches);
+    }
+
     use super::*;
     use crate::config::IntersectStrategy;
     use crate::reference;
@@ -329,8 +360,8 @@ mod tests {
         let mid = roots.len() / 2;
         let a = cuts_trie::HostTrie::from_flat_paths(&roots[..mid]);
         let b = cuts_trie::HostTrie::from_flat_paths(&roots[mid..]);
-        let ca = engine.run_from_trie(&data, &query, &a).unwrap();
-        let cb = engine.run_from_trie(&data, &query, &b).unwrap();
+        let ca = engine.run_seeded(&data, &query, &a).unwrap();
+        let cb = engine.run_seeded(&data, &query, &b).unwrap();
         assert_eq!(ca.num_matches + cb.num_matches, full.num_matches);
     }
 
@@ -360,7 +391,7 @@ mod tests {
             }
         }
         let seed = cuts_trie::HostTrie::from_flat_paths(&prefix_paths);
-        let seeded = engine.run_from_trie(&data, &query, &seed).unwrap();
+        let seeded = engine.run_seeded(&data, &query, &seed).unwrap();
         assert_eq!(seeded.num_matches, full.num_matches);
         assert_eq!(seeded.level_counts, full.level_counts);
     }
@@ -387,7 +418,7 @@ mod tests {
             "one-level expansion disagrees with the full run"
         );
         // Completing the expanded seed reproduces the full count.
-        let done = engine.run_from_trie(&data, &query, &expanded).unwrap();
+        let done = engine.run_seeded(&data, &query, &expanded).unwrap();
         assert_eq!(done.num_matches, full.num_matches);
     }
 

@@ -1,6 +1,15 @@
-//! Engine errors.
+//! The workspace error hierarchy.
+//!
+//! [`EngineError`] stays the narrow per-run failure type; everything a
+//! caller can see across the workspace converges on [`CutsError`], the
+//! single `#[non_exhaustive]` top-level error with `From` conversions
+//! from every layer (device, engine, wire, distributed runtime,
+//! configuration, scheduler, graph parsing). No public API in the
+//! workspace returns `String` or `Box<dyn Error>`.
 
 use cuts_gpu_sim::DeviceError;
+use cuts_graph::edgelist::ParseError;
+use cuts_trie::serial::WireError;
 
 /// Failures of a matching run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,9 +56,357 @@ impl From<DeviceError> for EngineError {
     }
 }
 
+/// A configuration rejected at build time by one of the validating
+/// builders ([`crate::EngineConfig::builder`], `DistConfig::builder`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field value is out of its legal range.
+    Invalid {
+        /// The offending builder field.
+        field: &'static str,
+        /// Why the value is rejected.
+        reason: &'static str,
+    },
+    /// The trie budget implied by the configuration does not fit the
+    /// device's global memory.
+    Budget {
+        /// Words the configuration would need.
+        required_words: usize,
+        /// Words the device actually has.
+        device_words: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Invalid { field, reason } => {
+                write!(f, "invalid config field `{field}`: {reason}")
+            }
+            ConfigError::Budget {
+                required_words,
+                device_words,
+            } => write!(
+                f,
+                "config requires {required_words} words but the device has {device_words}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Failures surfaced by the multi-query scheduler ([`crate::sched`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The bounded submission queue is full — backpressure. Retry after
+    /// draining some completions.
+    Busy {
+        /// Configured submission-queue capacity.
+        capacity: usize,
+    },
+    /// The scheduler has stopped accepting jobs (its run scope ended).
+    Closed,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Busy { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            SchedError::Closed => write!(f, "scheduler is closed to new jobs"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Failures of the distributed runtime. Defined here (rather than in
+/// `cuts-dist`) so the whole hierarchy converges on [`CutsError`]
+/// without a dependency cycle; `cuts-dist` re-exports it as its worker
+/// error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// A rank's local engine failed.
+    Engine(EngineError),
+    /// A serialized trie payload failed to decode.
+    Wire(WireError),
+    /// An injected crash fault fired (fault-plan testing).
+    InjectedCrash {
+        /// The rank that crashed.
+        rank: usize,
+        /// Chunks the rank completed before crashing.
+        after_chunks: usize,
+    },
+    /// A rank's thread panicked.
+    Panicked {
+        /// The rank whose worker panicked.
+        rank: usize,
+    },
+    /// A fault-plan spec string failed to parse.
+    FaultSpec {
+        /// The offending clause, verbatim.
+        clause: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A fault-plan clause names a rank outside the run's world size.
+    RankOutOfRange {
+        /// The out-of-range rank.
+        rank: usize,
+        /// World size of the run.
+        ranks: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Engine(e) => write!(f, "engine error: {e}"),
+            DistError::Wire(e) => write!(f, "wire error: {e}"),
+            DistError::InjectedCrash { rank, after_chunks } => {
+                write!(
+                    f,
+                    "injected crash on rank {rank} after {after_chunks} chunks"
+                )
+            }
+            DistError::Panicked { rank } => write!(f, "rank {rank} panicked"),
+            DistError::FaultSpec { clause, reason } => {
+                write!(f, "bad fault clause `{clause}`: {reason}")
+            }
+            DistError::RankOutOfRange { rank, ranks } => {
+                write!(
+                    f,
+                    "fault plan names rank {rank}, but the run has {ranks} rank(s)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<EngineError> for DistError {
+    fn from(e: EngineError) -> Self {
+        DistError::Engine(e)
+    }
+}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+/// The unified top-level error: every fallible public operation in the
+/// workspace converges here via `From`. Marked `#[non_exhaustive]` so
+/// new failure classes can be added without a breaking release.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CutsError {
+    /// A matching run failed.
+    Engine(EngineError),
+    /// A device operation failed outside an engine run.
+    Device(DeviceError),
+    /// A serialized payload failed to decode.
+    Wire(WireError),
+    /// The distributed runtime failed.
+    Dist(DistError),
+    /// A configuration was rejected at build time.
+    Config(ConfigError),
+    /// The scheduler rejected or abandoned a job.
+    Sched(SchedError),
+    /// An edge-list input failed to parse.
+    Parse(ParseError),
+    /// A host-side I/O operation failed.
+    Io {
+        /// The path involved, when known.
+        path: String,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+    /// A user-supplied value (CLI flag, manifest field, query spec) is
+    /// not acceptable.
+    Invalid {
+        /// What kind of value was being parsed.
+        what: &'static str,
+        /// The value as given.
+        given: String,
+    },
+    /// An engine cannot represent the instance at all — e.g. the Gunrock
+    /// baseline's base-`|V_D|` path encoding overflowing 64 bits (§3).
+    Unsupported {
+        /// The mechanism that cannot cope.
+        what: &'static str,
+        /// Which limit the instance exceeds.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CutsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CutsError::Engine(e) => write!(f, "{e}"),
+            CutsError::Device(e) => write!(f, "device error: {e}"),
+            CutsError::Wire(e) => write!(f, "wire error: {e}"),
+            CutsError::Dist(e) => write!(f, "{e}"),
+            CutsError::Config(e) => write!(f, "{e}"),
+            CutsError::Sched(e) => write!(f, "{e}"),
+            CutsError::Parse(e) => write!(f, "{e}"),
+            CutsError::Io { path, message } => {
+                if path.is_empty() {
+                    write!(f, "i/o error: {message}")
+                } else {
+                    write!(f, "i/o error on {path}: {message}")
+                }
+            }
+            CutsError::Invalid { what, given } => write!(f, "invalid {what}: `{given}`"),
+            CutsError::Unsupported { what, detail } => {
+                write!(f, "{what} cannot represent this instance: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CutsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CutsError::Engine(e) => Some(e),
+            CutsError::Device(e) => Some(e),
+            CutsError::Wire(e) => Some(e),
+            CutsError::Dist(e) => Some(e),
+            CutsError::Config(e) => Some(e),
+            CutsError::Sched(e) => Some(e),
+            CutsError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CutsError {
+    fn from(e: EngineError) -> Self {
+        CutsError::Engine(e)
+    }
+}
+
+impl From<DeviceError> for CutsError {
+    fn from(e: DeviceError) -> Self {
+        CutsError::Device(e)
+    }
+}
+
+impl From<WireError> for CutsError {
+    fn from(e: WireError) -> Self {
+        CutsError::Wire(e)
+    }
+}
+
+impl From<DistError> for CutsError {
+    fn from(e: DistError) -> Self {
+        CutsError::Dist(e)
+    }
+}
+
+impl From<ConfigError> for CutsError {
+    fn from(e: ConfigError) -> Self {
+        CutsError::Config(e)
+    }
+}
+
+impl From<SchedError> for CutsError {
+    fn from(e: SchedError) -> Self {
+        CutsError::Sched(e)
+    }
+}
+
+impl From<ParseError> for CutsError {
+    fn from(e: ParseError) -> Self {
+        CutsError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CutsError {
+    fn from(e: std::io::Error) -> Self {
+        CutsError::Io {
+            path: String::new(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl CutsError {
+    /// An [`CutsError::Io`] annotated with the path involved.
+    pub fn io(path: impl Into<String>, e: std::io::Error) -> Self {
+        CutsError::Io {
+            path: path.into(),
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cuts_error_from_every_layer() {
+        let device = DeviceError::OutOfMemory {
+            requested: 8,
+            available: 0,
+        };
+        let cases: Vec<CutsError> = vec![
+            EngineError::EmptyQuery.into(),
+            device.into(),
+            WireError::Truncated.into(),
+            DistError::Panicked { rank: 2 }.into(),
+            ConfigError::Invalid {
+                field: "ranks",
+                reason: "must be at least 1",
+            }
+            .into(),
+            SchedError::Busy { capacity: 4 }.into(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(matches!(
+            cases[3],
+            CutsError::Dist(DistError::Panicked { rank: 2 })
+        ));
+        let io = CutsError::io("graph.txt", std::io::Error::other("boom"));
+        assert!(io.to_string().contains("graph.txt"));
+    }
+
+    #[test]
+    fn dist_error_display_and_from() {
+        let e: DistError = EngineError::EmptyQuery.into();
+        assert!(e.to_string().contains("engine error"));
+        let e: DistError = WireError::Truncated.into();
+        assert!(e.to_string().contains("wire error"));
+        assert!(DistError::RankOutOfRange { rank: 5, ranks: 2 }
+            .to_string()
+            .contains("rank 5"));
+        assert!(DistError::FaultSpec {
+            clause: "bogus".into(),
+            reason: "unknown kind",
+        }
+        .to_string()
+        .contains("bogus"));
+    }
+
+    #[test]
+    fn config_and_sched_display() {
+        assert!(ConfigError::Budget {
+            required_words: 100,
+            device_words: 10,
+        }
+        .to_string()
+        .contains("100"));
+        assert!(SchedError::Busy { capacity: 7 }.to_string().contains("7"));
+        assert!(SchedError::Closed.to_string().contains("closed"));
+    }
 
     #[test]
     fn display_and_from() {

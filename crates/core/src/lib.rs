@@ -32,15 +32,18 @@ pub mod intersect;
 pub mod kernels;
 pub mod order;
 pub mod plan;
+pub mod prelude;
 pub mod reference;
 pub mod result;
+pub mod sched;
 pub mod session;
 
 pub use cache::{PlanCache, PlanCacheStats};
-pub use config::{EngineConfig, IntersectStrategy, VirtualWarpPolicy};
+pub use config::{EngineConfig, EngineConfigBuilder, IntersectStrategy, VirtualWarpPolicy};
 pub use engine::CutsEngine;
-pub use error::EngineError;
+pub use error::{ConfigError, CutsError, DistError, EngineError, SchedError};
 pub use order::{BackEdge, Dir, MatchOrder, OrderPolicy};
 pub use plan::{BudgetCheck, DeviceClass, LevelSchedule, PlanKey, QueryPlan};
 pub use result::MatchResult;
+pub use sched::{Job, JobId, JobOutcome, SchedReport, SchedStats, Scheduler, SchedulerBuilder};
 pub use session::{ExecSession, MatchSink, SessionStats};

@@ -1,0 +1,15 @@
+//! The one-line import for typical users of the engine:
+//! `use cuts_core::prelude::*;` brings in the engine facade, the
+//! plan/session split, the scheduler, the unified error type, and the
+//! validating config builders — everything the README quick-starts use,
+//! and nothing obscure enough to collide with caller names.
+
+#![deny(missing_docs)]
+
+pub use crate::config::{EngineConfig, EngineConfigBuilder, IntersectStrategy};
+pub use crate::engine::CutsEngine;
+pub use crate::error::{ConfigError, CutsError, EngineError, SchedError};
+pub use crate::plan::QueryPlan;
+pub use crate::result::MatchResult;
+pub use crate::sched::{Job, JobId, JobOutcome, SchedReport, Scheduler, SchedulerBuilder};
+pub use crate::session::ExecSession;

@@ -42,6 +42,25 @@ impl MatchResult {
     pub fn cuts_words(&self) -> u64 {
         self.space().cuts_words(self.level_counts.len())
     }
+
+    /// A canonical byte encoding of the run's *semantic* outcome: the
+    /// match count, per-level path counts, and matching order. Timing
+    /// fields, hardware counters, and the chunking flag are excluded —
+    /// they legitimately differ between executions that are semantically
+    /// identical (e.g. a serial loop vs. the scheduler, which sizes trie
+    /// capacity per job). Two runs are equivalent iff these bytes match.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * (2 + self.level_counts.len()) + 4 * self.order.len());
+        out.extend_from_slice(&self.num_matches.to_le_bytes());
+        out.extend_from_slice(&(self.level_counts.len() as u64).to_le_bytes());
+        for &c in &self.level_counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for &q in &self.order {
+            out.extend_from_slice(&q.to_le_bytes());
+        }
+        out
+    }
 }
 
 impl ToJson for MatchResult {

@@ -1,0 +1,1486 @@
+//! Multi-query throughput scheduler with memory-aware admission.
+//!
+//! Every earlier layer of this workspace executes *one* query at a time;
+//! a serving system has to multiplex a stream of (data graph, query)
+//! jobs over the simulated devices. [`Scheduler`] is that layer:
+//!
+//! * **Worker lanes with stealing.** Each device runs `lanes` worker
+//!   threads over one shared [`ExecSession`] (plan cache and buffer
+//!   pool amortise across the whole stream). Each lane owns a deque; an
+//!   idle lane steals from the back of its longest sibling deque.
+//! * **Memory-aware admission.** A job is dispatched to a device only
+//!   when its §5 space estimate ([`QueryPlan::space_estimate`], the
+//!   paper's `budget_check`) fits the device's remaining trie-memory
+//!   budget under a reservation ledger. Oversized jobs are *deferred*
+//!   with exponential backoff — they wait for the device to drain and
+//!   then run alone against the full budget; they never fail admission.
+//! * **Priorities, deadlines, aging.** Dispatch order is by score:
+//!   static priority, plus waited-time over the aging constant (so
+//!   starvation is bounded — any job's score eventually dominates), plus
+//!   an urgency boost as a deadline approaches. A job that has waited
+//!   more than four aging periods blocks lower-scored jobs from
+//!   bypassing it.
+//! * **Backpressure.** The submission queue is bounded;
+//!   [`SubmitHandle::submit`] returns the typed
+//!   [`SchedError::Busy`] when it is full (use
+//!   [`SubmitHandle::submit_wait`] to block instead).
+//!
+//! Determinism: each job's trie capacity is derived from its *own* space
+//! estimate clamped to the device-level budget — never from lane count
+//! or pool history — so per-job [`MatchResult`]s are identical whether
+//! the stream runs on 1, 2, or 4 lanes, or through
+//! [`Scheduler::run_serial`].
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cuts_gpu_sim::{Device, DeviceConfig};
+use cuts_graph::{generators, Graph};
+use cuts_obs::{Arg, EventKind, Json, ToJson, Trace};
+
+use crate::config::EngineConfig;
+use crate::error::{ConfigError, CutsError, EngineError, SchedError};
+use crate::plan::QueryPlan;
+use crate::result::MatchResult;
+use crate::session::ExecSession;
+
+/// Smallest trie capacity (entries) a job is ever given.
+const MIN_TRIE_ENTRIES: usize = 256;
+/// Defer backoff bounds.
+const BACKOFF_FIRST: Duration = Duration::from_micros(500);
+const BACKOFF_MAX: Duration = Duration::from_millis(8);
+/// A job that has waited this many aging periods blocks bypass.
+const AGED_HEAD_FACTOR: u32 = 4;
+
+/// One unit of work: match `query` in `data`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Optional display name (reports, traces).
+    pub name: Option<String>,
+    /// The data graph. `Arc` so many jobs can share one graph.
+    pub data: Arc<Graph>,
+    /// The query graph. Jobs with the same query share a cached plan.
+    pub query: Arc<Graph>,
+    /// Static priority; higher dispatches first at equal wait time.
+    pub priority: i32,
+    /// Soft deadline measured from submission. Approaching it boosts the
+    /// job's dispatch score; it is never killed for missing it.
+    pub deadline: Option<Duration>,
+}
+
+impl Job {
+    /// A default-priority job.
+    pub fn new(data: Arc<Graph>, query: Arc<Graph>) -> Self {
+        Job {
+            name: None,
+            data,
+            query,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the static priority.
+    pub fn with_priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the soft deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+/// Identifier handed back by submit; indexes the report's outcome list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// What happened to one job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's id (also its index in [`SchedReport::outcomes`]).
+    pub id: JobId,
+    /// Display name, if the job had one.
+    pub name: Option<String>,
+    /// Device the job ran on.
+    pub device: usize,
+    /// Lane that executed it (0 when the job failed at planning).
+    pub lane: usize,
+    /// Milliseconds between submission and execution start.
+    pub queue_millis: f64,
+    /// Milliseconds spent executing (including pacing sleep).
+    pub exec_millis: f64,
+    /// Trie entry capacity the job was sized to.
+    pub trie_entries: usize,
+    /// Whether the job was stolen from another lane's deque.
+    pub stolen: bool,
+    /// The run result, or the typed failure.
+    pub result: Result<MatchResult, CutsError>,
+}
+
+/// Aggregate counters for one [`Scheduler::run`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Jobs accepted into the submission queue.
+    pub submitted: u64,
+    /// Jobs that finished with `Ok`.
+    pub completed: u64,
+    /// Jobs that finished with `Err`.
+    pub failed: u64,
+    /// Jobs executed from a stolen deque entry.
+    pub stolen: u64,
+    /// Dispatch passes that deferred a job for lack of memory.
+    pub deferred: u64,
+    /// `submit` calls rejected with [`SchedError::Busy`].
+    pub busy_rejections: u64,
+    /// Plan-cache hits summed over the device sessions.
+    pub plan_hits: u64,
+    /// Plan-cache misses summed over the device sessions.
+    pub plan_misses: u64,
+    /// Peak reserved trie words per device (admission watermark).
+    pub peak_reserved_words: Vec<usize>,
+    /// Per-device trie-memory budget the admission check enforced.
+    pub budget_words: Vec<usize>,
+}
+
+impl ToJson for SchedStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("submitted", Json::U64(self.submitted)),
+            ("completed", Json::U64(self.completed)),
+            ("failed", Json::U64(self.failed)),
+            ("stolen", Json::U64(self.stolen)),
+            ("deferred", Json::U64(self.deferred)),
+            ("busy_rejections", Json::U64(self.busy_rejections)),
+            ("plan_hits", Json::U64(self.plan_hits)),
+            ("plan_misses", Json::U64(self.plan_misses)),
+            (
+                "peak_reserved_words",
+                Json::arr(self.peak_reserved_words.iter().map(|&w| w as u64)),
+            ),
+            (
+                "budget_words",
+                Json::arr(self.budget_words.iter().map(|&w| w as u64)),
+            ),
+        ])
+    }
+}
+
+/// The result of draining one job stream.
+#[derive(Debug)]
+pub struct SchedReport {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub wall_millis: f64,
+    /// Aggregate counters.
+    pub stats: SchedStats,
+}
+
+impl SchedReport {
+    /// Completed jobs per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_millis <= 0.0 {
+            return 0.0;
+        }
+        self.stats.completed as f64 / (self.wall_millis / 1e3)
+    }
+
+    /// The `p`-th percentile (0–100) of total job latency
+    /// (queue + execution), over completed jobs. `None` when nothing
+    /// completed.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        let mut lat: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.result.is_ok())
+            .map(|o| o.queue_millis + o.exec_millis)
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        Some(lat[idx.min(lat.len() - 1)])
+    }
+}
+
+impl ToJson for SchedReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("wall_millis", Json::F64(self.wall_millis)),
+            ("jobs_per_sec", Json::F64(self.jobs_per_sec())),
+            (
+                "p50_millis",
+                self.latency_percentile(50.0).map_or(Json::Null, Json::F64),
+            ),
+            (
+                "p99_millis",
+                self.latency_percentile(99.0).map_or(Json::Null, Json::F64),
+            ),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+/// Builder for [`Scheduler`]; validated at [`SchedulerBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct SchedulerBuilder {
+    device_config: DeviceConfig,
+    engine: EngineConfig,
+    devices: usize,
+    lanes: usize,
+    queue_capacity: usize,
+    aging: Duration,
+    sigma: f64,
+    pacing: f64,
+    admit_window: usize,
+    plan_cache: usize,
+    trace: Option<Trace>,
+}
+
+impl SchedulerBuilder {
+    /// The simulated device model every device instance uses.
+    pub fn device_config(mut self, c: DeviceConfig) -> Self {
+        self.device_config = c;
+        self
+    }
+
+    /// The engine configuration shared by every session.
+    pub fn engine_config(mut self, c: EngineConfig) -> Self {
+        self.engine = c;
+        self
+    }
+
+    /// Number of simulated devices (≥ 1).
+    pub fn devices(mut self, n: usize) -> Self {
+        self.devices = n;
+        self
+    }
+
+    /// Worker lanes per device (≥ 1).
+    pub fn lanes(mut self, n: usize) -> Self {
+        self.lanes = n;
+        self
+    }
+
+    /// Bounded submission-queue capacity (≥ 1); a full queue makes
+    /// [`SubmitHandle::submit`] return [`SchedError::Busy`].
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Aging constant: one unit of dispatch score per `aging` waited.
+    pub fn aging(mut self, d: Duration) -> Self {
+        self.aging = d;
+        self
+    }
+
+    /// §5 candidate-survival prior σ for space estimates (must be in
+    /// `(0, 1]`; the paper uses 0.25 for unlabelled graphs).
+    pub fn sigma(mut self, s: f64) -> Self {
+        self.sigma = s;
+        self
+    }
+
+    /// Host pacing factor: after each job, the executing lane sleeps
+    /// `sim_millis × pacing` so the host timeline tracks the simulated
+    /// device timeline (same convention as the distributed runtime).
+    pub fn pacing(mut self, p: f64) -> Self {
+        self.pacing = p;
+        self
+    }
+
+    /// Maximum admitted-but-unfinished jobs per device, as a multiple of
+    /// the lane count (default 2: one running + one queued per lane).
+    pub fn admit_window(mut self, w: usize) -> Self {
+        self.admit_window = w;
+        self
+    }
+
+    /// Plan-cache capacity per device session.
+    pub fn plan_cache(mut self, n: usize) -> Self {
+        self.plan_cache = n;
+        self
+    }
+
+    /// Attaches a trace: devices emit kernel/run spans and the scheduler
+    /// emits [`EventKind::Job`] lifecycle events into it.
+    pub fn trace(mut self, t: Trace) -> Self {
+        self.trace = Some(t);
+        self
+    }
+
+    /// Validates and builds the scheduler (devices are created here).
+    pub fn build(self) -> Result<Scheduler, ConfigError> {
+        if self.devices == 0 {
+            return Err(ConfigError::Invalid {
+                field: "devices",
+                reason: "must be at least 1",
+            });
+        }
+        if self.lanes == 0 {
+            return Err(ConfigError::Invalid {
+                field: "lanes",
+                reason: "must be at least 1",
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::Invalid {
+                field: "queue_capacity",
+                reason: "must be at least 1",
+            });
+        }
+        if !(self.sigma > 0.0 && self.sigma <= 1.0) {
+            return Err(ConfigError::Invalid {
+                field: "sigma",
+                reason: "must be in (0, 1]",
+            });
+        }
+        if self.aging.is_zero() {
+            return Err(ConfigError::Invalid {
+                field: "aging",
+                reason: "must be positive",
+            });
+        }
+        if self.admit_window == 0 {
+            return Err(ConfigError::Invalid {
+                field: "admit_window",
+                reason: "must be at least 1",
+            });
+        }
+        // The engine config must survive its own validation, including
+        // the trie budget against this device model.
+        let engine = {
+            let mut b = EngineConfig::builder()
+                .chunk_size(self.engine.chunk_size)
+                .trie_fraction(self.engine.trie_fraction)
+                .intersect(self.engine.intersect)
+                .randomize_placement(self.engine.randomize_placement)
+                .order_policy(self.engine.order_policy)
+                .virtual_warp(self.engine.virtual_warp)
+                .max_blocks(self.engine.max_blocks)
+                .seed(self.engine.seed);
+            b = b.for_device_words(self.device_config.global_mem_words);
+            b.build()?
+        };
+        let devices = (0..self.devices)
+            .map(|_| {
+                let mut d = Device::new(self.device_config.clone());
+                if let Some(t) = &self.trace {
+                    d.set_trace(t.clone());
+                }
+                d
+            })
+            .collect();
+        Ok(Scheduler {
+            devices,
+            engine,
+            lanes: self.lanes,
+            queue_capacity: self.queue_capacity,
+            aging: self.aging,
+            sigma: self.sigma,
+            pacing: self.pacing,
+            admit_window: self.admit_window,
+            plan_cache: self.plan_cache,
+            trace: self.trace.unwrap_or_else(Trace::disabled),
+        })
+    }
+}
+
+/// Throughput-oriented multi-query scheduler over simulated devices.
+///
+/// ```
+/// use std::sync::Arc;
+/// use cuts_core::sched::{Job, Scheduler};
+/// use cuts_graph::generators::{clique, mesh2d};
+///
+/// let sched = Scheduler::builder().lanes(2).build().unwrap();
+/// let data = Arc::new(mesh2d(4, 4));
+/// let query = Arc::new(clique(2));
+/// let report = sched
+///     .run(|h| {
+///         for _ in 0..4 {
+///             h.submit_wait(Job::new(data.clone(), query.clone()));
+///         }
+///         Ok(())
+///     })
+///     .unwrap();
+/// assert_eq!(report.stats.completed, 4);
+/// assert!(report.outcomes.iter().all(|o| o.result.is_ok()));
+/// ```
+pub struct Scheduler {
+    devices: Vec<Device>,
+    engine: EngineConfig,
+    lanes: usize,
+    queue_capacity: usize,
+    aging: Duration,
+    sigma: f64,
+    pacing: f64,
+    admit_window: usize,
+    plan_cache: usize,
+    trace: Trace,
+}
+
+impl Scheduler {
+    /// A builder with serving-oriented defaults: one `v100_like` device,
+    /// two lanes, queue capacity 64, 5 ms aging, σ = 0.25, no pacing.
+    pub fn builder() -> SchedulerBuilder {
+        SchedulerBuilder {
+            device_config: DeviceConfig::v100_like(),
+            engine: EngineConfig::default(),
+            devices: 1,
+            lanes: 2,
+            queue_capacity: 64,
+            aging: Duration::from_millis(5),
+            sigma: 0.25,
+            pacing: 0.0,
+            admit_window: 2,
+            plan_cache: crate::session::DEFAULT_PLAN_CACHE_CAPACITY,
+            trace: None,
+        }
+    }
+
+    /// The simulated devices jobs execute on.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Worker lanes per device.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The per-job trie capacity (entries) for `plan` over `data`: the
+    /// §5 space estimate, rounded up to a power of two for pool reuse,
+    /// clamped into `[MIN, device budget]`. Depends only on the job and
+    /// the device model — never on lane count or what ran before — which
+    /// is what makes scheduler results bit-identical to a serial loop.
+    fn job_entries(&self, plan: &QueryPlan, data: &Graph) -> usize {
+        let est = plan.space_estimate(data, self.sigma).ceil();
+        let budget = plan.trie_entries_budget.max(1);
+        let wanted = if est >= budget as f64 {
+            budget
+        } else {
+            ((est as usize).max(1)).next_power_of_two()
+        };
+        wanted.clamp(MIN_TRIE_ENTRIES.min(budget), budget)
+    }
+
+    /// Runs one stream: `submit` receives a handle, submits jobs (and
+    /// may interleave its own logic); when it returns, the stream is
+    /// closed and `run` blocks until every accepted job completes.
+    pub fn run<F>(&self, submit: F) -> Result<SchedReport, CutsError>
+    where
+        F: FnOnce(&SubmitHandle<'_>) -> Result<(), CutsError>,
+    {
+        let sessions: Vec<ExecSession<'_>> = self
+            .devices
+            .iter()
+            .map(|d| ExecSession::with_cache_capacity(d, self.engine.clone(), self.plan_cache))
+            .collect();
+        let devs: Vec<DevState<'_>> = self
+            .devices
+            .iter()
+            .zip(&sessions)
+            .map(|(device, session)| {
+                let budget = (device.free_words() as f64 * self.engine.trie_fraction) as usize;
+                DevState {
+                    session,
+                    budget_words: budget,
+                    reserved: AtomicUsize::new(0),
+                    peak_reserved: AtomicUsize::new(0),
+                    inflight: AtomicUsize::new(0),
+                    queues: Mutex::new((0..self.lanes).map(|_| VecDeque::new()).collect()),
+                    work: Condvar::new(),
+                    done: AtomicBool::new(false),
+                }
+            })
+            .collect();
+        let shared = Shared {
+            sched: self,
+            devs,
+            pending: Mutex::new(Pending {
+                queue: Vec::new(),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            tick: Condvar::new(),
+            results: Mutex::new(Vec::new()),
+            submitted: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+        };
+
+        let start = Instant::now();
+        let submit_result = std::thread::scope(|scope| {
+            for dev in &shared.devs {
+                for lane in 0..self.lanes {
+                    let shared = &shared;
+                    scope.spawn(move || lane_loop(shared, dev, lane));
+                }
+            }
+            {
+                let shared = &shared;
+                scope.spawn(move || dispatcher_loop(shared));
+            }
+            let handle = SubmitHandle { shared: &shared };
+            let r = submit(&handle);
+            let mut p = shared.pending.lock().unwrap();
+            p.closed = true;
+            drop(p);
+            shared.tick.notify_all();
+            shared.space.notify_all();
+            r
+            // Scope exit joins the dispatcher and every lane.
+        });
+        submit_result?;
+        let wall_millis = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut slots = shared.results.into_inner().unwrap();
+        slots.sort_by_key(|o: &JobOutcome| o.id);
+        let completed = slots.iter().filter(|o| o.result.is_ok()).count() as u64;
+        let failed = slots.len() as u64 - completed;
+        let (mut plan_hits, mut plan_misses) = (0u64, 0u64);
+        for s in &sessions {
+            let st = s.stats();
+            plan_hits += st.plans.hits;
+            plan_misses += st.plans.misses;
+        }
+        let stats = SchedStats {
+            submitted: shared.submitted.load(Ordering::Relaxed),
+            completed,
+            failed,
+            stolen: shared.stolen.load(Ordering::Relaxed),
+            deferred: shared.deferred.load(Ordering::Relaxed),
+            busy_rejections: shared.busy_rejections.load(Ordering::Relaxed),
+            plan_hits,
+            plan_misses,
+            peak_reserved_words: shared
+                .devs
+                .iter()
+                .map(|d| d.peak_reserved.load(Ordering::Relaxed))
+                .collect(),
+            budget_words: shared.devs.iter().map(|d| d.budget_words).collect(),
+        };
+        Ok(SchedReport {
+            outcomes: slots,
+            wall_millis,
+            stats,
+        })
+    }
+
+    /// The scheduler's semantic baseline: the same jobs, one at a time,
+    /// in submission order, on device 0, with identical per-job trie
+    /// sizing and pacing. [`Scheduler::run`] must produce byte-identical
+    /// [`MatchResult::canonical_bytes`] per job; the throughput ratio
+    /// between the two is what the lanes buy.
+    pub fn run_serial(&self, jobs: &[Job]) -> Result<SchedReport, CutsError> {
+        let session = ExecSession::with_cache_capacity(
+            &self.devices[0],
+            self.engine.clone(),
+            self.plan_cache,
+        );
+        let start = Instant::now();
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let (mut completed, mut failed) = (0u64, 0u64);
+        for (i, job) in jobs.iter().enumerate() {
+            let queued = start.elapsed().as_secs_f64() * 1e3;
+            let exec_start = Instant::now();
+            let result = session
+                .plan_for(&job.query)
+                .and_then(|plan| {
+                    let mut entries = self.job_entries(&plan, &job.data);
+                    let budget = plan.trie_entries_budget.max(1);
+                    // The same growth-on-undershoot sequence the lanes
+                    // take, so trie sizes (and results) match exactly.
+                    loop {
+                        match session.run_with_plan_sized(&plan, &job.data, entries) {
+                            Err(EngineError::CapacityExhausted { .. }) if entries < budget => {
+                                entries = (entries * 2).min(budget);
+                            }
+                            other => break other.map(|r| (r, entries)),
+                        }
+                    }
+                })
+                .map_err(CutsError::from);
+            let (result, entries) = match result {
+                Ok((r, e)) => {
+                    if self.pacing > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(
+                            r.sim_millis * self.pacing / 1e3,
+                        ));
+                    }
+                    completed += 1;
+                    (Ok(r), e)
+                }
+                Err(e) => {
+                    failed += 1;
+                    (Err(e), 0)
+                }
+            };
+            outcomes.push(JobOutcome {
+                id: JobId(i as u64),
+                name: job.name.clone(),
+                device: 0,
+                lane: 0,
+                queue_millis: queued,
+                exec_millis: exec_start.elapsed().as_secs_f64() * 1e3,
+                trie_entries: entries,
+                stolen: false,
+                result,
+            });
+        }
+        let wall_millis = start.elapsed().as_secs_f64() * 1e3;
+        let st = session.stats();
+        Ok(SchedReport {
+            outcomes,
+            wall_millis,
+            stats: SchedStats {
+                submitted: jobs.len() as u64,
+                completed,
+                failed,
+                plan_hits: st.plans.hits,
+                plan_misses: st.plans.misses,
+                peak_reserved_words: vec![0],
+                budget_words: vec![
+                    (self.devices[0].free_words() as f64 * self.engine.trie_fraction) as usize,
+                ],
+                ..Default::default()
+            },
+        })
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("devices", &self.devices.len())
+            .field("lanes", &self.lanes)
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
+    }
+}
+
+/// Submission side of a running scheduler, passed to the closure given
+/// to [`Scheduler::run`].
+pub struct SubmitHandle<'s> {
+    shared: &'s Shared<'s>,
+}
+
+impl SubmitHandle<'_> {
+    /// Submits a job. Returns [`SchedError::Busy`] when the bounded
+    /// queue is full — the caller decides whether to retry, drop, or
+    /// shed load.
+    pub fn submit(&self, job: Job) -> Result<JobId, SchedError> {
+        let mut p = self.shared.pending.lock().unwrap();
+        if p.closed {
+            return Err(SchedError::Closed);
+        }
+        if p.queue.len() >= self.shared.sched.queue_capacity {
+            self.shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(SchedError::Busy {
+                capacity: self.shared.sched.queue_capacity,
+            });
+        }
+        Ok(self.shared.enqueue(&mut p, job))
+    }
+
+    /// Submits a job, blocking while the queue is full.
+    pub fn submit_wait(&self, job: Job) -> JobId {
+        let mut p = self.shared.pending.lock().unwrap();
+        while p.queue.len() >= self.shared.sched.queue_capacity && !p.closed {
+            p = self.shared.space.wait(p).unwrap();
+        }
+        self.shared.enqueue(&mut p, job)
+    }
+
+    /// Jobs currently waiting for dispatch.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.lock().unwrap().queue.len()
+    }
+
+    /// Jobs admitted to devices and not yet finished.
+    pub fn inflight(&self) -> usize {
+        self.shared
+            .devs
+            .iter()
+            .map(|d| d.inflight.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal run-time state.
+
+struct PendingJob {
+    id: JobId,
+    job: Job,
+    submitted_at: Instant,
+    not_before: Instant,
+    defers: u32,
+}
+
+struct Pending {
+    queue: Vec<PendingJob>,
+    closed: bool,
+}
+
+struct Task {
+    id: JobId,
+    job: Job,
+    plan: Arc<QueryPlan>,
+    entries: usize,
+    reserve_words: usize,
+    device: usize,
+    submitted_at: Instant,
+}
+
+struct DevState<'d> {
+    session: &'d ExecSession<'d>,
+    budget_words: usize,
+    reserved: AtomicUsize,
+    peak_reserved: AtomicUsize,
+    inflight: AtomicUsize,
+    queues: Mutex<Vec<VecDeque<Task>>>,
+    work: Condvar,
+    done: AtomicBool,
+}
+
+impl DevState<'_> {
+    /// Atomically reserves `words` in the ledger iff the budget still has
+    /// room; the peak watermark moves with every success. This is the only
+    /// way reservations grow, so `peak_reserved <= budget_words` holds for
+    /// the whole run.
+    fn try_reserve(&self, words: usize) -> bool {
+        let mut cur = self.reserved.load(Ordering::Relaxed);
+        loop {
+            if cur + words > self.budget_words {
+                return false;
+            }
+            match self.reserved.compare_exchange_weak(
+                cur,
+                cur + words,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak_reserved.fetch_max(cur + words, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Why a job cannot be placed right now (see [`pick_device`]).
+#[derive(Clone, Copy)]
+enum NoFit {
+    /// Every device's admission window is full: transient backpressure,
+    /// resolved by the next completion — no backoff.
+    WindowFull,
+    /// A window slot exists but the job's reservation exceeds every
+    /// device's remaining memory budget: defer with backoff.
+    OverBudget,
+}
+
+struct Shared<'s> {
+    sched: &'s Scheduler,
+    devs: Vec<DevState<'s>>,
+    pending: Mutex<Pending>,
+    /// Signals submitters waiting for queue space.
+    space: Condvar,
+    /// Signals the dispatcher: new work, closure, or released memory.
+    tick: Condvar,
+    results: Mutex<Vec<JobOutcome>>,
+    submitted: AtomicU64,
+    stolen: AtomicU64,
+    deferred: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+impl<'s> Shared<'s> {
+    fn enqueue(&self, p: &mut Pending, job: Job) -> JobId {
+        let id = JobId(self.submitted.fetch_add(1, Ordering::Relaxed));
+        let now = Instant::now();
+        self.sched.trace.instant_with(
+            EventKind::Job,
+            "submit",
+            &[
+                ("job", Arg::U64(id.0)),
+                ("pending", Arg::U64(p.queue.len() as u64)),
+            ],
+        );
+        p.queue.push(PendingJob {
+            id,
+            job,
+            submitted_at: now,
+            not_before: now,
+            defers: 0,
+        });
+        self.tick.notify_all();
+        id
+    }
+
+    fn finish(&self, outcome: JobOutcome) {
+        self.sched.trace.instant_with(
+            EventKind::Job,
+            "complete",
+            &[
+                ("job", Arg::U64(outcome.id.0)),
+                ("queue_ms", Arg::F64(outcome.queue_millis)),
+                ("exec_ms", Arg::F64(outcome.exec_millis)),
+                ("ok", Arg::U64(outcome.result.is_ok() as u64)),
+            ],
+        );
+        self.results.lock().unwrap().push(outcome);
+        // Memory or an admission slot may have been released: wake the
+        // dispatcher for another pass.
+        let _p = self.pending.lock().unwrap();
+        self.tick.notify_all();
+    }
+}
+
+/// Dispatch score: static priority, plus waited time in units of the
+/// aging constant, plus a deadline-urgency boost. Any job's aging term
+/// grows without bound, so no job starves behind a stream of
+/// higher-priority arrivals.
+fn score(p: &PendingJob, now: Instant, aging: Duration) -> f64 {
+    let waited = now.saturating_duration_since(p.submitted_at).as_secs_f64();
+    let mut s = p.job.priority as f64 + waited / aging.as_secs_f64();
+    if let Some(d) = p.job.deadline {
+        let remaining = d.as_secs_f64() - waited;
+        s += if remaining <= 0.0 {
+            1e6
+        } else {
+            1.0 / remaining.max(1e-3)
+        };
+    }
+    s
+}
+
+fn backoff(defers: u32) -> Duration {
+    let d = BACKOFF_FIRST * 2u32.saturating_pow(defers.min(8));
+    d.min(BACKOFF_MAX)
+}
+
+fn dispatcher_loop(shared: &Shared<'_>) {
+    let sched = shared.sched;
+    loop {
+        let mut p = shared.pending.lock().unwrap();
+        if p.queue.is_empty() {
+            if p.closed {
+                break;
+            }
+            p = shared
+                .tick
+                .wait_timeout(p, Duration::from_millis(1))
+                .unwrap()
+                .0;
+            if p.queue.is_empty() {
+                continue;
+            }
+        }
+        let now = Instant::now();
+        // Best-scored ready candidate overall, and best that fits a
+        // device right now.
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_nofit = NoFit::WindowFull;
+        let mut best_fit: Option<(usize, f64, usize)> = None;
+        for (i, cand) in p.queue.iter().enumerate() {
+            if cand.not_before > now {
+                continue;
+            }
+            let s = score(cand, now, sched.aging);
+            let placement = pick_device(shared, &cand.job);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((i, s));
+                // Unused when the best candidate fits somewhere.
+                best_nofit = placement.err().unwrap_or(NoFit::WindowFull);
+            }
+            if let Ok(di) = placement {
+                if best_fit.is_none_or(|(_, bs, _)| s > bs) {
+                    best_fit = Some((i, s, di));
+                }
+            }
+        }
+        let Some((best_i, best_s)) = best else {
+            // Everything ready is backing off.
+            let _ = shared
+                .tick
+                .wait_timeout(p, Duration::from_micros(200))
+                .unwrap();
+            continue;
+        };
+        let mut head_held = false;
+        let choice = match best_fit {
+            Some((i, s, di)) => {
+                let head = &p.queue[best_i];
+                let head_aged = now.saturating_duration_since(head.submitted_at)
+                    >= sched.aging * AGED_HEAD_FACTOR;
+                if i == best_i || s >= best_s || !head_aged {
+                    Some((i, di))
+                } else {
+                    // The aged head must not be bypassed by a
+                    // lower-scored job; hold dispatch until it fits.
+                    head_held = true;
+                    None
+                }
+            }
+            None => None,
+        };
+        let Some((idx, di)) = choice else {
+            // Memory-aware deferral with backoff applies only to a job
+            // whose reservation genuinely exceeds the remaining budget
+            // (and that has not aged into head-of-line protection).
+            // Window-full backpressure is transient: the completion that
+            // frees the slot wakes `tick`, so no penalty is recorded.
+            if !head_held && matches!(best_nofit, NoFit::OverBudget) {
+                let cand = &mut p.queue[best_i];
+                cand.not_before = now + backoff(cand.defers);
+                cand.defers += 1;
+                shared.deferred.fetch_add(1, Ordering::Relaxed);
+                sched.trace.instant_with(
+                    EventKind::Job,
+                    "defer",
+                    &[
+                        ("job", Arg::U64(cand.id.0)),
+                        ("defers", Arg::U64(cand.defers as u64)),
+                    ],
+                );
+            }
+            let _ = shared
+                .tick
+                .wait_timeout(p, Duration::from_micros(200))
+                .unwrap();
+            continue;
+        };
+        let cand = p.queue.swap_remove(idx);
+        drop(p);
+        shared.space.notify_all();
+        admit(shared, cand, di);
+    }
+    // Close the lanes: no more admissions will arrive.
+    for dev in &shared.devs {
+        dev.done.store(true, Ordering::Release);
+        let _q = dev.queues.lock().unwrap();
+        dev.work.notify_all();
+    }
+}
+
+/// The device this job fits right now: reservation ledger has room for
+/// its trie words and the admission window has a slot. Ties break to
+/// the least-reserved device. `Err` distinguishes transient window
+/// backpressure from a genuine memory-budget miss.
+fn pick_device(shared: &Shared<'_>, job: &Job) -> Result<usize, NoFit> {
+    let sched = shared.sched;
+    let mut choice: Option<(usize, usize)> = None;
+    let mut window_open = false;
+    for (di, dev) in shared.devs.iter().enumerate() {
+        if dev.inflight.load(Ordering::Relaxed) >= sched.lanes * sched.admit_window {
+            continue;
+        }
+        window_open = true;
+        // Sizing needs the plan; resolve it on this device's session
+        // (cached thereafter). A plan failure is surfaced at admission.
+        let Ok(plan) = dev.session.plan_for(&job.query) else {
+            return Ok(di); // fail fast on any device
+        };
+        let entries = sched.job_entries(&plan, &job.data);
+        let words = 2 * entries;
+        let reserved = dev.reserved.load(Ordering::Relaxed);
+        if reserved + words > dev.budget_words {
+            continue;
+        }
+        if choice.is_none_or(|(_, r)| reserved < r) {
+            choice = Some((di, reserved));
+        }
+    }
+    match choice {
+        Some((di, _)) => Ok(di),
+        None if window_open => Err(NoFit::OverBudget),
+        None => Err(NoFit::WindowFull),
+    }
+}
+
+fn admit(shared: &Shared<'_>, cand: PendingJob, di: usize) {
+    let sched = shared.sched;
+    let dev = &shared.devs[di];
+    let plan = match dev.session.plan_for(&cand.job.query) {
+        Ok(p) => p,
+        Err(e) => {
+            // Unplannable (empty / disconnected query): an immediate
+            // per-job failure, not a scheduler failure.
+            shared.finish(JobOutcome {
+                id: cand.id,
+                name: cand.job.name.clone(),
+                device: di,
+                lane: 0,
+                queue_millis: cand.submitted_at.elapsed().as_secs_f64() * 1e3,
+                exec_millis: 0.0,
+                trie_entries: 0,
+                stolen: false,
+                result: Err(e.into()),
+            });
+            return;
+        }
+    };
+    let entries = sched.job_entries(&plan, &cand.job.data);
+    let words = 2 * entries;
+    // `pick_device` said this fits, but a lane growing its trie may have
+    // raced in; wait rather than overshoot the ledger.
+    while !dev.try_reserve(words) {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    let reserved = dev.reserved.load(Ordering::Relaxed);
+    dev.inflight.fetch_add(1, Ordering::AcqRel);
+    sched.trace.instant_with(
+        EventKind::Job,
+        "admit",
+        &[
+            ("job", Arg::U64(cand.id.0)),
+            ("device", Arg::U64(di as u64)),
+            ("entries", Arg::U64(entries as u64)),
+            ("reserved", Arg::U64(reserved as u64)),
+        ],
+    );
+    let task = Task {
+        id: cand.id,
+        job: cand.job,
+        plan,
+        entries,
+        reserve_words: words,
+        device: di,
+        submitted_at: cand.submitted_at,
+    };
+    let mut queues = dev.queues.lock().unwrap();
+    // Shortest deque gets the task (ties to the lowest lane index).
+    let lane = (0..queues.len())
+        .min_by_key(|&l| queues[l].len())
+        .unwrap_or(0);
+    queues[lane].push_back(task);
+    dev.work.notify_all();
+}
+
+fn lane_loop(shared: &Shared<'_>, dev: &DevState<'_>, lane: usize) {
+    let sched = shared.sched;
+    loop {
+        let (task, stolen) = {
+            let mut queues = dev.queues.lock().unwrap();
+            loop {
+                if let Some(t) = queues[lane].pop_front() {
+                    break (t, false);
+                }
+                // Steal from the back of the longest sibling deque.
+                let victim = (0..queues.len())
+                    .filter(|&l| l != lane && !queues[l].is_empty())
+                    .max_by_key(|&l| queues[l].len());
+                if let Some(v) = victim {
+                    let t = queues[v].pop_back().unwrap();
+                    shared.stolen.fetch_add(1, Ordering::Relaxed);
+                    sched.trace.instant_with(
+                        EventKind::Job,
+                        "steal",
+                        &[
+                            ("job", Arg::U64(t.id.0)),
+                            ("from_lane", Arg::U64(v as u64)),
+                            ("lane", Arg::U64(lane as u64)),
+                        ],
+                    );
+                    break (t, true);
+                }
+                if dev.done.load(Ordering::Acquire) {
+                    return;
+                }
+                queues = dev
+                    .work
+                    .wait_timeout(queues, Duration::from_millis(1))
+                    .unwrap()
+                    .0;
+            }
+        };
+        let queue_millis = task.submitted_at.elapsed().as_secs_f64() * 1e3;
+        let exec_start = Instant::now();
+        let mut entries = task.entries;
+        let mut reserve_words = task.reserve_words;
+        let budget_entries = task.plan.trie_entries_budget.max(1);
+        // Deterministic growth retry: the §5 estimate can undershoot, and
+        // a failed job must instead rerun with a doubled trie (same
+        // sequence a serial loop would take, so results stay identical).
+        let result = loop {
+            let r = dev
+                .session
+                .run_with_plan_sized(&task.plan, &task.job.data, entries);
+            match r {
+                Err(EngineError::CapacityExhausted { .. }) if entries < budget_entries => {
+                    entries = (entries * 2).min(budget_entries);
+                    let grown_words = 2 * entries;
+                    sched.trace.instant_with(
+                        EventKind::Job,
+                        "grow",
+                        &[
+                            ("job", Arg::U64(task.id.0)),
+                            ("entries", Arg::U64(entries as u64)),
+                        ],
+                    );
+                    // Trade the old reservation for the larger one;
+                    // holding nothing while waiting keeps growers from
+                    // deadlocking each other.
+                    dev.reserved.fetch_sub(reserve_words, Ordering::AcqRel);
+                    while !dev.try_reserve(grown_words) {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    reserve_words = grown_words;
+                }
+                other => break other.map_err(CutsError::from),
+            }
+        };
+        if let Ok(r) = &result {
+            if sched.pacing > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(r.sim_millis * sched.pacing / 1e3));
+            }
+        }
+        let exec_millis = exec_start.elapsed().as_secs_f64() * 1e3;
+        dev.reserved.fetch_sub(reserve_words, Ordering::AcqRel);
+        dev.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.finish(JobOutcome {
+            id: task.id,
+            name: task.job.name.clone(),
+            device: task.device,
+            lane,
+            queue_millis,
+            exec_millis,
+            trie_entries: entries,
+            stolen,
+            result,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job manifests.
+
+/// Parses a graph generator spec: `clique:K`, `chain:K`, `cycle:K`,
+/// `star:K`, `mesh:WxH`, or `er:N:M:SEED`.
+pub fn parse_graph_spec(spec: &str) -> Result<Graph, CutsError> {
+    let bad = || CutsError::Invalid {
+        what: "graph spec",
+        given: spec.to_string(),
+    };
+    let (kind, rest) = spec.split_once(':').ok_or_else(bad)?;
+    match kind {
+        "clique" | "chain" | "cycle" | "star" => {
+            let k: usize = rest.parse().map_err(|_| bad())?;
+            if k == 0 || k > 64 {
+                return Err(bad());
+            }
+            Ok(match kind {
+                "clique" => generators::clique(k),
+                "chain" => generators::chain(k),
+                "cycle" => generators::cycle(k),
+                _ => generators::star(k),
+            })
+        }
+        "mesh" => {
+            let (w, h) = rest.split_once('x').ok_or_else(bad)?;
+            let w: usize = w.parse().map_err(|_| bad())?;
+            let h: usize = h.parse().map_err(|_| bad())?;
+            if w == 0 || h == 0 {
+                return Err(bad());
+            }
+            Ok(generators::mesh2d(w, h))
+        }
+        "er" => {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 3 {
+                return Err(bad());
+            }
+            let n: usize = parts[0].parse().map_err(|_| bad())?;
+            let m: usize = parts[1].parse().map_err(|_| bad())?;
+            let seed: u64 = parts[2].parse().map_err(|_| bad())?;
+            Ok(generators::erdos_renyi(n, m, seed))
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Parses a job manifest: one job per line, `#` comments, blank lines
+/// ignored. Each line is `<data-spec> <query-spec> [key=val ...]` with
+/// options `priority=<i32>`, `deadline_ms=<u64>`, `name=<str>`, and
+/// `repeat=<n>` (submit the job `n` times). Repeated specs share one
+/// [`Graph`] allocation.
+pub fn parse_manifest(text: &str) -> Result<Vec<Job>, CutsError> {
+    let mut graphs: std::collections::HashMap<String, Arc<Graph>> =
+        std::collections::HashMap::new();
+    let mut intern = |spec: &str| -> Result<Arc<Graph>, CutsError> {
+        if let Some(g) = graphs.get(spec) {
+            return Ok(g.clone());
+        }
+        let g = Arc::new(parse_graph_spec(spec)?);
+        graphs.insert(spec.to_string(), g.clone());
+        Ok(g)
+    };
+    let mut jobs = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(data_spec), Some(query_spec)) = (fields.next(), fields.next()) else {
+            return Err(CutsError::Invalid {
+                what: "manifest line",
+                given: raw.to_string(),
+            });
+        };
+        let mut job = Job::new(intern(data_spec)?, intern(query_spec)?);
+        let mut repeat = 1usize;
+        for opt in fields {
+            let bad = || CutsError::Invalid {
+                what: "manifest option",
+                given: opt.to_string(),
+            };
+            let (key, val) = opt.split_once('=').ok_or_else(bad)?;
+            match key {
+                "priority" => job.priority = val.parse().map_err(|_| bad())?,
+                "deadline_ms" => {
+                    job.deadline = Some(Duration::from_millis(val.parse().map_err(|_| bad())?))
+                }
+                "name" => job.name = Some(val.to_string()),
+                "repeat" => {
+                    repeat = val.parse().map_err(|_| bad())?;
+                    if repeat == 0 {
+                        return Err(bad());
+                    }
+                }
+                _ => return Err(bad()),
+            }
+        }
+        for _ in 0..repeat {
+            jobs.push(job.clone());
+        }
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_graph::generators::{clique, erdos_renyi, mesh2d};
+
+    fn small_sched(lanes: usize) -> Scheduler {
+        Scheduler::builder()
+            .device_config(DeviceConfig::test_small())
+            .lanes(lanes)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(matches!(
+            Scheduler::builder().devices(0).build(),
+            Err(ConfigError::Invalid {
+                field: "devices",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Scheduler::builder().lanes(0).build(),
+            Err(ConfigError::Invalid { field: "lanes", .. })
+        ));
+        assert!(matches!(
+            Scheduler::builder().queue_capacity(0).build(),
+            Err(ConfigError::Invalid {
+                field: "queue_capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Scheduler::builder().sigma(0.0).build(),
+            Err(ConfigError::Invalid { field: "sigma", .. })
+        ));
+    }
+
+    #[test]
+    fn drains_a_stream_and_reports_outcomes() {
+        let sched = small_sched(2);
+        let data = Arc::new(erdos_renyi(30, 90, 7));
+        let q3 = Arc::new(clique(3));
+        let q2 = Arc::new(clique(2));
+        let report = sched
+            .run(|h| {
+                for i in 0..6 {
+                    let q = if i % 2 == 0 { q3.clone() } else { q2.clone() };
+                    h.submit_wait(Job::new(data.clone(), q));
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.submitted, 6);
+        assert_eq!(report.stats.completed, 6);
+        assert_eq!(report.outcomes.len(), 6);
+        // Outcomes come back in submission order.
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.id, JobId(i as u64));
+            assert!(o.result.is_ok());
+        }
+        // Two distinct queries -> exactly two plan builds; admission and
+        // execution passes all hit the cache thereafter.
+        assert_eq!(report.stats.plan_misses, 2);
+        assert!(report.stats.plan_hits >= 4);
+        assert!(report.jobs_per_sec() > 0.0);
+        assert!(report.latency_percentile(50.0).is_some());
+    }
+
+    #[test]
+    fn unplannable_jobs_fail_individually() {
+        let sched = small_sched(1);
+        let data = Arc::new(clique(4));
+        let disconnected = Arc::new(Graph::undirected(4, &[(0, 1), (2, 3)]));
+        let fine = Arc::new(clique(3));
+        let report = sched
+            .run(|h| {
+                h.submit_wait(Job::new(data.clone(), disconnected.clone()));
+                h.submit_wait(Job::new(data.clone(), fine.clone()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.failed, 1);
+        assert!(matches!(
+            report.outcomes[0].result,
+            Err(CutsError::Engine(crate::EngineError::DisconnectedQuery))
+        ));
+        assert!(report.outcomes[1].result.is_ok());
+    }
+
+    #[test]
+    fn score_monotonicity_and_deadline_boost() {
+        let aging = Duration::from_millis(5);
+        let now = Instant::now();
+        let mk = |age: Duration, priority: i32, deadline: Option<Duration>| PendingJob {
+            id: JobId(0),
+            job: Job {
+                name: None,
+                data: Arc::new(clique(2)),
+                query: Arc::new(clique(2)),
+                priority,
+                deadline,
+            },
+            submitted_at: now - age,
+            not_before: now,
+            defers: 0,
+        };
+        // Older jobs outscore newer ones at equal priority.
+        let old = score(&mk(Duration::from_millis(50), 0, None), now, aging);
+        let new = score(&mk(Duration::from_millis(1), 0, None), now, aging);
+        assert!(old > new);
+        // Ten aging periods equal ten priority levels: bounded starvation.
+        let aged = score(&mk(aging * 10, 0, None), now, aging);
+        let fresh = score(&mk(Duration::ZERO, 9, None), now, aging);
+        assert!(aged > fresh);
+        // An overdue deadline dominates everything.
+        let overdue = score(
+            &mk(
+                Duration::from_millis(20),
+                -5,
+                Some(Duration::from_millis(1)),
+            ),
+            now,
+            aging,
+        );
+        assert!(overdue > 1e5);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        assert!(backoff(0) < backoff(2));
+        assert_eq!(backoff(20), BACKOFF_MAX);
+    }
+
+    #[test]
+    fn busy_backpressure_is_typed() {
+        let sched = Scheduler::builder()
+            .device_config(DeviceConfig::test_small())
+            .lanes(1)
+            .queue_capacity(1)
+            .admit_window(1)
+            .pacing(50.0)
+            .build()
+            .unwrap();
+        let data = Arc::new(mesh2d(4, 4));
+        let query = Arc::new(clique(2));
+        let report = sched
+            .run(|h| {
+                let a = Job::new(data.clone(), query.clone());
+                h.submit(a).unwrap();
+                // Wait until the first job is admitted (pending drains).
+                while h.pending() > 0 {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                // One lane, window 1: the next job stays pending while
+                // the first paces, so a third submission must bounce.
+                h.submit(Job::new(data.clone(), query.clone())).unwrap();
+                match h.submit(Job::new(data.clone(), query.clone())) {
+                    Err(SchedError::Busy { capacity: 1 }) => {}
+                    other => panic!("expected Busy, got {other:?}"),
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.submitted, 2);
+        assert_eq!(report.stats.completed, 2);
+        assert_eq!(report.stats.busy_rejections, 1);
+    }
+
+    #[test]
+    fn manifest_parses_specs_options_and_repeats() {
+        let text = "\n\
+            # demo manifest\n\
+            er:40:120:7 clique:3 priority=2 repeat=3\n\
+            mesh:4x4 chain:3 name=walk deadline_ms=50 # trailing comment\n";
+        let jobs = parse_manifest(text).unwrap();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].priority, 2);
+        assert!(Arc::ptr_eq(&jobs[0].data, &jobs[1].data), "interned");
+        assert_eq!(jobs[3].name.as_deref(), Some("walk"));
+        assert_eq!(jobs[3].deadline, Some(Duration::from_millis(50)));
+        assert!(parse_manifest("er:1:2 clique:3").is_err());
+        assert!(parse_manifest("clique:3").is_err());
+        assert!(parse_manifest("clique:3 chain:2 bogus=1").is_err());
+        assert!(matches!(
+            parse_graph_spec("dodecahedron:12"),
+            Err(CutsError::Invalid {
+                what: "graph spec",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn job_entries_is_clamped_and_pow2() {
+        let sched = small_sched(1);
+        let session = ExecSession::new(&sched.devices()[0], EngineConfig::default());
+        let plan = session.plan_for(&clique(3)).unwrap();
+        let e = sched.job_entries(&plan, &erdos_renyi(30, 90, 7));
+        assert!(e >= MIN_TRIE_ENTRIES.min(plan.trie_entries_budget));
+        assert!(e <= plan.trie_entries_budget);
+        assert!(e == plan.trie_entries_budget || e.is_power_of_two());
+    }
+}

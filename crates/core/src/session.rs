@@ -10,21 +10,21 @@
 //!   "allocate two big arrays" happens once per session, not once per
 //!   query — assertable through [`cuts_gpu_sim::Device::alloc_calls`]).
 //!
-//! Counter accounting is scoped ([`cuts_gpu_sim::CounterScope`]) rather
-//! than reset-based, so sessions sharing a device do not destroy each
-//! other's metrics.
+//! Counter accounting uses per-thread sinks
+//! ([`cuts_gpu_sim::CounterSink`]): each run sees exactly the launches it
+//! issued, even when other sessions — or other scheduler lanes — drive
+//! the same device concurrently.
 
-use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use cuts_gpu_sim::{BufferPool, CostModel, Counters, Device, DeviceError, PoolStats};
+use cuts_gpu_sim::{BufferPool, CostModel, CounterSink, Counters, Device, DeviceError, PoolStats};
 use cuts_graph::components::{extract_component, weakly_connected_components};
 use cuts_graph::Graph;
 use cuts_obs::{Arg, EventKind, Json, ToJson};
@@ -106,7 +106,7 @@ pub struct ExecSession<'d> {
     pool: BufferPool<'d>,
     // Fixed at the first trie acquisition so every later run requests the
     // same capacities and the pool can always serve them.
-    trie_entries: Cell<Option<usize>>,
+    trie_entries: OnceLock<usize>,
     runs: AtomicU64,
 }
 
@@ -129,7 +129,7 @@ impl<'d> ExecSession<'d> {
             class: DeviceClass::of(device.config()),
             plans: PlanCache::new(plan_capacity),
             pool: BufferPool::new(device),
-            trie_entries: Cell::new(None),
+            trie_entries: OnceLock::new(),
             runs: AtomicU64::new(0),
         }
     }
@@ -155,7 +155,7 @@ impl<'d> ExecSession<'d> {
             runs: self.runs.load(Ordering::Relaxed),
             plans: self.plans.stats(),
             pool: self.pool.stats(),
-            trie_entries: self.trie_entries.get(),
+            trie_entries: self.trie_entries.get().copied(),
         }
     }
 
@@ -186,7 +186,7 @@ impl<'d> ExecSession<'d> {
     /// otherwise.
     pub fn run(&self, data: &Graph, query: &Graph) -> Result<MatchResult, EngineError> {
         let plan = self.plan_for(query)?;
-        self.run_inner(&plan, data, None, None)
+        self.run_inner(&plan, data, None, None, None)
     }
 
     /// Executes an already-built plan over `data` (the batch entry points
@@ -196,7 +196,21 @@ impl<'d> ExecSession<'d> {
         plan: &QueryPlan,
         data: &Graph,
     ) -> Result<MatchResult, EngineError> {
-        self.run_inner(plan, data, None, None)
+        self.run_inner(plan, data, None, None, None)
+    }
+
+    /// [`ExecSession::run_with_plan`] with an explicit trie capacity of
+    /// `entries` PA/CA pairs for this run only, acquired exactly (no
+    /// best-fit over-serving). The scheduler sizes each job from its own
+    /// §5 space estimate instead of this session's device-wide default,
+    /// which keeps results independent of lane count and pool history.
+    pub fn run_with_plan_sized(
+        &self,
+        plan: &QueryPlan,
+        data: &Graph,
+        entries: usize,
+    ) -> Result<MatchResult, EngineError> {
+        self.run_inner(plan, data, None, None, Some(entries))
     }
 
     /// Like [`ExecSession::run`], additionally streaming every embedding
@@ -208,37 +222,54 @@ impl<'d> ExecSession<'d> {
         sink: MatchSink<'_>,
     ) -> Result<MatchResult, EngineError> {
         let plan = self.plan_for(query)?;
-        self.run_inner(&plan, data, Some(sink), None)
+        self.run_inner(&plan, data, Some(sink), None, None)
     }
 
     /// Resumes matching from already-built partial paths: the receiving
     /// side of a §4.2 work donation. `seed.levels.len()` query vertices
     /// (in this session's order for `query`) are treated as matched; the
     /// run continues from there and counts only completions of the seeded
-    /// paths.
-    pub fn run_from_trie(
+    /// paths. Arguments follow the workspace convention: data graph
+    /// before query graph.
+    pub fn run_seeded(
         &self,
         data: &Graph,
         query: &Graph,
         seed: &cuts_trie::HostTrie,
     ) -> Result<MatchResult, EngineError> {
         let plan = self.plan_for(query)?;
-        self.run_inner(&plan, data, None, Some(seed))
+        self.run_inner(&plan, data, None, Some(seed), None)
+    }
+
+    /// Former name of [`ExecSession::run_seeded`].
+    #[deprecated(since = "0.5.0", note = "renamed to `run_seeded`")]
+    pub fn run_from_trie(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        seed: &cuts_trie::HostTrie,
+    ) -> Result<MatchResult, EngineError> {
+        self.run_seeded(data, query, seed)
     }
 
     /// Runs one query over many data graphs, planning once. Results are in
-    /// input order; the trie buffers and the plan are shared across the
-    /// whole batch, so only the first element can trigger device
-    /// allocation.
+    /// input order, one `Result` per data graph — a failure on one graph
+    /// (say, a capacity exhaustion) does not discard the completed runs.
+    /// The trie buffers and the plan are shared across the whole batch,
+    /// so only the first element can trigger device allocation. When the
+    /// query itself cannot be planned, every slot carries that error.
     pub fn run_batch(
         &self,
         datas: &[Graph],
         query: &Graph,
-    ) -> Result<Vec<MatchResult>, EngineError> {
-        let plan = self.plan_for(query)?;
+    ) -> Vec<Result<MatchResult, EngineError>> {
+        let plan = match self.plan_for(query) {
+            Ok(p) => p,
+            Err(e) => return datas.iter().map(|_| Err(e.clone())).collect(),
+        };
         datas
             .iter()
-            .map(|data| self.run_inner(&plan, data, None, None))
+            .map(|data| self.run_inner(&plan, data, None, None, None))
             .collect()
     }
 
@@ -335,23 +366,33 @@ impl<'d> ExecSession<'d> {
     /// (`free_words × trie_fraction / 2` entries) — so every subsequent
     /// acquisition requests the exact capacity the pool already holds.
     fn acquire_trie(&self) -> Result<Trie, EngineError> {
-        let entries = match self.trie_entries.get() {
-            Some(e) => e,
-            None => {
-                let e =
-                    ((self.device.free_words() as f64 * self.config.trie_fraction) / 2.0) as usize;
-                let e = e.max(1);
-                self.trie_entries.set(Some(e));
-                self.device.trace().instant_with(
-                    EventKind::Trie,
-                    "size",
-                    &[("entries", Arg::U64(e as u64))],
-                );
-                e
-            }
-        };
+        let entries = *self.trie_entries.get_or_init(|| {
+            let e = ((self.device.free_words() as f64 * self.config.trie_fraction) / 2.0) as usize;
+            let e = e.max(1);
+            self.device.trace().instant_with(
+                EventKind::Trie,
+                "size",
+                &[("entries", Arg::U64(e as u64))],
+            );
+            e
+        });
         let pa = self.pool.acquire(entries)?;
         let ca = match self.pool.acquire(entries) {
+            Ok(ca) => ca,
+            Err(e) => {
+                self.pool.release(pa);
+                return Err(e.into());
+            }
+        };
+        Ok(Trie::from_table(PairTable::from_buffers(pa, ca)))
+    }
+
+    /// A trie with exactly `entries` capacity, bypassing the session-wide
+    /// sizing (scheduler path; see [`ExecSession::run_with_plan_sized`]).
+    fn acquire_trie_sized(&self, entries: usize) -> Result<Trie, EngineError> {
+        let entries = entries.max(1);
+        let pa = self.pool.acquire_exact(entries)?;
+        let ca = match self.pool.acquire_exact(entries) {
             Ok(ca) => ca,
             Err(e) => {
                 self.pool.release(pa);
@@ -374,6 +415,7 @@ impl<'d> ExecSession<'d> {
         data: &Graph,
         sink: Option<MatchSink<'_>>,
         seed: Option<&cuts_trie::HostTrie>,
+        trie_entries: Option<usize>,
     ) -> Result<MatchResult, EngineError> {
         let trace = self.device.trace();
         let mut rspan = if trace.is_enabled() {
@@ -385,9 +427,12 @@ impl<'d> ExecSession<'d> {
             None
         };
         let wall_start = Instant::now();
-        let scope = self.device.counter_scope();
-        let mut trie = self.acquire_trie()?;
-        let out = self.run_core(plan, data, &mut trie, sink, seed, wall_start, &scope);
+        let counter_sink = CounterSink::install();
+        let mut trie = match trie_entries {
+            Some(entries) => self.acquire_trie_sized(entries)?,
+            None => self.acquire_trie()?,
+        };
+        let out = self.run_core(plan, data, &mut trie, sink, seed, wall_start, &counter_sink);
         self.release_trie(trie);
         if let Ok(r) = &out {
             self.runs.fetch_add(1, Ordering::Relaxed);
@@ -408,7 +453,7 @@ impl<'d> ExecSession<'d> {
         mut sink: Option<MatchSink<'_>>,
         seed: Option<&cuts_trie::HostTrie>,
         wall_start: Instant,
-        scope: &cuts_gpu_sim::CounterScope,
+        counter_sink: &CounterSink,
     ) -> Result<MatchResult, EngineError> {
         let order = &plan.order;
         let n = order.len();
@@ -513,7 +558,7 @@ impl<'d> ExecSession<'d> {
             None => 0, // frontier drained before reaching full depth
         };
 
-        let counters = scope.elapsed(self.device);
+        let counters = counter_sink.snapshot();
         let sim_millis = CostModel::default().millis(&counters, self.device.config());
         Ok(MatchResult {
             num_matches,
@@ -687,9 +732,10 @@ mod tests {
         let device = Device::new(DeviceConfig::test_small());
         let session = ExecSession::new(&device, EngineConfig::default());
         let datas = vec![clique(4), mesh2d(3, 3), erdos_renyi(30, 90, 7)];
-        let batch = session.run_batch(&datas, &clique(3)).unwrap();
+        let batch = session.run_batch(&datas, &clique(3));
         assert_eq!(batch.len(), 3);
         for (data, r) in datas.iter().zip(&batch) {
+            let r = r.as_ref().expect("per-job result is Ok");
             let fresh = ExecSession::new(&device, EngineConfig::default())
                 .run(data, &clique(3))
                 .unwrap();
@@ -698,6 +744,36 @@ mod tests {
         let s = session.stats();
         assert_eq!(s.plans.misses, 1, "one plan serves the whole batch");
         assert_eq!(s.pool.device_allocs, 2);
+    }
+
+    #[test]
+    fn batch_with_unplannable_query_fails_per_job() {
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let datas = vec![clique(4), mesh2d(3, 3)];
+        let disconnected = Graph::undirected(4, &[(0, 1), (2, 3)]);
+        let batch = session.run_batch(&datas, &disconnected);
+        assert_eq!(batch.len(), 2);
+        for r in &batch {
+            assert!(matches!(r, Err(EngineError::DisconnectedQuery)));
+        }
+    }
+
+    #[test]
+    fn sized_runs_match_default_runs() {
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let data = erdos_renyi(30, 90, 7);
+        let query = clique(3);
+        let baseline = session.run(&data, &query).unwrap();
+        let plan = session.plan_for(&query).unwrap();
+        // Any capacity large enough to avoid spilling gives identical
+        // counts; a deliberately tiny one still matches via chunking.
+        for entries in [256usize, 4096] {
+            let r = session.run_with_plan_sized(&plan, &data, entries).unwrap();
+            assert_eq!(r.num_matches, baseline.num_matches);
+            assert_eq!(r.level_counts, baseline.level_counts);
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use cuts_core::error::DistError;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,17 +104,21 @@ impl FaultPlan {
 
     /// Parses the text schema (see type docs). Whitespace around clauses
     /// is ignored; an empty string is the empty plan.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    pub fn parse(spec: &str) -> Result<FaultPlan, DistError> {
+        let bad = |clause: &str, reason: &'static str| DistError::FaultSpec {
+            clause: clause.to_string(),
+            reason,
+        };
         let mut plan = FaultPlan::default();
         for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
             let (kind, rest) = clause
                 .split_once(':')
-                .ok_or_else(|| format!("fault clause `{clause}` missing `:`"))?;
+                .ok_or_else(|| bad(clause, "missing `:`"))?;
             match kind {
                 "crash" | "panic" => {
                     let (r, c) = rest
                         .split_once('@')
-                        .ok_or_else(|| format!("`{clause}`: expected R@C"))?;
+                        .ok_or_else(|| bad(clause, "expected R@C"))?;
                     plan.crashes.push(CrashFault {
                         rank: parse_num(r, clause)?,
                         after_chunks: parse_num(c, clause)?,
@@ -126,7 +132,7 @@ impl FaultPlan {
                 "drop" => {
                     let (edge, n) = rest
                         .split_once('@')
-                        .ok_or_else(|| format!("`{clause}`: expected A->B@N"))?;
+                        .ok_or_else(|| bad(clause, "expected A->B@N"))?;
                     let (a, b) = parse_edge(edge, clause)?;
                     plan.drops.push(DropFault {
                         from: a,
@@ -137,11 +143,11 @@ impl FaultPlan {
                 "delay" => {
                     let (edge, tail) = rest
                         .split_once('@')
-                        .ok_or_else(|| format!("`{clause}`: expected A->B@N+MS"))?;
+                        .ok_or_else(|| bad(clause, "expected A->B@N+MS"))?;
                     let (a, b) = parse_edge(edge, clause)?;
                     let (n, ms) = tail
                         .split_once('+')
-                        .ok_or_else(|| format!("`{clause}`: expected N+MS after @"))?;
+                        .ok_or_else(|| bad(clause, "expected N+MS after @"))?;
                     plan.delays.push(DelayFault {
                         from: a,
                         to: b,
@@ -150,7 +156,7 @@ impl FaultPlan {
                     });
                 }
                 "seed" => plan.seed = Some(parse_num(rest, clause)?),
-                other => return Err(format!("unknown fault kind `{other}`")),
+                _ => return Err(bad(clause, "unknown fault kind")),
             }
         }
         Ok(plan)
@@ -231,14 +237,14 @@ impl FaultPlan {
     /// `0..ranks` — a typo'd rank would otherwise make the clause a
     /// silent no-op (see [`FaultPlan::resolve`]). Seeded clauses are
     /// generated in-range and need no check.
-    pub fn check_ranks(&self, ranks: usize) -> Result<(), String> {
+    pub fn check_ranks(&self, ranks: usize) -> Result<(), DistError> {
         let bad = |r: usize| r >= ranks;
         for c in &self.crashes {
             if bad(c.rank) {
-                return Err(format!(
-                    "fault plan names rank {} but only {ranks} ranks run",
-                    c.rank
-                ));
+                return Err(DistError::RankOutOfRange {
+                    rank: c.rank,
+                    ranks,
+                });
             }
         }
         for (from, to) in self
@@ -248,9 +254,8 @@ impl FaultPlan {
             .chain(self.delays.iter().map(|d| (d.from, d.to)))
         {
             if bad(from) || bad(to) {
-                return Err(format!(
-                    "fault plan names edge {from}->{to} but only {ranks} ranks run"
-                ));
+                let rank = if bad(from) { from } else { to };
+                return Err(DistError::RankOutOfRange { rank, ranks });
             }
         }
         Ok(())
@@ -265,16 +270,18 @@ impl FaultPlan {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, clause: &str) -> Result<T, String> {
-    s.trim()
-        .parse()
-        .map_err(|_| format!("`{clause}`: bad number `{s}`"))
+fn parse_num<T: std::str::FromStr>(s: &str, clause: &str) -> Result<T, DistError> {
+    s.trim().parse().map_err(|_| DistError::FaultSpec {
+        clause: clause.to_string(),
+        reason: "bad number",
+    })
 }
 
-fn parse_edge(s: &str, clause: &str) -> Result<(usize, usize), String> {
-    let (a, b) = s
-        .split_once("->")
-        .ok_or_else(|| format!("`{clause}`: expected A->B"))?;
+fn parse_edge(s: &str, clause: &str) -> Result<(usize, usize), DistError> {
+    let (a, b) = s.split_once("->").ok_or_else(|| DistError::FaultSpec {
+        clause: clause.to_string(),
+        reason: "expected A->B",
+    })?;
     Ok((parse_num(a, clause)?, parse_num(b, clause)?))
 }
 
@@ -421,6 +428,35 @@ mod tests {
             assert!(FaultPlan::parse(bad).is_err(), "{bad}");
         }
         assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(matches!(
+            FaultPlan::parse("warp:1@1").unwrap_err(),
+            DistError::FaultSpec {
+                reason: "unknown fault kind",
+                ..
+            }
+        ));
+        assert!(matches!(
+            FaultPlan::parse("crash:x@1").unwrap_err(),
+            DistError::FaultSpec {
+                reason: "bad number",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn check_ranks_is_typed() {
+        let p = FaultPlan::parse("crash:3@0").unwrap();
+        assert!(p.check_ranks(4).is_ok());
+        assert_eq!(
+            p.check_ranks(2).unwrap_err(),
+            DistError::RankOutOfRange { rank: 3, ranks: 2 }
+        );
+        let p = FaultPlan::parse("drop:0->5@1").unwrap();
+        assert_eq!(
+            p.check_ranks(2).unwrap_err(),
+            DistError::RankOutOfRange { rank: 5, ranks: 2 }
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! to a given free node, and a given busy node only sends data to one free
 //! node"). Donated work travels as a serialised trie
 //! ([`cuts_trie::serial`]), which the receiver integrates and resumes via
-//! [`cuts_core::CutsEngine::run_from_trie`].
+//! [`cuts_core::CutsEngine::run_seeded`].
 //!
 //! Beyond the paper, the runtime is fault-tolerant: [`fault`] injects
 //! deterministic rank crashes, message drops, and delays; [`ledger`]

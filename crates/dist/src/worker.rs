@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use cuts_core::{EngineError, ExecSession, MatchOrder};
+use cuts_core::{ExecSession, MatchOrder};
 use cuts_gpu_sim::Device;
 use cuts_graph::Graph;
 use cuts_obs::{Arg, EventKind, Trace};
@@ -55,53 +55,10 @@ pub enum Partition {
     AllToRankZero,
 }
 
-/// Worker failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum WorkerError {
-    /// Local engine failure.
-    Engine(EngineError),
-    /// Malformed donation payload.
-    Wire(WireError),
-    /// A scheduled [`crate::fault::CrashFault`] fired on this rank.
-    InjectedCrash {
-        /// The rank that crashed.
-        rank: usize,
-        /// Chunks it had committed when it went down.
-        after_chunks: usize,
-    },
-    /// The rank's worker thread panicked (observed at join).
-    Panicked {
-        /// The rank whose thread panicked.
-        rank: usize,
-    },
-}
-
-impl std::fmt::Display for WorkerError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WorkerError::Engine(e) => write!(f, "{e}"),
-            WorkerError::Wire(e) => write!(f, "{e}"),
-            WorkerError::InjectedCrash { rank, after_chunks } => {
-                write!(f, "injected crash: rank {rank} after {after_chunks} chunks")
-            }
-            WorkerError::Panicked { rank } => write!(f, "rank {rank} worker thread panicked"),
-        }
-    }
-}
-
-impl std::error::Error for WorkerError {}
-
-impl From<EngineError> for WorkerError {
-    fn from(e: EngineError) -> Self {
-        WorkerError::Engine(e)
-    }
-}
-
-impl From<WireError> for WorkerError {
-    fn from(e: WireError) -> Self {
-        WorkerError::Wire(e)
-    }
-}
+/// Worker failures: the distributed-runtime error defined in
+/// `cuts-core` so the whole workspace converges on `CutsError`. The
+/// alias keeps the historical name this crate's API grew up with.
+pub use cuts_core::error::DistError as WorkerError;
 
 /// State every worker of a universe shares.
 #[derive(Clone)]
@@ -453,7 +410,7 @@ impl<'a> Worker<'a> {
         if job.is_empty() {
             return Ok(0);
         }
-        let r = session.run_from_trie(self.data, self.query, job)?;
+        let r = session.run_seeded(self.data, self.query, job)?;
         self.metrics.busy_sim_millis += r.sim_millis;
         self.metrics.busy_wall_millis += r.wall_millis;
         self.metrics.counters += r.counters;

@@ -1,7 +1,9 @@
 //! Hardware metric counters (the simulated Nsight Compute).
 
+use std::cell::RefCell;
 use std::ops::{AddAssign, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cuts_obs::{CounterDelta, Json, ToJson};
 
@@ -270,6 +272,60 @@ impl AtomicCounters {
     }
 }
 
+thread_local! {
+    /// Stack of per-thread counter sinks. Kernel launches merge their exact
+    /// launch total into the top of the *calling* thread's stack, so two
+    /// runs on different threads sharing one device each see only their own
+    /// work — something the snapshot-delta [`CounterScope`] cannot offer
+    /// once launches interleave.
+    static SINKS: RefCell<Vec<Arc<AtomicCounters>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A per-thread counter accumulator: while installed, every kernel launch
+/// issued from this thread also merges its counter total here. RAII — the
+/// sink uninstalls itself on drop. Unlike [`CounterScope`] this is exact
+/// under concurrency: launches from *other* threads never leak in.
+#[derive(Debug)]
+pub struct CounterSink {
+    cell: Arc<AtomicCounters>,
+}
+
+impl CounterSink {
+    /// Installs a fresh sink on the calling thread's stack. Sinks nest;
+    /// launches merge only into the innermost (top) sink.
+    pub fn install() -> Self {
+        let cell = Arc::new(AtomicCounters::default());
+        SINKS.with(|s| s.borrow_mut().push(cell.clone()));
+        CounterSink { cell }
+    }
+
+    /// Counters accumulated so far by launches on this thread.
+    pub fn snapshot(&self) -> Counters {
+        self.cell.snapshot()
+    }
+}
+
+impl Drop for CounterSink {
+    fn drop(&mut self) {
+        SINKS.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|c| Arc::ptr_eq(c, &self.cell)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Merges `c` into the calling thread's innermost installed sink (no-op
+/// when none is installed). Called by the device at launch retirement.
+pub(crate) fn sink_merge(c: &Counters) {
+    SINKS.with(|s| {
+        if let Some(top) = s.borrow().last() {
+            top.merge(c);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +388,26 @@ mod tests {
         assert_eq!(Counters::ratio_str(10, 2), "5.0");
         assert_eq!(Counters::ratio_str(3, 0), "inf");
         assert_eq!(Counters::ratio_str(0, 0), "1.0");
+    }
+
+    #[test]
+    fn sinks_nest_and_uninstall_on_drop() {
+        let outer = CounterSink::install();
+        let mut b = BlockCounters::default();
+        b.alu(3);
+        {
+            let inner = CounterSink::install();
+            sink_merge(&b.c);
+            assert_eq!(inner.snapshot().instructions, 3);
+            // Only the innermost sink sees the merge.
+            assert_eq!(outer.snapshot(), Counters::default());
+        }
+        // Inner dropped: merges land in the outer sink again.
+        sink_merge(&b.c);
+        assert_eq!(outer.snapshot().instructions, 3);
+        drop(outer);
+        // No sink installed: merge is a no-op (must not panic).
+        sink_merge(&b.c);
     }
 
     #[test]

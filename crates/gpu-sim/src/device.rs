@@ -130,14 +130,16 @@ impl Device {
         let mut span = if self.trace.is_enabled() {
             let mut s = self.trace.span(EventKind::Kernel, name);
             s.arg("blocks", Arg::U64(num_blocks as u64));
-            Some((s, self.counters.snapshot()))
+            Some(s)
         } else {
             None
         };
         let per_block = self.trace.is_enabled() && self.trace.config().per_block;
-        let mut launch = BlockCounters::default();
-        launch.c.kernel_launches = 1;
-        self.counters.merge(&launch.c);
+        // Blocks accumulate into a launch-local aggregate; the exact total
+        // is merged once into the device aggregate and the calling thread's
+        // counter sink after the grid joins. (Snapshot deltas would count
+        // concurrent launches from other threads into this one's span.)
+        let launch = AtomicCounters::default();
         let result = (0..num_blocks)
             .into_par_iter()
             .map(|block_id| {
@@ -158,12 +160,16 @@ impl Device {
                 } else {
                     f(&mut ctx)
                 };
-                self.counters.merge(&ctx.counters.c);
+                launch.merge(&ctx.counters.c);
                 r
             })
             .reduce(|| Ok(()), |a, b| a.and(b));
-        if let Some((s, before)) = &mut span {
-            s.counters((self.counters.snapshot() - *before).into());
+        let mut total = launch.snapshot();
+        total.kernel_launches += 1;
+        self.counters.merge(&total);
+        crate::counters::sink_merge(&total);
+        if let Some(s) = &mut span {
+            s.counters(total.into());
         }
         result
     }
@@ -185,7 +191,7 @@ impl Device {
         let mut span = if self.trace.is_enabled() {
             let mut s = self.trace.span(EventKind::Kernel, name);
             s.arg("blocks", Arg::U64(1));
-            Some((s, self.counters.snapshot()))
+            Some(s)
         } else {
             None
         };
@@ -196,13 +202,13 @@ impl Device {
             shared_capacity: self.config.shared_mem_words_per_block,
             shared_used: 0,
         };
-        let mut launch = BlockCounters::default();
-        launch.c.kernel_launches = 1;
-        self.counters.merge(&launch.c);
         let out = f(&mut ctx);
-        self.counters.merge(&ctx.counters.c);
-        if let Some((s, before)) = &mut span {
-            s.counters((self.counters.snapshot() - *before).into());
+        let mut total = ctx.counters.c;
+        total.kernel_launches = 1;
+        self.counters.merge(&total);
+        crate::counters::sink_merge(&total);
+        if let Some(s) = &mut span {
+            s.counters(total.into());
         }
         out
     }
@@ -360,6 +366,33 @@ mod tests {
             .collect();
         // test_small has 4 SMs; 8 blocks round-robin over all of them.
         assert_eq!(sm_lanes.len(), 4);
+    }
+
+    #[test]
+    fn sink_captures_only_this_threads_launches() {
+        use crate::counters::CounterSink;
+        let d = Device::new(DeviceConfig::test_small());
+        // Unrelated work already on the device aggregate.
+        d.launch(2, |ctx| {
+            ctx.counters.alu(100);
+            Ok(())
+        })
+        .unwrap();
+        let sink = CounterSink::install();
+        d.launch(4, |ctx| {
+            ctx.counters.dram_read_coalesced(3);
+            Ok(())
+        })
+        .unwrap();
+        d.run_single_block(|ctx| ctx.counters.alu(7));
+        let seen = sink.snapshot();
+        // Exactly this thread's two launches — no bleed from earlier work.
+        assert_eq!(seen.dram_reads, 12);
+        assert_eq!(seen.instructions, 12 + 7);
+        assert_eq!(seen.kernel_launches, 2);
+        // The device aggregate still has everything.
+        assert_eq!(d.counters().instructions, 200 + 12 + 7);
+        assert_eq!(d.counters().kernel_launches, 3);
     }
 
     #[test]

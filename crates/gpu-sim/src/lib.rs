@@ -42,7 +42,7 @@ pub mod primitives;
 pub use buffer::GlobalBuffer;
 pub use config::DeviceConfig;
 pub use cost::{Bound, CostBreakdown, CostModel, SimTime};
-pub use counters::{BlockCounters, CounterScope, Counters};
+pub use counters::{BlockCounters, CounterScope, CounterSink, Counters};
 pub use device::{BlockCtx, Device};
 pub use error::DeviceError;
 pub use occupancy::occupancy;

@@ -120,8 +120,72 @@ impl<'d> BufferPool<'d> {
                     "miss",
                     &[("words", Arg::U64(words as u64))],
                 );
+                self.alloc_under_pressure(words)
+            }
+        }
+    }
+
+    /// Hands out a cleared buffer of capacity *exactly* `words`: a pooled
+    /// buffer of that capacity when one exists, a fresh device allocation
+    /// otherwise. The scheduler sizes each job's trie from the query's own
+    /// space estimate and needs run results to be independent of pool
+    /// history — best-fit over-serving (a larger recycled buffer granting
+    /// a larger trie capacity) would make chunking decisions depend on
+    /// which jobs ran before.
+    pub fn acquire_exact(&self, words: usize) -> Result<GlobalBuffer, DeviceError> {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        let recycled = {
+            let mut free = self.free.lock().unwrap();
+            free.iter()
+                .position(|b| b.capacity() == words)
+                .map(|i| free.swap_remove(i))
+        };
+        match recycled {
+            Some(buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                self.device.trace().instant_with(
+                    EventKind::Pool,
+                    "hit",
+                    &[
+                        ("words", Arg::U64(words as u64)),
+                        ("capacity", Arg::U64(words as u64)),
+                    ],
+                );
+                buf.clear();
+                Ok(buf)
+            }
+            None => {
+                self.device_allocs.fetch_add(1, Ordering::Relaxed);
+                self.device.trace().instant_with(
+                    EventKind::Pool,
+                    "miss",
+                    &[("words", Arg::U64(words as u64))],
+                );
+                self.alloc_under_pressure(words)
+            }
+        }
+    }
+
+    /// `Device::alloc_buffer`, retried once after dumping the free list
+    /// when the first attempt hits device OOM — idle pooled capacity must
+    /// not starve a live request (fragmentation across differently sized
+    /// jobs would otherwise pin words nothing can use).
+    fn alloc_under_pressure(&self, words: usize) -> Result<GlobalBuffer, DeviceError> {
+        match self.device.alloc_buffer(words) {
+            Err(DeviceError::OutOfMemory { .. }) => {
+                let evicted = std::mem::take(&mut *self.free.lock().unwrap());
+                if evicted.is_empty() {
+                    return self.device.alloc_buffer(words);
+                }
+                self.device.trace().instant_with(
+                    EventKind::Pool,
+                    "evict",
+                    &[("buffers", Arg::U64(evicted.len() as u64))],
+                );
+                drop(evicted);
                 self.device.alloc_buffer(words)
             }
+            other => other,
         }
     }
 
@@ -209,6 +273,42 @@ mod tests {
         assert_eq!(pool.stats().device_allocs, 2);
         // And the pooled words count against the device budget.
         assert_eq!(d.allocated_words(), 800);
+    }
+
+    #[test]
+    fn acquire_exact_ignores_larger_pooled_buffers() {
+        let d = Device::new(DeviceConfig::test_small());
+        let pool = BufferPool::new(&d);
+        let big = pool.acquire(400).unwrap();
+        pool.release(big);
+        // Exact acquisition must not be over-served by the pooled 400.
+        let got = pool.acquire_exact(128).unwrap();
+        assert_eq!(got.capacity(), 128);
+        assert_eq!(pool.stats().device_allocs, 2);
+        pool.release(got);
+        // But an exact-capacity pooled buffer is recycled.
+        let again = pool.acquire_exact(128).unwrap();
+        assert_eq!(again.capacity(), 128);
+        assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn oom_pressure_evicts_idle_pooled_buffers() {
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(1000));
+        let pool = BufferPool::new(&d);
+        let a = pool.acquire(600).unwrap();
+        pool.release(a);
+        // 600 pooled + 500 live would exceed the 1000-word budget; the
+        // pool must dump its idle capacity rather than fail.
+        let b = pool.acquire_exact(500).unwrap();
+        assert_eq!(b.capacity(), 500);
+        assert_eq!(pool.pooled(), 0, "idle buffer was evicted");
+        assert_eq!(d.allocated_words(), 500);
+        // A genuinely impossible request still reports OOM.
+        assert!(matches!(
+            pool.acquire(2000),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
     }
 
     #[test]

@@ -28,11 +28,13 @@ pub enum EventKind {
     Fault,
     /// A whole engine run (top-level span).
     Run,
+    /// Scheduler job lifecycle: submit / admit / defer / steal / complete.
+    Job,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive reporting.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::Kernel,
         EventKind::Level,
         EventKind::Chunk,
@@ -43,6 +45,7 @@ impl EventKind {
         EventKind::Heartbeat,
         EventKind::Fault,
         EventKind::Run,
+        EventKind::Job,
     ];
 
     /// Stable lowercase name (chrome-trace `cat`, JSONL `kind`).
@@ -58,6 +61,7 @@ impl EventKind {
             EventKind::Heartbeat => "heartbeat",
             EventKind::Fault => "fault",
             EventKind::Run => "run",
+            EventKind::Job => "job",
         }
     }
 }

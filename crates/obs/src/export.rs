@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::event::Event;
-use crate::json::{Json, ToJson};
+use crate::json::{Json, SchemaError, ToJson};
 
 /// Lane ids at or above this value are per-SM kernel tracks
 /// (`SM_LANE_BASE + sm_index`); below are host/worker thread lanes.
@@ -152,12 +152,12 @@ pub struct ChromeSummary {
 /// every `B` is closed by a matching `E` on the same `(pid, tid)` track
 /// with non-decreasing timestamps. Returns a summary for further
 /// assertions.
-pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
+pub fn validate_chrome(text: &str) -> Result<ChromeSummary, SchemaError> {
     let root = Json::parse(text)?;
     let events = root
         .get("traceEvents")
         .and_then(Json::as_arr)
-        .ok_or("missing traceEvents array")?;
+        .ok_or_else(|| SchemaError::new("missing traceEvents array"))?;
     let mut summary = ChromeSummary {
         events: events.len(),
         ..Default::default()
@@ -165,31 +165,34 @@ pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
     // Per-track stack of open B events: (name, ts).
     let mut open: BTreeMap<(u64, u64), Vec<(String, u64)>> = BTreeMap::new();
     for (i, e) in events.iter().enumerate() {
-        let field = |k: &str| e.get(k).ok_or_else(|| format!("event {i}: missing {k}"));
+        let field = |k: &str| {
+            e.get(k)
+                .ok_or_else(|| SchemaError::new(format!("event {i}: missing {k}")))
+        };
         let name = field("name")?
             .as_str()
-            .ok_or_else(|| format!("event {i}: name not a string"))?
+            .ok_or_else(|| SchemaError::new(format!("event {i}: name not a string")))?
             .to_string();
         let ph = field("ph")?
             .as_str()
-            .ok_or_else(|| format!("event {i}: ph not a string"))?;
+            .ok_or_else(|| SchemaError::new(format!("event {i}: ph not a string")))?;
         let pid = field("pid")?
             .as_u64()
-            .ok_or_else(|| format!("event {i}: pid not an integer"))?;
+            .ok_or_else(|| SchemaError::new(format!("event {i}: pid not an integer")))?;
         let tid = field("tid")?
             .as_u64()
-            .ok_or_else(|| format!("event {i}: tid not an integer"))?;
+            .ok_or_else(|| SchemaError::new(format!("event {i}: tid not an integer")))?;
         if ph == "M" {
             continue;
         }
         summary.pids.insert(pid);
         let ts = field("ts")?
             .as_u64()
-            .ok_or_else(|| format!("event {i}: ts not an unsigned integer"))?;
+            .ok_or_else(|| SchemaError::new(format!("event {i}: ts not an unsigned integer")))?;
         if let Some(cat) = e.get("cat").and_then(Json::as_str) {
             summary.categories.insert(cat.to_string());
         } else {
-            return Err(format!("event {i}: missing cat"));
+            return Err(SchemaError::new(format!("event {i}: missing cat")));
         }
         let track = open.entry((pid, tid)).or_default();
         match ph {
@@ -200,29 +203,35 @@ pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
                 track.push((name, ts));
             }
             "E" => {
-                let (bname, bts) = track
-                    .pop()
-                    .ok_or_else(|| format!("event {i}: E without open B on ({pid},{tid})"))?;
+                let (bname, bts) = track.pop().ok_or_else(|| {
+                    SchemaError::new(format!("event {i}: E without open B on ({pid},{tid})"))
+                })?;
                 if bname != name {
-                    return Err(format!(
+                    return Err(SchemaError::new(format!(
                         "event {i}: E '{name}' closes B '{bname}' on ({pid},{tid})"
-                    ));
+                    )));
                 }
                 if ts < bts {
-                    return Err(format!("event {i}: span '{name}' ends before it begins"));
+                    return Err(SchemaError::new(format!(
+                        "event {i}: span '{name}' ends before it begins"
+                    )));
                 }
                 summary.spans += 1;
             }
             "i" => summary.instants += 1,
-            other => return Err(format!("event {i}: unexpected ph '{other}'")),
+            other => {
+                return Err(SchemaError::new(format!(
+                    "event {i}: unexpected ph '{other}'"
+                )))
+            }
         }
     }
     for ((pid, tid), stack) in open {
         if !stack.is_empty() {
-            return Err(format!(
+            return Err(SchemaError::new(format!(
                 "unbalanced: {} open B event(s) on ({pid},{tid})",
                 stack.len()
-            ));
+            )));
         }
     }
     Ok(summary)
@@ -271,19 +280,26 @@ mod tests {
         let text = r#"{"traceEvents":[
             {"name":"x","cat":"kernel","ph":"B","ts":1,"pid":0,"tid":0}
         ]}"#;
-        assert!(validate_chrome(text).unwrap_err().contains("unbalanced"));
+        assert!(validate_chrome(text)
+            .unwrap_err()
+            .to_string()
+            .contains("unbalanced"));
         let text = r#"{"traceEvents":[
             {"name":"x","cat":"kernel","ph":"E","ts":1,"pid":0,"tid":0}
         ]}"#;
         assert!(validate_chrome(text)
             .unwrap_err()
+            .to_string()
             .contains("E without open B"));
     }
 
     #[test]
     fn validator_rejects_missing_fields() {
         let text = r#"{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":0}]}"#;
-        assert!(validate_chrome(text).unwrap_err().contains("missing tid"));
+        assert!(validate_chrome(text)
+            .unwrap_err()
+            .to_string()
+            .contains("missing tid"));
     }
 
     #[test]

@@ -35,6 +35,55 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// A structural failure: JSON text that does not parse, or parsed
+/// output that violates an expected schema (see
+/// [`crate::export::validate_chrome`]). Carries a human-readable
+/// message and, for parse errors, the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl SchemaError {
+    /// A schema violation with no specific text position.
+    pub fn new(message: impl Into<String>) -> Self {
+        SchemaError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// A parse failure at `offset` bytes into the input.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        SchemaError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset of a parse failure, when known.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at offset {off}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
 /// Conversion into a [`Json`] tree — the workspace's `serde::Serialize`.
 pub trait ToJson {
     /// Builds the JSON representation of `self`.
@@ -211,7 +260,7 @@ impl Json {
 
     /// Parses JSON text (strict enough for validation: rejects trailing
     /// garbage, unterminated strings, malformed numbers).
-    pub fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, SchemaError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -220,7 +269,7 @@ impl Json {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
+            return Err(SchemaError::at(p.pos, "trailing bytes"));
         }
         Ok(v)
     }
@@ -264,25 +313,28 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), SchemaError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+            Err(SchemaError::at(
+                self.pos,
+                format!("expected '{}'", b as char),
+            ))
         }
     }
 
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, SchemaError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(format!("bad literal at offset {}", self.pos))
+            Err(SchemaError::at(self.pos, "bad literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, SchemaError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -291,16 +343,16 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+            other => Err(SchemaError::at(self.pos, format!("unexpected {other:?}"))),
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, SchemaError> {
         self.expect(b'"')?;
         let mut s = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(SchemaError::at(self.pos, "unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(s);
@@ -320,16 +372,19 @@ impl Parser<'_> {
                             let hex = self
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or_else(|| SchemaError::at(self.pos, "truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                std::str::from_utf8(hex)
+                                    .map_err(|e| SchemaError::at(self.pos, e.to_string()))?,
                                 16,
                             )
-                            .map_err(|e| e.to_string())?;
+                            .map_err(|e| SchemaError::at(self.pos, e.to_string()))?;
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        other => return Err(format!("bad escape {other:?}")),
+                        other => {
+                            return Err(SchemaError::at(self.pos, format!("bad escape {other:?}")))
+                        }
                     }
                     self.pos += 1;
                 }
@@ -337,7 +392,7 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar (input came from &str).
                     let rest = &self.bytes[self.pos..];
                     let ch = std::str::from_utf8(rest)
-                        .map_err(|e| e.to_string())?
+                        .map_err(|e| SchemaError::at(self.pos, e.to_string()))?
                         .chars()
                         .next()
                         .unwrap();
@@ -348,7 +403,7 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, SchemaError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -370,10 +425,10 @@ impl Parser<'_> {
         }
         text.parse::<f64>()
             .map(Json::F64)
-            .map_err(|_| format!("bad number '{text}'"))
+            .map_err(|_| SchemaError::at(start, format!("bad number '{text}'")))
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, SchemaError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -391,12 +446,17 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                other => return Err(format!("expected , or ] got {other:?}")),
+                other => {
+                    return Err(SchemaError::at(
+                        self.pos,
+                        format!("expected , or ] got {other:?}"),
+                    ))
+                }
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, SchemaError> {
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         let mut seen = BTreeMap::new();
@@ -409,7 +469,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             if seen.insert(key.clone(), ()).is_some() {
-                return Err(format!("duplicate key '{key}'"));
+                return Err(SchemaError::at(self.pos, format!("duplicate key '{key}'")));
             }
             self.skip_ws();
             self.expect(b':')?;
@@ -423,7 +483,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(pairs));
                 }
-                other => return Err(format!("expected , or }} got {other:?}")),
+                other => {
+                    return Err(SchemaError::at(
+                        self.pos,
+                        format!("expected , or }} got {other:?}"),
+                    ))
+                }
             }
         }
     }

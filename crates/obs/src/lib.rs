@@ -34,6 +34,6 @@ pub mod trace;
 pub use event::{Arg, CounterDelta, Event, EventKind};
 pub use export::{chrome_trace, jsonl, validate_chrome, ChromeSummary, SM_LANE_BASE};
 pub use journal::{lane, Journal};
-pub use json::{Json, ToJson};
+pub use json::{Json, SchemaError, ToJson};
 pub use metrics::{Metric, MetricsSnapshot};
 pub use trace::{Span, Trace, TraceConfig};

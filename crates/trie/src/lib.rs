@@ -33,4 +33,4 @@ pub mod trie;
 
 pub use chunk::Chunks;
 pub use table::{PairRange, PairTable};
-pub use trie::{HostTrie, Trie, NO_PARENT};
+pub use trie::{HostTrie, Trie, ValidateError, NO_PARENT};

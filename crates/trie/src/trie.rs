@@ -9,6 +9,99 @@ use crate::table::PairTable;
 /// Parent marker for root-level entries.
 pub const NO_PARENT: u32 = u32::MAX;
 
+/// A structural defect found by [`HostTrie::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The PA and CA arrays have different lengths.
+    LengthMismatch {
+        /// Parent-array length.
+        pa: usize,
+        /// Candidate-array length.
+        ca: usize,
+    },
+    /// A level does not start where the previous one ended, or extends
+    /// past the entry count: the levels must tile `0..len` contiguously.
+    LevelBounds {
+        /// The offending level.
+        level: usize,
+        /// The level's claimed range.
+        start: usize,
+        /// The level's claimed end.
+        end: usize,
+        /// Where the previous level ended.
+        expected_start: usize,
+        /// Total entries in the trie.
+        len: usize,
+    },
+    /// A level-0 entry has a parent (roots must carry [`NO_PARENT`]).
+    RootHasParent {
+        /// The offending entry index.
+        entry: usize,
+        /// The parent it claims.
+        parent: u32,
+    },
+    /// A deeper entry's parent index lies outside the previous level.
+    ParentOutsideLevel {
+        /// The offending entry index.
+        entry: usize,
+        /// The entry's level.
+        level: usize,
+        /// The parent it claims ([`NO_PARENT`] when missing entirely).
+        parent: u32,
+        /// Start of the valid parent range (previous level).
+        prev_start: usize,
+        /// End of the valid parent range (previous level).
+        prev_end: usize,
+    },
+    /// The sealed levels do not cover every entry.
+    Uncovered {
+        /// Entries the levels account for.
+        covered: usize,
+        /// Entries the trie actually holds.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::LengthMismatch { pa, ca } => {
+                write!(f, "PA ({pa}) and CA ({ca}) lengths differ")
+            }
+            ValidateError::LevelBounds {
+                level,
+                start,
+                end,
+                expected_start,
+                len,
+            } => write!(
+                f,
+                "level {level} range {start}..{end} invalid (previous ended at \
+                 {expected_start}, trie holds {len} entries)"
+            ),
+            ValidateError::RootHasParent { entry, parent } => {
+                write!(f, "root entry {entry} has parent {parent}")
+            }
+            ValidateError::ParentOutsideLevel {
+                entry,
+                level,
+                parent,
+                prev_start,
+                prev_end,
+            } => write!(
+                f,
+                "entry {entry} at level {level} has parent {parent} outside \
+                 {prev_start}..{prev_end}"
+            ),
+            ValidateError::Uncovered { covered, len } => {
+                write!(f, "levels cover 0..{covered} but trie holds {len} entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 /// The cuTS partial-path trie: a [`PairTable`] plus sealed level
 /// boundaries. Level `l` holds every partial path of depth `l + 1`; an
 /// entry's full path is recovered by chasing parent indices to the root.
@@ -275,43 +368,53 @@ impl HostTrie {
     /// level-0 entries must be roots, and every deeper entry's parent must
     /// lie in the previous level. Used by tests and by the donation
     /// receive path to reject corrupt payloads early.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ValidateError> {
         if self.pa.len() != self.ca.len() {
-            return Err("PA and CA lengths differ".into());
+            return Err(ValidateError::LengthMismatch {
+                pa: self.pa.len(),
+                ca: self.ca.len(),
+            });
         }
         let mut expect_start = 0usize;
         for (l, range) in self.levels.iter().enumerate() {
-            if range.start != expect_start {
-                return Err(format!(
-                    "level {l} starts at {} but previous ended at {expect_start}",
-                    range.start
-                ));
-            }
-            if range.end < range.start || range.end > self.ca.len() {
-                return Err(format!("level {l} range {range:?} out of bounds"));
+            if range.start != expect_start || range.end < range.start || range.end > self.ca.len() {
+                return Err(ValidateError::LevelBounds {
+                    level: l,
+                    start: range.start,
+                    end: range.end,
+                    expected_start: expect_start,
+                    len: self.ca.len(),
+                });
             }
             for i in range.clone() {
                 let p = self.pa[i];
                 if l == 0 {
                     if p != NO_PARENT {
-                        return Err(format!("root entry {i} has parent {p}"));
+                        return Err(ValidateError::RootHasParent {
+                            entry: i,
+                            parent: p,
+                        });
                     }
                 } else {
                     let prev = &self.levels[l - 1];
                     if p == NO_PARENT || (p as usize) < prev.start || (p as usize) >= prev.end {
-                        return Err(format!(
-                            "entry {i} at level {l} has parent {p} outside {prev:?}"
-                        ));
+                        return Err(ValidateError::ParentOutsideLevel {
+                            entry: i,
+                            level: l,
+                            parent: p,
+                            prev_start: prev.start,
+                            prev_end: prev.end,
+                        });
                     }
                 }
             }
             expect_start = range.end;
         }
         if expect_start != self.ca.len() {
-            return Err(format!(
-                "levels cover 0..{expect_start} but trie holds {} entries",
-                self.ca.len()
-            ));
+            return Err(ValidateError::Uncovered {
+                covered: expect_start,
+                len: self.ca.len(),
+            });
         }
         Ok(())
     }
@@ -476,22 +579,41 @@ mod tests {
         // Root with a parent.
         let mut bad = host.clone();
         bad.pa[0] = 1;
-        assert!(bad.validate().unwrap_err().contains("root entry"));
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateError::RootHasParent {
+                entry: 0,
+                parent: 1
+            }
+        ));
+        assert!(err.to_string().contains("root entry"));
 
         // Parent outside the previous level.
         let mut bad = host.clone();
         bad.pa[3] = 4;
-        assert!(bad.validate().unwrap_err().contains("outside"));
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateError::ParentOutsideLevel { entry: 3, .. }
+        ));
+        assert!(err.to_string().contains("outside"));
 
         // Levels not tiling the entries.
         let mut bad = host.clone();
         bad.levels[1] = 2..4;
-        assert!(bad.validate().is_err());
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            ValidateError::LevelBounds { .. } | ValidateError::Uncovered { .. }
+        ));
 
         // Mismatched array lengths.
         let mut bad = host.clone();
         bad.pa.pop();
-        assert!(bad.validate().is_err());
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            ValidateError::LengthMismatch { .. }
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! cargo run --release --example road_patterns
 //! ```
 
-use cuts::baseline::{BaselineError, GunrockEngine};
+use cuts::baseline::{CutsError, GunrockEngine};
 use cuts::graph::generators::{chain, cycle};
 use cuts::prelude::*;
 
@@ -59,7 +59,7 @@ fn main() {
         let q = chain(k);
         match gunrock.run(&road, &q) {
             Ok(r) => println!("  chain-{k}: ok, {} matches", r.num_matches),
-            Err(BaselineError::EncodingOverflow { .. }) => {
+            Err(CutsError::Unsupported { .. }) => {
                 println!("  chain-{k}: UNSUPPORTED (encoding overflow)")
             }
             Err(e) => println!("  chain-{k}: failed ({e})"),

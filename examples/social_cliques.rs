@@ -12,7 +12,7 @@
 //! cargo run --release --example social_cliques
 //! ```
 
-use cuts::baseline::{BaselineError, GsiEngine};
+use cuts::baseline::{CutsError, GsiEngine};
 use cuts::graph::generators::clique;
 use cuts::prelude::*;
 
@@ -52,7 +52,7 @@ fn main() {
     let q4 = clique(4);
     match GsiEngine::new(&tiny).run(&social, &q4) {
         Ok(r) => println!("GSI-style (flat storage): {} matches", r.num_matches),
-        Err(BaselineError::Engine(e)) => {
+        Err(e @ CutsError::Device(_)) => {
             println!("GSI-style (flat storage): FAILED — {e}")
         }
         Err(e) => println!("GSI-style: {e}"),

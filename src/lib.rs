@@ -34,9 +34,8 @@ pub use cuts_trie as trie;
 
 /// Most-used types in one import.
 pub mod prelude {
-    pub use cuts_core::{
-        CutsEngine, EngineConfig, ExecSession, MatchResult, QueryPlan, SessionStats,
-    };
+    pub use cuts_core::prelude::*;
+    pub use cuts_core::SessionStats;
     pub use cuts_gpu_sim::{Device, DeviceConfig};
     pub use cuts_graph::{Dataset, Graph, GraphBuilder, Scale};
 }
