@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cuts_core::kernels::{expand_range, init_candidates, ExpandParams};
-use cuts_core::{IntersectStrategy, MatchOrder};
+use cuts_core::{LevelMethod, MatchOrder};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::clique;
 use cuts_graph::{Dataset, Scale};
@@ -25,14 +25,15 @@ fn bench_expand(c: &mut Criterion) {
             |b, data| {
                 b.iter(|| {
                     let mut trie = Trie::on_device(&device, 1 << 20).unwrap();
-                    init_candidates(&device, data, &plan, &trie, 256).unwrap();
+                    init_candidates(&device, data, &plan, &trie, 256, None).unwrap();
                     let lvl0 = trie.seal_level();
                     let params = ExpandParams {
                         data,
                         plan: &plan,
                         pos: 1,
                         vwarp: 8,
-                        strategy: IntersectStrategy::Adaptive,
+                        method: LevelMethod::PerPath,
+                        shared_words: 24576,
                         placement: None,
                         max_blocks: 256,
                     };

@@ -1,5 +1,5 @@
 //! Ablation 3 (§4.1.3): intersection micro-kernel choice — always-c,
-//! always-p, and the adaptive selection cuTS ships.
+//! always-p, always-bitmap, and the plan-time auto policy cuTS ships.
 //!
 //! ```sh
 //! cargo run -p cuts-bench --release --bin ablation_intersect
@@ -15,15 +15,17 @@ fn main() {
     let scale = scale_from_env();
     println!("Ablation: intersection strategy (scale {scale:?})\n");
     println!(
-        "{:<12} {:<6} {:>14} {:>14} {:>14} | {:>10} {:>10} {:>10}",
+        "{:<12} {:<6} {:>14} {:>14} {:>14} {:>14} | {:>9} {:>9} {:>9} {:>9}",
         "dataset",
         "query",
         "c-only dram",
         "p-only dram",
-        "adaptive dram",
+        "bitmap dram",
+        "auto dram",
         "c ms",
         "p ms",
-        "adpt ms"
+        "b ms",
+        "auto ms"
     );
 
     for ds in [Dataset::Enron, Dataset::Gowalla, Dataset::RoadNetPA] {
@@ -34,7 +36,8 @@ fn main() {
             for strat in [
                 IntersectStrategy::CIntersection,
                 IntersectStrategy::PIntersection,
-                IntersectStrategy::Adaptive,
+                IntersectStrategy::Bitmap,
+                IntersectStrategy::Auto,
             ] {
                 let device = Device::new(Machine::V100.device_config(scale));
                 let engine =
@@ -51,18 +54,20 @@ fn main() {
                 }
             }
             println!(
-                "{:<12} {:<6} {:>14} {:>14} {:>14} | {:>10} {:>10} {:>10}",
+                "{:<12} {:<6} {:>14} {:>14} {:>14} {:>14} | {:>9} {:>9} {:>9} {:>9}",
                 ds.name(),
                 qname,
                 dram[0],
                 dram[1],
                 dram[2],
+                dram[3],
                 ms[0],
                 ms[1],
-                ms[2]
+                ms[2],
+                ms[3]
             );
         }
     }
-    println!("\nexpected: adaptive tracks the better of c/p per dataset; p wins when the");
+    println!("\nexpected: auto tracks the best fixed arm per dataset; p wins when the");
     println!("running buffer is small relative to the other adjacency lists.");
 }

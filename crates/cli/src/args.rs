@@ -9,6 +9,7 @@ USAGE:
   cuts match   (<edgelist> | --dataset <name> [--scale <s>]) --query <spec>
                [--directed] [--device v100|a100|test] [--engine cuts|gsi|gunrock|vf2]
                [--ranks <n>] [--enumerate <n>] [--chunk <n>] [--plan-cache <n>]
+               [--intersect auto|c|p|bitmap] [--no-prefilter]
                [--partition round-robin|block|all-to-zero]
                [--fault-plan <plan>] [--rank-timeout <ms>]
                [--trace-out <path>] [--trace-format chrome|jsonl]
@@ -29,6 +30,12 @@ LABELS:        --labels random:K | zipf:K | bands  (attach vertex labels to
 OUTPUT:        --output text | json (match subcommand)
 PLAN CACHE:    --plan-cache <n> bounds the session's LRU of built query
                plans (default 16; 0 disables caching)
+INTERSECT:     --intersect pins the intersection micro-kernel (c, p, or
+               bitmap) or lets the plan-time policy pick per level from
+               data-graph degree statistics (auto, the default);
+               --no-prefilter disables the signature index that prunes
+               root candidates before the degree test. Results are
+               identical across all settings — only counters move
 PARTITION:     how root candidates split across ranks (default round-robin;
                all-to-zero stresses the donation protocol)
 TRACING:       --trace-out writes the run's event journal: chrome format
@@ -87,6 +94,10 @@ pub struct MatchOpts {
     pub trace_per_block: bool,
     /// Write a Prometheus-style metrics snapshot here.
     pub metrics_out: Option<String>,
+    /// Intersection micro-kernel: `auto`, `c`, `p`, or `bitmap`.
+    pub intersect: String,
+    /// Disable the signature prefilter on root candidates.
+    pub no_prefilter: bool,
 }
 
 /// Parsed `serve` options.
@@ -258,6 +269,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 trace_format: "chrome".into(),
                 trace_per_block: false,
                 metrics_out: None,
+                intersect: "auto".into(),
+                no_prefilter: false,
             };
             let mut it = extra.iter();
             while let Some(a) = it.next() {
@@ -311,6 +324,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--metrics-out" => {
                         opts.metrics_out = Some(take_value("--metrics-out", &mut it)?.to_string())
                     }
+                    "--intersect" => {
+                        opts.intersect = take_value("--intersect", &mut it)?.to_string()
+                    }
+                    "--no-prefilter" => opts.no_prefilter = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -330,6 +347,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 if !matches!(p.as_str(), "round-robin" | "block" | "all-to-zero") {
                     return Err("--partition must be round-robin, block, or all-to-zero".into());
                 }
+            }
+            if !matches!(opts.intersect.as_str(), "auto" | "c" | "p" | "bitmap") {
+                return Err("--intersect must be auto, c, p, or bitmap".into());
             }
             if sub == "profile" {
                 if opts.engine != "cuts" {
@@ -448,6 +468,30 @@ mod tests {
     #[test]
     fn rejects_missing_query() {
         assert!(parse(&argv("match graph.txt")).is_err());
+    }
+
+    #[test]
+    fn parses_intersect_and_prefilter_flags() {
+        for arm in ["auto", "c", "p", "bitmap"] {
+            let c = parse(&argv(&format!(
+                "match g.txt --query clique:3 --intersect {arm}"
+            )))
+            .unwrap();
+            match c {
+                Command::Match(o) => assert_eq!(o.intersect, arm),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Defaults: auto with the prefilter on.
+        let c = parse(&argv("match g.txt --query clique:3 --no-prefilter")).unwrap();
+        match c {
+            Command::Match(o) => {
+                assert_eq!(o.intersect, "auto");
+                assert!(o.no_prefilter);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("match g.txt --query clique:3 --intersect adaptive")).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use cuts_baseline::{vf2, GsiEngine, GunrockEngine};
 use cuts_core::prelude::*;
-use cuts_core::{sched, SessionStats};
+use cuts_core::{sched, IntersectStrategy, SessionStats};
 use cuts_dist::{run_distributed_traced, DistConfig, FaultPlan, Partition};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{chain, clique, cycle, star};
@@ -150,6 +150,16 @@ fn partition_of(spec: &str) -> Result<Partition, CmdError> {
     })
 }
 
+fn intersect_of(spec: &str) -> Result<IntersectStrategy, CmdError> {
+    Ok(match spec {
+        "auto" => IntersectStrategy::Auto,
+        "c" => IntersectStrategy::CIntersection,
+        "p" => IntersectStrategy::PIntersection,
+        "bitmap" => IntersectStrategy::Bitmap,
+        other => return Err(invalid("intersect", other)),
+    })
+}
+
 fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
     let mut data = load(&opts.data, opts.directed)?;
     let mut query = load_query(&opts.query, opts.directed)?;
@@ -164,6 +174,10 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
         query.num_edges()
     );
     let dev_cfg = device_config(&opts.device)?;
+    let engine_cfg = EngineConfig::default()
+        .with_chunk_size(opts.chunk)
+        .with_intersect(intersect_of(&opts.intersect)?)
+        .with_signature_prefilter(!opts.no_prefilter);
     // `profile` always records; `match` only when an output asks for it.
     let trace = if profile || opts.trace_out.is_some() || opts.metrics_out.is_some() {
         Trace::with_config(TraceConfig {
@@ -179,6 +193,7 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
         }
         let mut config = DistConfig {
             device: dev_cfg,
+            engine: engine_cfg,
             dist_chunk: opts.chunk,
             ..Default::default()
         };
@@ -253,11 +268,8 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
         "cuts" => {
             let mut device = Device::new(dev_cfg);
             device.set_trace(trace.clone());
-            let session = ExecSession::with_cache_capacity(
-                &device,
-                EngineConfig::default().with_chunk_size(opts.chunk),
-                opts.plan_cache,
-            );
+            let session =
+                ExecSession::with_cache_capacity(&device, engine_cfg.clone(), opts.plan_cache);
             let r = if opts.enumerate > 0 {
                 let mut shown = 0usize;
                 session.run_enumerate(&data, &query, &mut |m| {
@@ -547,6 +559,9 @@ fn print_profile(events: &[Event]) {
     // scheduler lifecycle: event name -> count, plus queue/exec time sums
     let mut job_counts: BTreeMap<String, u64> = BTreeMap::new();
     let (mut queue_ms, mut exec_ms) = (0.0f64, 0.0f64);
+    // plan-time kernel policy: level pos -> (method, chi, est first, times)
+    let mut policy: BTreeMap<u64, (String, u64, u64, u64)> = BTreeMap::new();
+    let (mut prefilter_on, mut prefilter_off) = (0u64, 0u64);
     for e in events {
         *census.entry(e.kind.as_str()).or_default() += 1;
         if let Some(r) = e.rank {
@@ -576,6 +591,21 @@ fn print_profile(events: &[Event]) {
                     exec_ms += arg_f64(e, "exec_ms");
                 }
             }
+            EventKind::Policy => match e.name.as_str() {
+                "prefilter_on" => prefilter_on += 1,
+                "prefilter_off" => prefilter_off += 1,
+                method => {
+                    let p = policy.entry(arg_u64(e, "pos")).or_insert_with(|| {
+                        (
+                            method.to_string(),
+                            arg_u64(e, "constraints"),
+                            arg_u64(e, "est_first_len"),
+                            0,
+                        )
+                    });
+                    p.3 += 1;
+                }
+            },
             _ => {}
         }
     }
@@ -611,6 +641,24 @@ fn print_profile(events: &[Event]) {
                 exec_ms,
                 queue_ms / completed as f64,
                 exec_ms / completed as f64
+            );
+        }
+    }
+    if !policy.is_empty() || prefilter_on + prefilter_off > 0 {
+        println!("  kernel policy:");
+        for (pos, (method, chi, est, times)) in &policy {
+            println!(
+                "    level {pos:<2} chi={chi:<2} -> {method:<9} (est first {est}, decided {times}x)"
+            );
+        }
+        if prefilter_on + prefilter_off > 0 {
+            println!(
+                "    signature prefilter: {} (on {prefilter_on}x / off {prefilter_off}x)",
+                if prefilter_on > 0 {
+                    "active"
+                } else {
+                    "disabled"
+                }
             );
         }
     }
@@ -718,11 +766,23 @@ mod tests {
             trace_format: "chrome".into(),
             trace_per_block: false,
             metrics_out: None,
+            intersect: "auto".into(),
+            no_prefilter: false,
         };
         run_match(&opts, false).unwrap();
         // Distributed path too.
         let opts = MatchOpts { ranks: 2, ..opts };
         run_match(&opts, false).unwrap();
+        // Every pinned micro-kernel arm must run end to end.
+        for arm in ["c", "p", "bitmap"] {
+            let opts = MatchOpts {
+                ranks: 1,
+                intersect: arm.into(),
+                no_prefilter: true,
+                ..opts.clone()
+            };
+            run_match(&opts, false).unwrap();
+        }
     }
 
     #[test]
@@ -775,6 +835,8 @@ mod tests {
             trace_format: "chrome".into(),
             trace_per_block: false,
             metrics_out: None,
+            intersect: "auto".into(),
+            no_prefilter: false,
         };
         run_match(&opts, false).unwrap();
     }

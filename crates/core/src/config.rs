@@ -4,14 +4,19 @@
 /// Which intersection micro-kernel the search kernel uses (§4.1.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntersectStrategy {
-    /// Per-path cost-based choice between `c` and `p` ("we adaptively
-    /// choose the intersection method").
-    Adaptive,
+    /// Plan-time `KernelPolicy` choice between `c`, `p`, and `bitmap`
+    /// per level, from data-graph degree statistics ("we adaptively
+    /// choose the intersection method"); falls back to per-path choice
+    /// on levels where the degree spread is too wide to fix one arm.
+    Auto,
     /// Always c-intersection (stream each list against a shared buffer).
     CIntersection,
     /// Always p-intersection (probe each buffered candidate against the
     /// remaining constraints' adjacency).
     PIntersection,
+    /// Always bitmap-intersection (encode the shortest list as a span
+    /// bitmap in shared memory and stream the others against it).
+    Bitmap,
 }
 
 /// Virtual warp sizing (§4.1.2).
@@ -58,6 +63,9 @@ pub struct EngineConfig {
     pub trie_fraction: f64,
     /// Intersection micro-kernel selection.
     pub intersect: IntersectStrategy,
+    /// Prefilter level-0 candidates with the GSI-style neighbourhood
+    /// signature index before the Definition 5 degree test.
+    pub signature_prefilter: bool,
     /// Shuffle partial-path placement to break id-order load imbalance
     /// ("we randomized the partial path placement", §4.1.2).
     pub randomize_placement: bool,
@@ -75,7 +83,8 @@ impl Default for EngineConfig {
             order_policy: OrderPolicy::default(),
             chunk_size: 512,
             trie_fraction: 0.9,
-            intersect: IntersectStrategy::Adaptive,
+            intersect: IntersectStrategy::Auto,
+            signature_prefilter: true,
             randomize_placement: true,
             virtual_warp: VirtualWarpPolicy::AvgDegree,
             max_blocks: 256,
@@ -106,6 +115,12 @@ impl EngineConfig {
     /// Builder-style intersection strategy.
     pub fn with_intersect(mut self, s: IntersectStrategy) -> Self {
         self.intersect = s;
+        self
+    }
+
+    /// Builder-style signature prefilter toggle.
+    pub fn with_signature_prefilter(mut self, on: bool) -> Self {
+        self.signature_prefilter = on;
         self
     }
 
@@ -162,6 +177,12 @@ impl EngineConfigBuilder {
     /// Intersection micro-kernel selection.
     pub fn intersect(mut self, s: IntersectStrategy) -> Self {
         self.config.intersect = s;
+        self
+    }
+
+    /// Level-0 signature prefilter.
+    pub fn signature_prefilter(mut self, on: bool) -> Self {
+        self.config.signature_prefilter = on;
         self
     }
 
@@ -271,10 +292,12 @@ mod tests {
         let c = EngineConfig::default()
             .with_chunk_size(64)
             .with_intersect(IntersectStrategy::PIntersection)
+            .with_signature_prefilter(false)
             .with_randomize_placement(false)
             .with_trie_fraction(0.5);
         assert_eq!(c.chunk_size, 64);
         assert_eq!(c.intersect, IntersectStrategy::PIntersection);
+        assert!(!c.signature_prefilter);
         assert!(!c.randomize_placement);
         assert!((c.trie_fraction - 0.5).abs() < 1e-12);
     }

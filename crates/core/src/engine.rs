@@ -192,7 +192,8 @@ mod tests {
         let device = Device::new(DeviceConfig::test_small());
         let mut counts = Vec::new();
         for s in [
-            IntersectStrategy::Adaptive,
+            IntersectStrategy::Auto,
+            IntersectStrategy::Bitmap,
             IntersectStrategy::CIntersection,
             IntersectStrategy::PIntersection,
         ] {

@@ -12,9 +12,15 @@
 //!   candidates against the remaining constraints by probing their sorted
 //!   adjacency. (Probing `v ∈ children(a_k)` is exactly the paper's
 //!   "parent set of `v` includes `a_k`" check, expressed on the same CSR.)
+//! * [`b_intersection`] — the GSI-style bitmap probe: encode the shortest
+//!   list as a word-packed bitmap over its value span in shared memory,
+//!   then stream every other list against it with O(1) probes.
 //!
 //! [`choose`] implements the adaptive selection the paper alludes to: pick
-//! whichever of c/p moves fewer words for the lists at hand.
+//! whichever of c/p/b moves fewer words for the lists at hand *and* fits
+//! the block's shared-memory budget (the c and b arms both keep state
+//! resident in shared memory; an arm whose buffer cannot fit is never
+//! selected).
 //!
 //! All kernels are instrumented: they charge DRAM/shared traffic and the
 //! masked-lane idle slots implied by the virtual-warp width, which is how
@@ -37,8 +43,23 @@ pub fn constraint_list(g: &Graph, matched: VertexId, dir: Dir) -> &[VertexId] {
 
 /// Ceil-log2 with a floor of 1 (binary-search probe cost in words).
 #[inline]
-fn probe_cost(len: usize) -> usize {
+pub(crate) fn probe_cost(len: usize) -> usize {
     usize::BITS as usize - len.max(2).leading_zeros() as usize
+}
+
+/// Device words (u32) of a bit-per-value bitmap covering `span` values.
+#[inline]
+pub(crate) fn bitmap_words(span: usize) -> usize {
+    span.div_ceil(32)
+}
+
+/// Value span (`last − first + 1`) of a sorted non-empty list.
+#[inline]
+fn list_span(list: &[VertexId]) -> usize {
+    match (list.first(), list.last()) {
+        (Some(&lo), Some(&hi)) => (hi - lo) as usize + 1,
+        _ => 0,
+    }
 }
 
 /// Charges the masked-lane idle slots of processing `len` elements with a
@@ -121,6 +142,90 @@ pub fn p_intersection(
     ctr.shmem_write(out.len());
 }
 
+/// b-intersection (bitmap probe). The shortest list is encoded as a
+/// word-packed bitmap over its value span in shared memory, then every
+/// other list is streamed against it: one coalesced read per constraint
+/// word, one O(1) shared probe per in-span element — no log-cost probes
+/// at all. Hits are re-encoded into a second bitmap (double-buffered like
+/// the c-kernel's interset1/interset2), and the survivors are extracted
+/// in ascending order at the end.
+///
+/// `lists` must be sorted and duplicate-free (CSR adjacency guarantees
+/// both); the result in `out` is sorted. When the double-buffered bitmap
+/// would not fit `shared_words`, the kernel degrades to
+/// [`c_intersection`] — identical results, honestly charged.
+pub fn b_intersection(
+    lists: &[&[VertexId]],
+    vwarp: usize,
+    shared_words: usize,
+    ctr: &mut BlockCounters,
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    let Some((first, rest)) = lists.split_first() else {
+        return;
+    };
+    if first.is_empty() {
+        return;
+    }
+    let lo = first[0] as usize;
+    let words = bitmap_words(list_span(first));
+    if 2 * words > shared_words.max(1) {
+        // Span too wide for the double-buffered bitmap: fall back.
+        return c_intersection(lists, vwarp, ctr, out);
+    }
+    // Encode: stream the shortest list once (coalesced), zero the bitmap,
+    // set one bit per element.
+    ctr.dram_read_coalesced(first.len());
+    ctr.shmem_write(words + first.len());
+    charge_idle(ctr, first.len(), vwarp);
+    let mut cur = vec![0u32; words];
+    for &v in *first {
+        let b = v as usize - lo;
+        cur[b / 32] |= 1 << (b % 32);
+    }
+    let hi = lo + list_span(first) - 1;
+    let mut next = vec![0u32; words];
+    for list in rest {
+        // Stream the constraint coalesced; one shared probe per in-span
+        // element (the out-of-span bounds test is register-only ALU).
+        ctr.dram_read_coalesced(list.len());
+        ctr.alu(list.len());
+        charge_idle(ctr, list.len(), vwarp);
+        ctr.shmem_write(words); // zero the target buffer
+        let mut kept = 0usize;
+        for &v in *list {
+            let v = v as usize;
+            if v < lo || v > hi {
+                continue;
+            }
+            let b = v - lo;
+            ctr.shmem_read(1);
+            if cur[b / 32] & (1 << (b % 32)) != 0 {
+                next[b / 32] |= 1 << (b % 32);
+                kept += 1;
+            }
+        }
+        ctr.shmem_write(kept);
+        std::mem::swap(&mut cur, &mut next);
+        next.iter_mut().for_each(|w| *w = 0);
+        if kept == 0 {
+            return;
+        }
+    }
+    // Extract set bits ascending: result is sorted by construction.
+    ctr.shmem_read(words);
+    for (wi, &w) in cur.iter().enumerate() {
+        let mut w = w;
+        while w != 0 {
+            let b = w.trailing_zeros() as usize;
+            out.push((lo + wi * 32 + b) as VertexId);
+            w &= w - 1;
+        }
+    }
+    charge_idle(ctr, out.len(), vwarp);
+}
+
 /// Micro-kernel choice for one partial path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
@@ -128,32 +233,88 @@ pub enum Method {
     C,
     /// Probe-first-list against the other adjacencies.
     P,
+    /// Bitmap-encode the first list, stream the others against it.
+    B,
 }
 
-/// Adaptive selection: estimated words moved by each method; the paper's
-/// "we adaptively choose the intersection method, which enables higher
-/// performance".
-pub fn choose(lists: &[&[VertexId]]) -> Method {
-    if lists.len() <= 1 {
-        return Method::C;
+impl Method {
+    /// Short lower-case name, used in kernel labels and obs events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::C => "c",
+            Method::P => "p",
+            Method::B => "bitmap",
+        }
     }
-    // Subgraph isomorphism is memory-bound (§6), so compare DRAM words
-    // only: both methods stream the first list; beyond that, c streams
-    // every other list once (its membership probes hit shared memory,
-    // which the roofline prices far cheaper), while p issues log-cost
-    // random probes into global memory per buffered candidate.
-    let first = lists[0].len();
-    let cost_c: usize = lists[1..].iter().map(|l| l.len()).sum();
-    let cost_p = first
-        * lists[1..]
-            .iter()
-            .map(|l| probe_cost(l.len()))
-            .sum::<usize>();
-    if cost_p < cost_c {
-        Method::P
-    } else {
+}
+
+/// The shared cost model behind [`choose`] and the plan-time
+/// `KernelPolicy`, expressed over scalar list statistics so both exact
+/// per-path lists and plan-time estimates can be priced identically.
+///
+/// * `first_len` — length of the shortest (buffered/encoded) list
+/// * `bmp_words` — bitmap words covering the first list's value span
+/// * `stream` — total length of the remaining lists (words each of c/b
+///   streams from DRAM)
+/// * `probe_words` — Σ log-probe cost over the remaining lists (p's
+///   per-candidate random-read bill)
+/// * `shared_words` — the block's shared-memory budget in words
+pub(crate) fn pick_method(
+    first_len: usize,
+    bmp_words: usize,
+    stream: usize,
+    probe_words: usize,
+    shared_words: usize,
+) -> Method {
+    let budget = shared_words.max(1);
+    // Feasibility: c double-buffers the running intersection
+    // (interset1/interset2 — 2·|first| words resident); b double-buffers
+    // the span bitmap. p keeps nothing resident and always fits.
+    let c_fits = first_len != 0 && 2 * first_len <= budget;
+    let b_fits = first_len != 0 && 2 * bmp_words <= budget;
+    if stream == 0 {
+        // Single-list case: copy through shared if it fits.
+        return if c_fits { Method::C } else { Method::P };
+    }
+    // Subgraph isomorphism is memory-bound (§6), so DRAM words decide
+    // first: c and b both stream every other list once (`stream`), while
+    // p issues log-cost random probes per buffered candidate.
+    let cost_p = first_len * probe_words;
+    if cost_p < stream || (!c_fits && !b_fits) {
+        return Method::P;
+    }
+    // c vs b move the same DRAM words; break the tie on shared-memory
+    // traffic: c pays a log-probe per streamed element, b pays O(1)
+    // probes plus the encode (zero + set + per-pass clears).
+    let shmem_c = stream * probe_cost(first_len);
+    let shmem_b = first_len + 2 * bmp_words + stream;
+    if b_fits && (!c_fits || shmem_b < shmem_c) {
+        Method::B
+    } else if c_fits {
         Method::C
+    } else {
+        Method::B
     }
+}
+
+/// Adaptive per-path selection: estimated words moved by each method
+/// (the paper's "we adaptively choose the intersection method, which
+/// enables higher performance"), constrained by the block's shared-
+/// memory budget — an arm whose resident buffer cannot fit
+/// `shared_words` is never picked.
+pub fn choose(lists: &[&[VertexId]], shared_words: usize) -> Method {
+    let Some((first, rest)) = lists.split_first() else {
+        return Method::C;
+    };
+    let stream: usize = rest.iter().map(|l| l.len()).sum();
+    let probe_words: usize = rest.iter().map(|l| probe_cost(l.len())).sum();
+    pick_method(
+        first.len(),
+        bitmap_words(list_span(first)),
+        stream,
+        probe_words,
+        shared_words,
+    )
 }
 
 /// O(|V|)-scratch scatter-vector intersection (Algorithm 2, lines 7-17).
@@ -226,13 +387,17 @@ mod tests {
             .collect()
     }
 
-    fn all_methods(lists: &[&[u32]]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    /// Generous shared budget (the test_small device config).
+    const SHARED: usize = 4096;
+
+    fn all_methods(lists: &[&[u32]]) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
         let mut ctr = BlockCounters::default();
-        let (mut c, mut p, mut s) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut c, mut p, mut b, mut s) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         c_intersection(lists, 4, &mut ctr, &mut c);
         p_intersection(lists, 4, &mut ctr, &mut p);
+        b_intersection(lists, 4, SHARED, &mut ctr, &mut b);
         ScatterScratch::new(1000).scatter_vector(lists, &mut ctr, &mut s);
-        (c, p, s)
+        (c, p, b, s)
     }
 
     #[test]
@@ -248,40 +413,108 @@ mod tests {
         for case in cases {
             let lists: Vec<&[u32]> = case.iter().map(|v| v.as_slice()).collect();
             let want = naive_intersection(&lists);
-            let (c, p, s) = all_methods(&lists);
+            let (c, p, b, s) = all_methods(&lists);
             assert_eq!(c, want, "c-intersection {case:?}");
             assert_eq!(p, want, "p-intersection {case:?}");
+            assert_eq!(b, want, "b-intersection {case:?}");
             assert_eq!(s, want, "scatter-vector {case:?}");
         }
     }
 
     #[test]
     fn empty_input() {
-        let (c, p, s) = all_methods(&[]);
-        assert!(c.is_empty() && p.is_empty() && s.is_empty());
+        let (c, p, b, s) = all_methods(&[]);
+        assert!(c.is_empty() && p.is_empty() && b.is_empty() && s.is_empty());
     }
 
     #[test]
     fn results_stay_sorted() {
         let a: Vec<u32> = (0..100).step_by(3).collect();
         let b: Vec<u32> = (0..100).step_by(2).collect();
-        let (c, p, s) = all_methods(&[&a, &b]);
-        for r in [&c, &p, &s] {
+        let (c, p, bm, s) = all_methods(&[&a, &b]);
+        for r in [&c, &p, &bm, &s] {
             assert!(r.windows(2).all(|w| w[0] < w[1]));
         }
         assert_eq!(c, (0..100).step_by(6).collect::<Vec<u32>>());
     }
 
     #[test]
+    fn bitmap_falls_back_when_span_exceeds_budget() {
+        // Span 1M values → ~31k bitmap words, far over a 4096-word
+        // budget even though the list itself is short.
+        let a: Vec<u32> = vec![0, 1_000_000];
+        let b: Vec<u32> = vec![0, 5, 1_000_000];
+        let mut ctr = BlockCounters::default();
+        let mut out = Vec::new();
+        b_intersection(&[&a, &b], 4, SHARED, &mut ctr, &mut out);
+        assert_eq!(out, vec![0, 1_000_000]);
+        // And the chooser never picks the bitmap arm for that span.
+        assert_ne!(choose(&[&a, &b], SHARED), Method::B);
+    }
+
+    #[test]
     fn adaptive_prefers_p_for_tiny_buffer() {
         let small: Vec<u32> = vec![5];
         let huge: Vec<u32> = (0..10_000).collect();
-        assert_eq!(choose(&[&small, &huge]), Method::P);
-        // Similar sizes: streaming wins.
+        assert_eq!(choose(&[&small, &huge], SHARED), Method::P);
+        // Similar dense sizes: streaming wins, and the bitmap arm beats
+        // c on shared traffic (O(1) probes vs log-probes).
         let a: Vec<u32> = (0..32).collect();
         let b: Vec<u32> = (0..32).collect();
-        assert_eq!(choose(&[&a, &b]), Method::C);
-        assert_eq!(choose(&[&a]), Method::C);
+        assert_eq!(choose(&[&a, &b], SHARED), Method::B);
+        assert_eq!(choose(&[&a], SHARED), Method::C);
+        // Wide sparse span: bitmap infeasible, c carries the day.
+        let sp: Vec<u32> = (0..32).map(|v| v * 100_000).collect();
+        let sq: Vec<u32> = (0..32).map(|v| v * 100_000 + (v % 2)).collect();
+        assert_eq!(choose(&[&sp, &sq], SHARED), Method::C);
+    }
+
+    #[test]
+    fn choose_respects_shared_budget() {
+        // Satellite fix: the old model ignored the device budget and
+        // happily picked c with a running buffer bigger than shared
+        // memory. first = 3000 words → c needs 6000 resident words.
+        let first: Vec<u32> = (0..3000).collect();
+        let second: Vec<u32> = (0..3000).collect();
+        assert_ne!(choose(&[&first, &second], 4096), Method::C);
+        // The bitmap double-buffer covers the same span in
+        // 2·ceil(3000/32) = 188 words: feasible and picked.
+        assert_eq!(choose(&[&first, &second], 4096), Method::B);
+        // A budget too small for either resident arm forces p.
+        assert_eq!(choose(&[&first, &second], 64), Method::P);
+        // Sweep: whatever is picked, its resident footprint must fit.
+        for budget in [1usize, 16, 64, 256, 4096, 1 << 20] {
+            match choose(&[&first, &second], budget) {
+                Method::C => assert!(2 * first.len() <= budget, "c overflows {budget}"),
+                Method::B => assert!(
+                    2 * bitmap_words(first.len()) <= budget,
+                    "bitmap overflows {budget}"
+                ),
+                Method::P => {}
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_counters_model_o1_probes() {
+        // Dense same-span lists: b's shared reads are one per streamed
+        // element (+ final extraction scan), strictly below c's
+        // log-probe bill for lists this long.
+        let a: Vec<u32> = (0..2000).collect();
+        let b: Vec<u32> = (0..2000).collect();
+        let (mut cc, mut cb) = (BlockCounters::default(), BlockCounters::default());
+        let (mut outc, mut outb) = (Vec::new(), Vec::new());
+        c_intersection(&[&a, &b], 4, &mut cc, &mut outc);
+        b_intersection(&[&a, &b], 4, SHARED, &mut cb, &mut outb);
+        assert_eq!(outc, outb);
+        assert!(
+            cb.c.shmem_reads < cc.c.shmem_reads,
+            "bitmap probes {} must undercut c probes {}",
+            cb.c.shmem_reads,
+            cc.c.shmem_reads
+        );
+        // Both arms stream the same DRAM words.
+        assert_eq!(cb.c.dram_reads, cc.c.dram_reads);
     }
 
     #[test]

@@ -7,9 +7,23 @@ use cuts_gpu_sim::{Device, DeviceError};
 use cuts_graph::{Graph, VertexId};
 use cuts_trie::{Trie, NO_PARENT};
 
-use crate::config::IntersectStrategy;
-use crate::intersect::{c_intersection, choose, constraint_list, p_intersection, Method};
+use crate::intersect::{
+    b_intersection, c_intersection, choose, constraint_list, p_intersection, Method,
+};
 use crate::order::{label_ok, MatchOrder};
+use crate::policy::LevelMethod;
+use cuts_graph::profile::sig_dominates;
+
+/// Level-0 signature prefilter inputs: the data graph's per-vertex
+/// signature index and the (already label-masked) query-root signature
+/// every candidate must dominate.
+pub struct SigPrefilter<'a> {
+    /// `sigs[v]` = packed neighbourhood signature of data vertex `v`
+    /// (from [`cuts_graph::DataProfile`]).
+    pub sigs: &'a [u64],
+    /// Required signature (see `QueryPlan::required_root_signature`).
+    pub required: u64,
+}
 
 /// Level-0 kernel: scan all data vertices and keep those passing the
 /// Definition 5 degree filter for the root query vertex (Algorithm 1,
@@ -20,6 +34,7 @@ pub fn init_candidates(
     plan: &MatchOrder,
     trie: &Trie,
     max_blocks: usize,
+    prefilter: Option<&SigPrefilter<'_>>,
 ) -> Result<(), DeviceError> {
     let n = data.num_vertices();
     let q_out = plan.q_out[0];
@@ -30,13 +45,26 @@ pub fn init_candidates(
         let mut local: Vec<VertexId> = Vec::new();
         let mut v = ctx.block_id;
         while v < n {
-            // Degree test reads two CSR offset words per side.
-            ctx.counters.dram_read_coalesced(2);
-            ctx.counters.alu(2);
-            if data.degree_dominates(v as VertexId, q_out, q_in)
-                && label_ok(data, v as VertexId, q_label)
-            {
-                local.push(v as VertexId);
+            // GSI-style signature prefilter: one coalesced 64-bit read
+            // (two device words) rejects most non-candidates before the
+            // CSR degree probes are ever issued.
+            let sig_ok = match prefilter {
+                Some(f) => {
+                    ctx.counters.dram_read_coalesced(2);
+                    ctx.counters.alu(1);
+                    sig_dominates(f.sigs[v], f.required)
+                }
+                None => true,
+            };
+            if sig_ok {
+                // Degree test reads two CSR offset words per side.
+                ctx.counters.dram_read_coalesced(2);
+                ctx.counters.alu(2);
+                if data.degree_dominates(v as VertexId, q_out, q_in)
+                    && label_ok(data, v as VertexId, q_label)
+                {
+                    local.push(v as VertexId);
+                }
             }
             v += ctx.num_blocks;
         }
@@ -63,8 +91,11 @@ pub struct ExpandParams<'a> {
     pub pos: usize,
     /// Virtual warp width.
     pub vwarp: usize,
-    /// Intersection strategy.
-    pub strategy: IntersectStrategy,
+    /// Plan-time micro-kernel decision for this level.
+    pub method: LevelMethod,
+    /// Shared-memory words per block (the budget the c/bitmap arms must
+    /// fit; per-path choice consults it too).
+    pub shared_words: usize,
     /// Optional randomised placement: a permutation of the frontier's
     /// absolute entry indices (§4.1.2 load-balance randomisation).
     pub placement: Option<&'a [u32]>,
@@ -91,7 +122,7 @@ pub fn expand_range(
     let total = frontier.len();
     let blocks = p.max_blocks.min(total).max(1);
 
-    device.launch_named("expand", blocks, |ctx| {
+    device.launch_named(p.method.kernel_name(), blocks, |ctx| {
         // Workhorse scratch, reused across this block's paths.
         let mut path: Vec<VertexId> = Vec::with_capacity(p.pos);
         let mut lists: Vec<&[VertexId]> = Vec::with_capacity(back.len());
@@ -127,14 +158,20 @@ pub fn expand_range(
             lists.sort_unstable_by_key(|l| l.len());
             ctx.counters.alu(back.len());
 
-            let method = match p.strategy {
-                IntersectStrategy::Adaptive => choose(&lists),
-                IntersectStrategy::CIntersection => Method::C,
-                IntersectStrategy::PIntersection => Method::P,
+            let method = match p.method {
+                LevelMethod::Fixed(m) => m,
+                LevelMethod::PerPath => choose(&lists, p.shared_words),
             };
             match method {
                 Method::C => c_intersection(&lists, p.vwarp, &mut ctx.counters, &mut cands),
                 Method::P => p_intersection(&lists, p.vwarp, &mut ctx.counters, &mut cands),
+                Method::B => b_intersection(
+                    &lists,
+                    p.vwarp,
+                    p.shared_words,
+                    &mut ctx.counters,
+                    &mut cands,
+                ),
             }
 
             // Degree filter + injectivity against the cached path.
@@ -197,7 +234,7 @@ mod tests {
         let query = chain(4);
         let (device, plan) = setup(&data, &query);
         let mut trie = Trie::on_device(&device, 4096).unwrap();
-        init_candidates(&device, &data, &plan, &trie, 8).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 8, None).unwrap();
         let lvl = trie.seal_level();
         assert_eq!(lvl.len(), 16);
         let c = device.counters();
@@ -218,14 +255,15 @@ mod tests {
         let query = chain(4);
         let (device, plan) = setup(&data, &query);
         let mut trie = Trie::on_device(&device, 8192).unwrap();
-        init_candidates(&device, &data, &plan, &trie, 8).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 8, None).unwrap();
         let lvl0 = trie.seal_level();
         let params = ExpandParams {
             data: &data,
             plan: &plan,
             pos: 1,
             vwarp: VirtualWarpPolicy::AvgDegree.width(data.avg_out_degree()),
-            strategy: IntersectStrategy::Adaptive,
+            method: LevelMethod::PerPath,
+            shared_words: 4096,
             placement: None,
             max_blocks: 8,
         };
@@ -241,7 +279,7 @@ mod tests {
         let query = clique(3);
         let (device, plan) = setup(&data, &query);
         let mut trie = Trie::on_device(&device, 8192).unwrap();
-        init_candidates(&device, &data, &plan, &trie, 4).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 4, None).unwrap();
         let mut frontier = trie.seal_level();
         for pos in 1..3 {
             let params = ExpandParams {
@@ -249,7 +287,8 @@ mod tests {
                 plan: &plan,
                 pos,
                 vwarp: 4,
-                strategy: IntersectStrategy::CIntersection,
+                method: LevelMethod::Fixed(Method::C),
+                shared_words: 4096,
                 placement: None,
                 max_blocks: 4,
             };
@@ -265,7 +304,7 @@ mod tests {
         let query = clique(3);
         let (device, plan) = setup(&data, &query);
         let mut trie = Trie::on_device(&device, 16).unwrap(); // tiny
-        init_candidates(&device, &data, &plan, &trie, 4).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 4, None).unwrap();
         let lvl0 = trie.seal_level();
         assert_eq!(lvl0.len(), 8);
         let params = ExpandParams {
@@ -273,7 +312,8 @@ mod tests {
             plan: &plan,
             pos: 1,
             vwarp: 8,
-            strategy: IntersectStrategy::Adaptive,
+            method: LevelMethod::PerPath,
+            shared_words: 4096,
             placement: None,
             max_blocks: 2,
         };
@@ -288,7 +328,7 @@ mod tests {
         let (device, plan) = setup(&data, &query);
         let run = |placement: Option<Vec<u32>>| -> usize {
             let mut trie = Trie::on_device(&device, 4096).unwrap();
-            init_candidates(&device, &data, &plan, &trie, 4).unwrap();
+            init_candidates(&device, &data, &plan, &trie, 4, None).unwrap();
             let lvl0 = trie.seal_level();
             let perm = placement;
             let params = ExpandParams {
@@ -296,7 +336,8 @@ mod tests {
                 plan: &plan,
                 pos: 1,
                 vwarp: 4,
-                strategy: IntersectStrategy::Adaptive,
+                method: LevelMethod::PerPath,
+                shared_words: 4096,
                 placement: perm.as_deref(),
                 max_blocks: 4,
             };
@@ -307,5 +348,47 @@ mod tests {
         let shuffled: Vec<u32> = (0..9u32).rev().collect();
         let permuted = run(Some(shuffled));
         assert_eq!(straight, permuted);
+    }
+
+    #[test]
+    fn signature_prefilter_prunes_without_losing_candidates() {
+        use cuts_graph::generators::star;
+        // K3's root needs two neighbours of degree ≥ 2. No star vertex
+        // has that (spokes see one hub; the hub sees only degree-1
+        // spokes), so the prefilter empties level 0 — and the degree
+        // test alone would have kept the hub only to kill it later.
+        let data = star(8);
+        let query = clique(3);
+        let (device, plan) = setup(&data, &query);
+        let profile = data.profile();
+        let dplan = crate::plan::QueryPlan::build(
+            &query,
+            &crate::config::EngineConfig::default(),
+            &crate::plan::DeviceClass::of(&DeviceConfig::test_small()),
+        )
+        .unwrap();
+        let pre = SigPrefilter {
+            sigs: &profile.signatures,
+            required: dplan.required_root_signature(data.is_labeled()),
+        };
+        let mut trie = Trie::on_device(&device, 4096).unwrap();
+        init_candidates(&device, &data, &plan, &trie, 4, Some(&pre)).unwrap();
+        assert_eq!(trie.seal_level().len(), 0);
+
+        // On a graph where K3 does embed, the prefilter must keep every
+        // vertex the unfiltered kernel keeps (it can only remove
+        // vertices that cannot host the root).
+        let data = clique(4);
+        let profile = data.profile();
+        let pre = SigPrefilter {
+            sigs: &profile.signatures,
+            required: dplan.required_root_signature(data.is_labeled()),
+        };
+        let count = |pf: Option<&SigPrefilter<'_>>| {
+            let mut trie = Trie::on_device(&device, 4096).unwrap();
+            init_candidates(&device, &data, &plan, &trie, 4, pf).unwrap();
+            trie.seal_level().len()
+        };
+        assert_eq!(count(Some(&pre)), count(None));
     }
 }

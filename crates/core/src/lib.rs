@@ -32,6 +32,7 @@ pub mod intersect;
 pub mod kernels;
 pub mod order;
 pub mod plan;
+pub mod policy;
 pub mod prelude;
 pub mod reference;
 pub mod result;
@@ -44,6 +45,7 @@ pub use engine::CutsEngine;
 pub use error::{ConfigError, CutsError, DistError, EngineError, SchedError};
 pub use order::{BackEdge, Dir, MatchOrder, OrderPolicy};
 pub use plan::{BudgetCheck, DeviceClass, LevelSchedule, PlanKey, QueryPlan};
+pub use policy::{KernelPolicy, LevelDecision, LevelMethod};
 pub use result::MatchResult;
 pub use sched::{Job, JobId, JobOutcome, SchedReport, SchedStats, Scheduler, SchedulerBuilder};
 pub use session::{ExecSession, MatchSink, SessionStats};

@@ -112,6 +112,7 @@ fn fingerprint_config(config: &EngineConfig) -> u64 {
     config.chunk_size.hash(&mut h);
     config.trie_fraction.to_bits().hash(&mut h);
     std::mem::discriminant(&config.intersect).hash(&mut h);
+    config.signature_prefilter.hash(&mut h);
     config.randomize_placement.hash(&mut h);
     match config.virtual_warp {
         crate::config::VirtualWarpPolicy::AvgDegree => 0usize.hash(&mut h),
@@ -163,6 +164,14 @@ pub struct QueryPlan {
     /// / 2` (two words per entry — PA and CA). The session sizes its pooled
     /// buffers from the *actual* free words at bind time, never above this.
     pub trie_entries_budget: usize,
+    /// Neighbourhood signature of the root query vertex (`order[0]`),
+    /// unmasked — the init-candidates prefilter requires data vertices to
+    /// dominate it (label lanes only when both graphs are labelled; see
+    /// [`QueryPlan::required_root_signature`]).
+    pub root_signature: u64,
+    /// Whether the planned query carries labels (needed to mask the
+    /// signature's label lanes against unlabelled data).
+    pub query_labeled: bool,
     /// Cache key this plan answers to.
     pub key: PlanKey,
 }
@@ -195,7 +204,10 @@ impl QueryPlan {
             ));
         }
         let key = PlanKey::new(query, config, class);
+        let root_signature = cuts_graph::profile::vertex_signature(query, order.order[0]);
         Ok(QueryPlan {
+            root_signature,
+            query_labeled: query.is_labeled(),
             order,
             schedule,
             config: config.clone(),
@@ -203,6 +215,23 @@ impl QueryPlan {
             trie_entries_budget,
             key,
         })
+    }
+
+    /// The signature every level-0 data candidate must dominate, with
+    /// label lanes masked out unless both the query and the data graph
+    /// are labelled (an unlabelled side is a wildcard).
+    pub fn required_root_signature(&self, data_labeled: bool) -> u64 {
+        cuts_graph::profile::required_signature(
+            self.root_signature,
+            self.query_labeled,
+            data_labeled,
+        )
+    }
+
+    /// Resolves the per-level micro-kernel policy for running this plan
+    /// over a data graph with the given profile (see [`crate::policy`]).
+    pub fn kernel_policy(&self, profile: &cuts_graph::DataProfile) -> crate::policy::KernelPolicy {
+        crate::policy::KernelPolicy::compute(self, profile)
     }
 
     /// Number of levels (query vertices).

@@ -1,0 +1,202 @@
+//! Plan-time micro-kernel policy.
+//!
+//! The per-path [`choose`](crate::intersect::choose) re-derives the same
+//! c/p decision for every partial path at a level, paying the decision
+//! cost O(paths) times and — worse — deciding from one path's lists
+//! alone. This module lifts the decision to plan time, in the spirit of
+//! gMatch's hardware-statistics-driven kernel choice: the data graph's
+//! degree-bucket statistics ([`cuts_graph::DataProfile`]) predict the
+//! constraint-list shapes a level will see, and the same cost model that
+//! powers `choose` then fixes one micro-kernel for the whole level. Only
+//! when the degree spread is too wide for a single prediction (p90/p50
+//! ratio over [`SKEW_LIMIT`]) does the level stay on per-path choice.
+
+use cuts_graph::DataProfile;
+
+use crate::config::IntersectStrategy;
+use crate::intersect::{bitmap_words, pick_method, probe_cost, Method};
+use crate::plan::QueryPlan;
+
+/// Degree-spread ratio (max/p50) above which a level keeps per-path
+/// selection instead of one fixed micro-kernel. The max — not p90 —
+/// is the right tail sensor here: on hub-and-spoke graphs p50 and p90
+/// are both tiny while a handful of hubs carry nearly all the
+/// intersection work, and a single plan-time prediction would misprice
+/// exactly the paths that dominate the counters.
+pub const SKEW_LIMIT: u32 = 8;
+
+/// Micro-kernel decision for one trie level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelMethod {
+    /// One micro-kernel for every path at this level.
+    Fixed(Method),
+    /// Degree spread too wide to predict: decide per partial path.
+    PerPath,
+}
+
+impl LevelMethod {
+    /// Short name for obs events and profile rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LevelMethod::Fixed(m) => m.name(),
+            LevelMethod::PerPath => "per-path",
+        }
+    }
+
+    /// The kernel-launch label expansions at this level run under, so
+    /// `cuts profile` splits counter totals per method for free.
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            LevelMethod::Fixed(Method::C) => "expand_c",
+            LevelMethod::Fixed(Method::P) => "expand_p",
+            LevelMethod::Fixed(Method::B) => "expand_b",
+            LevelMethod::PerPath => "expand_mix",
+        }
+    }
+}
+
+/// One level's resolved decision, with the statistics that produced it
+/// (surfaced through the `policy` obs events).
+#[derive(Debug, Clone, Copy)]
+pub struct LevelDecision {
+    /// Depth in the matching order (`1..|V_Q|`).
+    pub pos: usize,
+    /// Back-edge constraint count χ at this depth.
+    pub constraints: usize,
+    /// The decision.
+    pub method: LevelMethod,
+    /// Predicted length of the shortest constraint list.
+    pub est_first_len: usize,
+}
+
+/// The full per-level policy for one (plan, data-profile) pair.
+#[derive(Debug, Clone)]
+pub struct KernelPolicy {
+    /// `levels[l-1]` decides depth `l`.
+    pub levels: Vec<LevelDecision>,
+}
+
+impl KernelPolicy {
+    /// Computes the policy. Fixed config strategies pin every level;
+    /// [`IntersectStrategy::Auto`] derives the arm per level from the
+    /// profile's degree statistics and the plan's shared-memory budget.
+    pub fn compute(plan: &QueryPlan, profile: &DataProfile) -> KernelPolicy {
+        let shared = plan.device_class.shared_mem_words_per_block;
+        let levels = plan
+            .schedule
+            .iter()
+            .map(|lvl| {
+                let chi = lvl.constraints.max(1);
+                // Expected shortest list among χ draws from the degree
+                // distribution ≈ the 100/(χ+1) percentile; a typical
+                // remaining list ≈ the mean.
+                let stats = &profile.out_degrees;
+                let est_first = stats.percentile(100.0 / (chi as f64 + 1.0)).max(1) as usize;
+                let method = match plan.config.intersect {
+                    IntersectStrategy::CIntersection => LevelMethod::Fixed(Method::C),
+                    IntersectStrategy::PIntersection => LevelMethod::Fixed(Method::P),
+                    IntersectStrategy::Bitmap => LevelMethod::Fixed(Method::B),
+                    IntersectStrategy::Auto => {
+                        if stats.max() > SKEW_LIMIT.saturating_mul(stats.p50().max(1)) {
+                            LevelMethod::PerPath
+                        } else {
+                            let avg = stats.avg.ceil().max(1.0) as usize;
+                            let stream = (chi - 1) * avg;
+                            let probe = (chi - 1) * probe_cost(avg);
+                            // Plan time cannot see a list's value span, so
+                            // price the bitmap at its worst case: the whole
+                            // vertex range. The per-path kernel still
+                            // shrinks it to the actual span at run time.
+                            let bmp = bitmap_words(profile.vertices.max(1));
+                            LevelMethod::Fixed(pick_method(est_first, bmp, stream, probe, shared))
+                        }
+                    }
+                };
+                LevelDecision {
+                    pos: lvl.pos,
+                    constraints: lvl.constraints,
+                    method,
+                    est_first_len: est_first,
+                }
+            })
+            .collect();
+        KernelPolicy { levels }
+    }
+
+    /// The decision for depth `pos` (`1..|V_Q|`).
+    #[inline]
+    pub fn method_at(&self, pos: usize) -> LevelMethod {
+        self.levels[pos - 1].method
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::plan::DeviceClass;
+    use cuts_gpu_sim::DeviceConfig;
+    use cuts_graph::generators::{clique, mesh2d};
+
+    fn policy_for(data: &cuts_graph::Graph, cfg: &EngineConfig) -> KernelPolicy {
+        let class = DeviceClass::of(&DeviceConfig::test_small());
+        let plan = QueryPlan::build(&clique(4), cfg, &class).unwrap();
+        plan.kernel_policy(&data.profile())
+    }
+
+    #[test]
+    fn fixed_strategies_pin_every_level() {
+        let data = mesh2d(8, 8);
+        for (strat, want) in [
+            (IntersectStrategy::CIntersection, Method::C),
+            (IntersectStrategy::PIntersection, Method::P),
+            (IntersectStrategy::Bitmap, Method::B),
+        ] {
+            let p = policy_for(&data, &EngineConfig::default().with_intersect(strat));
+            assert!(p
+                .levels
+                .iter()
+                .all(|d| d.method == LevelMethod::Fixed(want)));
+        }
+    }
+
+    #[test]
+    fn auto_fixes_regular_graphs_and_hedges_skewed_ones() {
+        // Mesh: every degree 2–4, spread tiny → fixed arm per level.
+        let mesh = mesh2d(16, 16);
+        let p = policy_for(&mesh, &EngineConfig::default());
+        assert!(p
+            .levels
+            .iter()
+            .all(|d| matches!(d.method, LevelMethod::Fixed(_))));
+        // Hub-and-spoke: p50 (and even p90) tiny, max huge — exactly the
+        // tail shape the max-based hedge exists for.
+        let n = 64;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for u in 0..16u32 {
+            for v in (u + 1)..16 {
+                edges.push((u, v));
+            }
+        }
+        for v in 16..n as u32 {
+            edges.push((0, v));
+        }
+        let skewed = cuts_graph::Graph::undirected(n, &edges);
+        let prof = skewed.profile();
+        assert!(prof.out_degrees.max() > SKEW_LIMIT * prof.out_degrees.p50().max(1));
+        let p = policy_for(&skewed, &EngineConfig::default());
+        assert!(p.levels.iter().all(|d| d.method == LevelMethod::PerPath));
+    }
+
+    #[test]
+    fn decisions_cover_every_level() {
+        let data = mesh2d(8, 8);
+        let p = policy_for(&data, &EngineConfig::default());
+        assert_eq!(p.levels.len(), 3);
+        for (i, d) in p.levels.iter().enumerate() {
+            assert_eq!(d.pos, i + 1);
+            assert_eq!(p.method_at(d.pos).name(), d.method.name());
+            assert!(d.est_first_len >= 1);
+        }
+    }
+}

@@ -56,6 +56,32 @@ const BACKOFF_MAX: Duration = Duration::from_millis(8);
 /// A job that has waited this many aging periods blocks bypass.
 const AGED_HEAD_FACTOR: u32 = 4;
 
+/// Checked f64 → entries conversion for the §5 admission estimate.
+///
+/// `estimated_paths`/`estimated_cuts_space` are geometric in `ds^l` and
+/// overflow f64 range (→ `inf`) or usize range for deep queries on
+/// high-degree graphs. A bare `as usize` cast saturates to `usize::MAX`,
+/// and `next_power_of_two` on any value above `1 << 63` panics in debug
+/// builds / wraps to 0 in release — so the old code could request a
+/// zero-entry or absurdly oversized trie *before* the clamp ran. This
+/// routes every non-finite, negative, or over-budget estimate straight
+/// to the budget and only rounds genuinely small values up to a power
+/// of two.
+fn saturating_entries(est: f64, budget: usize) -> usize {
+    let budget = budget.max(1);
+    if !est.is_finite() || est >= budget as f64 {
+        return budget;
+    }
+    let e = if est < 1.0 { 1 } else { est as usize };
+    // e < budget ≤ usize::MAX here, but guard the pow2 overflow edge
+    // anyway (budget could itself be usize::MAX).
+    if e > (usize::MAX >> 1) + 1 {
+        budget
+    } else {
+        e.next_power_of_two().min(budget)
+    }
+}
+
 /// One unit of work: match `query` in `data`.
 #[derive(Debug, Clone)]
 pub struct Job {
@@ -472,12 +498,7 @@ impl Scheduler {
     fn job_entries(&self, plan: &QueryPlan, data: &Graph) -> usize {
         let est = plan.space_estimate(data, self.sigma).ceil();
         let budget = plan.trie_entries_budget.max(1);
-        let wanted = if est >= budget as f64 {
-            budget
-        } else {
-            ((est as usize).max(1)).next_power_of_two()
-        };
-        wanted.clamp(MIN_TRIE_ENTRIES.min(budget), budget)
+        saturating_entries(est, budget).clamp(MIN_TRIE_ENTRIES.min(budget), budget)
     }
 
     /// Runs one stream: `submit` receives a handle, submits jobs (and
@@ -1281,7 +1302,7 @@ pub fn parse_manifest(text: &str) -> Result<Vec<Job>, CutsError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cuts_graph::generators::{clique, erdos_renyi, mesh2d};
+    use cuts_graph::generators::{chain, clique, erdos_renyi, mesh2d, star};
 
     fn small_sched(lanes: usize) -> Scheduler {
         Scheduler::builder()
@@ -1482,5 +1503,59 @@ mod tests {
         assert!(e >= MIN_TRIE_ENTRIES.min(plan.trie_entries_budget));
         assert!(e <= plan.trie_entries_budget);
         assert!(e == plan.trie_entries_budget || e.is_power_of_two());
+    }
+
+    #[test]
+    fn saturating_entries_survives_overflowing_estimates() {
+        let budget = 1 << 20;
+        // Non-finite and absurd estimates route straight to the budget.
+        assert_eq!(saturating_entries(f64::INFINITY, budget), budget);
+        assert_eq!(saturating_entries(f64::NAN, budget), budget);
+        assert_eq!(saturating_entries(1e300, budget), budget);
+        assert_eq!(saturating_entries(usize::MAX as f64 * 4.0, budget), budget);
+        // Negative / sub-one estimates floor at one entry.
+        assert_eq!(saturating_entries(-5.0, budget), 1);
+        assert_eq!(saturating_entries(0.3, budget), 1);
+        // Small estimates round up to a power of two under the budget.
+        assert_eq!(saturating_entries(700.0, budget), 1024);
+        assert_eq!(saturating_entries(1024.0, budget), 1024);
+        // At or past the budget: exactly the budget, never a wrap to 0.
+        assert_eq!(saturating_entries(budget as f64, budget), budget);
+        assert_eq!(
+            saturating_entries((1u64 << 63) as f64 * 4.0, budget),
+            budget
+        );
+        // Degenerate budget still yields a usable capacity.
+        assert_eq!(saturating_entries(f64::INFINITY, 0), 1);
+    }
+
+    #[test]
+    fn admission_survives_huge_growth_factor() {
+        // A deep chain query on a star data graph: δ = 4000, so the §5
+        // estimate is p1 · (δσ)^(l-1) ≈ 1000^102 — infinite in f64. The
+        // old `as usize` + next_power_of_two path could wrap before the
+        // clamp; admission must instead size at the budget and finish.
+        let sched = small_sched(1);
+        let data = Arc::new(star(4001));
+        let query = Arc::new(chain(103));
+        let session = ExecSession::new(&sched.devices()[0], EngineConfig::default());
+        let plan = session.plan_for(&query).unwrap();
+        assert!(
+            !plan.space_estimate(&data, 0.25).is_finite(),
+            "test premise: the estimate must overflow f64"
+        );
+        let e = sched.job_entries(&plan, &data);
+        assert_eq!(e, plan.trie_entries_budget);
+        // End-to-end: the job admits and completes (zero matches — the
+        // star has no 103-vertex path).
+        let report = sched
+            .run(|h| {
+                h.submit_wait(Job::new(data.clone(), query.clone()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        let r = report.outcomes[0].result.as_ref().unwrap();
+        assert_eq!(r.num_matches, 0);
     }
 }

@@ -33,8 +33,9 @@ use cuts_trie::{PairTable, Trie};
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::config::EngineConfig;
 use crate::error::EngineError;
-use crate::kernels::{expand_range, init_candidates, ExpandParams};
+use crate::kernels::{expand_range, init_candidates, ExpandParams, SigPrefilter};
 use crate::plan::{DeviceClass, QueryPlan};
+use crate::policy::KernelPolicy;
 use crate::result::MatchResult;
 
 /// Sink receiving one complete embedding at a time; the slice is indexed
@@ -344,12 +345,14 @@ impl<'d> ExecSession<'d> {
             trie.load(seed)?;
             let frontier = trie.level(depth - 1);
             let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
+            let policy = self.resolve_policy(&plan, data);
             let params = ExpandParams {
                 data,
                 plan: &plan.order,
                 pos: depth,
                 vwarp,
-                strategy: self.config.intersect,
+                method: policy.method_at(depth),
+                shared_words: self.class.shared_mem_words_per_block,
                 placement: None,
                 max_blocks: self.config.max_blocks,
             };
@@ -460,10 +463,23 @@ impl<'d> ExecSession<'d> {
         let mut level_counts = vec![0u64; n];
         let vwarp = self.config.virtual_warp.width(data.avg_out_degree());
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let policy = self.resolve_policy(plan, data);
+        let profile = data.profile();
 
         let (frontier0, start_pos) = match seed {
             None => {
-                init_candidates(self.device, data, order, trie, self.config.max_blocks)?;
+                let pre = self.config.signature_prefilter.then(|| SigPrefilter {
+                    sigs: &profile.signatures,
+                    required: plan.required_root_signature(data.is_labeled()),
+                });
+                init_candidates(
+                    self.device,
+                    data,
+                    order,
+                    trie,
+                    self.config.max_blocks,
+                    pre.as_ref(),
+                )?;
                 let lvl0 = trie.seal_level();
                 level_counts[0] = lvl0.len() as u64;
                 (lvl0, 1)
@@ -501,7 +517,8 @@ impl<'d> ExecSession<'d> {
                 plan: order,
                 pos,
                 vwarp,
-                strategy: self.config.intersect,
+                method: policy.method_at(pos),
+                shared_words: self.class.shared_mem_words_per_block,
                 placement: placement.as_deref(),
                 max_blocks: self.config.max_blocks,
             };
@@ -532,6 +549,7 @@ impl<'d> ExecSession<'d> {
                     let total = self.process_chunks(
                         data,
                         plan,
+                        &policy,
                         trie,
                         pos,
                         frontier.clone(),
@@ -571,6 +589,37 @@ impl<'d> ExecSession<'d> {
         })
     }
 
+    /// Computes the plan-time kernel policy for running `plan` over
+    /// `data`, emitting one `policy` obs event per level (plus the
+    /// prefilter verdict) when tracing is on.
+    fn resolve_policy(&self, plan: &QueryPlan, data: &Graph) -> KernelPolicy {
+        let policy = plan.kernel_policy(&data.profile());
+        let trace = self.device.trace();
+        if trace.is_enabled() {
+            for d in &policy.levels {
+                trace.instant_with(
+                    EventKind::Policy,
+                    d.method.name(),
+                    &[
+                        ("pos", Arg::U64(d.pos as u64)),
+                        ("constraints", Arg::U64(d.constraints as u64)),
+                        ("est_first_len", Arg::U64(d.est_first_len as u64)),
+                    ],
+                );
+            }
+            trace.instant_with(
+                EventKind::Policy,
+                if self.config.signature_prefilter {
+                    "prefilter_on"
+                } else {
+                    "prefilter_off"
+                },
+                &[],
+            );
+        }
+        policy
+    }
+
     /// Shuffled frontier placement when configured (§4.1.2: randomising
     /// partial-path placement fixes id-order load imbalance).
     fn placement(&self, rng: &mut SmallRng, frontier: &Range<usize>) -> Option<Vec<u32>> {
@@ -590,6 +639,7 @@ impl<'d> ExecSession<'d> {
         &self,
         data: &Graph,
         plan: &QueryPlan,
+        policy: &KernelPolicy,
         trie: &mut Trie,
         pos: usize,
         frontier: Range<usize>,
@@ -613,7 +663,8 @@ impl<'d> ExecSession<'d> {
                 plan: &plan.order,
                 pos,
                 vwarp,
-                strategy: self.config.intersect,
+                method: policy.method_at(pos),
+                shared_words: self.class.shared_mem_words_per_block,
                 placement: None,
                 max_blocks: self.config.max_blocks,
             };
@@ -624,6 +675,7 @@ impl<'d> ExecSession<'d> {
                     total += self.process_chunks(
                         data,
                         plan,
+                        policy,
                         trie,
                         pos + 1,
                         lvl,
@@ -651,6 +703,7 @@ impl<'d> ExecSession<'d> {
                     total += self.process_chunks(
                         data,
                         plan,
+                        policy,
                         trie,
                         pos,
                         chunk.clone(),

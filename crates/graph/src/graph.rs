@@ -1,6 +1,9 @@
 //! The directed graph type used throughout cuTS.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::csr::Csr;
+use crate::profile::DataProfile;
 
 /// Vertex identifier. 32 bits suffices for every dataset in the paper
 /// (largest is wikiTalk at 2.4M vertices) and halves the trie footprint
@@ -23,6 +26,9 @@ pub struct Graph {
     /// provided as an extension because the labelled setting is where
     /// comparators like GSI live). `None` = unlabelled.
     labels: Option<Box<[u32]>>,
+    /// Lazily computed statistics/signature profile (see
+    /// [`crate::profile`]); shared by clones until the graph changes.
+    profile: OnceLock<Arc<DataProfile>>,
 }
 
 impl Graph {
@@ -37,6 +43,7 @@ impl Graph {
             inn,
             symmetric: false,
             labels: None,
+            profile: OnceLock::new(),
         }
     }
 
@@ -56,6 +63,7 @@ impl Graph {
             inn,
             symmetric: true,
             labels: None,
+            profile: OnceLock::new(),
         }
     }
 
@@ -67,7 +75,17 @@ impl Graph {
             "one label per vertex required"
         );
         self.labels = Some(labels.into_boxed_slice());
+        // Labels feed the signature lanes; a cached profile is stale now.
+        self.profile = OnceLock::new();
         self
+    }
+
+    /// The graph's [`DataProfile`], computed on first use and cached
+    /// (clones made after the first call share the same profile).
+    pub fn profile(&self) -> Arc<DataProfile> {
+        self.profile
+            .get_or_init(|| DataProfile::build_arc(self))
+            .clone()
     }
 
     /// Vertex label, if the graph is labelled.

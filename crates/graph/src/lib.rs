@@ -30,6 +30,7 @@ pub mod edgelist;
 pub mod generators;
 pub mod graph;
 pub mod labels;
+pub mod profile;
 pub mod query_gen;
 pub mod stats;
 
@@ -37,4 +38,5 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{Dataset, Scale};
 pub use graph::{Graph, VertexId};
+pub use profile::DataProfile;
 pub use query_gen::{query_set, QueryGraph};

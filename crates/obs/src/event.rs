@@ -30,11 +30,14 @@ pub enum EventKind {
     Run,
     /// Scheduler job lifecycle: submit / admit / defer / steal / complete.
     Job,
+    /// Plan-time kernel-policy decisions: per-level micro-kernel choice
+    /// and the signature-prefilter verdict.
+    Policy,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive reporting.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::Kernel,
         EventKind::Level,
         EventKind::Chunk,
@@ -46,6 +49,7 @@ impl EventKind {
         EventKind::Fault,
         EventKind::Run,
         EventKind::Job,
+        EventKind::Policy,
     ];
 
     /// Stable lowercase name (chrome-trace `cat`, JSONL `kind`).
@@ -62,6 +66,7 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Run => "run",
             EventKind::Job => "job",
+            EventKind::Policy => "policy",
         }
     }
 }

@@ -57,8 +57,16 @@ impl LevelCounts {
     }
 
     /// Compression ratio naive/cuts at depth `l` (Table 1's last column).
+    /// An unsatisfiable query stores zero cuts words (`|P_1| = 0`); the
+    /// ratio is reported as 0 then, never NaN — `report()` rows and the
+    /// `cuts space` table/JSON render this value directly.
     pub fn compression_ratio(&self, l: usize) -> f64 {
-        self.naive_words(l) as f64 / self.cuts_words(l) as f64
+        let cuts = self.cuts_words(l);
+        if cuts == 0 {
+            0.0
+        } else {
+            self.naive_words(l) as f64 / cuts as f64
+        }
     }
 
     /// Full report, one row per depth.
@@ -112,6 +120,24 @@ mod tests {
     /// they reproduce every cell of the table exactly.
     fn table1_counts() -> LevelCounts {
         LevelCounts(vec![16_514, 307_402, 4_284_642, 56_127_696, 697_122_720])
+    }
+
+    #[test]
+    fn unsatisfiable_query_ratio_is_zero_not_nan() {
+        // |P_1| = 0: an unsatisfiable query stores nothing, so
+        // cuts_words(l) = 0 for every depth. The ratio must render as 0
+        // (the old division produced NaN, which leaked into report()
+        // rows and the `cuts space` table/JSON).
+        let c = LevelCounts(vec![0, 0, 0]);
+        for l in 1..=3 {
+            let r = c.compression_ratio(l);
+            assert!(r.is_finite(), "depth {l} ratio must be finite");
+            assert_eq!(r, 0.0);
+        }
+        for row in c.report() {
+            assert!(row.compression_ratio.is_finite());
+            assert_eq!(row.compression_ratio, 0.0);
+        }
     }
 
     #[test]

@@ -1,17 +1,23 @@
 //! Property tests for the `cuts_trie::serial` wire format: the codec the
 //! donation protocol trusts with work that crosses rank boundaries.
 //!
-//! Two families of properties:
+//! Three families of properties:
 //! * **round-trip identity** — encode→decode is the identity on valid
 //!   tries and path sets, byte-stably (re-encoding the decode yields the
 //!   same bytes);
 //! * **hostile input safety** — truncations, corruptions, and random
 //!   garbage must come back as `WireError`, never a panic, because a
-//!   faulty interconnect hands the decoder exactly such bytes.
+//!   faulty interconnect hands the decoder exactly such bytes;
+//! * **layout round-trips** — chunking partitions an entry range exactly
+//!   (so chunk-at-a-time processing covers every path once), and the CSF
+//!   layout reproduces the trie's path set and the closed-form word cost
+//!   of the space model.
 
 use bytes::Bytes;
+use cuts::trie::csf::Csf;
 use cuts::trie::serial::{decode_paths, decode_trie, encode_paths, encode_trie};
-use cuts::trie::HostTrie;
+use cuts::trie::space::LevelCounts;
+use cuts::trie::{Chunks, HostTrie};
 use proptest::prelude::*;
 
 /// Uniform-depth path sets (the `from_flat_paths` contract).
@@ -80,6 +86,79 @@ proptest! {
     fn random_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..120)) {
         let _ = decode_trie(Bytes::from(bytes.clone()));
         let _ = decode_paths(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn chunks_partition_range_exactly(
+        start in 0usize..10_000,
+        len in 0usize..5_000,
+        size in 1usize..1_000,
+    ) {
+        let range = start..start + len;
+        let chunks: Vec<_> = Chunks::new(range.clone(), size).collect();
+        // Every chunk is non-empty and within the size bound, and their
+        // concatenation reproduces the range exactly — contiguous, in
+        // order, nothing skipped or repeated.
+        let mut cursor = range.start;
+        for c in &chunks {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.len() <= size);
+            prop_assert_eq!(c.start, cursor);
+            cursor = c.end;
+        }
+        prop_assert_eq!(cursor, range.end);
+        // count() and the ExactSizeIterator length agree with the
+        // closed form.
+        prop_assert_eq!(Chunks::new(range.clone(), size).count(), len.div_ceil(size));
+        prop_assert_eq!(Chunks::new(range, size).len(), len.div_ceil(size));
+    }
+
+    #[test]
+    fn chunked_path_wire_reassembles(paths in arb_paths(3, 40), size in 1usize..16) {
+        // The donation path in practice: chunk a leaf level, encode each
+        // chunk independently, and the decoded concatenation must be the
+        // original path set in order.
+        let t = HostTrie::from_flat_paths(&paths);
+        let leaf = if t.levels.is_empty() {
+            Vec::new()
+        } else {
+            t.paths_at_level(t.levels.len() - 1)
+        };
+        let mut reassembled = Vec::new();
+        for r in Chunks::new(0..leaf.len(), size) {
+            let back = decode_paths(encode_paths(&leaf[r])).expect("valid encoding");
+            reassembled.extend(back);
+        }
+        prop_assert_eq!(reassembled, leaf);
+    }
+
+    #[test]
+    fn csf_roundtrips_trie_paths(paths in arb_paths(4, 30)) {
+        let t = HostTrie::from_flat_paths(&paths);
+        let csf = Csf::from_host_trie(&t);
+        let depth = t.levels.len();
+        prop_assert_eq!(csf.num_levels(), depth);
+        if depth > 0 {
+            // Same path set, independent of the per-parent reordering the
+            // two-pass build performs.
+            let mut a = csf.full_paths();
+            let mut b = t.paths_at_level(depth - 1);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        } else {
+            prop_assert!(csf.full_paths().is_empty());
+        }
+    }
+
+    #[test]
+    fn csf_words_match_space_model(paths in arb_paths(3, 40)) {
+        // The concrete CSF layout must cost exactly what the closed-form
+        // accounting in the space model predicts from level sizes alone.
+        let t = HostTrie::from_flat_paths(&paths);
+        let csf = Csf::from_host_trie(&t);
+        let counts = LevelCounts(t.levels.iter().map(|r| r.len() as u64).collect());
+        prop_assert_eq!(csf.words_used() as u64, counts.csf_words(t.levels.len()));
     }
 }
 
