@@ -19,6 +19,11 @@ USAGE:
   cuts serve   --jobs <manifest> [--devices <n>] [--lanes <k>]
                [--queue <n>] [--aging <ms>] [--pacing <f>]
                [--device v100|a100|test] [--output text|json]
+               [--snapshot <path>]
+  cuts snapshot build (<edgelist> | --dataset <name> [--scale <s>])
+               --out <path> [--queries <spec,spec,...>] [--directed]
+               [--device v100|a100|test] [--store-tries]
+  cuts snapshot inspect <path>
   cuts queries [--n <vertices>] [--top <k>]
   cuts help
 
@@ -53,7 +58,18 @@ SERVING:       --jobs is a manifest: one `<data> <query> [key=val...]` job
                scheduler and a serial baseline, reporting throughput and
                p50/p99 latency; --queue bounds admission, --aging tunes
                anti-starvation, --pacing stretches simulated time onto
-               the host clock";
+               the host clock
+SNAPSHOTS:     `snapshot build` profiles a data graph, plans each --queries
+               spec, and writes a versioned, checksummed container;
+               --store-tries additionally runs each query and persists its
+               CSF result trie. `snapshot inspect` verifies every checksum
+               and prints the section table. `match --snapshot <path>` and
+               `serve --snapshot <path>` warm-start from a container: the
+               graph and its profile come from the file (no ingestion, no
+               re-profiling) and persisted plans seed the plan cache, so
+               repeat queries run with zero plan builds. Plans transfer
+               only when the engine flags and --device match the ones used
+               at build time; others are re-planned on first sight";
 
 /// Where the data graph comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +78,9 @@ pub enum DataSource {
     File(String),
     /// Generate a named stand-in at a scale.
     Dataset { name: String, scale: String },
+    /// Restore from a snapshot container (`--snapshot <path>`): graph,
+    /// profile, and cached plans all come from the file.
+    Snapshot(String),
 }
 
 /// Parsed `match` options.
@@ -119,6 +138,26 @@ pub struct ServeOpts {
     pub device: String,
     /// Report format: text | json.
     pub output: String,
+    /// Warm-start container: every job's data graph is replaced by the
+    /// snapshot's graph and persisted plans seed each worker session.
+    pub snapshot: Option<String>,
+}
+
+/// Parsed `snapshot build` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotBuildOpts {
+    /// Graph to profile and persist.
+    pub data: DataSource,
+    /// Output path for the container.
+    pub out: String,
+    /// Query specs to plan ahead of time (comma-separated on the CLI).
+    pub queries: Vec<String>,
+    /// Device model the plans are built for (v100|a100|test).
+    pub device: String,
+    /// Load the data graph as directed.
+    pub directed: bool,
+    /// Also run each query and persist its CSF result trie.
+    pub store_tries: bool,
 }
 
 /// A parsed command.
@@ -133,6 +172,12 @@ pub enum Command {
     Profile(Box<MatchOpts>),
     /// Drain a job manifest through the multi-query scheduler.
     Serve(ServeOpts),
+    /// Build a snapshot container from a graph and query specs.
+    SnapshotBuild(SnapshotBuildOpts),
+    /// Verify a container's checksums and describe its sections.
+    SnapshotInspect {
+        path: String,
+    },
     Queries {
         n: usize,
         top: usize,
@@ -202,6 +247,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 pacing: 0.0,
                 device: "v100".into(),
                 output: "text".into(),
+                snapshot: None,
             };
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -234,6 +280,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--device" => opts.device = take_value("--device", &mut it)?.to_string(),
                     "--output" => opts.output = take_value("--output", &mut it)?.to_string(),
+                    "--snapshot" => {
+                        opts.snapshot = Some(take_value("--snapshot", &mut it)?.to_string())
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -247,6 +296,67 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("--output must be text or json".into());
             }
             Ok(Command::Serve(opts))
+        }
+        "snapshot" => {
+            let Some((verb, rest)) = rest.split_first() else {
+                return Err("snapshot requires a verb: build or inspect".into());
+            };
+            match verb.as_str() {
+                "build" => {
+                    let (data, extra) = parse_source(rest)?;
+                    if matches!(data, DataSource::Snapshot(_)) {
+                        return Err("snapshot build takes a graph source, not --snapshot".into());
+                    }
+                    let mut opts = SnapshotBuildOpts {
+                        data,
+                        out: String::new(),
+                        queries: Vec::new(),
+                        device: "v100".into(),
+                        directed: false,
+                        store_tries: false,
+                    };
+                    let mut it = extra.iter();
+                    while let Some(a) = it.next() {
+                        match a.as_str() {
+                            "--out" => opts.out = take_value("--out", &mut it)?.to_string(),
+                            "--queries" => {
+                                opts.queries = take_value("--queries", &mut it)?
+                                    .split(',')
+                                    .map(|s| s.trim().to_string())
+                                    .filter(|s| !s.is_empty())
+                                    .collect()
+                            }
+                            "--device" => {
+                                opts.device = take_value("--device", &mut it)?.to_string()
+                            }
+                            "--directed" => opts.directed = true,
+                            "--store-tries" => opts.store_tries = true,
+                            other => return Err(format!("unknown flag {other}")),
+                        }
+                    }
+                    if opts.out.is_empty() {
+                        return Err("snapshot build requires --out".into());
+                    }
+                    if opts.store_tries && opts.queries.is_empty() {
+                        return Err("--store-tries requires --queries".into());
+                    }
+                    Ok(Command::SnapshotBuild(opts))
+                }
+                "inspect" => {
+                    let mut path: Option<String> = None;
+                    for a in rest {
+                        if a.starts_with("--") || path.is_some() {
+                            return Err(format!("snapshot inspect takes one path, got {a}"));
+                        }
+                        path = Some(a.clone());
+                    }
+                    let Some(path) = path else {
+                        return Err("snapshot inspect requires a path".into());
+                    };
+                    Ok(Command::SnapshotInspect { path })
+                }
+                other => Err(format!("unknown snapshot verb {other} (build|inspect)")),
+            }
         }
         "match" | "profile" => {
             let (data, extra) = parse_source(rest)?;
@@ -351,6 +461,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !matches!(opts.intersect.as_str(), "auto" | "c" | "p" | "bitmap") {
                 return Err("--intersect must be auto, c, p, or bitmap".into());
             }
+            if matches!(opts.data, DataSource::Snapshot(_)) {
+                // The graph (and its orientation and labels) is baked into
+                // the container; only the single-device cuts engine can
+                // consume the seeded plan cache.
+                if opts.engine != "cuts" {
+                    return Err("--snapshot supports only --engine cuts".into());
+                }
+                if opts.ranks != 1 {
+                    return Err("--snapshot requires --ranks 1".into());
+                }
+                if opts.labels.is_some() {
+                    return Err("--snapshot conflicts with --labels (labels are stored)".into());
+                }
+                if opts.directed {
+                    return Err(
+                        "--snapshot conflicts with --directed (orientation is stored)".into(),
+                    );
+                }
+            }
             if sub == "profile" {
                 if opts.engine != "cuts" {
                     return Err("profile supports only --engine cuts".into());
@@ -369,6 +498,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
 fn parse_source(rest: &[String]) -> Result<(DataSource, Vec<String>), String> {
     let mut path: Option<String> = None;
     let mut dataset: Option<String> = None;
+    let mut snapshot: Option<String> = None;
     let mut scale = "tiny".to_string();
     let mut extra = Vec::new();
     let mut it = rest.iter();
@@ -376,17 +506,25 @@ fn parse_source(rest: &[String]) -> Result<(DataSource, Vec<String>), String> {
         match a.as_str() {
             "--dataset" => dataset = Some(take_value("--dataset", &mut it)?.to_string()),
             "--scale" => scale = take_value("--scale", &mut it)?.to_string(),
-            s if !s.starts_with("--") && path.is_none() && dataset.is_none() => {
+            "--snapshot" => snapshot = Some(take_value("--snapshot", &mut it)?.to_string()),
+            s if !s.starts_with("--")
+                && path.is_none()
+                && dataset.is_none()
+                && snapshot.is_none() =>
+            {
                 path = Some(s.to_string())
             }
             other => extra.push(other.to_string()),
         }
     }
-    match (path, dataset) {
-        (Some(p), None) => Ok((DataSource::File(p), extra)),
-        (None, Some(name)) => Ok((DataSource::Dataset { name, scale }, extra)),
-        (Some(_), Some(_)) => Err("give either a file path or --dataset, not both".into()),
-        (None, None) => Err("missing data graph (file path or --dataset)".into()),
+    match (path, dataset, snapshot) {
+        (Some(p), None, None) => Ok((DataSource::File(p), extra)),
+        (None, Some(name), None) => Ok((DataSource::Dataset { name, scale }, extra)),
+        (None, None, Some(p)) => Ok((DataSource::Snapshot(p), extra)),
+        (None, None, None) => {
+            Err("missing data graph (file path, --dataset, or --snapshot)".into())
+        }
+        _ => Err("give exactly one of: a file path, --dataset, or --snapshot".into()),
     }
 }
 
@@ -577,6 +715,93 @@ mod tests {
     #[test]
     fn rejects_both_sources() {
         assert!(parse(&argv("stats graph.txt --dataset enron")).is_err());
+        assert!(parse(&argv("stats graph.txt --snapshot s.snap")).is_err());
+        assert!(parse(&argv(
+            "match --dataset enron --snapshot s.snap --query clique:3"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_snapshot_build() {
+        let c = parse(&argv(
+            "snapshot build --dataset enron --out warm.snap --queries clique:3,chain:4 \
+             --device test --store-tries",
+        ))
+        .unwrap();
+        match c {
+            Command::SnapshotBuild(o) => {
+                assert_eq!(
+                    o.data,
+                    DataSource::Dataset {
+                        name: "enron".into(),
+                        scale: "tiny".into()
+                    }
+                );
+                assert_eq!(o.out, "warm.snap");
+                assert_eq!(
+                    o.queries,
+                    vec!["clique:3".to_string(), "chain:4".to_string()]
+                );
+                assert_eq!(o.device, "test");
+                assert!(o.store_tries);
+                assert!(!o.directed);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --out is mandatory; --store-tries needs queries; a source is needed.
+        assert!(parse(&argv("snapshot build --dataset enron")).is_err());
+        assert!(parse(&argv(
+            "snapshot build --dataset enron --out s --store-tries"
+        ))
+        .is_err());
+        assert!(parse(&argv("snapshot build --out s")).is_err());
+        assert!(parse(&argv("snapshot build --snapshot a.snap --out s")).is_err());
+        assert!(parse(&argv("snapshot")).is_err());
+        assert!(parse(&argv("snapshot frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_snapshot_inspect() {
+        assert_eq!(
+            parse(&argv("snapshot inspect warm.snap")).unwrap(),
+            Command::SnapshotInspect {
+                path: "warm.snap".into()
+            }
+        );
+        assert!(parse(&argv("snapshot inspect")).is_err());
+        assert!(parse(&argv("snapshot inspect a.snap b.snap")).is_err());
+        assert!(parse(&argv("snapshot inspect --flag a.snap")).is_err());
+    }
+
+    #[test]
+    fn parses_match_snapshot_source() {
+        let c = parse(&argv("match --snapshot warm.snap --query clique:3")).unwrap();
+        match c {
+            Command::Match(o) => {
+                assert_eq!(o.data, DataSource::Snapshot("warm.snap".into()));
+                assert_eq!(o.query, "clique:3");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The snapshot pins engine, ranks, orientation, and labels.
+        for bad in [
+            "match --snapshot s --query clique:3 --engine gsi",
+            "match --snapshot s --query clique:3 --ranks 2",
+            "match --snapshot s --query clique:3 --labels zipf:4",
+            "match --snapshot s --query clique:3 --directed",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_serve_snapshot_flag() {
+        let c = parse(&argv("serve --jobs demo.jobs --snapshot warm.snap")).unwrap();
+        match c {
+            Command::Serve(o) => assert_eq!(o.snapshot.as_deref(), Some("warm.snap")),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -13,7 +13,11 @@ use cuts_obs::{
     chrome_trace, jsonl, Arg, Event, EventKind, Json, MetricsSnapshot, ToJson, Trace, TraceConfig,
 };
 
-use crate::args::{Command, DataSource, MatchOpts, ServeOpts, USAGE};
+use crate::args::{Command, DataSource, MatchOpts, ServeOpts, SnapshotBuildOpts, USAGE};
+use cuts_core::Snapshot;
+use cuts_trie::csf::Csf;
+use cuts_trie::HostTrie;
+use std::sync::Arc;
 
 /// Top-level command error: the workspace's unified [`CutsError`].
 pub type CmdError = CutsError;
@@ -57,6 +61,8 @@ pub fn run(cmd: Command) -> Result<(), CmdError> {
         Command::Match(opts) => run_match(&opts, false),
         Command::Profile(opts) => run_match(&opts, true),
         Command::Serve(opts) => run_serve(&opts),
+        Command::SnapshotBuild(opts) => run_snapshot_build(&opts),
+        Command::SnapshotInspect { path } => run_snapshot_inspect(&path),
     }
 }
 
@@ -87,6 +93,9 @@ fn load(src: &DataSource, directed: bool) -> Result<Graph, CmdError> {
             };
             Ok(ds.generate(sc))
         }
+        // Decode the stored graph (profile included); `directed` is
+        // ignored — orientation travels inside the container.
+        DataSource::Snapshot(path) => Ok(Snapshot::read_from(path)?.graph().clone()),
     }
 }
 
@@ -161,6 +170,9 @@ fn intersect_of(spec: &str) -> Result<IntersectStrategy, CmdError> {
 }
 
 fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
+    if let DataSource::Snapshot(path) = &opts.data {
+        return run_match_warm(path, opts, profile);
+    }
     let mut data = load(&opts.data, opts.directed)?;
     let mut query = load_query(&opts.query, opts.directed)?;
     if let Some(spec) = &opts.labels {
@@ -303,14 +315,162 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
     finish_trace(&trace, opts, profile, matches)
 }
 
+/// `cuts match --snapshot`: warm-start from a container. Ingestion and
+/// profiling are skipped entirely — the graph arrives with its profile
+/// installed — and persisted plans seed the session's cache, so a query
+/// planned at build time runs with zero plan builds here.
+fn run_match_warm(path: &str, opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
+    let snap = Snapshot::read_from(path)?;
+    let query = load_query(&opts.query, false)?;
+    println!(
+        "snapshot: {} vertices / {} arcs, {} plan(s), {} trie(s) from {path}",
+        snap.graph().num_vertices(),
+        snap.graph().num_edges(),
+        snap.plans().len(),
+        snap.tries().len()
+    );
+    let dev_cfg = device_config(&opts.device)?;
+    let engine_cfg = EngineConfig::default()
+        .with_chunk_size(opts.chunk)
+        .with_intersect(intersect_of(&opts.intersect)?)
+        .with_signature_prefilter(!opts.no_prefilter);
+    let trace = if profile || opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        Trace::with_config(TraceConfig {
+            per_block: opts.trace_per_block,
+        })
+    } else {
+        Trace::disabled()
+    };
+    let mut device = Device::new(dev_cfg);
+    device.set_trace(trace.clone());
+    let session = ExecSession::from_snapshot(&device, engine_cfg, &snap);
+    let data = snap.graph();
+    let r = if opts.enumerate > 0 {
+        let mut shown = 0usize;
+        session.run_enumerate(data, &query, &mut |m| {
+            if shown < opts.enumerate {
+                println!("  {m:?}");
+                shown += 1;
+            }
+        })?
+    } else {
+        session.run(data, &query)?
+    };
+    report(&r, Some(&session.stats()), &opts.output)?;
+    finish_trace(&trace, opts, profile, r.num_matches)
+}
+
+/// `cuts snapshot build`: profile a graph, plan each query spec, and
+/// persist everything — optionally with each query's CSF result trie — as
+/// one versioned, checksummed container.
+fn run_snapshot_build(opts: &SnapshotBuildOpts) -> Result<(), CmdError> {
+    let data = load(&opts.data, opts.directed)?;
+    println!(
+        "data: {} vertices / {} arcs",
+        data.num_vertices(),
+        data.num_edges()
+    );
+    let dev_cfg = device_config(&opts.device)?;
+    let device = Device::new(dev_cfg);
+    // The cache must hold every requested plan; capture() persists its
+    // contents.
+    let session = ExecSession::with_cache_capacity(
+        &device,
+        EngineConfig::default(),
+        16usize.max(opts.queries.len()),
+    );
+    let mut queries = Vec::with_capacity(opts.queries.len());
+    for spec in &opts.queries {
+        let q = load_query(spec, opts.directed)?;
+        let plan = session.plan_for(&q)?;
+        println!(
+            "  planned {spec}: {} level(s), query key {:#018x}",
+            plan.len(),
+            plan.key.query
+        );
+        queries.push(q);
+    }
+    let mut snap = Snapshot::capture(&data, &session);
+    if opts.store_tries {
+        for (spec, q) in opts.queries.iter().zip(&queries) {
+            let plan = session.plan_for(q)?; // cache hit: planned above
+            let order = plan.order.order.clone();
+            let mut paths: Vec<Vec<u32>> = Vec::new();
+            session.run_enumerate(&data, q, &mut |m| {
+                // The sink is indexed by query vertex id; trie paths are
+                // in matching-order space.
+                paths.push(order.iter().map(|&v| m[v as usize]).collect());
+            })?;
+            let csf = Csf::from_host_trie(&HostTrie::from_flat_paths(&paths));
+            snap.add_trie(plan.key.query, csf);
+            println!("  stored result trie for {spec}: {} path(s)", paths.len());
+        }
+    }
+    snap.write_to(&opts.out)?;
+    // Re-read and verify: a snapshot we cannot inspect is not a snapshot.
+    let bytes = std::fs::read(&opts.out).map_err(|e| CutsError::io(&opts.out, e))?;
+    let info = cuts_core::snapshot::inspect(&bytes)?;
+    println!(
+        "snapshot: {} plan(s), {} trie(s), {} byte(s) -> {}",
+        info.plans, info.tries, info.total_bytes, opts.out
+    );
+    Ok(())
+}
+
+/// `cuts snapshot inspect`: verify every checksum and describe the
+/// container without decoding its payloads.
+fn run_snapshot_inspect(path: &str) -> Result<(), CmdError> {
+    let bytes = std::fs::read(path).map_err(|e| CutsError::io(path, e))?;
+    let info = cuts_core::snapshot::inspect(&bytes)?;
+    println!("snapshot: {path}");
+    println!("  version:  {}", info.version);
+    println!(
+        "  graph:    {} vertices / {} arcs ({}, {})",
+        info.vertices,
+        info.arcs,
+        if info.symmetric {
+            "undirected"
+        } else {
+            "directed"
+        },
+        if info.labeled { "labeled" } else { "unlabeled" }
+    );
+    println!("  plans:    {}", info.plans);
+    println!("  tries:    {}", info.tries);
+    println!("  size:     {} byte(s)", info.total_bytes);
+    println!("  sections (all checksums verified):");
+    for s in &info.sections {
+        let tag = std::str::from_utf8(&s.tag).unwrap_or("????");
+        println!("    {tag}  {:>8} byte(s)  crc {:#010x}", s.len, s.crc);
+    }
+    Ok(())
+}
+
 /// `cuts serve`: drain a job manifest through the multi-query scheduler
 /// and a serial baseline, report throughput and tail latency, and verify
 /// the two executions are semantically identical.
 fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
     let text = std::fs::read_to_string(&opts.jobs).map_err(|e| CutsError::io(&opts.jobs, e))?;
-    let jobs = sched::parse_manifest(&text)?;
+    let mut jobs = sched::parse_manifest(&text)?;
     if jobs.is_empty() {
         return Err(invalid("job manifest (no jobs)", &opts.jobs));
+    }
+    // Warm start: every job matches against the snapshot's graph (whose
+    // profile is already installed) and persisted plans seed each worker
+    // session's cache.
+    let mut warm_plans = Vec::new();
+    if let Some(path) = &opts.snapshot {
+        let snap = Snapshot::read_from(path)?;
+        let shared = Arc::new(snap.graph().clone());
+        for job in &mut jobs {
+            job.data = Arc::clone(&shared);
+        }
+        warm_plans = snap.plans().to_vec();
+        println!(
+            "snapshot: {path} supplies the data graph for all {} job(s); {} plan(s) loaded",
+            jobs.len(),
+            warm_plans.len()
+        );
     }
     // Job lifecycle events (submit/admit/defer/steal/complete) feed the
     // queue-vs-execution breakdown at the end of the run.
@@ -322,6 +482,7 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
         .queue_capacity(opts.queue)
         .aging(std::time::Duration::from_millis(opts.aging_ms))
         .pacing(opts.pacing)
+        .warm_plans(warm_plans)
         .trace(trace.clone())
         .build()?;
     println!(
@@ -562,6 +723,7 @@ fn print_profile(events: &[Event]) {
     // plan-time kernel policy: level pos -> (method, chi, est first, times)
     let mut policy: BTreeMap<u64, (String, u64, u64, u64)> = BTreeMap::new();
     let (mut prefilter_on, mut prefilter_off) = (0u64, 0u64);
+    let (mut plan_hits, mut plan_builds) = (0u64, 0u64);
     for e in events {
         *census.entry(e.kind.as_str()).or_default() += 1;
         if let Some(r) = e.rank {
@@ -584,6 +746,11 @@ fn print_profile(events: &[Event]) {
                 l.1 += e.dur_us.unwrap_or(0);
                 l.2 += arg_u64(e, "paths");
             }
+            EventKind::Plan => match e.name.as_str() {
+                "hit" => plan_hits += 1,
+                "miss" => plan_builds += 1,
+                _ => {}
+            },
             EventKind::Job => {
                 *job_counts.entry(e.name.clone()).or_default() += 1;
                 if e.name == "complete" {
@@ -626,6 +793,15 @@ fn print_profile(events: &[Event]) {
         println!(
             "    {name:<16} {steps:>6} step(s)    {:>9.3} ms  {paths:>10} paths",
             *micros as f64 / 1e3
+        );
+    }
+    if plan_hits + plan_builds > 0 {
+        // Guarded: a warm-started session can report hits with zero
+        // builds, and a snapshot-seeded run can even skip lookups
+        // entirely — never divide by the build count.
+        println!(
+            "  plans:   {plan_builds} built, {plan_hits} cache hit(s) ({} reused)",
+            reuse_pct(plan_hits, plan_builds)
         );
     }
     if !job_counts.is_empty() {
@@ -703,10 +879,25 @@ fn report_text(r: &cuts_core::MatchResult, stats: Option<&SessionStats>) {
     );
     if let Some(s) = stats {
         println!(
-            "plan: {} built / {} cache hit(s); pool: {} device alloc(s), {} reuse(s)",
-            s.plans.misses, s.plans.hits, s.pool.device_allocs, s.pool.reuses
+            "plan: {} built / {} cache hit(s) ({} reused); pool: {} device alloc(s), {} reuse(s)",
+            s.plans.misses,
+            s.plans.hits,
+            reuse_pct(s.plans.hits, s.plans.misses),
+            s.pool.device_allocs,
+            s.pool.reuses
         );
     }
+}
+
+/// Cache-reuse percentage as text. A session that never planned — a warm
+/// start whose every query was seeded from a snapshot — has zero lookups
+/// and renders `-` instead of dividing by zero.
+fn reuse_pct(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        return "-".into();
+    }
+    format!("{:.0}%", 100.0 * hits as f64 / total as f64)
 }
 
 #[cfg(test)]
@@ -804,11 +995,94 @@ mod tests {
             pacing: 0.0,
             device: "test".into(),
             output: "json".into(),
+            snapshot: None,
         };
         run_serve(&opts).unwrap();
         // A manifest with no jobs is a typed error, not a panic.
         std::fs::write(&manifest, "# comments only\n").unwrap();
         assert!(matches!(run_serve(&opts), Err(CutsError::Invalid { .. })));
+    }
+
+    #[test]
+    fn reuse_pct_guards_zero_lookups() {
+        assert_eq!(reuse_pct(0, 0), "-");
+        assert_eq!(reuse_pct(3, 1), "75%");
+        assert_eq!(reuse_pct(5, 0), "100%");
+    }
+
+    #[test]
+    fn end_to_end_snapshot_commands() {
+        let dir = std::env::temp_dir().join("cuts_cli_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("warm.snap").to_string_lossy().into_owned();
+        run_snapshot_build(&SnapshotBuildOpts {
+            data: DataSource::Dataset {
+                name: "enron".into(),
+                scale: "tiny".into(),
+            },
+            out: out.clone(),
+            queries: vec!["clique:3".into(), "chain:3".into()],
+            device: "test".into(),
+            directed: false,
+            store_tries: true,
+        })
+        .unwrap();
+        run_snapshot_inspect(&out).unwrap();
+        // Warm match: graph and plan come from the container.
+        let opts = MatchOpts {
+            data: DataSource::Snapshot(out.clone()),
+            query: "clique:3".into(),
+            directed: false,
+            device: "test".into(),
+            engine: "cuts".into(),
+            ranks: 1,
+            enumerate: 0,
+            chunk: 512,
+            labels: None,
+            output: "text".into(),
+            plan_cache: 16,
+            fault_plan: None,
+            rank_timeout_ms: None,
+            partition: None,
+            trace_out: None,
+            trace_format: "chrome".into(),
+            trace_per_block: false,
+            metrics_out: None,
+            intersect: "auto".into(),
+            no_prefilter: false,
+        };
+        run_match(&opts, false).unwrap();
+        // `stats` resolves the snapshot source too.
+        run(Command::Stats {
+            data: DataSource::Snapshot(out.clone()),
+            directed: false,
+        })
+        .unwrap();
+        // Warm serve: every job runs against the snapshot's graph.
+        let manifest = dir.join("jobs.txt");
+        std::fs::write(&manifest, "mesh:4x4 clique:3 repeat=2\nmesh:4x4 chain:3\n").unwrap();
+        run_serve(&ServeOpts {
+            jobs: manifest.to_string_lossy().into_owned(),
+            devices: 1,
+            lanes: 2,
+            queue: 16,
+            aging_ms: 5,
+            pacing: 0.0,
+            device: "test".into(),
+            output: "json".into(),
+            snapshot: Some(out.clone()),
+        })
+        .unwrap();
+        // A corrupt container surfaces as a typed snapshot error.
+        let mut bytes = std::fs::read(&out).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let bad = dir.join("bad.snap").to_string_lossy().into_owned();
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(matches!(
+            run_snapshot_inspect(&bad),
+            Err(CutsError::Snapshot(_))
+        ));
     }
 
     #[test]

@@ -121,6 +121,18 @@ impl PlanCache {
         Ok(plan)
     }
 
+    /// The resident plans, least recently used first. This is what a
+    /// snapshot persists: every plan the session has built and retained,
+    /// ready to seed a future session's cache without a rebuild.
+    pub fn plans(&self) -> Vec<Arc<QueryPlan>> {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, p)| Arc::clone(p))
+            .collect()
+    }
+
     /// Snapshot of the cache statistics.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {

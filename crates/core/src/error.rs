@@ -199,6 +199,78 @@ impl From<WireError> for DistError {
     }
 }
 
+/// Failures of the snapshot container format ([`crate::snapshot`]).
+/// Every decoder in that module returns one of these typed variants —
+/// corrupt or hostile bytes must never panic or decode silently wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with the `CUTSNAP\0` magic.
+    BadMagic,
+    /// The container's format version is newer than this build reads.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The payload ends before its headers say it should.
+    Truncated,
+    /// The section table's CRC-32 does not match its contents.
+    TableChecksum,
+    /// One section's CRC-32 does not match its payload.
+    SectionChecksum {
+        /// Four-byte ASCII tag of the failing section.
+        section: [u8; 4],
+    },
+    /// A required section is absent from the table.
+    MissingSection {
+        /// Four-byte ASCII tag of the missing section.
+        section: [u8; 4],
+    },
+    /// Section contents are internally inconsistent.
+    Corrupt(&'static str),
+}
+
+/// Renders a section tag for error messages; non-ASCII bytes escaped.
+fn tag_display(tag: &[u8; 4]) -> String {
+    tag.iter()
+        .flat_map(|&b| (b as char).escape_default())
+        .collect()
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a cuts snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot format version {found}")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::TableChecksum => write!(f, "snapshot section table checksum mismatch"),
+            SnapshotError::SectionChecksum { section } => {
+                write!(
+                    f,
+                    "snapshot section `{}` checksum mismatch",
+                    tag_display(section)
+                )
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot section `{}` missing", tag_display(section))
+            }
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => SnapshotError::Truncated,
+            WireError::Corrupt(what) => SnapshotError::Corrupt(what),
+        }
+    }
+}
+
 /// The unified top-level error: every fallible public operation in the
 /// workspace converges here via `From`. Marked `#[non_exhaustive]` so
 /// new failure classes can be added without a breaking release.
@@ -219,6 +291,8 @@ pub enum CutsError {
     Sched(SchedError),
     /// An edge-list input failed to parse.
     Parse(ParseError),
+    /// A snapshot container failed to decode.
+    Snapshot(SnapshotError),
     /// A host-side I/O operation failed.
     Io {
         /// The path involved, when known.
@@ -254,6 +328,7 @@ impl std::fmt::Display for CutsError {
             CutsError::Config(e) => write!(f, "{e}"),
             CutsError::Sched(e) => write!(f, "{e}"),
             CutsError::Parse(e) => write!(f, "{e}"),
+            CutsError::Snapshot(e) => write!(f, "{e}"),
             CutsError::Io { path, message } => {
                 if path.is_empty() {
                     write!(f, "i/o error: {message}")
@@ -279,6 +354,7 @@ impl std::error::Error for CutsError {
             CutsError::Config(e) => Some(e),
             CutsError::Sched(e) => Some(e),
             CutsError::Parse(e) => Some(e),
+            CutsError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -323,6 +399,12 @@ impl From<SchedError> for CutsError {
 impl From<ParseError> for CutsError {
     fn from(e: ParseError) -> Self {
         CutsError::Parse(e)
+    }
+}
+
+impl From<SnapshotError> for CutsError {
+    fn from(e: SnapshotError) -> Self {
+        CutsError::Snapshot(e)
     }
 }
 
@@ -377,6 +459,33 @@ mod tests {
         ));
         let io = CutsError::io("graph.txt", std::io::Error::other("boom"));
         assert!(io.to_string().contains("graph.txt"));
+    }
+
+    #[test]
+    fn snapshot_error_display_and_from() {
+        let cases = [
+            SnapshotError::BadMagic,
+            SnapshotError::UnsupportedVersion { found: 9 },
+            SnapshotError::Truncated,
+            SnapshotError::TableChecksum,
+            SnapshotError::SectionChecksum { section: *b"PROF" },
+            SnapshotError::MissingSection { section: *b"GRPH" },
+            SnapshotError::Corrupt("bad plan"),
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+            let top: CutsError = e.clone().into();
+            assert!(matches!(top, CutsError::Snapshot(_)));
+        }
+        assert!(cases[4].to_string().contains("PROF"));
+        assert_eq!(
+            SnapshotError::from(WireError::Truncated),
+            SnapshotError::Truncated
+        );
+        assert_eq!(
+            SnapshotError::from(WireError::Corrupt("x")),
+            SnapshotError::Corrupt("x")
+        );
     }
 
     #[test]

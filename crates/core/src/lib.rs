@@ -38,14 +38,16 @@ pub mod reference;
 pub mod result;
 pub mod sched;
 pub mod session;
+pub mod snapshot;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use config::{EngineConfig, EngineConfigBuilder, IntersectStrategy, VirtualWarpPolicy};
 pub use engine::CutsEngine;
-pub use error::{ConfigError, CutsError, DistError, EngineError, SchedError};
+pub use error::{ConfigError, CutsError, DistError, EngineError, SchedError, SnapshotError};
 pub use order::{BackEdge, Dir, MatchOrder, OrderPolicy};
 pub use plan::{BudgetCheck, DeviceClass, LevelSchedule, PlanKey, QueryPlan};
 pub use policy::{KernelPolicy, LevelDecision, LevelMethod};
 pub use result::MatchResult;
 pub use sched::{Job, JobId, JobOutcome, SchedReport, SchedStats, Scheduler, SchedulerBuilder};
 pub use session::{ExecSession, MatchSink, SessionStats};
+pub use snapshot::{Snapshot, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -44,7 +44,7 @@ pub struct BackEdge {
 }
 
 /// The complete matching plan for a query graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchOrder {
     /// `order[l]` = query vertex matched at depth `l`.
     pub order: Vec<VertexId>,

@@ -52,7 +52,9 @@ impl DeviceClass {
         }
     }
 
-    fn fingerprint(&self) -> u64 {
+    /// Fingerprint used as the [`PlanKey::device_class`] component; also
+    /// recomputed when decoding a snapshot to validate a stored key.
+    pub(crate) fn fingerprint(&self) -> u64 {
         let mut h = DefaultHasher::new();
         self.name.hash(&mut h);
         self.num_sms.hash(&mut h);
@@ -104,7 +106,7 @@ fn fingerprint_query(query: &Graph) -> u64 {
     h.finish()
 }
 
-fn fingerprint_config(config: &EngineConfig) -> u64 {
+pub(crate) fn fingerprint_config(config: &EngineConfig) -> u64 {
     let mut h = DefaultHasher::new();
     // Discriminants + payloads, spelled out so adding a config field forces
     // a decision here (the struct is non-exhaustive at a distance).
@@ -150,7 +152,7 @@ pub struct BudgetCheck {
 
 /// An immutable, device-independent execution plan for one query under one
 /// engine configuration on one device class.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryPlan {
     /// The §4 matching order with back-edge constraint sets.
     pub order: MatchOrder,

@@ -13,3 +13,4 @@ pub use crate::plan::QueryPlan;
 pub use crate::result::MatchResult;
 pub use crate::sched::{Job, JobId, JobOutcome, SchedReport, Scheduler, SchedulerBuilder};
 pub use crate::session::ExecSession;
+pub use crate::snapshot::Snapshot;

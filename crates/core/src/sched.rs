@@ -274,6 +274,7 @@ pub struct SchedulerBuilder {
     pacing: f64,
     admit_window: usize,
     plan_cache: usize,
+    warm_plans: Vec<Arc<QueryPlan>>,
     trace: Option<Trace>,
 }
 
@@ -340,6 +341,17 @@ impl SchedulerBuilder {
     /// Plan-cache capacity per device session.
     pub fn plan_cache(mut self, n: usize) -> Self {
         self.plan_cache = n;
+        self
+    }
+
+    /// Pre-built plans (typically from a decoded [`crate::Snapshot`])
+    /// seeded into every device session's cache before the first job, so
+    /// snapshot-covered queries dispatch with zero plan builds. Plans
+    /// whose config or device-class fingerprints don't match this
+    /// scheduler are skipped. The per-session cache capacity is raised to
+    /// hold all of them if needed.
+    pub fn warm_plans(mut self, plans: Vec<Arc<QueryPlan>>) -> Self {
+        self.warm_plans = plans;
         self
     }
 
@@ -421,7 +433,8 @@ impl SchedulerBuilder {
             sigma: self.sigma,
             pacing: self.pacing,
             admit_window: self.admit_window,
-            plan_cache: self.plan_cache,
+            plan_cache: self.plan_cache.max(self.warm_plans.len()),
+            warm_plans: self.warm_plans,
             trace: self.trace.unwrap_or_else(Trace::disabled),
         })
     }
@@ -458,6 +471,7 @@ pub struct Scheduler {
     pacing: f64,
     admit_window: usize,
     plan_cache: usize,
+    warm_plans: Vec<Arc<QueryPlan>>,
     trace: Trace,
 }
 
@@ -476,6 +490,7 @@ impl Scheduler {
             pacing: 0.0,
             admit_window: 2,
             plan_cache: crate::session::DEFAULT_PLAN_CACHE_CAPACITY,
+            warm_plans: Vec::new(),
             trace: None,
         }
     }
@@ -511,7 +526,11 @@ impl Scheduler {
         let sessions: Vec<ExecSession<'_>> = self
             .devices
             .iter()
-            .map(|d| ExecSession::with_cache_capacity(d, self.engine.clone(), self.plan_cache))
+            .map(|d| {
+                let s = ExecSession::with_cache_capacity(d, self.engine.clone(), self.plan_cache);
+                s.seed_plans(&self.warm_plans);
+                s
+            })
             .collect();
         let devs: Vec<DevState<'_>> = self
             .devices
@@ -616,6 +635,7 @@ impl Scheduler {
             self.engine.clone(),
             self.plan_cache,
         );
+        session.seed_plans(&self.warm_plans);
         let start = Instant::now();
         let mut outcomes = Vec::with_capacity(jobs.len());
         let (mut completed, mut failed) = (0u64, 0u64);

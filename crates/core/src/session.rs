@@ -135,6 +135,59 @@ impl<'d> ExecSession<'d> {
         }
     }
 
+    /// Restores a warm session from a decoded [`crate::Snapshot`]: every
+    /// persisted plan whose config and device-class fingerprints match
+    /// this session is inserted into the plan cache up front, so repeat
+    /// queries hit with **zero** plan builds (`stats().plans.misses`
+    /// stays 0), and the snapshot's graph already carries its profile, so
+    /// nothing is re-profiled. Plans built for a different configuration
+    /// or device class are skipped — the session stays correct, it just
+    /// plans those queries on first sight like a cold session would.
+    pub fn from_snapshot(
+        device: &'d Device,
+        config: EngineConfig,
+        snapshot: &crate::snapshot::Snapshot,
+    ) -> Self {
+        let capacity = DEFAULT_PLAN_CACHE_CAPACITY.max(snapshot.plans().len());
+        let session = Self::with_cache_capacity(device, config, capacity);
+        let seeded = session.seed_plans(snapshot.plans());
+        device.trace().instant_with(
+            EventKind::Snapshot,
+            "load",
+            &[
+                ("plans", Arg::U64(seeded as u64)),
+                (
+                    "skipped",
+                    Arg::U64((snapshot.plans().len() - seeded) as u64),
+                ),
+                ("vertices", Arg::U64(snapshot.graph().num_vertices() as u64)),
+            ],
+        );
+        session
+    }
+
+    /// Inserts every plan matching this session's configuration and
+    /// device class into the plan cache without counting lookups.
+    /// Returns how many were accepted.
+    pub fn seed_plans(&self, plans: &[Arc<QueryPlan>]) -> usize {
+        let config_fp = crate::plan::fingerprint_config(&self.config);
+        let class_fp = self.class.fingerprint();
+        let mut seeded = 0;
+        for plan in plans {
+            if plan.key.config == config_fp && plan.key.device_class == class_fp {
+                self.plans.insert(Arc::clone(plan));
+                seeded += 1;
+            }
+        }
+        seeded
+    }
+
+    /// The plans currently resident in this session's cache, least
+    /// recently used first (what [`crate::Snapshot::capture`] persists).
+    pub fn cached_plans(&self) -> Vec<Arc<QueryPlan>> {
+        self.plans.plans()
+    }
+
     /// The device this session executes on.
     pub fn device(&self) -> &'d Device {
         self.device

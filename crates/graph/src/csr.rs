@@ -120,6 +120,44 @@ impl Csr {
         })
     }
 
+    /// Builds a CSR directly from its two arrays, validating every
+    /// invariant the accessors rely on: `offsets` starts at 0, never
+    /// decreases, and ends at `targets.len()`; every row is strictly
+    /// ascending (sorted, no duplicates); every target is a valid vertex.
+    /// This is the zero-copy ingestion path for trusted-but-verified
+    /// wire input — `O(|V| + |E|)` with no sorting.
+    pub fn from_sorted_parts(
+        offsets: Vec<u64>,
+        targets: Vec<VertexId>,
+    ) -> Result<Csr, &'static str> {
+        let Some(n) = offsets.len().checked_sub(1) else {
+            return Err("offset array is empty");
+        };
+        if offsets[0] != 0 {
+            return Err("offsets must start at zero");
+        }
+        if offsets[n] != targets.len() as u64 {
+            return Err("offsets must end at the target count");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing");
+        }
+        // Every offset is now known to lie in [0, targets.len()], so the
+        // row slices below cannot go out of bounds. Rows are strictly
+        // ascending, so only each row's last element needs the range
+        // check.
+        for v in 0..n {
+            let row = &targets[offsets[v] as usize..offsets[v + 1] as usize];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("row not strictly ascending");
+            }
+            if row.last().is_some_and(|&t| t as usize >= n) {
+                return Err("target out of range");
+            }
+        }
+        Ok(Csr { offsets, targets })
+    }
+
     /// The transpose CSR (reverses every edge).
     pub fn transpose(&self) -> Csr {
         let n = self.num_vertices();
@@ -165,6 +203,26 @@ mod tests {
         let a = Csr::from_adjacency(vec![vec![2, 1, 2], vec![], vec![3], vec![0]]);
         let b = Csr::from_edges(4, &[(0, 2), (0, 1), (0, 2), (2, 3), (3, 0)]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_sorted_parts_accepts_valid_and_rejects_broken_input() {
+        let good = Csr::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]);
+        let rebuilt =
+            Csr::from_sorted_parts(good.offsets().to_vec(), good.targets().to_vec()).unwrap();
+        assert_eq!(rebuilt, good);
+
+        assert!(Csr::from_sorted_parts(vec![], vec![]).is_err());
+        assert!(Csr::from_sorted_parts(vec![1, 2], vec![0, 0]).is_err());
+        assert!(Csr::from_sorted_parts(vec![0, 1], vec![0, 0]).is_err());
+        // Non-monotone offsets must not panic even when an intermediate
+        // value exceeds the target count.
+        assert!(Csr::from_sorted_parts(vec![0, 100, 2], vec![0, 1]).is_err());
+        // Unsorted and duplicated rows are rejected.
+        assert!(Csr::from_sorted_parts(vec![0, 2], vec![1, 0]).is_err());
+        assert!(Csr::from_sorted_parts(vec![0, 2], vec![1, 1]).is_err());
+        // Targets must name real vertices.
+        assert!(Csr::from_sorted_parts(vec![0, 1], vec![7]).is_err());
     }
 
     #[test]

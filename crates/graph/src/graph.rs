@@ -67,6 +67,54 @@ impl Graph {
         }
     }
 
+    /// Builds a graph directly from its out-adjacency CSR, the zero-copy
+    /// ingestion path for validated wire input: no edge-list detour, no
+    /// sorting — one `O(|V| + |E|)` transpose is the only derived work.
+    /// Self-loops are rejected (the edge-list constructors silently drop
+    /// them, so a loop here means the input was never canonical). For
+    /// `symmetric` graphs the CSR must equal its own transpose.
+    pub fn from_out_csr(out: Csr, symmetric: bool) -> Result<Self, &'static str> {
+        let n = out.num_vertices();
+        let inn = if symmetric {
+            // Fused symmetry + self-loop sweep: every arc `(u, v)` must be
+            // matched by `(v, u)`. Arcs are visited in `(u, v)` order, so
+            // within each row `v` the sources `u` arrive ascending and a
+            // monotone cursor per row pairs them off; the arc count equals
+            // the slot count, so E successful pairings fill every row
+            // exactly. One pass, no transpose materialised.
+            let offsets = out.offsets();
+            let targets = out.targets();
+            let mut cursor: Vec<u64> = offsets[..n].to_vec();
+            for u in 0..n {
+                for &v in out.neighbors(u as VertexId) {
+                    if v as usize == u {
+                        return Err("self-loop in adjacency");
+                    }
+                    let c = &mut cursor[v as usize];
+                    if *c >= offsets[v as usize + 1] || targets[*c as usize] != u as VertexId {
+                        return Err("adjacency is not symmetric");
+                    }
+                    *c += 1;
+                }
+            }
+            out.clone()
+        } else {
+            for u in 0..n as VertexId {
+                if out.neighbors(u).binary_search(&u).is_ok() {
+                    return Err("self-loop in adjacency");
+                }
+            }
+            out.transpose()
+        };
+        Ok(Graph {
+            out,
+            inn,
+            symmetric,
+            labels: None,
+            profile: OnceLock::new(),
+        })
+    }
+
     /// Attaches vertex labels (one per vertex).
     pub fn with_labels(mut self, labels: Vec<u32>) -> Self {
         assert_eq!(
@@ -86,6 +134,31 @@ impl Graph {
         self.profile
             .get_or_init(|| DataProfile::build_arc(self))
             .clone()
+    }
+
+    /// Installs an already-computed profile into the cache, so later
+    /// [`Graph::profile`] calls return it without a profiling pass.
+    /// The warm-start path uses this to hand a snapshot-decoded profile
+    /// to the engine with zero re-profiling.
+    ///
+    /// # Panics
+    ///
+    /// If the profile does not describe a graph of this vertex count or
+    /// labelling — callers must validate decoded profiles first.
+    pub fn with_cached_profile(mut self, profile: Arc<DataProfile>) -> Self {
+        assert_eq!(
+            profile.vertices,
+            self.num_vertices(),
+            "profile vertex count must match the graph"
+        );
+        assert_eq!(
+            profile.labeled,
+            self.is_labeled(),
+            "profile labelling must match the graph"
+        );
+        self.profile = OnceLock::new();
+        let _ = self.profile.set(profile);
+        self
     }
 
     /// Vertex label, if the graph is labelled.
@@ -277,6 +350,27 @@ mod tests {
     #[should_panic(expected = "one label per vertex")]
     fn wrong_label_count_panics() {
         let _ = Graph::undirected(3, &[(0, 1)]).with_labels(vec![1]);
+    }
+
+    #[test]
+    fn from_out_csr_round_trips_and_validates() {
+        let und = Graph::undirected(5, &[(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]);
+        let back = Graph::from_out_csr(und.out_csr().clone(), true).unwrap();
+        assert!(back.is_symmetric());
+        assert_eq!(back.out_csr(), und.out_csr());
+        assert_eq!(back.in_csr(), und.in_csr());
+
+        let dir = Graph::directed(4, &[(0, 1), (1, 2), (3, 1)]);
+        let back = Graph::from_out_csr(dir.out_csr().clone(), false).unwrap();
+        assert!(!back.is_symmetric());
+        assert_eq!(back.in_csr(), dir.in_csr());
+
+        // An asymmetric adjacency must not pass as symmetric, and a
+        // self-loop is never canonical.
+        assert!(Graph::from_out_csr(dir.out_csr().clone(), true).is_err());
+        let loopy = Csr::from_adjacency(vec![vec![0, 1], vec![0]]);
+        assert!(Graph::from_out_csr(loopy.clone(), false).is_err());
+        assert!(Graph::from_out_csr(loopy, true).is_err());
     }
 
     #[test]

@@ -7,9 +7,21 @@
 //! candidates before the Definition 5 degree test — both pure data-graph
 //! properties, independent of any particular query.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::graph::{Graph, VertexId};
+
+/// Process-wide count of full profiling passes ([`DataProfile::build`]).
+static PROFILE_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of profiling passes run so far in this process. Warm-start
+/// tests diff this counter around a snapshot restore to prove the graph
+/// was never re-profiled (a decoded profile is installed into the
+/// [`Graph`] cache without a build).
+pub fn profile_builds() -> u64 {
+    PROFILE_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Mask covering the four label lanes of a [`vertex_signature`] (bytes
 /// 4–7). A query-side signature must have these lanes zeroed unless both
@@ -152,7 +164,7 @@ impl DegreeBucketStats {
 
 /// The cached per-graph profile: degree statistics for both adjacency
 /// directions and one packed signature per vertex.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataProfile {
     /// Out-degree statistics (constraint lists are adjacency slices, so
     /// these are the list-length distribution the policy prices).
@@ -170,6 +182,7 @@ pub struct DataProfile {
 impl DataProfile {
     /// Runs the profiling pass over `g`. O(V + E).
     pub fn build(g: &Graph) -> DataProfile {
+        PROFILE_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = g.num_vertices();
         let out: Vec<u32> = (0..n as VertexId).map(|v| g.out_degree(v)).collect();
         let inn: Vec<u32> = (0..n as VertexId).map(|v| g.in_degree(v)).collect();

@@ -33,11 +33,13 @@ pub enum EventKind {
     /// Plan-time kernel-policy decisions: per-level micro-kernel choice
     /// and the signature-prefilter verdict.
     Policy,
+    /// Snapshot container activity: save / load of warm-start artifacts.
+    Snapshot,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive reporting.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::Kernel,
         EventKind::Level,
         EventKind::Chunk,
@@ -50,6 +52,7 @@ impl EventKind {
         EventKind::Run,
         EventKind::Job,
         EventKind::Policy,
+        EventKind::Snapshot,
     ];
 
     /// Stable lowercase name (chrome-trace `cat`, JSONL `kind`).
@@ -67,6 +70,7 @@ impl EventKind {
             EventKind::Run => "run",
             EventKind::Job => "job",
             EventKind::Policy => "policy",
+            EventKind::Snapshot => "snapshot",
         }
     }
 }

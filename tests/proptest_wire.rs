@@ -162,6 +162,163 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codecs (`cuts_core::snapshot`): the warm-start container's
+// building blocks obey the same property families — round-trip identity
+// with byte-stable re-encoding, and garbage safety.
+// ---------------------------------------------------------------------------
+
+use cuts::engine::snapshot::{
+    decode_graph, decode_plan, decode_profile, encode_graph, encode_plan, encode_profile, Snapshot,
+};
+use cuts::engine::{
+    DeviceClass, EngineConfig, ExecSession, IntersectStrategy, OrderPolicy, QueryPlan,
+};
+use cuts::gpu::{Device, DeviceConfig};
+use cuts::graph::generators::{chain, clique, cycle, erdos_renyi, star};
+use cuts::graph::profile::{DataProfile, DegreeBucketStats};
+use cuts::trie::serial::{decode_csf, encode_csf};
+
+/// Arbitrary degree statistics with an encodable (finite, non-negative)
+/// mean.
+fn arb_bucket() -> impl Strategy<Value = DegreeBucketStats> {
+    (proptest::collection::vec(0u32..50_000, 11), 0u32..1_000_000).prop_map(|(d, avg_q)| {
+        let mut deciles = [0u32; 11];
+        deciles.copy_from_slice(&d);
+        DegreeBucketStats {
+            deciles,
+            avg: avg_q as f64 / 16.0,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn profile_codec_roundtrip(
+        out in arb_bucket(),
+        inn in arb_bucket(),
+        sigs in proptest::collection::vec(any::<u64>(), 0..48),
+        labeled in any::<bool>(),
+    ) {
+        let p = DataProfile {
+            out_degrees: out,
+            in_degrees: inn,
+            vertices: sigs.len(),
+            signatures: sigs,
+            labeled,
+        };
+        let enc = encode_profile(&p);
+        let back = decode_profile(&enc).expect("valid profile encoding");
+        prop_assert_eq!(&back, &p);
+        prop_assert_eq!(encode_profile(&back), enc);
+    }
+
+    #[test]
+    fn graph_codec_roundtrip(
+        n in 2usize..40,
+        m in 0usize..120,
+        seed in any::<u64>(),
+        classes in 1u32..5,
+        labeled in any::<bool>(),
+    ) {
+        let mut g = erdos_renyi(n, m, seed);
+        if labeled {
+            g = g.with_labels((0..n as u32).map(|v| v % classes).collect());
+        }
+        let enc = encode_graph(&g);
+        let back = decode_graph(&enc).expect("valid graph encoding");
+        prop_assert_eq!(back.num_vertices(), g.num_vertices());
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        prop_assert_eq!(back.is_labeled(), g.is_labeled());
+        let a: Vec<_> = back.edges().collect();
+        let b: Vec<_> = g.edges().collect();
+        prop_assert_eq!(a, b);
+        // Byte-stable: the canonical form admits exactly one encoding.
+        prop_assert_eq!(encode_graph(&back), enc);
+    }
+
+    #[test]
+    fn plan_codec_roundtrip(
+        qsel in 0usize..4,
+        k in 2usize..6,
+        cfg in 0usize..16,
+        dev in 0usize..3,
+        labeled in any::<bool>(),
+    ) {
+        let mut query = match qsel {
+            0 => clique(k),
+            1 => chain(k),
+            2 => cycle(k.max(3)),
+            _ => star(k),
+        };
+        if labeled {
+            let n = query.num_vertices() as u32;
+            query = query.with_labels((0..n).map(|v| v % 3).collect());
+        }
+        let config = EngineConfig::default()
+            .with_order_policy(if cfg & 1 == 0 {
+                OrderPolicy::DegreeGreedy
+            } else {
+                OrderPolicy::IdBfs
+            })
+            .with_intersect(match (cfg >> 1) & 3 {
+                0 => IntersectStrategy::Auto,
+                1 => IntersectStrategy::CIntersection,
+                2 => IntersectStrategy::PIntersection,
+                _ => IntersectStrategy::Bitmap,
+            })
+            .with_signature_prefilter(cfg & 8 == 0);
+        let class = DeviceClass::of(&match dev {
+            0 => DeviceConfig::test_small(),
+            1 => DeviceConfig::v100_like(),
+            _ => DeviceConfig::a100_like(),
+        });
+        let plan = QueryPlan::build(&query, &config, &class).expect("plannable query");
+        let enc = encode_plan(&plan);
+        let back = decode_plan(&enc).expect("valid plan encoding");
+        // Structural equality covers the order, back-edge constraints,
+        // per-level kernel schedule, fingerprints, and budget.
+        prop_assert_eq!(&back, &plan);
+        prop_assert_eq!(encode_plan(&back), enc);
+    }
+
+    #[test]
+    fn csf_codec_roundtrip(paths in arb_paths(4, 30)) {
+        let csf = Csf::from_host_trie(&HostTrie::from_flat_paths(&paths));
+        let enc = encode_csf(&csf);
+        let back = decode_csf(enc.clone()).expect("valid csf encoding");
+        prop_assert_eq!(&back, &csf);
+        prop_assert_eq!(encode_csf(&back), enc);
+    }
+
+    #[test]
+    fn snapshot_container_roundtrip_byte_stable(
+        n in 8usize..30,
+        m in 10usize..80,
+        seed in any::<u64>(),
+    ) {
+        let data = erdos_renyi(n, m, seed);
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        session.run(&data, &clique(3)).unwrap();
+        let snap = Snapshot::capture(&data, &session);
+        let enc = snap.encode();
+        let back = Snapshot::decode(&enc).expect("own encoding decodes");
+        prop_assert_eq!(back.encode(), enc);
+    }
+
+    #[test]
+    fn container_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..200)) {
+        // Any outcome but a panic; random bytes cannot carry the magic
+        // *and* a valid table *and* matching checksums by accident at
+        // these sizes, so both decoders must report a typed error.
+        prop_assert!(Snapshot::decode(&bytes).is_err());
+        prop_assert!(cuts::engine::snapshot::inspect(&bytes).is_err());
+    }
+}
+
 #[test]
 fn truncated_trie_is_wire_error() {
     let t = HostTrie::from_flat_paths(&[vec![1, 2, 3], vec![1, 2, 4]]);
