@@ -661,6 +661,8 @@ fn metrics_snapshot(events: &[Event], matches: u64) -> MetricsSnapshot {
     // name -> (count, micros, instructions, dram reads)
     let mut kernels: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
     let (mut pool_hits, mut pool_misses) = (0u64, 0u64);
+    let (mut arena_carves, mut arena_acquires, mut arena_releases) = (0u64, 0u64, 0u64);
+    let (mut arena_grows, mut arena_high_water) = (0u64, 0u64);
     for e in events {
         *by_kind.entry(e.kind.as_str()).or_default() += 1;
         match e.kind {
@@ -674,6 +676,16 @@ fn metrics_snapshot(events: &[Event], matches: u64) -> MetricsSnapshot {
             }
             EventKind::Pool if e.name == "hit" => pool_hits += 1,
             EventKind::Pool if e.name == "miss" => pool_misses += 1,
+            EventKind::Arena => match e.name.as_str() {
+                "carve" => arena_carves += 1,
+                "acquire" => arena_acquires += 1,
+                "release" => arena_releases += 1,
+                "chain_grow" => arena_grows += 1,
+                "high_water" => {
+                    arena_high_water = arena_high_water.max(arg_u64(e, "slabs"));
+                }
+                _ => {}
+            },
             _ => {}
         }
     }
@@ -704,6 +716,31 @@ fn metrics_snapshot(events: &[Event], matches: u64) -> MetricsSnapshot {
         pool_misses as f64,
         "buffer-pool acquires that hit the device allocator",
     );
+    snap.push_help(
+        "cuts_arena_carves_total",
+        arena_carves as f64,
+        "device allocations backing an arena (one per session)",
+    );
+    snap.push_help(
+        "cuts_arena_slab_acquires_total",
+        arena_acquires as f64,
+        "slabs handed out by arena classes",
+    );
+    snap.push_help(
+        "cuts_arena_slab_releases_total",
+        arena_releases as f64,
+        "slabs returned to arena classes",
+    );
+    snap.push_help(
+        "cuts_arena_chain_grows_total",
+        arena_grows as f64,
+        "in-place trie chain growth steps",
+    );
+    snap.push_help(
+        "cuts_arena_high_water_slabs",
+        arena_high_water as f64,
+        "peak concurrently-held slabs in any class",
+    );
     snap
 }
 
@@ -724,6 +761,9 @@ fn print_profile(events: &[Event]) {
     let mut policy: BTreeMap<u64, (String, u64, u64, u64)> = BTreeMap::new();
     let (mut prefilter_on, mut prefilter_off) = (0u64, 0u64);
     let (mut plan_hits, mut plan_builds) = (0u64, 0u64);
+    // arena event name -> count, plus the slab high-water mark
+    let mut arena_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut arena_high_water = 0u64;
     for e in events {
         *census.entry(e.kind.as_str()).or_default() += 1;
         if let Some(r) = e.rank {
@@ -756,6 +796,12 @@ fn print_profile(events: &[Event]) {
                 if e.name == "complete" {
                     queue_ms += arg_f64(e, "queue_ms");
                     exec_ms += arg_f64(e, "exec_ms");
+                }
+            }
+            EventKind::Arena => {
+                *arena_counts.entry(e.name.clone()).or_default() += 1;
+                if e.name == "high_water" {
+                    arena_high_water = arena_high_water.max(arg_u64(e, "slabs"));
                 }
             }
             EventKind::Policy => match e.name.as_str() {
@@ -820,6 +866,15 @@ fn print_profile(events: &[Event]) {
             );
         }
     }
+    if !arena_counts.is_empty() {
+        println!("  arena slabs:");
+        for (name, n) in &arena_counts {
+            println!("    {name:<16} {n:>6}");
+        }
+        if arena_high_water > 0 {
+            println!("    high water:      {arena_high_water:>6} slab(s) held at once");
+        }
+    }
     if !policy.is_empty() || prefilter_on + prefilter_off > 0 {
         println!("  kernel policy:");
         for (pos, (method, chi, est, times)) in &policy {
@@ -878,14 +933,23 @@ fn report_text(r: &cuts_core::MatchResult, stats: Option<&SessionStats>) {
         r.sim_millis, r.wall_millis, r.used_chunking
     );
     if let Some(s) = stats {
-        println!(
-            "plan: {} built / {} cache hit(s) ({} reused); pool: {} device alloc(s), {} reuse(s)",
-            s.plans.misses,
-            s.plans.hits,
-            reuse_pct(s.plans.hits, s.plans.misses),
-            s.pool.device_allocs,
-            s.pool.reuses
-        );
+        match &s.arena {
+            Some(a) => println!(
+                "plan: {} built / {} cache hit(s) ({} reused); arena: {} carve(s), {} slab acquire(s), {} words high water",
+                s.plans.misses,
+                s.plans.hits,
+                reuse_pct(s.plans.hits, s.plans.misses),
+                a.device_allocs,
+                a.slab_acquires(),
+                a.high_water_words(),
+            ),
+            None => println!(
+                "plan: {} built / {} cache hit(s) ({} reused); arena: not carved",
+                s.plans.misses,
+                s.plans.hits,
+                reuse_pct(s.plans.hits, s.plans.misses),
+            ),
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! over the plan/execute split.
 //!
 //! [`CutsEngine`] owns a private [`ExecSession`], so code written against
-//! the old API transparently gains buffer pooling and plan caching across
+//! the old API transparently gains arena-backed trie reuse and plan caching across
 //! repeated calls on the same engine value. New code that wants explicit
 //! control over plan reuse, batching, or session statistics should use
 //! [`ExecSession`] directly.
@@ -439,7 +439,7 @@ mod tests {
     #[test]
     fn shim_shares_one_session() {
         // Repeated calls through the old API reuse the backing session's
-        // pooled buffers and cached plan.
+        // arena slabs and cached plan.
         let device = Device::new(DeviceConfig::test_small());
         let engine = CutsEngine::new(&device);
         engine.run(&clique(4), &clique(3)).unwrap();

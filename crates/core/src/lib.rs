@@ -14,7 +14,7 @@
 //!
 //! Execution is split into two phases: a [`QueryPlan`] (immutable,
 //! device-independent — built once per query/config/device-class) and an
-//! [`ExecSession`] (device-bound, reusable — pooled trie buffers, scoped
+//! [`ExecSession`] (device-bound, reusable — arena-backed trie slabs, scoped
 //! counters, an LRU [`PlanCache`]). [`CutsEngine`] remains as a thin
 //! facade over a private session for one-shot use.
 //!

@@ -163,8 +163,8 @@ pub struct QueryPlan {
     /// The device class the plan was sized for.
     pub device_class: DeviceClass,
     /// Trie entry budget for this class: `global_mem_words × trie_fraction
-    /// / 2` (two words per entry — PA and CA). The session sizes its pooled
-    /// buffers from the *actual* free words at bind time, never above this.
+    /// / 2` (two words per entry — PA and CA). The session sizes its arena
+    /// carve from the *actual* free words at bind time, never above this.
     pub trie_entries_budget: usize,
     /// Neighbourhood signature of the root query vertex (`order[0]`),
     /// unmasked — the init-candidates prefilter requires data vertices to

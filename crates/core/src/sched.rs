@@ -5,15 +5,19 @@
 //! jobs over the simulated devices. [`Scheduler`] is that layer:
 //!
 //! * **Worker lanes with stealing.** Each device runs `lanes` worker
-//!   threads over one shared [`ExecSession`] (plan cache and buffer
-//!   pool amortise across the whole stream). Each lane owns a deque; an
+//!   threads over one shared [`ExecSession`] (plan cache and trie arena
+//!   amortise across the whole stream). Each lane owns a deque; an
 //!   idle lane steals from the back of its longest sibling deque.
 //! * **Memory-aware admission.** A job is dispatched to a device only
 //!   when its §5 space estimate ([`QueryPlan::space_estimate`], the
 //!   paper's `budget_check`) fits the device's remaining trie-memory
-//!   budget under a reservation ledger. Oversized jobs are *deferred*
-//!   with exponential backoff — they wait for the device to drain and
-//!   then run alone against the full budget; they never fail admission.
+//!   budget under a reservation ledger. Reservations are accounted in
+//!   the session arena's **slab-class units** (whole PA/CA segments), so
+//!   the ledger's arithmetic matches exactly what the arena can grant: a
+//!   no-fit is deterministic, never a surprise device OOM. Oversized
+//!   jobs are *deferred* with exponential backoff — they wait for the
+//!   device to drain and then run alone against the full budget; they
+//!   never fail admission.
 //! * **Priorities, deadlines, aging.** Dispatch order is by score:
 //!   static priority, plus waited-time over the aging constant (so
 //!   starvation is bounded — any job's score eventually dominates), plus
@@ -27,7 +31,7 @@
 //!
 //! Determinism: each job's trie capacity is derived from its *own* space
 //! estimate clamped to the device-level budget — never from lane count
-//! or pool history — so per-job [`MatchResult`]s are identical whether
+//! or arena history — so per-job [`MatchResult`]s are identical whether
 //! the stream runs on 1, 2, or 4 lanes, or through
 //! [`Scheduler::run_serial`].
 
@@ -43,10 +47,10 @@ use cuts_graph::{generators, Graph};
 use cuts_obs::{Arg, EventKind, Json, ToJson, Trace};
 
 use crate::config::EngineConfig;
-use crate::error::{ConfigError, CutsError, EngineError, SchedError};
+use crate::error::{ConfigError, CutsError, SchedError};
 use crate::plan::QueryPlan;
 use crate::result::MatchResult;
-use crate::session::ExecSession;
+use crate::session::{BudgetedRunError, ExecSession, GrantAll, GrowthLedger};
 
 /// Smallest trie capacity (entries) a job is ever given.
 const MIN_TRIE_ENTRIES: usize = 256;
@@ -506,8 +510,9 @@ impl Scheduler {
     }
 
     /// The per-job trie capacity (entries) for `plan` over `data`: the
-    /// §5 space estimate, rounded up to a power of two for pool reuse,
-    /// clamped into `[MIN, device budget]`. Depends only on the job and
+    /// §5 space estimate, rounded up to a power of two so repeat jobs
+    /// share chain shapes, clamped into `[MIN, budget]`. Depends only on
+    /// the job and
     /// the device model — never on lane count or what ran before — which
     /// is what makes scheduler results bit-identical to a serial loop.
     fn job_entries(&self, plan: &QueryPlan, data: &Graph) -> usize {
@@ -523,31 +528,26 @@ impl Scheduler {
     where
         F: FnOnce(&SubmitHandle<'_>) -> Result<(), CutsError>,
     {
-        let sessions: Vec<ExecSession<'_>> = self
-            .devices
+        let mut sessions: Vec<ExecSession<'_>> = Vec::with_capacity(self.devices.len());
+        for d in &self.devices {
+            let s = ExecSession::with_cache_capacity(d, self.engine.clone(), self.plan_cache);
+            s.seed_plans(&self.warm_plans);
+            // Carve the trie arena up front: admission accounts in its
+            // slab units, so the budget must exist before any dispatch.
+            s.prepare_trie_arena().map_err(CutsError::from)?;
+            sessions.push(s);
+        }
+        let devs: Vec<DevState<'_>> = sessions
             .iter()
-            .map(|d| {
-                let s = ExecSession::with_cache_capacity(d, self.engine.clone(), self.plan_cache);
-                s.seed_plans(&self.warm_plans);
-                s
-            })
-            .collect();
-        let devs: Vec<DevState<'_>> = self
-            .devices
-            .iter()
-            .zip(&sessions)
-            .map(|(device, session)| {
-                let budget = (device.free_words() as f64 * self.engine.trie_fraction) as usize;
-                DevState {
-                    session,
-                    budget_words: budget,
-                    reserved: AtomicUsize::new(0),
-                    peak_reserved: AtomicUsize::new(0),
-                    inflight: AtomicUsize::new(0),
-                    queues: Mutex::new((0..self.lanes).map(|_| VecDeque::new()).collect()),
-                    work: Condvar::new(),
-                    done: AtomicBool::new(false),
-                }
+            .map(|session| DevState {
+                session,
+                budget_words: session.trie_budget_words(),
+                reserved: AtomicUsize::new(0),
+                peak_reserved: AtomicUsize::new(0),
+                inflight: AtomicUsize::new(0),
+                queues: Mutex::new((0..self.lanes).map(|_| VecDeque::new()).collect()),
+                work: Condvar::new(),
+                done: AtomicBool::new(false),
             })
             .collect();
         let shared = Shared {
@@ -636,6 +636,7 @@ impl Scheduler {
             self.plan_cache,
         );
         session.seed_plans(&self.warm_plans);
+        session.prepare_trie_arena().map_err(CutsError::from)?;
         let start = Instant::now();
         let mut outcomes = Vec::with_capacity(jobs.len());
         let (mut completed, mut failed) = (0u64, 0u64);
@@ -644,21 +645,23 @@ impl Scheduler {
             let exec_start = Instant::now();
             let result = session
                 .plan_for(&job.query)
+                .map_err(CutsError::from)
                 .and_then(|plan| {
-                    let mut entries = self.job_entries(&plan, &job.data);
+                    let entries = self.job_entries(&plan, &job.data);
                     let budget = plan.trie_entries_budget.max(1);
                     // The same growth-on-undershoot sequence the lanes
-                    // take, so trie sizes (and results) match exactly.
-                    loop {
-                        match session.run_with_plan_sized(&plan, &job.data, entries) {
-                            Err(EngineError::CapacityExhausted { .. }) if entries < budget => {
-                                entries = (entries * 2).min(budget);
-                            }
-                            other => break other.map(|r| (r, entries)),
+                    // take (in-place chain appends doubling toward the
+                    // budget), so trie sizes and results match exactly.
+                    match session
+                        .run_with_plan_budgeted(&plan, &job.data, entries, budget, &GrantAll)
+                    {
+                        Ok(ok) => Ok(ok),
+                        Err(BudgetedRunError::Engine(e)) => Err(CutsError::from(e)),
+                        Err(BudgetedRunError::GrowthDenied { .. }) => {
+                            unreachable!("GrantAll never denies growth")
                         }
                     }
-                })
-                .map_err(CutsError::from);
+                });
             let (result, entries) = match result {
                 Ok((r, e)) => {
                     if self.pacing > 0.0 {
@@ -698,9 +701,7 @@ impl Scheduler {
                 plan_hits: st.plans.hits,
                 plan_misses: st.plans.misses,
                 peak_reserved_words: vec![0],
-                budget_words: vec![
-                    (self.devices[0].free_words() as f64 * self.engine.trie_fraction) as usize,
-                ],
+                budget_words: vec![session.trie_budget_words()],
                 ..Default::default()
             },
         })
@@ -1043,7 +1044,7 @@ fn pick_device(shared: &Shared<'_>, job: &Job) -> Result<usize, NoFit> {
             return Ok(di); // fail fast on any device
         };
         let entries = sched.job_entries(&plan, &job.data);
-        let words = 2 * entries;
+        let words = dev.session.chain_words(entries);
         let reserved = dev.reserved.load(Ordering::Relaxed);
         if reserved + words > dev.budget_words {
             continue;
@@ -1082,7 +1083,7 @@ fn admit(shared: &Shared<'_>, cand: PendingJob, di: usize) {
         }
     };
     let entries = sched.job_entries(&plan, &cand.job.data);
-    let words = 2 * entries;
+    let words = dev.session.chain_words(entries);
     // `pick_device` said this fits, but a lane growing its trie may have
     // raced in; wait rather than overshoot the ledger.
     while !dev.try_reserve(words) {
@@ -1160,17 +1161,32 @@ fn lane_loop(shared: &Shared<'_>, dev: &DevState<'_>, lane: usize) {
         let mut entries = task.entries;
         let mut reserve_words = task.reserve_words;
         let budget_entries = task.plan.trie_entries_budget.max(1);
-        // Deterministic growth retry: the §5 estimate can undershoot, and
-        // a failed job must instead rerun with a doubled trie (same
-        // sequence a serial loop would take, so results stay identical).
+        // The §5 estimate can undershoot: the chain then grows in place,
+        // each appended segment charged to this lane's ledger. Only when
+        // the ledger has no room does the job release everything and
+        // rerun at the denied target — the same doubling sequence a
+        // serial loop takes, so results stay identical.
         let result = loop {
-            let r = dev
-                .session
-                .run_with_plan_sized(&task.plan, &task.job.data, entries);
+            let ledger = LaneLedger {
+                dev,
+                granted: AtomicUsize::new(0),
+            };
+            let r = dev.session.run_with_plan_budgeted(
+                &task.plan,
+                &task.job.data,
+                entries,
+                budget_entries,
+                &ledger,
+            );
+            let granted = ledger.granted.load(Ordering::Relaxed);
             match r {
-                Err(EngineError::CapacityExhausted { .. }) if entries < budget_entries => {
-                    entries = (entries * 2).min(budget_entries);
-                    let grown_words = 2 * entries;
+                Ok((r, achieved)) => {
+                    entries = achieved;
+                    reserve_words += granted;
+                    break Ok(r);
+                }
+                Err(BudgetedRunError::GrowthDenied { target_entries }) => {
+                    entries = target_entries;
                     sched.trace.instant_with(
                         EventKind::Job,
                         "grow",
@@ -1179,16 +1195,21 @@ fn lane_loop(shared: &Shared<'_>, dev: &DevState<'_>, lane: usize) {
                             ("entries", Arg::U64(entries as u64)),
                         ],
                     );
-                    // Trade the old reservation for the larger one;
-                    // holding nothing while waiting keeps growers from
-                    // deadlocking each other.
-                    dev.reserved.fetch_sub(reserve_words, Ordering::AcqRel);
+                    // Trade the old reservation (and any in-place growth
+                    // grants) for the larger one; holding nothing while
+                    // waiting keeps growers from deadlocking each other.
+                    dev.reserved
+                        .fetch_sub(reserve_words + granted, Ordering::AcqRel);
+                    let grown_words = dev.session.chain_words(entries);
                     while !dev.try_reserve(grown_words) {
                         std::thread::sleep(Duration::from_micros(100));
                     }
                     reserve_words = grown_words;
                 }
-                other => break other.map_err(CutsError::from),
+                Err(BudgetedRunError::Engine(e)) => {
+                    reserve_words += granted;
+                    break Err(CutsError::from(e));
+                }
             }
         };
         if let Ok(r) = &result {
@@ -1206,10 +1227,33 @@ fn lane_loop(shared: &Shared<'_>, dev: &DevState<'_>, lane: usize) {
             lane,
             queue_millis,
             exec_millis,
-            trie_entries: entries,
+            // Failed jobs report no capacity, matching the serial path.
+            trie_entries: if result.is_ok() { entries } else { 0 },
             stolen,
             result,
         });
+    }
+}
+
+/// Charges in-place chain growth to the device's admission ledger.
+struct LaneLedger<'a, 'd> {
+    dev: &'a DevState<'d>,
+    granted: AtomicUsize,
+}
+
+impl GrowthLedger for LaneLedger<'_, '_> {
+    fn try_grant(&self, words: usize) -> bool {
+        if self.dev.try_reserve(words) {
+            self.granted.fetch_add(words, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refund(&self, words: usize) {
+        self.dev.reserved.fetch_sub(words, Ordering::AcqRel);
+        self.granted.fetch_sub(words, Ordering::Relaxed);
     }
 }
 

@@ -5,10 +5,13 @@
 //! pieces of state worth keeping warm between runs:
 //!
 //! * a [`PlanCache`] so repeat queries skip order computation, and
-//! * a [`BufferPool`] holding the trie's PA/CA arrays, so every run after
-//!   the first performs **zero** new device allocations (the paper's
-//!   "allocate two big arrays" happens once per session, not once per
-//!   query — assertable through [`cuts_gpu_sim::Device::alloc_calls`]).
+//! * an [`cuts_gpu_sim::Arena`] carved once from the device — one slab
+//!   class sized for PA/CA trie segments — so every run after the first
+//!   performs **zero** new device allocations (the paper's "allocate two
+//!   big arrays" happens once per session, not once per query —
+//!   assertable through [`cuts_gpu_sim::Device::alloc_calls`]). Tries are
+//!   slab *chains* over that class: undersized runs grow by appending a
+//!   segment in place instead of reallocating and retrying.
 //!
 //! Counter accounting uses per-thread sinks
 //! ([`cuts_gpu_sim::CounterSink`]): each run sees exactly the launches it
@@ -17,14 +20,16 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use cuts_gpu_sim::{BufferPool, CostModel, CounterSink, Counters, Device, DeviceError, PoolStats};
+use cuts_gpu_sim::{
+    Arena, ArenaStats, ClassSpec, CostModel, CounterSink, Counters, Device, DeviceError,
+};
 use cuts_graph::components::{extract_component, weakly_connected_components};
 use cuts_graph::Graph;
 use cuts_obs::{Arg, EventKind, Json, ToJson};
@@ -46,14 +51,15 @@ pub type MatchSink<'s> = &'s mut dyn FnMut(&[u32]);
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 16;
 
 /// Snapshot of a session's reuse behaviour.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionStats {
     /// Completed run calls (any entry point).
     pub runs: u64,
     /// Plan-cache statistics.
     pub plans: PlanCacheStats,
-    /// Buffer-pool statistics.
-    pub pool: PoolStats,
+    /// Arena-slab statistics (`None` until the first trie acquisition
+    /// carves the arena): class geometry, occupancy, high-water marks.
+    pub arena: Option<ArenaStats>,
     /// Trie entry capacity the session settled on (fixed at first run).
     pub trie_entries: Option<usize>,
 }
@@ -72,7 +78,13 @@ impl ToJson for SessionStats {
                     ("hit_ratio", Json::F64(self.plans.hit_ratio())),
                 ]),
             ),
-            ("pool", self.pool.to_json()),
+            (
+                "arena",
+                match &self.arena {
+                    Some(a) => a.to_json(),
+                    None => Json::Null,
+                },
+            ),
             (
                 "trie_entries",
                 match self.trie_entries {
@@ -82,6 +94,85 @@ impl ToJson for SessionStats {
             ),
         ])
     }
+}
+
+/// Grants or denies trie-chain growth, in device words. The serial path
+/// always grants (the whole device budget is the one job's to take); the
+/// scheduler's lane ledger charges the device's admission reservation so
+/// concurrent jobs can never oversubscribe the arena.
+pub(crate) trait GrowthLedger: Sync {
+    /// Reserve `words` more for the running job; `false` = no room now.
+    fn try_grant(&self, words: usize) -> bool;
+    /// Return `words` previously granted (growth that could not be used).
+    fn refund(&self, words: usize);
+}
+
+/// A ledger that always grants: single-tenant execution.
+pub(crate) struct GrantAll;
+
+impl GrowthLedger for GrantAll {
+    fn try_grant(&self, _words: usize) -> bool {
+        true
+    }
+    fn refund(&self, _words: usize) {}
+}
+
+/// Failure of a budgeted run (the scheduler path).
+#[derive(Debug)]
+pub(crate) enum BudgetedRunError {
+    /// The run itself failed.
+    Engine(EngineError),
+    /// The ledger denied in-place growth: the caller should release its
+    /// reservation, re-reserve at `target_entries`, and rerun — the
+    /// deterministic rerun-at-target keeps lane results byte-identical
+    /// to the serial grow-in-place sequence.
+    GrowthDenied {
+        /// The capacity (entries) the chain wanted to grow to.
+        target_entries: usize,
+    },
+}
+
+impl From<EngineError> for BudgetedRunError {
+    fn from(e: EngineError) -> Self {
+        BudgetedRunError::Engine(e)
+    }
+}
+
+impl From<DeviceError> for BudgetedRunError {
+    fn from(e: DeviceError) -> Self {
+        BudgetedRunError::Engine(e.into())
+    }
+}
+
+/// The session's carved trie storage: one arena class of PA/CA slabs.
+struct TrieArena {
+    arena: Arena,
+    /// Entries per slab (= slab words; one u32 per entry per array).
+    seg_entries: usize,
+    /// Segment pairs the class can back at once (`2 × pairs` slabs).
+    pairs: usize,
+}
+
+impl TrieArena {
+    /// Largest trie capacity (entries) one chain can reach.
+    fn max_chain_entries(&self) -> usize {
+        self.pairs * self.seg_entries
+    }
+
+    /// Device words a chain sized for `entries` occupies: both arrays,
+    /// whole segments, clamped to the class (larger requests saturate at
+    /// the full arena and rely on hybrid chunking past that).
+    fn chain_words(&self, entries: usize) -> usize {
+        let segs = entries.div_ceil(self.seg_entries).clamp(1, self.pairs);
+        2 * segs * self.seg_entries
+    }
+}
+
+/// Mutable growth context threaded through a budgeted run.
+struct GrowthState<'a> {
+    cur_entries: usize,
+    limit_entries: usize,
+    ledger: &'a dyn GrowthLedger,
 }
 
 /// A reusable executor binding an [`EngineConfig`] to one [`Device`].
@@ -104,10 +195,11 @@ pub struct ExecSession<'d> {
     config: EngineConfig,
     class: DeviceClass,
     plans: PlanCache,
-    pool: BufferPool<'d>,
-    // Fixed at the first trie acquisition so every later run requests the
-    // same capacities and the pool can always serve them.
-    trie_entries: OnceLock<usize>,
+    // Carved at the first trie acquisition; geometry is then fixed, so
+    // every later run chains over the same slab class and never touches
+    // the device allocator again.
+    arena: OnceLock<TrieArena>,
+    arena_init: Mutex<()>,
     runs: AtomicU64,
 }
 
@@ -129,8 +221,8 @@ impl<'d> ExecSession<'d> {
             config,
             class: DeviceClass::of(device.config()),
             plans: PlanCache::new(plan_capacity),
-            pool: BufferPool::new(device),
-            trie_entries: OnceLock::new(),
+            arena: OnceLock::new(),
+            arena_init: Mutex::new(()),
             runs: AtomicU64::new(0),
         }
     }
@@ -208,8 +300,8 @@ impl<'d> ExecSession<'d> {
         SessionStats {
             runs: self.runs.load(Ordering::Relaxed),
             plans: self.plans.stats(),
-            pool: self.pool.stats(),
-            trie_entries: self.trie_entries.get().copied(),
+            arena: self.arena.get().map(|t| t.arena.stats()),
+            trie_entries: self.arena.get().map(|t| t.max_chain_entries()),
         }
     }
 
@@ -257,7 +349,7 @@ impl<'d> ExecSession<'d> {
     /// `entries` PA/CA pairs for this run only, acquired exactly (no
     /// best-fit over-serving). The scheduler sizes each job from its own
     /// §5 space estimate instead of this session's device-wide default,
-    /// which keeps results independent of lane count and pool history.
+    /// which keeps results independent of lane count and arena history.
     pub fn run_with_plan_sized(
         &self,
         plan: &QueryPlan,
@@ -413,56 +505,107 @@ impl<'d> ExecSession<'d> {
             trie.seal_level();
             Ok(trie.to_host())
         })();
-        self.release_trie(trie);
+        drop(trie); // slabs return to the arena here
         out
     }
 
-    /// Hands out a pooled trie. The entry capacity is fixed the first time
-    /// a session needs one — sized like the paper's up-front allocation
-    /// (`free_words × trie_fraction / 2` entries) — so every subsequent
-    /// acquisition requests the exact capacity the pool already holds.
-    fn acquire_trie(&self) -> Result<Trie, EngineError> {
-        let entries = *self.trie_entries.get_or_init(|| {
-            let e = ((self.device.free_words() as f64 * self.config.trie_fraction) / 2.0) as usize;
-            let e = e.max(1);
-            self.device.trace().instant_with(
-                EventKind::Trie,
-                "size",
-                &[("entries", Arg::U64(e as u64))],
-            );
-            e
+    /// The session's trie arena, carved on first use. Geometry follows
+    /// the paper's up-front allocation: `W = free_words × trie_fraction`
+    /// device words give `E = W / 2` PA/CA entry pairs, split into
+    /// power-of-two slabs of roughly `E / 32` entries — small enough that
+    /// per-job chains track their §5 estimates closely, large enough that
+    /// a full chain is a ~32-hop spine.
+    fn trie_arena(&self) -> Result<&TrieArena, EngineError> {
+        if let Some(t) = self.arena.get() {
+            return Ok(t);
+        }
+        let _g = self.arena_init.lock().unwrap();
+        if let Some(t) = self.arena.get() {
+            return Ok(t);
+        }
+        let w = (self.device.free_words() as f64 * self.config.trie_fraction) as usize;
+        let e = (w / 2).max(1);
+        let floor_pow2 = 1usize << (usize::BITS - 1 - e.leading_zeros());
+        let seg_entries = ((e / 32).max(1).next_power_of_two()).min(floor_pow2);
+        let pairs = (e / seg_entries).max(1);
+        let arena = Arena::new(
+            self.device,
+            &[ClassSpec {
+                slab_words: seg_entries,
+                slabs: 2 * pairs,
+            }],
+        )?;
+        self.device.trace().instant_with(
+            EventKind::Trie,
+            "size",
+            &[
+                ("entries", Arg::U64((pairs * seg_entries) as u64)),
+                ("seg_entries", Arg::U64(seg_entries as u64)),
+                ("pairs", Arg::U64(pairs as u64)),
+            ],
+        );
+        let _ = self.arena.set(TrieArena {
+            arena,
+            seg_entries,
+            pairs,
         });
-        let pa = self.pool.acquire(entries)?;
-        let ca = match self.pool.acquire(entries) {
-            Ok(ca) => ca,
-            Err(e) => {
-                self.pool.release(pa);
-                return Err(e.into());
-            }
-        };
-        Ok(Trie::from_table(PairTable::from_buffers(pa, ca)))
+        Ok(self.arena.get().expect("arena initialised above"))
     }
 
-    /// A trie with exactly `entries` capacity, bypassing the session-wide
-    /// sizing (scheduler path; see [`ExecSession::run_with_plan_sized`]).
+    /// Forces the arena carve now (the scheduler does this before
+    /// admission so its word budget matches the arena exactly).
+    pub(crate) fn prepare_trie_arena(&self) -> Result<(), EngineError> {
+        self.trie_arena().map(|_| ())
+    }
+
+    /// Total arena words available to trie chains — the scheduler's
+    /// admission budget. Requires [`ExecSession::prepare_trie_arena`].
+    pub(crate) fn trie_budget_words(&self) -> usize {
+        let t = self.arena.get().expect("prepare_trie_arena first");
+        2 * t.max_chain_entries()
+    }
+
+    /// Device words a chain sized for `entries` reserves (whole slabs,
+    /// saturating at the full arena). The scheduler's admission ledger
+    /// accounts in these units, so reservations sum to exactly what the
+    /// arena can grant — a deterministic no-fit, never a surprise OOM.
+    /// Requires [`ExecSession::prepare_trie_arena`].
+    pub(crate) fn chain_words(&self, entries: usize) -> usize {
+        self.arena
+            .get()
+            .expect("prepare_trie_arena first")
+            .chain_words(entries)
+    }
+
+    /// Hands out a full-capacity trie chain (every slab pair the class
+    /// holds). Warm-path cost is `O(pairs)` bitmap CASes — the device
+    /// allocator is never involved after the first carve.
+    fn acquire_trie(&self) -> Result<Trie, EngineError> {
+        let t = self.trie_arena()?;
+        let cap = t.max_chain_entries();
+        let table = PairTable::chained_on_arena(&t.arena, 0, cap, cap)?;
+        Ok(Trie::from_table(table))
+    }
+
+    /// A trie chain covering `entries` with no room to grow, bypassing
+    /// the session-wide sizing (scheduler path; see
+    /// [`ExecSession::run_with_plan_sized`]). Capacity is `entries`
+    /// rounded up to whole slabs and clamped to the class — a
+    /// deterministic function of `entries` and the device model alone,
+    /// which keeps results independent of lane count and run history.
     fn acquire_trie_sized(&self, entries: usize) -> Result<Trie, EngineError> {
-        let entries = entries.max(1);
-        let pa = self.pool.acquire_exact(entries)?;
-        let ca = match self.pool.acquire_exact(entries) {
-            Ok(ca) => ca,
-            Err(e) => {
-                self.pool.release(pa);
-                return Err(e.into());
-            }
-        };
-        Ok(Trie::from_table(PairTable::from_buffers(pa, ca)))
+        let t = self.trie_arena()?;
+        let entries = entries.clamp(1, t.max_chain_entries());
+        let table = PairTable::chained_on_arena(&t.arena, 0, entries, entries)?;
+        Ok(Trie::from_table(table))
     }
 
-    /// Returns a trie's buffers to the pool.
-    fn release_trie(&self, trie: Trie) {
-        let (pa, ca) = trie.into_table().into_buffers();
-        self.pool.release(pa);
-        self.pool.release(ca);
+    /// A trie chain starting at `entries` whose spine can grow to
+    /// `limit`. Used by the budgeted scheduler path.
+    fn acquire_trie_budgeted(&self, entries: usize, limit: usize) -> Result<Trie, EngineError> {
+        let t = self.trie_arena()?;
+        let table = PairTable::chained_on_arena(&t.arena, 0, entries, limit)?;
+        Ok(Trie::from_table(table))
     }
 
     fn run_inner(
@@ -488,8 +631,23 @@ impl<'d> ExecSession<'d> {
             Some(entries) => self.acquire_trie_sized(entries)?,
             None => self.acquire_trie()?,
         };
-        let out = self.run_core(plan, data, &mut trie, sink, seed, wall_start, &counter_sink);
-        self.release_trie(trie);
+        let out = self.run_core(
+            plan,
+            data,
+            &mut trie,
+            sink,
+            seed,
+            wall_start,
+            &counter_sink,
+            None,
+        );
+        drop(trie); // slabs return to the arena here
+        let out = out.map_err(|e| match e {
+            BudgetedRunError::Engine(e) => e,
+            BudgetedRunError::GrowthDenied { .. } => {
+                unreachable!("growth denial without a ledger")
+            }
+        });
         if let Ok(r) = &out {
             self.runs.fetch_add(1, Ordering::Relaxed);
             if let Some(s) = &mut rspan {
@@ -498,6 +656,71 @@ impl<'d> ExecSession<'d> {
             }
         }
         out
+    }
+
+    /// The scheduler's entry point: run `plan` over `data` on a trie
+    /// chain that starts at `entries` and may grow **in place** (a pure
+    /// slab append — no copy, no retry-from-scratch) up to
+    /// `limit_entries`, with every growth step charged to `ledger`.
+    /// Returns the result and the capacity (entries) the run settled on,
+    /// so the caller can reconcile its reservation.
+    ///
+    /// When the ledger denies a step the run aborts with
+    /// [`BudgetedRunError::GrowthDenied`]; the trie is dropped (its slabs
+    /// and reservation return) before the caller re-reserves and reruns
+    /// at the target — growers never deadlock each other.
+    pub(crate) fn run_with_plan_budgeted(
+        &self,
+        plan: &QueryPlan,
+        data: &Graph,
+        entries: usize,
+        limit_entries: usize,
+        ledger: &dyn GrowthLedger,
+    ) -> Result<(MatchResult, usize), BudgetedRunError> {
+        let max = self
+            .trie_arena()
+            .map_err(BudgetedRunError::Engine)?
+            .max_chain_entries();
+        let entries = entries.clamp(1, max);
+        let limit = limit_entries.clamp(entries, max);
+        let trace = self.device.trace();
+        let mut rspan = if trace.is_enabled() {
+            let mut s = trace.span(EventKind::Run, "run");
+            s.arg("query_n", Arg::U64(plan.len() as u64));
+            s.arg("data_n", Arg::U64(data.num_vertices() as u64));
+            Some(s)
+        } else {
+            None
+        };
+        let wall_start = Instant::now();
+        let counter_sink = CounterSink::install();
+        let mut trie = self
+            .acquire_trie_budgeted(entries, limit)
+            .map_err(BudgetedRunError::Engine)?;
+        let mut growth = GrowthState {
+            cur_entries: entries,
+            limit_entries: limit,
+            ledger,
+        };
+        let out = self.run_core(
+            plan,
+            data,
+            &mut trie,
+            None,
+            None,
+            wall_start,
+            &counter_sink,
+            Some(&mut growth),
+        );
+        drop(trie); // slabs return to the arena here
+        if let Ok(r) = &out {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = &mut rspan {
+                s.arg("matches", Arg::U64(r.num_matches));
+                s.counters(r.counters.into());
+            }
+        }
+        out.map(|r| (r, growth.cur_entries))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -510,7 +733,8 @@ impl<'d> ExecSession<'d> {
         seed: Option<&cuts_trie::HostTrie>,
         wall_start: Instant,
         counter_sink: &CounterSink,
-    ) -> Result<MatchResult, EngineError> {
+        mut growth: Option<&mut GrowthState<'_>>,
+    ) -> Result<MatchResult, BudgetedRunError> {
         let order = &plan.order;
         let n = order.len();
         let mut level_counts = vec![0u64; n];
@@ -586,11 +810,68 @@ impl<'d> ExecSession<'d> {
                     pos += 1;
                 }
                 Err(DeviceError::BufferOverflow { .. }) => {
-                    // Hybrid BFS-DFS (§4.1.2): roll back the partial level
-                    // and walk the remaining depths chunk by chunk.
                     trie.table().truncate(pre_len);
-                    used_chunking = true;
                     drop(lspan.take());
+                    // A budgeted run grows the chain in place first —
+                    // appending slabs is cheaper than spilling to the
+                    // hybrid walk, and the expansion resumes exactly
+                    // where it overflowed (counts are only committed on
+                    // success, so the retry double-counts nothing).
+                    if let Some(g) = growth.as_deref_mut() {
+                        if g.cur_entries < g.limit_entries {
+                            let (seg, cur_cap, max_e) = {
+                                let t = trie.table();
+                                (t.seg_entries(), t.capacity(), t.max_entries())
+                            };
+                            let cap_of = |e: usize| (e.div_ceil(seg) * seg).min(max_e);
+                            // Double past the slab-rounded capacity we
+                            // already have, so every step adds a segment.
+                            let mut target = (g.cur_entries * 2).min(g.limit_entries);
+                            while target < g.limit_entries && cap_of(target) <= cur_cap {
+                                target = (target * 2).min(g.limit_entries);
+                            }
+                            let target_cap = cap_of(target);
+                            let delta_words = 2 * target_cap.saturating_sub(cur_cap);
+                            if delta_words == 0 {
+                                // Even the limit adds no capacity: fall
+                                // through to the hybrid walk below.
+                                g.cur_entries = target;
+                            } else if !g.ledger.try_grant(delta_words) {
+                                return Err(BudgetedRunError::GrowthDenied {
+                                    target_entries: target,
+                                });
+                            } else {
+                                match trie.grow_to(target_cap) {
+                                    Ok(new_cap) => {
+                                        g.cur_entries = target;
+                                        trace.instant_with(
+                                            EventKind::Arena,
+                                            "chain_grow",
+                                            &[
+                                                ("depth", Arg::U64(pos as u64)),
+                                                ("capacity", Arg::U64(new_cap as u64)),
+                                            ],
+                                        );
+                                        continue;
+                                    }
+                                    Err(_) => {
+                                        // The ledger said yes but the
+                                        // class could not serve — a
+                                        // protocol breach somewhere; fall
+                                        // back to chunking.
+                                        g.ledger.refund(delta_words);
+                                        debug_assert!(
+                                            false,
+                                            "ledger-granted chain growth must not fail"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Hybrid BFS-DFS (§4.1.2): walk the remaining depths
+                    // chunk by chunk inside the capacity we have.
+                    used_chunking = true;
                     trace.instant_with(
                         EventKind::Trie,
                         "spill",
@@ -829,8 +1110,12 @@ mod tests {
         assert_eq!(s.runs, 4);
         assert_eq!(s.plans.hits, 3);
         assert_eq!(s.plans.misses, 1);
-        assert_eq!(s.pool.device_allocs, 2, "one PA + one CA, ever");
-        assert_eq!(s.pool.reuses, 6);
+        let arena = s.arena.expect("arena carved at first run");
+        assert_eq!(arena.device_allocs, 1, "one carve, ever");
+        assert_eq!(arena.classes.len(), 1);
+        assert_eq!(arena.classes[0].in_use, 0, "all slabs back after runs");
+        assert_eq!(arena.classes[0].acquires, arena.classes[0].releases);
+        assert!(arena.slab_acquires() > 0, "runs chained over the arena");
     }
 
     #[test]
@@ -849,7 +1134,7 @@ mod tests {
         }
         let s = session.stats();
         assert_eq!(s.plans.misses, 1, "one plan serves the whole batch");
-        assert_eq!(s.pool.device_allocs, 2);
+        assert_eq!(s.arena.expect("arena carved").device_allocs, 1);
     }
 
     #[test]
@@ -912,6 +1197,69 @@ mod tests {
         let c = session.run_disconnected(&data, &clique(3)).unwrap();
         assert_eq!(c.num_matches, 24);
         assert_eq!(c.level_counts, vec![4, 12, 24]);
+    }
+
+    #[test]
+    fn budgeted_run_grows_in_place_without_device_allocs() {
+        // A small device keeps the slab size small enough that a chain
+        // started at one entry genuinely overflows mid-run.
+        let device = Device::new(DeviceConfig::test_small().with_global_mem_words(1 << 12));
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let data = erdos_renyi(30, 90, 7);
+        let query = clique(3);
+        let baseline = session.run(&data, &query).unwrap();
+        let plan = session.plan_for(&query).unwrap();
+        let allocs = device.alloc_calls();
+        // Start absurdly small; the chain must grow (never chunk) up to
+        // the limit and still produce identical counts.
+        let (r, achieved) = session
+            .run_with_plan_budgeted(&plan, &data, 1, 1 << 20, &GrantAll)
+            .unwrap();
+        assert_eq!(r.num_matches, baseline.num_matches);
+        assert_eq!(r.level_counts, baseline.level_counts);
+        assert!(achieved > 1, "an undersized chain must have grown");
+        assert!(!r.used_chunking, "growth should pre-empt the hybrid walk");
+        assert_eq!(
+            device.alloc_calls(),
+            allocs,
+            "chain growth is allocator-free"
+        );
+    }
+
+    #[test]
+    fn budgeted_run_reports_denied_growth_target() {
+        struct DenyAll;
+        impl GrowthLedger for DenyAll {
+            fn try_grant(&self, _words: usize) -> bool {
+                false
+            }
+            fn refund(&self, _words: usize) {}
+        }
+        let device = Device::new(DeviceConfig::test_small().with_global_mem_words(1 << 12));
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let data = erdos_renyi(30, 90, 7);
+        let plan = session.plan_for(&clique(3)).unwrap();
+        match session.run_with_plan_budgeted(&plan, &data, 1, 1 << 20, &DenyAll) {
+            Err(BudgetedRunError::GrowthDenied { target_entries }) => {
+                assert!(target_entries > 1, "target doubles past the start size");
+            }
+            other => panic!("expected GrowthDenied, got {other:?}"),
+        }
+        // The denied run released its chain: a normal run still works.
+        assert!(session.run(&data, &clique(3)).is_ok());
+    }
+
+    #[test]
+    fn sized_run_capacity_is_a_function_of_entries_alone() {
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        session.prepare_trie_arena().unwrap();
+        let w256 = session.chain_words(256);
+        // Whole-slab accounting: same slab count → same words; the full
+        // arena is the saturation point.
+        assert_eq!(w256, session.chain_words(1));
+        assert_eq!(session.chain_words(usize::MAX), session.trie_budget_words());
+        assert!(session.trie_budget_words() >= w256);
     }
 
     #[test]

@@ -147,6 +147,55 @@ fn aging_prevents_priority_starvation() {
     );
 }
 
+/// Arena discipline end to end: once every device's arena is carved and
+/// the warmup stream has drained, a full follow-up stream — including the
+/// growth-retry job — must be served purely by slab recycling, with not
+/// one further call into the device allocator.
+#[test]
+fn warm_scheduler_stream_performs_zero_device_allocations() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let jobs = job_mix();
+    let scheduler = Scheduler::builder().lanes(2).devices(2).build().unwrap();
+    let warm_allocs = AtomicU64::new(0);
+    let report = scheduler
+        .run(|h| {
+            // Warmup pass: same job shapes as the main stream, so every
+            // plan is cached and every arena is carved.
+            for job in jobs.iter().cloned() {
+                h.submit_wait(job);
+            }
+            while h.pending() > 0 || h.inflight() > 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let carved: u64 = scheduler.devices().iter().map(|d| d.alloc_calls()).sum();
+            warm_allocs.store(carved, Ordering::SeqCst);
+            // Main stream: every trie acquire, growth, and release below
+            // must be pure slab-bitmap traffic.
+            for _ in 0..3 {
+                for job in jobs.iter().cloned() {
+                    h.submit_wait(job);
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    let warm = warm_allocs.load(Ordering::SeqCst);
+    assert!(warm > 0, "carving the arenas must allocate");
+    let after: u64 = scheduler.devices().iter().map(|d| d.alloc_calls()).sum();
+    assert_eq!(
+        after, warm,
+        "warm stream must not touch the device allocator"
+    );
+    // The stream itself behaved normally (only the unplannable job fails).
+    assert_eq!(report.stats.failed, 4);
+    assert_eq!(
+        report.stats.completed + report.stats.failed,
+        4 * jobs.len() as u64
+    );
+}
+
 /// Memory-aware admission: a device with a tiny budget, fed jobs whose
 /// estimates clamp to the whole budget, must defer (not fail) and keep the
 /// reservation ledger inside the budget at all times.

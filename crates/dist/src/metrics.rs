@@ -36,8 +36,9 @@ pub struct RankMetrics {
     pub plan_builds: u64,
     /// Jobs that reused the rank's cached plan.
     pub plan_reuses: u64,
-    /// Trie-buffer acquisitions served from the rank's pool instead of
-    /// the device allocator (warm runs).
+    /// Trie slab acquisitions served from the rank's arena — every trie
+    /// this rank ran on after the one-time carve, none of which touched
+    /// the device allocator.
     pub buffer_reuses: u64,
     /// Messages from this rank eaten by fault injection.
     pub messages_dropped: u64,

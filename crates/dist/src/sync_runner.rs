@@ -54,7 +54,7 @@ pub fn run_synchronous(
         .map(|_| Device::new(config.device.clone()))
         .collect();
     // One session per rank, reused across all levels: the plan is built
-    // once and the trie buffers stay pooled for the whole run.
+    // once and the trie chains stay on one arena carve for the whole run.
     let sessions: Vec<ExecSession<'_>> = devices
         .iter()
         .map(|d| ExecSession::new(d, config.engine.clone()))

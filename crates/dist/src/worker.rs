@@ -109,9 +109,9 @@ enum Idle {
 
 /// One rank's execution state. The simulated device and its
 /// [`ExecSession`] are created inside [`Worker::run`]: the session plans
-/// the query once per rank and keeps the trie buffers pooled, so every
-/// chunk — initial partition, received donation, or fault-recovery replay
-/// — reuses the same plan and device arrays.
+/// the query once per rank and chains its tries over one arena carve, so
+/// every chunk — initial partition, received donation, or fault-recovery
+/// replay — reuses the same plan and device storage.
 pub struct Worker<'a> {
     comm: Comm,
     config: DistConfig,
@@ -204,7 +204,7 @@ impl<'a> Worker<'a> {
     /// Runs the rank to completion, returning its match count and metrics.
     pub fn run(mut self) -> Result<(u64, RankMetrics), WorkerError> {
         // One device and one session per rank: the session plans the query
-        // once and keeps the trie buffers pooled, so every chunk this rank
+        // once and carves its trie arena once, so every chunk this rank
         // processes — including donations and recovery replays — runs
         // without new device allocations.
         let mut device = Device::new(self.config.device.clone());
@@ -328,7 +328,7 @@ impl<'a> Worker<'a> {
         let s = session.stats();
         self.metrics.plan_builds = s.plans.misses;
         self.metrics.plan_reuses = s.plans.hits;
-        self.metrics.buffer_reuses = s.pool.reuses;
+        self.metrics.buffer_reuses = s.arena.map(|a| a.slab_acquires()).unwrap_or(0);
         Ok((total, self.metrics))
     }
 

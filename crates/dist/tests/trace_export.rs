@@ -39,7 +39,7 @@ fn single_node_trace_exports_valid_chrome_json() {
     // Single-node: everything on the "local" process track (pid 0).
     assert_eq!(s.pids.iter().copied().collect::<Vec<_>>(), vec![0]);
     // Engine + device instrumentation alone yields a rich census.
-    for cat in ["kernel", "level", "plan", "pool", "run", "trie"] {
+    for cat in ["arena", "kernel", "level", "plan", "run", "trie"] {
         assert!(s.categories.contains(cat), "missing {cat}: {s:?}");
     }
 }

@@ -84,20 +84,24 @@ impl GlobalBuffer {
     /// Claims `n` contiguous words with a single fetch-add (the paper's one
     /// atomic per write burst). Fails with [`DeviceError::BufferOverflow`]
     /// when the buffer cannot hold `n` more words; the failed claim is
-    /// rolled back so the committed length stays accurate.
+    /// rolled back so the committed length stays accurate. The end-of-range
+    /// check uses `checked_add` — a pathological `n` near `usize::MAX` must
+    /// overflow the claim, not wrap past the capacity comparison.
     pub fn reserve(&self, n: usize) -> Result<Reservation<'_>, DeviceError> {
         let start = self.cursor.fetch_add(n, Ordering::AcqRel);
-        if start + n > self.capacity() {
-            self.cursor.fetch_sub(n, Ordering::AcqRel);
-            return Err(DeviceError::BufferOverflow {
-                capacity: self.capacity(),
-            });
+        match start.checked_add(n) {
+            Some(end) if end <= self.capacity() => Ok(Reservation {
+                buf: self,
+                start,
+                len: n,
+            }),
+            _ => {
+                self.cursor.fetch_sub(n, Ordering::AcqRel);
+                Err(DeviceError::BufferOverflow {
+                    capacity: self.capacity(),
+                })
+            }
         }
-        Ok(Reservation {
-            buf: self,
-            start,
-            len: n,
-        })
     }
 
     /// Writes a word without a reservation.
@@ -232,6 +236,20 @@ mod tests {
         assert_eq!(b.len(), 3); // rollback happened
         b.reserve(1).unwrap(); // exactly fits
         assert!(b.reserve(1).is_err());
+    }
+
+    #[test]
+    fn reserve_near_usize_max_overflows_cleanly() {
+        let b = GlobalBuffer::new(8);
+        b.reserve(3).unwrap();
+        // start + n wraps usize; the unchecked comparison would conclude
+        // the claim fits and hand out a range past the end of the buffer.
+        assert!(matches!(
+            b.reserve(usize::MAX - 1),
+            Err(DeviceError::BufferOverflow { capacity: 8 })
+        ));
+        assert_eq!(b.len(), 3, "failed claim rolled back");
+        b.reserve(5).unwrap(); // buffer still fully usable
     }
 
     #[test]

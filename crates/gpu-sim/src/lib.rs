@@ -25,10 +25,17 @@
 //! * [`CostModel`] — a roofline translation of counters into simulated
 //!   kernel time, so "runtime" comparisons are architecture-scaled rather
 //!   than host-scheduler noise.
+//! * [`Arena`] — the memory discipline execution sessions run on: **one**
+//!   device reservation per session (the *carve*), split into power-of-two
+//!   slab classes tracked by lock-free `u64` bitmaps (`cuts-bitalloc`).
+//!   Slab acquire/release is an O(1) CAS; trie storage grows by chaining
+//!   another slab instead of reallocating, so a warm session performs
+//!   zero device-allocator calls — asserted in tests and gated in CI.
 //! * [`BufferPool`] — a free-list recycler over [`Device::alloc_buffer`]
-//!   with reuse counters, so execution sessions can prove that warm runs
-//!   perform zero new device allocations.
+//!   with reuse counters; retained as a general-purpose utility for
+//!   callers with irregular buffer sizes the slab classes don't fit.
 
+pub mod arena;
 pub mod buffer;
 pub mod config;
 pub mod cost;
@@ -39,6 +46,7 @@ pub mod occupancy;
 pub mod pool;
 pub mod primitives;
 
+pub use arena::{Arena, ArenaStats, ClassSpec, ClassStats, Slab};
 pub use buffer::GlobalBuffer;
 pub use config::DeviceConfig;
 pub use cost::{Bound, CostBreakdown, CostModel, SimTime};

@@ -166,14 +166,47 @@ impl<'d> BufferPool<'d> {
         }
     }
 
-    /// `Device::alloc_buffer`, retried once after dumping the free list
-    /// when the first attempt hits device OOM — idle pooled capacity must
-    /// not starve a live request (fragmentation across differently sized
-    /// jobs would otherwise pin words nothing can use).
+    /// `Device::alloc_buffer`, retried once after evicting idle pooled
+    /// capacity when the first attempt hits device OOM — idle buffers
+    /// must not starve a live request (fragmentation across differently
+    /// sized jobs would otherwise pin words nothing can use). Eviction is
+    /// minimal: the smallest single buffer covering the deficit when one
+    /// exists, otherwise largest-first until enough words are free. The
+    /// rest of the free list stays warm for later reuse.
     fn alloc_under_pressure(&self, words: usize) -> Result<GlobalBuffer, DeviceError> {
         match self.device.alloc_buffer(words) {
             Err(DeviceError::OutOfMemory { .. }) => {
-                let evicted = std::mem::take(&mut *self.free.lock().unwrap());
+                let deficit = words.saturating_sub(self.device.free_words());
+                let evicted = {
+                    let mut free = self.free.lock().unwrap();
+                    let mut out: Vec<GlobalBuffer> = Vec::new();
+                    if deficit > 0 && !free.is_empty() {
+                        let smallest_sufficient = free
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, b)| b.capacity() >= deficit)
+                            .min_by_key(|(_, b)| b.capacity())
+                            .map(|(i, _)| i);
+                        if let Some(i) = smallest_sufficient {
+                            out.push(free.swap_remove(i));
+                        } else {
+                            // No single buffer covers the deficit: shed
+                            // largest-first until enough words come back.
+                            free.sort_by_key(|b| b.capacity());
+                            let mut reclaimed = 0usize;
+                            while reclaimed < deficit {
+                                match free.pop() {
+                                    Some(b) => {
+                                        reclaimed += b.capacity();
+                                        out.push(b);
+                                    }
+                                    None => break,
+                                }
+                            }
+                        }
+                    }
+                    out
+                };
                 if evicted.is_empty() {
                     return self.device.alloc_buffer(words);
                 }
@@ -309,6 +342,48 @@ mod tests {
             pool.acquire(2000),
             Err(DeviceError::OutOfMemory { .. })
         ));
+    }
+
+    #[test]
+    fn oom_pressure_evicts_only_the_smallest_sufficient_buffer() {
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(1000));
+        let pool = BufferPool::new(&d);
+        let (a, b, c) = (
+            pool.acquire(300).unwrap(),
+            pool.acquire(200).unwrap(),
+            pool.acquire(100).unwrap(),
+        );
+        pool.release(a);
+        pool.release(b);
+        pool.release(c);
+        // 600 idle + 450 live needs 1050 > 1000: deficit is 50 words, and
+        // the idle 100 alone covers it — the 300 and 200 must stay warm.
+        let live = pool.acquire_exact(450).unwrap();
+        assert_eq!(live.capacity(), 450);
+        assert_eq!(pool.pooled(), 2, "only one idle buffer evicted");
+        assert_eq!(pool.pooled_words(), 500);
+        assert_eq!(d.allocated_words(), 950);
+    }
+
+    #[test]
+    fn oom_pressure_sheds_largest_first_when_no_single_buffer_suffices() {
+        let d = Device::new(DeviceConfig::test_small().with_global_mem_words(1000));
+        let pool = BufferPool::new(&d);
+        let (a, b, c) = (
+            pool.acquire(250).unwrap(),
+            pool.acquire(250).unwrap(),
+            pool.acquire(100).unwrap(),
+        );
+        pool.release(a);
+        pool.release(b);
+        pool.release(c);
+        // Deficit is 400: no single idle buffer covers it, so the two
+        // 250s go (largest-first) and the 100 survives.
+        let live = pool.acquire_exact(800).unwrap();
+        assert_eq!(live.capacity(), 800);
+        assert_eq!(pool.pooled(), 1, "smallest idle buffer kept");
+        assert_eq!(pool.pooled_words(), 100);
+        assert_eq!(d.allocated_words(), 900);
     }
 
     #[test]

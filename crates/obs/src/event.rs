@@ -35,11 +35,14 @@ pub enum EventKind {
     Policy,
     /// Snapshot container activity: save / load of warm-start artifacts.
     Snapshot,
+    /// Arena-slab allocator activity: carve / acquire / release /
+    /// chain-grow / high-water.
+    Arena,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive reporting.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Kernel,
         EventKind::Level,
         EventKind::Chunk,
@@ -53,6 +56,7 @@ impl EventKind {
         EventKind::Job,
         EventKind::Policy,
         EventKind::Snapshot,
+        EventKind::Arena,
     ];
 
     /// Stable lowercase name (chrome-trace `cat`, JSONL `kind`).
@@ -71,6 +75,7 @@ impl EventKind {
             EventKind::Job => "job",
             EventKind::Policy => "policy",
             EventKind::Snapshot => "snapshot",
+            EventKind::Arena => "arena",
         }
     }
 }

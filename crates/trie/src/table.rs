@@ -1,21 +1,118 @@
 //! The PA/CA pair table: two device arrays, one shared atomic cursor.
+//!
+//! Storage comes in two shapes. A *single-segment* table wraps one PA and
+//! one CA buffer of arbitrary equal capacity — the original flat layout,
+//! still used for host-side tries and exact-size allocations. A *chained*
+//! table is built over an [`Arena`] slab class: each segment is a pair of
+//! power-of-two slabs (one PA, one CA), and [`PairTable::grow_to`]
+//! appends fresh segments in place — no reallocation, no copy, no
+//! retry-from-scratch — while committed entries and in-flight cursors
+//! stay valid. Entry `i` lives at offset `i & (seg_entries - 1)` of
+//! segment `i >> seg_shift`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-use cuts_gpu_sim::{Device, DeviceError, GlobalBuffer};
+use cuts_gpu_sim::{Arena, Device, DeviceError, GlobalBuffer, Slab};
+
+/// One array's worth of segment storage: a flat buffer (single-segment
+/// tables) or an arena slab (chained tables).
+enum SegStore {
+    Buffer(GlobalBuffer),
+    Slab(Slab),
+}
+
+impl SegStore {
+    #[inline]
+    fn capacity(&self) -> usize {
+        match self {
+            SegStore::Buffer(b) => b.capacity(),
+            SegStore::Slab(s) => s.capacity(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u32 {
+        match self {
+            SegStore::Buffer(b) => b.get(idx),
+            SegStore::Slab(s) => s.get(idx),
+        }
+    }
+
+    /// # Safety
+    /// Same contract as [`GlobalBuffer::write_raw`]: no concurrent reader
+    /// or writer of `idx`.
+    #[inline]
+    unsafe fn write_raw(&self, idx: usize, val: u32) {
+        match self {
+            SegStore::Buffer(b) => unsafe { b.write_raw(idx, val) },
+            SegStore::Slab(s) => unsafe { s.write_raw(idx, val) },
+        }
+    }
+}
+
+/// One link of the chain: paired PA and CA storage of equal capacity.
+struct Segment {
+    pa: SegStore,
+    ca: SegStore,
+}
+
+/// Where a chained table's segments come from.
+struct ChainSource {
+    arena: Arena,
+    class: usize,
+}
 
 /// Two parallel device arrays (parent indices and candidate ids) appended
 /// through a single shared cursor, so entry `i` of one always pairs with
 /// entry `i` of the other even under concurrent appends.
 pub struct PairTable {
-    pa: GlobalBuffer,
-    ca: GlobalBuffer,
+    /// Segment spine. Slot `s` is initialised exactly once, before
+    /// `capacity` is raised to cover it (release/acquire pairing on
+    /// `capacity` makes the segment visible to every reader that can
+    /// address it).
+    segs: Box<[OnceLock<Segment>]>,
+    committed_segs: AtomicUsize,
+    /// Entries per segment (power of two for chained tables; the full
+    /// capacity for single-segment ones).
+    seg_entries: usize,
+    seg_shift: u32,
+    /// Committed entry capacity (`committed_segs × seg_entries` when
+    /// chained; fixed when single).
+    capacity: AtomicUsize,
     cursor: AtomicUsize,
+    /// Single-segment fast path: direct indexing, arbitrary capacity.
+    single: bool,
+    /// Serialises [`PairTable::grow_to`] callers.
+    grow: Mutex<()>,
+    source: Option<ChainSource>,
 }
 
 impl PairTable {
-    /// Allocates a table of `capacity` entries from device memory (costs
-    /// `2 × capacity` words against the device budget).
+    fn from_segment(seg: Segment) -> Self {
+        let capacity = seg.pa.capacity();
+        assert_eq!(
+            capacity,
+            seg.ca.capacity(),
+            "PA and CA buffers must pair exactly"
+        );
+        let slot = OnceLock::new();
+        slot.set(seg).ok().expect("fresh OnceLock");
+        PairTable {
+            segs: Box::new([slot]),
+            committed_segs: AtomicUsize::new(1),
+            seg_entries: capacity,
+            seg_shift: 0,
+            capacity: AtomicUsize::new(capacity),
+            cursor: AtomicUsize::new(0),
+            single: true,
+            grow: Mutex::new(()),
+            source: None,
+        }
+    }
+
+    /// Allocates a single-segment table of `capacity` entries from device
+    /// memory (costs `2 × capacity` words against the device budget).
     pub fn on_device(device: &Device, capacity: usize) -> Result<Self, DeviceError> {
         let pa = device.alloc_buffer(capacity)?;
         let ca = match device.alloc_buffer(capacity) {
@@ -25,23 +122,21 @@ impl PairTable {
                 return Err(e);
             }
         };
-        Ok(PairTable {
-            pa,
-            ca,
-            cursor: AtomicUsize::new(0),
-        })
+        Ok(PairTable::from_segment(Segment {
+            pa: SegStore::Buffer(pa),
+            ca: SegStore::Buffer(ca),
+        }))
     }
 
     /// Unaccounted host-side table (tests).
     pub fn on_host(capacity: usize) -> Self {
-        PairTable {
-            pa: GlobalBuffer::new(capacity),
-            ca: GlobalBuffer::new(capacity),
-            cursor: AtomicUsize::new(0),
-        }
+        PairTable::from_segment(Segment {
+            pa: SegStore::Buffer(GlobalBuffer::new(capacity)),
+            ca: SegStore::Buffer(GlobalBuffer::new(capacity)),
+        })
     }
 
-    /// Builds a table over two existing (e.g. pooled) buffers of equal
+    /// Builds a single-segment table over two existing buffers of equal
     /// capacity. Both are cleared: a recycled buffer's stale contents must
     /// never masquerade as committed entries.
     pub fn from_buffers(pa: GlobalBuffer, ca: GlobalBuffer) -> Self {
@@ -52,23 +147,135 @@ impl PairTable {
         );
         pa.clear();
         ca.clear();
-        PairTable {
-            pa,
-            ca,
+        PairTable::from_segment(Segment {
+            pa: SegStore::Buffer(pa),
+            ca: SegStore::Buffer(ca),
+        })
+    }
+
+    /// Builds a chained table over slab class `class` of `arena`. Each
+    /// segment holds `slab_words` entries (one PA slab + one CA slab);
+    /// enough segments for `initial_entries` are acquired up front, and
+    /// [`PairTable::grow_to`] may append more until `limit_entries` is
+    /// covered. Capacities are therefore always a multiple of the slab
+    /// size — callers needing an exact entry budget enforce it at the
+    /// cursor, not the storage, layer.
+    pub fn chained_on_arena(
+        arena: &Arena,
+        class: usize,
+        initial_entries: usize,
+        limit_entries: usize,
+    ) -> Result<Self, DeviceError> {
+        let seg_entries = arena.spec(class).slab_words;
+        debug_assert!(seg_entries.is_power_of_two());
+        let limit = limit_entries.max(initial_entries).max(1);
+        let max_segs = limit.div_ceil(seg_entries);
+        let want_segs = initial_entries.div_ceil(seg_entries).max(1);
+        let segs: Box<[OnceLock<Segment>]> = (0..max_segs).map(|_| OnceLock::new()).collect();
+        let t = PairTable {
+            segs,
+            committed_segs: AtomicUsize::new(0),
+            seg_entries,
+            seg_shift: seg_entries.trailing_zeros(),
+            capacity: AtomicUsize::new(0),
             cursor: AtomicUsize::new(0),
+            single: false,
+            grow: Mutex::new(()),
+            source: Some(ChainSource {
+                arena: arena.clone(),
+                class,
+            }),
+        };
+        t.grow_to(want_segs * seg_entries)?;
+        Ok(t)
+    }
+
+    /// Appends segments until the capacity covers `target_entries`.
+    /// Returns the new capacity. Committed entries, sealed levels, and
+    /// concurrent readers are untouched: growth is a pure chain append.
+    ///
+    /// Fails with [`DeviceError::OutOfMemory`] when the arena class is
+    /// exhausted or the chain's spine (its `limit_entries`) is full; a
+    /// partial grow keeps every segment it managed to add.
+    pub fn grow_to(&self, target_entries: usize) -> Result<usize, DeviceError> {
+        let source = self
+            .source
+            .as_ref()
+            .expect("grow_to requires a chained table");
+        let _g = self.grow.lock().unwrap();
+        let mut committed = self.committed_segs.load(Ordering::Acquire);
+        let need = target_entries.div_ceil(self.seg_entries);
+        while committed < need {
+            if committed >= self.segs.len() {
+                return Err(DeviceError::OutOfMemory {
+                    requested: 2 * self.seg_entries,
+                    available: 0,
+                });
+            }
+            let pa = source.arena.acquire(source.class)?;
+            // A failed CA acquire drops `pa`, returning its slab bit.
+            let ca = source.arena.acquire(source.class)?;
+            self.segs[committed]
+                .set(Segment {
+                    pa: SegStore::Slab(pa),
+                    ca: SegStore::Slab(ca),
+                })
+                .ok()
+                .expect("segment slot initialised twice");
+            committed += 1;
+            self.committed_segs.store(committed, Ordering::Release);
+            self.capacity
+                .store(committed * self.seg_entries, Ordering::Release);
+        }
+        Ok(self.capacity.load(Ordering::Acquire))
+    }
+
+    /// Decomposes a single-segment table back into its `(PA, CA)` buffers
+    /// so they can be returned to a pool.
+    ///
+    /// # Panics
+    /// On chained tables — their storage belongs to the arena and is
+    /// released by dropping the table.
+    pub fn into_buffers(self) -> (GlobalBuffer, GlobalBuffer) {
+        assert!(self.single, "into_buffers requires a single-segment table");
+        let mut segs = self.segs.into_vec();
+        let seg = segs
+            .remove(0)
+            .into_inner()
+            .expect("single-segment table always has its segment");
+        match (seg.pa, seg.ca) {
+            (SegStore::Buffer(pa), SegStore::Buffer(ca)) => (pa, ca),
+            _ => unreachable!("single-segment tables are buffer-backed"),
         }
     }
 
-    /// Decomposes the table back into its `(PA, CA)` buffers so they can
-    /// be returned to a pool.
-    pub fn into_buffers(self) -> (GlobalBuffer, GlobalBuffer) {
-        (self.pa, self.ca)
+    /// True when the table grows by chaining arena slabs.
+    #[inline]
+    pub fn is_chained(&self) -> bool {
+        !self.single
     }
 
-    /// Entry capacity.
+    /// Entries per segment (the whole capacity for single-segment tables).
+    #[inline]
+    pub fn seg_entries(&self) -> usize {
+        self.seg_entries
+    }
+
+    /// Upper bound [`PairTable::grow_to`] can ever reach: the chain's
+    /// spine length (or the fixed capacity when single-segment).
+    #[inline]
+    pub fn max_entries(&self) -> usize {
+        if self.single {
+            self.capacity()
+        } else {
+            self.segs.len() * self.seg_entries
+        }
+    }
+
+    /// Entry capacity committed so far.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.pa.capacity()
+        self.capacity.load(Ordering::Acquire)
     }
 
     /// Committed entries.
@@ -84,32 +291,53 @@ impl PairTable {
     }
 
     /// Claims `n` entries with one atomic fetch-add; rolls back on
-    /// overflow so `len()` stays exact.
+    /// overflow so `len()` stays exact. The end-of-range check uses
+    /// `checked_add` so a pathological `n` near `usize::MAX` overflows
+    /// the claim instead of wrapping past the capacity comparison.
     pub fn reserve(&self, n: usize) -> Result<PairRange<'_>, DeviceError> {
+        let capacity = self.capacity();
         let start = self.cursor.fetch_add(n, Ordering::AcqRel);
-        if start + n > self.capacity() {
-            self.cursor.fetch_sub(n, Ordering::AcqRel);
-            return Err(DeviceError::BufferOverflow {
-                capacity: self.capacity(),
-            });
+        match start.checked_add(n) {
+            Some(end) if end <= capacity => Ok(PairRange {
+                table: self,
+                start,
+                len: n,
+            }),
+            _ => {
+                self.cursor.fetch_sub(n, Ordering::AcqRel);
+                Err(DeviceError::BufferOverflow { capacity })
+            }
         }
-        Ok(PairRange {
-            table: self,
-            start,
-            len: n,
-        })
+    }
+
+    /// Locates entry `i`: its segment and in-segment offset.
+    #[inline]
+    fn locate(&self, i: usize) -> (&Segment, usize) {
+        if self.single {
+            let seg = self.segs[0].get().expect("single segment present");
+            (seg, i)
+        } else {
+            let s = i >> self.seg_shift;
+            let off = i & (self.seg_entries - 1);
+            let seg = self.segs[s]
+                .get()
+                .expect("entry index beyond committed capacity");
+            (seg, off)
+        }
     }
 
     /// Parent index of entry `i`.
     #[inline]
     pub fn parent(&self, i: usize) -> u32 {
-        self.pa.get(i)
+        let (seg, off) = self.locate(i);
+        seg.pa.get(off)
     }
 
     /// Candidate id of entry `i`.
     #[inline]
     pub fn candidate(&self, i: usize) -> u32 {
-        self.ca.get(i)
+        let (seg, off) = self.locate(i);
+        seg.ca.get(off)
     }
 
     /// Shrinks the committed length (hybrid BFS-DFS reclaims chunk
@@ -120,7 +348,8 @@ impl PairTable {
         self.cursor.store(len, Ordering::Release);
     }
 
-    /// Drops all entries.
+    /// Drops all entries. Chained storage keeps its segments: clearing is
+    /// the between-queries reset, not a release.
     pub fn clear(&self) {
         self.cursor.store(0, Ordering::Release);
     }
@@ -131,6 +360,8 @@ impl std::fmt::Debug for PairTable {
         f.debug_struct("PairTable")
             .field("capacity", &self.capacity())
             .field("len", &self.len())
+            .field("chained", &self.is_chained())
+            .field("seg_entries", &self.seg_entries)
             .finish()
     }
 }
@@ -165,12 +396,12 @@ impl PairRange<'_> {
     #[inline]
     pub fn write(&self, offset: usize, parent: u32, candidate: u32) {
         assert!(offset < self.len, "write past pair reservation");
-        let idx = self.start + offset;
-        // SAFETY: `idx` lies in a range claimed by a unique fetch-add;
+        let (seg, off) = self.table.locate(self.start + offset);
+        // SAFETY: the entry lies in a range claimed by a unique fetch-add;
         // no other thread touches it until the kernel joins.
         unsafe {
-            self.table.pa.write_raw(idx, parent);
-            self.table.ca.write_raw(idx, candidate);
+            seg.pa.write_raw(off, parent);
+            seg.ca.write_raw(off, candidate);
         }
     }
 }
@@ -178,7 +409,11 @@ impl PairRange<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cuts_gpu_sim::DeviceConfig;
+    use cuts_gpu_sim::{ClassSpec, DeviceConfig};
+
+    fn chain_arena(device: &Device, slab_words: usize, slabs: usize) -> Arena {
+        Arena::new(device, &[ClassSpec { slab_words, slabs }]).unwrap()
+    }
 
     #[test]
     fn paired_appends() {
@@ -198,6 +433,20 @@ mod tests {
         assert!(t.reserve(2).is_err());
         assert_eq!(t.len(), 2);
         t.reserve(1).unwrap();
+    }
+
+    #[test]
+    fn reserve_near_usize_max_overflows_cleanly() {
+        let t = PairTable::on_host(8);
+        t.reserve(3).unwrap();
+        // start + n wraps usize; an unchecked comparison would conclude
+        // the claim fits and hand out entries past the capacity.
+        assert!(matches!(
+            t.reserve(usize::MAX - 1),
+            Err(DeviceError::BufferOverflow { capacity: 8 })
+        ));
+        assert_eq!(t.len(), 3, "failed claim rolled back");
+        t.reserve(5).unwrap(); // table still fully usable
     }
 
     #[test]
@@ -272,5 +521,134 @@ mod tests {
         assert_eq!(r.start(), 2);
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn chained_table_spans_segments_transparently() {
+        let d = Device::new(DeviceConfig::test_small());
+        let arena = chain_arena(&d, 8, 8);
+        // 20 entries over 8-entry segments -> 3 segments (24 capacity).
+        let t = PairTable::chained_on_arena(&arena, 0, 20, 32).unwrap();
+        assert!(t.is_chained());
+        assert_eq!(t.capacity(), 24);
+        assert_eq!(t.seg_entries(), 8);
+        assert_eq!(t.max_entries(), 32);
+        // One reservation straddling the segment boundary.
+        let r = t.reserve(12).unwrap();
+        for k in 0..12u32 {
+            r.write(k as usize, k, k + 1000);
+        }
+        for k in 0..12u32 {
+            assert_eq!(t.parent(k as usize), k);
+            assert_eq!(t.candidate(k as usize), k + 1000);
+        }
+    }
+
+    #[test]
+    fn grow_appends_without_disturbing_entries() {
+        let d = Device::new(DeviceConfig::test_small());
+        let arena = chain_arena(&d, 8, 10);
+        let t = PairTable::chained_on_arena(&arena, 0, 8, 40).unwrap();
+        assert_eq!(t.capacity(), 8);
+        let r = t.reserve(8).unwrap();
+        for k in 0..8u32 {
+            r.write(k as usize, k, k * 2);
+        }
+        assert!(t.reserve(1).is_err(), "chain full before growth");
+        let allocs_before = d.alloc_calls();
+
+        assert_eq!(t.grow_to(20).unwrap(), 24);
+        assert_eq!(d.alloc_calls(), allocs_before, "growth is allocator-free");
+        // Old entries intact, new space usable.
+        for k in 0..8u32 {
+            assert_eq!((t.parent(k as usize), t.candidate(k as usize)), (k, k * 2));
+        }
+        let r = t.reserve(10).unwrap();
+        assert_eq!(r.start(), 8);
+        r.write(9, 77, 78);
+        assert_eq!((t.parent(17), t.candidate(17)), (77, 78));
+        // Growing to an already-covered target is a no-op.
+        assert_eq!(t.grow_to(10).unwrap(), 24);
+    }
+
+    #[test]
+    fn grow_stops_at_spine_and_class_exhaustion() {
+        let d = Device::new(DeviceConfig::test_small());
+        // Spine limit: plenty of slabs, short spine.
+        let arena = chain_arena(&d, 8, 10);
+        let t = PairTable::chained_on_arena(&arena, 0, 8, 16).unwrap();
+        t.grow_to(16).unwrap();
+        assert!(matches!(
+            t.grow_to(17),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
+        assert_eq!(t.capacity(), 16, "failed grow keeps committed segments");
+
+        // Class exhaustion: spine would allow more, slabs run out.
+        let small = chain_arena(&d, 8, 3);
+        let t2 = PairTable::chained_on_arena(&small, 0, 8, 80).unwrap();
+        assert!(matches!(
+            t2.grow_to(24),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
+        // The partial grow committed what it could (one more segment
+        // needs 2 slabs; only 1 remained).
+        assert_eq!(t2.capacity(), 8);
+    }
+
+    #[test]
+    fn dropping_chained_table_returns_slabs() {
+        let d = Device::new(DeviceConfig::test_small());
+        let arena = chain_arena(&d, 16, 6);
+        let t = PairTable::chained_on_arena(&arena, 0, 48, 48).unwrap();
+        assert_eq!(arena.free_slabs(0), 0);
+        drop(t);
+        assert_eq!(arena.free_slabs(0), 6, "all slab pairs released");
+        // The arena's carve is still the only device allocation.
+        assert_eq!(d.alloc_calls(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_chain_segments() {
+        let d = Device::new(DeviceConfig::test_small());
+        let arena = chain_arena(&d, 8, 6);
+        let t = PairTable::chained_on_arena(&arena, 0, 8, 24).unwrap();
+        t.grow_to(24).unwrap();
+        t.clear();
+        assert_eq!(t.capacity(), 24, "reset keeps grown capacity");
+        assert_eq!(arena.free_slabs(0), 0, "segments stay acquired");
+        let r = t.reserve(24).unwrap();
+        r.write(23, 5, 6);
+        assert_eq!((t.parent(23), t.candidate(23)), (5, 6));
+    }
+
+    #[test]
+    fn concurrent_pairs_stay_paired_across_chain() {
+        let d = Device::new(DeviceConfig::test_small());
+        let arena = chain_arena(&d, 64, 16);
+        // 8 segments of 64 entries = 512; threads write 500.
+        let t = PairTable::chained_on_arena(&arena, 0, 512, 512).unwrap();
+        std::thread::scope(|s| {
+            for tid in 0..5u32 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..20u32 {
+                        let r = t.reserve(5).unwrap();
+                        for k in 0..5u32 {
+                            let tag = tid * 1_000_000 + i * 100 + k;
+                            r.write(k as usize, tag, tag.wrapping_add(7));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 500);
+        for i in 0..t.len() {
+            assert_eq!(
+                t.candidate(i),
+                t.parent(i).wrapping_add(7),
+                "torn pair at {i}"
+            );
+        }
     }
 }

@@ -143,7 +143,9 @@ impl Trie {
         }
     }
 
-    /// Wraps an existing (e.g. pool-recycled) pair table as an empty trie.
+    /// Wraps an existing (e.g. arena-chained or recycled) pair table as an
+    /// empty trie. Chained tables keep their grown segments across the
+    /// round-trip; only entries and level boundaries are discarded.
     pub fn from_table(table: PairTable) -> Self {
         table.clear();
         Trie {
@@ -152,14 +154,14 @@ impl Trie {
         }
     }
 
-    /// Decomposes the trie back into its pair table (for return to a
-    /// buffer pool). Sealed level boundaries are discarded.
+    /// Decomposes the trie back into its pair table (for reuse by the
+    /// next query). Sealed level boundaries are discarded.
     pub fn into_table(self) -> PairTable {
         self.table
     }
 
     /// Drops all levels and entries, leaving the allocated storage in
-    /// place — the between-queries reset of a pooled trie.
+    /// place — the between-queries reset of a long-lived trie.
     pub fn reset(&mut self) {
         self.levels.clear();
         self.table.clear();
@@ -179,6 +181,19 @@ impl Trie {
     #[inline]
     pub fn table(&self) -> &PairTable {
         &self.table
+    }
+
+    /// Entry capacity currently committed by the underlying table.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Grows chained (arena-backed) storage in place until the capacity
+    /// covers `target` entries; committed entries and sealed levels are
+    /// untouched. See [`PairTable::grow_to`].
+    pub fn grow_to(&self, target: usize) -> Result<usize, DeviceError> {
+        self.table.grow_to(target)
     }
 
     /// Number of sealed levels.
@@ -669,6 +684,50 @@ mod tests {
         assert_eq!(t2.num_levels(), 0);
         assert!(t2.table().is_empty());
         assert_eq!(t2.table().capacity(), 64);
+    }
+
+    #[test]
+    fn chained_storage_roundtrips_through_trie() {
+        use cuts_gpu_sim::{Arena, ClassSpec, DeviceConfig};
+        let d = Device::new(DeviceConfig::test_small());
+        let arena = Arena::new(
+            &d,
+            &[ClassSpec {
+                slab_words: 8,
+                slabs: 8,
+            }],
+        )
+        .unwrap();
+        let table = crate::table::PairTable::chained_on_arena(&arena, 0, 8, 32).unwrap();
+        let mut t = Trie::from_table(table);
+        {
+            let r = t.table().reserve(2).unwrap();
+            r.write(0, NO_PARENT, 0);
+            r.write(1, NO_PARENT, 1);
+        }
+        t.seal_level();
+        // Grow mid-build: sealed level and entries survive the append.
+        assert_eq!(t.capacity(), 8);
+        t.grow_to(24).unwrap();
+        assert_eq!(t.capacity(), 24);
+        {
+            let r = t.table().reserve(16).unwrap();
+            for k in 0..16u32 {
+                r.write(k as usize, k % 2, 10 + k);
+            }
+        }
+        t.seal_level();
+        assert_eq!(t.extract_path(17), vec![1, 25]);
+
+        // into_table / from_table keep the grown chain (capacity and
+        // segments), discarding only entries and level boundaries.
+        let table = t.into_table();
+        assert_eq!(table.len(), 18);
+        let t2 = Trie::from_table(table);
+        assert!(t2.table().is_empty());
+        assert_eq!(t2.num_levels(), 0);
+        assert_eq!(t2.capacity(), 24, "grown chain survives the round-trip");
+        assert!(t2.table().is_chained());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! let session = ExecSession::new(&device, EngineConfig::default());
 //! let result = session.run(&data, &query).unwrap();
 //! assert!(result.num_matches > 0);
-//! // Warm runs reuse the cached plan and the pooled trie buffers.
+//! // Warm runs reuse the cached plan and the arena-chained trie slabs.
 //! session.run(&data, &query).unwrap();
 //! assert_eq!(session.stats().plans.hits, 1);
 //! ```

@@ -319,6 +319,108 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Arena slab chains (`cuts_trie::table`): a trie stored as a chain of
+// arena slabs must be observationally identical to one stored in a flat
+// buffer — same paths out for the same paths in, regardless of slab
+// size, growth schedule, or `into_table`/`from_table` recycling.
+// ---------------------------------------------------------------------------
+
+use cuts::gpu::{Arena, ClassSpec};
+use cuts::trie::Trie;
+
+/// Builds a chained trie from `host` level by level, growing the chain
+/// only when a reservation overflows — the session's growth discipline.
+fn load_growing(t: &mut Trie, host: &HostTrie) {
+    for level in &host.levels {
+        loop {
+            match t.table().reserve(level.len()) {
+                Ok(r) => {
+                    for (k, i) in level.clone().enumerate() {
+                        r.write(k, host.pa[i], host.ca[i]);
+                    }
+                    break;
+                }
+                Err(_) => {
+                    let need = t.table().len() + level.len();
+                    let target = (t.capacity() * 2).max(need).min(t.table().max_entries());
+                    assert!(target > t.capacity(), "limit must cover the host trie");
+                    t.grow_to(target).expect("chain growth within the limit");
+                }
+            }
+        }
+        t.seal_level();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chained_trie_equals_flat_trie(
+        paths in arb_paths(4, 30),
+        slab_pow in 3u32..7,
+    ) {
+        let host = HostTrie::from_flat_paths(&paths);
+        let total = host.pa.len().max(1);
+
+        let mut flat = Trie::on_host(total);
+        flat.load(&host).expect("flat capacity covers the host trie");
+
+        let device = Device::new(DeviceConfig::test_small());
+        let arena = Arena::new(
+            &device,
+            &[ClassSpec { slab_words: 1 << slab_pow, slabs: 64 }],
+        )
+        .expect("carve fits test_small");
+        let table = cuts::trie::PairTable::chained_on_arena(&arena, 0, total, total)
+            .expect("chain fits the class");
+        let mut chained = Trie::from_table(table);
+        chained.load(&host).expect("chain capacity covers the host trie");
+
+        prop_assert!(chained.table().is_chained());
+        prop_assert_eq!(chained.to_host(), flat.to_host());
+        prop_assert_eq!(chained.to_host(), host);
+    }
+
+    #[test]
+    fn grown_chain_equals_flat_trie(
+        paths in arb_paths(5, 24),
+        slab_pow in 3u32..6,
+    ) {
+        // Start the chain at a single slab and let reservation overflows
+        // drive growth; committed entries and sealed levels must survive
+        // every append.
+        let host = HostTrie::from_flat_paths(&paths);
+        let total = host.pa.len().max(1);
+
+        let device = Device::new(DeviceConfig::test_small());
+        let arena = Arena::new(
+            &device,
+            &[ClassSpec { slab_words: 1 << slab_pow, slabs: 64 }],
+        )
+        .expect("carve fits test_small");
+        let table = cuts::trie::PairTable::chained_on_arena(&arena, 0, 1, total)
+            .expect("chain fits the class");
+        let mut chained = Trie::from_table(table);
+        load_growing(&mut chained, &host);
+        prop_assert_eq!(chained.to_host(), host.clone());
+
+        // Slab acquire/release is the only storage traffic: exactly one
+        // device allocation (the carve) regardless of how often we grew.
+        prop_assert_eq!(arena.stats().device_allocs, 1);
+
+        // Recycling the grown chain keeps its capacity and produces the
+        // same trie again from a clean cursor.
+        let cap = chained.capacity();
+        let mut recycled = Trie::from_table(chained.into_table());
+        prop_assert_eq!(recycled.capacity(), cap);
+        prop_assert!(recycled.table().is_empty());
+        recycled.load(&host).expect("recycled chain retains capacity");
+        prop_assert_eq!(recycled.to_host(), host);
+    }
+}
+
 #[test]
 fn truncated_trie_is_wire_error() {
     let t = HostTrie::from_flat_paths(&[vec![1, 2, 3], vec![1, 2, 4]]);

@@ -1,7 +1,7 @@
 //! Plan/session equivalence suite: the QueryPlan / ExecSession split is
 //! a pure restructuring of the execution pipeline, so every reuse path —
-//! plan-cache hits, warm sessions over pooled buffers, batched runs, and
-//! fault-recovery replays in the distributed runtime — must produce
+//! plan-cache hits, warm sessions over arena slab chains, batched runs,
+//! and fault-recovery replays in the distributed runtime — must produce
 //! results bit-identical to a fresh one-shot engine, and warm runs must
 //! perform **zero** new device allocations.
 
@@ -65,7 +65,7 @@ fn warm_runs_perform_zero_new_device_allocations() {
         assert_eq!(
             device.alloc_calls(),
             cold_allocs,
-            "{name}: warm runs must be served entirely from the pool"
+            "{name}: warm runs must be served entirely from the arena carve"
         );
     }
 }
