@@ -19,7 +19,12 @@ USAGE:
   cuts serve   --jobs <manifest> [--devices <n>] [--lanes <k>]
                [--queue <n>] [--aging <ms>] [--pacing <f>]
                [--device v100|a100|test] [--output text|json]
-               [--snapshot <path>]
+               [--snapshot <path>] [--stats-every <jobs>]
+               [--stats-out <path>] [--metrics-out <path>]
+  cuts top     <metrics.jsonl> — renders the rolling snapshots a serve
+               run wrote via --stats-every/--stats-out as a table
+  cuts flight  <dump.json> — validates and summarises a flight-recorder
+               post-mortem dump
   cuts snapshot build (<edgelist> | --dataset <name> [--scale <s>])
                --out <path> [--queries <spec,spec,...>] [--directed]
                [--device v100|a100|test] [--store-tries]
@@ -59,6 +64,16 @@ SERVING:       --jobs is a manifest: one `<data> <query> [key=val...]` job
                p50/p99 latency; --queue bounds admission, --aging tunes
                anti-starvation, --pacing stretches simulated time onto
                the host clock
+MONITORING:    serving telemetry is always on: serve prints a per-class
+               SLO table (queue/exec p50/p95/p99, deadline hit/miss) and
+               --metrics-out writes the merged Prometheus exposition
+               (job + kernel registries). --stats-every N emits a rolling
+               JSON snapshot every N finished jobs — to stdout, or as
+               JSON lines to --stats-out for `cuts top`. On a failed job,
+               a dead rank, or any error escaping serve, the flight
+               recorder dumps its last events to a post-mortem file
+               (directory $CUTS_FLIGHT_DIR, default temp); inspect it
+               with `cuts flight`
 SNAPSHOTS:     `snapshot build` profiles a data graph, plans each --queries
                spec, and writes a versioned, checksummed container;
                --store-tries additionally runs each query and persists its
@@ -141,6 +156,14 @@ pub struct ServeOpts {
     /// Warm-start container: every job's data graph is replaced by the
     /// snapshot's graph and persisted plans seed each worker session.
     pub snapshot: Option<String>,
+    /// Emit a rolling stats snapshot every N finished jobs (0 = off).
+    pub stats_every: u64,
+    /// Where rolling snapshots go, one JSON line each (stdout when
+    /// unset). Feed the file to `cuts top`.
+    pub stats_out: Option<String>,
+    /// Write the merged Prometheus exposition (job SLO + kernel
+    /// registries) here after the run.
+    pub metrics_out: Option<String>,
 }
 
 /// Parsed `snapshot build` options.
@@ -176,6 +199,14 @@ pub enum Command {
     SnapshotBuild(SnapshotBuildOpts),
     /// Verify a container's checksums and describe its sections.
     SnapshotInspect {
+        path: String,
+    },
+    /// Render a serve run's rolling snapshots (JSON lines) as a table.
+    Top {
+        path: String,
+    },
+    /// Validate and summarise a flight-recorder post-mortem dump.
+    Flight {
         path: String,
     },
     Queries {
@@ -248,6 +279,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 device: "v100".into(),
                 output: "text".into(),
                 snapshot: None,
+                stats_every: 0,
+                stats_out: None,
+                metrics_out: None,
             };
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -283,6 +317,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--snapshot" => {
                         opts.snapshot = Some(take_value("--snapshot", &mut it)?.to_string())
                     }
+                    "--stats-every" => {
+                        opts.stats_every = take_value("--stats-every", &mut it)?
+                            .parse()
+                            .map_err(|_| "--stats-every: bad number of jobs")?
+                    }
+                    "--stats-out" => {
+                        opts.stats_out = Some(take_value("--stats-out", &mut it)?.to_string())
+                    }
+                    "--metrics-out" => {
+                        opts.metrics_out = Some(take_value("--metrics-out", &mut it)?.to_string())
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -295,7 +340,27 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if !matches!(opts.output.as_str(), "text" | "json") {
                 return Err("--output must be text or json".into());
             }
+            if opts.stats_out.is_some() && opts.stats_every == 0 {
+                return Err("--stats-out requires --stats-every > 0".into());
+            }
             Ok(Command::Serve(opts))
+        }
+        "top" | "flight" => {
+            let mut path: Option<String> = None;
+            for a in rest {
+                if a.starts_with("--") || path.is_some() {
+                    return Err(format!("{sub} takes one path, got {a}"));
+                }
+                path = Some(a.clone());
+            }
+            let Some(path) = path else {
+                return Err(format!("{sub} requires a path"));
+            };
+            Ok(if sub == "top" {
+                Command::Top { path }
+            } else {
+                Command::Flight { path }
+            })
         }
         "snapshot" => {
             let Some((verb, rest)) = rest.split_first() else {
@@ -793,6 +858,53 @@ mod tests {
         ] {
             assert!(parse(&argv(bad)).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn parses_serve_stats_flags() {
+        let c = parse(&argv(
+            "serve --jobs j --stats-every 10 --stats-out s.jsonl --metrics-out m.prom",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve(o) => {
+                assert_eq!(o.stats_every, 10);
+                assert_eq!(o.stats_out.as_deref(), Some("s.jsonl"));
+                assert_eq!(o.metrics_out.as_deref(), Some("m.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: telemetry is always on, rolling emission off.
+        match parse(&argv("serve --jobs j")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.stats_every, 0);
+                assert_eq!(o.stats_out, None);
+                assert_eq!(o.metrics_out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A snapshot file with no emission cadence would stay empty.
+        assert!(parse(&argv("serve --jobs j --stats-out s.jsonl")).is_err());
+        assert!(parse(&argv("serve --jobs j --stats-every x")).is_err());
+    }
+
+    #[test]
+    fn parses_top_and_flight() {
+        assert_eq!(
+            parse(&argv("top metrics.jsonl")).unwrap(),
+            Command::Top {
+                path: "metrics.jsonl".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("flight dump.json")).unwrap(),
+            Command::Flight {
+                path: "dump.json".into()
+            }
+        );
+        assert!(parse(&argv("top")).is_err());
+        assert!(parse(&argv("flight a.json b.json")).is_err());
+        assert!(parse(&argv("top --flag p")).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use cuts_graph::generators::{chain, clique, cycle, star};
 use cuts_graph::labels::{degree_band_labels, random_labels, zipf_labels};
 use cuts_graph::stats::{degree_histogram, stats};
 use cuts_graph::{edgelist, query_set, Dataset, Graph, Scale};
+use cuts_obs::flight::{self, FlightCode};
 use cuts_obs::{
     chrome_trace, jsonl, Arg, Event, EventKind, Json, MetricsSnapshot, ToJson, Trace, TraceConfig,
 };
@@ -60,9 +61,22 @@ pub fn run(cmd: Command) -> Result<(), CmdError> {
         }
         Command::Match(opts) => run_match(&opts, false),
         Command::Profile(opts) => run_match(&opts, true),
-        Command::Serve(opts) => run_serve(&opts),
+        Command::Serve(opts) => match run_serve(&opts) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Any error escaping serve is a serving incident: freeze
+                // the recorder's last events for post-mortem analysis.
+                flight::record(FlightCode::ServeErr, 0, 0);
+                if let Some(p) = flight::postmortem("serve_error") {
+                    eprintln!("flight recorder: post-mortem written to {}", p.display());
+                }
+                Err(e)
+            }
+        },
         Command::SnapshotBuild(opts) => run_snapshot_build(&opts),
         Command::SnapshotInspect { path } => run_snapshot_inspect(&path),
+        Command::Top { path } => run_top(&path),
+        Command::Flight { path } => run_flight(&path),
     }
 }
 
@@ -194,6 +208,7 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
     let trace = if profile || opts.trace_out.is_some() || opts.metrics_out.is_some() {
         Trace::with_config(TraceConfig {
             per_block: opts.trace_per_block,
+            ..Default::default()
         })
     } else {
         Trace::disabled()
@@ -337,6 +352,7 @@ fn run_match_warm(path: &str, opts: &MatchOpts, profile: bool) -> Result<(), Cmd
     let trace = if profile || opts.trace_out.is_some() || opts.metrics_out.is_some() {
         Trace::with_config(TraceConfig {
             per_block: opts.trace_per_block,
+            ..Default::default()
         })
     } else {
         Trace::disabled()
@@ -475,7 +491,7 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
     // Job lifecycle events (submit/admit/defer/steal/complete) feed the
     // queue-vs-execution breakdown at the end of the run.
     let trace = Trace::enabled();
-    let scheduler = Scheduler::builder()
+    let mut builder = Scheduler::builder()
         .device_config(device_config(&opts.device)?)
         .devices(opts.devices)
         .lanes(opts.lanes)
@@ -484,7 +500,20 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
         .pacing(opts.pacing)
         .warm_plans(warm_plans)
         .trace(trace.clone())
-        .build()?;
+        .stats_every(opts.stats_every);
+    if let Some(path) = &opts.stats_out {
+        let file = std::fs::File::create(path).map_err(|e| CutsError::io(path, e))?;
+        let file = std::sync::Mutex::new(file);
+        builder = builder.stats_sink(move |line| {
+            use std::io::Write;
+            if let Ok(mut f) = file.lock() {
+                let _ = writeln!(f, "{line}");
+            }
+        });
+    } else if opts.stats_every > 0 {
+        builder = builder.stats_sink(|line| println!("stats: {line}"));
+    }
+    let scheduler = builder.build()?;
     println!(
         "serve: {} job(s) from {} on {} device(s) x {} lane(s)",
         jobs.len(),
@@ -573,6 +602,10 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
             "plans:     {} built, {} cache hit(s)",
             s.plan_misses, s.plan_hits
         );
+        print!("{}", slo_table(&report.slo));
+        if let Some(p) = &report.postmortem {
+            println!("postmortem: {p}  (inspect with `cuts flight`)");
+        }
         if mismatched > 0 {
             println!("WARNING: {mismatched} job(s) differ from the serial baseline");
         } else {
@@ -585,11 +618,140 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
             print_profile(&journal.snapshot_sorted());
         }
     }
+    // One exposition from both registries: per-run job SLO metrics and
+    // the scheduler-lifetime kernel wall-time histograms.
+    if let Some(path) = &opts.metrics_out {
+        let mut snap = report.telemetry.snapshot();
+        snap.extend(&scheduler.kernel_telemetry().snapshot());
+        std::fs::write(path, snap.render()).map_err(|e| CutsError::io(path, e))?;
+        println!("metrics: written to {path}");
+    }
     if mismatched > 0 {
         return Err(invalid(
             "scheduler/serial divergence (jobs differing)",
             mismatched.to_string(),
         ));
+    }
+    Ok(())
+}
+
+/// The per-class SLO block of the serve report: one line per job class
+/// with completion counts, queue/exec tail quantiles, and deadline
+/// accounting. Empty (no header) when telemetry was off or no job ran.
+fn slo_table(slo: &cuts_core::SloReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if slo.classes.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "slo:       {:<12} {:>5} {:>5}  {:>21}  {:>21}  {:>9}",
+        "class", "ok", "fail", "queue p50/p95/p99 us", "exec p50/p95/p99 us", "ddl hit/miss"
+    );
+    for c in &slo.classes {
+        let _ = writeln!(
+            out,
+            "           {:<12} {:>5} {:>5}  {:>21}  {:>21}  {:>6}/{}",
+            c.class,
+            c.completed,
+            c.failed,
+            format!("{}/{}/{}", c.queue_us[0], c.queue_us[1], c.queue_us[2]),
+            format!("{}/{}/{}", c.exec_us[0], c.exec_us[1], c.exec_us[2]),
+            c.deadline_hits,
+            c.deadline_misses
+        );
+    }
+    out
+}
+
+/// `cuts top`: renders the rolling snapshots a serve run wrote (one
+/// JSON object per line, `--stats-every`/`--stats-out`) as a table.
+fn run_top(path: &str) -> Result<(), CmdError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CutsError::io(path, e))?;
+    let mut rows = 0usize;
+    println!(
+        "{:>8} {:>10} {:>6} {:>7} {:>7}  per-class ok/fail, queue/exec p99 us",
+        "finished", "wall ms", "defer", "denied", "steals"
+    );
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let j = Json::parse(line).map_err(|e| {
+            invalid(
+                "stats line (expected --stats-out JSON lines)",
+                format!("{path}:{}: {}", i + 1, e.message()),
+            )
+        })?;
+        let u = |key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let wall = j.get("wall_millis").and_then(Json::as_f64).unwrap_or(0.0);
+        let mut classes = String::new();
+        if let Some(arr) = j
+            .get("slo")
+            .and_then(|s| s.get("classes"))
+            .and_then(Json::as_arr)
+        {
+            for c in arr {
+                let g = |key: &str| c.get(key).and_then(Json::as_u64).unwrap_or(0);
+                let name = c.get("class").and_then(Json::as_str).unwrap_or("?");
+                classes.push_str(&format!(
+                    "  {name} {}/{} q{} e{}",
+                    g("completed"),
+                    g("failed"),
+                    g("queue_p99_us"),
+                    g("exec_p99_us")
+                ));
+            }
+        }
+        println!(
+            "{:>8} {:>10.3} {:>6} {:>7} {:>7}{classes}",
+            u("finished"),
+            wall,
+            u("deferrals"),
+            u("growth_denials"),
+            u("steals")
+        );
+        rows += 1;
+    }
+    if rows == 0 {
+        println!("no snapshots recorded (run serve with --stats-every <n> --stats-out {path})");
+    }
+    Ok(())
+}
+
+/// `cuts flight`: validate a post-mortem dump and summarise what the
+/// recorder saw — an event census plus the tail of the timeline.
+fn run_flight(path: &str) -> Result<(), CmdError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CutsError::io(path, e))?;
+    let (reason, mut events) = flight::parse_dump(&text)
+        .map_err(|e| invalid("flight dump", format!("{path}: {}", e.message())))?;
+    events.sort_by_key(|e| e.seq);
+    println!("flight dump: {path}");
+    println!("  reason:  {reason}");
+    println!("  events:  {}", events.len());
+    let mut census: std::collections::BTreeMap<&str, u64> = Default::default();
+    for e in &events {
+        *census.entry(e.code.as_str()).or_default() += 1;
+    }
+    println!("  by code:");
+    for (code, n) in &census {
+        println!("    {code:<16} {n:>6}");
+    }
+    const TAIL: usize = 16;
+    println!("  last {} event(s):", events.len().min(TAIL));
+    for e in events.iter().rev().take(TAIL).rev() {
+        let rank = e.rank.map_or("-".to_string(), |r| r.to_string());
+        println!(
+            "    seq {:>6}  +{:>10} us  rank {rank:>2} lane {:>3}  {:<14} a={} b={}",
+            e.seq,
+            e.ts_us,
+            e.lane,
+            e.code.as_str(),
+            e.a,
+            e.b
+        );
     }
     Ok(())
 }
@@ -744,10 +906,26 @@ fn metrics_snapshot(events: &[Event], matches: u64) -> MetricsSnapshot {
     snap
 }
 
-/// The `cuts profile` report: per-kernel and per-level aggregates plus an
-/// event census, from one journal drain.
+/// Prints the [`profile_report`] for a drained journal.
 fn print_profile(events: &[Event]) {
+    print!("{}", profile_report(events));
+}
+
+/// The `cuts profile` report: per-kernel and per-level aggregates plus an
+/// event census, from one journal drain. An empty journal renders a
+/// clean one-line report instead of a skeleton of empty sections.
+fn profile_report(events: &[Event]) -> String {
     use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if events.is_empty() {
+        let _ = writeln!(out, "profile: no events recorded");
+        let _ = writeln!(
+            out,
+            "  (the run emitted no journal events; nothing to aggregate)"
+        );
+        return out;
+    }
     // kernel name -> (launches, micros, instructions, dram reads)
     let mut kernels: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
     // level name -> (steps, micros, paths)
@@ -822,21 +1000,24 @@ fn print_profile(events: &[Event]) {
             _ => {}
         }
     }
-    println!(
+    let _ = writeln!(
+        out,
         "profile: {} event(s), {} rank(s)",
         events.len(),
         ranks.len()
     );
-    println!("  per kernel:");
+    let _ = writeln!(out, "  per kernel:");
     for (name, (launches, micros, instructions, dram_reads)) in &kernels {
-        println!(
+        let _ = writeln!(
+            out,
             "    {name:<16} {launches:>6} launch(es) {:>9.3} ms  {instructions:>10} instr  {dram_reads:>10} dram reads",
             *micros as f64 / 1e3
         );
     }
-    println!("  per level:");
+    let _ = writeln!(out, "  per level:");
     for (name, (steps, micros, paths)) in &levels {
-        println!(
+        let _ = writeln!(
+            out,
             "    {name:<16} {steps:>6} step(s)    {:>9.3} ms  {paths:>10} paths",
             *micros as f64 / 1e3
         );
@@ -845,19 +1026,21 @@ fn print_profile(events: &[Event]) {
         // Guarded: a warm-started session can report hits with zero
         // builds, and a snapshot-seeded run can even skip lookups
         // entirely — never divide by the build count.
-        println!(
+        let _ = writeln!(
+            out,
             "  plans:   {plan_builds} built, {plan_hits} cache hit(s) ({} reused)",
             reuse_pct(plan_hits, plan_builds)
         );
     }
     if !job_counts.is_empty() {
-        println!("  scheduler jobs:");
+        let _ = writeln!(out, "  scheduler jobs:");
         for (name, n) in &job_counts {
-            println!("    {name:<16} {n:>6}");
+            let _ = writeln!(out, "    {name:<16} {n:>6}");
         }
         let completed = *job_counts.get("complete").unwrap_or(&0);
         if completed > 0 {
-            println!(
+            let _ = writeln!(
+            out,
                 "    queue vs exec:   {:.3} ms queued, {:.3} ms executing (mean {:.3} / {:.3} ms per job)",
                 queue_ms,
                 exec_ms,
@@ -867,23 +1050,28 @@ fn print_profile(events: &[Event]) {
         }
     }
     if !arena_counts.is_empty() {
-        println!("  arena slabs:");
+        let _ = writeln!(out, "  arena slabs:");
         for (name, n) in &arena_counts {
-            println!("    {name:<16} {n:>6}");
+            let _ = writeln!(out, "    {name:<16} {n:>6}");
         }
         if arena_high_water > 0 {
-            println!("    high water:      {arena_high_water:>6} slab(s) held at once");
+            let _ = writeln!(
+                out,
+                "    high water:      {arena_high_water:>6} slab(s) held at once"
+            );
         }
     }
     if !policy.is_empty() || prefilter_on + prefilter_off > 0 {
-        println!("  kernel policy:");
+        let _ = writeln!(out, "  kernel policy:");
         for (pos, (method, chi, est, times)) in &policy {
-            println!(
+            let _ = writeln!(
+            out,
                 "    level {pos:<2} chi={chi:<2} -> {method:<9} (est first {est}, decided {times}x)"
             );
         }
         if prefilter_on + prefilter_off > 0 {
-            println!(
+            let _ = writeln!(
+                out,
                 "    signature prefilter: {} (on {prefilter_on}x / off {prefilter_off}x)",
                 if prefilter_on > 0 {
                     "active"
@@ -893,10 +1081,11 @@ fn print_profile(events: &[Event]) {
             );
         }
     }
-    println!("  events by kind:");
+    let _ = writeln!(out, "  events by kind:");
     for (kind, n) in &census {
-        println!("    {kind:<16} {n:>6}");
+        let _ = writeln!(out, "    {kind:<16} {n:>6}");
     }
+    out
 }
 
 fn report(
@@ -1060,11 +1249,136 @@ mod tests {
             device: "test".into(),
             output: "json".into(),
             snapshot: None,
+            stats_every: 0,
+            stats_out: None,
+            metrics_out: None,
         };
         run_serve(&opts).unwrap();
         // A manifest with no jobs is a typed error, not a panic.
         std::fs::write(&manifest, "# comments only\n").unwrap();
         assert!(matches!(run_serve(&opts), Err(CutsError::Invalid { .. })));
+    }
+
+    #[test]
+    fn serve_telemetry_artifacts_end_to_end() {
+        let dir = std::env::temp_dir().join("cuts_cli_serve_telemetry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Post-mortems land here instead of the shared temp dir so the
+        // test can enumerate exactly what this run produced.
+        std::env::set_var("CUTS_FLIGHT_DIR", &dir);
+        let manifest = dir.join("jobs.txt");
+        // The er:6:3:1 query is disconnected (6 vertices, 3 edges), so
+        // both the serial baseline and the scheduled run fail that job —
+        // which must trip the flight recorder's post-mortem dump.
+        std::fs::write(
+            &manifest,
+            "mesh:4x4 clique:3 repeat=4 class=gold\nmesh:4x4 chain:3 class=steel\nmesh:3x3 er:6:3:1 name=bad\n",
+        )
+        .unwrap();
+        let stats_path = dir.join("stats.jsonl");
+        let metrics_path = dir.join("metrics.prom");
+        run_serve(&ServeOpts {
+            jobs: manifest.to_string_lossy().into_owned(),
+            devices: 1,
+            lanes: 2,
+            queue: 16,
+            aging_ms: 5,
+            pacing: 0.0,
+            device: "test".into(),
+            output: "text".into(),
+            snapshot: None,
+            stats_every: 2,
+            stats_out: Some(stats_path.to_string_lossy().into_owned()),
+            metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        std::env::remove_var("CUTS_FLIGHT_DIR");
+        // Rolling snapshots: JSON lines that `cuts top` renders.
+        let stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert!(!stats.trim().is_empty(), "rolling snapshots written");
+        for line in stats.lines() {
+            let j = Json::parse(line).unwrap();
+            assert!(j.get("finished").is_some());
+            assert!(j.get("slo").is_some());
+        }
+        run_top(&stats_path.to_string_lossy()).unwrap();
+        // Merged exposition: job SLO histograms and kernel wall-time
+        // histograms in one scrape, parseable by a real scraper.
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        cuts_obs::validate_exposition(&prom).unwrap();
+        assert!(prom.contains("cuts_job_queue_us"));
+        assert!(prom.contains("cuts_job_exec_us"));
+        assert!(prom.contains("cuts_kernel_wall_us"));
+        assert!(prom.contains("class=\"gold\""));
+        // The failed job produced a parseable post-mortem dump.
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("cuts-postmortem-"))
+            })
+            .collect();
+        assert!(!dumps.is_empty(), "job failure wrote a post-mortem dump");
+        let text = std::fs::read_to_string(&dumps[0]).unwrap();
+        let (reason, events) = flight::parse_dump(&text).unwrap();
+        assert_eq!(reason, "job_failure");
+        assert!(events.iter().any(|e| e.code == FlightCode::JobFail));
+        run_flight(&dumps[0].to_string_lossy()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_rejects_garbage_and_flight_rejects_non_dumps() {
+        let dir = std::env::temp_dir().join("cuts_cli_top_flight_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(matches!(
+            run_top(&bad.to_string_lossy()),
+            Err(CutsError::Invalid { .. })
+        ));
+        assert!(matches!(
+            run_flight(&bad.to_string_lossy()),
+            Err(CutsError::Invalid { .. })
+        ));
+        // An empty snapshot file renders the hint, not an error.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        run_top(&empty.to_string_lossy()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_report_handles_empty_trace() {
+        let report = profile_report(&[]);
+        assert!(report.contains("no events recorded"));
+        // No skeleton sections on an empty journal.
+        assert!(!report.contains("per kernel"));
+        assert!(!report.contains("events by kind"));
+    }
+
+    #[test]
+    fn slo_table_renders_classes() {
+        assert_eq!(slo_table(&cuts_core::SloReport::default()), "");
+        let slo = cuts_core::SloReport {
+            classes: vec![cuts_core::ClassSlo {
+                class: "gold".into(),
+                completed: 4,
+                failed: 1,
+                queue_us: [10, 20, 30],
+                exec_us: [100, 200, 300],
+                deadline_hits: 3,
+                deadline_misses: 1,
+            }],
+        };
+        let table = slo_table(&slo);
+        assert!(table.contains("gold"));
+        assert!(table.contains("10/20/30"));
+        assert!(table.contains("100/200/300"));
     }
 
     #[test]
@@ -1135,6 +1449,9 @@ mod tests {
             device: "test".into(),
             output: "json".into(),
             snapshot: Some(out.clone()),
+            stats_every: 0,
+            stats_out: None,
+            metrics_out: None,
         })
         .unwrap();
         // A corrupt container surfaces as a typed snapshot error.

@@ -48,6 +48,9 @@ pub use order::{BackEdge, Dir, MatchOrder, OrderPolicy};
 pub use plan::{BudgetCheck, DeviceClass, LevelSchedule, PlanKey, QueryPlan};
 pub use policy::{KernelPolicy, LevelDecision, LevelMethod};
 pub use result::MatchResult;
-pub use sched::{Job, JobId, JobOutcome, SchedReport, SchedStats, Scheduler, SchedulerBuilder};
+pub use sched::{
+    ClassSlo, Job, JobId, JobOutcome, SchedReport, SchedStats, Scheduler, SchedulerBuilder,
+    SloReport, StatsSink,
+};
 pub use session::{ExecSession, MatchSink, SessionStats};
 pub use snapshot::{Snapshot, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

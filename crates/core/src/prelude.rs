@@ -11,6 +11,8 @@ pub use crate::engine::CutsEngine;
 pub use crate::error::{ConfigError, CutsError, EngineError, SchedError};
 pub use crate::plan::QueryPlan;
 pub use crate::result::MatchResult;
-pub use crate::sched::{Job, JobId, JobOutcome, SchedReport, Scheduler, SchedulerBuilder};
+pub use crate::sched::{
+    ClassSlo, Job, JobId, JobOutcome, SchedReport, Scheduler, SchedulerBuilder, SloReport,
+};
 pub use crate::session::ExecSession;
 pub use crate::snapshot::Snapshot;

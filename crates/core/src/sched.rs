@@ -44,7 +44,8 @@ use std::time::{Duration, Instant};
 
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::{generators, Graph};
-use cuts_obs::{Arg, EventKind, Json, ToJson, Trace};
+use cuts_obs::flight::{self, FlightCode};
+use cuts_obs::{Arg, Counter, EventKind, Json, Registry, ToJson, Trace};
 
 use crate::config::EngineConfig;
 use crate::error::{ConfigError, CutsError, SchedError};
@@ -91,6 +92,10 @@ fn saturating_entries(est: f64, budget: usize) -> usize {
 pub struct Job {
     /// Optional display name (reports, traces).
     pub name: Option<String>,
+    /// SLO accounting class. Jobs of the same class share one queue-wait
+    /// and one exec-time histogram in the run's telemetry [`Registry`];
+    /// unset jobs fall back to their display name, then to `"default"`.
+    pub class: Option<String>,
     /// The data graph. `Arc` so many jobs can share one graph.
     pub data: Arc<Graph>,
     /// The query graph. Jobs with the same query share a cached plan.
@@ -98,7 +103,8 @@ pub struct Job {
     /// Static priority; higher dispatches first at equal wait time.
     pub priority: i32,
     /// Soft deadline measured from submission. Approaching it boosts the
-    /// job's dispatch score; it is never killed for missing it.
+    /// job's dispatch score; it is never killed for missing it (but the
+    /// miss is counted against its class's SLO).
     pub deadline: Option<Duration>,
 }
 
@@ -107,11 +113,18 @@ impl Job {
     pub fn new(data: Arc<Graph>, query: Arc<Graph>) -> Self {
         Job {
             name: None,
+            class: None,
             data,
             query,
             priority: 0,
             deadline: None,
         }
+    }
+
+    /// Sets the SLO accounting class.
+    pub fn with_class(mut self, class: impl Into<String>) -> Self {
+        self.class = Some(class.into());
+        self
     }
 
     /// Sets the static priority.
@@ -208,6 +221,266 @@ impl ToJson for SchedStats {
     }
 }
 
+// ---------------------------------------------------------------------
+// SLO accounting.
+
+/// Metric/help strings shared by the recording sites, the Prometheus
+/// export, and [`SloReport::from_registry`], so all three read the same
+/// histogram families.
+const M_QUEUE: (&str, &str) = (
+    "cuts_job_queue_us",
+    "Queue wait per job class, microseconds",
+);
+const M_EXEC: (&str, &str) = (
+    "cuts_job_exec_us",
+    "Execution time per job class, microseconds",
+);
+const M_COMPLETED: (&str, &str) = ("cuts_jobs_completed_total", "Jobs finished Ok, per class");
+const M_FAILED: (&str, &str) = ("cuts_jobs_failed_total", "Jobs finished Err, per class");
+const M_DL_HIT: (&str, &str) = (
+    "cuts_deadline_hits_total",
+    "Jobs whose queue+exec latency met their deadline, per class",
+);
+const M_DL_MISS: (&str, &str) = (
+    "cuts_deadline_misses_total",
+    "Jobs whose queue+exec latency missed their deadline, per class",
+);
+
+/// One job class's serving-level figures, distilled from the run's
+/// telemetry registry. Quantiles are log2-sub-bucket upper bounds
+/// (≤ 25% relative error, conservative — never below the true value).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassSlo {
+    /// The accounting class (see [`Job::class`]).
+    pub class: String,
+    /// Jobs of this class that finished `Ok`.
+    pub completed: u64,
+    /// Jobs of this class that finished `Err`.
+    pub failed: u64,
+    /// Queue-wait p50/p95/p99, microseconds (0 when nothing recorded).
+    pub queue_us: [u64; 3],
+    /// Exec-time p50/p95/p99, microseconds (0 when nothing recorded).
+    pub exec_us: [u64; 3],
+    /// Deadlined jobs that met their deadline (queue + exec within it).
+    pub deadline_hits: u64,
+    /// Deadlined jobs that blew their deadline.
+    pub deadline_misses: u64,
+}
+
+impl ToJson for ClassSlo {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("class", Json::Str(self.class.clone())),
+            ("completed", Json::U64(self.completed)),
+            ("failed", Json::U64(self.failed)),
+            ("queue_p50_us", Json::U64(self.queue_us[0])),
+            ("queue_p95_us", Json::U64(self.queue_us[1])),
+            ("queue_p99_us", Json::U64(self.queue_us[2])),
+            ("exec_p50_us", Json::U64(self.exec_us[0])),
+            ("exec_p95_us", Json::U64(self.exec_us[1])),
+            ("exec_p99_us", Json::U64(self.exec_us[2])),
+            ("deadline_hits", Json::U64(self.deadline_hits)),
+            ("deadline_misses", Json::U64(self.deadline_misses)),
+        ])
+    }
+}
+
+/// Per-class SLO accounting for one run, read out of the same registry
+/// histograms the Prometheus export and rolling snapshots serve — the
+/// report cannot drift from the monitoring surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SloReport {
+    /// One entry per class, in first-completion order.
+    pub classes: Vec<ClassSlo>,
+}
+
+impl SloReport {
+    /// Distills the per-class figures for `classes` out of `reg`.
+    pub fn from_registry(reg: &Registry, classes: &[String]) -> SloReport {
+        let qs = |h: cuts_obs::Hist| {
+            let s = h.snapshot();
+            [
+                s.quantile(0.50).unwrap_or(0),
+                s.quantile(0.95).unwrap_or(0),
+                s.quantile(0.99).unwrap_or(0),
+            ]
+        };
+        let classes = classes
+            .iter()
+            .map(|cls| {
+                let l = [("class", cls.as_str())];
+                ClassSlo {
+                    class: cls.clone(),
+                    completed: reg.counter(M_COMPLETED.0, &l, M_COMPLETED.1).get(),
+                    failed: reg.counter(M_FAILED.0, &l, M_FAILED.1).get(),
+                    queue_us: qs(reg.histogram(M_QUEUE.0, &l, M_QUEUE.1)),
+                    exec_us: qs(reg.histogram(M_EXEC.0, &l, M_EXEC.1)),
+                    deadline_hits: reg.counter(M_DL_HIT.0, &l, M_DL_HIT.1).get(),
+                    deadline_misses: reg.counter(M_DL_MISS.0, &l, M_DL_MISS.1).get(),
+                }
+            })
+            .collect();
+        SloReport { classes }
+    }
+
+    /// The entry for `class`, if any job of that class finished.
+    pub fn class(&self, class: &str) -> Option<&ClassSlo> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+}
+
+impl ToJson for SloReport {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "classes",
+            Json::Arr(self.classes.iter().map(|c| c.to_json()).collect()),
+        )])
+    }
+}
+
+/// Rolling-snapshot callback handed one JSON line per emission (see
+/// [`SchedulerBuilder::stats_every`]).
+#[derive(Clone)]
+pub struct StatsSink(pub Arc<dyn Fn(&str) + Send + Sync>);
+
+impl std::fmt::Debug for StatsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StatsSink(..)")
+    }
+}
+
+/// Always-on telemetry state for one run: the registry, pre-resolved
+/// hot-path counter handles, SLO class tracking, rolling-snapshot
+/// emission, and the once-per-run post-mortem latch.
+struct Telemetry {
+    reg: Registry,
+    classes: Mutex<Vec<String>>,
+    deferrals: Counter,
+    growth_denials: Counter,
+    steals: Counter,
+    stats_every: u64,
+    sink: Option<StatsSink>,
+    start: Instant,
+    dumped: AtomicBool,
+    postmortem: Mutex<Option<String>>,
+}
+
+impl Telemetry {
+    fn new(sched: &Scheduler) -> Self {
+        let reg = Registry::with_enabled(sched.telemetry);
+        Telemetry {
+            deferrals: reg.counter(
+                "cuts_sched_deferrals_total",
+                &[],
+                "Dispatch passes that deferred a job for lack of memory",
+            ),
+            growth_denials: reg.counter(
+                "cuts_sched_growth_denials_total",
+                &[],
+                "In-place trie growths denied by the admission ledger (job rerun larger)",
+            ),
+            steals: reg.counter(
+                "cuts_sched_steals_total",
+                &[],
+                "Jobs executed from a stolen deque entry",
+            ),
+            reg,
+            classes: Mutex::new(Vec::new()),
+            stats_every: sched.stats_every,
+            sink: sched.stats_sink.clone(),
+            start: Instant::now(),
+            dumped: AtomicBool::new(false),
+            postmortem: Mutex::new(None),
+        }
+    }
+
+    /// The SLO class a job's latency is accounted under.
+    fn class_of(job: &Job) -> &str {
+        job.class
+            .as_deref()
+            .or(job.name.as_deref())
+            .unwrap_or("default")
+    }
+
+    /// Records one finished job: latency histograms, outcome and
+    /// deadline counters, flight events, and the first-failure dump.
+    fn on_finish(&self, class: &str, deadline: Option<Duration>, o: &JobOutcome) {
+        {
+            let mut cs = self.classes.lock().unwrap();
+            if !cs.iter().any(|c| c == class) {
+                cs.push(class.to_string());
+            }
+        }
+        let l = [("class", class)];
+        let queue_us = (o.queue_millis * 1e3).max(0.0) as u64;
+        let exec_us = (o.exec_millis * 1e3).max(0.0) as u64;
+        self.reg
+            .histogram(M_QUEUE.0, &l, M_QUEUE.1)
+            .record(queue_us);
+        self.reg.histogram(M_EXEC.0, &l, M_EXEC.1).record(exec_us);
+        match &o.result {
+            Ok(_) => {
+                self.reg.counter(M_COMPLETED.0, &l, M_COMPLETED.1).inc();
+                flight::record(FlightCode::JobComplete, o.id.0, exec_us);
+            }
+            Err(_) => {
+                self.reg.counter(M_FAILED.0, &l, M_FAILED.1).inc();
+                flight::record(FlightCode::JobFail, o.id.0, o.lane as u64);
+                self.dump_once("job_failure");
+            }
+        }
+        if let Some(d) = deadline {
+            if o.queue_millis + o.exec_millis <= d.as_secs_f64() * 1e3 {
+                self.reg.counter(M_DL_HIT.0, &l, M_DL_HIT.1).inc();
+            } else {
+                self.reg.counter(M_DL_MISS.0, &l, M_DL_MISS.1).inc();
+                flight::record(FlightCode::DeadlineMiss, o.id.0, queue_us + exec_us);
+            }
+        }
+    }
+
+    /// Dumps the flight recorder at most once per run; the path is
+    /// surfaced on the report.
+    fn dump_once(&self, reason: &str) {
+        if self.dumped.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        if let Some(p) = flight::postmortem(reason) {
+            *self.postmortem.lock().unwrap() = Some(p.display().to_string());
+        }
+    }
+
+    fn slo(&self) -> SloReport {
+        SloReport::from_registry(&self.reg, &self.classes.lock().unwrap())
+    }
+
+    /// One rolling-snapshot JSON line (`finished` = jobs done so far).
+    fn snapshot_line(&self, finished: u64) -> String {
+        Json::obj([
+            ("finished", Json::U64(finished)),
+            (
+                "wall_millis",
+                Json::F64(self.start.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("deferrals", Json::U64(self.deferrals.get())),
+            ("growth_denials", Json::U64(self.growth_denials.get())),
+            ("steals", Json::U64(self.steals.get())),
+            ("slo", self.slo().to_json()),
+        ])
+        .render()
+    }
+
+    /// Emits a rolling snapshot when `finished` crosses the cadence.
+    fn maybe_emit(&self, finished: u64) {
+        if self.stats_every == 0 || finished == 0 || !finished.is_multiple_of(self.stats_every) {
+            return;
+        }
+        if let Some(sink) = &self.sink {
+            (sink.0)(&self.snapshot_line(finished));
+        }
+    }
+}
+
 /// The result of draining one job stream.
 #[derive(Debug)]
 pub struct SchedReport {
@@ -217,6 +490,15 @@ pub struct SchedReport {
     pub wall_millis: f64,
     /// Aggregate counters.
     pub stats: SchedStats,
+    /// Per-class SLO accounting (queue/exec quantiles, deadline rates).
+    pub slo: SloReport,
+    /// The run's always-on metrics registry; feed its snapshot to the
+    /// Prometheus exporter. Disabled (empty) when the scheduler was
+    /// built with `.telemetry(false)`.
+    pub telemetry: Registry,
+    /// Path of the flight-recorder post-mortem written when the first
+    /// job of this run failed, if any did.
+    pub postmortem: Option<String>,
 }
 
 impl SchedReport {
@@ -261,6 +543,11 @@ impl ToJson for SchedReport {
                 self.latency_percentile(99.0).map_or(Json::Null, Json::F64),
             ),
             ("stats", self.stats.to_json()),
+            ("slo", self.slo.to_json()),
+            (
+                "postmortem",
+                self.postmortem.clone().map_or(Json::Null, Json::Str),
+            ),
         ])
     }
 }
@@ -280,6 +567,9 @@ pub struct SchedulerBuilder {
     plan_cache: usize,
     warm_plans: Vec<Arc<QueryPlan>>,
     trace: Option<Trace>,
+    telemetry: bool,
+    stats_every: u64,
+    stats_sink: Option<StatsSink>,
 }
 
 impl SchedulerBuilder {
@@ -366,6 +656,32 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Always-on serving telemetry switch (default **on**). When off,
+    /// every registry handle degenerates to a no-op — the zero-cost
+    /// disabled path the `obs` overhead bench pins down — and
+    /// [`SchedReport::telemetry`] / [`SchedReport::slo`] come back
+    /// empty. The flight recorder is independent of this switch.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Emits a rolling stats-snapshot JSON line to the
+    /// [`StatsSink`](SchedulerBuilder::stats_sink) every `n` finished
+    /// jobs (0, the default, disables emission). This is what
+    /// `cuts serve --stats-every <n>` wires to its `metrics.jsonl`.
+    pub fn stats_every(mut self, n: u64) -> Self {
+        self.stats_every = n;
+        self
+    }
+
+    /// The callback receiving rolling-snapshot lines (one JSON object
+    /// per call, no trailing newline).
+    pub fn stats_sink(mut self, sink: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        self.stats_sink = Some(StatsSink(Arc::new(sink)));
+        self
+    }
+
     /// Validates and builds the scheduler (devices are created here).
     pub fn build(self) -> Result<Scheduler, ConfigError> {
         if self.devices == 0 {
@@ -419,12 +735,17 @@ impl SchedulerBuilder {
             b = b.for_device_words(self.device_config.global_mem_words);
             b.build()?
         };
+        // Kernel wall-time histograms live for the scheduler's lifetime
+        // (devices are shared immutably across runs), while job/SLO
+        // accounting gets a fresh registry per run.
+        let kernel_reg = Registry::with_enabled(self.telemetry);
         let devices = (0..self.devices)
             .map(|_| {
                 let mut d = Device::new(self.device_config.clone());
                 if let Some(t) = &self.trace {
                     d.set_trace(t.clone());
                 }
+                d.set_registry(kernel_reg.clone());
                 d
             })
             .collect();
@@ -440,6 +761,10 @@ impl SchedulerBuilder {
             plan_cache: self.plan_cache.max(self.warm_plans.len()),
             warm_plans: self.warm_plans,
             trace: self.trace.unwrap_or_else(Trace::disabled),
+            telemetry: self.telemetry,
+            stats_every: self.stats_every,
+            stats_sink: self.stats_sink,
+            kernel_reg,
         })
     }
 }
@@ -477,9 +802,22 @@ pub struct Scheduler {
     plan_cache: usize,
     warm_plans: Vec<Arc<QueryPlan>>,
     trace: Trace,
+    telemetry: bool,
+    stats_every: u64,
+    stats_sink: Option<StatsSink>,
+    kernel_reg: Registry,
 }
 
 impl Scheduler {
+    /// The scheduler-lifetime registry devices record per-kernel wall
+    /// histograms into (`cuts_kernel_wall_us{kernel=...}`). Separate from
+    /// the per-run [`SchedReport::telemetry`] so successive runs on one
+    /// scheduler don't cross-pollute their job SLOs, while kernel timing
+    /// accumulates for the device's whole life — merge both snapshots
+    /// into one Prometheus exposition.
+    pub fn kernel_telemetry(&self) -> &Registry {
+        &self.kernel_reg
+    }
     /// A builder with serving-oriented defaults: one `v100_like` device,
     /// two lanes, queue capacity 64, 5 ms aging, σ = 0.25, no pacing.
     pub fn builder() -> SchedulerBuilder {
@@ -496,6 +834,9 @@ impl Scheduler {
             plan_cache: crate::session::DEFAULT_PLAN_CACHE_CAPACITY,
             warm_plans: Vec::new(),
             trace: None,
+            telemetry: true,
+            stats_every: 0,
+            stats_sink: None,
         }
     }
 
@@ -564,7 +905,13 @@ impl Scheduler {
             stolen: AtomicU64::new(0),
             deferred: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            telem: Telemetry::new(self),
         };
+        flight::record(
+            FlightCode::RunStart,
+            self.devices.len() as u64,
+            self.lanes as u64,
+        );
 
         let start = Instant::now();
         let submit_result = std::thread::scope(|scope| {
@@ -590,6 +937,32 @@ impl Scheduler {
         });
         submit_result?;
         let wall_millis = start.elapsed().as_secs_f64() * 1e3;
+        flight::record(FlightCode::RunEnd, wall_millis as u64, 0);
+
+        // Final admission-watermark gauges: cheap, and they surface the
+        // memory headroom story next to the latency one in Prometheus.
+        for (di, d) in shared.devs.iter().enumerate() {
+            let ds = di.to_string();
+            let l = [("device", ds.as_str())];
+            shared
+                .telem
+                .reg
+                .gauge(
+                    "cuts_sched_peak_reserved_words",
+                    &l,
+                    "Peak reserved trie words per device (admission watermark)",
+                )
+                .set(d.peak_reserved.load(Ordering::Relaxed) as f64);
+            shared
+                .telem
+                .reg
+                .gauge(
+                    "cuts_sched_budget_words",
+                    &l,
+                    "Per-device trie-memory budget the admission check enforced",
+                )
+                .set(d.budget_words as f64);
+        }
 
         let mut slots = shared.results.into_inner().unwrap();
         slots.sort_by_key(|o: &JobOutcome| o.id);
@@ -617,10 +990,15 @@ impl Scheduler {
                 .collect(),
             budget_words: shared.devs.iter().map(|d| d.budget_words).collect(),
         };
+        let slo = shared.telem.slo();
+        let postmortem = shared.telem.postmortem.lock().unwrap().take();
         Ok(SchedReport {
             outcomes: slots,
             wall_millis,
             stats,
+            slo,
+            postmortem,
+            telemetry: shared.telem.reg.clone(),
         })
     }
 
@@ -637,6 +1015,8 @@ impl Scheduler {
         );
         session.seed_plans(&self.warm_plans);
         session.prepare_trie_arena().map_err(CutsError::from)?;
+        let telem = Telemetry::new(self);
+        flight::record(FlightCode::RunStart, 1, 1);
         let start = Instant::now();
         let mut outcomes = Vec::with_capacity(jobs.len());
         let (mut completed, mut failed) = (0u64, 0u64);
@@ -677,7 +1057,7 @@ impl Scheduler {
                     (Err(e), 0)
                 }
             };
-            outcomes.push(JobOutcome {
+            let outcome = JobOutcome {
                 id: JobId(i as u64),
                 name: job.name.clone(),
                 device: 0,
@@ -687,10 +1067,16 @@ impl Scheduler {
                 trie_entries: entries,
                 stolen: false,
                 result,
-            });
+            };
+            telem.on_finish(Telemetry::class_of(job), job.deadline, &outcome);
+            telem.maybe_emit(i as u64 + 1);
+            outcomes.push(outcome);
         }
         let wall_millis = start.elapsed().as_secs_f64() * 1e3;
+        flight::record(FlightCode::RunEnd, wall_millis as u64, 0);
         let st = session.stats();
+        let slo = telem.slo();
+        let postmortem = telem.postmortem.lock().unwrap().take();
         Ok(SchedReport {
             outcomes,
             wall_millis,
@@ -704,6 +1090,9 @@ impl Scheduler {
                 budget_words: vec![session.trie_budget_words()],
                 ..Default::default()
             },
+            slo,
+            postmortem,
+            telemetry: telem.reg,
         })
     }
 }
@@ -854,6 +1243,7 @@ struct Shared<'s> {
     stolen: AtomicU64,
     deferred: AtomicU64,
     busy_rejections: AtomicU64,
+    telem: Telemetry,
 }
 
 impl<'s> Shared<'s> {
@@ -868,6 +1258,7 @@ impl<'s> Shared<'s> {
                 ("pending", Arg::U64(p.queue.len() as u64)),
             ],
         );
+        flight::record(FlightCode::JobSubmit, id.0, p.queue.len() as u64);
         p.queue.push(PendingJob {
             id,
             job,
@@ -879,7 +1270,7 @@ impl<'s> Shared<'s> {
         id
     }
 
-    fn finish(&self, outcome: JobOutcome) {
+    fn finish(&self, class: &str, deadline: Option<Duration>, outcome: JobOutcome) {
         self.sched.trace.instant_with(
             EventKind::Job,
             "complete",
@@ -890,7 +1281,13 @@ impl<'s> Shared<'s> {
                 ("ok", Arg::U64(outcome.result.is_ok() as u64)),
             ],
         );
-        self.results.lock().unwrap().push(outcome);
+        self.telem.on_finish(class, deadline, &outcome);
+        let finished = {
+            let mut r = self.results.lock().unwrap();
+            r.push(outcome);
+            r.len() as u64
+        };
+        self.telem.maybe_emit(finished);
         // Memory or an admission slot may have been released: wake the
         // dispatcher for another pass.
         let _p = self.pending.lock().unwrap();
@@ -997,6 +1394,8 @@ fn dispatcher_loop(shared: &Shared<'_>) {
                 cand.not_before = now + backoff(cand.defers);
                 cand.defers += 1;
                 shared.deferred.fetch_add(1, Ordering::Relaxed);
+                shared.telem.deferrals.inc();
+                flight::record(FlightCode::JobDefer, cand.id.0, cand.defers as u64);
                 sched.trace.instant_with(
                     EventKind::Job,
                     "defer",
@@ -1068,17 +1467,21 @@ fn admit(shared: &Shared<'_>, cand: PendingJob, di: usize) {
         Err(e) => {
             // Unplannable (empty / disconnected query): an immediate
             // per-job failure, not a scheduler failure.
-            shared.finish(JobOutcome {
-                id: cand.id,
-                name: cand.job.name.clone(),
-                device: di,
-                lane: 0,
-                queue_millis: cand.submitted_at.elapsed().as_secs_f64() * 1e3,
-                exec_millis: 0.0,
-                trie_entries: 0,
-                stolen: false,
-                result: Err(e.into()),
-            });
+            shared.finish(
+                Telemetry::class_of(&cand.job),
+                cand.job.deadline,
+                JobOutcome {
+                    id: cand.id,
+                    name: cand.job.name.clone(),
+                    device: di,
+                    lane: 0,
+                    queue_millis: cand.submitted_at.elapsed().as_secs_f64() * 1e3,
+                    exec_millis: 0.0,
+                    trie_entries: 0,
+                    stolen: false,
+                    result: Err(e.into()),
+                },
+            );
             return;
         }
     };
@@ -1091,6 +1494,7 @@ fn admit(shared: &Shared<'_>, cand: PendingJob, di: usize) {
     }
     let reserved = dev.reserved.load(Ordering::Relaxed);
     dev.inflight.fetch_add(1, Ordering::AcqRel);
+    flight::record(FlightCode::JobAdmit, cand.id.0, di as u64);
     sched.trace.instant_with(
         EventKind::Job,
         "admit",
@@ -1135,6 +1539,8 @@ fn lane_loop(shared: &Shared<'_>, dev: &DevState<'_>, lane: usize) {
                 if let Some(v) = victim {
                     let t = queues[v].pop_back().unwrap();
                     shared.stolen.fetch_add(1, Ordering::Relaxed);
+                    shared.telem.steals.inc();
+                    flight::record(FlightCode::JobSteal, t.id.0, lane as u64);
                     sched.trace.instant_with(
                         EventKind::Job,
                         "steal",
@@ -1187,6 +1593,8 @@ fn lane_loop(shared: &Shared<'_>, dev: &DevState<'_>, lane: usize) {
                 }
                 Err(BudgetedRunError::GrowthDenied { target_entries }) => {
                     entries = target_entries;
+                    shared.telem.growth_denials.inc();
+                    flight::record(FlightCode::GrowthDenied, task.id.0, target_entries as u64);
                     sched.trace.instant_with(
                         EventKind::Job,
                         "grow",
@@ -1220,18 +1628,22 @@ fn lane_loop(shared: &Shared<'_>, dev: &DevState<'_>, lane: usize) {
         let exec_millis = exec_start.elapsed().as_secs_f64() * 1e3;
         dev.reserved.fetch_sub(reserve_words, Ordering::AcqRel);
         dev.inflight.fetch_sub(1, Ordering::AcqRel);
-        shared.finish(JobOutcome {
-            id: task.id,
-            name: task.job.name.clone(),
-            device: task.device,
-            lane,
-            queue_millis,
-            exec_millis,
-            // Failed jobs report no capacity, matching the serial path.
-            trie_entries: if result.is_ok() { entries } else { 0 },
-            stolen,
-            result,
-        });
+        shared.finish(
+            Telemetry::class_of(&task.job),
+            task.job.deadline,
+            JobOutcome {
+                id: task.id,
+                name: task.job.name.clone(),
+                device: task.device,
+                lane,
+                queue_millis,
+                exec_millis,
+                // Failed jobs report no capacity, matching the serial path.
+                trie_entries: if result.is_ok() { entries } else { 0 },
+                stolen,
+                result,
+            },
+        );
     }
 }
 
@@ -1306,9 +1718,9 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, CutsError> {
 
 /// Parses a job manifest: one job per line, `#` comments, blank lines
 /// ignored. Each line is `<data-spec> <query-spec> [key=val ...]` with
-/// options `priority=<i32>`, `deadline_ms=<u64>`, `name=<str>`, and
-/// `repeat=<n>` (submit the job `n` times). Repeated specs share one
-/// [`Graph`] allocation.
+/// options `priority=<i32>`, `deadline_ms=<u64>`, `name=<str>`,
+/// `class=<str>` (SLO accounting class), and `repeat=<n>` (submit the
+/// job `n` times). Repeated specs share one [`Graph`] allocation.
 pub fn parse_manifest(text: &str) -> Result<Vec<Job>, CutsError> {
     let mut graphs: std::collections::HashMap<String, Arc<Graph>> =
         std::collections::HashMap::new();
@@ -1347,6 +1759,7 @@ pub fn parse_manifest(text: &str) -> Result<Vec<Job>, CutsError> {
                     job.deadline = Some(Duration::from_millis(val.parse().map_err(|_| bad())?))
                 }
                 "name" => job.name = Some(val.to_string()),
+                "class" => job.class = Some(val.to_string()),
                 "repeat" => {
                     repeat = val.parse().map_err(|_| bad())?;
                     if repeat == 0 {
@@ -1463,6 +1876,7 @@ mod tests {
             id: JobId(0),
             job: Job {
                 name: None,
+                class: None,
                 data: Arc::new(clique(2)),
                 query: Arc::new(clique(2)),
                 priority,
@@ -1546,6 +1960,8 @@ mod tests {
         assert!(Arc::ptr_eq(&jobs[0].data, &jobs[1].data), "interned");
         assert_eq!(jobs[3].name.as_deref(), Some("walk"));
         assert_eq!(jobs[3].deadline, Some(Duration::from_millis(50)));
+        let classed = parse_manifest("clique:4 clique:3 class=gold").unwrap();
+        assert_eq!(classed[0].class.as_deref(), Some("gold"));
         assert!(parse_manifest("er:1:2 clique:3").is_err());
         assert!(parse_manifest("clique:3").is_err());
         assert!(parse_manifest("clique:3 chain:2 bogus=1").is_err());
@@ -1591,6 +2007,204 @@ mod tests {
         );
         // Degenerate budget still yields a usable capacity.
         assert_eq!(saturating_entries(f64::INFINITY, 0), 1);
+    }
+
+    /// Oracle check against the outcome list: the histogram must report
+    /// the class quantile within one log2 sub-bucket (≤ 25% relative
+    /// error) above the exact value — the acceptance bound.
+    fn assert_slo_brackets_outcomes(report: &SchedReport, class: &str) {
+        let slo = report.slo.class(class).expect("class accounted");
+        let mut queue: Vec<u64> = Vec::new();
+        let mut exec: Vec<u64> = Vec::new();
+        for o in &report.outcomes {
+            queue.push((o.queue_millis * 1e3) as u64);
+            exec.push((o.exec_millis * 1e3) as u64);
+        }
+        queue.sort_unstable();
+        exec.sort_unstable();
+        let oracle = |sorted: &[u64], q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        for (i, q) in [(0usize, 0.50), (1, 0.95), (2, 0.99)] {
+            for (reported, sorted) in [(slo.queue_us[i], &queue), (slo.exec_us[i], &exec)] {
+                let exact = oracle(sorted, q);
+                assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
+                assert!(
+                    (reported - exact) as f64 <= (exact as f64 * 0.25).max(3.0),
+                    "q={q}: {reported} vs exact {exact} exceeds bucket width"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slo_accounting_per_class() {
+        let sched = small_sched(2);
+        let data = Arc::new(erdos_renyi(30, 90, 7));
+        let gold = Arc::new(clique(3));
+        let steel = Arc::new(clique(2));
+        let report = sched
+            .run(|h| {
+                for _ in 0..8 {
+                    h.submit_wait(Job::new(data.clone(), gold.clone()).with_class("gold"));
+                    h.submit_wait(
+                        Job::new(data.clone(), steel.clone())
+                            .with_class("steel")
+                            .with_deadline(Duration::from_secs(60)),
+                    );
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(report.telemetry.is_enabled());
+        assert_eq!(report.slo.classes.len(), 2);
+        let gold_slo = report.slo.class("gold").unwrap();
+        assert_eq!(gold_slo.completed, 8);
+        assert_eq!(gold_slo.failed, 0);
+        assert_eq!((gold_slo.deadline_hits, gold_slo.deadline_misses), (0, 0));
+        // Quantiles are monotone and populated for completed work.
+        assert!(gold_slo.exec_us[0] <= gold_slo.exec_us[1]);
+        assert!(gold_slo.exec_us[1] <= gold_slo.exec_us[2]);
+        let steel_slo = report.slo.class("steel").unwrap();
+        assert_eq!(steel_slo.completed, 8);
+        // A 60 s deadline on sub-second jobs: every one is a hit.
+        assert_eq!((steel_slo.deadline_hits, steel_slo.deadline_misses), (8, 0));
+        // The report JSON carries the SLO block.
+        let json = report.to_json().render();
+        assert!(
+            json.contains("\"queue_p99_us\""),
+            "slo absent from json: {json}"
+        );
+        // And the Prometheus snapshot exports the same families.
+        let prom = report.telemetry.snapshot().render();
+        assert!(prom.contains("cuts_job_queue_us"));
+        assert!(prom.contains("class=\"gold\""));
+        cuts_obs::validate_exposition(&prom).expect("scrapeable exposition");
+    }
+
+    #[test]
+    fn slo_quantiles_bracket_outcome_oracle() {
+        let sched = small_sched(1);
+        let data = Arc::new(erdos_renyi(40, 120, 3));
+        let q = Arc::new(clique(3));
+        let report = sched
+            .run(|h| {
+                for _ in 0..20 {
+                    h.submit_wait(Job::new(data.clone(), q.clone()).with_class("only"));
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.completed, 20);
+        assert_slo_brackets_outcomes(&report, "only");
+    }
+
+    #[test]
+    fn deadline_misses_are_counted() {
+        // Pacing stretches exec time well past a 1 ms deadline.
+        let sched = Scheduler::builder()
+            .device_config(DeviceConfig::test_small())
+            .lanes(1)
+            .pacing(100.0)
+            .build()
+            .unwrap();
+        let data = Arc::new(mesh2d(4, 4));
+        let q = Arc::new(clique(2));
+        let report = sched
+            .run(|h| {
+                h.submit_wait(
+                    Job::new(data.clone(), q.clone())
+                        .with_class("tight")
+                        .with_deadline(Duration::from_micros(1)),
+                );
+                Ok(())
+            })
+            .unwrap();
+        let slo = report.slo.class("tight").unwrap();
+        assert_eq!((slo.deadline_hits, slo.deadline_misses), (0, 1));
+    }
+
+    #[test]
+    fn telemetry_off_keeps_results_and_empties_slo() {
+        let sched = Scheduler::builder()
+            .device_config(DeviceConfig::test_small())
+            .lanes(2)
+            .telemetry(false)
+            .build()
+            .unwrap();
+        let data = Arc::new(erdos_renyi(30, 90, 7));
+        let q = Arc::new(clique(3));
+        let report = sched
+            .run(|h| {
+                h.submit_wait(Job::new(data.clone(), q.clone()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.completed, 1);
+        assert!(!report.telemetry.is_enabled());
+        let slo = report.slo.class("default").unwrap();
+        assert_eq!(slo.completed, 0, "disabled registry records nothing");
+        assert_eq!(slo.queue_us, [0, 0, 0]);
+    }
+
+    #[test]
+    fn failed_job_writes_parseable_postmortem() {
+        let sched = small_sched(1);
+        let data = Arc::new(clique(4));
+        let disconnected = Arc::new(Graph::undirected(4, &[(0, 1), (2, 3)]));
+        let report = sched
+            .run(|h| {
+                h.submit_wait(Job::new(data.clone(), disconnected.clone()).with_name("bad"));
+                h.submit_wait(Job::new(data.clone(), disconnected.clone()).with_name("bad2"));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.failed, 2);
+        // One dump per run, not per failure.
+        let path = report.postmortem.as_ref().expect("postmortem written");
+        let text = std::fs::read_to_string(path).expect("dump readable");
+        let (reason, events) = flight::parse_dump(&text).expect("dump parses");
+        assert_eq!(reason, "job_failure");
+        // The dump holds the failing job's typed lifecycle: at least its
+        // submission and the failure itself.
+        assert!(events.iter().any(|e| e.code == FlightCode::JobSubmit));
+        assert!(events.iter().any(|e| e.code == FlightCode::JobFail));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stats_every_emits_rolling_snapshots() {
+        let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink_lines = lines.clone();
+        let sched = Scheduler::builder()
+            .device_config(DeviceConfig::test_small())
+            .lanes(2)
+            .stats_every(2)
+            .stats_sink(move |line| sink_lines.lock().unwrap().push(line.to_string()))
+            .build()
+            .unwrap();
+        let data = Arc::new(erdos_renyi(30, 90, 7));
+        let q = Arc::new(clique(3));
+        let report = sched
+            .run(|h| {
+                for _ in 0..6 {
+                    h.submit_wait(Job::new(data.clone(), q.clone()));
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.completed, 6);
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 3, "every 2 of 6 completions: {lines:?}");
+        for line in lines.iter() {
+            let v = Json::parse(line).expect("snapshot line parses");
+            let Json::Obj(fields) = &v else {
+                panic!("not an object")
+            };
+            assert!(fields.iter().any(|(k, _)| k == "finished"));
+            assert!(fields.iter().any(|(k, _)| k == "slo"));
+        }
     }
 
     #[test]

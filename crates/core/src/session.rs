@@ -32,6 +32,7 @@ use cuts_gpu_sim::{
 };
 use cuts_graph::components::{extract_component, weakly_connected_components};
 use cuts_graph::Graph;
+use cuts_obs::flight::{self, FlightCode};
 use cuts_obs::{Arg, EventKind, Json, ToJson};
 use cuts_trie::{PairTable, Trie};
 
@@ -844,6 +845,11 @@ impl<'d> ExecSession<'d> {
                                 match trie.grow_to(target_cap) {
                                     Ok(new_cap) => {
                                         g.cur_entries = target;
+                                        flight::record(
+                                            FlightCode::ArenaGrow,
+                                            pos as u64,
+                                            new_cap as u64,
+                                        );
                                         trace.instant_with(
                                             EventKind::Arena,
                                             "chain_grow",

@@ -1,7 +1,7 @@
 //! Per-rank and aggregate metrics for the distributed runs (Figures 4-5).
 
 use cuts_gpu_sim::Counters;
-use cuts_obs::{Json, ToJson};
+use cuts_obs::{Json, Registry, ToJson};
 
 /// Metrics for one rank.
 #[derive(Debug, Clone, Default)]
@@ -147,6 +147,13 @@ pub struct DistResult {
     pub wall_millis: f64,
     /// Fault-recovery metrics (all-zero when nothing failed).
     pub recovery: RecoveryStats,
+    /// Path of the flight-recorder post-mortem written when the first
+    /// rank died, if any did.
+    pub postmortem: Option<String>,
+    /// The run's serving-metrics registry (per-rank busy/imbalance
+    /// gauges, balance ratio, recovery counters); feed its snapshot to
+    /// the Prometheus exporter.
+    pub telemetry: Registry,
 }
 
 impl DistResult {
@@ -187,6 +194,10 @@ impl ToJson for DistResult {
                 Json::Arr(self.per_rank.iter().map(ToJson::to_json).collect()),
             ),
             ("recovery", self.recovery.to_json()),
+            (
+                "postmortem",
+                self.postmortem.clone().map_or(Json::Null, Json::Str),
+            ),
         ])
     }
 }
@@ -210,6 +221,8 @@ mod tests {
             per_rank: vec![rk(0, 10.0), rk(1, 8.0), rk(2, 9.0)],
             wall_millis: 0.0,
             recovery: RecoveryStats::default(),
+            postmortem: None,
+            telemetry: Registry::disabled(),
         };
         assert!((r.makespan_sim_millis() - 10.0).abs() < 1e-12);
         assert!((r.balance_ratio() - 0.8).abs() < 1e-12);
@@ -222,6 +235,8 @@ mod tests {
             per_rank: vec![rk(0, 0.0)],
             wall_millis: 0.0,
             recovery: RecoveryStats::default(),
+            postmortem: None,
+            telemetry: Registry::disabled(),
         };
         assert_eq!(r.balance_ratio(), 1.0);
     }

@@ -15,7 +15,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cuts_graph::Graph;
-use cuts_obs::{Arg, EventKind, Trace};
+use cuts_obs::flight::{self, FlightCode};
+use cuts_obs::{Arg, EventKind, Registry, Trace};
 
 pub use crate::config::DistConfig;
 use crate::fault::FaultInjector;
@@ -82,6 +83,22 @@ pub fn run_distributed_traced(
     config: &DistConfig,
     trace: &Trace,
 ) -> Result<DistResult, WorkerError> {
+    run_distributed_observed(data, query, ranks, config, trace, Registry::enabled())
+}
+
+/// [`run_distributed_traced`] with an explicit serving-metrics registry.
+/// The run records per-rank busy gauges, the balance-ratio/imbalance
+/// gauges, and recovery counters into it; the same handle comes back on
+/// [`DistResult::telemetry`] for Prometheus export. Pass
+/// [`Registry::disabled`] to measure the zero-cost path.
+pub fn run_distributed_observed(
+    data: &Graph,
+    query: &Graph,
+    ranks: usize,
+    config: &DistConfig,
+    trace: &Trace,
+    registry: Registry,
+) -> Result<DistResult, WorkerError> {
     assert!(ranks >= 1);
     let mut run_span = if trace.is_enabled() {
         let mut s = trace.span(EventKind::Run, "distributed");
@@ -133,13 +150,23 @@ pub fn run_distributed_traced(
     let mut per_rank = Vec::with_capacity(ranks);
     let mut lost_ranks = Vec::new();
     let mut first_error = None;
+    let mut postmortem = None;
     for (rank, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             Ok((_, metrics)) => per_rank.push(metrics),
             Err(e) => {
                 lost_ranks.push(rank);
+                flight::record_rank(
+                    rank as u32,
+                    FlightCode::RankDead,
+                    matches!(e, WorkerError::Panicked { .. }) as u64,
+                    0,
+                );
+                // One post-mortem per run: the flight rings hold the
+                // typed events leading up to the first death.
                 if first_error.is_none() {
                     first_error = Some(e);
+                    postmortem = flight::postmortem("rank_death").map(|p| p.display().to_string());
                 }
                 per_rank.push(RankMetrics {
                     rank,
@@ -180,7 +207,59 @@ pub fn run_distributed_traced(
         per_rank,
         wall_millis: start.elapsed().as_secs_f64() * 1e3,
         recovery,
+        postmortem,
+        telemetry: registry.clone(),
     };
+    if registry.is_enabled() {
+        let makespan = result.makespan_sim_millis();
+        for m in &result.per_rank {
+            let rs = m.rank.to_string();
+            let l = [("rank", rs.as_str())];
+            registry
+                .gauge(
+                    "cuts_rank_busy_sim_millis",
+                    &l,
+                    "Simulated device-busy milliseconds per rank",
+                )
+                .set(m.busy_sim_millis);
+            // Per-rank imbalance: how far this rank trails the slowest
+            // one (0 = it set the makespan).
+            registry
+                .gauge(
+                    "cuts_rank_imbalance",
+                    &l,
+                    "1 - busy/makespan per rank (0 = this rank set the makespan)",
+                )
+                .set(if makespan > 0.0 {
+                    1.0 - m.busy_sim_millis / makespan
+                } else {
+                    0.0
+                });
+        }
+        registry
+            .gauge(
+                "cuts_dist_balance_ratio",
+                &[],
+                "min/max busy time over ranks (1.0 = perfect balance)",
+            )
+            .set(result.balance_ratio());
+        let c = |name, help, v: u64| registry.counter(name, &[], help).add(v);
+        c(
+            "cuts_dist_ranks_lost_total",
+            "Ranks that crashed during the run",
+            result.recovery.ranks_lost as u64,
+        );
+        c(
+            "cuts_dist_chunks_reassigned_total",
+            "Chunks re-homed from dead or silent ranks to survivors",
+            result.recovery.chunks_reassigned as u64,
+        );
+        c(
+            "cuts_dist_duplicate_chunks_total",
+            "Chunk results deduplicated by the at-least-once ledger",
+            result.recovery.duplicate_chunks as u64,
+        );
+    }
     if let Some(s) = &mut run_span {
         s.arg("matches", Arg::U64(result.total_matches));
     }
@@ -312,6 +391,56 @@ mod tests {
         assert!(r.per_rank[1].lost);
         assert!(r.recovery.chunks_reassigned > 0);
         assert!(r.recovery.recovery_millis > 0.0);
+    }
+
+    #[test]
+    fn rank_death_writes_postmortem_and_imbalance_gauges() {
+        let data = erdos_renyi(60, 240, 17);
+        let query = clique(3);
+        let mut c = cfg();
+        c.fault_plan = FaultPlan::parse("crash:1@0").unwrap();
+        let reg = cuts_obs::Registry::enabled();
+        let r = run_distributed_observed(&data, &query, 2, &c, &Trace::disabled(), reg.clone())
+            .unwrap();
+        assert_eq!(r.recovery.lost_ranks, vec![1]);
+        // The dump exists, parses, and holds the dead rank's last events.
+        let path = r.postmortem.as_ref().expect("postmortem on rank death");
+        let text = std::fs::read_to_string(path).unwrap();
+        let (reason, events) = cuts_obs::flight::parse_dump(&text).unwrap();
+        assert_eq!(reason, "rank_death");
+        assert!(events
+            .iter()
+            .any(|e| e.code == cuts_obs::FlightCode::RankDead && e.rank == Some(1)));
+        assert!(events
+            .iter()
+            .any(|e| e.code == cuts_obs::FlightCode::ChunkCommit));
+        let _ = std::fs::remove_file(path);
+        // Gauges and recovery counters landed in the registry.
+        assert_eq!(reg.counter("cuts_dist_ranks_lost_total", &[], "").get(), 1);
+        assert!(
+            reg.counter("cuts_dist_chunks_reassigned_total", &[], "")
+                .get()
+                > 0
+        );
+        let busy0 = reg.gauge("cuts_rank_busy_sim_millis", &[("rank", "0")], "");
+        assert!(busy0.get() > 0.0, "surviving rank did the work");
+        let prom = reg.snapshot().render();
+        assert!(prom.contains("cuts_rank_imbalance"));
+        cuts_obs::validate_exposition(&prom).expect("scrapeable");
+    }
+
+    #[test]
+    fn fault_free_run_keeps_clean_recovery_with_observation() {
+        // The observed variant must not perturb results: same counts,
+        // clean recovery, no postmortem.
+        let data = erdos_renyi(60, 240, 17);
+        let query = clique(3);
+        let want = single_node_count(&data, &query);
+        let r = run_distributed(&data, &query, 2, &cfg()).unwrap();
+        assert_eq!(r.total_matches, want);
+        assert!(r.recovery.is_clean());
+        assert!(r.postmortem.is_none());
+        assert!(r.telemetry.is_enabled(), "observation is always-on");
     }
 
     #[test]

@@ -144,6 +144,8 @@ pub fn run_synchronous(
             per_rank: metrics,
             wall_millis: start.elapsed().as_secs_f64() * 1e3,
             recovery: RecoveryStats::default(),
+            postmortem: None,
+            telemetry: cuts_obs::Registry::disabled(),
         },
         barrier_makespan_sim_millis: barrier_makespan,
         barrier_idle_sim_millis: barrier_idle,

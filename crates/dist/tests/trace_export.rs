@@ -118,7 +118,10 @@ fn disabled_tracing_is_free_and_changes_nothing() {
     // output field (wall_millis is host time and may differ).
     let plain_dev = Device::new(DeviceConfig::test_small());
     let plain = CutsEngine::new(&plain_dev).run(&data, &query).unwrap();
-    let traced = Trace::with_config(TraceConfig { per_block: true });
+    let traced = Trace::with_config(TraceConfig {
+        per_block: true,
+        ..Default::default()
+    });
     let mut traced_dev = Device::new(DeviceConfig::test_small());
     traced_dev.set_trace(traced.clone());
     let t = CutsEngine::new(&traced_dev).run(&data, &query).unwrap();

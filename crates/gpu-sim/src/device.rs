@@ -3,7 +3,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use cuts_obs::{Arg, EventKind, Trace, SM_LANE_BASE};
+use cuts_obs::flight::{self, FlightCode};
+use cuts_obs::{Arg, EventKind, Registry, Trace, SM_LANE_BASE};
 use rayon::prelude::*;
 
 use crate::buffer::GlobalBuffer;
@@ -24,6 +25,7 @@ pub struct Device {
     alloc_calls: AtomicU64,
     counters: AtomicCounters,
     trace: Trace,
+    registry: Registry,
 }
 
 impl Device {
@@ -36,6 +38,7 @@ impl Device {
             alloc_calls: AtomicU64::new(0),
             counters: AtomicCounters::default(),
             trace: Trace::disabled(),
+            registry: Registry::disabled(),
         }
     }
 
@@ -45,6 +48,22 @@ impl Device {
     /// `SM n` lane).
     pub fn set_trace(&mut self, trace: Trace) {
         self.trace = trace;
+    }
+
+    /// Attaches a serving-metrics registry: every subsequent launch
+    /// records its wall time into a per-kernel `cuts_kernel_wall_us`
+    /// histogram and a [`FlightCode::KernelLaunch`] flight event. A
+    /// disabled registry (the default) keeps the launch path at one
+    /// branch per launch.
+    pub fn set_registry(&mut self, registry: Registry) {
+        self.registry = registry;
+    }
+
+    /// The serving-metrics registry launches record into (disabled by
+    /// default).
+    #[inline]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The trace handle launches emit into (disabled by default). Shared
@@ -135,6 +154,7 @@ impl Device {
             None
         };
         let per_block = self.trace.is_enabled() && self.trace.config().per_block;
+        let launch_start = self.registry.is_enabled().then(std::time::Instant::now);
         // Blocks accumulate into a launch-local aggregate; the exact total
         // is merged once into the device aggregate and the calling thread's
         // counter sink after the grid joins. (Snapshot deltas would count
@@ -171,6 +191,17 @@ impl Device {
         if let Some(s) = &mut span {
             s.counters(total.into());
         }
+        if let Some(start) = launch_start {
+            let wall_us = start.elapsed().as_micros() as u64;
+            self.registry
+                .histogram(
+                    "cuts_kernel_wall_us",
+                    &[("kernel", name)],
+                    "Host wall time per kernel launch, microseconds",
+                )
+                .record(wall_us);
+            flight::record(FlightCode::KernelLaunch, num_blocks as u64, wall_us);
+        }
         result
     }
 
@@ -195,6 +226,7 @@ impl Device {
         } else {
             None
         };
+        let launch_start = self.registry.is_enabled().then(std::time::Instant::now);
         let mut ctx = BlockCtx {
             block_id: 0,
             num_blocks: 1,
@@ -209,6 +241,17 @@ impl Device {
         crate::counters::sink_merge(&total);
         if let Some(s) = &mut span {
             s.counters(total.into());
+        }
+        if let Some(start) = launch_start {
+            let wall_us = start.elapsed().as_micros() as u64;
+            self.registry
+                .histogram(
+                    "cuts_kernel_wall_us",
+                    &[("kernel", name)],
+                    "Host wall time per kernel launch, microseconds",
+                )
+                .record(wall_us);
+            flight::record(FlightCode::KernelLaunch, 1, wall_us);
         }
         out
     }
@@ -353,7 +396,10 @@ mod tests {
     #[test]
     fn per_block_tracing_adds_sm_lane_spans() {
         let mut d = Device::new(DeviceConfig::test_small());
-        let trace = Trace::with_config(cuts_obs::TraceConfig { per_block: true });
+        let trace = Trace::with_config(cuts_obs::TraceConfig {
+            per_block: true,
+            ..Default::default()
+        });
         d.set_trace(trace.clone());
         d.launch_named("expand", 8, |_| Ok(())).unwrap();
         let events = trace.journal().unwrap().drain_sorted();
@@ -393,6 +439,26 @@ mod tests {
         // The device aggregate still has everything.
         assert_eq!(d.counters().instructions, 200 + 12 + 7);
         assert_eq!(d.counters().kernel_launches, 3);
+    }
+
+    #[test]
+    fn registry_tap_records_kernel_wall_histograms() {
+        let mut d = Device::new(DeviceConfig::test_small());
+        let reg = Registry::enabled();
+        d.set_registry(reg.clone());
+        d.launch_named("expand", 4, |_| Ok(())).unwrap();
+        d.launch_named("expand", 4, |_| Ok(())).unwrap();
+        d.run_single_block_named("filter", |_| ());
+        let h = |kernel: &str| {
+            reg.histogram("cuts_kernel_wall_us", &[("kernel", kernel)], "")
+                .count()
+        };
+        assert_eq!(h("expand"), 2);
+        assert_eq!(h("filter"), 1);
+        // A disabled registry records nothing (the default path).
+        let d2 = Device::new(DeviceConfig::test_small());
+        assert!(!d2.registry().is_enabled());
+        d2.launch_named("expand", 2, |_| Ok(())).unwrap();
     }
 
     #[test]

@@ -20,20 +20,31 @@
 //!   thread track per lane and per SM), flat JSONL, and a structural
 //!   validator for tests.
 //! * [`metrics`] — a Prometheus-style text snapshot.
+//! * [`registry`] — always-on serving metrics: lock-free lane-sharded
+//!   counters, gauges, and log2-bucketed latency histograms with a
+//!   zero-cost disabled path (the journal answers "what happened in
+//!   this run"; the registry answers "what are my p99s right now").
+//! * [`flight`] — the crash flight recorder: a bounded, lossy,
+//!   overwrite-oldest ring of typed events that records even when the
+//!   journal is off, dumped to a post-mortem file on failure paths.
 //! * [`json`] — the workspace's serde stand-in ([`ToJson`]) plus a small
 //!   parser, so structured output is built from trees rather than
 //!   hand-formatted strings.
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod trace;
 
 pub use event::{Arg, CounterDelta, Event, EventKind};
 pub use export::{chrome_trace, jsonl, validate_chrome, ChromeSummary, SM_LANE_BASE};
+pub use flight::{FlightCode, FlightEvent, FlightRecorder};
 pub use journal::{lane, Journal};
 pub use json::{Json, SchemaError, ToJson};
-pub use metrics::{Metric, MetricsSnapshot};
+pub use metrics::{validate_exposition, Metric, MetricKind, MetricsSnapshot};
+pub use registry::{Counter, Gauge, Hist, HistSnapshot, Registry};
 pub use trace::{Span, Trace, TraceConfig};

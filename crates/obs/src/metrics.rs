@@ -4,8 +4,42 @@
 //! rendered in the Prometheus exposition text format. Non-finite values
 //! render as `+Inf` / `-Inf` / `NaN`, which the format permits — the
 //! infinity that used to corrupt JSON output is representable here.
+//!
+//! The renderer follows the exposition-format rules a real scraper
+//! enforces: label values escape backslash, double-quote, and newline;
+//! all samples of one metric family are emitted contiguously; and
+//! `# HELP` / `# TYPE` appear exactly once per family, before its
+//! samples. Summary families group their `quantile`-labelled samples
+//! with the `_sum` / `_count` series under one `# TYPE name summary`
+//! header. [`validate_exposition`] is a small scraper-side parser used
+//! in tests to keep the output honest.
 
 use std::fmt::Write as _;
+
+/// Prometheus metric family type, for the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricKind {
+    /// No `# TYPE` line (legacy untyped sample).
+    #[default]
+    Untyped,
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Pre-computed quantiles with `_sum` / `_count` series.
+    Summary,
+}
+
+impl MetricKind {
+    fn as_str(self) -> Option<&'static str> {
+        match self {
+            MetricKind::Untyped => None,
+            MetricKind::Counter => Some("counter"),
+            MetricKind::Gauge => Some("gauge"),
+            MetricKind::Summary => Some("summary"),
+        }
+    }
+}
 
 /// One sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,8 +50,10 @@ pub struct Metric {
     pub labels: Vec<(String, String)>,
     /// Sample value.
     pub value: f64,
-    /// Optional `# HELP` line (emitted once per metric name).
+    /// Optional `# HELP` line (emitted once per metric family).
     pub help: Option<&'static str>,
+    /// Family type for the `# TYPE` line.
+    pub kind: MetricKind,
 }
 
 /// An ordered collection of samples.
@@ -34,17 +70,29 @@ impl MetricsSnapshot {
 
     /// Appends an unlabelled sample.
     pub fn push(&mut self, name: &str, value: f64) -> &mut Self {
-        self.push_full(name, &[], value, None)
+        self.push_full(name, &[], value, None, MetricKind::Untyped)
     }
 
     /// Appends an unlabelled sample with a help string.
     pub fn push_help(&mut self, name: &str, value: f64, help: &'static str) -> &mut Self {
-        self.push_full(name, &[], value, Some(help))
+        self.push_full(name, &[], value, Some(help), MetricKind::Untyped)
     }
 
     /// Appends a labelled sample.
     pub fn push_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
-        self.push_full(name, labels, value, None)
+        self.push_full(name, labels, value, None, MetricKind::Untyped)
+    }
+
+    /// Appends a fully-specified sample: labels, family type, and help.
+    pub fn push_typed(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        kind: MetricKind,
+        help: &'static str,
+    ) -> &mut Self {
+        self.push_full(name, labels, value, Some(help), kind)
     }
 
     fn push_full(
@@ -53,6 +101,7 @@ impl MetricsSnapshot {
         labels: &[(&str, &str)],
         value: f64,
         help: Option<&'static str>,
+        kind: MetricKind,
     ) -> &mut Self {
         self.metrics.push(Metric {
             name: name.to_string(),
@@ -62,6 +111,7 @@ impl MetricsSnapshot {
                 .collect(),
             value,
             help,
+            kind,
         });
         self
     }
@@ -81,35 +131,100 @@ impl MetricsSnapshot {
         &self.metrics
     }
 
-    /// Renders the Prometheus exposition text format.
+    /// Appends every sample of `other`.
+    pub fn extend(&mut self, other: &MetricsSnapshot) {
+        self.metrics.extend(other.metrics.iter().cloned());
+    }
+
+    /// The family a sample belongs to: its name, minus a `_sum` /
+    /// `_count` suffix when the base name is a declared summary (those
+    /// series share the base family's `# TYPE` header).
+    fn family_of(&self, m: &Metric) -> String {
+        for suffix in ["_sum", "_count"] {
+            if let Some(base) = m.name.strip_suffix(suffix) {
+                if self
+                    .metrics
+                    .iter()
+                    .any(|o| o.kind == MetricKind::Summary && o.name == base)
+                {
+                    return base.to_string();
+                }
+            }
+        }
+        m.name.clone()
+    }
+
+    /// Renders the Prometheus exposition text format. Samples are
+    /// grouped by family (first-appearance order) with `# HELP` /
+    /// `# TYPE` emitted once per family.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        let mut last_help: Option<&str> = None;
+        let mut families: Vec<String> = Vec::new();
         for m in &self.metrics {
-            if let Some(h) = m.help {
-                if last_help != Some(m.name.as_str()) {
-                    let _ = writeln!(out, "# HELP {} {}", m.name, h);
-                }
+            let fam = self.family_of(m);
+            if !families.contains(&fam) {
+                families.push(fam);
             }
-            last_help = Some(m.name.as_str());
-            out.push_str(&m.name);
-            if !m.labels.is_empty() {
-                out.push('{');
-                for (i, (k, v)) in m.labels.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
+        }
+        let mut out = String::new();
+        for fam in &families {
+            let members: Vec<&Metric> = self
+                .metrics
+                .iter()
+                .filter(|m| &self.family_of(m) == fam)
+                .collect();
+            if let Some(h) = members.iter().find_map(|m| m.help) {
+                let _ = writeln!(out, "# HELP {fam} {}", escape_help(h));
+            }
+            if let Some(t) = members.iter().find_map(|m| m.kind.as_str()) {
+                let _ = writeln!(out, "# TYPE {fam} {t}");
+            }
+            for m in members {
+                out.push_str(&m.name);
+                if !m.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in m.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
                     }
-                    let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
-                    let _ = write!(out, "{k}=\"{escaped}\"");
+                    out.push('}');
                 }
-                out.push('}');
+                out.push(' ');
+                out.push_str(&render_value(m.value));
+                out.push('\n');
             }
-            out.push(' ');
-            out.push_str(&render_value(m.value));
-            out.push('\n');
         }
         out
     }
+}
+
+/// Label-value escaping per the exposition format: backslash, quote,
+/// and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// HELP-text escaping: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn render_value(v: f64) -> String {
@@ -124,6 +239,171 @@ fn render_value(v: f64) -> String {
     } else {
         format!("{v}")
     }
+}
+
+/// A scraper-side structural check of exposition text. Verifies line
+/// grammar (comment lines are well-formed `# HELP` / `# TYPE`, sample
+/// lines parse as `name{labels} value`), that label values contain no
+/// raw newline/quote breakage, that each family's `# HELP` / `# TYPE`
+/// appears at most once and before its samples, and that families are
+/// not interleaved. Returns the number of sample lines.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut seen_type: Vec<String> = Vec::new();
+    let mut seen_help: Vec<String> = Vec::new();
+    let mut closed: Vec<String> = Vec::new();
+    let mut current: Option<String> = None;
+    let mut samples = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (kw, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {ln}: bare comment keyword"))?;
+            let name = rest.split(' ').next().unwrap_or("").to_string();
+            if name.is_empty() || !is_metric_name(&name) {
+                return Err(format!("line {ln}: bad metric name in comment"));
+            }
+            let seen = match kw {
+                "HELP" => &mut seen_help,
+                "TYPE" => {
+                    if kw == "TYPE" {
+                        let ty = rest.split(' ').nth(1).unwrap_or("");
+                        if !matches!(
+                            ty,
+                            "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                        ) {
+                            return Err(format!("line {ln}: bad TYPE '{ty}'"));
+                        }
+                    }
+                    &mut seen_type
+                }
+                other => return Err(format!("line {ln}: unknown comment keyword '{other}'")),
+            };
+            if seen.contains(&name) {
+                return Err(format!("line {ln}: duplicate # {kw} for '{name}'"));
+            }
+            if closed.contains(&name) {
+                return Err(format!("line {ln}: # {kw} after '{name}' samples closed"));
+            }
+            seen.push(name.clone());
+            advance_family(&mut current, &mut closed, &name, ln)?;
+            continue;
+        }
+        let name = parse_sample_line(line).map_err(|e| format!("line {ln}: {e}"))?;
+        let family = family_for_validation(&name, &seen_type);
+        advance_family(&mut current, &mut closed, &family, ln)?;
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn advance_family(
+    current: &mut Option<String>,
+    closed: &mut Vec<String>,
+    family: &str,
+    ln: usize,
+) -> Result<(), String> {
+    if current.as_deref() != Some(family) {
+        if closed.contains(&family.to_string()) {
+            return Err(format!("line {ln}: family '{family}' interleaved"));
+        }
+        if let Some(prev) = current.take() {
+            closed.push(prev);
+        }
+        *current = Some(family.to_string());
+    }
+    Ok(())
+}
+
+fn family_for_validation(name: &str, summaries: &[String]) -> String {
+    for suffix in ["_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if summaries.iter().any(|s| s == base) {
+                return base.to_string();
+            }
+        }
+    }
+    name.to_string()
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses one sample line, returning the metric name.
+fn parse_sample_line(line: &str) -> Result<String, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unclosed label block")?;
+            let labels = &line[brace + 1..close];
+            validate_labels(labels)?;
+            (&line[..brace], &line[close + 1..])
+        }
+        None => {
+            let sp = line.find(' ').ok_or("no value")?;
+            (&line[..sp], &line[sp..])
+        }
+    };
+    if !is_metric_name(name_part) {
+        return Err(format!("bad metric name '{name_part}'"));
+    }
+    let value = rest.trim();
+    if value.is_empty() {
+        return Err("no value".into());
+    }
+    let v = value.split(' ').next().unwrap();
+    if v.parse::<f64>().is_err() && !matches!(v, "+Inf" | "-Inf" | "NaN") {
+        return Err(format!("bad value '{v}'"));
+    }
+    Ok(name_part.to_string())
+}
+
+fn validate_labels(labels: &str) -> Result<(), String> {
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !is_metric_name(key) {
+            return Err(format!("bad label name '{key}'"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".into());
+        }
+        rest = &rest[1..];
+        // Scan to the closing quote, honouring backslash escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("bad escape '\\{c}' in label value"));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        rest = &rest[end + 1..];
+        match rest.chars().next() {
+            None => break,
+            Some(',') => rest = &rest[1..],
+            Some(c) => return Err(format!("unexpected '{c}' after label value")),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -141,6 +421,7 @@ mod tests {
         assert!(text.contains("cuts_matches_total 24"));
         assert!(text.contains("cuts_rank_busy_millis{rank=\"0\"} 1.5"));
         assert!(text.contains("cuts_rank_busy_millis{rank=\"1\"} 2"));
+        validate_exposition(&text).unwrap();
     }
 
     #[test]
@@ -151,12 +432,71 @@ mod tests {
         let text = s.render();
         assert!(text.contains("cuts_ratio +Inf"));
         assert!(text.contains("cuts_nan NaN"));
+        validate_exposition(&text).unwrap();
     }
 
     #[test]
     fn label_values_escaped() {
         let mut s = MetricsSnapshot::new();
         s.push_labeled("m", &[("q", "say \"hi\"")], 1.0);
-        assert!(s.render().contains("q=\"say \\\"hi\\\"\""));
+        s.push_labeled("m", &[("q", "back\\slash and\nnewline")], 2.0);
+        let text = s.render();
+        assert!(text.contains("q=\"say \\\"hi\\\"\""));
+        assert!(text.contains("q=\"back\\\\slash and\\nnewline\""));
+        // The raw newline must not split the sample line.
+        assert_eq!(text.lines().count(), 2);
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn families_grouped_with_single_help_and_type() {
+        let mut s = MetricsSnapshot::new();
+        s.push_typed("a_total", &[], 1.0, MetricKind::Counter, "a help");
+        s.push_labeled("b", &[("x", "1")], 2.0);
+        // Same family pushed non-contiguously: render must regroup it.
+        s.push_typed("a_total", &[("k", "v")], 3.0, MetricKind::Counter, "a help");
+        let text = s.render();
+        assert_eq!(text.matches("# HELP a_total").count(), 1);
+        assert_eq!(text.matches("# TYPE a_total counter").count(), 1);
+        let lines: Vec<&str> = text.lines().collect();
+        let a_lines: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.starts_with("a_total"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(a_lines, vec![2, 3], "family samples stay contiguous");
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn summary_family_covers_sum_and_count() {
+        let mut s = MetricsSnapshot::new();
+        s.push_typed(
+            "lat_us",
+            &[("quantile", "0.5")],
+            10.0,
+            MetricKind::Summary,
+            "latency",
+        );
+        s.push_typed("lat_us_sum", &[], 100.0, MetricKind::Summary, "latency");
+        s.push_typed("lat_us_count", &[], 9.0, MetricKind::Summary, "latency");
+        let text = s.render();
+        assert_eq!(text.matches("# TYPE").count(), 1);
+        assert!(text.contains("# TYPE lat_us summary"));
+        assert!(text.contains("lat_us_sum 100"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_breakage() {
+        assert!(validate_exposition("1bad_name 3\n").is_err());
+        assert!(validate_exposition("m{k=\"unterminated} 3\n").is_err());
+        assert!(validate_exposition("m notanumber\n").is_err());
+        assert!(validate_exposition("# TYPE m counter\n# TYPE m counter\nm 1\n").is_err());
+        // Interleaved families.
+        assert!(validate_exposition("a 1\nb 2\na 3\n").is_err());
+        // TYPE after samples.
+        assert!(validate_exposition("m 1\nx 1\n# TYPE m counter\nm 2\n").is_err());
     }
 }

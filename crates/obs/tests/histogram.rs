@@ -1,0 +1,233 @@
+//! Histogram correctness: quantiles vs a sorted oracle on random and
+//! adversarial distributions, and a sharded-recording stress test.
+
+use cuts_obs::registry::{bucket_index, bucket_upper};
+use cuts_obs::Registry;
+
+/// Deterministic xorshift so test inputs are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Exact quantile from a sorted copy: the `ceil(q·n)`-th smallest.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the histogram's reported quantile brackets the oracle within
+/// one bucket: the report is the upper bound of the bucket holding the
+/// oracle sample, so `lower(bucket(report)) ≤ oracle ≤ report`.
+fn assert_quantile_bounded(samples: &[u64], quantiles: &[f64]) {
+    let reg = Registry::enabled();
+    let h = reg.histogram("h", &[], "oracle test");
+    for &v in samples {
+        h.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), samples.len() as u64);
+    assert_eq!(snap.sum(), samples.iter().copied().sum::<u64>());
+    for &q in quantiles {
+        let oracle = oracle_quantile(&sorted, q);
+        let reported = snap.quantile(q).expect("non-empty");
+        assert_eq!(
+            bucket_index(reported),
+            bucket_index(oracle),
+            "q={q}: reported {reported} not in oracle {oracle}'s bucket"
+        );
+        assert!(
+            reported >= oracle,
+            "q={q}: reported {reported} < oracle {oracle}"
+        );
+        // Log2 sub-bucket width bound: ≤ 25% relative error (exact for
+        // small values).
+        assert!(
+            (reported - oracle) as f64 <= (oracle as f64 * 0.25).max(0.0),
+            "q={q}: reported {reported} vs oracle {oracle} exceeds bucket width"
+        );
+    }
+}
+
+const QS: [f64; 5] = [0.5, 0.9, 0.95, 0.99, 0.999];
+
+#[test]
+fn random_uniform_matches_oracle() {
+    let mut rng = Rng(0x5eed);
+    let samples: Vec<u64> = (0..10_000).map(|_| rng.next() % 1_000_000).collect();
+    assert_quantile_bounded(&samples, &QS);
+}
+
+#[test]
+fn random_wide_range_matches_oracle() {
+    let mut rng = Rng(0xfeed_beef);
+    // Spread over many octaves: shift by a random amount up to 2^50.
+    let samples: Vec<u64> = (0..10_000)
+        .map(|_| {
+            let shift = rng.next() % 50;
+            rng.next() % (1u64 << (shift + 1))
+        })
+        .collect();
+    assert_quantile_bounded(&samples, &QS);
+}
+
+#[test]
+fn adversarial_single_bucket() {
+    // Every sample identical → every quantile is that bucket's bound.
+    assert_quantile_bounded(&vec![777u64; 5_000], &QS);
+    // All samples inside one log2 sub-bucket.
+    let samples: Vec<u64> = (0..1_000).map(|i| 1_048_576 + (i % 100)).collect();
+    assert_quantile_bounded(&samples, &QS);
+}
+
+#[test]
+fn adversarial_heavy_tail() {
+    // 99% tiny values, 1% huge: the tail quantiles must find the spike.
+    let mut rng = Rng(0xabc);
+    let samples: Vec<u64> = (0..20_000)
+        .map(|i| {
+            if i % 100 == 0 {
+                1_000_000_000 + rng.next() % 1_000_000
+            } else {
+                rng.next() % 64
+            }
+        })
+        .collect();
+    assert_quantile_bounded(&samples, &QS);
+}
+
+#[test]
+fn adversarial_bucket_boundaries() {
+    // Exact powers of two and off-by-ones straddle bucket edges.
+    let mut samples = Vec::new();
+    for shift in 0..40u32 {
+        let v = 1u64 << shift;
+        samples.extend([v.saturating_sub(1), v, v + 1]);
+    }
+    assert_quantile_bounded(&samples, &QS);
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let reg = Registry::enabled();
+    let h = reg.histogram("empty", &[], "empty");
+    assert_eq!(h.snapshot().quantile(0.5), None);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.snapshot().mean(), 0.0);
+}
+
+#[test]
+fn sharded_recording_loses_nothing() {
+    // 8 threads hammer one histogram; afterwards the merged view must
+    // hold every increment with an exact sum — no lost updates, and no
+    // torn reads (a torn 64-bit read would corrupt count or sum).
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 200_000;
+    let reg = Registry::enabled();
+    let h = reg.histogram("stress", &[], "stress");
+    let expected_sum: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = h.clone();
+                s.spawn(move || {
+                    let mut rng = Rng(0x1000 + t as u64);
+                    let mut sum = 0u64;
+                    for _ in 0..PER_THREAD {
+                        let v = rng.next() % 100_000;
+                        h.record(v);
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS as u64 * PER_THREAD, "lost increments");
+    assert_eq!(snap.sum(), expected_sum, "torn or lost sum updates");
+    // Counters shard the same way; verify them under the same load.
+    let c = reg.counter("stress_total", &[], "stress");
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_snapshot_never_tears() {
+    // Readers snapshot while a writer records a fixed value. Snapshots
+    // are not instantaneous (shards are read in sequence), but every
+    // individual 64-bit load is atomic, so each reader must observe
+    // counts and sums that only ever grow and never exceed the final
+    // totals — a torn read would surface as a wild or regressing value.
+    const TOTAL: u64 = 500_000;
+    let reg = Registry::enabled();
+    let h = reg.histogram("tear", &[], "tear check");
+    std::thread::scope(|s| {
+        let writer = {
+            let h = h.clone();
+            s.spawn(move || {
+                for _ in 0..TOTAL {
+                    h.record(3);
+                }
+            })
+        };
+        for _ in 0..3 {
+            let h = h.clone();
+            s.spawn(move || {
+                let (mut last_count, mut last_sum) = (0u64, 0u64);
+                for _ in 0..200 {
+                    let snap = h.snapshot();
+                    let (count, sum) = (snap.count(), snap.sum());
+                    assert!(
+                        count >= last_count,
+                        "count regressed: {last_count} -> {count}"
+                    );
+                    assert!(sum >= last_sum, "sum regressed: {last_sum} -> {sum}");
+                    assert!(count <= TOTAL, "count overshot: {count}");
+                    assert!(sum <= 3 * TOTAL, "sum overshot: {sum}");
+                    (last_count, last_sum) = (count, sum);
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    let end = h.snapshot();
+    assert_eq!(end.count(), TOTAL);
+    assert_eq!(end.sum(), 3 * TOTAL);
+}
+
+#[test]
+fn bucket_bounds_partition_u64() {
+    // Walking bucket uppers from 0 must visit strictly increasing
+    // bounds and index back into the same bucket.
+    let mut prev: Option<u64> = None;
+    for idx in 0..cuts_obs::registry::HIST_BUCKETS {
+        let upper = bucket_upper(idx);
+        if let Some(p) = prev {
+            assert!(upper > p, "bucket {idx} upper {upper} not increasing");
+            assert_eq!(bucket_index(p + 1), idx, "gap below bucket {idx}");
+        }
+        assert_eq!(bucket_index(upper), idx, "upper bound maps elsewhere");
+        prev = Some(upper);
+    }
+    assert_eq!(prev, Some(u64::MAX));
+}
