@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use cuts_dist::{run_distributed, DistConfig, FaultPlan};
+use cuts_dist::{run, DistConfig, FaultPlan};
 use cuts_gpu_sim::DeviceConfig;
 use cuts_graph::generators::clique;
 use cuts_graph::{Dataset, Scale};
@@ -23,13 +23,7 @@ fn bench_ranks(c: &mut Criterion) {
                 dist_chunk: 32,
                 ..Default::default()
             };
-            b.iter(|| {
-                black_box(
-                    run_distributed(&data, &query, ranks, &config)
-                        .unwrap()
-                        .total_matches,
-                )
-            });
+            b.iter(|| black_box(run(&data, &query, ranks, &config).unwrap().total_matches));
         });
     }
     group.finish();
@@ -52,13 +46,7 @@ fn bench_recovery(c: &mut Criterion) {
                 fault_plan: FaultPlan::parse("crash:1@1").unwrap(),
                 ..Default::default()
             };
-            b.iter(|| {
-                black_box(
-                    run_distributed(&data, &query, ranks, &config)
-                        .unwrap()
-                        .total_matches,
-                )
-            });
+            b.iter(|| black_box(run(&data, &query, ranks, &config).unwrap().total_matches));
         });
     }
     group.finish();

@@ -9,7 +9,7 @@
 
 use cuts_bench::{scale_from_env, Machine};
 use cuts_dist::worker::Partition;
-use cuts_dist::{run_distributed, DistConfig};
+use cuts_dist::{run, DistConfig};
 use cuts_graph::generators::clique;
 use cuts_graph::Dataset;
 
@@ -34,7 +34,7 @@ fn main() {
             pacing: 25.0,
             ..Default::default()
         };
-        let r = run_distributed(&data, &query, 4, &config).expect("run");
+        let r = run(&data, &query, 4, &config).expect("run");
         let donations: usize = r.per_rank.iter().map(|m| m.donations_sent).sum();
         let msgs: u64 = r.per_rank.iter().map(|m| m.messages_sent).sum();
         println!(

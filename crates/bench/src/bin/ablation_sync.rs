@@ -8,7 +8,7 @@
 //! ```
 
 use cuts_bench::{scale_from_env, Machine};
-use cuts_dist::{run_distributed, run_synchronous, DistConfig};
+use cuts_dist::{run, run_synchronous, DistConfig};
 use cuts_graph::generators::clique;
 use cuts_graph::Dataset;
 
@@ -35,7 +35,7 @@ fn main() {
                 pacing: 50.0,
                 ..Default::default()
             };
-            let a = run_distributed(&data, &q, 4, &config).expect("async run");
+            let a = run(&data, &q, 4, &config).expect("async run");
             let s = run_synchronous(&data, &q, 4, &config).expect("sync run");
             assert_eq!(a.total_matches, s.dist.total_matches, "count drift");
             let async_bytes: u64 = a.per_rank.iter().map(|m| m.bytes_sent).sum();

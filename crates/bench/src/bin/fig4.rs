@@ -6,7 +6,7 @@
 //! ```
 
 use cuts_bench::{quick_from_env, scale_from_env, Machine};
-use cuts_dist::{run_distributed, DistConfig};
+use cuts_dist::{run, DistConfig};
 use cuts_graph::query_gen::query_set;
 use cuts_graph::Dataset;
 
@@ -34,11 +34,11 @@ fn main() {
                 dist_chunk: 64,
                 ..Default::default()
             };
-            let r1 = run_distributed(&data, &q.graph, 1, &config).expect("1-node");
+            let r1 = run(&data, &q.graph, 1, &config).expect("1-node");
             let base = r1.makespan_sim_millis();
             let mut speeds = Vec::new();
             for ranks in [2usize, 4] {
-                let r = run_distributed(&data, &q.graph, ranks, &config).expect("multi-node");
+                let r = run(&data, &q.graph, ranks, &config).expect("multi-node");
                 assert_eq!(r.total_matches, r1.total_matches, "count drift");
                 let m = r.makespan_sim_millis();
                 speeds.push(if m > 0.0 { base / m } else { f64::NAN });

@@ -6,7 +6,7 @@
 //! ```
 
 use cuts_bench::{quick_from_env, scale_from_env, Machine};
-use cuts_dist::{run_distributed, DistConfig};
+use cuts_dist::{run, DistConfig};
 use cuts_graph::query_gen::query_set;
 use cuts_graph::Dataset;
 
@@ -36,7 +36,7 @@ fn main() {
         "query", "T1 (ms)", "T2 (ms)", "T3 (ms)", "T4 (ms)", "balance", "donations"
     );
     for q in &queries {
-        let r = run_distributed(&data, &q.graph, 4, &config).expect("fig5 run");
+        let r = run(&data, &q.graph, 4, &config).expect("fig5 run");
         let t: Vec<f64> = r.per_rank.iter().map(|m| m.busy_sim_millis).collect();
         let donations: usize = r.per_rank.iter().map(|m| m.donations_sent).sum();
         println!(

@@ -7,6 +7,15 @@
 //! wall time is dominated by job-arrival pacing, which lanes can only
 //! partially overlap, so the ratio sits well below the pre-arena ~3.5×.
 //!
+//! A second section replays the same stream through the multi-rank
+//! [`cuts_core::serve::ServeTier`] at 1, 2, and 4 ranks (one lane each,
+//! so the sweep isolates rank scaling), at a higher pacing factor so
+//! simulated device time dominates host compute even on a single-core
+//! runner — the regime a real multi-GPU deployment lives in. Unlike the
+//! lane ratio, rank scaling is **gated**: the stream's makespan must
+//! land within 30% of the scheduling lower bound
+//! `max(total work / ranks, longest single job)`, or the bench aborts.
+//!
 //! ```sh
 //! cargo run -p cuts-bench --release --bin throughput -- --quick
 //! ```
@@ -22,6 +31,11 @@ use cuts_obs::{Json, ToJson};
 /// that overlapping waits (not single-core host compute) dominate, as on
 /// a real accelerator.
 const PACING: f64 = 40.0;
+
+/// Pacing for the multi-rank sweep: high enough that paced device time
+/// dwarfs the host-side planning/estimation work, so rank scaling is
+/// measurable even on a single-core CI runner.
+const PACING_RANKS: f64 = 800.0;
 
 fn manifest_jobs(quick: bool) -> Vec<Job> {
     let text = include_str!(concat!(
@@ -43,9 +57,9 @@ fn scheduler_for(lanes: usize) -> Scheduler {
         .expect("valid scheduler config")
 }
 
-fn verify_identical(serial: &SchedReport, sched: &SchedReport, lanes: usize) {
-    assert_eq!(serial.outcomes.len(), sched.outcomes.len());
-    for (a, b) in serial.outcomes.iter().zip(&sched.outcomes) {
+fn verify_identical(serial: &[JobOutcome], sched: &[JobOutcome], lanes: usize) {
+    assert_eq!(serial.len(), sched.len());
+    for (a, b) in serial.iter().zip(sched) {
         let same = match (&a.result, &b.result) {
             (Ok(x), Ok(y)) => x.canonical_bytes() == y.canonical_bytes(),
             (Err(_), Err(_)) => true,
@@ -89,7 +103,7 @@ fn main() {
                 Ok(())
             })
             .expect("scheduled run succeeds");
-        verify_identical(&serial, &report, lanes);
+        verify_identical(&serial.outcomes, &report.outcomes, lanes);
         let speedup = report.jobs_per_sec() / serial.jobs_per_sec();
         if lanes == 4 {
             speedup_4 = speedup;
@@ -107,6 +121,64 @@ fn main() {
         runs.push(entry);
     }
 
+    // Multi-rank serving tier: the same stream routed across simulated
+    // ranks, one lane each, so the sweep measures rank scaling alone.
+    // The ideal makespan is the classic scheduling lower bound —
+    // `max(total work / ranks, longest single job)`, taken from the
+    // 1-rank run's own per-job execution times — because no router can
+    // split one job across ranks. Rank scaling is gated: placement plus
+    // idle-lane migration must land within 30% of that bound.
+    const SCALING_GATE: f64 = 0.7;
+    let mut rank_runs: Vec<Json> = Vec::new();
+    let mut min_eff = f64::INFINITY;
+    let mut total_exec = 0.0f64;
+    let mut longest_exec = 0.0f64;
+    for ranks in [1usize, 2, 4] {
+        let tier = ServeTier::new(
+            ServeConfig::builder()
+                .ranks(ranks)
+                .lanes(1)
+                .pacing(PACING_RANKS)
+                .telemetry(false)
+                .build()
+                .expect("valid serve config"),
+        );
+        let report = tier.run_stream(&jobs).expect("serve run succeeds");
+        verify_identical(&serial.outcomes, &report.outcomes, ranks);
+        if ranks == 1 {
+            total_exec = report.outcomes.iter().map(|o| o.exec_millis).sum();
+            longest_exec = report
+                .outcomes
+                .iter()
+                .map(|o| o.exec_millis)
+                .fold(0.0, f64::max);
+        }
+        let ideal_wall = (total_exec / ranks as f64).max(longest_exec);
+        let eff = ideal_wall / report.wall_millis.max(f64::MIN_POSITIVE);
+        if ranks > 1 {
+            min_eff = min_eff.min(eff);
+        }
+        println!(
+            "  {ranks} rank(s)  {:>8.2} jobs/s  ({:.1} ms wall vs {:.1} ideal, {:.0}%)  {} migrated",
+            report.jobs_per_sec(),
+            report.wall_millis,
+            ideal_wall,
+            100.0 * eff,
+            report.stats.migrated
+        );
+        let mut entry = report.to_json();
+        entry.set("ranks", Json::U64(ranks as u64));
+        entry.set("ideal_wall_millis", Json::F64(ideal_wall));
+        entry.set("scaling_efficiency", Json::F64(eff));
+        rank_runs.push(entry);
+    }
+    assert!(
+        min_eff >= SCALING_GATE,
+        "rank scaling below the gate: {:.0}% of ideal < {:.0}%",
+        100.0 * min_eff,
+        100.0 * SCALING_GATE
+    );
+
     let out = Json::obj([
         ("bench", Json::Str("throughput".into())),
         ("quick", Json::U64(quick as u64)),
@@ -116,8 +188,14 @@ fn main() {
         ("serial", serial.to_json()),
         ("runs", Json::arr(runs)),
         ("speedup_4_lanes", Json::F64(speedup_4)),
+        ("serve_ranks", Json::arr(rank_runs)),
+        ("rank_scaling_efficiency", Json::F64(min_eff)),
+        ("rank_scaling_gate", Json::F64(SCALING_GATE)),
         ("identical_to_serial", Json::U64(1)),
     ]);
     std::fs::write("BENCH_throughput.json", out.render()).expect("write BENCH_throughput.json");
-    println!("  wrote BENCH_throughput.json (4-lane speedup {speedup_4:.2}x)");
+    println!(
+        "  wrote BENCH_throughput.json (4-lane speedup {speedup_4:.2}x, rank scaling {:.0}% of ideal)",
+        100.0 * min_eff
+    );
 }

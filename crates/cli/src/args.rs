@@ -16,11 +16,12 @@ USAGE:
                [--trace-per-block] [--metrics-out <path>]
   cuts profile (same options as match; cuts engine only) — runs with
                tracing on and prints a per-level / per-kernel breakdown
-  cuts serve   --jobs <manifest> [--devices <n>] [--lanes <k>]
+  cuts serve   --jobs <manifest> [--ranks <n>] [--devices <n>] [--lanes <k>]
                [--queue <n>] [--aging <ms>] [--pacing <f>]
                [--device v100|a100|test] [--output text|json]
+               [--fault-plan <plan>] [--submit-timeout <ms>]
                [--snapshot <path>] [--stats-every <jobs>]
-               [--stats-out <path>] [--metrics-out <path>]
+               [--stats-out <path>] [--metrics-out <path>] [--quick]
   cuts top     <metrics.jsonl> — renders the rolling snapshots a serve
                run wrote via --stats-every/--stats-out as a table
   cuts flight  <dump.json> — validates and summarises a flight-recorder
@@ -59,11 +60,17 @@ FAULT PLANS:   comma-separated clauses injected into the distributed run:
 SERVING:       --jobs is a manifest: one `<data> <query> [key=val...]` job
                per line (specs clique:K chain:K cycle:K star:K mesh:WxH
                er:N:M:SEED; options priority= deadline_ms= name= repeat=;
-               `#` comments). serve drains it through the multi-query
-               scheduler and a serial baseline, reporting throughput and
-               p50/p99 latency; --queue bounds admission, --aging tunes
-               anti-starvation, --pacing stretches simulated time onto
-               the host clock
+               `#` comments). serve drains it through the serving tier
+               and a serial baseline, reporting throughput and p50/p99
+               latency; --ranks spreads the stream over simulated
+               multi-GPU ranks (placement by per-rank memory ledgers,
+               idle ranks migrate whole jobs, a crashed rank's jobs are
+               re-admitted by survivors); --fault-plan injects
+               crash:R@C / panic:R@C mid-stream (needs --ranks > 1);
+               --queue bounds admission, --submit-timeout bounds the wait
+               for queue space (0 = fail fast; full queue exits 3 on
+               busy, 4 on timeout), --aging tunes anti-starvation,
+               --pacing stretches simulated time onto the host clock
 MONITORING:    serving telemetry is always on: serve prints a per-class
                SLO table (queue/exec p50/p95/p99, deadline hit/miss) and
                --metrics-out writes the merged Prometheus exposition
@@ -139,7 +146,9 @@ pub struct MatchOpts {
 pub struct ServeOpts {
     /// Path to the job manifest.
     pub jobs: String,
-    /// Simulated devices to schedule across.
+    /// Simulated multi-GPU ranks the stream is routed across.
+    pub ranks: usize,
+    /// Simulated devices to schedule across (per rank when --ranks > 1).
     pub devices: usize,
     /// Worker lanes per device.
     pub lanes: usize,
@@ -164,6 +173,15 @@ pub struct ServeOpts {
     /// Write the merged Prometheus exposition (job SLO + kernel
     /// registries) here after the run.
     pub metrics_out: Option<String>,
+    /// Fault schedule injected mid-stream (text schema of
+    /// `FaultPlan::parse`); requires --ranks > 1.
+    pub fault_plan: Option<String>,
+    /// Bound on the per-job wait for queue space, milliseconds. 0 means
+    /// fail fast (exit 3 on a full queue); a positive value exits 4 when
+    /// the queue never drains in time. Unset blocks indefinitely.
+    pub submit_timeout_ms: Option<u64>,
+    /// Halve the job stream (CI smoke runs).
+    pub quick: bool,
 }
 
 /// Parsed `snapshot build` options.
@@ -271,6 +289,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "serve" => {
             let mut opts = ServeOpts {
                 jobs: String::new(),
+                ranks: 1,
                 devices: 1,
                 lanes: 4,
                 queue: 64,
@@ -282,11 +301,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 stats_every: 0,
                 stats_out: None,
                 metrics_out: None,
+                fault_plan: None,
+                submit_timeout_ms: None,
+                quick: false,
             };
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--jobs" => opts.jobs = take_value("--jobs", &mut it)?.to_string(),
+                    "--ranks" => {
+                        opts.ranks = take_value("--ranks", &mut it)?
+                            .parse()
+                            .map_err(|_| "--ranks: bad number")?
+                    }
+                    "--fault-plan" => {
+                        opts.fault_plan = Some(take_value("--fault-plan", &mut it)?.to_string())
+                    }
+                    "--submit-timeout" => {
+                        opts.submit_timeout_ms = Some(
+                            take_value("--submit-timeout", &mut it)?
+                                .parse()
+                                .map_err(|_| "--submit-timeout: bad number of milliseconds")?,
+                        )
+                    }
                     "--devices" => {
                         opts.devices = take_value("--devices", &mut it)?
                             .parse()
@@ -328,14 +365,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--metrics-out" => {
                         opts.metrics_out = Some(take_value("--metrics-out", &mut it)?.to_string())
                     }
+                    "--quick" => opts.quick = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if opts.jobs.is_empty() {
                 return Err("serve requires --jobs".into());
             }
-            if opts.devices == 0 || opts.lanes == 0 || opts.queue == 0 {
-                return Err("--devices, --lanes, and --queue must be at least 1".into());
+            if opts.ranks == 0 || opts.devices == 0 || opts.lanes == 0 || opts.queue == 0 {
+                return Err("--ranks, --devices, --lanes, and --queue must be at least 1".into());
+            }
+            if opts.fault_plan.is_some() && opts.ranks < 2 {
+                return Err("--fault-plan requires --ranks > 1".into());
             }
             if !matches!(opts.output.as_str(), "text" | "json") {
                 return Err("--output must be text or json".into());
@@ -905,6 +946,36 @@ mod tests {
         assert!(parse(&argv("top")).is_err());
         assert!(parse(&argv("flight a.json b.json")).is_err());
         assert!(parse(&argv("top --flag p")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_ranks_and_fault_plan() {
+        let c = parse(&argv(
+            "serve --jobs j --ranks 4 --fault-plan crash:2@1 --submit-timeout 250 --quick",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve(o) => {
+                assert_eq!(o.ranks, 4);
+                assert_eq!(o.fault_plan.as_deref(), Some("crash:2@1"));
+                assert_eq!(o.submit_timeout_ms, Some(250));
+                assert!(o.quick);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: one rank, no faults, block indefinitely, full stream.
+        match parse(&argv("serve --jobs j")).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.ranks, 1);
+                assert_eq!(o.fault_plan, None);
+                assert_eq!(o.submit_timeout_ms, None);
+                assert!(!o.quick);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --jobs j --ranks 0")).is_err());
+        assert!(parse(&argv("serve --jobs j --fault-plan crash:0@0")).is_err());
+        assert!(parse(&argv("serve --jobs j --submit-timeout x")).is_err());
     }
 
     #[test]

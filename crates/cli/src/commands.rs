@@ -3,7 +3,7 @@
 use cuts_baseline::{vf2, GsiEngine, GunrockEngine};
 use cuts_core::prelude::*;
 use cuts_core::{sched, IntersectStrategy, SessionStats};
-use cuts_dist::{run_distributed_traced, DistConfig, FaultPlan, Partition};
+use cuts_dist::{run as dist_run, DistConfig, FaultPlan, Partition};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{chain, clique, cycle, star};
 use cuts_graph::labels::{degree_band_labels, random_labels, zipf_labels};
@@ -234,7 +234,8 @@ fn run_match(opts: &MatchOpts, profile: bool) -> Result<(), CmdError> {
         if let Some(ms) = opts.rank_timeout_ms {
             config.rank_timeout = std::time::Duration::from_millis(ms);
         }
-        let r = run_distributed_traced(&data, &query, opts.ranks, &config, &trace)?;
+        config.trace = trace.clone();
+        let r = dist_run(&data, &query, opts.ranks, &config)?;
         if opts.output == "json" {
             println!("{}", r.to_json().render());
             return finish_trace(&trace, opts, profile, r.total_matches);
@@ -462,17 +463,20 @@ fn run_snapshot_inspect(path: &str) -> Result<(), CmdError> {
     Ok(())
 }
 
-/// `cuts serve`: drain a job manifest through the multi-query scheduler
-/// and a serial baseline, report throughput and tail latency, and verify
-/// the two executions are semantically identical.
+/// `cuts serve`: drain a job manifest through the multi-rank serving
+/// tier and a serial baseline, report throughput and tail latency, and
+/// verify the two executions are byte-identical per job.
 fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
     let text = std::fs::read_to_string(&opts.jobs).map_err(|e| CutsError::io(&opts.jobs, e))?;
     let mut jobs = sched::parse_manifest(&text)?;
+    if opts.quick {
+        jobs.truncate(jobs.len().div_ceil(2));
+    }
     if jobs.is_empty() {
         return Err(invalid("job manifest (no jobs)", &opts.jobs));
     }
     // Warm start: every job matches against the snapshot's graph (whose
-    // profile is already installed) and persisted plans seed each worker
+    // profile is already installed) and persisted plans seed every rank
     // session's cache.
     let mut warm_plans = Vec::new();
     if let Some(path) = &opts.snapshot {
@@ -488,19 +492,23 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
             warm_plans.len()
         );
     }
-    // Job lifecycle events (submit/admit/defer/steal/complete) feed the
-    // queue-vs-execution breakdown at the end of the run.
+    // Job lifecycle events (submit/admit/migrate/readmit/complete) feed
+    // the queue-vs-execution breakdown at the end of the run.
     let trace = Trace::enabled();
-    let mut builder = Scheduler::builder()
-        .device_config(device_config(&opts.device)?)
-        .devices(opts.devices)
+    let mut builder = ServeConfig::builder()
+        .ranks(opts.ranks)
+        .devices_per_rank(opts.devices)
         .lanes(opts.lanes)
+        .device_config(device_config(&opts.device)?)
         .queue_capacity(opts.queue)
         .aging(std::time::Duration::from_millis(opts.aging_ms))
         .pacing(opts.pacing)
         .warm_plans(warm_plans)
         .trace(trace.clone())
         .stats_every(opts.stats_every);
+    if let Some(spec) = &opts.fault_plan {
+        builder = builder.fault_plan(FaultPlan::parse(spec)?);
+    }
     if let Some(path) = &opts.stats_out {
         let file = std::fs::File::create(path).map_err(|e| CutsError::io(path, e))?;
         let file = std::sync::Mutex::new(file);
@@ -513,25 +521,41 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
     } else if opts.stats_every > 0 {
         builder = builder.stats_sink(|line| println!("stats: {line}"));
     }
-    let scheduler = builder.build()?;
+    let tier = ServeTier::new(builder.build()?);
     println!(
-        "serve: {} job(s) from {} on {} device(s) x {} lane(s)",
+        "serve: {} job(s) from {} across {} rank(s) x {} device(s) x {} lane(s)",
         jobs.len(),
         opts.jobs,
+        opts.ranks,
         opts.devices,
         opts.lanes
     );
 
-    let serial = scheduler.run_serial(&jobs)?;
-    let report = scheduler.run(|h| {
+    let serial = tier.run_serial(&jobs)?;
+    let timeout = opts.submit_timeout_ms;
+    let report = tier.run(|h| {
         for job in jobs.iter().cloned() {
-            h.submit_wait(job);
+            match timeout {
+                // Block until the tier has queue space.
+                None => {
+                    h.submit_wait(job);
+                }
+                // Fail fast: a full queue is a typed Busy error (exit 3).
+                Some(0) => {
+                    h.submit(job)?;
+                }
+                // Bounded wait: exhaustion is a typed Timeout (exit 4).
+                Some(ms) => {
+                    h.submit_wait_timeout(job, std::time::Duration::from_millis(ms))?;
+                }
+            }
         }
         Ok(())
     })?;
 
-    // The scheduler must be a pure throughput optimisation: per-job
-    // results byte-identical to the serial loop.
+    // The tier must be a pure throughput optimisation: per-job results
+    // byte-identical to the serial loop at any rank/lane count, even
+    // when a fault plan killed ranks mid-stream.
     let mismatched = serial
         .outcomes
         .iter()
@@ -551,18 +575,28 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
     if opts.output == "json" {
         let root = Json::obj([
             ("jobs", Json::U64(jobs.len() as u64)),
+            ("ranks", Json::U64(opts.ranks as u64)),
             ("devices", Json::U64(opts.devices as u64)),
             ("lanes", Json::U64(opts.lanes as u64)),
             ("serial", serial.to_json()),
-            ("scheduler", report.to_json()),
+            ("serve", report.to_json()),
             ("speedup", Json::F64(speedup)),
             ("mismatched_jobs", Json::U64(mismatched as u64)),
         ]);
         println!("{}", root.render());
     } else {
-        let fmt_pct = |r: &SchedReport, p: f64| {
-            r.latency_percentile(p)
-                .map_or("-".to_string(), |v| format!("{v:.3}"))
+        let fmt_pct = |r: &ServeReport, p: f64| {
+            let mut v: Vec<f64> = r
+                .outcomes
+                .iter()
+                .map(|o| o.queue_millis + o.exec_millis)
+                .collect();
+            if v.is_empty() {
+                return "-".to_string();
+            }
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+            format!("{:.3}", v[idx])
         };
         println!(
             "serial:    {:>8.2} jobs/s  ({:.3} ms wall)",
@@ -570,7 +604,7 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
             serial.wall_millis
         );
         println!(
-            "scheduler: {:>8.2} jobs/s  ({:.3} ms wall)  speedup {:.2}x",
+            "serve:     {:>8.2} jobs/s  ({:.3} ms wall)  speedup {:.2}x",
             report.jobs_per_sec(),
             report.wall_millis,
             speedup
@@ -582,9 +616,18 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
         );
         let s = &report.stats;
         println!(
-            "stats:     {} completed / {} failed; {} stolen, {} deferral(s), {} busy rejection(s)",
-            s.completed, s.failed, s.stolen, s.deferred, s.busy_rejections
+            "stats:     {} completed / {} failed; {} migrated, {} readmitted",
+            s.completed, s.failed, s.migrated, s.readmitted
         );
+        if !s.lost_ranks.is_empty() {
+            println!(
+                "faults:    rank(s) {:?} lost mid-stream; their jobs were re-admitted",
+                s.lost_ranks
+            );
+        }
+        for (r, n) in s.per_rank_jobs.iter().enumerate() {
+            println!("rank {r}:    {n} job(s) committed");
+        }
         for (d, (&peak, &budget)) in s
             .peak_reserved_words
             .iter()
@@ -598,10 +641,6 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
                 100.0 * peak as f64 / budget.max(1) as f64
             );
         }
-        println!(
-            "plans:     {} built, {} cache hit(s)",
-            s.plan_misses, s.plan_hits
-        );
         print!("{}", slo_table(&report.slo));
         if let Some(p) = &report.postmortem {
             println!("postmortem: {p}  (inspect with `cuts flight`)");
@@ -619,16 +658,16 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
         }
     }
     // One exposition from both registries: per-run job SLO metrics and
-    // the scheduler-lifetime kernel wall-time histograms.
+    // the tier-lifetime kernel wall-time histograms.
     if let Some(path) = &opts.metrics_out {
         let mut snap = report.telemetry.snapshot();
-        snap.extend(&scheduler.kernel_telemetry().snapshot());
+        snap.extend(&tier.kernel_telemetry().snapshot());
         std::fs::write(path, snap.render()).map_err(|e| CutsError::io(path, e))?;
         println!("metrics: written to {path}");
     }
     if mismatched > 0 {
         return Err(invalid(
-            "scheduler/serial divergence (jobs differing)",
+            "serve/serial divergence (jobs differing)",
             mismatched.to_string(),
         ));
     }
@@ -1241,6 +1280,7 @@ mod tests {
         .unwrap();
         let opts = ServeOpts {
             jobs: manifest.to_string_lossy().into_owned(),
+            ranks: 1,
             devices: 1,
             lanes: 2,
             queue: 16,
@@ -1252,11 +1292,69 @@ mod tests {
             stats_every: 0,
             stats_out: None,
             metrics_out: None,
+            fault_plan: None,
+            submit_timeout_ms: None,
+            quick: false,
         };
         run_serve(&opts).unwrap();
         // A manifest with no jobs is a typed error, not a panic.
         std::fs::write(&manifest, "# comments only\n").unwrap();
         assert!(matches!(run_serve(&opts), Err(CutsError::Invalid { .. })));
+    }
+
+    #[test]
+    fn serve_multi_rank_survives_a_rank_crash() {
+        let dir = std::env::temp_dir().join("cuts_cli_serve_ranks_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("jobs.txt");
+        std::fs::write(
+            &manifest,
+            "mesh:4x4 clique:3 repeat=4\nmesh:4x4 chain:3 repeat=3\ner:24:60:7 cycle:4 name=ring\n",
+        )
+        .unwrap();
+        // Two ranks, one dies after its first job: the stream must still
+        // drain completely, byte-identical to the serial baseline (the
+        // in-command verify fails the run otherwise).
+        run_serve(&ServeOpts {
+            jobs: manifest.to_string_lossy().into_owned(),
+            ranks: 2,
+            devices: 1,
+            lanes: 2,
+            queue: 16,
+            aging_ms: 5,
+            pacing: 20.0,
+            device: "test".into(),
+            output: "json".into(),
+            snapshot: None,
+            stats_every: 0,
+            stats_out: None,
+            metrics_out: None,
+            fault_plan: Some("crash:1@1".into()),
+            submit_timeout_ms: None,
+            quick: false,
+        })
+        .unwrap();
+        // A bounded submit wait on an uncontended queue also drains fine.
+        run_serve(&ServeOpts {
+            jobs: manifest.to_string_lossy().into_owned(),
+            ranks: 2,
+            devices: 1,
+            lanes: 1,
+            queue: 16,
+            aging_ms: 5,
+            pacing: 0.0,
+            device: "test".into(),
+            output: "text".into(),
+            snapshot: None,
+            stats_every: 0,
+            stats_out: None,
+            metrics_out: None,
+            fault_plan: None,
+            submit_timeout_ms: Some(5_000),
+            quick: false,
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1280,6 +1378,7 @@ mod tests {
         let metrics_path = dir.join("metrics.prom");
         run_serve(&ServeOpts {
             jobs: manifest.to_string_lossy().into_owned(),
+            ranks: 1,
             devices: 1,
             lanes: 2,
             queue: 16,
@@ -1291,6 +1390,9 @@ mod tests {
             stats_every: 2,
             stats_out: Some(stats_path.to_string_lossy().into_owned()),
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+            fault_plan: None,
+            submit_timeout_ms: None,
+            quick: false,
         })
         .unwrap();
         std::env::remove_var("CUTS_FLIGHT_DIR");
@@ -1441,6 +1543,7 @@ mod tests {
         std::fs::write(&manifest, "mesh:4x4 clique:3 repeat=2\nmesh:4x4 chain:3\n").unwrap();
         run_serve(&ServeOpts {
             jobs: manifest.to_string_lossy().into_owned(),
+            ranks: 1,
             devices: 1,
             lanes: 2,
             queue: 16,
@@ -1452,6 +1555,9 @@ mod tests {
             stats_every: 0,
             stats_out: None,
             metrics_out: None,
+            fault_plan: None,
+            submit_timeout_ms: None,
+            quick: false,
         })
         .unwrap();
         // A corrupt container surfaces as a typed snapshot error.

@@ -16,8 +16,22 @@
 
 use std::process::ExitCode;
 
+use cuts_core::{CutsError, SchedError};
+
 mod args;
 mod commands;
+
+/// Maps a command failure to its exit code: admission-control outcomes
+/// are distinct so callers can react without parsing stderr — `3` means
+/// the serving queue was full (`SchedError::Busy`), `4` that a bounded
+/// submit wait expired (`SchedError::Timeout`). Everything else is `1`.
+fn exit_code_for(e: &CutsError) -> ExitCode {
+    match e {
+        CutsError::Sched(SchedError::Busy { .. }) => ExitCode::from(3),
+        CutsError::Sched(SchedError::Timeout { .. }) => ExitCode::from(4),
+        _ => ExitCode::FAILURE,
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +40,7 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                exit_code_for(&e)
             }
         },
         Err(e) => {

@@ -107,6 +107,14 @@ pub enum SchedError {
     },
     /// The scheduler has stopped accepting jobs (its run scope ended).
     Closed,
+    /// A deadline-bounded submission waited its whole budget without the
+    /// queue draining (see `SubmitHandle::submit_wait_timeout`). Distinct
+    /// from [`SchedError::Busy`] — the caller *did* wait — so load-shed
+    /// policies and CLI exit codes can react differently.
+    Timeout {
+        /// How long the submission waited, in milliseconds.
+        waited_millis: u64,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -116,6 +124,12 @@ impl std::fmt::Display for SchedError {
                 write!(f, "submission queue full (capacity {capacity})")
             }
             SchedError::Closed => write!(f, "scheduler is closed to new jobs"),
+            SchedError::Timeout { waited_millis } => {
+                write!(
+                    f,
+                    "submission timed out after {waited_millis} ms of backpressure"
+                )
+            }
         }
     }
 }

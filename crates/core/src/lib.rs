@@ -28,8 +28,10 @@ pub mod complexity;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod intersect;
 pub mod kernels;
+pub mod ledger;
 pub mod order;
 pub mod plan;
 pub mod policy;
@@ -37,6 +39,7 @@ pub mod prelude;
 pub mod reference;
 pub mod result;
 pub mod sched;
+pub mod serve;
 pub mod session;
 pub mod snapshot;
 
@@ -44,6 +47,8 @@ pub use cache::{PlanCache, PlanCacheStats};
 pub use config::{EngineConfig, EngineConfigBuilder, IntersectStrategy, VirtualWarpPolicy};
 pub use engine::CutsEngine;
 pub use error::{ConfigError, CutsError, DistError, EngineError, SchedError, SnapshotError};
+pub use fault::{CrashKind, FaultInjector, FaultPlan};
+pub use ledger::{AliveBoard, WorkId, WorkLedger};
 pub use order::{BackEdge, Dir, MatchOrder, OrderPolicy};
 pub use plan::{BudgetCheck, DeviceClass, LevelSchedule, PlanKey, QueryPlan};
 pub use policy::{KernelPolicy, LevelDecision, LevelMethod};
@@ -52,5 +57,6 @@ pub use sched::{
     ClassSlo, Job, JobId, JobOutcome, SchedReport, SchedStats, Scheduler, SchedulerBuilder,
     SloReport, StatsSink,
 };
+pub use serve::{ServeConfig, ServeConfigBuilder, ServeReport, ServeStats, ServeTier};
 pub use session::{ExecSession, MatchSink, SessionStats};
 pub use snapshot::{Snapshot, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

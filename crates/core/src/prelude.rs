@@ -9,10 +9,12 @@
 pub use crate::config::{EngineConfig, EngineConfigBuilder, IntersectStrategy};
 pub use crate::engine::CutsEngine;
 pub use crate::error::{ConfigError, CutsError, EngineError, SchedError};
+pub use crate::fault::FaultPlan;
 pub use crate::plan::QueryPlan;
 pub use crate::result::MatchResult;
 pub use crate::sched::{
     ClassSlo, Job, JobId, JobOutcome, SchedReport, Scheduler, SchedulerBuilder, SloReport,
 };
+pub use crate::serve::{ServeConfig, ServeConfigBuilder, ServeReport, ServeStats, ServeTier};
 pub use crate::session::ExecSession;
 pub use crate::snapshot::Snapshot;

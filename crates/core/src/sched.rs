@@ -54,7 +54,7 @@ use crate::result::MatchResult;
 use crate::session::{BudgetedRunError, ExecSession, GrantAll, GrowthLedger};
 
 /// Smallest trie capacity (entries) a job is ever given.
-const MIN_TRIE_ENTRIES: usize = 256;
+pub(crate) const MIN_TRIE_ENTRIES: usize = 256;
 /// Defer backoff bounds.
 const BACKOFF_FIRST: Duration = Duration::from_micros(500);
 const BACKOFF_MAX: Duration = Duration::from_millis(8);
@@ -85,6 +85,18 @@ fn saturating_entries(est: f64, budget: usize) -> usize {
     } else {
         e.next_power_of_two().min(budget)
     }
+}
+
+/// The per-job trie capacity (entries) for `plan` over `data`: the §5
+/// space estimate, rounded up to a power of two so repeat jobs share
+/// chain shapes, clamped into `[MIN, budget]`. Depends only on the job
+/// and the device model — never on lane count, rank count, or what ran
+/// before — which is what makes scheduler *and* serving-tier results
+/// bit-identical to a serial loop. Shared with [`crate::serve`].
+pub(crate) fn job_entries_for(plan: &QueryPlan, data: &Graph, sigma: f64) -> usize {
+    let est = plan.space_estimate(data, sigma).ceil();
+    let budget = plan.trie_entries_budget.max(1);
+    saturating_entries(est, budget).clamp(MIN_TRIE_ENTRIES.min(budget), budget)
 }
 
 /// One unit of work: match `query` in `data`.
@@ -351,23 +363,31 @@ impl std::fmt::Debug for StatsSink {
 
 /// Always-on telemetry state for one run: the registry, pre-resolved
 /// hot-path counter handles, SLO class tracking, rolling-snapshot
-/// emission, and the once-per-run post-mortem latch.
-struct Telemetry {
-    reg: Registry,
+/// emission, and the once-per-run post-mortem latch. Shared between the
+/// scheduler and the serving tier ([`crate::serve`]) so both account
+/// SLOs into the same histogram families.
+pub(crate) struct Telemetry {
+    pub(crate) reg: Registry,
     classes: Mutex<Vec<String>>,
-    deferrals: Counter,
-    growth_denials: Counter,
-    steals: Counter,
+    pub(crate) deferrals: Counter,
+    pub(crate) growth_denials: Counter,
+    pub(crate) steals: Counter,
     stats_every: u64,
     sink: Option<StatsSink>,
     start: Instant,
     dumped: AtomicBool,
-    postmortem: Mutex<Option<String>>,
+    pub(crate) postmortem: Mutex<Option<String>>,
 }
 
 impl Telemetry {
     fn new(sched: &Scheduler) -> Self {
-        let reg = Registry::with_enabled(sched.telemetry);
+        Telemetry::with(sched.telemetry, sched.stats_every, sched.stats_sink.clone())
+    }
+
+    /// Builds the run-scoped telemetry state directly from its knobs
+    /// (the serving tier has no `Scheduler` to read them from).
+    pub(crate) fn with(enabled: bool, stats_every: u64, sink: Option<StatsSink>) -> Self {
+        let reg = Registry::with_enabled(enabled);
         Telemetry {
             deferrals: reg.counter(
                 "cuts_sched_deferrals_total",
@@ -386,8 +406,8 @@ impl Telemetry {
             ),
             reg,
             classes: Mutex::new(Vec::new()),
-            stats_every: sched.stats_every,
-            sink: sched.stats_sink.clone(),
+            stats_every,
+            sink,
             start: Instant::now(),
             dumped: AtomicBool::new(false),
             postmortem: Mutex::new(None),
@@ -395,7 +415,7 @@ impl Telemetry {
     }
 
     /// The SLO class a job's latency is accounted under.
-    fn class_of(job: &Job) -> &str {
+    pub(crate) fn class_of(job: &Job) -> &str {
         job.class
             .as_deref()
             .or(job.name.as_deref())
@@ -404,7 +424,7 @@ impl Telemetry {
 
     /// Records one finished job: latency histograms, outcome and
     /// deadline counters, flight events, and the first-failure dump.
-    fn on_finish(&self, class: &str, deadline: Option<Duration>, o: &JobOutcome) {
+    pub(crate) fn on_finish(&self, class: &str, deadline: Option<Duration>, o: &JobOutcome) {
         {
             let mut cs = self.classes.lock().unwrap();
             if !cs.iter().any(|c| c == class) {
@@ -441,7 +461,7 @@ impl Telemetry {
 
     /// Dumps the flight recorder at most once per run; the path is
     /// surfaced on the report.
-    fn dump_once(&self, reason: &str) {
+    pub(crate) fn dump_once(&self, reason: &str) {
         if self.dumped.swap(true, Ordering::Relaxed) {
             return;
         }
@@ -450,12 +470,12 @@ impl Telemetry {
         }
     }
 
-    fn slo(&self) -> SloReport {
+    pub(crate) fn slo(&self) -> SloReport {
         SloReport::from_registry(&self.reg, &self.classes.lock().unwrap())
     }
 
     /// One rolling-snapshot JSON line (`finished` = jobs done so far).
-    fn snapshot_line(&self, finished: u64) -> String {
+    pub(crate) fn snapshot_line(&self, finished: u64) -> String {
         Json::obj([
             ("finished", Json::U64(finished)),
             (
@@ -471,7 +491,7 @@ impl Telemetry {
     }
 
     /// Emits a rolling snapshot when `finished` crosses the cadence.
-    fn maybe_emit(&self, finished: u64) {
+    pub(crate) fn maybe_emit(&self, finished: u64) {
         if self.stats_every == 0 || finished == 0 || !finished.is_multiple_of(self.stats_every) {
             return;
         }
@@ -857,9 +877,7 @@ impl Scheduler {
     /// the device model — never on lane count or what ran before — which
     /// is what makes scheduler results bit-identical to a serial loop.
     fn job_entries(&self, plan: &QueryPlan, data: &Graph) -> usize {
-        let est = plan.space_estimate(data, self.sigma).ceil();
-        let budget = plan.trie_entries_budget.max(1);
-        saturating_entries(est, budget).clamp(MIN_TRIE_ENTRIES.min(budget), budget)
+        job_entries_for(plan, data, self.sigma)
     }
 
     /// Runs one stream: `submit` receives a handle, submits jobs (and
@@ -1140,6 +1158,34 @@ impl SubmitHandle<'_> {
         self.shared.enqueue(&mut p, job)
     }
 
+    /// Submits a job, blocking at most `timeout` for queue space.
+    ///
+    /// [`SubmitHandle::submit_wait`] can hang its caller forever when
+    /// the stream never drains (every lane wedged behind a dead rank, a
+    /// pathological job, …); this is the deadline-aware variant. The
+    /// typed [`SchedError::Timeout`] is distinct from
+    /// [`SchedError::Busy`] so callers — and the CLI's exit codes — can
+    /// tell instant backpressure from a submission that waited its full
+    /// budget.
+    pub fn submit_wait_timeout(&self, job: Job, timeout: Duration) -> Result<JobId, SchedError> {
+        let deadline = Instant::now() + timeout;
+        let mut p = self.shared.pending.lock().unwrap();
+        while p.queue.len() >= self.shared.sched.queue_capacity && !p.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                self.shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(SchedError::Timeout {
+                    waited_millis: timeout.as_millis() as u64,
+                });
+            }
+            p = self.shared.space.wait_timeout(p, deadline - now).unwrap().0;
+        }
+        if p.closed {
+            return Err(SchedError::Closed);
+        }
+        Ok(self.shared.enqueue(&mut p, job))
+    }
+
     /// Jobs currently waiting for dispatch.
     pub fn pending(&self) -> usize {
         self.shared.pending.lock().unwrap().queue.len()
@@ -1298,11 +1344,19 @@ impl<'s> Shared<'s> {
 /// Dispatch score: static priority, plus waited time in units of the
 /// aging constant, plus a deadline-urgency boost. Any job's aging term
 /// grows without bound, so no job starves behind a stream of
-/// higher-priority arrivals.
-fn score(p: &PendingJob, now: Instant, aging: Duration) -> f64 {
-    let waited = now.saturating_duration_since(p.submitted_at).as_secs_f64();
-    let mut s = p.job.priority as f64 + waited / aging.as_secs_f64();
-    if let Some(d) = p.job.deadline {
+/// higher-priority arrivals. Shared with [`crate::serve`], whose ranks
+/// pick work by the same score so priorities and deadlines keep their
+/// meaning after a job migrates.
+pub(crate) fn dispatch_score(
+    priority: i32,
+    deadline: Option<Duration>,
+    submitted_at: Instant,
+    now: Instant,
+    aging: Duration,
+) -> f64 {
+    let waited = now.saturating_duration_since(submitted_at).as_secs_f64();
+    let mut s = priority as f64 + waited / aging.as_secs_f64();
+    if let Some(d) = deadline {
         let remaining = d.as_secs_f64() - waited;
         s += if remaining <= 0.0 {
             1e6
@@ -1311,6 +1365,10 @@ fn score(p: &PendingJob, now: Instant, aging: Duration) -> f64 {
         };
     }
     s
+}
+
+fn score(p: &PendingJob, now: Instant, aging: Duration) -> f64 {
+    dispatch_score(p.job.priority, p.job.deadline, p.submitted_at, now, aging)
 }
 
 fn backoff(defers: u32) -> Duration {

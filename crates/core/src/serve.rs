@@ -1,0 +1,1628 @@
+//! The multi-tenant distributed serving tier: one entry point that
+//! routes a stream of [`Job`]s across N simulated multi-GPU ranks.
+//!
+//! Everything below `serve` handles one scale axis at a time: the
+//! [`crate::sched`] scheduler multiplexes many queries over the lanes of
+//! one node, and `cuts-dist` scales one query across ranks with
+//! Algorithm-3 chunk donation. [`ServeTier`] fuses them. Each rank hosts
+//! its own [`ExecSession`]s, trie arena, and lane pool; a shared router
+//! places every submitted job on the rank whose slab-unit memory ledger
+//! has the most headroom; and the paper's donation protocol is
+//! generalised from intra-query chunks to **whole-job migration**: an
+//! idle rank claims the back half of the most-loaded peer's queue, with
+//! every hand-off recorded as a [`WorkLedger`] transfer.
+//!
+//! Fault tolerance reuses the distributed runtime's machinery, now
+//! hosted in this crate: jobs are registered in a [`WorkLedger`] before
+//! any rank may run them, commits are idempotent, and a rank crash
+//! (scheduled by a [`FaultPlan`], or a real panic caught at the lane
+//! boundary) flips the [`AliveBoard`] so survivors re-admit the dead
+//! rank's in-flight jobs. Because per-job trie sizing depends only on
+//! the job and the device model (see [`crate::sched`]), a re-executed
+//! job produces a byte-identical [`crate::MatchResult`] — a crash can
+//! cost wall-clock time, never results. Priority, deadline, and SLO
+//! accounting survive redistribution: the original submission timestamp
+//! travels with the job, so a migrated or re-admitted job keeps its
+//! dispatch score and its queue-latency histogram entry measures the
+//! caller-visible wait.
+//!
+//! This module is the **only** public serving entry point:
+//! [`ServeConfig::builder`] configures ranks × devices × lanes, the
+//! fault plan, and trace/metrics sinks in one place, and
+//! `cuts serve --ranks N` drives it from the CLI. The historical
+//! `run_distributed{,_traced,_observed}` triplet in `cuts-dist` remains
+//! only as deprecated shims.
+
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cuts_gpu_sim::{Device, DeviceConfig};
+use cuts_obs::flight::{self, FlightCode};
+use cuts_obs::{Arg, Counter, EventKind, Json, Registry, ToJson, Trace};
+
+use crate::config::EngineConfig;
+use crate::error::{ConfigError, CutsError, DistError, SchedError};
+use crate::fault::{CrashKind, FaultInjector, FaultPlan};
+use crate::ledger::{AliveBoard, WorkLedger};
+use crate::plan::QueryPlan;
+use crate::sched::{
+    dispatch_score, job_entries_for, Job, JobId, JobOutcome, SloReport, StatsSink, Telemetry,
+};
+use crate::session::{BudgetedRunError, ExecSession, GrantAll, GrowthLedger};
+
+/// A peer must hold at least this many queued jobs before an idle rank
+/// migrates work away from it. Migration is only attempted by a lane
+/// with nothing left to claim locally, so taking even a peer's single
+/// queued job is pure work conservation — the peer is still executing
+/// something, the requester would otherwise idle.
+const MIGRATE_MIN_QUEUE: usize = 1;
+
+// ---------------------------------------------------------------------
+// Configuration.
+
+/// Validated configuration of a [`ServeTier`] — the single knob surface
+/// for the whole serving stack (devices × lanes × ranks, fault plan,
+/// trace/metrics sinks). Built by [`ServeConfig::builder`].
+#[derive(Clone)]
+pub struct ServeConfig {
+    ranks: usize,
+    devices_per_rank: usize,
+    lanes: usize,
+    device: DeviceConfig,
+    engine: EngineConfig,
+    sigma: f64,
+    pacing: f64,
+    queue_capacity: usize,
+    aging: Duration,
+    plan_cache: usize,
+    warm_plans: Vec<Arc<QueryPlan>>,
+    fault_plan: FaultPlan,
+    trace: Option<Trace>,
+    telemetry: bool,
+    stats_every: u64,
+    stats_sink: Option<StatsSink>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("ranks", &self.ranks)
+            .field("devices_per_rank", &self.devices_per_rank)
+            .field("lanes", &self.lanes)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("fault_plan", &self.fault_plan)
+            .finish()
+    }
+}
+
+impl ServeConfig {
+    /// A builder with serving defaults: one rank, one `v100_like` device,
+    /// two lanes, queue capacity 64, 5 ms aging, σ = 0.25, no pacing, no
+    /// faults, telemetry on.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            ranks: 1,
+            devices_per_rank: 1,
+            lanes: 2,
+            device: DeviceConfig::v100_like(),
+            engine: EngineConfig::default(),
+            sigma: 0.25,
+            pacing: 0.0,
+            queue_capacity: 64,
+            aging: Duration::from_millis(5),
+            plan_cache: crate::session::DEFAULT_PLAN_CACHE_CAPACITY,
+            warm_plans: Vec::new(),
+            fault_plan: FaultPlan::default(),
+            trace: None,
+            telemetry: true,
+            stats_every: 0,
+            stats_sink: None,
+        }
+    }
+
+    /// Number of simulated ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+}
+
+/// Builder for [`ServeConfig`]; validated at [`ServeConfigBuilder::build`].
+#[derive(Clone)]
+pub struct ServeConfigBuilder {
+    ranks: usize,
+    devices_per_rank: usize,
+    lanes: usize,
+    device: DeviceConfig,
+    engine: EngineConfig,
+    sigma: f64,
+    pacing: f64,
+    queue_capacity: usize,
+    aging: Duration,
+    plan_cache: usize,
+    warm_plans: Vec<Arc<QueryPlan>>,
+    fault_plan: FaultPlan,
+    trace: Option<Trace>,
+    telemetry: bool,
+    stats_every: u64,
+    stats_sink: Option<StatsSink>,
+}
+
+impl ServeConfigBuilder {
+    /// Number of simulated multi-GPU ranks (≥ 1).
+    pub fn ranks(mut self, n: usize) -> Self {
+        self.ranks = n;
+        self
+    }
+
+    /// Simulated devices hosted by each rank (≥ 1).
+    pub fn devices_per_rank(mut self, n: usize) -> Self {
+        self.devices_per_rank = n;
+        self
+    }
+
+    /// Worker lanes per device (≥ 1).
+    pub fn lanes(mut self, n: usize) -> Self {
+        self.lanes = n;
+        self
+    }
+
+    /// The simulated device model every device instance uses.
+    pub fn device_config(mut self, c: DeviceConfig) -> Self {
+        self.device = c;
+        self
+    }
+
+    /// The engine configuration shared by every rank's sessions.
+    pub fn engine_config(mut self, c: EngineConfig) -> Self {
+        self.engine = c;
+        self
+    }
+
+    /// §5 candidate-survival prior σ for space estimates (in `(0, 1]`).
+    pub fn sigma(mut self, s: f64) -> Self {
+        self.sigma = s;
+        self
+    }
+
+    /// Host pacing factor: after each job, the executing lane sleeps
+    /// `sim_millis × pacing` so the host timeline tracks the simulated
+    /// device timeline.
+    pub fn pacing(mut self, p: f64) -> Self {
+        self.pacing = p;
+        self
+    }
+
+    /// Bounded submission capacity (≥ 1) across the whole tier; a full
+    /// queue makes [`ServeHandle::submit`] return [`SchedError::Busy`].
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Aging constant: one unit of dispatch score per `aging` waited.
+    pub fn aging(mut self, d: Duration) -> Self {
+        self.aging = d;
+        self
+    }
+
+    /// Plan-cache capacity per device session.
+    pub fn plan_cache(mut self, n: usize) -> Self {
+        self.plan_cache = n;
+        self
+    }
+
+    /// Pre-built plans (typically from a decoded [`crate::Snapshot`])
+    /// seeded into every session's cache before the first job.
+    pub fn warm_plans(mut self, plans: Vec<Arc<QueryPlan>>) -> Self {
+        self.warm_plans = plans;
+        self
+    }
+
+    /// Deterministic fault schedule: `crash:R@C` / `panic:R@C` clauses
+    /// kill rank R at its C-th job-commit boundary mid-stream (see
+    /// [`FaultPlan`]). Message drop/delay clauses are accepted but inert
+    /// here — the tier's hand-offs are in-process ledger transfers, not
+    /// wire messages.
+    pub fn fault_plan(mut self, p: FaultPlan) -> Self {
+        self.fault_plan = p;
+        self
+    }
+
+    /// Attaches a trace: devices emit kernel/run spans and the tier
+    /// emits job lifecycle, migration, and rank-failure events into it.
+    pub fn trace(mut self, t: Trace) -> Self {
+        self.trace = Some(t);
+        self
+    }
+
+    /// Always-on serving telemetry switch (default **on**); see
+    /// [`crate::sched::SchedulerBuilder::telemetry`].
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Emits a rolling stats-snapshot JSON line to the stats sink every
+    /// `n` finished jobs (0, the default, disables emission).
+    pub fn stats_every(mut self, n: u64) -> Self {
+        self.stats_every = n;
+        self
+    }
+
+    /// The callback receiving rolling-snapshot lines (one JSON object
+    /// per call, no trailing newline).
+    pub fn stats_sink(mut self, sink: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        self.stats_sink = Some(StatsSink(Arc::new(sink)));
+        self
+    }
+
+    /// Validates and builds the configuration.
+    pub fn build(self) -> Result<ServeConfig, CutsError> {
+        let invalid = |field: &'static str, reason: &'static str| {
+            CutsError::from(ConfigError::Invalid { field, reason })
+        };
+        if self.ranks == 0 {
+            return Err(invalid("ranks", "must be at least 1"));
+        }
+        if self.devices_per_rank == 0 {
+            return Err(invalid("devices_per_rank", "must be at least 1"));
+        }
+        if self.lanes == 0 {
+            return Err(invalid("lanes", "must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(invalid("queue_capacity", "must be at least 1"));
+        }
+        if !(self.sigma > 0.0 && self.sigma <= 1.0) {
+            return Err(invalid("sigma", "must be in (0, 1]"));
+        }
+        if self.aging.is_zero() {
+            return Err(invalid("aging", "must be positive"));
+        }
+        if self.pacing.is_nan() || self.pacing < 0.0 {
+            return Err(invalid("pacing", "must be non-negative"));
+        }
+        self.fault_plan.check_ranks(self.ranks)?;
+        if self.fault_plan.resolve(self.ranks).distinct_victims() >= self.ranks {
+            return Err(invalid(
+                "fault_plan",
+                "crashes every rank; no survivor could finish the stream",
+            ));
+        }
+        // The engine config must survive its own validation, including
+        // the trie budget against this device model.
+        let engine = {
+            let mut b = EngineConfig::builder()
+                .chunk_size(self.engine.chunk_size)
+                .trie_fraction(self.engine.trie_fraction)
+                .intersect(self.engine.intersect)
+                .randomize_placement(self.engine.randomize_placement)
+                .order_policy(self.engine.order_policy)
+                .virtual_warp(self.engine.virtual_warp)
+                .max_blocks(self.engine.max_blocks)
+                .seed(self.engine.seed);
+            b = b.for_device_words(self.device.global_mem_words);
+            b.build()?
+        };
+        Ok(ServeConfig {
+            ranks: self.ranks,
+            devices_per_rank: self.devices_per_rank,
+            lanes: self.lanes,
+            device: self.device,
+            engine,
+            sigma: self.sigma,
+            pacing: self.pacing,
+            queue_capacity: self.queue_capacity,
+            aging: self.aging,
+            plan_cache: self.plan_cache.max(self.warm_plans.len()),
+            warm_plans: self.warm_plans,
+            fault_plan: self.fault_plan,
+            trace: self.trace,
+            telemetry: self.telemetry,
+            stats_every: self.stats_every,
+            stats_sink: self.stats_sink,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports.
+
+/// Aggregate counters for one [`ServeTier::run`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs accepted into the tier.
+    pub submitted: u64,
+    /// Jobs that finished with `Ok`.
+    pub completed: u64,
+    /// Jobs that finished with `Err`.
+    pub failed: u64,
+    /// Whole-job migrations between ranks (Algorithm-3 donation,
+    /// generalised).
+    pub migrated: u64,
+    /// Jobs re-admitted from a dead rank's ledger entries.
+    pub readmitted: u64,
+    /// Ranks that died mid-stream.
+    pub lost_ranks: Vec<usize>,
+    /// Jobs committed by each rank.
+    pub per_rank_jobs: Vec<u64>,
+    /// Sum of committed match counts across the stream.
+    pub total_matches: u64,
+    /// Peak reserved trie words per device (global device index:
+    /// `rank * devices_per_rank + device`).
+    pub peak_reserved_words: Vec<usize>,
+    /// Per-device trie-memory budget the admission check enforced.
+    pub budget_words: Vec<usize>,
+}
+
+impl ToJson for ServeStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("submitted", Json::U64(self.submitted)),
+            ("completed", Json::U64(self.completed)),
+            ("failed", Json::U64(self.failed)),
+            ("migrated", Json::U64(self.migrated)),
+            ("readmitted", Json::U64(self.readmitted)),
+            (
+                "lost_ranks",
+                Json::arr(self.lost_ranks.iter().map(|&r| r as u64)),
+            ),
+            (
+                "per_rank_jobs",
+                Json::arr(self.per_rank_jobs.iter().copied()),
+            ),
+            ("total_matches", Json::U64(self.total_matches)),
+            (
+                "peak_reserved_words",
+                Json::arr(self.peak_reserved_words.iter().map(|&w| w as u64)),
+            ),
+            (
+                "budget_words",
+                Json::arr(self.budget_words.iter().map(|&w| w as u64)),
+            ),
+        ])
+    }
+}
+
+/// The result of draining one job stream through the tier.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// One outcome per submitted job, in submission order. The outcome's
+    /// `device` is the global device index
+    /// (`rank * devices_per_rank + device`), so the executing rank is
+    /// `device / devices_per_rank`.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub wall_millis: f64,
+    /// Aggregate counters.
+    pub stats: ServeStats,
+    /// Per-class SLO accounting (queue/exec quantiles, deadline rates);
+    /// queue waits are measured from the *original* submission, so they
+    /// survive migration and re-admission.
+    pub slo: SloReport,
+    /// The run's always-on metrics registry; feed its snapshot to the
+    /// Prometheus exporter. Disabled (empty) with `.telemetry(false)`.
+    pub telemetry: Registry,
+    /// Path of the flight-recorder post-mortem written when the first
+    /// job failed or rank died, if any did.
+    pub postmortem: Option<String>,
+}
+
+impl ServeReport {
+    /// Completed jobs per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_millis <= 0.0 {
+            return 0.0;
+        }
+        self.stats.completed as f64 / (self.wall_millis / 1e3)
+    }
+}
+
+impl ToJson for ServeReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("wall_millis", Json::F64(self.wall_millis)),
+            ("jobs_per_sec", Json::F64(self.jobs_per_sec())),
+            ("stats", self.stats.to_json()),
+            ("slo", self.slo.to_json()),
+            (
+                "postmortem",
+                self.postmortem.clone().map_or(Json::Null, Json::Str),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal run-time state.
+
+/// The recoverable copy of a job the ledger holds: the job itself plus
+/// its original submission instant, so priority/deadline scores and SLO
+/// queue-wait accounting survive migration and re-admission.
+#[derive(Clone)]
+struct Seed {
+    job: Job,
+    submitted_at: Instant,
+}
+
+/// One queued unit in a rank's inbox.
+struct Queued {
+    id: u64,
+    seed: Seed,
+    /// Slab-unit reservation estimate used by the placement ledger.
+    words: usize,
+    /// Whether this entry still holds a slot in the global submission
+    /// gate (fresh submissions do; re-admitted work re-enters for free —
+    /// its slot was released when it was first claimed or its rank
+    /// died).
+    counted: bool,
+}
+
+struct ServeDev<'e> {
+    session: &'e ExecSession<'e>,
+    budget_words: usize,
+    reserved: AtomicUsize,
+    peak_reserved: AtomicUsize,
+}
+
+impl ServeDev<'_> {
+    /// Atomically reserves `words` iff the budget still has room (same
+    /// CAS ledger as the scheduler's `DevState`).
+    fn try_reserve(&self, words: usize) -> bool {
+        let mut cur = self.reserved.load(Ordering::Relaxed);
+        loop {
+            if cur + words > self.budget_words {
+                return false;
+            }
+            match self.reserved.compare_exchange_weak(
+                cur,
+                cur + words,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak_reserved.fetch_max(cur + words, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Charges in-place trie growth to the owning device's ledger.
+struct ServeLaneLedger<'a, 'e> {
+    dev: &'a ServeDev<'e>,
+    granted: AtomicUsize,
+}
+
+impl GrowthLedger for ServeLaneLedger<'_, '_> {
+    fn try_grant(&self, words: usize) -> bool {
+        if self.dev.try_reserve(words) {
+            self.granted.fetch_add(words, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refund(&self, words: usize) {
+        self.dev.reserved.fetch_sub(words, Ordering::AcqRel);
+        self.granted.fetch_sub(words, Ordering::Relaxed);
+    }
+}
+
+struct RankState<'e> {
+    devs: Vec<ServeDev<'e>>,
+    inbox: Mutex<Vec<Queued>>,
+    work: Condvar,
+    /// Words queued in the inbox — the placement ledger's estimate of
+    /// load not yet reflected in the devices' `reserved` counters.
+    queued_words: AtomicUsize,
+    jobs_done: AtomicUsize,
+    dead: AtomicBool,
+}
+
+struct Gate {
+    queued: usize,
+    closed: bool,
+}
+
+struct ServeShared<'e, 't> {
+    cfg: &'t ServeConfig,
+    trace: &'t Trace,
+    ranks: Vec<RankState<'e>>,
+    ledger: WorkLedger<Seed>,
+    alive: AliveBoard,
+    injector: Option<FaultInjector>,
+    gate: Mutex<Gate>,
+    space: Condvar,
+    outcomes: Mutex<Vec<JobOutcome>>,
+    submitted: AtomicU64,
+    first_failure: Mutex<Option<DistError>>,
+    /// Reservation estimates keyed by (data graph identity, query key):
+    /// admission is serial, so the graph walk behind the estimate runs
+    /// once per distinct pair, not once per job.
+    sizing_memo: Mutex<HashMap<(usize, u64), usize>>,
+    telem: Telemetry,
+    migrations: Counter,
+    readmissions: Counter,
+    ranks_lost: Counter,
+}
+
+impl<'e> ServeShared<'e, '_> {
+    /// A live session usable for placement sizing (identical engine and
+    /// device model on every rank, so any one gives the same answer).
+    fn sizing_session(&self) -> Option<&'e ExecSession<'e>> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .find(|(r, _)| self.alive.is_alive(*r))
+            .map(|(_, rank)| rank.devs[0].session)
+    }
+
+    /// Slab-word reservation estimate for `job` (0 when unplannable —
+    /// the failure surfaces as a per-job outcome at execution). The §5
+    /// estimate walks the data graph, and submissions are admitted one
+    /// at a time, so repeated (data, query) pairs — the common case in
+    /// a job stream — are memoised to keep the submit path off the
+    /// scaling-critical path.
+    fn sizing_words(&self, job: &Job) -> usize {
+        let Some(session) = self.sizing_session() else {
+            return 0;
+        };
+        match session.plan_for(&job.query) {
+            Ok(plan) => {
+                let key = (Arc::as_ptr(&job.data) as usize, plan.key.query);
+                if let Some(&words) = self.sizing_memo.lock().unwrap().get(&key) {
+                    return words;
+                }
+                let entries = job_entries_for(&plan, &job.data, self.cfg.sigma);
+                let words = session.chain_words(entries);
+                self.sizing_memo.lock().unwrap().insert(key, words);
+                words
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// The alive rank whose memory ledger (device reservations plus
+    /// queued-but-unclaimed words) has the most headroom.
+    fn place(&self) -> usize {
+        let mut choice = (0usize, usize::MAX);
+        for (r, rank) in self.ranks.iter().enumerate() {
+            if !self.alive.is_alive(r) {
+                continue;
+            }
+            let load: usize = rank.queued_words.load(Ordering::Relaxed)
+                + rank
+                    .devs
+                    .iter()
+                    .map(|d| d.reserved.load(Ordering::Relaxed))
+                    .sum::<usize>();
+            if load < choice.1 {
+                choice = (r, load);
+            }
+        }
+        choice.0
+    }
+
+    fn enqueue_to(&self, r: usize, q: Queued) {
+        let rank = &self.ranks[r];
+        let mut inbox = rank.inbox.lock().unwrap();
+        rank.queued_words.fetch_add(q.words, Ordering::Relaxed);
+        inbox.push(q);
+        rank.work.notify_all();
+    }
+
+    /// Registers and places one fresh submission (gate slot already
+    /// taken by the caller).
+    fn admit_submission(&self, job: Job) -> JobId {
+        let id = self.ledger.new_id();
+        let seed = Seed {
+            job,
+            submitted_at: Instant::now(),
+        };
+        let r = self.place();
+        self.ledger.register(id, r, &seed);
+        let words = self.sizing_words(&seed.job);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        flight::record(FlightCode::JobSubmit, id, r as u64);
+        self.trace.instant_with(
+            EventKind::Job,
+            "submit",
+            &[("job", Arg::U64(id)), ("rank", Arg::U64(r as u64))],
+        );
+        self.enqueue_to(
+            r,
+            Queued {
+                id,
+                seed,
+                words,
+                counted: true,
+            },
+        );
+        JobId(id)
+    }
+
+    /// Releases one gate slot (a counted inbox entry was claimed or
+    /// discarded).
+    fn release_slot(&self) {
+        let mut g = self.gate.lock().unwrap();
+        g.queued = g.queued.saturating_sub(1);
+        drop(g);
+        self.space.notify_all();
+    }
+
+    fn closed_and_complete(&self) -> bool {
+        self.gate.lock().unwrap().closed && self.ledger.all_completed()
+    }
+
+    /// Marks `r` dead exactly once: flips the boards, drains its inbox
+    /// (releasing gate slots so submitters do not wedge on work that
+    /// will be re-registered by reclaim), records telemetry, and wakes
+    /// every lane so survivors start re-admission sweeps.
+    fn mark_rank_dead(&self, r: usize, cause: DistError) {
+        let rank = &self.ranks[r];
+        if rank.dead.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.alive.set_dead(r);
+        self.ledger.note_loss();
+        {
+            let mut f = self.first_failure.lock().unwrap();
+            if f.is_none() {
+                *f = Some(cause);
+            }
+        }
+        let drained: Vec<Queued> = {
+            let mut inbox = rank.inbox.lock().unwrap();
+            rank.queued_words.store(0, Ordering::Relaxed);
+            inbox.drain(..).collect()
+        };
+        for q in &drained {
+            if q.counted {
+                self.release_slot();
+            }
+        }
+        self.ranks_lost.inc();
+        flight::record_rank(
+            r as u32,
+            FlightCode::RankDead,
+            rank.jobs_done.load(Ordering::Relaxed) as u64,
+            0,
+        );
+        self.trace.instant_with(
+            EventKind::Fault,
+            "rank_dead",
+            &[
+                ("rank", Arg::U64(r as u64)),
+                (
+                    "jobs_done",
+                    Arg::U64(rank.jobs_done.load(Ordering::Relaxed) as u64),
+                ),
+            ],
+        );
+        self.telem.dump_once("rank_death");
+        for peer in &self.ranks {
+            let _inbox = peer.inbox.lock().unwrap();
+            peer.work.notify_all();
+        }
+        self.space.notify_all();
+    }
+
+    /// Whole-job migration (Algorithm-3 donation generalised): an idle
+    /// rank claims the back half (rounded up, so even a single queued
+    /// job moves — keeping the tier work-conserving through the stream
+    /// tail) of the most-loaded alive peer's inbox, re-homing each job
+    /// in the ledger. Returns whether anything moved.
+    fn try_migrate(&self, me: usize) -> bool {
+        let victim = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|&(r, rank)| {
+                r != me && self.alive.is_alive(r) && !rank.dead.load(Ordering::Acquire)
+            })
+            .map(|(r, rank)| (r, rank.inbox.lock().unwrap().len()))
+            .filter(|&(_, len)| len >= MIGRATE_MIN_QUEUE)
+            .max_by_key(|&(_, len)| len);
+        let Some((v, _)) = victim else {
+            return false;
+        };
+        let moved: Vec<Queued> = {
+            let mut inbox = self.ranks[v].inbox.lock().unwrap();
+            if inbox.len() < MIGRATE_MIN_QUEUE {
+                return false; // raced with the victim draining
+            }
+            let keep = inbox.len() / 2;
+            let moved: Vec<Queued> = inbox.drain(keep..).collect();
+            let words: usize = moved.iter().map(|q| q.words).sum();
+            self.ranks[v].queued_words.fetch_sub(
+                words.min(self.ranks[v].queued_words.load(Ordering::Relaxed)),
+                Ordering::Relaxed,
+            );
+            moved
+        };
+        let mut any = false;
+        for q in moved {
+            // A commit may have raced the hand-off; the ledger transfer
+            // is the authoritative dedup, exactly as in chunk donation.
+            if !self.ledger.transfer(q.id, me) {
+                if q.counted {
+                    self.release_slot();
+                }
+                continue;
+            }
+            any = true;
+            self.migrations.inc();
+            flight::record(FlightCode::JobMigrate, q.id, me as u64);
+            self.trace.instant_with(
+                EventKind::Donation,
+                "migrate",
+                &[
+                    ("job", Arg::U64(q.id)),
+                    ("from", Arg::U64(v as u64)),
+                    ("to", Arg::U64(me as u64)),
+                ],
+            );
+            self.enqueue_to(me, q);
+        }
+        any
+    }
+
+    /// Re-admits pending jobs owned by dead ranks into `me`'s inbox.
+    fn try_readmit(&self, me: usize) -> bool {
+        if self.alive.live_count() == self.ranks.len() {
+            return false;
+        }
+        let claimed = self
+            .ledger
+            .reclaim_foreign(me, |owner| !self.alive.is_alive(owner));
+        if claimed.is_empty() {
+            return false;
+        }
+        for (id, seed) in claimed {
+            self.readmissions.inc();
+            flight::record(FlightCode::JobReadmit, id, me as u64);
+            self.trace.instant_with(
+                EventKind::Job,
+                "readmit",
+                &[("job", Arg::U64(id)), ("rank", Arg::U64(me as u64))],
+            );
+            let words = self.sizing_words(&seed.job);
+            self.enqueue_to(
+                me,
+                Queued {
+                    id,
+                    seed,
+                    words,
+                    counted: false,
+                },
+            );
+        }
+        true
+    }
+
+    /// Records one finished job if its commit was the first (duplicate
+    /// executions after a crash are dropped here, exactly like duplicate
+    /// chunk commits).
+    fn finish(&self, r: usize, q: &Queued, outcome: JobOutcome) {
+        let matches = outcome.result.as_ref().map(|m| m.num_matches).unwrap_or(0);
+        if !self.ledger.commit(q.id, matches) {
+            return;
+        }
+        self.ranks[r].jobs_done.fetch_add(1, Ordering::AcqRel);
+        self.trace.instant_with(
+            EventKind::Job,
+            "complete",
+            &[
+                ("job", Arg::U64(q.id)),
+                ("rank", Arg::U64(r as u64)),
+                ("ok", Arg::U64(outcome.result.is_ok() as u64)),
+            ],
+        );
+        self.telem.on_finish(
+            Telemetry::class_of(&q.seed.job),
+            q.seed.job.deadline,
+            &outcome,
+        );
+        let finished = {
+            let mut o = self.outcomes.lock().unwrap();
+            o.push(outcome);
+            o.len() as u64
+        };
+        self.telem.maybe_emit(finished);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Submission handle.
+
+/// Submission side of a running tier, passed to the closure given to
+/// [`ServeTier::run`].
+pub struct ServeHandle<'s, 'e, 't> {
+    shared: &'s ServeShared<'e, 't>,
+}
+
+impl ServeHandle<'_, '_, '_> {
+    /// Submits a job. Returns [`SchedError::Busy`] when the tier-wide
+    /// bounded queue is full — the caller decides whether to retry,
+    /// drop, or shed load.
+    pub fn submit(&self, job: Job) -> Result<JobId, SchedError> {
+        {
+            let mut g = self.shared.gate.lock().unwrap();
+            if g.closed {
+                return Err(SchedError::Closed);
+            }
+            if g.queued >= self.shared.cfg.queue_capacity {
+                return Err(SchedError::Busy {
+                    capacity: self.shared.cfg.queue_capacity,
+                });
+            }
+            g.queued += 1;
+        }
+        Ok(self.shared.admit_submission(job))
+    }
+
+    /// Submits a job, blocking while the queue is full.
+    pub fn submit_wait(&self, job: Job) -> JobId {
+        {
+            let mut g = self.shared.gate.lock().unwrap();
+            while g.queued >= self.shared.cfg.queue_capacity && !g.closed {
+                g = self.shared.space.wait(g).unwrap();
+            }
+            g.queued += 1;
+        }
+        self.shared.admit_submission(job)
+    }
+
+    /// Submits a job, blocking at most `timeout` for queue space; the
+    /// deadline-aware variant of [`ServeHandle::submit_wait`]. Returns
+    /// [`SchedError::Timeout`] when the queue never drained.
+    pub fn submit_wait_timeout(&self, job: Job, timeout: Duration) -> Result<JobId, SchedError> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut g = self.shared.gate.lock().unwrap();
+            while g.queued >= self.shared.cfg.queue_capacity && !g.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SchedError::Timeout {
+                        waited_millis: timeout.as_millis() as u64,
+                    });
+                }
+                g = self.shared.space.wait_timeout(g, deadline - now).unwrap().0;
+            }
+            if g.closed {
+                return Err(SchedError::Closed);
+            }
+            g.queued += 1;
+        }
+        Ok(self.shared.admit_submission(job))
+    }
+
+    /// Jobs currently admitted and not yet claimed by a lane.
+    pub fn pending(&self) -> usize {
+        self.shared.gate.lock().unwrap().queued
+    }
+
+    /// Ranks still alive.
+    pub fn live_ranks(&self) -> usize {
+        self.shared.alive.live_count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The tier.
+
+/// The multi-tenant serving tier (see module docs).
+///
+/// ```
+/// use std::sync::Arc;
+/// use cuts_core::serve::{ServeConfig, ServeTier};
+/// use cuts_core::sched::Job;
+/// use cuts_graph::generators::{clique, mesh2d};
+///
+/// let tier = ServeTier::new(
+///     ServeConfig::builder().ranks(2).lanes(1).build().unwrap(),
+/// );
+/// let data = Arc::new(mesh2d(4, 4));
+/// let query = Arc::new(clique(2));
+/// let report = tier
+///     .run(|h| {
+///         for _ in 0..4 {
+///             h.submit_wait(Job::new(data.clone(), query.clone()));
+///         }
+///         Ok(())
+///     })
+///     .unwrap();
+/// assert_eq!(report.stats.completed, 4);
+/// ```
+pub struct ServeTier {
+    config: ServeConfig,
+    /// `rank_devices[r][d]` is rank `r`'s `d`-th simulated device.
+    rank_devices: Vec<Vec<Device>>,
+    trace: Trace,
+    kernel_reg: Registry,
+}
+
+impl std::fmt::Debug for ServeTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeTier")
+            .field("ranks", &self.config.ranks)
+            .field("devices_per_rank", &self.config.devices_per_rank)
+            .field("lanes", &self.config.lanes)
+            .finish()
+    }
+}
+
+impl ServeTier {
+    /// Builds the tier: `ranks × devices_per_rank` simulated devices,
+    /// each wired to the config's trace and a tier-lifetime kernel
+    /// telemetry registry.
+    pub fn new(config: ServeConfig) -> ServeTier {
+        let trace = config.trace.clone().unwrap_or_else(Trace::disabled);
+        let kernel_reg = Registry::with_enabled(config.telemetry);
+        let rank_devices = (0..config.ranks)
+            .map(|r| {
+                (0..config.devices_per_rank)
+                    .map(|_| {
+                        let mut d = Device::new(config.device.clone());
+                        d.set_trace(trace.with_rank(r));
+                        d.set_registry(kernel_reg.clone());
+                        d
+                    })
+                    .collect()
+            })
+            .collect();
+        ServeTier {
+            config,
+            rank_devices,
+            trace,
+            kernel_reg,
+        }
+    }
+
+    /// Number of simulated ranks.
+    pub fn ranks(&self) -> usize {
+        self.config.ranks
+    }
+
+    /// The tier-lifetime registry devices record per-kernel wall
+    /// histograms into; merge its snapshot with the per-run
+    /// [`ServeReport::telemetry`] for one Prometheus exposition.
+    pub fn kernel_telemetry(&self) -> &Registry {
+        &self.kernel_reg
+    }
+
+    /// Runs one stream: `submit` receives a handle, submits jobs (and
+    /// may interleave its own logic); when it returns, the stream is
+    /// closed and `run` blocks until every registered job has committed
+    /// — including jobs re-admitted from ranks that died mid-stream.
+    ///
+    /// Errors only when the submit closure errors or the stream is
+    /// genuinely unfinishable (every rank died); per-job failures are
+    /// outcomes, not run errors.
+    pub fn run<F>(&self, submit: F) -> Result<ServeReport, CutsError>
+    where
+        F: FnOnce(&ServeHandle<'_, '_, '_>) -> Result<(), CutsError>,
+    {
+        let cfg = &self.config;
+        let mut sessions: Vec<Vec<ExecSession<'_>>> = Vec::with_capacity(cfg.ranks);
+        for rank_devs in &self.rank_devices {
+            let mut per_rank = Vec::with_capacity(cfg.devices_per_rank);
+            for d in rank_devs {
+                let s = ExecSession::with_cache_capacity(d, cfg.engine.clone(), cfg.plan_cache);
+                s.seed_plans(&cfg.warm_plans);
+                s.prepare_trie_arena().map_err(CutsError::from)?;
+                per_rank.push(s);
+            }
+            sessions.push(per_rank);
+        }
+        let ranks: Vec<RankState<'_>> = sessions
+            .iter()
+            .map(|per_rank| RankState {
+                devs: per_rank
+                    .iter()
+                    .map(|session| ServeDev {
+                        session,
+                        budget_words: session.trie_budget_words(),
+                        reserved: AtomicUsize::new(0),
+                        peak_reserved: AtomicUsize::new(0),
+                    })
+                    .collect(),
+                inbox: Mutex::new(Vec::new()),
+                work: Condvar::new(),
+                queued_words: AtomicUsize::new(0),
+                jobs_done: AtomicUsize::new(0),
+                dead: AtomicBool::new(false),
+            })
+            .collect();
+        let resolved = cfg.fault_plan.resolve(cfg.ranks);
+        let telem = Telemetry::with(cfg.telemetry, cfg.stats_every, cfg.stats_sink.clone());
+        let migrations = telem.reg.counter(
+            "cuts_serve_migrations_total",
+            &[],
+            "Whole-job migrations between ranks",
+        );
+        let readmissions = telem.reg.counter(
+            "cuts_serve_readmissions_total",
+            &[],
+            "Jobs re-admitted from dead ranks",
+        );
+        let ranks_lost = telem.reg.counter(
+            "cuts_serve_ranks_lost_total",
+            &[],
+            "Ranks that died mid-stream",
+        );
+        let shared = ServeShared {
+            cfg,
+            trace: &self.trace,
+            ranks,
+            ledger: WorkLedger::new(),
+            alive: AliveBoard::new(cfg.ranks),
+            injector: if resolved.is_empty() {
+                None
+            } else {
+                Some(FaultInjector::new(resolved, cfg.ranks))
+            },
+            gate: Mutex::new(Gate {
+                queued: 0,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            outcomes: Mutex::new(Vec::new()),
+            submitted: AtomicU64::new(0),
+            first_failure: Mutex::new(None),
+            sizing_memo: Mutex::new(HashMap::new()),
+            telem,
+            migrations,
+            readmissions,
+            ranks_lost,
+        };
+        flight::record(FlightCode::RunStart, cfg.ranks as u64, cfg.lanes as u64);
+        let start = Instant::now();
+        let submit_result = std::thread::scope(|scope| {
+            for r in 0..cfg.ranks {
+                for d in 0..cfg.devices_per_rank {
+                    for lane in 0..cfg.lanes {
+                        let shared = &shared;
+                        scope.spawn(move || {
+                            // A panicking lane — injected `panic:R@C`
+                            // or a genuine bug — kills its whole rank,
+                            // never the tier: the unwind is caught here
+                            // and survivors re-admit the rank's jobs.
+                            let out = catch_unwind(AssertUnwindSafe(|| {
+                                lane_loop(shared, r, d, lane);
+                            }));
+                            if out.is_err() {
+                                shared.mark_rank_dead(r, DistError::Panicked { rank: r });
+                            }
+                        });
+                    }
+                }
+            }
+            let handle = ServeHandle { shared: &shared };
+            let r = submit(&handle);
+            {
+                let mut g = shared.gate.lock().unwrap();
+                g.closed = true;
+            }
+            shared.space.notify_all();
+            for rank in &shared.ranks {
+                let _inbox = rank.inbox.lock().unwrap();
+                rank.work.notify_all();
+            }
+            r
+            // Scope exit joins every lane of every rank.
+        });
+        submit_result?;
+        let wall_millis = start.elapsed().as_secs_f64() * 1e3;
+        flight::record(FlightCode::RunEnd, wall_millis as u64, 0);
+
+        if !shared.ledger.all_completed() {
+            // Only possible when every rank died (a survivable plan is
+            // enforced at build time, but real panics are not a plan).
+            let cause = shared
+                .first_failure
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or(DistError::Panicked { rank: 0 });
+            return Err(cause.into());
+        }
+
+        for (r, rank) in shared.ranks.iter().enumerate() {
+            let rs = r.to_string();
+            for (d, dev) in rank.devs.iter().enumerate() {
+                let ds = (r * cfg.devices_per_rank + d).to_string();
+                let l = [("rank", rs.as_str()), ("device", ds.as_str())];
+                shared
+                    .telem
+                    .reg
+                    .gauge(
+                        "cuts_serve_peak_reserved_words",
+                        &l,
+                        "Peak reserved trie words per device (admission watermark)",
+                    )
+                    .set(dev.peak_reserved.load(Ordering::Relaxed) as f64);
+            }
+            shared
+                .telem
+                .reg
+                .gauge(
+                    "cuts_serve_rank_jobs",
+                    &[("rank", rs.as_str())],
+                    "Jobs committed by each rank",
+                )
+                .set(rank.jobs_done.load(Ordering::Relaxed) as f64);
+        }
+
+        let mut outcomes = shared.outcomes.into_inner().unwrap();
+        outcomes.sort_by_key(|o: &JobOutcome| o.id);
+        let completed = outcomes.iter().filter(|o| o.result.is_ok()).count() as u64;
+        let failed = outcomes.len() as u64 - completed;
+        let stats = ServeStats {
+            submitted: shared.submitted.load(Ordering::Relaxed),
+            completed,
+            failed,
+            migrated: shared.migrations.get(),
+            readmitted: shared.readmissions.get(),
+            lost_ranks: (0..cfg.ranks)
+                .filter(|&r| !shared.alive.is_alive(r))
+                .collect(),
+            per_rank_jobs: shared
+                .ranks
+                .iter()
+                .map(|r| r.jobs_done.load(Ordering::Relaxed) as u64)
+                .collect(),
+            total_matches: shared.ledger.total_matches(),
+            peak_reserved_words: shared
+                .ranks
+                .iter()
+                .flat_map(|r| r.devs.iter())
+                .map(|d| d.peak_reserved.load(Ordering::Relaxed))
+                .collect(),
+            budget_words: shared
+                .ranks
+                .iter()
+                .flat_map(|r| r.devs.iter())
+                .map(|d| d.budget_words)
+                .collect(),
+        };
+        let slo = shared.telem.slo();
+        let postmortem = shared.telem.postmortem.lock().unwrap().take();
+        Ok(ServeReport {
+            outcomes,
+            wall_millis,
+            stats,
+            slo,
+            telemetry: shared.telem.reg.clone(),
+            postmortem,
+        })
+    }
+
+    /// Convenience wrapper: submits `jobs` in order (blocking on
+    /// backpressure) and drains the stream.
+    pub fn run_stream(&self, jobs: &[Job]) -> Result<ServeReport, CutsError> {
+        self.run(|h| {
+            for job in jobs {
+                h.submit_wait(job.clone());
+            }
+            Ok(())
+        })
+    }
+
+    /// The tier's semantic baseline: the same jobs, one at a time, in
+    /// submission order, on rank 0's first device, with identical
+    /// per-job trie sizing and pacing. [`ServeTier::run`] must produce
+    /// byte-identical [`crate::MatchResult::canonical_bytes`] per job at
+    /// any ranks × lanes.
+    pub fn run_serial(&self, jobs: &[Job]) -> Result<ServeReport, CutsError> {
+        let cfg = &self.config;
+        let session = ExecSession::with_cache_capacity(
+            &self.rank_devices[0][0],
+            cfg.engine.clone(),
+            cfg.plan_cache,
+        );
+        session.seed_plans(&cfg.warm_plans);
+        session.prepare_trie_arena().map_err(CutsError::from)?;
+        let telem = Telemetry::with(cfg.telemetry, cfg.stats_every, cfg.stats_sink.clone());
+        flight::record(FlightCode::RunStart, 1, 1);
+        let start = Instant::now();
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let (mut completed, mut failed) = (0u64, 0u64);
+        let mut total_matches = 0u64;
+        for (i, job) in jobs.iter().enumerate() {
+            let queued = start.elapsed().as_secs_f64() * 1e3;
+            let exec_start = Instant::now();
+            let result = session
+                .plan_for(&job.query)
+                .map_err(CutsError::from)
+                .and_then(|plan| {
+                    let entries = job_entries_for(&plan, &job.data, cfg.sigma);
+                    let budget = plan.trie_entries_budget.max(1);
+                    match session
+                        .run_with_plan_budgeted(&plan, &job.data, entries, budget, &GrantAll)
+                    {
+                        Ok(ok) => Ok(ok),
+                        Err(BudgetedRunError::Engine(e)) => Err(CutsError::from(e)),
+                        Err(BudgetedRunError::GrowthDenied { .. }) => {
+                            unreachable!("GrantAll never denies growth")
+                        }
+                    }
+                });
+            let (result, entries) = match result {
+                Ok((r, e)) => {
+                    if cfg.pacing > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(
+                            r.sim_millis * cfg.pacing / 1e3,
+                        ));
+                    }
+                    completed += 1;
+                    total_matches += r.num_matches;
+                    (Ok(r), e)
+                }
+                Err(e) => {
+                    failed += 1;
+                    (Err(e), 0)
+                }
+            };
+            let outcome = JobOutcome {
+                id: JobId(i as u64),
+                name: job.name.clone(),
+                device: 0,
+                lane: 0,
+                queue_millis: queued,
+                exec_millis: exec_start.elapsed().as_secs_f64() * 1e3,
+                trie_entries: entries,
+                stolen: false,
+                result,
+            };
+            telem.on_finish(Telemetry::class_of(job), job.deadline, &outcome);
+            telem.maybe_emit(i as u64 + 1);
+            outcomes.push(outcome);
+        }
+        let wall_millis = start.elapsed().as_secs_f64() * 1e3;
+        flight::record(FlightCode::RunEnd, wall_millis as u64, 0);
+        let slo = telem.slo();
+        let postmortem = telem.postmortem.lock().unwrap().take();
+        Ok(ServeReport {
+            outcomes,
+            wall_millis,
+            stats: ServeStats {
+                submitted: jobs.len() as u64,
+                completed,
+                failed,
+                per_rank_jobs: vec![completed + failed],
+                total_matches,
+                peak_reserved_words: vec![0],
+                budget_words: vec![session.trie_budget_words()],
+                ..Default::default()
+            },
+            slo,
+            telemetry: telem.reg,
+            postmortem,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lane execution.
+
+/// Claims the best-scored inbox entry whose reservation fits `dev`'s
+/// remaining budget right now.
+fn claim(shared: &ServeShared<'_, '_>, r: usize, dev: &ServeDev<'_>) -> Option<Queued> {
+    let rank = &shared.ranks[r];
+    let now = Instant::now();
+    let mut inbox = rank.inbox.lock().unwrap();
+    let reserved = dev.reserved.load(Ordering::Relaxed);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, q) in inbox.iter().enumerate() {
+        if reserved + q.words > dev.budget_words {
+            continue;
+        }
+        let s = dispatch_score(
+            q.seed.job.priority,
+            q.seed.job.deadline,
+            q.seed.submitted_at,
+            now,
+            shared.cfg.aging,
+        );
+        if best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((i, s));
+        }
+    }
+    let (i, _) = best?;
+    let q = inbox.swap_remove(i);
+    rank.queued_words.fetch_sub(
+        q.words.min(rank.queued_words.load(Ordering::Relaxed)),
+        Ordering::Relaxed,
+    );
+    Some(q)
+}
+
+fn lane_loop(shared: &ServeShared<'_, '_>, r: usize, d: usize, lane: usize) {
+    let cfg = shared.cfg;
+    let rank = &shared.ranks[r];
+    let dev = &rank.devs[d];
+    let global_device = r * cfg.devices_per_rank + d;
+    loop {
+        if rank.dead.load(Ordering::Acquire) {
+            return;
+        }
+        // Scheduled crashes fire at job-claim boundaries, mirroring the
+        // distributed worker's chunk-boundary checks: the rank's commit
+        // count is its crash clock. The `at least` form matters here —
+        // sibling lanes can push the count past the scheduled value
+        // between two boundary checks.
+        if let Some(inj) = &shared.injector {
+            if let Some(kind) = inj.should_crash_by(r, rank.jobs_done.load(Ordering::Acquire)) {
+                flight::record_rank(
+                    r as u32,
+                    FlightCode::Fault,
+                    rank.jobs_done.load(Ordering::Relaxed) as u64,
+                    matches!(kind, CrashKind::Error) as u64,
+                );
+                shared.mark_rank_dead(
+                    r,
+                    DistError::InjectedCrash {
+                        rank: r,
+                        after_chunks: rank.jobs_done.load(Ordering::Relaxed),
+                    },
+                );
+                if kind == CrashKind::Panic {
+                    panic!("injected fault: rank {r} panics mid-stream");
+                }
+                return;
+            }
+        }
+        let Some(q) = claim(shared, r, dev) else {
+            if shared.closed_and_complete() {
+                return;
+            }
+            // Idle: first try whole-job migration from a loaded peer,
+            // then re-admission of a dead rank's jobs, then sleep.
+            if shared.try_migrate(r) || shared.try_readmit(r) {
+                continue;
+            }
+            let inbox = rank.inbox.lock().unwrap();
+            if inbox.is_empty() && !rank.dead.load(Ordering::Acquire) {
+                let _ = rank
+                    .work
+                    .wait_timeout(inbox, Duration::from_millis(1))
+                    .unwrap();
+            }
+            continue;
+        };
+        if q.counted {
+            shared.release_slot();
+        }
+        let queue_millis = q.seed.submitted_at.elapsed().as_secs_f64() * 1e3;
+        let exec_start = Instant::now();
+        let job = &q.seed.job;
+        let outcome_result;
+        let mut trie_entries = 0usize;
+        match dev.session.plan_for(&job.query) {
+            Err(e) => {
+                outcome_result = Err(CutsError::from(e));
+            }
+            Ok(plan) => {
+                let mut entries = job_entries_for(&plan, &job.data, cfg.sigma);
+                let budget_entries = plan.trie_entries_budget.max(1);
+                let mut reserve_words = dev.session.chain_words(entries);
+                // `claim` checked the fit against a racy snapshot; wait
+                // out any in-place growth that beat us to the ledger.
+                while !dev.try_reserve(reserve_words) {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                flight::record(FlightCode::JobAdmit, q.id, global_device as u64);
+                // The same growth-on-undershoot sequence the scheduler's
+                // lanes take, so per-job results stay byte-identical at
+                // any ranks × lanes (see `crate::sched::lane_loop`).
+                let result = loop {
+                    let ledger = ServeLaneLedger {
+                        dev,
+                        granted: AtomicUsize::new(0),
+                    };
+                    let run = dev.session.run_with_plan_budgeted(
+                        &plan,
+                        &job.data,
+                        entries,
+                        budget_entries,
+                        &ledger,
+                    );
+                    let granted = ledger.granted.load(Ordering::Relaxed);
+                    match run {
+                        Ok((result, achieved)) => {
+                            entries = achieved;
+                            reserve_words += granted;
+                            break Ok(result);
+                        }
+                        Err(BudgetedRunError::GrowthDenied { target_entries }) => {
+                            entries = target_entries;
+                            shared.telem.growth_denials.inc();
+                            flight::record(FlightCode::GrowthDenied, q.id, target_entries as u64);
+                            dev.reserved
+                                .fetch_sub(reserve_words + granted, Ordering::AcqRel);
+                            let grown_words = dev.session.chain_words(entries);
+                            while !dev.try_reserve(grown_words) {
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            reserve_words = grown_words;
+                        }
+                        Err(BudgetedRunError::Engine(e)) => {
+                            reserve_words += granted;
+                            break Err(CutsError::from(e));
+                        }
+                    }
+                };
+                if let Ok(result) = &result {
+                    if cfg.pacing > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(
+                            result.sim_millis * cfg.pacing / 1e3,
+                        ));
+                    }
+                    trie_entries = entries;
+                }
+                dev.reserved.fetch_sub(reserve_words, Ordering::AcqRel);
+                outcome_result = result;
+            }
+        }
+        let outcome = JobOutcome {
+            id: JobId(q.id),
+            name: job.name.clone(),
+            device: global_device,
+            lane,
+            queue_millis,
+            exec_millis: exec_start.elapsed().as_secs_f64() * 1e3,
+            trie_entries,
+            stolen: false,
+            result: outcome_result,
+        };
+        shared.finish(r, &q, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuts_graph::generators::{clique, erdos_renyi, mesh2d};
+
+    fn small_tier(ranks: usize, lanes: usize) -> ServeTier {
+        ServeTier::new(
+            ServeConfig::builder()
+                .ranks(ranks)
+                .lanes(lanes)
+                .device_config(DeviceConfig::test_small())
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn demo_jobs() -> Vec<Job> {
+        let data = Arc::new(erdos_renyi(30, 90, 7));
+        let mesh = Arc::new(mesh2d(4, 4));
+        let q3 = Arc::new(clique(3));
+        let q2 = Arc::new(clique(2));
+        let mut jobs = Vec::new();
+        for i in 0..8 {
+            let (d, q) = if i % 2 == 0 {
+                (data.clone(), q3.clone())
+            } else {
+                (mesh.clone(), q2.clone())
+            };
+            jobs.push(
+                Job::new(d, q)
+                    .with_priority(i % 3)
+                    .with_class(if i % 2 == 0 { "gold" } else { "best_effort" }),
+            );
+        }
+        jobs
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(ServeConfig::builder().ranks(0).build().is_err());
+        assert!(ServeConfig::builder().lanes(0).build().is_err());
+        assert!(ServeConfig::builder().devices_per_rank(0).build().is_err());
+        assert!(ServeConfig::builder().sigma(0.0).build().is_err());
+        assert!(ServeConfig::builder().queue_capacity(0).build().is_err());
+    }
+
+    #[test]
+    fn fault_plan_must_leave_a_survivor() {
+        let plan = FaultPlan::parse("crash:0@0, crash:1@0").unwrap();
+        let err = ServeConfig::builder().ranks(2).fault_plan(plan).build();
+        assert!(err.is_err(), "a plan killing every rank must be rejected");
+        // Out-of-range clauses are typed errors, not silent no-ops.
+        let plan = FaultPlan::parse("crash:5@0").unwrap();
+        assert!(ServeConfig::builder()
+            .ranks(2)
+            .fault_plan(plan)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn multi_rank_matches_serial_per_job() {
+        let jobs = demo_jobs();
+        let tier = small_tier(2, 2);
+        let serial = tier.run_serial(&jobs).unwrap();
+        let served = tier.run_stream(&jobs).unwrap();
+        assert_eq!(served.stats.completed, jobs.len() as u64);
+        assert_eq!(served.outcomes.len(), serial.outcomes.len());
+        for (s, p) in serial.outcomes.iter().zip(served.outcomes.iter()) {
+            assert_eq!(s.id, p.id);
+            let (a, b) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+            assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        }
+    }
+
+    #[test]
+    fn rank_crash_loses_no_jobs() {
+        let jobs = demo_jobs();
+        let tier = ServeTier::new(
+            ServeConfig::builder()
+                .ranks(2)
+                .lanes(1)
+                .device_config(DeviceConfig::test_small())
+                // Keep each job on-device for a few milliseconds so the
+                // victim reaches its crash trigger (one completed job)
+                // before its peer can drain the whole stream.
+                .pacing(50.0)
+                .fault_plan(FaultPlan::parse("crash:1@1").unwrap())
+                .build()
+                .unwrap(),
+        );
+        let clean = small_tier(2, 1).run_stream(&jobs).unwrap();
+        let faulted = tier.run_stream(&jobs).unwrap();
+        assert_eq!(faulted.stats.completed, jobs.len() as u64);
+        assert_eq!(faulted.stats.lost_ranks, vec![1]);
+        assert_eq!(faulted.stats.total_matches, clean.stats.total_matches);
+        for (a, b) in clean.outcomes.iter().zip(faulted.outcomes.iter()) {
+            assert_eq!(
+                a.result.as_ref().unwrap().canonical_bytes(),
+                b.result.as_ref().unwrap().canonical_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn submit_timeout_is_typed() {
+        let data = Arc::new(erdos_renyi(30, 90, 7));
+        let query = Arc::new(clique(3));
+        let tier = ServeTier::new(
+            ServeConfig::builder()
+                .ranks(1)
+                .lanes(1)
+                .device_config(DeviceConfig::test_small())
+                .queue_capacity(1)
+                .pacing(200.0)
+                .build()
+                .unwrap(),
+        );
+        let report = tier
+            .run(|h| {
+                h.submit_wait(Job::new(data.clone(), query.clone()));
+                h.submit_wait(Job::new(data.clone(), query.clone()));
+                // Lane busy with job 1 (paced), job 2 queued: the gate
+                // is full, so a bounded wait must time out, typed.
+                match h.submit_wait_timeout(
+                    Job::new(data.clone(), query.clone()),
+                    Duration::from_millis(1),
+                ) {
+                    Err(SchedError::Timeout { .. }) => {}
+                    other => panic!("expected Timeout, got {other:?}"),
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.stats.completed, 2);
+    }
+}

@@ -5,12 +5,13 @@ use std::time::Duration;
 use cuts_core::error::{ConfigError, CutsError};
 use cuts_core::EngineConfig;
 use cuts_gpu_sim::DeviceConfig;
+use cuts_obs::{Registry, Trace};
 
 use crate::fault::FaultPlan;
 use crate::worker::Partition;
 
 /// Configuration for a distributed run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DistConfig {
     /// Per-rank device (each node of the paper's cluster has one V100).
     pub device: DeviceConfig,
@@ -42,6 +43,33 @@ pub struct DistConfig {
     /// loop, refreshing peers' liveness views even when no protocol
     /// traffic flows.
     pub heartbeat_interval: Duration,
+    /// Trace every rank's kernel launches, chunk lifecycle, donations,
+    /// heartbeats, and injected faults are journalled into (rank-tagged).
+    /// Disabled by default.
+    pub trace: Trace,
+    /// Serving-metrics registry the run records per-rank busy gauges,
+    /// balance gauges, and recovery counters into; the same handle comes
+    /// back on [`crate::DistResult::telemetry`]. Enabled by default —
+    /// pass [`Registry::disabled`] to measure the zero-cost path.
+    pub telemetry: Registry,
+}
+
+impl std::fmt::Debug for DistConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistConfig")
+            .field("device", &self.device)
+            .field("engine", &self.engine)
+            .field("dist_chunk", &self.dist_chunk)
+            .field("partition", &self.partition)
+            .field("progressive_deepening", &self.progressive_deepening)
+            .field("pacing", &self.pacing)
+            .field("fault_plan", &self.fault_plan)
+            .field("rank_timeout", &self.rank_timeout)
+            .field("heartbeat_interval", &self.heartbeat_interval)
+            .field("trace_enabled", &self.trace.is_enabled())
+            .field("telemetry_enabled", &self.telemetry.is_enabled())
+            .finish()
+    }
 }
 
 impl Default for DistConfig {
@@ -56,6 +84,8 @@ impl Default for DistConfig {
             fault_plan: FaultPlan::default(),
             rank_timeout: Duration::from_millis(50),
             heartbeat_interval: Duration::from_millis(10),
+            trace: Trace::disabled(),
+            telemetry: Registry::enabled(),
         }
     }
 }
@@ -134,6 +164,18 @@ impl DistConfigBuilder {
     /// Heartbeat broadcast interval (must be non-zero).
     pub fn heartbeat_interval(mut self, d: Duration) -> Self {
         self.config.heartbeat_interval = d;
+        self
+    }
+
+    /// Attaches a trace every rank journals into.
+    pub fn trace(mut self, t: Trace) -> Self {
+        self.config.trace = t;
+        self
+    }
+
+    /// Explicit serving-metrics registry (default: a fresh enabled one).
+    pub fn telemetry(mut self, r: Registry) -> Self {
+        self.config.telemetry = r;
         self
     }
 

@@ -1,245 +1,23 @@
-//! Replicated chunk ledger: the recovery layer's source of truth.
+//! Replicated chunk ledger — the distributed instantiation of the
+//! generic [`cuts_core::ledger::WorkLedger`].
 //!
-//! Every unit of outer-loop work (a path-batch chunk) is registered here
-//! before any rank may process it, and its match count is *committed*
-//! here exactly once. The run is complete when every registered chunk is
-//! committed, and the run's total is the sum of committed counts — so a
-//! rank crash can lose in-flight computation but never results, and
-//! at-least-once delivery of donated chunks deduplicates on commit.
-//!
-//! In the paper's deployment this role is played by the saved-results
-//! store each node writes after every chunk of Algorithm 3 (plus a
-//! replicated ownership table); in this in-process simulation it is a
-//! mutex-protected map shared by the worker threads.
-
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+//! The ledger itself (registration, idempotent commits, transfer,
+//! split, reclaim, the recovery clock) moved to `cuts-core` so the
+//! serving tier can run the same recovery protocol over whole jobs.
+//! Here the unit of work is a path-batch [`HostTrie`] chunk, and the
+//! historical names (`ChunkId`, `ChunkLedger`) stay the API of this
+//! crate.
 
 use cuts_trie::HostTrie;
 
+pub use cuts_core::ledger::AliveBoard;
+
 /// Stable identity of one chunk of outer-loop work.
-pub type ChunkId = u64;
+pub type ChunkId = cuts_core::ledger::WorkId;
 
-#[derive(Debug)]
-enum ChunkState {
-    /// Registered, not yet committed; `owner` is responsible for it and
-    /// `payload` is the recoverable copy of the work itself.
-    Pending { owner: usize, payload: HostTrie },
-    /// Committed with its match count.
-    Done,
-}
-
-#[derive(Debug, Default)]
-struct LedgerInner {
-    chunks: HashMap<ChunkId, ChunkState>,
-    pending: usize,
-    total_matches: u64,
-    chunks_reassigned: usize,
-    first_loss_at: Option<Instant>,
-    recovered_at: Option<Instant>,
-}
-
-/// Shared chunk-ownership and result store (see module docs).
-#[derive(Debug, Default)]
-pub struct ChunkLedger {
-    inner: Mutex<LedgerInner>,
-    next_id: AtomicU64,
-}
-
-impl ChunkLedger {
-    /// Empty ledger.
-    pub fn new() -> Self {
-        ChunkLedger::default()
-    }
-
-    /// Allocates a fresh chunk id.
-    pub fn new_id(&self) -> ChunkId {
-        self.next_id.fetch_add(1, Ordering::Relaxed)
-    }
-
-    /// Registers a chunk owned by `owner`. The payload copy is what a
-    /// surviving rank re-executes if `owner` dies.
-    pub fn register(&self, id: ChunkId, owner: usize, payload: &HostTrie) {
-        let mut inner = self.inner.lock().unwrap();
-        let prev = inner.chunks.insert(
-            id,
-            ChunkState::Pending {
-                owner,
-                payload: payload.clone(),
-            },
-        );
-        assert!(prev.is_none(), "chunk {id} registered twice");
-        inner.pending += 1;
-    }
-
-    /// Re-homes a pending chunk to `new_owner` (donation hand-off).
-    /// Returns `false` when the chunk is already committed — the signal
-    /// for a receiver to discard an at-least-once duplicate.
-    pub fn transfer(&self, id: ChunkId, new_owner: usize) -> bool {
-        let mut inner = self.inner.lock().unwrap();
-        match inner.chunks.get_mut(&id) {
-            Some(ChunkState::Pending { owner, .. }) => {
-                *owner = new_owner;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Commits a chunk's match count. Idempotent: only the first commit
-    /// is recorded; returns whether this call was the first.
-    pub fn commit(&self, id: ChunkId, matches: u64) -> bool {
-        let mut inner = self.inner.lock().unwrap();
-        match inner.chunks.insert(id, ChunkState::Done) {
-            Some(ChunkState::Pending { .. }) => {
-                inner.pending -= 1;
-                inner.total_matches += matches;
-                if inner.pending == 0 && inner.first_loss_at.is_some() {
-                    inner.recovered_at = Some(Instant::now());
-                }
-                true
-            }
-            Some(ChunkState::Done) | None => false,
-        }
-    }
-
-    /// Replaces a pending chunk with finer-grained children (progressive
-    /// deepening). The parent never commits; the children must. Returns
-    /// `false` (and registers nothing) if the parent was already gone.
-    pub fn split(&self, parent: ChunkId, owner: usize, children: &[(ChunkId, &HostTrie)]) -> bool {
-        let mut inner = self.inner.lock().unwrap();
-        match inner.chunks.remove(&parent) {
-            Some(ChunkState::Pending { .. }) => {
-                inner.pending -= 1;
-                for &(id, payload) in children {
-                    let prev = inner.chunks.insert(
-                        id,
-                        ChunkState::Pending {
-                            owner,
-                            payload: payload.clone(),
-                        },
-                    );
-                    assert!(prev.is_none(), "chunk {id} registered twice");
-                    inner.pending += 1;
-                }
-                true
-            }
-            Some(done @ ChunkState::Done) => {
-                inner.chunks.insert(parent, done);
-                false
-            }
-            None => false,
-        }
-    }
-
-    /// True when every registered chunk has committed.
-    pub fn all_completed(&self) -> bool {
-        self.inner.lock().unwrap().pending == 0
-    }
-
-    /// Pending (uncommitted) chunk count.
-    pub fn pending(&self) -> usize {
-        self.inner.lock().unwrap().pending
-    }
-
-    /// Sum of committed match counts.
-    pub fn total_matches(&self) -> u64 {
-        self.inner.lock().unwrap().total_matches
-    }
-
-    /// Claims every pending chunk whose owner satisfies `orphaned` (dead
-    /// ranks, plus the claimant itself for work lost in transit),
-    /// transferring ownership to `me`. Returns the claimed work.
-    pub fn reclaim<F: Fn(usize) -> bool>(
-        &self,
-        me: usize,
-        orphaned: F,
-    ) -> Vec<(ChunkId, HostTrie)> {
-        let mut inner = self.inner.lock().unwrap();
-        let mut claimed = Vec::new();
-        for (&id, state) in inner.chunks.iter_mut() {
-            if let ChunkState::Pending { owner, payload } = state {
-                if *owner != me && orphaned(*owner) {
-                    *owner = me;
-                    claimed.push((id, payload.clone()));
-                } else if *owner == me {
-                    // Chunks homed to an idle claimant can only be work
-                    // whose WORK message was lost: re-materialise them.
-                    claimed.push((id, payload.clone()));
-                }
-            }
-        }
-        if !claimed.is_empty() {
-            inner.chunks_reassigned += claimed.len();
-            claimed.sort_by_key(|&(id, _)| id);
-        }
-        claimed
-    }
-
-    /// Records that a rank was lost (first loss starts the recovery
-    /// clock).
-    pub fn note_loss(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.first_loss_at.is_none() {
-            inner.first_loss_at = Some(Instant::now());
-        }
-    }
-
-    /// Chunks re-homed by [`ChunkLedger::reclaim`] so far.
-    pub fn chunks_reassigned(&self) -> usize {
-        self.inner.lock().unwrap().chunks_reassigned
-    }
-
-    /// Wall milliseconds from the first rank loss until the last pending
-    /// chunk committed; 0.0 when no loss occurred or recovery never
-    /// finished.
-    pub fn recovery_millis(&self) -> f64 {
-        let inner = self.inner.lock().unwrap();
-        match (inner.first_loss_at, inner.recovered_at) {
-            (Some(lost), Some(done)) => done.saturating_duration_since(lost).as_secs_f64() * 1e3,
-            _ => 0.0,
-        }
-    }
-}
-
-/// Liveness flags for every rank, flipped exactly once when a rank's
-/// worker exits (cleanly or not). The in-process analogue of the MPI
-/// launcher observing a process death; the heartbeat timeout in
-/// [`crate::protocol::StatusBoard`] covers *unresponsive* (delayed)
-/// ranks that are still technically alive.
-#[derive(Debug)]
-pub struct AliveBoard {
-    alive: Vec<AtomicBool>,
-}
-
-impl AliveBoard {
-    /// All ranks start alive.
-    pub fn new(ranks: usize) -> Self {
-        AliveBoard {
-            alive: (0..ranks).map(|_| AtomicBool::new(true)).collect(),
-        }
-    }
-
-    /// Whether `rank`'s worker is still running.
-    pub fn is_alive(&self, rank: usize) -> bool {
-        self.alive[rank].load(Ordering::Acquire)
-    }
-
-    /// Marks `rank` exited.
-    pub fn set_dead(&self, rank: usize) {
-        self.alive[rank].store(false, Ordering::Release);
-    }
-
-    /// Number of ranks still alive.
-    pub fn live_count(&self) -> usize {
-        self.alive
-            .iter()
-            .filter(|a| a.load(Ordering::Acquire))
-            .count()
-    }
-}
+/// Shared chunk-ownership and result store (see
+/// [`cuts_core::ledger::WorkLedger`]).
+pub type ChunkLedger = cuts_core::ledger::WorkLedger<HostTrie>;
 
 #[cfg(test)]
 mod tests {
@@ -247,20 +25,6 @@ mod tests {
 
     fn trie(v: u32) -> HostTrie {
         HostTrie::from_flat_paths(&[vec![v]])
-    }
-
-    #[test]
-    fn commit_is_idempotent_and_sums() {
-        let l = ChunkLedger::new();
-        let (a, b) = (l.new_id(), l.new_id());
-        l.register(a, 0, &trie(1));
-        l.register(b, 1, &trie(2));
-        assert!(!l.all_completed());
-        assert!(l.commit(a, 10));
-        assert!(!l.commit(a, 10), "second commit must be a no-op");
-        assert!(l.commit(b, 5));
-        assert!(l.all_completed());
-        assert_eq!(l.total_matches(), 15);
     }
 
     #[test]
@@ -284,7 +48,7 @@ mod tests {
         let claimed = l.reclaim(2, |owner| owner == 0);
         let claimed_ids: Vec<ChunkId> = claimed.iter().map(|&(id, _)| id).collect();
         assert_eq!(claimed_ids, vec![ids[0], ids[2], ids[3]]);
-        assert_eq!(l.chunks_reassigned(), 3);
+        assert_eq!(l.reassigned(), 3);
         // Claimed chunks now belong to rank 2; rank 1's chunk untouched.
         assert!(
             l.reclaim(2, |owner| owner == 0).len() == 3,
@@ -306,27 +70,5 @@ mod tests {
         assert!(l.commit(c2, 2));
         assert!(l.all_completed());
         assert_eq!(l.total_matches(), 3);
-    }
-
-    #[test]
-    fn recovery_clock() {
-        let l = ChunkLedger::new();
-        let id = l.new_id();
-        l.register(id, 0, &trie(1));
-        assert_eq!(l.recovery_millis(), 0.0);
-        l.note_loss();
-        std::thread::sleep(std::time::Duration::from_millis(2));
-        l.commit(id, 1);
-        assert!(l.recovery_millis() > 0.0);
-    }
-
-    #[test]
-    fn alive_board_lifecycle() {
-        let b = AliveBoard::new(3);
-        assert_eq!(b.live_count(), 3);
-        b.set_dead(1);
-        assert!(!b.is_alive(1));
-        assert!(b.is_alive(0));
-        assert_eq!(b.live_count(), 2);
     }
 }

@@ -8,8 +8,7 @@
 //! [`ChunkLedger`], and the run completes
 //! with the identical match count — the ledger sum — plus populated
 //! [`RecoveryStats`]. Only when *no* rank survives (or registration
-//! itself fails everywhere) does `run_distributed` return the first
-//! rank's error.
+//! itself fails everywhere) does [`run`] return the first rank's error.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,12 +43,25 @@ impl Drop for ExitGuard<'_> {
     }
 }
 
-/// Runs `query` against `data` on `ranks` simulated nodes. The returned
-/// total equals the single-node count — including under any fault plan
-/// that leaves at least one rank alive; per-rank metrics feed Figures 4-5.
+/// Runs `query` against `data` on `ranks` simulated nodes — the single
+/// distributed entry point. The returned total equals the single-node
+/// count — including under any fault plan that leaves at least one rank
+/// alive; per-rank metrics feed Figures 4-5.
+///
+/// Tracing and metrics are part of the configuration: set
+/// [`DistConfig::trace`] to journal every rank's kernel launches, chunk
+/// lifecycle, donations, heartbeats, and injected faults (rank-tagged,
+/// wrapped in one `distributed` span on the caller's lane), and
+/// [`DistConfig::telemetry`] to choose the registry receiving per-rank
+/// busy gauges, balance gauges, and recovery counters (the same handle
+/// comes back on [`DistResult::telemetry`]).
+///
+/// For a *stream of jobs* over long-lived ranks, use the serving tier
+/// (`cuts_core::serve::ServeTier`) instead — it subsumes this path and
+/// adds placement, whole-job migration, and job re-admission.
 ///
 /// ```
-/// use cuts_dist::{run_distributed, DistConfig};
+/// use cuts_dist::{run, DistConfig};
 /// use cuts_gpu_sim::DeviceConfig;
 /// use cuts_graph::generators::{clique, erdos_renyi};
 ///
@@ -59,47 +71,19 @@ impl Drop for ExitGuard<'_> {
 ///     dist_chunk: 8,
 ///     ..Default::default()
 /// };
-/// let two = run_distributed(&data, &clique(3), 2, &config).unwrap();
-/// let four = run_distributed(&data, &clique(3), 4, &config).unwrap();
+/// let two = run(&data, &clique(3), 2, &config).unwrap();
+/// let four = run(&data, &clique(3), 4, &config).unwrap();
 /// assert_eq!(two.total_matches, four.total_matches);
 /// ```
-pub fn run_distributed(
+pub fn run(
     data: &Graph,
     query: &Graph,
     ranks: usize,
     config: &DistConfig,
-) -> Result<DistResult, WorkerError> {
-    run_distributed_traced(data, query, ranks, config, &Trace::disabled())
-}
-
-/// [`run_distributed`] with a trace: every rank's kernel launches, level
-/// expansions, chunk lifecycle, donations, heartbeats, and injected
-/// faults are journalled into `trace` (rank-tagged), wrapped in one
-/// `distributed` span on the caller's lane.
-pub fn run_distributed_traced(
-    data: &Graph,
-    query: &Graph,
-    ranks: usize,
-    config: &DistConfig,
-    trace: &Trace,
-) -> Result<DistResult, WorkerError> {
-    run_distributed_observed(data, query, ranks, config, trace, Registry::enabled())
-}
-
-/// [`run_distributed_traced`] with an explicit serving-metrics registry.
-/// The run records per-rank busy gauges, the balance-ratio/imbalance
-/// gauges, and recovery counters into it; the same handle comes back on
-/// [`DistResult::telemetry`] for Prometheus export. Pass
-/// [`Registry::disabled`] to measure the zero-cost path.
-pub fn run_distributed_observed(
-    data: &Graph,
-    query: &Graph,
-    ranks: usize,
-    config: &DistConfig,
-    trace: &Trace,
-    registry: Registry,
 ) -> Result<DistResult, WorkerError> {
     assert!(ranks >= 1);
+    let trace = &config.trace;
+    let registry = config.telemetry.clone();
     let mut run_span = if trace.is_enabled() {
         let mut s = trace.span(EventKind::Run, "distributed");
         s.arg("ranks", Arg::U64(ranks as u64));
@@ -194,7 +178,7 @@ pub fn run_distributed_observed(
     let recovery = RecoveryStats {
         ranks_lost: lost_ranks.len(),
         lost_ranks,
-        chunks_reassigned: shared.ledger.chunks_reassigned(),
+        chunks_reassigned: shared.ledger.reassigned(),
         duplicate_chunks: per_rank.iter().map(|m| m.duplicate_chunks).sum(),
         messages_dropped: per_rank.iter().map(|m| m.messages_dropped).sum(),
         messages_delayed: per_rank.iter().map(|m| m.messages_delayed).sum(),
@@ -266,6 +250,57 @@ pub fn run_distributed_observed(
     Ok(result)
 }
 
+/// Deprecated alias of [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `cuts_dist::run` (or `cuts_core::serve::ServeTier` for job streams)"
+)]
+pub fn run_distributed(
+    data: &Graph,
+    query: &Graph,
+    ranks: usize,
+    config: &DistConfig,
+) -> Result<DistResult, WorkerError> {
+    run(data, query, ranks, config)
+}
+
+/// Deprecated: set [`DistConfig::trace`] and call [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "set `DistConfig::trace` (or `.builder().trace(..)`) and use `cuts_dist::run`"
+)]
+pub fn run_distributed_traced(
+    data: &Graph,
+    query: &Graph,
+    ranks: usize,
+    config: &DistConfig,
+    trace: &Trace,
+) -> Result<DistResult, WorkerError> {
+    let mut c = config.clone();
+    c.trace = trace.clone();
+    run(data, query, ranks, &c)
+}
+
+/// Deprecated: set [`DistConfig::trace`] / [`DistConfig::telemetry`] and
+/// call [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "set `DistConfig::trace` / `DistConfig::telemetry` and use `cuts_dist::run`"
+)]
+pub fn run_distributed_observed(
+    data: &Graph,
+    query: &Graph,
+    ranks: usize,
+    config: &DistConfig,
+    trace: &Trace,
+    registry: Registry,
+) -> Result<DistResult, WorkerError> {
+    let mut c = config.clone();
+    c.trace = trace.clone();
+    c.telemetry = registry;
+    run(data, query, ranks, &c)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,7 +332,7 @@ mod tests {
         let query = clique(3);
         let want = single_node_count(&data, &query);
         for ranks in [1, 2, 4] {
-            let r = run_distributed(&data, &query, ranks, &cfg()).unwrap();
+            let r = run(&data, &query, ranks, &cfg()).unwrap();
             assert_eq!(r.total_matches, want, "ranks = {ranks}");
             assert_eq!(r.per_rank.len(), ranks);
             assert!(r.recovery.is_clean(), "fault-free run: {:?}", r.recovery);
@@ -312,7 +347,7 @@ mod tests {
         let mut c = cfg();
         c.partition = Partition::AllToRankZero;
         c.dist_chunk = 4;
-        let r = run_distributed(&data, &query, 3, &c).unwrap();
+        let r = run(&data, &query, 3, &c).unwrap();
         assert_eq!(r.total_matches, want);
         // Rank 0 must have donated; someone must have received.
         assert!(r.per_rank[0].donations_sent > 0, "{:?}", r.per_rank);
@@ -334,7 +369,7 @@ mod tests {
         let mut c = cfg();
         c.dist_chunk = 4;
         c.progressive_deepening = true;
-        let r = run_distributed(&data, &query, 2, &c).unwrap();
+        let r = run(&data, &query, 2, &c).unwrap();
         assert_eq!(r.total_matches, want);
         // The hub job was split: both ranks processed something.
         assert!(
@@ -352,7 +387,7 @@ mod tests {
         let want = single_node_count(&data, &query);
         let mut c = cfg();
         c.progressive_deepening = false;
-        let r = run_distributed(&data, &query, 3, &c).unwrap();
+        let r = run(&data, &query, 3, &c).unwrap();
         assert_eq!(r.total_matches, want);
     }
 
@@ -360,7 +395,7 @@ mod tests {
     fn zero_match_case_terminates() {
         let data = erdos_renyi(30, 60, 1);
         let query = clique(6); // no degree-5 vertices in this sparse graph
-        let r = run_distributed(&data, &query, 2, &cfg()).unwrap();
+        let r = run(&data, &query, 2, &cfg()).unwrap();
         assert_eq!(r.total_matches, 0);
     }
 
@@ -368,7 +403,7 @@ mod tests {
     fn metrics_populated() {
         let data = erdos_renyi(50, 200, 23);
         let query = clique(3);
-        let r = run_distributed(&data, &query, 2, &cfg()).unwrap();
+        let r = run(&data, &query, 2, &cfg()).unwrap();
         for m in &r.per_rank {
             assert!(m.jobs_processed > 0);
             assert!(m.busy_sim_millis > 0.0);
@@ -385,7 +420,7 @@ mod tests {
         let want = single_node_count(&data, &query);
         let mut c = cfg();
         c.fault_plan = FaultPlan::parse("crash:1@0").unwrap();
-        let r = run_distributed(&data, &query, 2, &c).unwrap();
+        let r = run(&data, &query, 2, &c).unwrap();
         assert_eq!(r.total_matches, want);
         assert_eq!(r.recovery.lost_ranks, vec![1]);
         assert!(r.per_rank[1].lost);
@@ -400,8 +435,8 @@ mod tests {
         let mut c = cfg();
         c.fault_plan = FaultPlan::parse("crash:1@0").unwrap();
         let reg = cuts_obs::Registry::enabled();
-        let r = run_distributed_observed(&data, &query, 2, &c, &Trace::disabled(), reg.clone())
-            .unwrap();
+        c.telemetry = reg.clone();
+        let r = run(&data, &query, 2, &c).unwrap();
         assert_eq!(r.recovery.lost_ranks, vec![1]);
         // The dump exists, parses, and holds the dead rank's last events.
         let path = r.postmortem.as_ref().expect("postmortem on rank death");
@@ -436,7 +471,7 @@ mod tests {
         let data = erdos_renyi(60, 240, 17);
         let query = clique(3);
         let want = single_node_count(&data, &query);
-        let r = run_distributed(&data, &query, 2, &cfg()).unwrap();
+        let r = run(&data, &query, 2, &cfg()).unwrap();
         assert_eq!(r.total_matches, want);
         assert!(r.recovery.is_clean());
         assert!(r.postmortem.is_none());
@@ -452,7 +487,7 @@ mod tests {
         let query = clique(3);
         let mut c = cfg();
         c.fault_plan = FaultPlan::parse("panic:0@0").unwrap();
-        let r = run_distributed(&data, &query, 1, &c);
+        let r = run(&data, &query, 1, &c);
         match r {
             Err(WorkerError::Panicked { rank: 0 }) => {}
             other => panic!("expected Panicked {{ rank: 0 }}, got {other:?}"),

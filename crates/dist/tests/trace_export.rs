@@ -7,7 +7,7 @@
 //! match results identical to an untraced run.
 
 use cuts_core::CutsEngine;
-use cuts_dist::{run_distributed, run_distributed_traced, DistConfig, Partition};
+use cuts_dist::{run, DistConfig, Partition};
 use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{barabasi_albert, clique, erdos_renyi};
 use cuts_obs::{chrome_trace, jsonl, validate_chrome, EventKind, Json, Trace, TraceConfig};
@@ -57,7 +57,8 @@ fn distributed_trace_exports_valid_chrome_json_across_ranks() {
             c.partition = Partition::AllToRankZero;
             c.dist_chunk = 4;
         }
-        let r = run_distributed_traced(&data, &query, ranks, &c, &trace).unwrap();
+        c.trace = trace.clone();
+        let r = run(&data, &query, ranks, &c).unwrap();
         assert!(r.total_matches > 0);
 
         let events = trace.journal().unwrap().snapshot_sorted();
@@ -88,7 +89,11 @@ fn distributed_trace_exports_valid_chrome_json_across_ranks() {
 fn jsonl_export_is_line_delimited_parseable_json() {
     let trace = Trace::enabled();
     let data = erdos_renyi(50, 200, 23);
-    run_distributed_traced(&data, &clique(3), 2, &cfg(), &trace).unwrap();
+    let c = DistConfig {
+        trace: trace.clone(),
+        ..cfg()
+    };
+    run(&data, &clique(3), 2, &c).unwrap();
     let events = trace.journal().unwrap().snapshot_sorted();
     let text = jsonl(&events);
     let lines: Vec<_> = text.lines().collect();
@@ -132,11 +137,15 @@ fn disabled_tracing_is_free_and_changes_nothing() {
     assert_eq!(plain.counters, t.counters);
     assert!(!traced.journal().unwrap().snapshot_sorted().is_empty());
 
-    // Distributed: run_distributed is run_distributed_traced with a
-    // disabled trace; a recording trace must not perturb the counts.
-    let a = run_distributed(&data, &query, 2, &cfg()).unwrap();
+    // Distributed: the config's trace defaults to disabled; a recording
+    // trace must not perturb the counts.
+    let a = run(&data, &query, 2, &cfg()).unwrap();
     let on = Trace::enabled();
-    let b = run_distributed_traced(&data, &query, 2, &cfg(), &on).unwrap();
+    let traced_cfg = DistConfig {
+        trace: on.clone(),
+        ..cfg()
+    };
+    let b = run(&data, &query, 2, &traced_cfg).unwrap();
     assert_eq!(a.total_matches, b.total_matches);
     assert_eq!(a.recovery.is_clean(), b.recovery.is_clean());
 }

@@ -73,11 +73,17 @@ pub enum FlightCode {
     ServeErr,
     /// Trie arena carved or grown (`a` = words).
     ArenaGrow,
+    /// Whole job migrated between serving ranks (`a` = job id,
+    /// `b` = destination rank).
+    JobMigrate,
+    /// Job re-admitted from a dead rank's ledger entry (`a` = job id,
+    /// `b` = claiming rank).
+    JobReadmit,
 }
 
 impl FlightCode {
     /// Every code, for exhaustive reporting.
-    pub const ALL: [FlightCode; 20] = [
+    pub const ALL: [FlightCode; 22] = [
         FlightCode::JobSubmit,
         FlightCode::JobAdmit,
         FlightCode::JobDefer,
@@ -98,6 +104,8 @@ impl FlightCode {
         FlightCode::SchedErr,
         FlightCode::ServeErr,
         FlightCode::ArenaGrow,
+        FlightCode::JobMigrate,
+        FlightCode::JobReadmit,
     ];
 
     /// Stable snake_case name used in dump files.
@@ -123,6 +131,8 @@ impl FlightCode {
             FlightCode::SchedErr => "sched_err",
             FlightCode::ServeErr => "serve_err",
             FlightCode::ArenaGrow => "arena_grow",
+            FlightCode::JobMigrate => "job_migrate",
+            FlightCode::JobReadmit => "job_readmit",
         }
     }
 

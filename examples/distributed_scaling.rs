@@ -7,7 +7,7 @@
 //! cargo run --release --example distributed_scaling
 //! ```
 
-use cuts::dist::{run_distributed, DistConfig};
+use cuts::dist::{run, DistConfig};
 use cuts::graph::generators::clique;
 use cuts::prelude::*;
 
@@ -29,7 +29,7 @@ fn main() {
 
     let mut single_makespan = None;
     for ranks in [1usize, 2, 4] {
-        let r = run_distributed(&data, &query, ranks, &config).expect("distributed run");
+        let r = run(&data, &query, ranks, &config).expect("distributed run");
         let makespan = r.makespan_sim_millis();
         let speedup = single_makespan.map(|s: f64| s / makespan).unwrap_or(1.0);
         if ranks == 1 {

@@ -4,7 +4,7 @@
 //! the paper's Table 6 property ("the distributed implementation finds
 //! the same embeddings") as an exhaustive grid.
 
-use cuts::dist::{run_distributed, DistConfig, Partition};
+use cuts::dist::{run, DistConfig, Partition};
 use cuts::graph::generators::{barabasi_albert, clique, cycle, erdos_renyi, mesh2d};
 use cuts::graph::Graph;
 use cuts::prelude::*;
@@ -49,7 +49,7 @@ fn counts_equal_single_node_across_ranks_and_partitions() {
             Partition::AllToRankZero,
         ] {
             for ranks in [1usize, 2, 4, 8] {
-                let r = run_distributed(&data, &query, ranks, &cfg(partition))
+                let r = run(&data, &query, ranks, &cfg(partition))
                     .unwrap_or_else(|e| panic!("{name}, {partition:?}, ranks {ranks}: {e}"));
                 assert_eq!(
                     r.total_matches, want,
@@ -73,7 +73,7 @@ fn per_rank_matches_sum_to_total_in_clean_runs() {
     let data = erdos_renyi(60, 240, 17);
     let query = clique(3);
     for ranks in [2usize, 4, 8] {
-        let r = run_distributed(&data, &query, ranks, &cfg(Partition::RoundRobin)).unwrap();
+        let r = run(&data, &query, ranks, &cfg(Partition::RoundRobin)).unwrap();
         let sum: u64 = r.per_rank.iter().map(|m| m.matches).sum();
         assert_eq!(sum, r.total_matches, "ranks {ranks}");
     }

@@ -74,7 +74,7 @@ fn distributed_equals_single_node_on_suite() {
     for q in query_set(4, 6) {
         let want = engine.run(&data, &q.graph).unwrap().num_matches;
         for ranks in [2usize, 3] {
-            let got = cuts::dist::run_distributed(&data, &q.graph, ranks, &config)
+            let got = cuts::dist::run(&data, &q.graph, ranks, &config)
                 .unwrap()
                 .total_matches;
             assert_eq!(got, want, "{} @ {ranks} ranks", q.name);

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use cuts::dist::worker::WorkerError;
-use cuts::dist::{run_distributed, DistConfig, FaultPlan, Partition, RecoveryStats};
+use cuts::dist::{run, DistConfig, FaultPlan, Partition, RecoveryStats};
 use cuts::graph::generators::{barabasi_albert, clique, erdos_renyi};
 use cuts::graph::Graph;
 use cuts::prelude::*;
@@ -61,8 +61,8 @@ fn injected_faults_never_change_total_matches() {
         for (name, spec) in schedules() {
             let mut c = cfg(partition);
             c.fault_plan = FaultPlan::parse(spec).unwrap();
-            let r = run_distributed(&data, &query, 3, &c)
-                .unwrap_or_else(|e| panic!("{name}/{partition:?}: {e}"));
+            let r =
+                run(&data, &query, 3, &c).unwrap_or_else(|e| panic!("{name}/{partition:?}: {e}"));
             assert_eq!(
                 r.total_matches, want,
                 "count changed under {name} with {partition:?}"
@@ -90,7 +90,7 @@ fn seeded_plans_recover_across_partitions_and_ranks() {
                 );
                 let mut c = cfg(partition);
                 c.fault_plan = plan;
-                let r = run_distributed(&data, &query, ranks, &c)
+                let r = run(&data, &query, ranks, &c)
                     .unwrap_or_else(|e| panic!("seed {seed}, ranks {ranks}, {partition:?}: {e}"));
                 assert_eq!(
                     r.total_matches, want,
@@ -107,8 +107,8 @@ fn fault_run_is_deterministic() {
     let query = clique(3);
     let mut c = cfg(Partition::RoundRobin);
     c.fault_plan = FaultPlan::parse("crash:1@1, drop:0->2@2").unwrap();
-    let a = run_distributed(&data, &query, 3, &c).unwrap();
-    let b = run_distributed(&data, &query, 3, &c).unwrap();
+    let a = run(&data, &query, 3, &c).unwrap();
+    let b = run(&data, &query, 3, &c).unwrap();
     assert_eq!(a.total_matches, b.total_matches);
     assert_eq!(a.recovery.lost_ranks, b.recovery.lost_ranks);
     assert_eq!(a.recovery.messages_dropped, b.recovery.messages_dropped);
@@ -119,13 +119,13 @@ fn recovery_metrics_populated_only_under_faults() {
     let data = erdos_renyi(60, 240, 17);
     let query = clique(3);
 
-    let clean = run_distributed(&data, &query, 3, &cfg(Partition::RoundRobin)).unwrap();
+    let clean = run(&data, &query, 3, &cfg(Partition::RoundRobin)).unwrap();
     assert_eq!(clean.recovery, RecoveryStats::default(), "fault-free run");
     assert!(clean.per_rank.iter().all(|m| !m.lost));
 
     let mut c = cfg(Partition::RoundRobin);
     c.fault_plan = FaultPlan::parse("crash:2@0, drop:0->1@1").unwrap();
-    let faulty = run_distributed(&data, &query, 3, &c).unwrap();
+    let faulty = run(&data, &query, 3, &c).unwrap();
     assert_eq!(faulty.recovery.ranks_lost, 1);
     assert_eq!(faulty.recovery.lost_ranks, vec![2]);
     assert!(faulty.per_rank[2].lost);
@@ -146,7 +146,7 @@ fn all_but_one_rank_may_die() {
     let want = single_node_count(&data, &query);
     let mut c = cfg(Partition::RoundRobin);
     c.fault_plan = FaultPlan::parse("crash:0@0, panic:1@0, crash:3@1").unwrap();
-    let r = run_distributed(&data, &query, 4, &c).unwrap();
+    let r = run(&data, &query, 4, &c).unwrap();
     assert_eq!(r.total_matches, want);
     assert_eq!(r.recovery.ranks_lost, 3);
     // The sole survivor re-ran everything the victims left behind.
@@ -157,12 +157,12 @@ fn all_but_one_rank_may_die() {
 fn worker_panic_surfaces_as_error_not_unwind() {
     // Regression for the runner's old `join().expect(...)`: a panicking
     // worker with no survivors must surface as `Err(Panicked)`, never
-    // propagate the unwind out of `run_distributed`.
+    // propagate the unwind out of `run`.
     let data = erdos_renyi(30, 90, 5);
     let query = clique(3);
     let mut c = cfg(Partition::RoundRobin);
     c.fault_plan = FaultPlan::parse("panic:0@0").unwrap();
-    match run_distributed(&data, &query, 1, &c) {
+    match run(&data, &query, 1, &c) {
         Err(WorkerError::Panicked { rank: 0 }) => {}
         other => panic!("expected Err(Panicked), got {other:?}"),
     }
@@ -174,7 +174,7 @@ fn losing_every_rank_is_an_error_not_a_hang() {
     let query = clique(3);
     let mut c = cfg(Partition::RoundRobin);
     c.fault_plan = FaultPlan::parse("crash:0@0, crash:1@0").unwrap();
-    match run_distributed(&data, &query, 2, &c) {
+    match run(&data, &query, 2, &c) {
         Err(WorkerError::InjectedCrash { .. }) => {}
         other => panic!("expected Err(InjectedCrash), got {other:?}"),
     }
@@ -191,7 +191,7 @@ fn message_drops_alone_still_terminate_and_count() {
     let mut c = cfg(Partition::AllToRankZero);
     c.dist_chunk = 4;
     c.fault_plan = FaultPlan::parse("drop:1->0@1, drop:0->1@3, drop:0->2@2").unwrap();
-    let r = run_distributed(&data, &query, 3, &c).unwrap();
+    let r = run(&data, &query, 3, &c).unwrap();
     assert_eq!(r.total_matches, want);
     assert_eq!(r.recovery.ranks_lost, 0);
     assert!(r.recovery.messages_dropped >= 1);

@@ -88,7 +88,7 @@ fn distributed_labeled_matches_single_node() {
         dist_chunk: 4,
         ..Default::default()
     };
-    let r = cuts::dist::run_distributed(&data, &query, 3, &config).unwrap();
+    let r = cuts::dist::run(&data, &query, 3, &config).unwrap();
     assert_eq!(r.total_matches, want);
 }
 

@@ -107,7 +107,7 @@ proptest! {
             dist_chunk: 4,
             ..Default::default()
         };
-        let got = cuts::dist::run_distributed(&data, &query, ranks, &config)
+        let got = cuts::dist::run(&data, &query, ranks, &config)
             .unwrap()
             .total_matches;
         prop_assert_eq!(got, want);

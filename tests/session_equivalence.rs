@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use cuts::dist::{run_distributed, DistConfig, FaultPlan, Partition};
+use cuts::dist::{run, DistConfig, FaultPlan, Partition};
 use cuts::graph::generators::{clique, cycle, erdos_renyi, mesh2d};
 use cuts::graph::Graph;
 use cuts::prelude::*;
@@ -139,7 +139,7 @@ fn fault_replays_reuse_the_rank_plan_and_hold_counts_stable() {
     };
     config.fault_plan = FaultPlan::parse("crash:2@1, drop:0->1@2, delay:1->0@1+50").unwrap();
 
-    let r = run_distributed(&data, &query, 3, &config).unwrap();
+    let r = run(&data, &query, 3, &config).unwrap();
     assert_eq!(r.total_matches, want, "replays must not change the count");
     assert!(!r.recovery.is_clean(), "the fault plan must actually fire");
     for m in &r.per_rank {
