@@ -139,7 +139,6 @@ fn main() {
                 .ranks(ranks)
                 .lanes(1)
                 .pacing(PACING_RANKS)
-                .telemetry(false)
                 .build()
                 .expect("valid serve config"),
         );

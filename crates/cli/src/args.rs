@@ -22,6 +22,10 @@ USAGE:
                [--fault-plan <plan>] [--submit-timeout <ms>]
                [--snapshot <path>] [--stats-every <jobs>]
                [--stats-out <path>] [--metrics-out <path>] [--quick]
+  cuts watch   (<edgelist> | --dataset <name> [--scale <s>]) --query <spec[,spec...]>
+               --batches <file> [--ranks <n>] [--directed]
+               [--device v100|a100|test] [--output text|json]
+               [--fault-plan <plan>]
   cuts top     <metrics.jsonl> — renders the rolling snapshots a serve
                run wrote via --stats-every/--stats-out as a table
   cuts flight  <dump.json> — validates and summarises a flight-recorder
@@ -81,6 +85,20 @@ MONITORING:    serving telemetry is always on: serve prints a per-class
                recorder dumps its last events to a post-mortem file
                (directory $CUTS_FLIGHT_DIR, default temp); inspect it
                with `cuts flight`
+WATCHING:      `watch` serves standing queries over a live graph: each
+               --query spec subscribes, then the --batches file streams
+               edge edits. One edit per line — `+ u v` inserts, `- u v`
+               deletes, `---` commits the batch (`#` comments; a final
+               unterminated batch commits too). Each batch is matched
+               incrementally (only trie subtrees near the edited
+               vertices are re-expanded) and the per-query match deltas
+               print as they stream; the final match sets are verified
+               against a full recompute. --ranks replicates the live
+               state for failover and --fault-plan kills ranks on batch
+               boundaries (crash:R@C = rank R dies before its (C+1)-th
+               batch; needs --ranks > 1); the delta stream continues
+               from a surviving rank. The SLO table covers per-delta
+               latencies under class watch/q<i>
 SNAPSHOTS:     `snapshot build` profiles a data graph, plans each --queries
                spec, and writes a versioned, checksummed container;
                --store-tries additionally runs each query and persists its
@@ -184,6 +202,28 @@ pub struct ServeOpts {
     pub quick: bool,
 }
 
+/// Parsed `watch` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchOpts {
+    /// The live data graph's starting state.
+    pub data: DataSource,
+    /// Standing query specs (comma-separated on the CLI).
+    pub queries: Vec<String>,
+    /// Path to the edge-batch file (`+ u v` / `- u v` / `---`).
+    pub batches: String,
+    /// Replicated ranks serving the delta stream (failover capacity).
+    pub ranks: usize,
+    /// Load the data graph as directed.
+    pub directed: bool,
+    /// Device model name (v100|a100|test).
+    pub device: String,
+    /// Report format: text | json.
+    pub output: String,
+    /// Fault schedule (crashes keyed on batch boundaries); requires
+    /// --ranks > 1.
+    pub fault_plan: Option<String>,
+}
+
 /// Parsed `snapshot build` options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotBuildOpts {
@@ -213,6 +253,8 @@ pub enum Command {
     Profile(Box<MatchOpts>),
     /// Drain a job manifest through the multi-query scheduler.
     Serve(ServeOpts),
+    /// Stream edge batches at standing queries, matching incrementally.
+    Watch(WatchOpts),
     /// Build a snapshot container from a graph and query specs.
     SnapshotBuild(SnapshotBuildOpts),
     /// Verify a container's checksums and describe its sections.
@@ -385,6 +427,59 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("--stats-out requires --stats-every > 0".into());
             }
             Ok(Command::Serve(opts))
+        }
+        "watch" => {
+            let (data, extra) = parse_source(rest)?;
+            let mut opts = WatchOpts {
+                data,
+                queries: Vec::new(),
+                batches: String::new(),
+                ranks: 1,
+                directed: false,
+                device: "v100".into(),
+                output: "text".into(),
+                fault_plan: None,
+            };
+            let mut it = extra.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--query" => {
+                        opts.queries = take_value("--query", &mut it)?
+                            .split(',')
+                            .map(str::to_string)
+                            .collect()
+                    }
+                    "--batches" => opts.batches = take_value("--batches", &mut it)?.to_string(),
+                    "--ranks" => {
+                        opts.ranks = take_value("--ranks", &mut it)?
+                            .parse()
+                            .map_err(|_| "--ranks: bad number")?
+                    }
+                    "--directed" => opts.directed = true,
+                    "--device" => opts.device = take_value("--device", &mut it)?.to_string(),
+                    "--output" => opts.output = take_value("--output", &mut it)?.to_string(),
+                    "--fault-plan" => {
+                        opts.fault_plan = Some(take_value("--fault-plan", &mut it)?.to_string())
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if opts.queries.is_empty() || opts.queries.iter().any(String::is_empty) {
+                return Err("watch requires --query with at least one spec".into());
+            }
+            if opts.batches.is_empty() {
+                return Err("watch requires --batches".into());
+            }
+            if opts.ranks == 0 {
+                return Err("--ranks must be at least 1".into());
+            }
+            if opts.fault_plan.is_some() && opts.ranks < 2 {
+                return Err("--fault-plan requires --ranks > 1".into());
+            }
+            if !matches!(opts.output.as_str(), "text" | "json") {
+                return Err("--output must be text or json".into());
+            }
+            Ok(Command::Watch(opts))
         }
         "top" | "flight" => {
             let mut path: Option<String> = None;
@@ -676,6 +771,47 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_watch() {
+        let c = parse(&argv(
+            "watch g.txt --query clique:3,chain:4 --batches edits.txt --ranks 2 \
+             --fault-plan crash:0@1 --device test --output json",
+        ))
+        .unwrap();
+        match c {
+            Command::Watch(o) => {
+                assert_eq!(o.data, DataSource::File("g.txt".into()));
+                assert_eq!(
+                    o.queries,
+                    vec!["clique:3".to_string(), "chain:4".to_string()]
+                );
+                assert_eq!(o.batches, "edits.txt");
+                assert_eq!(o.ranks, 2);
+                assert_eq!(o.fault_plan.as_deref(), Some("crash:0@1"));
+                assert_eq!(o.device, "test");
+                assert_eq!(o.output, "json");
+                assert!(!o.directed);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_rejects_bad_combinations() {
+        // Both --query and --batches are mandatory.
+        assert!(parse(&argv("watch g.txt --batches b.txt")).is_err());
+        assert!(parse(&argv("watch g.txt --query clique:3")).is_err());
+        // Fault injection needs a surviving rank to fail over to.
+        assert!(parse(&argv(
+            "watch g.txt --query clique:3 --batches b.txt --fault-plan crash:0@1"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "watch g.txt --query clique:3 --batches b.txt --output yaml"
+        ))
+        .is_err());
     }
 
     #[test]

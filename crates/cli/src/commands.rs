@@ -8,13 +8,13 @@ use cuts_gpu_sim::{Device, DeviceConfig};
 use cuts_graph::generators::{chain, clique, cycle, star};
 use cuts_graph::labels::{degree_band_labels, random_labels, zipf_labels};
 use cuts_graph::stats::{degree_histogram, stats};
-use cuts_graph::{edgelist, query_set, Dataset, Graph, Scale};
+use cuts_graph::{edgelist, query_set, Dataset, EdgeBatch, Graph, Scale, VertexId};
 use cuts_obs::flight::{self, FlightCode};
 use cuts_obs::{
     chrome_trace, jsonl, Arg, Event, EventKind, Json, MetricsSnapshot, ToJson, Trace, TraceConfig,
 };
 
-use crate::args::{Command, DataSource, MatchOpts, ServeOpts, SnapshotBuildOpts, USAGE};
+use crate::args::{Command, DataSource, MatchOpts, ServeOpts, SnapshotBuildOpts, WatchOpts, USAGE};
 use cuts_core::Snapshot;
 use cuts_trie::csf::Csf;
 use cuts_trie::HostTrie;
@@ -73,6 +73,7 @@ pub fn run(cmd: Command) -> Result<(), CmdError> {
                 Err(e)
             }
         },
+        Command::Watch(opts) => run_watch(&opts),
         Command::SnapshotBuild(opts) => run_snapshot_build(&opts),
         Command::SnapshotInspect { path } => run_snapshot_inspect(&path),
         Command::Top { path } => run_top(&path),
@@ -668,6 +669,185 @@ fn run_serve(opts: &ServeOpts) -> Result<(), CmdError> {
     if mismatched > 0 {
         return Err(invalid(
             "serve/serial divergence (jobs differing)",
+            mismatched.to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses a batch file: one edit per line (`+ u v` inserts the edge,
+/// `- u v` deletes it), `---` commits the batch so far, `#` starts a
+/// comment. A trailing unterminated batch commits too; empty batches
+/// are dropped.
+fn parse_batches(text: &str) -> Result<Vec<EdgeBatch>, CmdError> {
+    let mut batches = Vec::new();
+    let mut cur = EdgeBatch::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "---" {
+            if !cur.is_empty() {
+                batches.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        let bad = || invalid("batch line", format!("{}: {}", lineno + 1, raw.trim()));
+        let mut parts = line.split_whitespace();
+        let op = parts.next().ok_or_else(bad)?;
+        let u: VertexId = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let v: VertexId = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        match op {
+            "+" => cur.insert(u, v),
+            "-" => cur.delete(u, v),
+            _ => return Err(bad()),
+        };
+    }
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    Ok(batches)
+}
+
+fn run_watch(opts: &WatchOpts) -> Result<(), CmdError> {
+    let graph = load(&opts.data, opts.directed)?;
+    let text =
+        std::fs::read_to_string(&opts.batches).map_err(|e| CutsError::io(&opts.batches, e))?;
+    let batches = parse_batches(&text)?;
+    if batches.is_empty() {
+        return Err(invalid("batch file (no edits)", &opts.batches));
+    }
+
+    // A watch tier replicates the live state across ranks so the delta
+    // stream survives rank loss; lanes are irrelevant (batches are the
+    // unit of work, not jobs).
+    let mut builder = ServeConfig::builder()
+        .ranks(opts.ranks)
+        .lanes(1)
+        .device_config(device_config(&opts.device)?);
+    if let Some(spec) = &opts.fault_plan {
+        builder = builder.fault_plan(FaultPlan::parse(spec)?);
+    }
+    let tier = ServeTier::new(builder.build()?);
+    let mut live = tier.watch(graph);
+    let mut watchers = Vec::new();
+    for spec in &opts.queries {
+        let q = load_query(spec, opts.directed)?;
+        watchers.push(live.subscribe(&q)?);
+    }
+    let json = opts.output == "json";
+    if !json {
+        println!(
+            "watch: {} standing query(ies), {} batch(es), {} rank(s)",
+            watchers.len(),
+            batches.len(),
+            opts.ranks
+        );
+    }
+
+    let mut added = vec![0u64; watchers.len()];
+    let mut removed = vec![0u64; watchers.len()];
+    let mut updates_json = Vec::new();
+    for batch in &batches {
+        live.apply_batch(batch)?;
+        for w in &watchers {
+            for u in w.drain() {
+                let q = u.delta.query.0;
+                added[q] += u.delta.added.len() as u64;
+                removed[q] += u.delta.removed.len() as u64;
+                if json {
+                    updates_json.push(Json::obj([
+                        ("batch", Json::U64(u.batch)),
+                        ("rank", Json::U64(u.rank as u64)),
+                        ("query", Json::Str(opts.queries[q].clone())),
+                        ("added", Json::U64(u.delta.added.len() as u64)),
+                        ("removed", Json::U64(u.delta.removed.len() as u64)),
+                        ("dirty_roots", Json::U64(u.delta.dirty_roots as u64)),
+                        ("reseeded", Json::U64(u.delta.reseeded as u64)),
+                        ("released", Json::U64(u.delta.released_entries as u64)),
+                    ]));
+                } else {
+                    println!(
+                        "batch {:>3}  rank {}  {:<12} +{} -{}  ({} dirty roots, {} reseeded, {} entries released)",
+                        u.batch,
+                        u.rank,
+                        opts.queries[q],
+                        u.delta.added.len(),
+                        u.delta.removed.len(),
+                        u.delta.dirty_roots,
+                        u.delta.reseeded,
+                        u.delta.released_entries
+                    );
+                }
+            }
+        }
+    }
+
+    // The incremental path must land on exactly the state a cold run
+    // over the final graph produces.
+    let mut mismatched = 0usize;
+    for w in &watchers {
+        if live.match_set(w.query) != live.recompute(w.query)? {
+            mismatched += 1;
+        }
+    }
+
+    if json {
+        let queries = Json::arr(opts.queries.iter().enumerate().map(|(i, spec)| {
+            Json::obj([
+                ("query", Json::Str(spec.clone())),
+                (
+                    "matches",
+                    Json::U64(live.match_set(watchers[i].query).len() as u64),
+                ),
+                ("added", Json::U64(added[i])),
+                ("removed", Json::U64(removed[i])),
+            ])
+        }));
+        let root = Json::obj([
+            ("batches", Json::U64(batches.len() as u64)),
+            ("ranks", Json::U64(opts.ranks as u64)),
+            ("lost_ranks", Json::U64(live.lost_ranks())),
+            ("queries", queries),
+            ("updates", Json::Arr(updates_json)),
+            ("slo", live.slo().to_json()),
+            ("verified", Json::Bool(mismatched == 0)),
+        ]);
+        println!("{}", root.render());
+    } else {
+        for (i, spec) in opts.queries.iter().enumerate() {
+            println!(
+                "{:<12} {} match(es) after {} batch(es)  (+{} / -{} streamed)",
+                spec,
+                live.match_set(watchers[i].query).len(),
+                batches.len(),
+                added[i],
+                removed[i]
+            );
+        }
+        if live.lost_ranks() > 0 {
+            println!(
+                "faults:    {} rank(s) lost mid-stream; {} still live",
+                live.lost_ranks(),
+                live.live_ranks()
+            );
+        }
+        print!("{}", slo_table(&live.slo()));
+        if mismatched == 0 {
+            println!(
+                "verify:    all {} standing quer{} match a full recompute",
+                watchers.len(),
+                if watchers.len() == 1 { "y" } else { "ies" }
+            );
+        }
+    }
+    if mismatched > 0 {
+        return Err(invalid(
+            "watch/recompute divergence (queries differing)",
             mismatched.to_string(),
         ));
     }
@@ -1461,6 +1641,62 @@ mod tests {
         // No skeleton sections on an empty journal.
         assert!(!report.contains("per kernel"));
         assert!(!report.contains("events by kind"));
+    }
+
+    #[test]
+    fn parse_batches_splits_on_separators_and_rejects_garbage() {
+        let text = "\
+# warm-up edits
++ 0 4   # diagonal
++ 1 5
+---
+- 0 4
+---
++ 2 6\n";
+        let batches = parse_batches(text).unwrap();
+        assert_eq!(batches.len(), 3, "trailing unterminated batch commits");
+        assert_eq!(batches[0].inserts(), &[(0, 4), (1, 5)]);
+        assert_eq!(batches[1].deletes(), &[(0, 4)]);
+        assert_eq!(batches[2].inserts(), &[(2, 6)]);
+        // Comment-only input and doubled separators produce no batches.
+        assert!(parse_batches("# nothing\n---\n---\n").unwrap().is_empty());
+        // Malformed lines report their line number.
+        for bad in ["* 1 2", "+ 1", "+ 1 2 3", "+ x 2"] {
+            let err = parse_batches(bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CutsError::Invalid {
+                        what: "batch line",
+                        ..
+                    }
+                ),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn watch_end_to_end_streams_deltas_and_verifies() {
+        let dir = std::env::temp_dir().join("cuts_cli_watch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("mesh.txt");
+        // 2x3 mesh: vertices 0..6, no triangles until the diagonal lands.
+        std::fs::write(&graph, "0 1\n1 2\n3 4\n4 5\n0 3\n1 4\n2 5\n").unwrap();
+        let edits = dir.join("edits.txt");
+        std::fs::write(&edits, "+ 0 4\n---\n- 0 4\n").unwrap();
+        let opts = WatchOpts {
+            data: DataSource::File(graph.to_string_lossy().into_owned()),
+            queries: vec!["clique:3".into()],
+            batches: edits.to_string_lossy().into_owned(),
+            ranks: 2,
+            directed: false,
+            device: "test".into(),
+            output: "json".into(),
+            fault_plan: Some("crash:0@1".into()),
+        };
+        run_watch(&opts).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

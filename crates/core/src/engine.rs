@@ -97,6 +97,21 @@ impl<'d> CutsEngine<'d> {
     }
 
     /// Former name of [`CutsEngine::run_seeded`].
+    ///
+    /// Callers that deny deprecations fail to compile against it:
+    ///
+    /// ```compile_fail
+    /// #![deny(deprecated)]
+    /// use cuts_core::CutsEngine;
+    /// use cuts_gpu_sim::{Device, DeviceConfig};
+    /// use cuts_graph::generators::clique;
+    /// use cuts_trie::HostTrie;
+    ///
+    /// let device = Device::new(DeviceConfig::test_small());
+    /// let engine = CutsEngine::new(&device);
+    /// let seed = HostTrie::from_flat_paths(&[vec![0]]);
+    /// let _ = engine.run_from_trie(&clique(4), &clique(3), &seed);
+    /// ```
     #[deprecated(since = "0.5.0", note = "renamed to `run_seeded`")]
     pub fn run_from_trie(
         &self,
@@ -131,26 +146,6 @@ impl<'d> CutsEngine<'d> {
 
 #[cfg(test)]
 mod tests {
-    #[test]
-    #[allow(deprecated)]
-    fn run_from_trie_shim_still_works() {
-        let data = clique(4);
-        let query = clique(3);
-        let device = Device::new(DeviceConfig::test_small());
-        let engine = CutsEngine::new(&device);
-        let full = engine.run(&data, &query).unwrap();
-        let plan = crate::order::MatchOrder::compute(&query).unwrap();
-        let roots: Vec<Vec<u32>> = (0..data.num_vertices() as u32)
-            .filter(|&v| data.degree_dominates(v, plan.q_out[0], plan.q_in[0]))
-            .map(|v| vec![v])
-            .collect();
-        let seed = cuts_trie::HostTrie::from_flat_paths(&roots);
-        let old = engine.run_from_trie(&data, &query, &seed).unwrap();
-        let new = engine.run_seeded(&data, &query, &seed).unwrap();
-        assert_eq!(old.num_matches, new.num_matches);
-        assert_eq!(old.num_matches, full.num_matches);
-    }
-
     use super::*;
     use crate::config::IntersectStrategy;
     use crate::reference;

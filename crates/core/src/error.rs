@@ -241,6 +241,16 @@ pub enum SnapshotError {
     },
     /// Section contents are internally inconsistent.
     Corrupt(&'static str),
+    /// The snapshot was captured from a different graph state than the
+    /// live graph it is being validated against (see
+    /// `Snapshot::validate_for`) — its warm artifacts would silently
+    /// describe stale data.
+    StaleGraph {
+        /// Fingerprint of the graph inside the snapshot.
+        snapshot: u64,
+        /// Fingerprint of the live graph.
+        live: u64,
+    },
 }
 
 /// Renders a section tag for error messages; non-ASCII bytes escaped.
@@ -270,6 +280,10 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "snapshot section `{}` missing", tag_display(section))
             }
             SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::StaleGraph { snapshot, live } => write!(
+                f,
+                "snapshot is stale: captured from graph {snapshot:#018x}, live graph is {live:#018x}"
+            ),
         }
     }
 }

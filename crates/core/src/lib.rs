@@ -26,6 +26,7 @@
 pub mod cache;
 pub mod complexity;
 pub mod config;
+pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -42,9 +43,11 @@ pub mod sched;
 pub mod serve;
 pub mod session;
 pub mod snapshot;
+pub mod watch;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use config::{EngineConfig, EngineConfigBuilder, IntersectStrategy, VirtualWarpPolicy};
+pub use dynamic::{BatchOutcome, DynamicError, DynamicSession, MatchDelta, StandingQueryId};
 pub use engine::CutsEngine;
 pub use error::{ConfigError, CutsError, DistError, EngineError, SchedError, SnapshotError};
 pub use fault::{CrashKind, FaultInjector, FaultPlan};
@@ -60,3 +63,4 @@ pub use sched::{
 pub use serve::{ServeConfig, ServeConfigBuilder, ServeReport, ServeStats, ServeTier};
 pub use session::{ExecSession, MatchSink, SessionStats};
 pub use snapshot::{Snapshot, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use watch::{WatchSession, WatchUpdate, Watcher};

@@ -87,6 +87,23 @@ fn saturating_entries(est: f64, budget: usize) -> usize {
     }
 }
 
+/// Checked f64 milliseconds → u64 microseconds for SLO accounting.
+///
+/// Wall-clock deltas from `Instant` are finite, but latencies also reach
+/// here from derived arithmetic (batch fan-out, re-admission credit)
+/// where a poisoned input must not land in a histogram: `max(0.0)`
+/// passes `+inf` through and `inf as u64` saturates to `u64::MAX` µs,
+/// pinning every quantile of the class at the top bucket for the rest
+/// of the run. Non-finite and negative inputs record as zero; genuinely
+/// huge finite values still saturate at the cast.
+pub(crate) fn saturating_micros(millis: f64) -> u64 {
+    let us = millis * 1e3;
+    if !us.is_finite() || us < 0.0 {
+        return 0;
+    }
+    us as u64
+}
+
 /// The per-job trie capacity (entries) for `plan` over `data`: the §5
 /// space estimate, rounded up to a power of two so repeat jobs share
 /// chain shapes, clamped into `[MIN, budget]`. Depends only on the job
@@ -432,8 +449,8 @@ impl Telemetry {
             }
         }
         let l = [("class", class)];
-        let queue_us = (o.queue_millis * 1e3).max(0.0) as u64;
-        let exec_us = (o.exec_millis * 1e3).max(0.0) as u64;
+        let queue_us = saturating_micros(o.queue_millis);
+        let exec_us = saturating_micros(o.exec_millis);
         self.reg
             .histogram(M_QUEUE.0, &l, M_QUEUE.1)
             .record(queue_us);
@@ -2041,6 +2058,22 @@ mod tests {
         assert!(e >= MIN_TRIE_ENTRIES.min(plan.trie_entries_budget));
         assert!(e <= plan.trie_entries_budget);
         assert!(e == plan.trie_entries_budget || e.is_power_of_two());
+    }
+
+    #[test]
+    fn saturating_micros_survives_poisoned_latencies() {
+        // The live poison case: `.max(0.0)` passed +inf through, and
+        // `inf as u64` saturates to u64::MAX µs.
+        assert_eq!(saturating_micros(f64::INFINITY), 0);
+        assert_eq!(saturating_micros(f64::NEG_INFINITY), 0);
+        assert_eq!(saturating_micros(f64::NAN), 0);
+        assert_eq!(saturating_micros(-3.5), 0);
+        assert_eq!(saturating_micros(0.0), 0);
+        // Ordinary latencies convert exactly.
+        assert_eq!(saturating_micros(1.5), 1500);
+        assert_eq!(saturating_micros(0.001), 1);
+        // Finite but absurd values saturate at the cast, not wrap.
+        assert_eq!(saturating_micros(1e300), u64::MAX);
     }
 
     #[test]

@@ -129,6 +129,31 @@ impl ServeConfig {
     pub fn ranks(&self) -> usize {
         self.ranks
     }
+
+    /// The validated engine configuration (watch-session plumbing).
+    pub(crate) fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// The configured fault plan (watch-session plumbing).
+    pub(crate) fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Whether telemetry is on (watch-session plumbing).
+    pub(crate) fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Rolling-stats cadence (watch-session plumbing).
+    pub(crate) fn stats_every(&self) -> u64 {
+        self.stats_every
+    }
+
+    /// A clone of the rolling-stats sink (watch-session plumbing).
+    pub(crate) fn stats_sink(&self) -> Option<StatsSink> {
+        self.stats_sink.clone()
+    }
 }
 
 /// Builder for [`ServeConfig`]; validated at [`ServeConfigBuilder::build`].
@@ -993,6 +1018,21 @@ impl ServeTier {
         self.config.ranks
     }
 
+    /// The tier's configuration (watch-session plumbing).
+    pub(crate) fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The per-rank device matrix (watch-session plumbing).
+    pub(crate) fn rank_devices(&self) -> &[Vec<Device>] {
+        &self.rank_devices
+    }
+
+    /// The tier's resolved trace (watch-session plumbing).
+    pub(crate) fn serve_trace(&self) -> &Trace {
+        &self.trace
+    }
+
     /// The tier-lifetime registry devices record per-kernel wall
     /// histograms into; merge its snapshot with the per-run
     /// [`ServeReport::telemetry`] for one Prometheus exposition.
@@ -1561,6 +1601,30 @@ mod tests {
             assert_eq!(s.id, p.id);
             let (a, b) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
             assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        }
+    }
+
+    /// Regression: the throughput bench used to build the rank sweep with
+    /// `.telemetry(false)`, so `serve_ranks` SLO classes reported
+    /// `completed: 0` and all-zero quantiles despite 16 completed jobs.
+    /// A default-configured multi-rank tier must account every job into
+    /// its class with real quantiles.
+    #[test]
+    fn multi_rank_slo_reports_completed_and_quantiles() {
+        let jobs = demo_jobs();
+        let report = small_tier(2, 2).run_stream(&jobs).unwrap();
+        assert_eq!(report.stats.completed, jobs.len() as u64);
+        let accounted: u64 = report.slo.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(accounted, jobs.len() as u64, "every job lands in a class");
+        assert!(report.slo.classes.len() >= 2, "demo jobs span two classes");
+        for c in &report.slo.classes {
+            assert!(c.completed > 0, "class {} reported empty", c.class);
+            assert!(
+                c.exec_us[2] > 0,
+                "class {} has zero exec quantiles",
+                c.class
+            );
+            assert!(c.queue_us[0] <= c.queue_us[2]);
         }
     }
 

@@ -31,7 +31,7 @@ use cuts_gpu_sim::{
     Arena, ArenaStats, ClassSpec, CostModel, CounterSink, Counters, Device, DeviceError,
 };
 use cuts_graph::components::{extract_component, weakly_connected_components};
-use cuts_graph::Graph;
+use cuts_graph::{Graph, VertexId};
 use cuts_obs::flight::{self, FlightCode};
 use cuts_obs::{Arg, EventKind, Json, ToJson};
 use cuts_trie::{PairTable, Trie};
@@ -388,7 +388,84 @@ impl<'d> ExecSession<'d> {
         self.run_inner(&plan, data, None, Some(seed), None)
     }
 
+    /// [`ExecSession::run_seeded`] with streaming: every completion of a
+    /// seeded path is handed to `sink` as a full embedding in
+    /// query-vertex space. This is the incremental matcher's workhorse —
+    /// dirty roots become a depth-1 seed and only their subtrees are
+    /// re-expanded on the device.
+    pub fn run_seeded_enumerate(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        seed: &cuts_trie::HostTrie,
+        sink: MatchSink<'_>,
+    ) -> Result<MatchResult, EngineError> {
+        let plan = self.plan_for(query)?;
+        self.run_inner(&plan, data, Some(sink), Some(seed), None)
+    }
+
+    /// Host-side replica of the level-0 root filter (Definition 5 degree
+    /// dominance plus label compatibility) for `query`'s matching order.
+    /// The signature prefilter is deliberately elided: it is
+    /// pruning-sound (a vertex it rejects hosts no embeddings), so
+    /// seeding such a vertex costs a fruitless expansion but never
+    /// changes the match set. Used by the batch-dynamic path to decide
+    /// which dirty vertices are worth re-seeding.
+    pub fn root_passes(
+        &self,
+        data: &Graph,
+        query: &Graph,
+        v: VertexId,
+    ) -> Result<bool, EngineError> {
+        let plan = self.plan_for(query)?;
+        let o = &plan.order;
+        Ok(data.degree_dominates(v, o.q_out[0], o.q_in[0])
+            && crate::order::label_ok(data, v, o.q_label[0]))
+    }
+
+    /// Materialises `dirty` (the subtrees uprooted by a batch of edge
+    /// edits) on an arena chain and immediately releases it: the slabs
+    /// the stale subtrees occupied return to the arena before their
+    /// roots are re-expanded. Emits one `subtree_release` trie event
+    /// carrying the entry and root counts; returns the entries released.
+    pub fn release_subtrees(&self, dirty: &cuts_trie::HostTrie) -> Result<usize, EngineError> {
+        let entries = dirty.len();
+        if entries == 0 {
+            return Ok(0);
+        }
+        let mut trie = self.acquire_trie()?;
+        trie.load(dirty)?;
+        drop(trie); // slabs return to the arena here
+        self.device.trace().instant_with(
+            EventKind::Trie,
+            "subtree_release",
+            &[
+                ("entries", Arg::U64(entries as u64)),
+                (
+                    "roots",
+                    Arg::U64(dirty.levels.first().map_or(0, |r| r.len()) as u64),
+                ),
+            ],
+        );
+        Ok(entries)
+    }
+
     /// Former name of [`ExecSession::run_seeded`].
+    ///
+    /// Callers that deny deprecations fail to compile against it:
+    ///
+    /// ```compile_fail
+    /// #![deny(deprecated)]
+    /// use cuts_core::{EngineConfig, ExecSession};
+    /// use cuts_gpu_sim::{Device, DeviceConfig};
+    /// use cuts_graph::generators::clique;
+    /// use cuts_trie::HostTrie;
+    ///
+    /// let device = Device::new(DeviceConfig::test_small());
+    /// let session = ExecSession::new(&device, EngineConfig::default());
+    /// let seed = HostTrie::from_flat_paths(&[vec![0]]);
+    /// let _ = session.run_from_trie(&clique(4), &clique(3), &seed);
+    /// ```
     #[deprecated(since = "0.5.0", note = "renamed to `run_seeded`")]
     pub fn run_from_trie(
         &self,

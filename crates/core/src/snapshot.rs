@@ -816,6 +816,27 @@ impl Snapshot {
         &self.graph
     }
 
+    /// Guards a warm start against a graph that has moved on: fails with
+    /// [`SnapshotError::StaleGraph`] unless `live` has the same
+    /// version-inclusive [`Graph::fingerprint`] as the snapshotted
+    /// graph. Because the fingerprint hashes the mutation version along
+    /// with the CSR bytes, a batch followed by its exact inverse still
+    /// invalidates older snapshots — no edit history is consulted.
+    ///
+    /// The check is for snapshots held in memory by the process that
+    /// captured them (the serving warm-start path). A snapshot decoded
+    /// from disk carries version 0 — the wire format predates versioning
+    /// — so it validates only against a live graph that has never been
+    /// batch-mutated; validation is conservative, never falsely fresh.
+    pub fn validate_for(&self, live: &Graph) -> Result<(), SnapshotError> {
+        let snapshot = self.graph.fingerprint();
+        let live = live.fingerprint();
+        if snapshot != live {
+            return Err(SnapshotError::StaleGraph { snapshot, live });
+        }
+        Ok(())
+    }
+
     /// The persisted plans, in cache order (least recently used first).
     pub fn plans(&self) -> &[Arc<QueryPlan>] {
         &self.plans
@@ -1125,5 +1146,46 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = Snapshot::read_from("/nonexistent/cuts.snap").unwrap_err();
         assert!(matches!(err, CutsError::Io { .. }));
+    }
+
+    #[test]
+    fn validate_for_rejects_batch_mutated_graph() {
+        use cuts_graph::EdgeBatch;
+        let mut data = erdos_renyi(30, 80, 5);
+        let snap = Snapshot::new(&data);
+        snap.validate_for(&data).unwrap();
+
+        // Mutate: the snapshot must now be rejected.
+        let (u, v) = {
+            let mut pick = (0, 1);
+            'outer: for a in 0..30u32 {
+                for b in (a + 1)..30u32 {
+                    if !data.has_edge(a, b) {
+                        pick = (a, b);
+                        break 'outer;
+                    }
+                }
+            }
+            pick
+        };
+        let mut b = EdgeBatch::new();
+        b.insert(u, v);
+        data.apply_batch(&b).unwrap();
+        let err = snap.validate_for(&data).unwrap_err();
+        assert!(matches!(err, SnapshotError::StaleGraph { .. }));
+
+        // Exact inverse restores the CSR bytes but not the version, so
+        // the stale verdict sticks — no history is needed to be safe.
+        let mut b = EdgeBatch::new();
+        b.delete(u, v);
+        data.apply_batch(&b).unwrap();
+        assert!(matches!(
+            snap.validate_for(&data),
+            Err(SnapshotError::StaleGraph { .. })
+        ));
+
+        // A snapshot captured *after* the edits validates.
+        let fresh = Snapshot::new(&data);
+        fresh.validate_for(&data).unwrap();
     }
 }

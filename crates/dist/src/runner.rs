@@ -251,6 +251,16 @@ pub fn run(
 }
 
 /// Deprecated alias of [`run`].
+///
+/// Callers that deny deprecations fail to compile against it:
+///
+/// ```compile_fail
+/// #![deny(deprecated)]
+/// use cuts_dist::{run_distributed, DistConfig};
+/// use cuts_graph::generators::clique;
+///
+/// let _ = run_distributed(&clique(4), &clique(3), 2, &DistConfig::default());
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "use `cuts_dist::run` (or `cuts_core::serve::ServeTier` for job streams)"
@@ -265,6 +275,18 @@ pub fn run_distributed(
 }
 
 /// Deprecated: set [`DistConfig::trace`] and call [`run`].
+///
+/// Callers that deny deprecations fail to compile against it:
+///
+/// ```compile_fail
+/// #![deny(deprecated)]
+/// use cuts_dist::{run_distributed_traced, DistConfig};
+/// use cuts_graph::generators::clique;
+/// use cuts_obs::Trace;
+///
+/// let t = Trace::disabled();
+/// let _ = run_distributed_traced(&clique(4), &clique(3), 2, &DistConfig::default(), &t);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "set `DistConfig::trace` (or `.builder().trace(..)`) and use `cuts_dist::run`"
@@ -283,6 +305,19 @@ pub fn run_distributed_traced(
 
 /// Deprecated: set [`DistConfig::trace`] / [`DistConfig::telemetry`] and
 /// call [`run`].
+///
+/// Callers that deny deprecations fail to compile against it:
+///
+/// ```compile_fail
+/// #![deny(deprecated)]
+/// use cuts_dist::{run_distributed_observed, DistConfig};
+/// use cuts_graph::generators::clique;
+/// use cuts_obs::{Registry, Trace};
+///
+/// let t = Trace::disabled();
+/// let r = Registry::new();
+/// let _ = run_distributed_observed(&clique(4), &clique(3), 2, &DistConfig::default(), &t, r);
+/// ```
 #[deprecated(
     since = "0.2.0",
     note = "set `DistConfig::trace` / `DistConfig::telemetry` and use `cuts_dist::run`"

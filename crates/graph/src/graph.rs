@@ -17,18 +17,27 @@ pub type VertexId = u32;
 /// undirected edge `{u, v}` is stored as both `(u, v)` and `(v, u)`.
 #[derive(Clone, Debug)]
 pub struct Graph {
-    out: Csr,
-    inn: Csr,
+    pub(crate) out: Csr,
+    pub(crate) inn: Csr,
     /// True if the graph was built from an undirected edge list (so `out`
     /// and `inn` are identical by construction).
-    symmetric: bool,
+    pub(crate) symmetric: bool,
     /// Optional vertex labels (the "meta information" §4.1.1 sets aside;
     /// provided as an extension because the labelled setting is where
     /// comparators like GSI live). `None` = unlabelled.
-    labels: Option<Box<[u32]>>,
+    pub(crate) labels: Option<Box<[u32]>>,
     /// Lazily computed statistics/signature profile (see
     /// [`crate::profile`]); shared by clones until the graph changes.
-    profile: OnceLock<Arc<DataProfile>>,
+    pub(crate) profile: OnceLock<Arc<DataProfile>>,
+    /// Monotone mutation counter: 0 for a freshly constructed graph,
+    /// bumped by every [`Graph::apply_batch`]. Part of the
+    /// [`Graph::fingerprint`], so artifacts captured against an earlier
+    /// state of this graph can be rejected even if a later batch happens
+    /// to restore the original adjacency byte-for-byte.
+    pub(crate) version: u64,
+    /// Lazily computed content+version fingerprint; invalidated together
+    /// with the profile on every mutation.
+    pub(crate) fingerprint: OnceLock<u64>,
 }
 
 impl Graph {
@@ -44,6 +53,8 @@ impl Graph {
             symmetric: false,
             labels: None,
             profile: OnceLock::new(),
+            version: 0,
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -64,6 +75,8 @@ impl Graph {
             symmetric: true,
             labels: None,
             profile: OnceLock::new(),
+            version: 0,
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -112,6 +125,8 @@ impl Graph {
             symmetric,
             labels: None,
             profile: OnceLock::new(),
+            version: 0,
+            fingerprint: OnceLock::new(),
         })
     }
 
@@ -123,8 +138,10 @@ impl Graph {
             "one label per vertex required"
         );
         self.labels = Some(labels.into_boxed_slice());
-        // Labels feed the signature lanes; a cached profile is stale now.
+        // Labels feed the signature lanes; a cached profile (and the
+        // content fingerprint, which covers labels) is stale now.
         self.profile = OnceLock::new();
+        self.fingerprint = OnceLock::new();
         self
     }
 
@@ -289,6 +306,46 @@ impl Graph {
     /// Iterates all stored directed edges.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.out.edges()
+    }
+
+    /// Mutation counter: 0 at construction, bumped by every
+    /// [`Graph::apply_batch`]. Clones carry the version of the graph
+    /// they were cloned from.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Deterministic fingerprint of the graph's full matching-relevant
+    /// state: adjacency, symmetry, labels, **and** the mutation
+    /// [`Graph::version`]. Computed lazily and cached; invalidated by
+    /// [`Graph::apply_batch`] and [`Graph::with_labels`].
+    ///
+    /// Including the version means a batch followed by its exact inverse
+    /// still changes the fingerprint — any artifact (snapshot, cached
+    /// result trie) captured before a mutation is permanently
+    /// distinguishable from the live graph, which is what makes
+    /// stale-artifact rejection sound without tracking history.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            use std::hash::{Hash, Hasher};
+            // DefaultHasher with fixed keys: stable within a build, the
+            // same scheme the plan-cache keys use.
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.version.hash(&mut h);
+            self.symmetric.hash(&mut h);
+            self.num_vertices().hash(&mut h);
+            self.out.offsets().hash(&mut h);
+            self.out.targets().hash(&mut h);
+            match &self.labels {
+                Some(l) => {
+                    true.hash(&mut h);
+                    l.hash(&mut h);
+                }
+                None => false.hash(&mut h),
+            }
+            h.finish()
+        })
     }
 }
 

@@ -11,6 +11,10 @@
 //!   neighbors ... can be done with O(1) time cost").
 //! * [`GraphBuilder`] — edge-list ingestion with deduplication and
 //!   symmetrisation of undirected inputs (Definition 1).
+//! * [`batch`] — streaming mutation: validated edge insert/delete batches
+//!   ([`EdgeBatch`]) applied in place with profile/fingerprint
+//!   invalidation, returning the [`GraphDelta`] the incremental matcher
+//!   consumes.
 //! * [`edgelist`] — the SNAP text format the paper's datasets ship in.
 //! * [`generators`] — synthetic graph families, including degree-skewed
 //!   stand-ins for the six SNAP datasets of Table 2 (see [`datasets`]).
@@ -21,6 +25,7 @@
 //! * [`canonical`] — brute-force canonical forms for small graphs (exact for
 //!   the ≤7-vertex query graphs), used for dedup and testing.
 
+pub mod batch;
 pub mod builder;
 pub mod canonical;
 pub mod components;
@@ -34,6 +39,7 @@ pub mod profile;
 pub mod query_gen;
 pub mod stats;
 
+pub use batch::{BatchError, EdgeBatch, GraphDelta};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{Dataset, Scale};

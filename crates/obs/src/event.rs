@@ -38,11 +38,14 @@ pub enum EventKind {
     /// Arena-slab allocator activity: carve / acquire / release /
     /// chain-grow / high-water.
     Arena,
+    /// Batch-dynamic lifecycle: graph edge-batch application, dirty-
+    /// subtree release, and per-subscription match-delta fan-out.
+    Batch,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive reporting.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::Kernel,
         EventKind::Level,
         EventKind::Chunk,
@@ -57,6 +60,7 @@ impl EventKind {
         EventKind::Policy,
         EventKind::Snapshot,
         EventKind::Arena,
+        EventKind::Batch,
     ];
 
     /// Stable lowercase name (chrome-trace `cat`, JSONL `kind`).
@@ -76,6 +80,7 @@ impl EventKind {
             EventKind::Policy => "policy",
             EventKind::Snapshot => "snapshot",
             EventKind::Arena => "arena",
+            EventKind::Batch => "batch",
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Batch-dynamic equivalence: a [`DynamicSession`]'s `MatchDelta` stream,
+//! folded over the registration-time match set, must land on exactly the
+//! match set a full recompute over the mutated graph produces — after
+//! every batch, byte-identically — across graphs × queries × randomized
+//! insert/delete schedules. A second test drives the serve-tier
+//! subscription path under a kill-a-rank fault plan: the folded watcher
+//! stream must stay seamless across the failover.
+
+use std::collections::BTreeSet;
+
+use cuts::engine::DynamicSession;
+use cuts::graph::generators::{chain, clique, cycle, erdos_renyi, mesh2d};
+use cuts::graph::{EdgeBatch, Graph, VertexId};
+use cuts::prelude::*;
+
+/// Deterministic 64-bit LCG (MMIX constants): schedules must not drift
+/// between runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Cyclic labels, enough classes to prune but not empty the result.
+fn labels(n: usize, classes: u32) -> Vec<u32> {
+    (0..n as u32).map(|v| v % classes).collect()
+}
+
+fn data_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("mesh-6x6", mesh2d(6, 6)),
+        ("er-40-120", erdos_renyi(40, 120, 11)),
+        (
+            "er-labeled",
+            erdos_renyi(36, 100, 7).with_labels(labels(36, 3)),
+        ),
+    ]
+}
+
+fn queries() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("triangle", clique(3)),
+        ("chain4", chain(4)),
+        ("cycle4", cycle(4)),
+    ]
+}
+
+/// A randomized schedule of `batches` batches, each mixing inserts of
+/// absent edges with deletes of present ones, tracked against the live
+/// undirected edge set so batches always validate.
+fn schedule(g: &Graph, batches: usize, edits: usize, seed: u64) -> Vec<EdgeBatch> {
+    let mut rng = Lcg(seed);
+    let n = g.num_vertices();
+    let mut edges: BTreeSet<(VertexId, VertexId)> = g.edges().filter(|(u, v)| u < v).collect();
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut batch = EdgeBatch::new();
+        for _ in 0..edits {
+            if rng.next().is_multiple_of(2) {
+                loop {
+                    let u = rng.below(n) as VertexId;
+                    let v = rng.below(n) as VertexId;
+                    let key = (u.min(v), u.max(v));
+                    if u != v && edges.insert(key) {
+                        batch.insert(key.0, key.1);
+                        break;
+                    }
+                }
+            } else {
+                let idx = rng.below(edges.len());
+                let key = *edges.iter().nth(idx).expect("non-empty edge set");
+                edges.remove(&key);
+                batch.delete(key.0, key.1);
+            }
+        }
+        out.push(batch);
+    }
+    out
+}
+
+/// Applies one delta to a running match set, asserting exact bookkeeping:
+/// every removal was present, every addition absent.
+fn fold(
+    set: &mut BTreeSet<Vec<VertexId>>,
+    added: &[Vec<VertexId>],
+    removed: &[Vec<VertexId>],
+    ctx: &str,
+) {
+    for m in removed {
+        assert!(set.remove(m), "{ctx}: delta removed an absent match {m:?}");
+    }
+    for m in added {
+        assert!(
+            set.insert(m.clone()),
+            "{ctx}: delta added a duplicate match {m:?}"
+        );
+    }
+}
+
+#[test]
+fn delta_streams_compose_to_full_recompute() {
+    let device = Device::new(DeviceConfig::test_small());
+    for (gname, graph) in data_graphs() {
+        let mut live = DynamicSession::new(&device, EngineConfig::default(), graph.clone());
+        let mut sets = Vec::new();
+        let mut ids = Vec::new();
+        for (_, q) in queries() {
+            let id = live.register(&q).expect("standing query registers");
+            sets.push(live.match_set(id));
+            ids.push(id);
+        }
+        for (b, batch) in schedule(&graph, 6, 3, 0xC0FFEE ^ gname.len() as u64)
+            .iter()
+            .enumerate()
+        {
+            let outcome = live.apply_batch(batch).expect("valid batch applies");
+            assert_eq!(
+                outcome.deltas.len(),
+                ids.len(),
+                "{gname}: one delta per standing query per batch"
+            );
+            for (delta, ((qname, _), set)) in
+                outcome.deltas.iter().zip(queries().iter().zip(&mut sets))
+            {
+                let ctx = format!("{gname}/{qname}/batch{b}");
+                fold(set, &delta.added, &delta.removed, &ctx);
+            }
+            for (i, ((qname, _), set)) in queries().iter().zip(&sets).enumerate() {
+                assert_eq!(
+                    set,
+                    &live.recompute(ids[i]).expect("recompute succeeds"),
+                    "{gname}/{qname}/batch{b}: folded deltas diverge from full recompute"
+                );
+                assert_eq!(
+                    set,
+                    &live.match_set(ids[i]),
+                    "{gname}/{qname}/batch{b}: session state diverges from folded deltas"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn watch_subscription_stream_is_seamless_across_rank_loss() {
+    let graph = erdos_renyi(40, 120, 11);
+    let tier = ServeTier::new(
+        ServeConfig::builder()
+            .ranks(3)
+            .lanes(1)
+            .device_config(DeviceConfig::test_small())
+            // Rank 0 dies before its 2nd batch, rank 1 before its 3rd:
+            // the stream fails over twice and finishes on rank 2.
+            .fault_plan(FaultPlan::parse("crash:0@1,crash:1@2").unwrap())
+            .build()
+            .expect("valid serve config"),
+    );
+    let mut live = tier.watch(graph.clone());
+    let mut watchers = Vec::new();
+    let mut sets = Vec::new();
+    for (_, q) in queries() {
+        let w = live.subscribe(&q).expect("subscription registers");
+        sets.push(live.match_set(w.query));
+        watchers.push(w);
+    }
+
+    let mut serving_ranks = BTreeSet::new();
+    for (b, batch) in schedule(&graph, 4, 3, 0xFA11).iter().enumerate() {
+        live.apply_batch(batch).expect("tier-wide batch applies");
+        for (w, set) in watchers.iter().zip(&mut sets) {
+            let updates = w.drain();
+            assert_eq!(updates.len(), 1, "batch{b}: exactly one update per batch");
+            for u in updates {
+                serving_ranks.insert(u.rank);
+                let ctx = format!("q{}/batch{}", u.delta.query.0, u.batch);
+                fold(set, &u.delta.added, &u.delta.removed, &ctx);
+            }
+        }
+    }
+    assert_eq!(live.lost_ranks(), 2, "the fault plan killed two ranks");
+    assert_eq!(live.primary(), Some(2), "the stream finished on rank 2");
+    assert!(
+        serving_ranks.len() >= 2,
+        "updates must span the failover, got ranks {serving_ranks:?}"
+    );
+    for (w, set) in watchers.iter().zip(&sets) {
+        assert_eq!(
+            set,
+            &live.recompute(w.query).expect("recompute succeeds"),
+            "folded watcher stream diverges from full recompute after failover"
+        );
+    }
+}

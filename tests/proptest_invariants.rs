@@ -114,6 +114,88 @@ proptest! {
     }
 
     #[test]
+    fn insert_then_inverse_restores_csr_and_always_bumps_fingerprint(
+        g0 in arb_graph(24, 80),
+        picks in proptest::collection::vec((0u32..24, 0u32..24), 1..12),
+    ) {
+        use cuts::graph::EdgeBatch;
+        let mut g = g0.clone();
+        let n = g.num_vertices() as u32;
+        // Distinct absent non-loop edges: the only inserts a batch accepts.
+        let mut batch = EdgeBatch::new();
+        let mut chosen = std::collections::BTreeSet::new();
+        for (a, b) in picks {
+            let (u, v) = (a % n, b % n);
+            let key = (u.min(v), u.max(v));
+            if u != v && !g.has_edge(u, v) && chosen.insert(key) {
+                batch.insert(key.0, key.1);
+            }
+        }
+        if batch.is_empty() {
+            continue; // dense draw left nothing insertable; next case
+        }
+
+        let bytes = |g: &Graph| {
+            (
+                g.out_csr().offsets().to_vec(),
+                g.out_csr().targets().to_vec(),
+                g.in_csr().offsets().to_vec(),
+                g.in_csr().targets().to_vec(),
+            )
+        };
+        let (before, fp0, v0) = (bytes(&g), g.fingerprint(), g.version());
+
+        let delta = g.apply_batch(&batch).unwrap();
+        prop_assert_eq!(delta.inserted.len(), 2 * batch.inserts().len());
+        prop_assert!(g.version() > v0);
+        let fp1 = g.fingerprint();
+        prop_assert_ne!(fp1, fp0, "insert batch must move the fingerprint");
+
+        g.apply_batch(&batch.inverse()).unwrap();
+        prop_assert_eq!(bytes(&g), before, "inverse batch must restore the CSR bytes");
+        let fp2 = g.fingerprint();
+        // The CSR is back but history is not: the version-inclusive
+        // fingerprint keeps moving so stale snapshots stay detectable.
+        prop_assert_ne!(fp2, fp0);
+        prop_assert_ne!(fp2, fp1);
+    }
+
+    #[test]
+    fn snapshots_go_stale_on_any_committed_batch(
+        g0 in arb_graph(20, 60),
+        a in 0u32..20, b in 0u32..20,
+    ) {
+        use cuts::engine::{Snapshot, SnapshotError};
+        use cuts::graph::EdgeBatch;
+        let mut g = g0.clone();
+        let n = g.num_vertices() as u32;
+        let (u, v) = (a % n, b % n);
+        if u == v || g.has_edge(u, v) {
+            continue; // the drawn edit would be rejected; next case
+        }
+
+        let device = Device::new(DeviceConfig::test_small());
+        let session = ExecSession::new(&device, EngineConfig::default());
+        let snap = Snapshot::capture(&g, &session);
+        prop_assert!(snap.validate_for(&g).is_ok(), "fresh snapshot validates");
+
+        let mut batch = EdgeBatch::new();
+        batch.insert(u, v);
+        g.apply_batch(&batch).unwrap();
+        prop_assert!(matches!(
+            snap.validate_for(&g),
+            Err(SnapshotError::StaleGraph { .. })
+        ));
+        // Undoing the edit does not resurrect the snapshot: the edit
+        // happened, and anything derived from the old graph is suspect.
+        g.apply_batch(&batch.inverse()).unwrap();
+        prop_assert!(matches!(
+            snap.validate_for(&g),
+            Err(SnapshotError::StaleGraph { .. })
+        ));
+    }
+
+    #[test]
     fn csf_equivalent_to_trie(paths in proptest::collection::vec(
         proptest::collection::vec(0u32..50, 4), 1..40)) {
         let host = HostTrie::from_flat_paths(&paths);

@@ -136,9 +136,9 @@ fn idle_warm_session_stats_render_without_lookups() {
     cuts_obs::Json::parse(&rendered).expect("stats render as valid JSON with zero lookups");
 }
 
-/// The donation-resume path (`run_seeded` and its deprecated
-/// `run_from_trie` shim) must work on a session that never planned
-/// anything itself: the plan comes from the snapshot-seeded cache.
+/// The donation-resume path (`run_seeded`) must work on a session that
+/// never planned anything itself: the plan comes from the
+/// snapshot-seeded cache.
 #[test]
 fn run_seeded_on_a_warm_session_builds_no_plans() {
     let data = mesh2d(6, 6);
@@ -166,11 +166,8 @@ fn run_seeded_on_a_warm_session_builds_no_plans() {
 
     let seeded = warm.run_seeded(restored.graph(), &query, &seed).unwrap();
     assert_eq!(seeded.num_matches, full.num_matches);
-    #[allow(deprecated)]
-    let legacy = warm.run_from_trie(restored.graph(), &query, &seed).unwrap();
-    assert_eq!(legacy.num_matches, full.num_matches);
 
     let s = warm.stats();
     assert_eq!(s.plans.misses, 0, "seeded runs must reuse the stored plan");
-    assert_eq!(s.plans.hits, 2, "one cache hit per seeded run");
+    assert_eq!(s.plans.hits, 1, "one cache hit per seeded run");
 }
